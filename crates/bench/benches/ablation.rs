@@ -1,0 +1,128 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **wire-format ablation** — PBIO's "sender-native + patch pointer
+//!   slots" block copy vs a per-field copy of the same record (what
+//!   marshaling costs if you give up the memory-image wire format);
+//! * **receiver-makes-right ablation** — decode cost when formats match
+//!   (extract only) vs when byte order / widths differ (full conversion)
+//!   vs the zero-copy `EncodedView` path;
+//! * **discovery ablation** — binding from an already-loaded definition
+//!   vs parse+bind (isolates the XML parse share of the RDM).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use openmeta_bench::workloads::{figure8_record, hydrology_schema_xml};
+use openmeta_pbio::{decode, decode_with, EncodedView, FormatRegistry, MachineModel};
+use xmit::Xmit;
+
+fn wire_format_ablation(c: &mut Criterion) {
+    let registry = Arc::new(FormatRegistry::new(MachineModel::native()));
+    let (rec, size) = figure8_record(&registry, 10_000);
+    let mut group = c.benchmark_group("ablation_wire_format");
+    group.bench_function("pbio_block_copy", |b| {
+        let mut buf = Vec::with_capacity(size * 2);
+        b.iter(|| {
+            buf.clear();
+            xmit::encode_into(&rec, &mut buf).unwrap()
+        })
+    });
+    // The per-field alternative is exactly the MPI pack loop.
+    let per_field = openmeta_wire::MpiPackWire::new();
+    group.bench_function("per_field_copy", |b| {
+        let mut buf = Vec::with_capacity(size * 2);
+        b.iter(|| {
+            buf.clear();
+            openmeta_wire::WireFormat::encode(&per_field, &rec, &mut buf).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn receiver_makes_right_ablation(c: &mut Criterion) {
+    // Sender on a foreign machine model (byte-swap + width conversion
+    // required), and on the native model (no conversion).
+    let native = Arc::new(FormatRegistry::new(MachineModel::native()));
+    let foreign_model = if MachineModel::native().byte_order == openmeta_pbio::ByteOrder::Little
+    {
+        MachineModel::SPARC32
+    } else {
+        MachineModel::X86
+    };
+    let foreign = Arc::new(FormatRegistry::new(foreign_model));
+
+    let (native_rec, _) = figure8_record(&native, 10_000);
+    let (foreign_rec, _) = figure8_record(&foreign, 10_000);
+    native.register_descriptor((**foreign_rec.format()).clone());
+
+    let same_wire = xmit::encode(&native_rec).unwrap();
+    let cross_wire = xmit::encode(&foreign_rec).unwrap();
+
+    let mut group = c.benchmark_group("ablation_receiver_makes_right");
+    group.bench_function("same_format_extract_only", |b| {
+        b.iter(|| decode(&same_wire, &native).unwrap())
+    });
+    let target = native_rec.format().clone();
+    group.bench_function("cross_machine_convert", |b| {
+        b.iter(|| decode_with(&cross_wire, &native, &target).unwrap())
+    });
+    group.bench_function("zero_copy_view_read", |b| {
+        b.iter(|| {
+            let view = EncodedView::new(&same_wire, &native).unwrap();
+            view.get_i64("seq").unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn discovery_ablation(c: &mut Criterion) {
+    let xml = hydrology_schema_xml();
+    let http = openmeta_ohttp::HttpServer::start().expect("http server");
+    http.put_xml("/hydrology.xsd", xml.clone());
+    let url = http.url_for("/hydrology.xsd");
+    let mut group = c.benchmark_group("ablation_discovery");
+    group.bench_function("fetch_parse_and_bind", |b| {
+        b.iter_with_setup(
+            || Xmit::new(MachineModel::native()),
+            |toolkit| {
+                toolkit.load_url(&url).unwrap();
+                toolkit.bind("GridMetadata").unwrap();
+                toolkit
+            },
+        )
+    });
+    group.bench_function("parse_and_bind", |b| {
+        b.iter_with_setup(
+            || Xmit::new(MachineModel::native()),
+            |toolkit| {
+                toolkit.load_str(&xml).unwrap();
+                toolkit.bind("GridMetadata").unwrap();
+                toolkit
+            },
+        )
+    });
+    group.bench_function("bind_only", |b| {
+        b.iter_with_setup(
+            || {
+                let toolkit = Xmit::new(MachineModel::native());
+                toolkit.load_str(&xml).unwrap();
+                toolkit
+            },
+            |toolkit| {
+                toolkit.bind("GridMetadata").unwrap();
+                toolkit
+            },
+        )
+    });
+    group.finish();
+}
+
+fn bench(c: &mut Criterion) {
+    wire_format_ablation(c);
+    receiver_makes_right_ablation(c);
+    discovery_ablation(c);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

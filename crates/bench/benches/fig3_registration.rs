@@ -1,0 +1,47 @@
+//! Criterion bench for Figure 3: proof-of-concept format registration,
+//! compiled-in PBIO metadata vs XMIT remote metadata.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use openmeta_bench::workloads::figure3_cases;
+use openmeta_pbio::{FormatRegistry, MachineModel};
+use xmit::Xmit;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_registration");
+    for case in figure3_cases() {
+        group.bench_with_input(
+            BenchmarkId::new("pbio", format!("{}B", case.sparc_size)),
+            &case,
+            |b, case| {
+                b.iter_with_setup(
+                    || FormatRegistry::new(MachineModel::native()),
+                    |reg| {
+                        for spec in &case.compiled {
+                            reg.register(spec.clone()).unwrap();
+                        }
+                        reg
+                    },
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("xmit", format!("{}B", case.sparc_size)),
+            &case,
+            |b, case| {
+                b.iter_with_setup(
+                    || Xmit::new(MachineModel::native()),
+                    |toolkit| {
+                        toolkit.load_str(&case.xml).unwrap();
+                        toolkit.bind(case.name).unwrap();
+                        toolkit
+                    },
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for Figure 6: Hydrology format registration,
+//! compiled-in PBIO metadata vs XMIT remote metadata.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use openmeta_bench::workloads::figure6_cases;
+use openmeta_pbio::{FormatRegistry, MachineModel};
+use xmit::Xmit;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_registration");
+    for case in figure6_cases() {
+        group.bench_with_input(BenchmarkId::new("pbio", case.name), &case, |b, case| {
+            b.iter_with_setup(
+                || FormatRegistry::new(MachineModel::native()),
+                |reg| {
+                    for spec in &case.compiled {
+                        reg.register(spec.clone()).unwrap();
+                    }
+                    reg
+                },
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("xmit", case.name), &case, |b, case| {
+            b.iter_with_setup(
+                || Xmit::new(MachineModel::native()),
+                |toolkit| {
+                    toolkit.load_str(&case.xml).unwrap();
+                    toolkit.bind(case.name).unwrap();
+                    toolkit
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion bench for Figure 7: structure encoding with natively
+//! registered vs XMIT-generated metadata — the paper expects the two to
+//! be indistinguishable, because XMIT emits identical descriptors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use openmeta_bench::workloads::figure7_cases;
+use openmeta_pbio::{FormatRegistry, FormatSpec, IOField, MachineModel, Value};
+
+/// Rebuild the record against compiled-in metadata (fresh registry, specs
+/// written out by hand the way Figure 2's C tables are).
+fn native_twin(case: &openmeta_bench::workloads::EncodeCase) -> openmeta_pbio::RawRecord {
+    fn specs(
+        reg: &FormatRegistry,
+        desc: &openmeta_pbio::FormatDescriptor,
+    ) -> std::sync::Arc<openmeta_pbio::FormatDescriptor> {
+        use openmeta_pbio::FieldKind;
+        for f in &desc.fields {
+            if let FieldKind::Nested(sub) = &f.kind {
+                specs(reg, sub);
+            }
+        }
+        let fields = desc
+            .fields
+            .iter()
+            .map(|f| {
+                let (ty, size) = match &f.kind {
+                    FieldKind::Scalar(b) => (b.name().to_string(), f.size),
+                    FieldKind::String => ("string".to_string(), 0),
+                    FieldKind::StaticArray { elem, elem_size, count } => {
+                        (format!("{}[{count}]", elem.name()), *elem_size)
+                    }
+                    FieldKind::DynamicArray { elem, elem_size, length_field } => {
+                        (format!("{}[{length_field}]", elem.name()), *elem_size)
+                    }
+                    FieldKind::Nested(sub) => (sub.name.clone(), 0),
+                };
+                IOField::auto(f.name.clone(), ty, size)
+            })
+            .collect();
+        reg.register(FormatSpec::new(desc.name.clone(), fields)).unwrap()
+    }
+    let reg = FormatRegistry::new(MachineModel::native());
+    let fmt = specs(&reg, case.record.format());
+    Value::from_record(&case.record).unwrap().into_record(fmt).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let (_toolkit, cases) = figure7_cases();
+    let mut group = c.benchmark_group("fig7_encode");
+    for case in &cases {
+        group.throughput(Throughput::Bytes(case.encoded_size as u64));
+        let native = native_twin(case);
+        group.bench_with_input(
+            BenchmarkId::new("native_metadata", case.encoded_size),
+            &native,
+            |b, rec| {
+                let mut buf = Vec::with_capacity(case.encoded_size + 64);
+                b.iter(|| {
+                    buf.clear();
+                    xmit::encode_into(rec, &mut buf).unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("xmit_metadata", case.encoded_size),
+            case,
+            |b, case| {
+                let mut buf = Vec::with_capacity(case.encoded_size + 64);
+                b.iter(|| {
+                    buf.clear();
+                    xmit::encode_into(&case.record, &mut buf).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

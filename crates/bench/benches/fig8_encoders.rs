@@ -1,0 +1,37 @@
+//! Criterion bench for Figure 8: send-side encode times across binary
+//! communication mechanisms and message sizes (100 B … 100 KB).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use openmeta_bench::workloads::{figure8_record, FIGURE8_SIZES};
+use openmeta_pbio::{FormatRegistry, MachineModel};
+use openmeta_wire::all_formats;
+
+fn bench(c: &mut Criterion) {
+    let registry = Arc::new(FormatRegistry::new(MachineModel::native()));
+    let formats = all_formats(registry.clone());
+    let mut group = c.benchmark_group("fig8_send_encode");
+    for target in FIGURE8_SIZES {
+        let (rec, actual) = figure8_record(&registry, target);
+        group.throughput(Throughput::Bytes(actual as u64));
+        for wire in &formats {
+            group.bench_with_input(
+                BenchmarkId::new(wire.name(), format!("{target}B")),
+                &rec,
+                |b, rec| {
+                    let mut buf = Vec::with_capacity(actual * 8);
+                    b.iter(|| {
+                        buf.clear();
+                        wire.encode(rec, &mut buf).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Regenerate every figure in one run (used to fill EXPERIMENTS.md).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (reg, enc, wire_iters) = if quick { (50, 20, 10) } else { (2000, 500, 200) };
+    println!("{}\n", openmeta_bench::reports::figure3_report(reg));
+    println!("{}\n", openmeta_bench::reports::figure6_report(reg));
+    println!("{}\n", openmeta_bench::reports::figure7_report(enc));
+    println!("{}\n", openmeta_bench::reports::figure8_report(wire_iters));
+    println!("{}\n", openmeta_bench::reports::figure8_decode_report(wire_iters));
+    println!("{}", openmeta_bench::reports::figure1_report(wire_iters));
+}

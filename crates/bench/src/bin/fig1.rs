@@ -1,0 +1,7 @@
+//! Regenerate Figure 1 / §4's XML-vs-binary claims.  `--quick` for fewer
+//! iterations.
+
+fn main() {
+    let iters = if std::env::args().any(|a| a == "--quick") { 10 } else { 200 };
+    println!("{}", openmeta_bench::reports::figure1_report(iters));
+}

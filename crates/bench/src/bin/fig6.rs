@@ -1,0 +1,6 @@
+//! Regenerate Figure 6: Hydrology registration costs and RDM.
+
+fn main() {
+    let iters = if std::env::args().any(|a| a == "--quick") { 50 } else { 2000 };
+    println!("{}", openmeta_bench::reports::figure6_report(iters));
+}

@@ -1,0 +1,6 @@
+//! Regenerate Figure 7: encode times, native vs XMIT metadata.
+
+fn main() {
+    let iters = if std::env::args().any(|a| a == "--quick") { 20 } else { 500 };
+    println!("{}", openmeta_bench::reports::figure7_report(iters));
+}

@@ -1,0 +1,139 @@
+//! Shared workloads and measurement helpers for the figure harnesses.
+//!
+//! Every quantitative figure in the paper's evaluation has a regenerator
+//! here (see DESIGN.md §4 for the experiment index):
+//!
+//! * **Figure 3** — proof-of-concept format registration, PBIO vs XMIT,
+//!   for structures of 32 / 52 / 180 bytes (SPARC32 sizes), reporting the
+//!   Remote Discovery Multiplier.
+//! * **Figure 6** — the same measurement over the four Hydrology formats
+//!   (12 / 20 / 44 / 152 bytes).
+//! * **Figure 7** — structure encoding times with natively registered vs
+//!   XMIT-generated metadata, across encoded sizes up to ~256 KiB.
+//! * **Figure 8** — send-side encode times for PBIO / MPI / CDR / XDR /
+//!   XML across 100 B … 100 KB binary payloads.
+//! * **Figure 1 (+ §4.1/§5 claims)** — XML expansion factor and the ~2×
+//!   latency of XML-wire vs XMIT for the `SimpleData` exchange.
+
+pub mod reports;
+pub mod workloads;
+
+use std::time::{Duration, Instant};
+
+/// Run `f` once per iteration and return the mean wall time.
+///
+/// `setup` runs outside the timed region each iteration (fresh registries
+/// for registration benchmarks, reused buffers for encode benchmarks).
+pub fn time_mean<S, T>(iters: usize, mut setup: impl FnMut() -> S, mut f: impl FnMut(S) -> T) -> Duration {
+    assert!(iters > 0);
+    // One warm-up pass keeps first-touch page faults out of the numbers.
+    let s = setup();
+    std::hint::black_box(f(s));
+    let mut total = Duration::ZERO;
+    for _ in 0..iters {
+        let s = setup();
+        let start = Instant::now();
+        let out = f(s);
+        total += start.elapsed();
+        std::hint::black_box(out);
+    }
+    total / iters as u32
+}
+
+/// Format a duration in the paper's milliseconds with three decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.4}", d.as_secs_f64() * 1e3)
+}
+
+/// Format a duration adaptively (ns/µs/ms) for readable tables.
+pub fn pretty(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    }
+}
+
+/// A markdown-ish table printer shared by the figure binaries.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Add one row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                s.push_str(&format!(" {:<w$} |", c, w = widths[i]));
+            }
+            s
+        };
+        let mut out = line(&self.headers);
+        out.push('\n');
+        out.push('|');
+        for w in &widths {
+            out.push_str(&format!("{:-<w$}|", "", w = w + 2));
+        }
+        for row in &self.rows {
+            out.push('\n');
+            out.push_str(&line(row));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_mean_measures_something() {
+        let d = time_mean(3, || (), |()| {
+            let mut x = 0u64;
+            for i in 0..1000 {
+                x = x.wrapping_add(i);
+            }
+            x
+        });
+        assert!(d > Duration::ZERO);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["a", "long header"]);
+        t.row(vec!["x".to_string(), "1".to_string()]);
+        let s = t.render();
+        assert!(s.contains("| a | long header |"));
+        assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(ms(Duration::from_micros(250)), "0.2500");
+        assert!(pretty(Duration::from_nanos(500)).ends_with("ns"));
+        assert!(pretty(Duration::from_micros(50)).ends_with("µs"));
+        assert!(pretty(Duration::from_millis(50)).ends_with("ms"));
+    }
+}

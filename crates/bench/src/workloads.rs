@@ -1,0 +1,276 @@
+//! Workload definitions for the figure regenerators.
+
+use std::sync::Arc;
+
+use openmeta_pbio::{FormatRegistry, FormatSpec, IOField, MachineModel, RawRecord};
+use openmeta_schema::{parse_str, to_xml, SchemaDocument};
+use xmit::{map_document, Xmit};
+
+// Re-exported so binaries need only this crate.
+pub use openmeta_hydrology::hydrology_schema_xml;
+
+const XSD: &str = "http://www.w3.org/2001/XMLSchema";
+
+/// One registration benchmark case: the same format(s) as compiled-in
+/// PBIO metadata and as an XMIT XML document.
+pub struct RegistrationCase {
+    /// Case label (the outermost format name).
+    pub name: &'static str,
+    /// `sizeof(struct)` on the paper's SPARC32 testbed (the x-axis of
+    /// Figures 3 and 6).
+    pub sparc_size: usize,
+    /// The XML metadata document defining the format (and any composed
+    /// formats it needs).
+    pub xml: String,
+    /// The equivalent compiled-in specs, dependencies first.
+    pub compiled: Vec<FormatSpec>,
+}
+
+impl RegistrationCase {
+    fn build(name: &'static str, sparc_size: usize, xml: String) -> RegistrationCase {
+        // "Compiled-in" metadata is exactly what the XML maps to; it is
+        // derived once here, outside any timed region.
+        let doc = parse_str(&xml).expect("workload XML must be valid schema");
+        let compiled =
+            map_document(&doc, &MachineModel::SPARC32).expect("workload XML must map");
+        let case = RegistrationCase { name, sparc_size, xml, compiled };
+        case.verify();
+        case
+    }
+
+    fn verify(&self) {
+        let reg = FormatRegistry::new(MachineModel::SPARC32);
+        let mut last = None;
+        for spec in &self.compiled {
+            last = Some(reg.register(spec.clone()).expect("workload spec must register"));
+        }
+        let desc = last.expect("at least one spec");
+        assert_eq!(
+            desc.record_size, self.sparc_size,
+            "{}: SPARC32 sizeof mismatch",
+            self.name
+        );
+    }
+}
+
+/// The three proof-of-concept structures of Figure 3: SPARC32 sizes
+/// 32, 52 and 180 bytes, the largest "constructed primarily of composing
+/// other structures" (§4.5's contrast case).
+pub fn figure3_cases() -> Vec<RegistrationCase> {
+    let point_body = r#"
+             <xsd:element name="label" type="xsd:string" />
+             <xsd:element name="id" type="xsd:integer" />
+             <xsd:element name="x" type="xsd:float" />
+             <xsd:element name="y" type="xsd:float" />
+             <xsd:element name="z" type="xsd:float" />
+             <xsd:element name="t" type="xsd:unsignedLong" />
+             <xsd:element name="flags" type="xsd:integer" />
+             <xsd:element name="w" type="xsd:float" />"#;
+    let bounds_body = r#"
+             <xsd:element name="min" type="xsd:float" maxOccurs="6" />
+             <xsd:element name="max" type="xsd:float" maxOccurs="6" />
+             <xsd:element name="dim" type="xsd:integer" />"#;
+    let point = format!(
+        r#"<xsd:complexType name="PointData" xmlns:xsd="{XSD}">{point_body}
+           </xsd:complexType>"#
+    );
+    let bounds = format!(
+        r#"<xsd:complexType name="BoundsData" xmlns:xsd="{XSD}">{bounds_body}
+           </xsd:complexType>"#
+    );
+    let region = format!(
+        r#"<xsd:schema xmlns:xsd="{XSD}">
+             <xsd:complexType name="PointData">{point_body}
+             </xsd:complexType>
+             <xsd:complexType name="BoundsData">{bounds_body}
+             </xsd:complexType>
+             <xsd:complexType name="RegionData">
+               <xsd:element name="a" type="PointData" />
+               <xsd:element name="b" type="PointData" />
+               <xsd:element name="bounds" type="BoundsData" />
+               <xsd:element name="name" type="xsd:string" />
+               <xsd:element name="region_id" type="xsd:integer" />
+               <xsd:element name="color" type="xsd:float" maxOccurs="12" />
+               <xsd:element name="count" type="xsd:integer" />
+               <xsd:element name="stamp" type="xsd:unsignedLong" />
+             </xsd:complexType>
+           </xsd:schema>"#
+    );
+    vec![
+        RegistrationCase::build("PointData", 32, point),
+        RegistrationCase::build("BoundsData", 52, bounds),
+        RegistrationCase::build("RegionData", 180, region),
+    ]
+}
+
+/// The four Hydrology formats of Figure 6 (12 / 20 / 44 / 152 bytes),
+/// each as a standalone document exactly as the application loads them.
+pub fn figure6_cases() -> Vec<RegistrationCase> {
+    let doc = parse_str(&hydrology_schema_xml()).expect("hydrology schema");
+    let standalone = |name: &str| {
+        let t = doc.types.iter().find(|t| t.name == name).expect("known type").clone();
+        to_xml(&SchemaDocument { types: vec![t], enums: vec![] })
+    };
+    vec![
+        RegistrationCase::build("SimpleData", 12, standalone("SimpleData")),
+        RegistrationCase::build("JoinRequest", 20, standalone("JoinRequest")),
+        RegistrationCase::build("ControlMsg", 44, standalone("ControlMsg")),
+        RegistrationCase::build("GridMetadata", 152, standalone("GridMetadata")),
+    ]
+}
+
+/// Figure 7 / Figure 1 record builders.
+pub struct EncodeCase {
+    /// Case label.
+    pub name: String,
+    /// The record to encode.
+    pub record: RawRecord,
+    /// PBIO-encoded size in bytes (measured, reported in the table).
+    pub encoded_size: usize,
+}
+
+/// Build the Figure 7 Hydrology records: three small control-plane
+/// messages plus a bulk `FlowField2D` around 256 KiB encoded — spanning
+/// the paper's 48 → 262176 byte range.
+pub fn figure7_cases() -> (Arc<Xmit>, Vec<EncodeCase>) {
+    let toolkit = Arc::new(Xmit::new(MachineModel::native()));
+    toolkit.load_str(&hydrology_schema_xml()).expect("hydrology schema");
+
+    let mut cases = Vec::new();
+    let mut push = |name: &str, record: RawRecord| {
+        let encoded_size = xmit::encode(&record).expect("encodable").len();
+        cases.push(EncodeCase { name: name.to_string(), record, encoded_size });
+    };
+
+    let simple = toolkit.bind("SimpleData").unwrap();
+    let mut rec = simple.new_record();
+    rec.set_i64("timestep", 42).unwrap();
+    rec.set_f64_array("data", &[1.5f64; 4]).unwrap();
+    push("SimpleData(4)", rec);
+
+    let join = toolkit.bind("JoinRequest").unwrap();
+    let mut rec = join.new_record();
+    rec.set_string("name", "flow2d").unwrap();
+    rec.set_u64("server", 1).unwrap();
+    rec.set_u64("ip_addr", 0x7f00_0001).unwrap();
+    rec.set_u64("pid", 1234).unwrap();
+    rec.set_u64("ds_addr", 0xdead).unwrap();
+    push("JoinRequest", rec);
+
+    let grid = toolkit.bind("GridMetadata").unwrap();
+    let mut rec = grid.new_record();
+    rec.set_i64("nx", 512).unwrap();
+    rec.set_i64("ny", 512).unwrap();
+    rec.set_f64("dx", 0.5).unwrap();
+    rec.set_u64("checksum", 0xfeed).unwrap();
+    push("GridMetadata", rec);
+
+    let flow = toolkit.bind("FlowField2D").unwrap();
+    let frame = openmeta_hydrology::FlowDataset::new(128, 128, 7).frame_at(0);
+    let rec = openmeta_hydrology::components::build_flow_record(&flow, &frame).unwrap();
+    push("FlowField2D(128x128)", rec);
+
+    (toolkit, cases)
+}
+
+/// The binary payload sizes of Figure 8's x-axis.
+pub const FIGURE8_SIZES: [usize; 4] = [100, 1_000, 10_000, 100_000];
+
+/// Build a Figure 8 record whose PBIO-encoded size is close to `target`
+/// bytes: a realistic mixed message (ids, a tag string, a bulk double
+/// array sized to fill the budget).
+pub fn figure8_record(registry: &Arc<FormatRegistry>, target: usize) -> (RawRecord, usize) {
+    let fmt = registry
+        .register(FormatSpec::new(
+            "Payload",
+            vec![
+                IOField::auto("seq", "integer", 4),
+                IOField::auto("source", "string", 0),
+                IOField::auto("n", "integer", 4),
+                IOField::auto("values", "float[n]", 8),
+            ],
+        ))
+        .expect("payload format");
+    let mut rec = RawRecord::new(fmt);
+    rec.set_i64("seq", 7).unwrap();
+    rec.set_string("source", "sensor-03").unwrap();
+    rec.set_f64_array("values", &[0.0]).unwrap();
+    let overhead = xmit::encode(&rec).unwrap().len() - 8;
+    let n = target.saturating_sub(overhead).max(8) / 8;
+    let values: Vec<f64> = (0..n).map(|i| i as f64 * 0.25).collect();
+    rec.set_f64_array("values", &values).unwrap();
+    let size = xmit::encode(&rec).unwrap().len();
+    (rec, size)
+}
+
+/// The Figure 1 `SimpleData` message: 3355 floats, as in the paper's
+/// "XML messages are 3 times larger" exchange.
+pub fn figure1_record() -> (Arc<Xmit>, RawRecord) {
+    let toolkit = Arc::new(Xmit::new(MachineModel::native()));
+    toolkit.load_str(&hydrology_schema_xml()).expect("hydrology schema");
+    let token = toolkit.bind("SimpleData").unwrap();
+    let mut rec = token.new_record();
+    rec.set_i64("timestep", 9999).unwrap();
+    let data: Vec<f64> = (0..3355).map(|i| 12.345 + (i % 7) as f64 * 0.125).collect();
+    rec.set_f64_array("data", &data).unwrap();
+    (toolkit, rec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_sizes_verified_at_build() {
+        let cases = figure3_cases();
+        assert_eq!(cases.len(), 3);
+        assert_eq!(cases.iter().map(|c| c.sparc_size).collect::<Vec<_>>(), vec![32, 52, 180]);
+    }
+
+    #[test]
+    fn figure6_sizes_verified_at_build() {
+        let cases = figure6_cases();
+        assert_eq!(
+            cases.iter().map(|c| c.sparc_size).collect::<Vec<_>>(),
+            vec![12, 20, 44, 152]
+        );
+    }
+
+    #[test]
+    fn figure7_span_reaches_bulk_sizes() {
+        let (_toolkit, cases) = figure7_cases();
+        assert!(cases.first().unwrap().encoded_size < 120);
+        assert!(cases.last().unwrap().encoded_size > 200_000);
+    }
+
+    #[test]
+    fn figure8_record_sizes_close_to_targets() {
+        let reg = Arc::new(FormatRegistry::new(MachineModel::native()));
+        for target in FIGURE8_SIZES {
+            let (_, size) = figure8_record(&reg, target);
+            let err = (size as f64 - target as f64).abs() / target as f64;
+            assert!(err < 0.25, "target {target}, got {size}");
+        }
+    }
+
+    #[test]
+    fn figure1_record_is_3355_floats() {
+        let (_t, rec) = figure1_record();
+        assert_eq!(rec.get_i64("size").unwrap(), 3355);
+    }
+
+    #[test]
+    fn xmit_and_compiled_metadata_agree_per_case() {
+        for case in figure3_cases().into_iter().chain(figure6_cases()) {
+            let toolkit = Xmit::new(MachineModel::SPARC32);
+            toolkit.load_str(&case.xml).unwrap();
+            let token = toolkit.bind(case.name).unwrap();
+            let reg = FormatRegistry::new(MachineModel::SPARC32);
+            let mut compiled = None;
+            for spec in &case.compiled {
+                compiled = Some(reg.register(spec.clone()).unwrap());
+            }
+            assert_eq!(token.format, compiled.unwrap(), "{}", case.name);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! The five Hydrology components and their record plumbing.
+//!
+//! Every component discovers the shared formats through XMIT (none has a
+//! compiled-in message definition) and exchanges `FlowField2D` records
+//! downstream, a `JoinRequest` on connection, and `ControlMsg` feedback
+//! upstream — the solid and dashed arrows of Figure 5.
+
+use xmit::{BindingToken, RawRecord, XmitError};
+
+use crate::dataset::FlowFrame;
+
+/// Component names used in `JoinRequest.name`.
+pub const COMPONENTS: [&str; 5] = ["datafile", "presend", "flow2d", "coupler", "vis5d"];
+
+/// Control verbs carried in `ControlMsg.command`.
+pub mod control {
+    /// Change the presend decimation factor (`steps` = new factor).
+    pub const SET_DECIMATION: i64 = 1;
+    /// Stop the pipeline early.
+    pub const SHUTDOWN: i64 = 2;
+}
+
+/// Build the `JoinRequest` a component sends when it connects.
+pub fn build_join_request(
+    token: &BindingToken,
+    component: &str,
+    pid: u64,
+) -> Result<RawRecord, XmitError> {
+    let mut rec = token.new_record();
+    rec.set_string("name", component)?;
+    rec.set_u64("server", 1)?;
+    rec.set_u64("ip_addr", 0x7f00_0001)?;
+    rec.set_u64("pid", pid)?;
+    rec.set_u64("ds_addr", 0)?;
+    Ok(rec)
+}
+
+/// Build a `ControlMsg` for the feedback channel.
+pub fn build_control(
+    token: &BindingToken,
+    target: &str,
+    command: i64,
+    steps: i64,
+    note: &str,
+) -> Result<RawRecord, XmitError> {
+    let mut rec = token.new_record();
+    rec.set_string("target", target)?;
+    rec.set_i64("command", command)?;
+    rec.set_i64("steps", steps)?;
+    for i in 0..4 {
+        rec.set_elem_f64("params", i, 0.0)?;
+    }
+    rec.set_u64("deadline", 0)?;
+    rec.set_i64("priority", 1)?;
+    rec.set_i64("flags", 0)?;
+    rec.set_string("note", note)?;
+    Ok(rec)
+}
+
+/// Pack a [`FlowFrame`] into a `FlowField2D` record.
+pub fn build_flow_record(
+    token: &BindingToken,
+    frame: &FlowFrame,
+) -> Result<RawRecord, XmitError> {
+    let mut rec = token.new_record();
+    rec.set_i64("meta.nx", frame.nx as i64)?;
+    rec.set_i64("meta.ny", frame.ny as i64)?;
+    rec.set_i64("meta.nz", 1)?;
+    rec.set_i64("meta.timestep", frame.timestep)?;
+    rec.set_i64("meta.frame_id", frame.timestep)?;
+    rec.set_f64("meta.x_min", 0.0)?;
+    rec.set_f64("meta.x_max", 1.0)?;
+    rec.set_f64("meta.y_min", 0.0)?;
+    rec.set_f64("meta.y_max", 1.0)?;
+    rec.set_f64("meta.dx", 1.0 / frame.nx as f64)?;
+    rec.set_f64("meta.dy", 1.0 / frame.ny as f64)?;
+    rec.set_u64("meta.sim_time", frame.timestep as u64 * 100)?;
+    rec.set_u64("meta.seq", frame.timestep as u64)?;
+    rec.set_f64_array("depth", &frame.depth)?;
+    rec.set_f64_array("velocity", &frame.velocity)?;
+    Ok(rec)
+}
+
+/// Unpack a `FlowField2D` record back into a [`FlowFrame`].
+pub fn extract_frame(rec: &RawRecord) -> Result<FlowFrame, XmitError> {
+    Ok(FlowFrame {
+        timestep: rec.get_i64("meta.timestep")?,
+        nx: rec.get_i64("meta.nx")? as usize,
+        ny: rec.get_i64("meta.ny")? as usize,
+        depth: rec.get_f64_array("depth")?,
+        velocity: rec.get_f64_array("velocity")?,
+    })
+}
+
+/// The `flow2d` transformation: derive the momentum field
+/// `depth · |velocity|` per cell, which is what the visualization shows.
+pub fn flow2d_transform(frame: &FlowFrame) -> FlowFrame {
+    let mut momentum = Vec::with_capacity(frame.depth.len());
+    for (i, d) in frame.depth.iter().enumerate() {
+        let u = frame.velocity.get(2 * i).copied().unwrap_or(0.0);
+        let v = frame.velocity.get(2 * i + 1).copied().unwrap_or(0.0);
+        momentum.push(d * (u * u + v * v).sqrt());
+    }
+    FlowFrame {
+        timestep: frame.timestep,
+        nx: frame.nx,
+        ny: frame.ny,
+        depth: momentum,
+        velocity: frame.velocity.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::FlowDataset;
+    use crate::messages::hydrology_schema_xml;
+    use xmit::{MachineModel, Xmit};
+
+    fn toolkit() -> Xmit {
+        let t = Xmit::new(MachineModel::native());
+        t.load_str(&hydrology_schema_xml()).unwrap();
+        t
+    }
+
+    #[test]
+    fn flow_record_round_trip() {
+        let t = toolkit();
+        let token = t.bind("FlowField2D").unwrap();
+        let frame = FlowDataset::new(8, 4, 11).frame_at(3);
+        let rec = build_flow_record(&token, &frame).unwrap();
+        let wire = xmit::encode(&rec).unwrap();
+        let back = xmit::decode(&wire, t.registry()).unwrap();
+        assert_eq!(extract_frame(&back).unwrap(), frame);
+    }
+
+    #[test]
+    fn join_and_control_records_build() {
+        let t = toolkit();
+        let join = build_join_request(&t.bind("JoinRequest").unwrap(), "vis5d", 4242).unwrap();
+        assert_eq!(join.get_string("name").unwrap(), "vis5d");
+        assert_eq!(join.get_u64("pid").unwrap(), 4242);
+        let ctl = build_control(
+            &t.bind("ControlMsg").unwrap(),
+            "presend",
+            control::SET_DECIMATION,
+            4,
+            "slow client",
+        )
+        .unwrap();
+        assert_eq!(ctl.get_i64("command").unwrap(), control::SET_DECIMATION);
+        assert_eq!(ctl.get_i64("steps").unwrap(), 4);
+        assert_eq!(ctl.get_string("note").unwrap(), "slow client");
+    }
+
+    #[test]
+    fn transform_preserves_shape_and_time() {
+        let frame = FlowDataset::new(12, 9, 2).frame_at(7);
+        let out = flow2d_transform(&frame);
+        assert_eq!(out.timestep, 7);
+        assert_eq!(out.depth.len(), frame.depth.len());
+        assert_eq!(out.velocity, frame.velocity);
+        // Momentum is non-negative everywhere.
+        assert!(out.depth.iter().all(|&m| m >= 0.0));
+        // And not identically zero (the field does rotate).
+        assert!(out.depth.iter().any(|&m| m > 1e-6));
+    }
+
+    #[test]
+    fn transform_scales_with_depth() {
+        let frame = FlowFrame {
+            timestep: 0,
+            nx: 2,
+            ny: 1,
+            depth: vec![1.0, 2.0],
+            velocity: vec![3.0, 4.0, 3.0, 4.0], // |v| = 5 at both cells
+        };
+        let out = flow2d_transform(&frame);
+        assert_eq!(out.depth, vec![5.0, 10.0]);
+    }
+}

@@ -1,0 +1,238 @@
+//! Synthetic hydrology dataset.
+//!
+//! The original demo visualized environmental hydrology simulation output
+//! read "from a file" (Figure 5).  We do not have NCSA's data files, so
+//! this module generates a deterministic 2-D shallow-water-like flow
+//! field: a water depth surface with travelling waves plus a rotating
+//! velocity field, parameterized by grid size and seeded RNG (see
+//! DESIGN.md substitutions — the pipeline and the measurements depend
+//! only on message shapes and sizes, which this preserves).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One timestep of simulated flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowFrame {
+    /// Simulation timestep index.
+    pub timestep: i64,
+    /// Grid width (cells).
+    pub nx: usize,
+    /// Grid height (cells).
+    pub ny: usize,
+    /// Water depth per cell, row-major, `nx * ny` values.
+    pub depth: Vec<f64>,
+    /// Velocity components, interleaved `(u, v)` per cell: `2 * nx * ny`.
+    pub velocity: Vec<f64>,
+}
+
+impl FlowFrame {
+    /// Minimum, maximum and mean depth (what the Vis5D sink displays).
+    pub fn depth_stats(&self) -> (f64, f64, f64) {
+        summarize(&self.depth)
+    }
+}
+
+pub(crate) fn summarize(values: &[f64]) -> (f64, f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    for &v in values {
+        min = min.min(v);
+        max = max.max(v);
+        sum += v;
+    }
+    (min, max, sum / values.len() as f64)
+}
+
+/// A deterministic generator of [`FlowFrame`]s.
+#[derive(Debug)]
+pub struct FlowDataset {
+    nx: usize,
+    ny: usize,
+    /// `(phase, frequency, amplitude)` per wave component.
+    phases: Vec<(f64, f64, f64)>,
+    /// Base depth in metres.
+    base_depth: f64,
+    next_step: i64,
+}
+
+impl FlowDataset {
+    /// A dataset over an `nx × ny` grid, deterministic in `seed`.
+    pub fn new(nx: usize, ny: usize, seed: u64) -> FlowDataset {
+        assert!(nx > 0 && ny > 0, "grid must be non-empty");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let phases = (0..4)
+            .map(|_| {
+                (
+                    rng.random_range(0.0..std::f64::consts::TAU),
+                    rng.random_range(0.5..2.0),
+                    rng.random_range(0.02..0.2),
+                )
+            })
+            .collect();
+        FlowDataset { nx, ny, phases, base_depth: 2.0, next_step: 0 }
+    }
+
+    /// Grid dimensions.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Generate the frame for an arbitrary timestep (stateless in `t`).
+    pub fn frame_at(&self, t: i64) -> FlowFrame {
+        let (nx, ny) = (self.nx, self.ny);
+        let mut depth = Vec::with_capacity(nx * ny);
+        let mut velocity = Vec::with_capacity(2 * nx * ny);
+        let time = t as f64 * 0.1;
+        for j in 0..ny {
+            for i in 0..nx {
+                let x = i as f64 / nx as f64;
+                let y = j as f64 / ny as f64;
+                let mut d = self.base_depth;
+                for &(phase, freq, amp) in &self.phases {
+                    d += amp
+                        * (std::f64::consts::TAU * (freq * (x + y) + 0.3 * time) + phase).sin();
+                }
+                depth.push(d);
+                // A gentle rotation around the domain centre whose speed
+                // follows the gravity-wave scaling sqrt(g·d).
+                let (cx, cy) = (x - 0.5, y - 0.5);
+                let speed = (9.81 * d).sqrt() * 0.2;
+                velocity.push(-cy * speed);
+                velocity.push(cx * speed);
+            }
+        }
+        FlowFrame { timestep: t, nx, ny, depth, velocity }
+    }
+
+    /// Generate the next frame in sequence.
+    pub fn next_frame(&mut self) -> FlowFrame {
+        let f = self.frame_at(self.next_step);
+        self.next_step += 1;
+        f
+    }
+}
+
+impl Iterator for FlowDataset {
+    type Item = FlowFrame;
+
+    fn next(&mut self) -> Option<FlowFrame> {
+        Some(self.next_frame())
+    }
+}
+
+/// Write `timesteps` frames to a self-describing PBIO data file — the
+/// literal "data file" at the head of Figure 5's pipeline.
+///
+/// The file carries `FlowField2D` records (formats interleaved), so any
+/// PBIO reader — the pipeline source, `openmeta inspect`, a future
+/// analysis tool — can replay the dataset with no other metadata.
+pub fn write_dataset_file(
+    path: &std::path::Path,
+    nx: usize,
+    ny: usize,
+    timesteps: usize,
+    seed: u64,
+) -> Result<(), xmit::XmitError> {
+    use crate::components::build_flow_record;
+    use crate::messages::hydrology_schema_xml;
+    let toolkit = xmit::Xmit::new(xmit::MachineModel::native());
+    toolkit.load_str(&hydrology_schema_xml())?;
+    let token = toolkit.bind("FlowField2D")?;
+    let file = std::fs::File::create(path)
+        .map_err(|e| xmit::XmitError::Bcm(openmeta_pbio::PbioError::Io(e.to_string())))?;
+    let mut writer = openmeta_pbio::file::FileWriter::new(std::io::BufWriter::new(file))
+        .map_err(xmit::XmitError::Bcm)?;
+    let mut ds = FlowDataset::new(nx, ny, seed);
+    for _ in 0..timesteps {
+        let rec = build_flow_record(&token, &ds.next_frame())?;
+        writer.write_record(&rec).map_err(xmit::XmitError::Bcm)?;
+    }
+    writer.finish().map_err(xmit::XmitError::Bcm)?;
+    Ok(())
+}
+
+/// Read every frame back from a dataset file written by
+/// [`write_dataset_file`].
+pub fn read_dataset_file(path: &std::path::Path) -> Result<Vec<FlowFrame>, xmit::XmitError> {
+    use crate::components::extract_frame;
+    let file = std::fs::File::open(path)
+        .map_err(|e| xmit::XmitError::Bcm(openmeta_pbio::PbioError::Io(e.to_string())))?;
+    let mut reader = openmeta_pbio::file::FileReader::new(std::io::BufReader::new(file))
+        .map_err(xmit::XmitError::Bcm)?;
+    let mut frames = Vec::new();
+    while let Some(rec) = reader.next_record().map_err(xmit::XmitError::Bcm)? {
+        if rec.format().name == "FlowField2D" {
+            frames.push(extract_frame(&rec)?);
+        }
+    }
+    Ok(frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = FlowDataset::new(16, 8, 42).frame_at(5);
+        let b = FlowDataset::new(16, 8, 42).frame_at(5);
+        assert_eq!(a, b);
+        let c = FlowDataset::new(16, 8, 43).frame_at(5);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shapes_are_consistent() {
+        let f = FlowDataset::new(10, 7, 1).frame_at(0);
+        assert_eq!(f.depth.len(), 70);
+        assert_eq!(f.velocity.len(), 140);
+    }
+
+    #[test]
+    fn frames_evolve_over_time() {
+        let ds = FlowDataset::new(8, 8, 7);
+        assert_ne!(ds.frame_at(0).depth, ds.frame_at(10).depth);
+    }
+
+    #[test]
+    fn sequential_iteration_matches_frame_at() {
+        let mut ds = FlowDataset::new(6, 6, 3);
+        let expected = ds.frame_at(2);
+        ds.next_frame();
+        ds.next_frame();
+        assert_eq!(ds.next_frame(), expected);
+    }
+
+    #[test]
+    fn depth_stays_physical() {
+        let f = FlowDataset::new(32, 32, 99).frame_at(17);
+        let (min, max, mean) = f.depth_stats();
+        assert!(min > 0.5, "depth must stay positive, got {min}");
+        assert!(max < 4.0);
+        assert!((1.0..3.0).contains(&mean));
+    }
+
+    #[test]
+    fn summarize_handles_empty() {
+        assert_eq!(summarize(&[]), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn dataset_file_round_trips() {
+        let dir = std::env::temp_dir().join(format!("openmeta-hydro-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("flow.pbio");
+        write_dataset_file(&path, 10, 6, 3, 42).unwrap();
+        let frames = read_dataset_file(&path).unwrap();
+        assert_eq!(frames.len(), 3);
+        let mut ds = FlowDataset::new(10, 6, 42);
+        for f in &frames {
+            assert_eq!(*f, ds.next_frame());
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! The shared message formats of the Hydrology application.
+//!
+//! Figure 4 of the paper shows two of them (`JoinRequest`, `SimpleData`)
+//! with their C structs; Figure 6 measures registration cost for four
+//! formats with structure sizes 12, 20, 44 and 152 bytes on the SPARC32
+//! testbed.  The four formats below reproduce those sizes exactly:
+//!
+//! | format | SPARC32 `sizeof` | role |
+//! |---|---|---|
+//! | `SimpleData`   | 12  | timestep + dynamic float payload (Figure 4) |
+//! | `JoinRequest`  | 20  | component registration (Figure 4) |
+//! | `ControlMsg`   | 44  | the dashed feedback channels of Figure 5 |
+//! | `GridMetadata` | 152 | "a large number of primitive data types" (§4.5) |
+//!
+//! plus `FlowField2D`, the bulk data message whose encoded sizes drive
+//! Figure 7.
+
+use openmeta_ohttp::HttpServer;
+
+/// Names of every Hydrology format, in dependency order.
+pub const HYDROLOGY_TYPES: [&str; 5] =
+    ["SimpleData", "JoinRequest", "ControlMsg", "GridMetadata", "FlowField2D"];
+
+/// The path the formats are published under on the metadata server.
+pub const FORMATS_PATH: &str = "/formats/hydrology.xsd";
+
+/// The complete metadata document, as hosted on the HTTP server.
+pub fn hydrology_schema_xml() -> String {
+    r#"<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="SimpleData">
+    <xsd:element name="timestep" type="xsd:integer" />
+    <xsd:element name="data" type="xsd:float" minOccurs="0" maxOccurs="*"
+        dimensionPlacement="before" dimensionName="size" />
+  </xsd:complexType>
+
+  <xsd:complexType name="JoinRequest">
+    <xsd:element name="name" type="xsd:string" />
+    <xsd:element name="server" type="xsd:unsignedLong" />
+    <xsd:element name="ip_addr" type="xsd:unsignedLong" />
+    <xsd:element name="pid" type="xsd:unsignedLong" />
+    <xsd:element name="ds_addr" type="xsd:unsignedLong" />
+  </xsd:complexType>
+
+  <xsd:complexType name="ControlMsg">
+    <xsd:element name="target" type="xsd:string" />
+    <xsd:element name="command" type="xsd:integer" />
+    <xsd:element name="steps" type="xsd:integer" />
+    <xsd:element name="params" type="xsd:float" maxOccurs="4" />
+    <xsd:element name="deadline" type="xsd:unsignedLong" />
+    <xsd:element name="priority" type="xsd:integer" />
+    <xsd:element name="flags" type="xsd:integer" />
+    <xsd:element name="note" type="xsd:string" />
+  </xsd:complexType>
+
+  <xsd:complexType name="GridMetadata">
+    <xsd:element name="nx" type="xsd:integer" />
+    <xsd:element name="ny" type="xsd:integer" />
+    <xsd:element name="nz" type="xsd:integer" />
+    <xsd:element name="timestep" type="xsd:integer" />
+    <xsd:element name="frame_id" type="xsd:integer" />
+    <xsd:element name="layer" type="xsd:integer" />
+    <xsd:element name="x_min" type="xsd:float" />
+    <xsd:element name="x_max" type="xsd:float" />
+    <xsd:element name="y_min" type="xsd:float" />
+    <xsd:element name="y_max" type="xsd:float" />
+    <xsd:element name="z_min" type="xsd:float" />
+    <xsd:element name="z_max" type="xsd:float" />
+    <xsd:element name="dx" type="xsd:float" />
+    <xsd:element name="dy" type="xsd:float" />
+    <xsd:element name="dz" type="xsd:float" />
+    <xsd:element name="origin_x" type="xsd:float" />
+    <xsd:element name="origin_y" type="xsd:float" />
+    <xsd:element name="sim_time" type="xsd:unsignedLong" />
+    <xsd:element name="wall_time" type="xsd:unsignedLong" />
+    <xsd:element name="velocity_scale" type="xsd:float" />
+    <xsd:element name="depth_scale" type="xsd:float" />
+    <xsd:element name="rainfall" type="xsd:float" />
+    <xsd:element name="evaporation" type="xsd:float" />
+    <xsd:element name="infiltration" type="xsd:float" />
+    <xsd:element name="manning_n" type="xsd:float" />
+    <xsd:element name="bc_north" type="xsd:integer" />
+    <xsd:element name="bc_south" type="xsd:integer" />
+    <xsd:element name="bc_east" type="xsd:integer" />
+    <xsd:element name="bc_west" type="xsd:integer" />
+    <xsd:element name="cfl" type="xsd:float" />
+    <xsd:element name="t_start" type="xsd:float" />
+    <xsd:element name="t_end" type="xsd:float" />
+    <xsd:element name="dt" type="xsd:float" />
+    <xsd:element name="iterations" type="xsd:integer" />
+    <xsd:element name="solver" type="xsd:integer" />
+    <xsd:element name="precision_flag" type="xsd:integer" />
+    <xsd:element name="checksum" type="xsd:unsignedLong" />
+    <xsd:element name="seq" type="xsd:nonNegativeInteger" />
+  </xsd:complexType>
+
+  <xsd:complexType name="FlowField2D">
+    <xsd:element name="meta" type="GridMetadata" />
+    <xsd:element name="depth" type="xsd:double" minOccurs="0" maxOccurs="*"
+        dimensionPlacement="before" dimensionName="ncells" />
+    <xsd:element name="velocity" type="xsd:double" minOccurs="0" maxOccurs="*"
+        dimensionPlacement="before" dimensionName="nvel" />
+  </xsd:complexType>
+</xsd:schema>
+"#
+    .to_string()
+}
+
+/// Publish the Hydrology formats on an HTTP server; returns the URL
+/// components should load.
+pub fn publish_formats(server: &HttpServer) -> String {
+    server.put_xml(FORMATS_PATH, hydrology_schema_xml());
+    server.url_for(FORMATS_PATH)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmit::{MachineModel, Xmit};
+
+    /// Figure 6's x-axis: the four structure sizes measured in the paper.
+    #[test]
+    fn sparc32_structure_sizes_match_figure_6() {
+        let toolkit = Xmit::new(MachineModel::SPARC32);
+        toolkit.load_str(&hydrology_schema_xml()).unwrap();
+        let size = |name: &str| toolkit.bind(name).unwrap().format.record_size;
+        assert_eq!(size("SimpleData"), 12);
+        assert_eq!(size("JoinRequest"), 20);
+        assert_eq!(size("ControlMsg"), 44);
+        assert_eq!(size("GridMetadata"), 152);
+    }
+
+    #[test]
+    fn all_types_bind_on_native_machine() {
+        let toolkit = Xmit::new(MachineModel::native());
+        let names = toolkit.load_str(&hydrology_schema_xml()).unwrap();
+        assert_eq!(names.len(), HYDROLOGY_TYPES.len());
+        for name in HYDROLOGY_TYPES {
+            toolkit.bind(name).unwrap_or_else(|e| panic!("bind {name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn flow_field_nests_grid_metadata() {
+        let toolkit = Xmit::new(MachineModel::native());
+        toolkit.load_str(&hydrology_schema_xml()).unwrap();
+        let token = toolkit.bind("FlowField2D").unwrap();
+        assert!(token.format.field_path("meta.nx").is_some());
+        assert_eq!(token.format.varlen_slots().len(), 2);
+    }
+
+    #[test]
+    fn formats_discoverable_over_http() {
+        let server = openmeta_ohttp::HttpServer::start().unwrap();
+        let url = publish_formats(&server);
+        let toolkit = Xmit::new(MachineModel::native());
+        let names = toolkit.load_url(&url).unwrap();
+        assert!(names.contains(&"FlowField2D".to_string()));
+        assert_eq!(server.hit_count(), 1);
+    }
+
+    /// The paper's §4.5 observation: GridMetadata has ~4× the field count
+    /// of the proof-of-concept structures, which is why its RDM is higher.
+    #[test]
+    fn grid_metadata_is_field_heavy() {
+        let toolkit = Xmit::new(MachineModel::SPARC32);
+        toolkit.load_str(&hydrology_schema_xml()).unwrap();
+        let grid = toolkit.bind("GridMetadata").unwrap();
+        let join = toolkit.bind("JoinRequest").unwrap();
+        assert!(grid.format.total_field_count() >= 7 * join.format.total_field_count() / 2);
+    }
+}

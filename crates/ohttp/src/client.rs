@@ -1,0 +1,219 @@
+//! A small HTTP/1.1 GET client.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::error::HttpError;
+use crate::url::Url;
+
+/// A successful HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code (always 2xx here; other codes become errors).
+    pub status: u16,
+    /// `Content-Type` header, if present.
+    pub content_type: Option<String>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Body as UTF-8 text.
+    pub fn text(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| HttpError::BadResponse("body is not UTF-8".to_string()))
+    }
+}
+
+/// Fetch `url` with a GET request.  Non-2xx statuses become
+/// [`HttpError::Status`].
+pub fn http_get(url: &Url) -> Result<Response, HttpError> {
+    if url.scheme != "http" {
+        return Err(HttpError::UnsupportedScheme(url.scheme.clone()));
+    }
+    let stream = TcpStream::connect(url.authority())?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let mut writer = stream.try_clone()?;
+    let request = format!(
+        "GET {} HTTP/1.1\r\nHost: {}\r\nUser-Agent: openmeta-xmit/0.1\r\n\
+         Accept: text/xml, */*\r\nConnection: close\r\n\r\n",
+        url.path, url.host
+    );
+    writer.write_all(request.as_bytes())?;
+    writer.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status_line = status_line.trim_end();
+    let mut parts = status_line.splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadResponse(format!("bad status line '{status_line}'")));
+    }
+    let code: u16 = parts
+        .next()
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| HttpError::BadResponse(format!("bad status line '{status_line}'")))?;
+    let reason = parts.next().unwrap_or("").to_string();
+
+    let mut content_length: Option<usize> = None;
+    let mut content_type: Option<String> = None;
+    let mut chunked = false;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(HttpError::BadResponse("connection closed inside headers".to_string()));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadResponse(format!("malformed header '{line}'")));
+        };
+        let value = value.trim();
+        match name.to_ascii_lowercase().as_str() {
+            "content-length" => {
+                content_length = Some(value.parse().map_err(|_| {
+                    HttpError::BadResponse(format!("bad Content-Length '{value}'"))
+                })?)
+            }
+            "content-type" => content_type = Some(value.to_string()),
+            "transfer-encoding" if value.eq_ignore_ascii_case("chunked") => chunked = true,
+            _ => {}
+        }
+    }
+
+    let body = if chunked {
+        read_chunked(&mut reader)?
+    } else if let Some(len) = content_length {
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body)?;
+        body
+    } else {
+        // Connection: close framing.
+        let mut body = Vec::new();
+        reader.read_to_end(&mut body)?;
+        body
+    };
+
+    if !(200..300).contains(&code) {
+        return Err(HttpError::Status { code, reason });
+    }
+    Ok(Response { status: code, content_type, body })
+}
+
+fn read_chunked<R: BufRead>(reader: &mut R) -> Result<Vec<u8>, HttpError> {
+    let mut body = Vec::new();
+    loop {
+        let mut size_line = String::new();
+        if reader.read_line(&mut size_line)? == 0 {
+            return Err(HttpError::BadResponse("EOF inside chunked body".to_string()));
+        }
+        let size_str = size_line.trim().split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_str, 16)
+            .map_err(|_| HttpError::BadResponse(format!("bad chunk size '{size_str}'")))?;
+        if size == 0 {
+            // Trailer section ends with a blank line.
+            loop {
+                let mut t = String::new();
+                if reader.read_line(&mut t)? == 0 || t == "\r\n" || t == "\n" {
+                    break;
+                }
+            }
+            return Ok(body);
+        }
+        let start = body.len();
+        body.resize(start + size, 0);
+        reader.read_exact(&mut body[start..])?;
+        let mut crlf = [0u8; 2];
+        reader.read_exact(&mut crlf)?;
+        if &crlf != b"\r\n" {
+            return Err(HttpError::BadResponse("chunk not CRLF-terminated".to_string()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use std::net::TcpListener;
+
+    /// A one-shot server that replies with a fixed byte string.
+    fn canned(reply: &'static [u8]) -> std::net::SocketAddr {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            if let Ok((mut s, _)) = listener.accept() {
+                // Read the request (best effort), then reply.
+                let mut buf = [0u8; 1024];
+                use std::io::Read as _;
+                let _ = s.read(&mut buf);
+                let _ = s.write_all(reply);
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn parses_content_length_response() {
+        let addr =
+            canned(b"HTTP/1.1 200 OK\r\nContent-Type: text/xml\r\nContent-Length: 4\r\n\r\n<a/>");
+        let url = Url::parse(&format!("http://{addr}/x")).unwrap();
+        let r = http_get(&url).unwrap();
+        assert_eq!(r.body, b"<a/>");
+        assert_eq!(r.text().unwrap(), "<a/>");
+    }
+
+    #[test]
+    fn parses_chunked_response() {
+        let addr = canned(
+            b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n\
+              3\r\n<a>\r\n4\r\n</a>\r\n0\r\n\r\n",
+        );
+        let url = Url::parse(&format!("http://{addr}/x")).unwrap();
+        let r = http_get(&url).unwrap();
+        assert_eq!(r.body, b"<a></a>");
+    }
+
+    #[test]
+    fn parses_close_framed_response() {
+        let addr = canned(b"HTTP/1.1 200 OK\r\n\r\nhello");
+        let url = Url::parse(&format!("http://{addr}/x")).unwrap();
+        assert_eq!(http_get(&url).unwrap().body, b"hello");
+    }
+
+    #[test]
+    fn error_statuses_surface() {
+        let addr = canned(b"HTTP/1.1 500 Internal Server Error\r\nContent-Length: 0\r\n\r\n");
+        let url = Url::parse(&format!("http://{addr}/x")).unwrap();
+        assert_eq!(
+            http_get(&url).unwrap_err(),
+            HttpError::Status { code: 500, reason: "Internal Server Error".to_string() }
+        );
+    }
+
+    #[test]
+    fn garbage_status_line_rejected() {
+        let addr = canned(b"SPLORT\r\n\r\n");
+        let url = Url::parse(&format!("http://{addr}/x")).unwrap();
+        assert!(matches!(http_get(&url), Err(HttpError::BadResponse(_))));
+    }
+
+    #[test]
+    fn non_http_scheme_rejected() {
+        let url = Url::parse("mem://doc").unwrap();
+        assert!(matches!(http_get(&url), Err(HttpError::UnsupportedScheme(_))));
+    }
+
+    #[test]
+    fn connection_refused_is_io_error() {
+        // Port 1 on localhost is essentially never listening.
+        let url = Url::parse("http://127.0.0.1:1/x").unwrap();
+        assert!(matches!(http_get(&url), Err(HttpError::Io(_))));
+    }
+}

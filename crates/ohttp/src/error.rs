@@ -1,0 +1,60 @@
+//! Errors for the HTTP substrate.
+
+use std::fmt;
+
+/// Any failure fetching or serving documents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// A URL failed to parse.
+    BadUrl(String),
+    /// The URL scheme is not supported by this source.
+    UnsupportedScheme(String),
+    /// Transport-level failure (connect, read, write).
+    Io(String),
+    /// The response violated HTTP/1.1 framing.
+    BadResponse(String),
+    /// A non-success status code, with the reason phrase.
+    Status {
+        /// Numeric status code (e.g. 404).
+        code: u16,
+        /// Reason phrase from the status line.
+        reason: String,
+    },
+    /// A `mem://` or `file://` document does not exist.
+    NotFound(String),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::BadUrl(u) => write!(f, "malformed URL '{u}'"),
+            HttpError::UnsupportedScheme(s) => write!(f, "unsupported URL scheme '{s}'"),
+            HttpError::Io(m) => write!(f, "HTTP I/O error: {m}"),
+            HttpError::BadResponse(m) => write!(f, "malformed HTTP response: {m}"),
+            HttpError::Status { code, reason } => write!(f, "HTTP {code} {reason}"),
+            HttpError::NotFound(what) => write!(f, "document not found: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            HttpError::Status { code: 404, reason: "Not Found".to_string() }.to_string(),
+            "HTTP 404 Not Found"
+        );
+        assert_eq!(HttpError::BadUrl("x".into()).to_string(), "malformed URL 'x'");
+    }
+}

@@ -1,0 +1,26 @@
+//! Minimal HTTP substrate for XMIT's remote metadata discovery.
+//!
+//! In the paper, "the XML documents containing the message formats were
+//! hosted on an Apache HTTP server" and XMIT "load\[s\] the toolkit with
+//! message definitions (contained in XML documents) from one or more
+//! URLs".  This crate is that leg of the system, built from scratch on
+//! `std::net`:
+//!
+//! * [`Url`] — parsing for `http://`, `file://` and `mem://` URLs;
+//! * [`HttpServer`] — a threaded static-content HTTP/1.1 server;
+//! * [`http_get`] — a GET client with `Content-Length` and chunked bodies;
+//! * [`DocumentSource`] — the uniform "fetch a document by URL" interface
+//!   XMIT discovery consumes, with an in-memory `mem://` store so tests
+//!   stay hermetic.
+
+pub mod client;
+pub mod error;
+pub mod server;
+pub mod source;
+pub mod url;
+
+pub use client::{http_get, Response};
+pub use error::HttpError;
+pub use server::HttpServer;
+pub use source::{DocumentSource, StandardSource};
+pub use url::Url;

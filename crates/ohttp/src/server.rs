@@ -1,0 +1,214 @@
+//! A threaded static-content HTTP/1.1 server.
+//!
+//! Stands in for the Apache server of §4.3: it hosts the XML metadata
+//! documents that XMIT retrieves at format-registration time.  Content is
+//! an in-memory path → document map, mutable while the server runs (which
+//! is exactly how "changes to the message formats used by distributed
+//! programs can be centralized" in §3).
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::RwLock;
+
+use crate::error::HttpError;
+
+/// Hosted content: path → (content type, body).
+type ContentMap = HashMap<String, (String, Vec<u8>)>;
+
+/// A running HTTP server; dropping it shuts it down.
+pub struct HttpServer {
+    addr: SocketAddr,
+    content: Arc<RwLock<ContentMap>>,
+    hits: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Start a server on an ephemeral localhost port.
+    pub fn start() -> Result<HttpServer, HttpError> {
+        HttpServer::start_on(0)
+    }
+
+    /// Start a server on a specific localhost port (0 = ephemeral).
+    pub fn start_on(port: u16) -> Result<HttpServer, HttpError> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        let content: Arc<RwLock<ContentMap>> = Arc::new(RwLock::new(HashMap::new()));
+        let hits = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let (c, h, s) = (content.clone(), hits.clone(), stop.clone());
+        let accept_thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if s.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let (c, h) = (c.clone(), h.clone());
+                // Workers are detached: each serves one request and
+                // exits, releasing its stack immediately.  Keeping the
+                // JoinHandles would pin every exited worker's stack until
+                // shutdown and exhaust memory under sustained load.
+                std::thread::spawn(move || {
+                    let _ = serve(stream, &c, &h);
+                });
+            }
+        });
+        Ok(HttpServer { addr, content, hits, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// Address for clients.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Full `http://` URL for a hosted path.
+    pub fn url_for(&self, path: &str) -> String {
+        let path = if path.starts_with('/') { path.to_string() } else { format!("/{path}") };
+        format!("http://{}{}", self.addr, path)
+    }
+
+    /// Publish (or replace) a text document.
+    pub fn put(&self, path: &str, content_type: &str, body: impl Into<Vec<u8>>) {
+        let path = if path.starts_with('/') { path.to_string() } else { format!("/{path}") };
+        self.content.write().insert(path, (content_type.to_string(), body.into()));
+    }
+
+    /// Publish an XML document (convenience for metadata hosting).
+    pub fn put_xml(&self, path: &str, body: impl Into<Vec<u8>>) {
+        self.put(path, "text/xml", body);
+    }
+
+    /// Remove a document; `true` if it existed.
+    pub fn remove(&self, path: &str) -> bool {
+        let path = if path.starts_with('/') { path.to_string() } else { format!("/{path}") };
+        self.content.write().remove(&path).is_some()
+    }
+
+    /// Number of requests served (for amortization experiments).
+    pub fn hit_count(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn serve(stream: TcpStream, content: &RwLock<ContentMap>, hits: &AtomicU64) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line)? == 0 {
+        return Ok(());
+    }
+    // Drain headers (we serve statelessly and close after one response).
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    hits.fetch_add(1, Ordering::Relaxed);
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("/");
+    if method != "GET" {
+        return respond(&mut writer, 405, "Method Not Allowed", "text/plain", b"GET only\n");
+    }
+    let body = content.read().get(path).cloned();
+    match body {
+        Some((ctype, bytes)) => respond(&mut writer, 200, "OK", &ctype, &bytes),
+        None => respond(&mut writer, 404, "Not Found", "text/plain", b"no such document\n"),
+    }
+}
+
+fn respond(
+    w: &mut TcpStream,
+    code: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::http_get;
+    use crate::url::Url;
+
+    #[test]
+    fn serves_published_documents() {
+        let server = HttpServer::start().unwrap();
+        server.put_xml("/formats/a.xsd", "<a/>");
+        let url = Url::parse(&server.url_for("/formats/a.xsd")).unwrap();
+        let resp = http_get(&url).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"<a/>");
+        assert_eq!(resp.content_type.as_deref(), Some("text/xml"));
+        assert_eq!(server.hit_count(), 1);
+    }
+
+    #[test]
+    fn missing_documents_are_404() {
+        let server = HttpServer::start().unwrap();
+        let url = Url::parse(&server.url_for("/nope")).unwrap();
+        let err = http_get(&url).unwrap_err();
+        assert_eq!(err, HttpError::Status { code: 404, reason: "Not Found".to_string() });
+    }
+
+    #[test]
+    fn documents_can_be_replaced_centrally() {
+        let server = HttpServer::start().unwrap();
+        server.put_xml("/f.xsd", "<v1/>");
+        let url = Url::parse(&server.url_for("/f.xsd")).unwrap();
+        assert_eq!(http_get(&url).unwrap().body, b"<v1/>");
+        server.put_xml("/f.xsd", "<v2/>");
+        assert_eq!(http_get(&url).unwrap().body, b"<v2/>");
+        assert!(server.remove("/f.xsd"));
+        assert!(http_get(&url).is_err());
+    }
+
+    #[test]
+    fn concurrent_fetches() {
+        let server = HttpServer::start().unwrap();
+        for i in 0..10 {
+            server.put_xml(&format!("/doc{i}"), format!("<doc n=\"{i}\"/>"));
+        }
+        let addr = server.addr();
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10 {
+                    let url = Url::parse(&format!("http://{addr}/doc{}", (t + i) % 10)).unwrap();
+                    let resp = http_get(&url).unwrap();
+                    assert_eq!(resp.status, 200);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(server.hit_count(), 80);
+    }
+}

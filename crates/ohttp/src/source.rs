@@ -1,0 +1,103 @@
+//! The uniform document-fetch interface XMIT discovery consumes.
+//!
+//! The indirection in metadata discovery (§3: "as long as the metadata is
+//! present when binding occurs, it matters not how the metadata got
+//! there") is expressed here as a trait: XMIT asks a [`DocumentSource`]
+//! for the text behind a URL and never knows whether it came over HTTP,
+//! from a file, or from an in-memory test fixture.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use crate::client::http_get;
+use crate::error::HttpError;
+use crate::url::Url;
+
+/// Something that can resolve URLs to document text.
+pub trait DocumentSource: Send + Sync {
+    /// Fetch the document behind `url`.
+    fn fetch(&self, url: &Url) -> Result<String, HttpError>;
+}
+
+/// The standard source: `http://` via the built-in client, `file://` via
+/// the filesystem, `mem://` via an in-process store.
+#[derive(Default)]
+pub struct StandardSource {
+    mem: RwLock<HashMap<String, String>>,
+}
+
+impl StandardSource {
+    /// An empty source.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish a document under `mem://key`.
+    pub fn put_mem(&self, key: &str, text: impl Into<String>) {
+        self.mem.write().insert(format!("/{}", key.trim_start_matches('/')), text.into());
+    }
+}
+
+impl DocumentSource for StandardSource {
+    fn fetch(&self, url: &Url) -> Result<String, HttpError> {
+        match url.scheme.as_str() {
+            "http" => {
+                let resp = http_get(url)?;
+                Ok(resp.text()?.to_string())
+            }
+            "file" => std::fs::read_to_string(&url.path).map_err(|e| {
+                if e.kind() == std::io::ErrorKind::NotFound {
+                    HttpError::NotFound(url.to_string())
+                } else {
+                    HttpError::Io(e.to_string())
+                }
+            }),
+            "mem" => self
+                .mem
+                .read()
+                .get(&url.path)
+                .cloned()
+                .ok_or_else(|| HttpError::NotFound(url.to_string())),
+            other => Err(HttpError::UnsupportedScheme(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::HttpServer;
+
+    #[test]
+    fn mem_documents() {
+        let src = StandardSource::new();
+        src.put_mem("hydro", "<doc/>");
+        let url = Url::parse("mem://hydro").unwrap();
+        assert_eq!(src.fetch(&url).unwrap(), "<doc/>");
+        let missing = Url::parse("mem://nope").unwrap();
+        assert!(matches!(src.fetch(&missing), Err(HttpError::NotFound(_))));
+    }
+
+    #[test]
+    fn file_documents() {
+        let dir = std::env::temp_dir().join("openmeta-source-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("f.xsd");
+        std::fs::write(&path, "<file-doc/>").unwrap();
+        let src = StandardSource::new();
+        let url = Url::parse(&format!("file://{}", path.display())).unwrap();
+        assert_eq!(src.fetch(&url).unwrap(), "<file-doc/>");
+        let missing = Url::parse(&format!("file://{}/absent", dir.display())).unwrap();
+        assert!(matches!(src.fetch(&missing), Err(HttpError::NotFound(_))));
+    }
+
+    #[test]
+    fn http_documents() {
+        let server = HttpServer::start().unwrap();
+        server.put_xml("/d.xsd", "<remote/>");
+        let src = StandardSource::new();
+        let url = Url::parse(&server.url_for("/d.xsd")).unwrap();
+        assert_eq!(src.fetch(&url).unwrap(), "<remote/>");
+    }
+}

@@ -1,0 +1,159 @@
+//! URL parsing for the three schemes discovery understands.
+
+use std::fmt;
+
+use crate::error::HttpError;
+
+/// A parsed URL.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Url {
+    /// Scheme: `http`, `file` or `mem` (lowercased).
+    pub scheme: String,
+    /// Host (empty for `file://` and `mem://`).
+    pub host: String,
+    /// Port (defaults to 80 for http; 0 otherwise).
+    pub port: u16,
+    /// Path including the leading `/` (for `mem://`, the document key).
+    pub path: String,
+}
+
+impl Url {
+    /// Parse a URL string.
+    ///
+    /// Accepted shapes:
+    /// * `http://host[:port]/path`
+    /// * `file:///absolute/path`
+    /// * `mem://key` or `mem:///key`
+    pub fn parse(s: &str) -> Result<Url, HttpError> {
+        let bad = || HttpError::BadUrl(s.to_string());
+        let (scheme, rest) = s.split_once("://").ok_or_else(bad)?;
+        let scheme = scheme.to_ascii_lowercase();
+        if scheme.is_empty() || rest.is_empty() {
+            return Err(bad());
+        }
+        match scheme.as_str() {
+            "http" => {
+                let (authority, path) = match rest.find('/') {
+                    Some(i) => (&rest[..i], &rest[i..]),
+                    None => (rest, "/"),
+                };
+                if authority.is_empty() {
+                    return Err(bad());
+                }
+                let (host, port) = match authority.rsplit_once(':') {
+                    Some((h, p)) => {
+                        (h.to_string(), p.parse::<u16>().map_err(|_| bad())?)
+                    }
+                    None => (authority.to_string(), 80),
+                };
+                if host.is_empty() {
+                    return Err(bad());
+                }
+                Ok(Url { scheme, host, port, path: path.to_string() })
+            }
+            "file" => {
+                // file:///abs/path — empty authority, absolute path.
+                let path = rest.strip_prefix('/').map(|p| format!("/{p}"));
+                let path = match path {
+                    Some(p) => p,
+                    None => return Err(bad()),
+                };
+                Ok(Url { scheme, host: String::new(), port: 0, path })
+            }
+            "mem" => {
+                let key = rest.trim_start_matches('/');
+                if key.is_empty() {
+                    return Err(bad());
+                }
+                Ok(Url { scheme, host: String::new(), port: 0, path: format!("/{key}") })
+            }
+            other => Err(HttpError::UnsupportedScheme(other.to_string())),
+        }
+    }
+
+    /// `host:port` for connecting.
+    pub fn authority(&self) -> String {
+        format!("{}:{}", self.host, self.port)
+    }
+}
+
+impl fmt::Display for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.scheme.as_str() {
+            "http" => {
+                if self.port == 80 {
+                    write!(f, "http://{}{}", self.host, self.path)
+                } else {
+                    write!(f, "http://{}:{}{}", self.host, self.port, self.path)
+                }
+            }
+            "file" => write!(f, "file://{}", self.path),
+            _ => write!(f, "{}://{}", self.scheme, self.path.trim_start_matches('/')),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn http_urls() {
+        let u = Url::parse("http://example.org/formats/hydro.xsd").unwrap();
+        assert_eq!(u.scheme, "http");
+        assert_eq!(u.host, "example.org");
+        assert_eq!(u.port, 80);
+        assert_eq!(u.path, "/formats/hydro.xsd");
+
+        let u = Url::parse("http://127.0.0.1:8080/x").unwrap();
+        assert_eq!(u.port, 8080);
+        assert_eq!(u.authority(), "127.0.0.1:8080");
+
+        let u = Url::parse("http://h:90").unwrap();
+        assert_eq!(u.path, "/");
+    }
+
+    #[test]
+    fn file_urls() {
+        let u = Url::parse("file:///tmp/formats.xsd").unwrap();
+        assert_eq!(u.scheme, "file");
+        assert_eq!(u.path, "/tmp/formats.xsd");
+    }
+
+    #[test]
+    fn mem_urls() {
+        for s in ["mem://hydro", "mem:///hydro"] {
+            let u = Url::parse(s).unwrap();
+            assert_eq!(u.scheme, "mem");
+            assert_eq!(u.path, "/hydro");
+        }
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        for s in [
+            "",
+            "example.org/x",
+            "http://",
+            "http://:80/x",
+            "http://h:notaport/x",
+            "mem://",
+            "ftp://host/x",
+        ] {
+            assert!(Url::parse(s).is_err(), "{s} should fail");
+        }
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for s in [
+            "http://example.org/x/y.xsd",
+            "http://127.0.0.1:9999/z",
+            "mem://key",
+            "file:///a/b",
+        ] {
+            let u = Url::parse(s).unwrap();
+            assert_eq!(Url::parse(&u.to_string()).unwrap(), u, "{s}");
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Error type shared across the PBIO crate.
+
+use std::fmt;
+
+/// Any failure inside the PBIO substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PbioError {
+    /// A PBIO type string (e.g. `"integer"`, `"float[dim]"`) failed to parse.
+    BadTypeString {
+        /// The offending type string.
+        type_desc: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A field declaration is inconsistent (bad size, overlapping offsets, …).
+    BadField {
+        /// Field name.
+        field: String,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A format referenced a nested format name that is not registered.
+    UnknownFormat(String),
+    /// No format with this id is known to the registry or server.
+    UnknownFormatId(u64),
+    /// A record accessor named a field that does not exist in the format.
+    NoSuchField {
+        /// Format name.
+        format: String,
+        /// Field (or dotted path) requested.
+        field: String,
+    },
+    /// A record accessor used the wrong type for a field.
+    TypeMismatch {
+        /// Field name.
+        field: String,
+        /// What the accessor expected.
+        expected: String,
+        /// What the format says the field is.
+        actual: String,
+    },
+    /// An encoded buffer is malformed (bad magic, truncation, bad offsets).
+    BadWireData(String),
+    /// The dimension field governing a dynamic array is missing or invalid.
+    BadDimension {
+        /// The dynamic-array field.
+        field: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A value tree did not match the target format.
+    ValueMismatch(String),
+    /// Failure in the format-server protocol or transport.
+    Server(String),
+    /// An I/O error (socket or file), stringified to keep the error `Clone`.
+    Io(String),
+}
+
+impl fmt::Display for PbioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PbioError::BadTypeString { type_desc, reason } => {
+                write!(f, "bad PBIO type string '{type_desc}': {reason}")
+            }
+            PbioError::BadField { field, reason } => {
+                write!(f, "bad field '{field}': {reason}")
+            }
+            PbioError::UnknownFormat(name) => write!(f, "unknown format '{name}'"),
+            PbioError::UnknownFormatId(id) => write!(f, "unknown format id {id:#018x}"),
+            PbioError::NoSuchField { format, field } => {
+                write!(f, "format '{format}' has no field '{field}'")
+            }
+            PbioError::TypeMismatch { field, expected, actual } => {
+                write!(f, "field '{field}' is {actual}, not {expected}")
+            }
+            PbioError::BadWireData(msg) => write!(f, "malformed wire data: {msg}"),
+            PbioError::BadDimension { field, reason } => {
+                write!(f, "dynamic array '{field}': {reason}")
+            }
+            PbioError::ValueMismatch(msg) => write!(f, "value does not match format: {msg}"),
+            PbioError::Server(msg) => write!(f, "format server: {msg}"),
+            PbioError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PbioError {}
+
+impl From<std::io::Error> for PbioError {
+    fn from(e: std::io::Error) -> Self {
+        PbioError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PbioError::NoSuchField { format: "Point".into(), field: "z".into() };
+        assert_eq!(e.to_string(), "format 'Point' has no field 'z'");
+        let e = PbioError::UnknownFormatId(0xabcd);
+        assert!(e.to_string().contains("0x000000000000abcd"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::BrokenPipe, "pipe");
+        let e: PbioError = io.into();
+        assert!(matches!(e, PbioError::Io(_)));
+    }
+}

@@ -1,0 +1,218 @@
+//! `IOField` declarations and the PBIO type-string grammar.
+//!
+//! PBIO programs declare formats as arrays of `IOField`s (see Figure 2 of
+//! the paper):
+//!
+//! ```c
+//! IOField asdOffFields[] = {
+//!     { "centerID", "string",  sizeof(char*), IOOffset(asdOffptr, centerId) },
+//!     { "flight",   "integer", sizeof(int),   IOOffset(asdOffptr, flightNum) },
+//! };
+//! ```
+//!
+//! The reproduction keeps the same surface: a field has a *name*, a *type
+//! string*, an element *size*, and an optional explicit *offset* (omit it
+//! and the layout engine computes the C-struct offset for you, which is
+//! what XMIT does when it generates metadata from XML).
+//!
+//! Type-string grammar:
+//!
+//! ```text
+//! type       := base | base '[' dimension ']'
+//! base       := "integer" | "unsigned integer" | "unsigned" | "float"
+//!             | "double" | "char" | "boolean" | "enumeration" | "string"
+//!             | <registered format name>
+//! dimension  := <decimal literal>      (static array)
+//!             | <field name>           (dynamic array, length in that field)
+//! ```
+
+use crate::error::PbioError;
+use crate::types::BaseType;
+
+/// One field declaration in a [`crate::format::FormatSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IOField {
+    /// Field name, unique within the format.
+    pub name: String,
+    /// PBIO type string (see module docs for the grammar).
+    pub type_desc: String,
+    /// Element size in bytes (for `string` and nested formats this is
+    /// ignored and may be 0; the slot size comes from the machine model or
+    /// the nested format).
+    pub size: usize,
+    /// Explicit struct offset, or `None` to let the layout engine place the
+    /// field using C rules.
+    pub offset: Option<usize>,
+}
+
+impl IOField {
+    /// A field with an explicit offset, exactly like a C `IOField` entry.
+    pub fn at(
+        name: impl Into<String>,
+        type_desc: impl Into<String>,
+        size: usize,
+        offset: usize,
+    ) -> Self {
+        IOField { name: name.into(), type_desc: type_desc.into(), size, offset: Some(offset) }
+    }
+
+    /// A field whose offset is computed by the layout engine.
+    pub fn auto(name: impl Into<String>, type_desc: impl Into<String>, size: usize) -> Self {
+        IOField { name: name.into(), type_desc: type_desc.into(), size, offset: None }
+    }
+}
+
+/// A parsed type string, before nested-format resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParsedType {
+    /// A scalar of a base type.
+    Scalar(BaseType),
+    /// A string (pointer slot, out-of-line bytes).
+    Str,
+    /// A nested record named by a format that must already be registered.
+    Named(String),
+    /// `base[N]`.
+    StaticArray(BaseType, usize),
+    /// `base[field]`.
+    DynamicArray(BaseType, String),
+}
+
+/// Parse a PBIO type string.
+pub fn parse_type_string(type_desc: &str) -> Result<ParsedType, PbioError> {
+    let s = type_desc.trim();
+    let err = |reason: &str| PbioError::BadTypeString {
+        type_desc: type_desc.to_string(),
+        reason: reason.to_string(),
+    };
+    let (base, dim) = match s.find('[') {
+        None => (s, None),
+        Some(open) => {
+            let close = s.rfind(']').ok_or_else(|| err("missing ']'"))?;
+            if close != s.len() - 1 || close <= open {
+                return Err(err("malformed array suffix"));
+            }
+            let dim = s[open + 1..close].trim();
+            if dim.is_empty() {
+                return Err(err("empty array dimension"));
+            }
+            (s[..open].trim_end(), Some(dim))
+        }
+    };
+    if base.is_empty() {
+        return Err(err("empty base type"));
+    }
+    let base_type = match base {
+        "integer" | "int" => Some(BaseType::Integer),
+        "unsigned integer" | "unsigned" => Some(BaseType::Unsigned),
+        "float" | "double" => Some(BaseType::Float),
+        "char" => Some(BaseType::Char),
+        "boolean" => Some(BaseType::Boolean),
+        "enumeration" => Some(BaseType::Enumeration),
+        _ => None,
+    };
+    match (base_type, base, dim) {
+        (_, "string", Some(_)) => Err(err("arrays of string are not supported")),
+        (None, _, Some(_)) => Err(err("arrays of nested records are not supported")),
+        (_, "string", None) => Ok(ParsedType::Str),
+        (Some(b), _, None) => Ok(ParsedType::Scalar(b)),
+        (Some(b), _, Some(d)) => {
+            if d.chars().all(|c| c.is_ascii_digit()) {
+                let n: usize = d.parse().map_err(|_| err("array size out of range"))?;
+                if n == 0 {
+                    return Err(err("static array size must be positive"));
+                }
+                Ok(ParsedType::StaticArray(b, n))
+            } else if d == "*" {
+                Err(err(
+                    "unbounded '*' dimension requires a length field; use base[fieldName] \
+                     (XMIT maps maxOccurs=\"*\" to a trailing length field automatically)",
+                ))
+            } else {
+                Ok(ParsedType::DynamicArray(b, d.to_string()))
+            }
+        }
+        (None, name, None) => {
+            if name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':') {
+                Ok(ParsedType::Named(name.to_string()))
+            } else {
+                Err(err("unknown base type"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_parse() {
+        assert_eq!(parse_type_string("integer").unwrap(), ParsedType::Scalar(BaseType::Integer));
+        assert_eq!(
+            parse_type_string("unsigned integer").unwrap(),
+            ParsedType::Scalar(BaseType::Unsigned)
+        );
+        assert_eq!(parse_type_string("unsigned").unwrap(), ParsedType::Scalar(BaseType::Unsigned));
+        assert_eq!(parse_type_string("float").unwrap(), ParsedType::Scalar(BaseType::Float));
+        assert_eq!(parse_type_string("double").unwrap(), ParsedType::Scalar(BaseType::Float));
+        assert_eq!(parse_type_string(" char ").unwrap(), ParsedType::Scalar(BaseType::Char));
+    }
+
+    #[test]
+    fn string_parses() {
+        assert_eq!(parse_type_string("string").unwrap(), ParsedType::Str);
+    }
+
+    #[test]
+    fn static_arrays_parse() {
+        assert_eq!(
+            parse_type_string("float[16]").unwrap(),
+            ParsedType::StaticArray(BaseType::Float, 16)
+        );
+        assert_eq!(
+            parse_type_string("char[32]").unwrap(),
+            ParsedType::StaticArray(BaseType::Char, 32)
+        );
+    }
+
+    #[test]
+    fn dynamic_arrays_parse() {
+        assert_eq!(
+            parse_type_string("float[size]").unwrap(),
+            ParsedType::DynamicArray(BaseType::Float, "size".to_string())
+        );
+        assert_eq!(
+            parse_type_string("integer[ count ]").unwrap(),
+            ParsedType::DynamicArray(BaseType::Integer, "count".to_string())
+        );
+    }
+
+    #[test]
+    fn nested_format_names_parse() {
+        assert_eq!(
+            parse_type_string("JoinRequest").unwrap(),
+            ParsedType::Named("JoinRequest".to_string())
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_strings() {
+        assert!(parse_type_string("").is_err());
+        assert!(parse_type_string("float[").is_err());
+        assert!(parse_type_string("float[]").is_err());
+        assert!(parse_type_string("float]3[").is_err());
+        assert!(parse_type_string("string[4]").is_err());
+        assert!(parse_type_string("float[0]").is_err());
+        assert!(parse_type_string("JoinRequest[3]").is_err());
+        assert!(parse_type_string("float[*]").is_err());
+        assert!(parse_type_string("wh@t").is_err());
+    }
+
+    #[test]
+    fn field_constructors() {
+        let f = IOField::at("x", "integer", 4, 8);
+        assert_eq!(f.offset, Some(8));
+        let g = IOField::auto("y", "float", 8);
+        assert_eq!(g.offset, None);
+    }
+}

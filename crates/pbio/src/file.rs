@@ -1,0 +1,229 @@
+//! Self-describing PBIO data files.
+//!
+//! PBIO could write encoded records "to data files in a heterogeneous
+//! computing environment" (§3.2).  A file interleaves format descriptors
+//! with records, each descriptor appearing once before the first record
+//! that uses it — so a file is readable with no out-of-band metadata at
+//! all, on any machine:
+//!
+//! ```text
+//! file  := "PBIOFILE" version:u8 entry*
+//! entry := kind:u8 len:u32be payload
+//!          kind 1: payload = descriptor bytes (crate::codec)
+//!          kind 2: payload = one encoded record (crate::marshal)
+//! ```
+
+use std::collections::HashSet;
+use std::io::{Read, Write};
+
+use crate::codec::{decode_descriptor, encode_descriptor};
+use crate::error::PbioError;
+use crate::format::FormatId;
+use crate::machine::MachineModel;
+use crate::marshal::{decode, encode};
+use crate::record::RawRecord;
+use crate::registry::FormatRegistry;
+
+const FILE_MAGIC: &[u8; 8] = b"PBIOFILE";
+const FILE_VERSION: u8 = 1;
+const ENTRY_FORMAT: u8 = 1;
+const ENTRY_RECORD: u8 = 2;
+
+/// Streaming writer of PBIO files.
+pub struct FileWriter<W: Write> {
+    sink: W,
+    written_formats: HashSet<FormatId>,
+}
+
+impl<W: Write> FileWriter<W> {
+    /// Start a file, writing the magic header immediately.
+    pub fn new(mut sink: W) -> Result<Self, PbioError> {
+        sink.write_all(FILE_MAGIC)?;
+        sink.write_all(&[FILE_VERSION])?;
+        Ok(FileWriter { sink, written_formats: HashSet::new() })
+    }
+
+    fn entry(&mut self, kind: u8, payload: &[u8]) -> Result<(), PbioError> {
+        self.sink.write_all(&[kind])?;
+        self.sink.write_all(&(payload.len() as u32).to_be_bytes())?;
+        self.sink.write_all(payload)?;
+        Ok(())
+    }
+
+    /// Append one record, emitting its format descriptor first if this is
+    /// the first record of that format (nested formats travel inside it).
+    pub fn write_record(&mut self, rec: &RawRecord) -> Result<(), PbioError> {
+        let id = rec.format().id();
+        if self.written_formats.insert(id) {
+            let bytes = encode_descriptor(rec.format());
+            self.entry(ENTRY_FORMAT, &bytes)?;
+        }
+        let wire = encode(rec)?;
+        self.entry(ENTRY_RECORD, &wire)
+    }
+
+    /// Flush and return the underlying sink.
+    pub fn finish(mut self) -> Result<W, PbioError> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Streaming reader of PBIO files.
+pub struct FileReader<R: Read> {
+    source: R,
+    registry: FormatRegistry,
+}
+
+impl<R: Read> FileReader<R> {
+    /// Open a file, validating the magic header.
+    pub fn new(mut source: R) -> Result<Self, PbioError> {
+        let mut magic = [0u8; 9];
+        source.read_exact(&mut magic)?;
+        if &magic[..8] != FILE_MAGIC {
+            return Err(PbioError::BadWireData("not a PBIO file".to_string()));
+        }
+        if magic[8] != FILE_VERSION {
+            return Err(PbioError::BadWireData(format!(
+                "unsupported PBIO file version {}",
+                magic[8]
+            )));
+        }
+        Ok(FileReader { source, registry: FormatRegistry::new(MachineModel::native()) })
+    }
+
+    /// Formats discovered so far while reading.
+    pub fn registry(&self) -> &FormatRegistry {
+        &self.registry
+    }
+
+    /// Read the next record; `Ok(None)` at clean end-of-file.
+    pub fn next_record(&mut self) -> Result<Option<RawRecord>, PbioError> {
+        loop {
+            let mut kind = [0u8; 1];
+            match self.source.read_exact(&mut kind) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+                Err(e) => return Err(e.into()),
+            }
+            let mut len_buf = [0u8; 4];
+            self.source.read_exact(&mut len_buf)?;
+            let len = u32::from_be_bytes(len_buf) as usize;
+            let mut payload = vec![0u8; len];
+            self.source.read_exact(&mut payload)?;
+            match kind[0] {
+                ENTRY_FORMAT => {
+                    let desc = decode_descriptor(&payload)?;
+                    self.registry.register_descriptor(desc);
+                }
+                ENTRY_RECORD => return decode(&payload, &self.registry).map(Some),
+                other => {
+                    return Err(PbioError::BadWireData(format!("unknown file entry kind {other}")))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::IOField;
+    use crate::format::FormatSpec;
+
+    fn sample_registry() -> FormatRegistry {
+        let reg = FormatRegistry::new(MachineModel::native());
+        reg.register(FormatSpec::new(
+            "SimpleData",
+            vec![
+                IOField::auto("timestep", "integer", 4),
+                IOField::auto("size", "integer", 4),
+                IOField::auto("data", "float[size]", 4),
+            ],
+        ))
+        .unwrap();
+        reg.register(FormatSpec::new(
+            "Note",
+            vec![IOField::auto("text", "string", 0)],
+        ))
+        .unwrap();
+        reg
+    }
+
+    #[test]
+    fn write_read_round_trip_multiple_formats() {
+        let reg = sample_registry();
+        let simple = reg.lookup_name("SimpleData").unwrap();
+        let note = reg.lookup_name("Note").unwrap();
+
+        let mut writer = FileWriter::new(Vec::new()).unwrap();
+        for t in 0..3 {
+            let mut rec = RawRecord::new(simple.clone());
+            rec.set_i64("timestep", t).unwrap();
+            rec.set_f64_array("data", &[t as f64, t as f64 + 0.5]).unwrap();
+            writer.write_record(&rec).unwrap();
+        }
+        let mut n = RawRecord::new(note.clone());
+        n.set_string("text", "checkpoint").unwrap();
+        writer.write_record(&n).unwrap();
+        let bytes = writer.finish().unwrap();
+
+        let mut reader = FileReader::new(&bytes[..]).unwrap();
+        for t in 0..3 {
+            let rec = reader.next_record().unwrap().unwrap();
+            assert_eq!(rec.format().name, "SimpleData");
+            assert_eq!(rec.get_i64("timestep").unwrap(), t);
+            assert_eq!(rec.get_f64_array("data").unwrap(), vec![t as f64, t as f64 + 0.5]);
+        }
+        let rec = reader.next_record().unwrap().unwrap();
+        assert_eq!(rec.format().name, "Note");
+        assert_eq!(rec.get_string("text").unwrap(), "checkpoint");
+        assert!(reader.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn descriptor_written_once_per_format() {
+        let reg = sample_registry();
+        let simple = reg.lookup_name("SimpleData").unwrap();
+        let mut writer = FileWriter::new(Vec::new()).unwrap();
+        let rec = RawRecord::new(simple.clone());
+        writer.write_record(&rec).unwrap();
+        let after_one = writer.sink.len();
+        writer.write_record(&rec).unwrap();
+        let after_two = writer.sink.len();
+        let bytes = writer.finish().unwrap();
+        // Second record adds only the record entry, not another descriptor.
+        let first = after_one - 9; // minus file header
+        let second = after_two - after_one;
+        assert!(second < first, "second write ({second}) should omit the descriptor");
+        let mut reader = FileReader::new(&bytes[..]).unwrap();
+        assert!(reader.next_record().unwrap().is_some());
+        assert!(reader.next_record().unwrap().is_some());
+        assert_eq!(reader.registry().len(), 1);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(FileReader::new(&b"NOTPBIO!x"[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_file_reports_error_not_panic() {
+        let reg = sample_registry();
+        let simple = reg.lookup_name("SimpleData").unwrap();
+        let mut writer = FileWriter::new(Vec::new()).unwrap();
+        writer.write_record(&RawRecord::new(simple)).unwrap();
+        let bytes = writer.finish().unwrap();
+        let cut = &bytes[..bytes.len() - 3];
+        let mut reader = FileReader::new(cut).unwrap();
+        assert!(reader.next_record().is_err());
+    }
+
+    #[test]
+    fn empty_file_yields_no_records() {
+        let writer = FileWriter::new(Vec::new()).unwrap();
+        let bytes = writer.finish().unwrap();
+        let mut reader = FileReader::new(&bytes[..]).unwrap();
+        assert!(reader.next_record().unwrap().is_none());
+    }
+}

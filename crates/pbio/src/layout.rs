@@ -1,0 +1,302 @@
+//! C-ABI struct layout: turning field declarations into concrete offsets.
+//!
+//! One of the usability claims of XML metadata in the paper is that "the
+//! abstraction process inherent in the use of XML for metadata removes the
+//! need to consider some platform-dependent features (for example,
+//! structure padding)".  That works because the BCM owns a layout engine:
+//! given fields in declaration order, it computes the offsets a C compiler
+//! would have chosen, per machine model.  Explicitly provided offsets
+//! (compiled-in metadata, Figure 2 style) are honoured verbatim.
+
+use crate::error::PbioError;
+use crate::machine::MachineModel;
+use crate::types::FieldKind;
+
+/// Round `n` up to a multiple of `align` (power of two).
+pub fn align_up(n: usize, align: usize) -> usize {
+    debug_assert!(align.is_power_of_two());
+    (n + align - 1) & !(align - 1)
+}
+
+/// A field after layout: resolved kind, concrete slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldLayout {
+    /// Field name.
+    pub name: String,
+    /// Resolved kind.
+    pub kind: FieldKind,
+    /// Offset of the field's slot from the start of the record.
+    pub offset: usize,
+    /// Size of the slot in bytes (pointer-size for var-length kinds,
+    /// element size × count for static arrays, nested record size for
+    /// nested records).
+    pub size: usize,
+    /// Alignment the slot requires.
+    pub align: usize,
+}
+
+/// Slot size and alignment of a resolved field kind under `machine`.
+///
+/// `declared_size` is the `IOField::size` (element width for scalars and
+/// arrays; ignored for strings and nested records).
+pub fn slot_of(
+    kind: &FieldKind,
+    declared_size: usize,
+    machine: &MachineModel,
+) -> (usize, usize) {
+    match kind {
+        FieldKind::Scalar(_) => (declared_size, machine.scalar_align(declared_size)),
+        FieldKind::String | FieldKind::DynamicArray { .. } => {
+            (machine.pointer_size, machine.scalar_align(machine.pointer_size))
+        }
+        FieldKind::StaticArray { elem_size, count, .. } => {
+            (elem_size * count, machine.scalar_align(*elem_size))
+        }
+        FieldKind::Nested(f) => (f.record_size, f.align),
+    }
+}
+
+/// Result of laying out a record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordLayout {
+    /// Fields with concrete offsets, in declaration order.
+    pub fields: Vec<FieldLayout>,
+    /// `sizeof(struct)`: end of last field rounded up to record alignment.
+    pub record_size: usize,
+    /// Record alignment (max of field alignments, at least 1).
+    pub align: usize,
+}
+
+/// Lay out `partials` — `(name, kind, declared_size, explicit_offset)` — as
+/// a C compiler would under `machine`.
+pub fn layout_record(
+    partials: Vec<(String, FieldKind, usize, Option<usize>)>,
+    machine: &MachineModel,
+) -> Result<RecordLayout, PbioError> {
+    let mut fields = Vec::with_capacity(partials.len());
+    let mut cursor = 0usize;
+    let mut max_align = 1usize;
+    let mut max_end = 0usize;
+    for (name, kind, declared_size, explicit) in partials {
+        // Validate scalar widths early so errors name the field.
+        match &kind {
+            FieldKind::Scalar(b) => {
+                if !b.valid_size(declared_size) {
+                    return Err(PbioError::BadField {
+                        field: name,
+                        reason: format!("{declared_size} bytes is not a valid {b} width"),
+                    });
+                }
+            }
+            FieldKind::StaticArray { elem, elem_size, .. }
+            | FieldKind::DynamicArray { elem, elem_size, .. } => {
+                if !elem.valid_size(*elem_size) {
+                    return Err(PbioError::BadField {
+                        field: name,
+                        reason: format!("{elem_size} bytes is not a valid {elem} element width"),
+                    });
+                }
+            }
+            FieldKind::String | FieldKind::Nested(_) => {}
+        }
+        let (size, align) = slot_of(&kind, declared_size, machine);
+        let offset = match explicit {
+            Some(off) => off,
+            None => align_up(cursor, align),
+        };
+        cursor = offset + size;
+        max_end = max_end.max(offset + size);
+        max_align = max_align.max(align);
+        fields.push(FieldLayout { name, kind, offset, size, align });
+    }
+    // Reject overlapping slots (possible only with explicit offsets).
+    let mut by_offset: Vec<&FieldLayout> = fields.iter().collect();
+    by_offset.sort_by_key(|f| f.offset);
+    for pair in by_offset.windows(2) {
+        if pair[0].offset + pair[0].size > pair[1].offset {
+            return Err(PbioError::BadField {
+                field: pair[1].name.clone(),
+                reason: format!(
+                    "slot [{}, {}) overlaps field '{}' at [{}, {})",
+                    pair[1].offset,
+                    pair[1].offset + pair[1].size,
+                    pair[0].name,
+                    pair[0].offset,
+                    pair[0].offset + pair[0].size
+                ),
+            });
+        }
+    }
+    Ok(RecordLayout { fields, record_size: align_up(max_end, max_align), align: max_align })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::BaseType;
+
+    fn scalar(name: &str, b: BaseType, size: usize) -> (String, FieldKind, usize, Option<usize>) {
+        (name.to_string(), FieldKind::Scalar(b), size, None)
+    }
+
+    #[test]
+    fn align_up_basics() {
+        assert_eq!(align_up(0, 4), 0);
+        assert_eq!(align_up(1, 4), 4);
+        assert_eq!(align_up(4, 4), 4);
+        assert_eq!(align_up(5, 8), 8);
+        assert_eq!(align_up(17, 1), 17);
+    }
+
+    #[test]
+    fn simple_data_matches_paper_size() {
+        // typedef struct { int timestep; int size; float *data; } SimpleData;
+        // On 32-bit SPARC this is 12 bytes (the paper's Figure 6 smallest bar).
+        let l = layout_record(
+            vec![
+                scalar("timestep", BaseType::Integer, 4),
+                scalar("size", BaseType::Integer, 4),
+                (
+                    "data".to_string(),
+                    FieldKind::DynamicArray {
+                        elem: BaseType::Float,
+                        elem_size: 4,
+                        length_field: "size".into(),
+                    },
+                    4,
+                    None,
+                ),
+            ],
+            &MachineModel::SPARC32,
+        )
+        .unwrap();
+        assert_eq!(l.record_size, 12);
+        assert_eq!(l.fields[2].offset, 8);
+        assert_eq!(l.fields[2].size, 4); // pointer slot
+    }
+
+    #[test]
+    fn join_request_matches_paper_size() {
+        // { char* name; unsigned server; unsigned long ip; pid_t pid;
+        //   unsigned long ds_addr; }  = 20 bytes on SPARC32.
+        let l = layout_record(
+            vec![
+                ("name".to_string(), FieldKind::String, 0, None),
+                scalar("server", BaseType::Unsigned, 4),
+                scalar("ip_addr", BaseType::Unsigned, 4),
+                scalar("pid", BaseType::Integer, 4),
+                scalar("ds_addr", BaseType::Unsigned, 4),
+            ],
+            &MachineModel::SPARC32,
+        )
+        .unwrap();
+        assert_eq!(l.record_size, 20);
+    }
+
+    #[test]
+    fn padding_inserted_before_wider_field() {
+        // { char c; double d; } → d at 8, size 16 on x86-64…
+        let l = layout_record(
+            vec![scalar("c", BaseType::Char, 1), scalar("d", BaseType::Float, 8)],
+            &MachineModel::X86_64,
+        )
+        .unwrap();
+        assert_eq!(l.fields[1].offset, 8);
+        assert_eq!(l.record_size, 16);
+        // …but d at 4, size 12 on i386 (max_align = 4).
+        let l = layout_record(
+            vec![scalar("c", BaseType::Char, 1), scalar("d", BaseType::Float, 8)],
+            &MachineModel::X86,
+        )
+        .unwrap();
+        assert_eq!(l.fields[1].offset, 4);
+        assert_eq!(l.record_size, 12);
+    }
+
+    #[test]
+    fn trailing_padding_rounds_to_alignment() {
+        // { double d; char c; } → size 16 (not 9) on x86-64.
+        let l = layout_record(
+            vec![scalar("d", BaseType::Float, 8), scalar("c", BaseType::Char, 1)],
+            &MachineModel::X86_64,
+        )
+        .unwrap();
+        assert_eq!(l.record_size, 16);
+    }
+
+    #[test]
+    fn static_array_inline() {
+        let l = layout_record(
+            vec![
+                (
+                    "tag".to_string(),
+                    FieldKind::StaticArray { elem: BaseType::Char, elem_size: 1, count: 6 },
+                    1,
+                    None,
+                ),
+                scalar("v", BaseType::Integer, 4),
+            ],
+            &MachineModel::SPARC32,
+        )
+        .unwrap();
+        assert_eq!(l.fields[0].size, 6);
+        assert_eq!(l.fields[1].offset, 8); // aligned past the 6-byte array
+        assert_eq!(l.record_size, 12);
+    }
+
+    #[test]
+    fn explicit_offsets_honoured() {
+        let l = layout_record(
+            vec![
+                ("a".to_string(), FieldKind::Scalar(BaseType::Integer), 4, Some(8)),
+                ("b".to_string(), FieldKind::Scalar(BaseType::Integer), 4, Some(0)),
+            ],
+            &MachineModel::SPARC32,
+        )
+        .unwrap();
+        assert_eq!(l.fields[0].offset, 8);
+        assert_eq!(l.fields[1].offset, 0);
+        assert_eq!(l.record_size, 12);
+    }
+
+    #[test]
+    fn overlapping_explicit_offsets_rejected() {
+        let err = layout_record(
+            vec![
+                ("a".to_string(), FieldKind::Scalar(BaseType::Integer), 4, Some(0)),
+                ("b".to_string(), FieldKind::Scalar(BaseType::Integer), 4, Some(2)),
+            ],
+            &MachineModel::SPARC32,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PbioError::BadField { .. }));
+    }
+
+    #[test]
+    fn invalid_scalar_width_rejected() {
+        let err = layout_record(
+            vec![scalar("x", BaseType::Float, 2)],
+            &MachineModel::SPARC32,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PbioError::BadField { .. }));
+    }
+
+    #[test]
+    fn empty_record_is_size_zero() {
+        let l = layout_record(vec![], &MachineModel::SPARC32).unwrap();
+        assert_eq!(l.record_size, 0);
+        assert_eq!(l.align, 1);
+    }
+
+    #[test]
+    fn pointer_slots_differ_by_machine() {
+        let mk = |m: &MachineModel| {
+            layout_record(vec![("s".to_string(), FieldKind::String, 0, None)], m)
+                .unwrap()
+                .record_size
+        };
+        assert_eq!(mk(&MachineModel::SPARC32), 4);
+        assert_eq!(mk(&MachineModel::X86_64), 8);
+    }
+}

@@ -1,0 +1,223 @@
+//! Thread-safe format registration and lookup.
+//!
+//! The registry is the in-process half of PBIO's metadata plane: formats go
+//! in as [`FormatSpec`]s (from compiled-in declarations or from XMIT's
+//! XML-derived metadata — the registry cannot tell the difference, which is
+//! the paper's orthogonality argument) and come out as shared, immutable
+//! [`FormatDescriptor`]s addressable by name or by [`FormatId`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::PbioError;
+use crate::format::{FormatDescriptor, FormatId, FormatSpec};
+use crate::machine::MachineModel;
+
+/// A registry of formats resolved for one machine model.
+#[derive(Debug)]
+pub struct FormatRegistry {
+    machine: MachineModel,
+    inner: RwLock<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Latest registration under each name (names may be re-registered as
+    /// formats evolve; ids keep every version addressable).
+    by_name: HashMap<String, Arc<FormatDescriptor>>,
+    /// Every version ever registered, by content id.
+    by_id: HashMap<FormatId, Arc<FormatDescriptor>>,
+}
+
+impl FormatRegistry {
+    /// A registry whose layouts follow `machine`.
+    pub fn new(machine: MachineModel) -> Self {
+        FormatRegistry { machine, inner: RwLock::new(Inner::default()) }
+    }
+
+    /// The machine model formats are laid out for.
+    pub fn machine(&self) -> MachineModel {
+        self.machine
+    }
+
+    /// Register a format, resolving nested type names against formats
+    /// already present.  Registering identical content twice returns the
+    /// existing descriptor (registration is idempotent).
+    pub fn register(&self, spec: FormatSpec) -> Result<Arc<FormatDescriptor>, PbioError> {
+        let descriptor = {
+            let inner = self.inner.read();
+            FormatDescriptor::resolve(&spec, self.machine, &|name| {
+                inner.by_name.get(name).cloned()
+            })?
+        };
+        Ok(self.insert(descriptor, true))
+    }
+
+    /// Register a pre-resolved descriptor (e.g. received from a format
+    /// server or decoded off the wire).  The descriptor keeps its own
+    /// machine model — it describes the *sender's* layout — and is only
+    /// id-addressable: it never displaces the receiver's own binding for
+    /// the same format name.
+    pub fn register_descriptor(&self, descriptor: FormatDescriptor) -> Arc<FormatDescriptor> {
+        self.insert(descriptor, false)
+    }
+
+    fn insert(&self, descriptor: FormatDescriptor, bind_name: bool) -> Arc<FormatDescriptor> {
+        let id = descriptor.id();
+        let mut inner = self.inner.write();
+        if let Some(existing) = inner.by_id.get(&id) {
+            if **existing == descriptor {
+                let existing = existing.clone();
+                if bind_name {
+                    inner.by_name.insert(descriptor.name.clone(), existing.clone());
+                }
+                return existing;
+            }
+            // A 64-bit content hash collision between *different*
+            // descriptors: astronomically unlikely; fall through and let
+            // the newer content win rather than corrupt lookups silently.
+        }
+        let arc = Arc::new(descriptor);
+        inner.by_id.insert(id, arc.clone());
+        if bind_name {
+            inner.by_name.insert(arc.name.clone(), arc.clone());
+        }
+        arc
+    }
+
+    /// Latest format registered under `name`.
+    pub fn lookup_name(&self, name: &str) -> Option<Arc<FormatDescriptor>> {
+        self.inner.read().by_name.get(name).cloned()
+    }
+
+    /// Format with content id `id` (any version, any machine model).
+    pub fn lookup_id(&self, id: FormatId) -> Option<Arc<FormatDescriptor>> {
+        self.inner.read().by_id.get(&id).cloned()
+    }
+
+    /// Number of distinct format versions known.
+    pub fn len(&self) -> usize {
+        self.inner.read().by_id.len()
+    }
+
+    /// `true` when no formats are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Names currently bound, sorted (for diagnostics and tools).
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inner.read().by_name.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::IOField;
+
+    fn reg() -> FormatRegistry {
+        FormatRegistry::new(MachineModel::SPARC32)
+    }
+
+    fn point_spec() -> FormatSpec {
+        FormatSpec::new(
+            "Point",
+            vec![IOField::auto("x", "float", 8), IOField::auto("y", "float", 8)],
+        )
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let r = reg();
+        let d = r.register(point_spec()).unwrap();
+        assert_eq!(r.lookup_name("Point").unwrap(), d);
+        assert_eq!(r.lookup_id(d.id()).unwrap(), d);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let r = reg();
+        let d1 = r.register(point_spec()).unwrap();
+        let d2 = r.register(point_spec()).unwrap();
+        assert!(Arc::ptr_eq(&d1, &d2));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn re_registration_keeps_old_version_by_id() {
+        let r = reg();
+        let v1 = r.register(point_spec()).unwrap();
+        let mut spec = point_spec();
+        spec.fields.push(IOField::auto("z", "float", 8));
+        let v2 = r.register(spec).unwrap();
+        assert_ne!(v1.id(), v2.id());
+        assert_eq!(r.lookup_name("Point").unwrap(), v2);
+        assert_eq!(r.lookup_id(v1.id()).unwrap(), v1);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn nested_resolution_uses_registry() {
+        let r = reg();
+        r.register(point_spec()).unwrap();
+        let d = r
+            .register(FormatSpec::new(
+                "Segment",
+                vec![IOField::auto("a", "Point", 0), IOField::auto("b", "Point", 0)],
+            ))
+            .unwrap();
+        assert_eq!(d.record_size, 32);
+        // Nesting an unknown name fails.
+        let err = r
+            .register(FormatSpec::new("Bad", vec![IOField::auto("q", "Mystery", 0)]))
+            .unwrap_err();
+        assert!(matches!(err, PbioError::UnknownFormat(_)));
+    }
+
+    #[test]
+    fn foreign_descriptor_registration() {
+        let local = reg();
+        let remote = FormatRegistry::new(MachineModel::X86_64);
+        let d = remote.register(point_spec()).unwrap();
+        let copied = local.register_descriptor((*d).clone());
+        assert_eq!(copied.machine, MachineModel::X86_64);
+        assert_eq!(local.lookup_id(d.id()).unwrap(), copied);
+    }
+
+    #[test]
+    fn names_sorted() {
+        let r = reg();
+        r.register(FormatSpec::new("B", vec![IOField::auto("x", "integer", 4)])).unwrap();
+        r.register(FormatSpec::new("A", vec![IOField::auto("x", "integer", 4)])).unwrap();
+        assert_eq!(r.names(), vec!["A".to_string(), "B".to_string()]);
+    }
+
+    #[test]
+    fn concurrent_registration() {
+        let r = std::sync::Arc::new(reg());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let r = r.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    let name = format!("F{}", (t + i) % 20);
+                    r.register(FormatSpec::new(
+                        name,
+                        vec![IOField::auto("x", "integer", 4)],
+                    ))
+                    .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.len(), 20);
+    }
+}

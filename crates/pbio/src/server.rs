@@ -1,0 +1,299 @@
+//! A TCP format server: the out-of-band metadata plane.
+//!
+//! PBIO messages carry only a format id.  When a receiver encounters an id
+//! it has never seen, it asks a format server for the descriptor — this is
+//! the "retrieve the metadata on demand" arrow in the paper's Figure 2.
+//! The protocol is a trivial length-framed request/response:
+//!
+//! ```text
+//! frame    := len:u32be payload
+//! request  := 0x01 descriptor-bytes          (register, reply: id)
+//!           | 0x02 id:u64be                  (fetch, reply: descriptor)
+//! response := 0x00 body | 0x01 (not found) | 0x02 message (error)
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::codec::{decode_descriptor, encode_descriptor};
+use crate::error::PbioError;
+use crate::format::{FormatDescriptor, FormatId};
+use crate::machine::MachineModel;
+use crate::registry::FormatRegistry;
+
+const OP_REGISTER: u8 = 1;
+const OP_FETCH: u8 = 2;
+const ST_OK: u8 = 0;
+const ST_NOT_FOUND: u8 = 1;
+const ST_ERROR: u8 = 2;
+
+/// Maximum frame size accepted by either side (defensive bound).
+const MAX_FRAME: usize = 16 << 20;
+
+pub(crate) fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> Result<(), PbioError> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| PbioError::Server("frame too large".to_string()))?;
+    stream.write_all(&len.to_be_bytes())?;
+    stream.write_all(payload)?;
+    Ok(())
+}
+
+pub(crate) fn read_frame(stream: &mut TcpStream) -> Result<Vec<u8>, PbioError> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(PbioError::Server(format!("frame of {len} bytes exceeds limit")));
+    }
+    let mut buf = vec![0u8; len];
+    stream.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// A running format server.  Dropping it shuts the server down.
+pub struct FormatServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl FormatServer {
+    /// Start a server on an ephemeral localhost port.
+    pub fn start() -> Result<FormatServer, PbioError> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        // The store's machine model is irrelevant: it only warehouses
+        // descriptors that carry their own models.
+        let store = Arc::new(FormatRegistry::new(MachineModel::native()));
+        let stop2 = stop.clone();
+        let accept_thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop2.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let store = store.clone();
+                // Detached: a connection handler's stack is released the
+                // moment the client hangs up; un-joined handles would pin
+                // every exited worker's stack until server shutdown.
+                std::thread::spawn(move || {
+                    let _ = serve_connection(stream, &store);
+                });
+            }
+        });
+        Ok(FormatServer { addr, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// Address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for FormatServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, store: &FormatRegistry) -> Result<(), PbioError> {
+    loop {
+        let req = match read_frame(&mut stream) {
+            Ok(r) => r,
+            Err(_) => return Ok(()), // client hung up
+        };
+        let reply = handle_request(&req, store);
+        write_frame(&mut stream, &reply)?;
+    }
+}
+
+fn handle_request(req: &[u8], store: &FormatRegistry) -> Vec<u8> {
+    let error = |msg: &str| {
+        let mut v = vec![ST_ERROR];
+        v.extend_from_slice(msg.as_bytes());
+        v
+    };
+    match req.split_first() {
+        Some((&OP_REGISTER, body)) => match decode_descriptor(body) {
+            Ok(desc) => {
+                let arc = store.register_descriptor(desc);
+                let mut v = vec![ST_OK];
+                v.extend_from_slice(&arc.id().0.to_be_bytes());
+                v
+            }
+            Err(e) => error(&e.to_string()),
+        },
+        Some((&OP_FETCH, body)) => {
+            let Ok(id_bytes) = <[u8; 8]>::try_from(body) else {
+                return error("fetch body must be 8 bytes");
+            };
+            match store.lookup_id(FormatId(u64::from_be_bytes(id_bytes))) {
+                Some(desc) => {
+                    let mut v = vec![ST_OK];
+                    v.extend_from_slice(&encode_descriptor(&desc));
+                    v
+                }
+                None => vec![ST_NOT_FOUND],
+            }
+        }
+        Some((op, _)) => error(&format!("unknown opcode {op}")),
+        None => error("empty request"),
+    }
+}
+
+/// Client handle for a [`FormatServer`].
+pub struct FormatServerClient {
+    addr: SocketAddr,
+}
+
+impl FormatServerClient {
+    /// A client for the server at `addr`.
+    pub fn connect(addr: SocketAddr) -> FormatServerClient {
+        FormatServerClient { addr }
+    }
+
+    fn round_trip(&self, request: &[u8]) -> Result<Vec<u8>, PbioError> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        write_frame(&mut stream, request)?;
+        read_frame(&mut stream)
+    }
+
+    /// Publish a descriptor; returns its content-addressed id.
+    pub fn register(&self, desc: &FormatDescriptor) -> Result<FormatId, PbioError> {
+        let mut req = vec![OP_REGISTER];
+        req.extend_from_slice(&encode_descriptor(desc));
+        let reply = self.round_trip(&req)?;
+        match reply.split_first() {
+            Some((&ST_OK, body)) => {
+                let bytes: [u8; 8] = body
+                    .try_into()
+                    .map_err(|_| PbioError::Server("short register reply".to_string()))?;
+                Ok(FormatId(u64::from_be_bytes(bytes)))
+            }
+            Some((&ST_ERROR, msg)) => {
+                Err(PbioError::Server(String::from_utf8_lossy(msg).into_owned()))
+            }
+            _ => Err(PbioError::Server("malformed register reply".to_string())),
+        }
+    }
+
+    /// Fetch a descriptor by id; `Ok(None)` when the server has no such id.
+    pub fn fetch(&self, id: FormatId) -> Result<Option<FormatDescriptor>, PbioError> {
+        let mut req = vec![OP_FETCH];
+        req.extend_from_slice(&id.0.to_be_bytes());
+        let reply = self.round_trip(&req)?;
+        match reply.split_first() {
+            Some((&ST_OK, body)) => Ok(Some(decode_descriptor(body)?)),
+            Some((&ST_NOT_FOUND, _)) => Ok(None),
+            Some((&ST_ERROR, msg)) => {
+                Err(PbioError::Server(String::from_utf8_lossy(msg).into_owned()))
+            }
+            _ => Err(PbioError::Server("malformed fetch reply".to_string())),
+        }
+    }
+
+    /// Resolve an id into `registry`, fetching from the server on a miss.
+    pub fn resolve_into(
+        &self,
+        id: FormatId,
+        registry: &FormatRegistry,
+    ) -> Result<Arc<FormatDescriptor>, PbioError> {
+        if let Some(d) = registry.lookup_id(id) {
+            return Ok(d);
+        }
+        let fetched = self.fetch(id)?.ok_or(PbioError::UnknownFormatId(id.0))?;
+        Ok(registry.register_descriptor(fetched))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::IOField;
+    use crate::format::FormatSpec;
+
+    fn descriptor(name: &str) -> FormatDescriptor {
+        FormatDescriptor::resolve(
+            &FormatSpec::new(
+                name,
+                vec![IOField::auto("x", "integer", 4), IOField::auto("s", "string", 0)],
+            ),
+            MachineModel::SPARC32,
+            &|_| None,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn register_then_fetch() {
+        let server = FormatServer::start().unwrap();
+        let client = FormatServerClient::connect(server.addr());
+        let desc = descriptor("Remote");
+        let id = client.register(&desc).unwrap();
+        assert_eq!(id, desc.id());
+        let fetched = client.fetch(id).unwrap().unwrap();
+        assert_eq!(fetched, desc);
+    }
+
+    #[test]
+    fn fetch_unknown_is_none() {
+        let server = FormatServer::start().unwrap();
+        let client = FormatServerClient::connect(server.addr());
+        assert_eq!(client.fetch(FormatId(12345)).unwrap(), None);
+    }
+
+    #[test]
+    fn resolve_into_populates_registry() {
+        let server = FormatServer::start().unwrap();
+        let client = FormatServerClient::connect(server.addr());
+        let desc = descriptor("Lazy");
+        let id = client.register(&desc).unwrap();
+        let local = FormatRegistry::new(MachineModel::native());
+        assert!(local.lookup_id(id).is_none());
+        let resolved = client.resolve_into(id, &local).unwrap();
+        assert_eq!(*resolved, desc);
+        assert!(local.lookup_id(id).is_some());
+        // Second resolve is a registry hit (no server involved).
+        let again = client.resolve_into(id, &local).unwrap();
+        assert!(Arc::ptr_eq(&resolved, &again));
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let server = FormatServer::start().unwrap();
+        let addr = server.addr();
+        let mut handles = Vec::new();
+        for t in 0..6 {
+            handles.push(std::thread::spawn(move || {
+                let client = FormatServerClient::connect(addr);
+                let desc = descriptor(&format!("Fmt{t}"));
+                let id = client.register(&desc).unwrap();
+                assert_eq!(client.fetch(id).unwrap().unwrap(), desc);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn server_shuts_down_on_drop() {
+        let addr = {
+            let server = FormatServer::start().unwrap();
+            server.addr()
+        };
+        // After drop, new connections are refused (or accepted-and-closed
+        // by the OS backlog, in which case the request fails).
+        let client = FormatServerClient::connect(addr);
+        assert!(client.fetch(FormatId(1)).is_err());
+    }
+}

@@ -1,0 +1,193 @@
+//! Base types and resolved field kinds.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::format::FormatDescriptor;
+
+/// The primitive data categories PBIO understands.
+///
+/// As in PBIO, a base type is a *category*; the width comes from the field's
+/// declared size (`sizeof(int)`, `sizeof(long)`, …).  This is what lets a
+/// 4-byte `integer` on one machine match an 8-byte `integer` on another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaseType {
+    /// Signed two's-complement integer (1, 2, 4 or 8 bytes).
+    Integer,
+    /// Unsigned integer (1, 2, 4 or 8 bytes).
+    Unsigned,
+    /// IEEE-754 binary float (4 or 8 bytes).
+    Float,
+    /// A single character / byte.
+    Char,
+    /// Boolean stored in an integer of the declared size.
+    Boolean,
+    /// Enumeration, transmitted as an unsigned integer of the declared size.
+    Enumeration,
+}
+
+impl BaseType {
+    /// The PBIO type-string spelling of this base type.
+    pub fn name(self) -> &'static str {
+        match self {
+            BaseType::Integer => "integer",
+            BaseType::Unsigned => "unsigned integer",
+            BaseType::Float => "float",
+            BaseType::Char => "char",
+            BaseType::Boolean => "boolean",
+            BaseType::Enumeration => "enumeration",
+        }
+    }
+
+    /// Are `size` bytes a legal width for this base type?
+    pub fn valid_size(self, size: usize) -> bool {
+        match self {
+            BaseType::Integer | BaseType::Unsigned | BaseType::Boolean | BaseType::Enumeration => {
+                matches!(size, 1 | 2 | 4 | 8)
+            }
+            BaseType::Float => matches!(size, 4 | 8),
+            BaseType::Char => size == 1,
+        }
+    }
+
+    pub(crate) fn code(self) -> u8 {
+        match self {
+            BaseType::Integer => 0,
+            BaseType::Unsigned => 1,
+            BaseType::Float => 2,
+            BaseType::Char => 3,
+            BaseType::Boolean => 4,
+            BaseType::Enumeration => 5,
+        }
+    }
+
+    pub(crate) fn from_code(code: u8) -> Option<BaseType> {
+        Some(match code {
+            0 => BaseType::Integer,
+            1 => BaseType::Unsigned,
+            2 => BaseType::Float,
+            3 => BaseType::Char,
+            4 => BaseType::Boolean,
+            5 => BaseType::Enumeration,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for BaseType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fully resolved field kind, after layout and nested-format resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldKind {
+    /// A scalar of the field's declared size.
+    Scalar(BaseType),
+    /// A null-terminated string, stored out of line; the in-record slot is
+    /// one pointer wide (like `char*` in the C original).
+    String,
+    /// `elem_size`-byte elements, `count` of them, stored inline.
+    StaticArray {
+        /// Element category.
+        elem: BaseType,
+        /// Bytes per element.
+        elem_size: usize,
+        /// Number of elements.
+        count: usize,
+    },
+    /// A dynamically sized array stored out of line; the in-record slot is
+    /// one pointer wide and `length_field` names the sibling integer field
+    /// holding the element count (the paper's `dimensionName`).
+    DynamicArray {
+        /// Element category.
+        elem: BaseType,
+        /// Bytes per element.
+        elem_size: usize,
+        /// Sibling field holding the run-time element count.
+        length_field: String,
+    },
+    /// An embedded record of a previously registered format, stored inline
+    /// exactly like a nested C struct.
+    Nested(Arc<FormatDescriptor>),
+}
+
+impl FieldKind {
+    /// Does this field occupy a pointer-sized slot with out-of-line data?
+    pub fn is_varlen(&self) -> bool {
+        matches!(self, FieldKind::String | FieldKind::DynamicArray { .. })
+    }
+
+    /// Human-readable kind description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            FieldKind::Scalar(b) => b.name().to_string(),
+            FieldKind::String => "string".to_string(),
+            FieldKind::StaticArray { elem, count, .. } => format!("{}[{count}]", elem.name()),
+            FieldKind::DynamicArray { elem, length_field, .. } => {
+                format!("{}[{length_field}]", elem.name())
+            }
+            FieldKind::Nested(f) => format!("record {}", f.name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_validity() {
+        assert!(BaseType::Integer.valid_size(4));
+        assert!(BaseType::Integer.valid_size(8));
+        assert!(!BaseType::Integer.valid_size(3));
+        assert!(BaseType::Float.valid_size(4));
+        assert!(!BaseType::Float.valid_size(2));
+        assert!(BaseType::Char.valid_size(1));
+        assert!(!BaseType::Char.valid_size(2));
+    }
+
+    #[test]
+    fn codes_round_trip() {
+        for b in [
+            BaseType::Integer,
+            BaseType::Unsigned,
+            BaseType::Float,
+            BaseType::Char,
+            BaseType::Boolean,
+            BaseType::Enumeration,
+        ] {
+            assert_eq!(BaseType::from_code(b.code()), Some(b));
+        }
+        assert_eq!(BaseType::from_code(99), None);
+    }
+
+    #[test]
+    fn varlen_classification() {
+        assert!(FieldKind::String.is_varlen());
+        assert!(FieldKind::DynamicArray {
+            elem: BaseType::Float,
+            elem_size: 4,
+            length_field: "n".into()
+        }
+        .is_varlen());
+        assert!(!FieldKind::Scalar(BaseType::Integer).is_varlen());
+        assert!(!FieldKind::StaticArray { elem: BaseType::Char, elem_size: 1, count: 4 }
+            .is_varlen());
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        assert_eq!(FieldKind::Scalar(BaseType::Float).describe(), "float");
+        assert_eq!(
+            FieldKind::DynamicArray {
+                elem: BaseType::Float,
+                elem_size: 4,
+                length_field: "size".into()
+            }
+            .describe(),
+            "float[size]"
+        );
+    }
+}

@@ -1,0 +1,317 @@
+//! A dynamic value tree mirroring records.
+//!
+//! [`Value`] is the bridge between PBIO's memory-image records and the
+//! text-based comparators: the XML wire format (Figure 1 of the paper)
+//! renders a `Value`, and workload generators build `Value`s that are then
+//! bound to whichever wire format is under test.
+
+use std::sync::Arc;
+
+use crate::error::PbioError;
+use crate::format::FormatDescriptor;
+use crate::record::RawRecord;
+use crate::types::{BaseType, FieldKind};
+
+/// A dynamically typed datum.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Signed integer (integer fields).
+    Int(i64),
+    /// Unsigned integer (unsigned / enumeration fields).
+    UInt(u64),
+    /// Float of either width.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String (string fields and `char[N]` arrays).
+    Str(String),
+    /// Array of floats (static or dynamic).
+    FloatArray(Vec<f64>),
+    /// Array of integers (static or dynamic).
+    IntArray(Vec<i64>),
+    /// A nested record: format name + fields in declaration order.
+    Record(RecordValue),
+}
+
+/// A record-shaped value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordValue {
+    /// Format name this value is shaped like.
+    pub format_name: String,
+    /// `(field name, value)` pairs in declaration order.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl RecordValue {
+    /// Find a field's value by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+}
+
+impl Value {
+    /// Convert a record into a value tree.
+    pub fn from_record(rec: &RawRecord) -> Result<Value, PbioError> {
+        Ok(Value::Record(read_record(rec, rec.format(), "")?))
+    }
+
+    /// Bind this value tree to `format`, producing a record.
+    ///
+    /// The value must be a [`Value::Record`]; fields are matched by name
+    /// and extra value fields are rejected (they would silently vanish).
+    pub fn into_record(self, format: Arc<FormatDescriptor>) -> Result<RawRecord, PbioError> {
+        let Value::Record(rv) = self else {
+            return Err(PbioError::ValueMismatch("top-level value must be a record".to_string()));
+        };
+        let mut rec = RawRecord::new(format.clone());
+        fill_record(&mut rec, &format, "", &rv)?;
+        Ok(rec)
+    }
+}
+
+fn read_record(
+    rec: &RawRecord,
+    desc: &FormatDescriptor,
+    prefix: &str,
+) -> Result<RecordValue, PbioError> {
+    let mut fields = Vec::with_capacity(desc.fields.len());
+    for f in &desc.fields {
+        let path = format!("{prefix}{}", f.name);
+        let v = match &f.kind {
+            FieldKind::Scalar(BaseType::Integer) => Value::Int(rec.get_i64(&path)?),
+            FieldKind::Scalar(BaseType::Unsigned | BaseType::Enumeration) => {
+                Value::UInt(rec.get_u64(&path)?)
+            }
+            FieldKind::Scalar(BaseType::Char) => Value::UInt(rec.get_u64(&path)?),
+            FieldKind::Scalar(BaseType::Boolean) => Value::Bool(rec.get_bool(&path)?),
+            FieldKind::Scalar(BaseType::Float) => Value::Float(rec.get_f64(&path)?),
+            FieldKind::String => Value::Str(rec.get_string(&path)?.to_string()),
+            FieldKind::StaticArray { elem: BaseType::Char, .. } => {
+                Value::Str(rec.get_char_array(&path)?)
+            }
+            FieldKind::StaticArray { elem: BaseType::Float, count, .. } => Value::FloatArray(
+                (0..*count).map(|i| rec.get_elem_f64(&path, i)).collect::<Result<_, _>>()?,
+            ),
+            FieldKind::StaticArray { count, .. } => Value::IntArray(
+                (0..*count).map(|i| rec.get_elem_i64(&path, i)).collect::<Result<_, _>>()?,
+            ),
+            FieldKind::DynamicArray { elem: BaseType::Float, .. } => {
+                Value::FloatArray(rec.get_f64_array(&path)?)
+            }
+            FieldKind::DynamicArray { .. } => Value::IntArray(rec.get_i64_array(&path)?),
+            FieldKind::Nested(sub) => {
+                Value::Record(read_record(rec, sub, &format!("{path}."))?)
+            }
+        };
+        fields.push((f.name.clone(), v));
+    }
+    Ok(RecordValue { format_name: desc.name.clone(), fields })
+}
+
+fn fill_record(
+    rec: &mut RawRecord,
+    desc: &FormatDescriptor,
+    prefix: &str,
+    rv: &RecordValue,
+) -> Result<(), PbioError> {
+    for (name, _) in &rv.fields {
+        if desc.field(name).is_none() {
+            return Err(PbioError::ValueMismatch(format!(
+                "value field '{name}' does not exist in format '{}'",
+                desc.name
+            )));
+        }
+    }
+    for f in &desc.fields {
+        let Some(v) = rv.get(&f.name) else { continue };
+        let path = format!("{prefix}{}", f.name);
+        let err = |want: &str| {
+            PbioError::ValueMismatch(format!("field '{path}' wants {want}, got {v:?}"))
+        };
+        match (&f.kind, v) {
+            (FieldKind::Scalar(BaseType::Float), Value::Float(x)) => rec.set_f64(&path, *x)?,
+            (FieldKind::Scalar(BaseType::Float), Value::Int(x)) => {
+                rec.set_f64(&path, *x as f64)?
+            }
+            (FieldKind::Scalar(BaseType::Boolean), Value::Bool(b)) => rec.set_bool(&path, *b)?,
+            (FieldKind::Scalar(BaseType::Float | BaseType::Boolean), _) => {
+                return Err(err(f.kind.describe().as_str()))
+            }
+            (FieldKind::Scalar(_), Value::Int(x)) => rec.set_i64(&path, *x)?,
+            (FieldKind::Scalar(_), Value::UInt(x)) => rec.set_u64(&path, *x)?,
+            (FieldKind::Scalar(_), Value::Bool(b)) => rec.set_bool(&path, *b)?,
+            (FieldKind::Scalar(_), _) => return Err(err("an integer")),
+            (FieldKind::String, Value::Str(s)) => rec.set_string(&path, s.clone())?,
+            (FieldKind::String, _) => return Err(err("a string")),
+            (FieldKind::StaticArray { elem: BaseType::Char, .. }, Value::Str(s)) => {
+                rec.set_char_array(&path, s)?
+            }
+            (FieldKind::StaticArray { elem: BaseType::Float, count, .. }, Value::FloatArray(xs)) => {
+                if xs.len() != *count {
+                    return Err(err(&format!("exactly {count} floats")));
+                }
+                for (i, x) in xs.iter().enumerate() {
+                    rec.set_elem_f64(&path, i, *x)?;
+                }
+            }
+            (FieldKind::StaticArray { elem: BaseType::Float, .. }, _) => {
+                return Err(err("a float array"))
+            }
+            (FieldKind::StaticArray { count, .. }, Value::IntArray(xs)) => {
+                if xs.len() != *count {
+                    return Err(err(&format!("exactly {count} integers")));
+                }
+                for (i, x) in xs.iter().enumerate() {
+                    rec.set_elem_i64(&path, i, *x)?;
+                }
+            }
+            (FieldKind::StaticArray { .. }, _) => return Err(err("an array")),
+            (FieldKind::DynamicArray { elem: BaseType::Float, .. }, Value::FloatArray(xs)) => {
+                rec.set_f64_array(&path, xs)?
+            }
+            (FieldKind::DynamicArray { elem: BaseType::Float, .. }, _) => {
+                return Err(err("a float array"))
+            }
+            (FieldKind::DynamicArray { .. }, Value::IntArray(xs)) => {
+                rec.set_i64_array(&path, xs)?
+            }
+            (FieldKind::DynamicArray { .. }, _) => return Err(err("an integer array")),
+            (FieldKind::Nested(sub), Value::Record(sub_rv)) => {
+                fill_record(rec, sub, &format!("{path}."), sub_rv)?
+            }
+            (FieldKind::Nested(_), _) => return Err(err("a nested record")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::IOField;
+    use crate::format::FormatSpec;
+    use crate::machine::MachineModel;
+    use crate::registry::FormatRegistry;
+
+    fn setup() -> (FormatRegistry, Arc<FormatDescriptor>) {
+        let reg = FormatRegistry::new(MachineModel::native());
+        reg.register(FormatSpec::new(
+            "Hdr",
+            vec![IOField::auto("seq", "integer", 4), IOField::auto("src", "string", 0)],
+        ))
+        .unwrap();
+        let fmt = reg
+            .register(FormatSpec::new(
+                "Everything",
+                vec![
+                    IOField::auto("hdr", "Hdr", 0),
+                    IOField::auto("i", "integer", 4),
+                    IOField::auto("u", "unsigned integer", 8),
+                    IOField::auto("f", "float", 8),
+                    IOField::auto("flag", "boolean", 4),
+                    IOField::auto("label", "string", 0),
+                    IOField::auto("tag", "char[8]", 1),
+                    IOField::auto("fixed", "integer[3]", 4),
+                    IOField::auto("n", "integer", 4),
+                    IOField::auto("xs", "float[n]", 8),
+                ],
+            ))
+            .unwrap();
+        (reg, fmt)
+    }
+
+    fn sample_record(fmt: &Arc<FormatDescriptor>) -> RawRecord {
+        let mut rec = RawRecord::new(fmt.clone());
+        rec.set_i64("hdr.seq", 11).unwrap();
+        rec.set_string("hdr.src", "presend").unwrap();
+        rec.set_i64("i", -3).unwrap();
+        rec.set_u64("u", 99).unwrap();
+        rec.set_f64("f", 4.5).unwrap();
+        rec.set_bool("flag", true).unwrap();
+        rec.set_string("label", "grid-7").unwrap();
+        rec.set_char_array("tag", "vis5d").unwrap();
+        for i in 0..3 {
+            rec.set_elem_i64("fixed", i, i as i64 * 2).unwrap();
+        }
+        rec.set_f64_array("xs", &[0.5, 1.5]).unwrap();
+        rec
+    }
+
+    #[test]
+    fn record_to_value_and_back_is_identity() {
+        let (_reg, fmt) = setup();
+        let rec = sample_record(&fmt);
+        let value = Value::from_record(&rec).unwrap();
+        let back = value.clone().into_record(fmt.clone()).unwrap();
+        assert_eq!(Value::from_record(&back).unwrap(), value);
+        assert_eq!(back.fixed_bytes(), rec.fixed_bytes());
+    }
+
+    #[test]
+    fn value_shape_matches_record() {
+        let (_reg, fmt) = setup();
+        let rec = sample_record(&fmt);
+        let Value::Record(rv) = Value::from_record(&rec).unwrap() else { panic!() };
+        assert_eq!(rv.format_name, "Everything");
+        assert_eq!(rv.get("i"), Some(&Value::Int(-3)));
+        assert_eq!(rv.get("u"), Some(&Value::UInt(99)));
+        assert_eq!(rv.get("flag"), Some(&Value::Bool(true)));
+        assert_eq!(rv.get("label"), Some(&Value::Str("grid-7".to_string())));
+        assert_eq!(rv.get("tag"), Some(&Value::Str("vis5d".to_string())));
+        assert_eq!(rv.get("xs"), Some(&Value::FloatArray(vec![0.5, 1.5])));
+        let Some(Value::Record(hdr)) = rv.get("hdr") else { panic!() };
+        assert_eq!(hdr.get("src"), Some(&Value::Str("presend".to_string())));
+    }
+
+    #[test]
+    fn unknown_value_field_rejected() {
+        let (_reg, fmt) = setup();
+        let v = Value::Record(RecordValue {
+            format_name: "Everything".to_string(),
+            fields: vec![("bogus".to_string(), Value::Int(1))],
+        });
+        assert!(matches!(v.into_record(fmt), Err(PbioError::ValueMismatch(_))));
+    }
+
+    #[test]
+    fn wrongly_typed_value_field_rejected() {
+        let (_reg, fmt) = setup();
+        let v = Value::Record(RecordValue {
+            format_name: "Everything".to_string(),
+            fields: vec![("f".to_string(), Value::Str("not a float".to_string()))],
+        });
+        assert!(matches!(v.into_record(fmt), Err(PbioError::ValueMismatch(_))));
+    }
+
+    #[test]
+    fn static_array_length_enforced() {
+        let (_reg, fmt) = setup();
+        let v = Value::Record(RecordValue {
+            format_name: "Everything".to_string(),
+            fields: vec![("fixed".to_string(), Value::IntArray(vec![1, 2]))],
+        });
+        assert!(matches!(v.into_record(fmt), Err(PbioError::ValueMismatch(_))));
+    }
+
+    #[test]
+    fn non_record_top_level_rejected() {
+        let (_reg, fmt) = setup();
+        assert!(matches!(
+            Value::Int(1).into_record(fmt),
+            Err(PbioError::ValueMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn partial_values_leave_defaults() {
+        let (_reg, fmt) = setup();
+        let v = Value::Record(RecordValue {
+            format_name: "Everything".to_string(),
+            fields: vec![("i".to_string(), Value::Int(5))],
+        });
+        let rec = v.into_record(fmt).unwrap();
+        assert_eq!(rec.get_i64("i").unwrap(), 5);
+        assert_eq!(rec.get_f64("f").unwrap(), 0.0);
+        assert_eq!(rec.get_string("label").unwrap(), "");
+    }
+}

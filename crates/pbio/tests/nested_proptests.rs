@@ -1,0 +1,192 @@
+//! Property tests for nested-record formats: composition must survive
+//! layout, marshaling, cross-machine conversion and the value bridge,
+//! including strings and dynamic arrays *inside* nested records.
+
+use proptest::prelude::*;
+
+use openmeta_pbio::prelude::*;
+
+/// One inner field of a nested record.
+#[derive(Debug, Clone)]
+enum Inner {
+    Int,
+    Double,
+    Str,
+    FloatDyn,
+}
+
+fn inner_strategy() -> impl Strategy<Value = Inner> {
+    prop_oneof![Just(Inner::Int), Just(Inner::Double), Just(Inner::Str), Just(Inner::FloatDyn)]
+}
+
+#[derive(Debug, Clone)]
+struct Shape {
+    /// Fields of the inner record.
+    inner: Vec<Inner>,
+    /// How many nested members the outer record embeds (1..3).
+    copies: usize,
+    /// Outer scalar tail present?
+    tail: bool,
+}
+
+fn shape() -> impl Strategy<Value = Shape> {
+    (proptest::collection::vec(inner_strategy(), 1..5), 1usize..3, any::<bool>())
+        .prop_map(|(inner, copies, tail)| Shape { inner, copies, tail })
+}
+
+#[derive(Debug, Clone)]
+struct Data {
+    ints: Vec<i64>,
+    floats: Vec<f64>,
+    strings: Vec<String>,
+    arrays: Vec<Vec<f64>>,
+}
+
+fn data() -> impl Strategy<Value = Data> {
+    (
+        proptest::collection::vec(-1_000_000i64..1_000_000, 16),
+        proptest::collection::vec(-1e9f64..1e9, 16),
+        proptest::collection::vec("[a-zA-Z0-9 ]{0,16}", 16),
+        proptest::collection::vec(proptest::collection::vec(-1e6f64..1e6, 0..6), 16),
+    )
+        .prop_map(|(ints, floats, strings, arrays)| Data { ints, floats, strings, arrays })
+}
+
+fn build_formats(shape: &Shape, machine: MachineModel) -> (FormatRegistry, std::sync::Arc<openmeta_pbio::FormatDescriptor>) {
+    let reg = FormatRegistry::new(machine);
+    let mut inner_fields = Vec::new();
+    for (i, f) in shape.inner.iter().enumerate() {
+        match f {
+            Inner::Int => inner_fields.push(IOField::auto(format!("i{i}"), "integer", 4)),
+            Inner::Double => inner_fields.push(IOField::auto(format!("d{i}"), "float", 8)),
+            Inner::Str => inner_fields.push(IOField::auto(format!("s{i}"), "string", 0)),
+            Inner::FloatDyn => {
+                inner_fields.push(IOField::auto(format!("n{i}"), "integer", 4));
+                inner_fields.push(IOField::auto(format!("a{i}"), format!("float[n{i}]"), 8));
+            }
+        }
+    }
+    reg.register(FormatSpec::new("Inner", inner_fields)).expect("inner registers");
+    let mut outer_fields: Vec<IOField> =
+        (0..shape.copies).map(|c| IOField::auto(format!("m{c}"), "Inner", 0)).collect();
+    if shape.tail {
+        outer_fields.push(IOField::auto("tail", "integer", 8));
+    }
+    let outer = reg.register(FormatSpec::new("Outer", outer_fields)).expect("outer registers");
+    (reg, outer)
+}
+
+fn fill(rec: &mut RawRecord, shape: &Shape, data: &Data) {
+    let mut k = 0usize;
+    for c in 0..shape.copies {
+        for (i, f) in shape.inner.iter().enumerate() {
+            let idx = k % 16;
+            k += 1;
+            match f {
+                Inner::Int => rec.set_i64(&format!("m{c}.i{i}"), data.ints[idx]).unwrap(),
+                Inner::Double => rec.set_f64(&format!("m{c}.d{i}"), data.floats[idx]).unwrap(),
+                Inner::Str => {
+                    rec.set_string(&format!("m{c}.s{i}"), data.strings[idx].clone()).unwrap()
+                }
+                Inner::FloatDyn => {
+                    rec.set_f64_array(&format!("m{c}.a{i}"), &data.arrays[idx]).unwrap()
+                }
+            }
+        }
+    }
+    if shape.tail {
+        rec.set_i64("tail", -7).unwrap();
+    }
+}
+
+fn check(got: &RawRecord, want: &RawRecord, shape: &Shape) {
+    for c in 0..shape.copies {
+        for (i, f) in shape.inner.iter().enumerate() {
+            match f {
+                Inner::Int => {
+                    let p = format!("m{c}.i{i}");
+                    assert_eq!(got.get_i64(&p).unwrap(), want.get_i64(&p).unwrap(), "{p}");
+                }
+                Inner::Double => {
+                    let p = format!("m{c}.d{i}");
+                    assert_eq!(got.get_f64(&p).unwrap(), want.get_f64(&p).unwrap(), "{p}");
+                }
+                Inner::Str => {
+                    let p = format!("m{c}.s{i}");
+                    assert_eq!(got.get_string(&p).unwrap(), want.get_string(&p).unwrap(), "{p}");
+                }
+                Inner::FloatDyn => {
+                    let p = format!("m{c}.a{i}");
+                    assert_eq!(
+                        got.get_f64_array(&p).unwrap(),
+                        want.get_f64_array(&p).unwrap(),
+                        "{p}"
+                    );
+                }
+            }
+        }
+    }
+    if shape.tail {
+        assert_eq!(got.get_i64("tail").unwrap(), -7);
+    }
+}
+
+const MACHINES: [MachineModel; 4] = [
+    MachineModel::SPARC32,
+    MachineModel::SPARC64,
+    MachineModel::X86,
+    MachineModel::X86_64,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn nested_same_machine_round_trip((s, d) in (shape(), data())) {
+        let (reg, outer) = build_formats(&s, MachineModel::native());
+        let mut rec = RawRecord::new(outer);
+        fill(&mut rec, &s, &d);
+        let wire = encode(&rec).unwrap();
+        let back = decode(&wire, &reg).unwrap();
+        check(&back, &rec, &s);
+    }
+
+    #[test]
+    fn nested_cross_machine_round_trip((s, d) in (shape(), data()), a in 0usize..4, b in 0usize..4) {
+        let (_sreg, sfmt) = build_formats(&s, MACHINES[a]);
+        let (rreg, _rfmt) = build_formats(&s, MACHINES[b]);
+        rreg.register_descriptor((*sfmt).clone());
+        let mut rec = RawRecord::new(sfmt);
+        fill(&mut rec, &s, &d);
+        let wire = encode(&rec).unwrap();
+        let back = decode(&wire, &rreg).unwrap();
+        prop_assert_eq!(back.format().machine, MACHINES[b]);
+        check(&back, &rec, &s);
+    }
+
+    #[test]
+    fn nested_value_bridge_round_trip((s, d) in (shape(), data())) {
+        let (_reg, outer) = build_formats(&s, MachineModel::native());
+        let mut rec = RawRecord::new(outer.clone());
+        fill(&mut rec, &s, &d);
+        let v = Value::from_record(&rec).unwrap();
+        let back = v.into_record(outer).unwrap();
+        check(&back, &rec, &s);
+    }
+
+    #[test]
+    fn nested_decode_never_panics_on_mutation(
+        (s, d) in (shape(), data()),
+        flips in proptest::collection::vec((any::<prop::sample::Index>(), 1u8..255), 1..5),
+    ) {
+        let (reg, outer) = build_formats(&s, MachineModel::native());
+        let mut rec = RawRecord::new(outer);
+        fill(&mut rec, &s, &d);
+        let mut wire = encode(&rec).unwrap();
+        for (idx, x) in &flips {
+            let i = idx.index(wire.len());
+            wire[i] ^= *x;
+        }
+        let _ = decode(&wire, &reg);
+    }
+}

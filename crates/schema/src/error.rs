@@ -1,0 +1,62 @@
+//! Schema-level diagnostics.
+
+use std::fmt;
+
+use openmeta_xml::{Position, XmlError};
+
+/// A failure while interpreting a document as XMIT schema metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// The underlying document failed to parse as XML at all.
+    Xml(XmlError),
+    /// A structural problem in the schema (with source position).
+    Invalid {
+        /// What is wrong.
+        message: String,
+        /// Where in the source document.
+        position: Position,
+    },
+}
+
+impl SchemaError {
+    pub(crate) fn invalid(message: impl Into<String>, position: Position) -> Self {
+        SchemaError::Invalid { message: message.into(), position }
+    }
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::Xml(e) => write!(f, "schema document is not well-formed XML: {e}"),
+            SchemaError::Invalid { message, position } => {
+                write!(f, "invalid schema at {position}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SchemaError::Xml(e) => Some(e),
+            SchemaError::Invalid { .. } => None,
+        }
+    }
+}
+
+impl From<XmlError> for SchemaError {
+    fn from(e: XmlError) -> Self {
+        SchemaError::Xml(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = SchemaError::invalid("bad type", Position { line: 2, column: 5, offset: 30 });
+        assert_eq!(e.to_string(), "invalid schema at 2:5: bad type");
+    }
+}

@@ -1,0 +1,28 @@
+//! The XML Schema subset that XMIT metadata documents are written in.
+//!
+//! Per §3.1 of the paper, XMIT metadata definition "starts with XML
+//! documents that contain appropriate type definitions": `complexType`
+//! elements whose `element` children name fields, with XML Schema
+//! primitive types (`xsd:string`, `xsd:integer`, `xsd:unsignedLong`,
+//! `xsd:float`, `xsd:byte`, …) referenced through the namespace
+//! convention.  Arrays use `maxOccurs` — a number for a fixed bound, `*`
+//! for dynamic — plus XMIT's extension attributes `dimensionName` (the
+//! sibling element holding the run-time length) and `dimensionPlacement`.
+//!
+//! This crate turns DOM trees from [`openmeta_xml`] into a validated
+//! [`SchemaDocument`] model and can serialize models back to schema text
+//! (used by XMIT's code generators and by the benchmark workload
+//! generator).  It knows nothing about PBIO: mapping schema types onto
+//! native metadata is XMIT's job.
+
+pub mod error;
+pub mod model;
+pub mod parse;
+pub mod write;
+pub mod xsd;
+
+pub use error::SchemaError;
+pub use model::{ComplexType, ElementDecl, Occurs, SchemaDocument, TypeRef};
+pub use parse::{parse_document, parse_str};
+pub use write::to_xml;
+pub use xsd::{XsdPrimitive, XSD_NAMESPACES};

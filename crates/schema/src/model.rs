@@ -1,0 +1,206 @@
+//! The schema object model.
+
+use std::fmt;
+
+use crate::xsd::XsdPrimitive;
+
+/// Where a dynamic array's length travels relative to the data, per the
+/// paper's `dimensionPlacement` attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DimensionPlacement {
+    /// The length element precedes the array data (the paper's
+    /// `dimensionPlacement="before"`, and the only placement PBIO needs).
+    #[default]
+    Before,
+    /// The length element follows the array data.
+    After,
+}
+
+/// Occurrence bounds of an element (`maxOccurs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Occurs {
+    /// A scalar element (`maxOccurs` absent or `"1"`).
+    One,
+    /// A fixed-size array: `maxOccurs="16"`.
+    Bounded(usize),
+    /// A dynamically sized array: `maxOccurs="*"` (the paper's wildcard)
+    /// or `"unbounded"`.
+    Unbounded,
+}
+
+/// What an element's `type` attribute refers to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeRef {
+    /// A primitive from the XML Schema namespace.
+    Primitive(XsdPrimitive),
+    /// A previously defined `complexType`, by name (XMIT composition).
+    Named(String),
+}
+
+impl fmt::Display for TypeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeRef::Primitive(p) => write!(f, "{p}"),
+            TypeRef::Named(n) => f.write_str(n),
+        }
+    }
+}
+
+/// One `<xsd:element>` inside a complex type: a message field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElementDecl {
+    /// Field name (`name` attribute).
+    pub name: String,
+    /// Field type (`type` attribute).
+    pub type_ref: TypeRef,
+    /// Occurrence bounds (`maxOccurs`).
+    pub occurs: Occurs,
+    /// For `Occurs::Unbounded` with a run-time length: the sibling element
+    /// holding the element count (`dimensionName`, or a `maxOccurs` value
+    /// naming a field directly, which §3.1 also allows).
+    pub dimension_name: Option<String>,
+    /// Placement of the dimension element (`dimensionPlacement`).
+    pub dimension_placement: DimensionPlacement,
+}
+
+impl ElementDecl {
+    /// A scalar element.
+    pub fn scalar(name: impl Into<String>, type_ref: TypeRef) -> Self {
+        ElementDecl {
+            name: name.into(),
+            type_ref,
+            occurs: Occurs::One,
+            dimension_name: None,
+            dimension_placement: DimensionPlacement::default(),
+        }
+    }
+
+    /// A fixed-size array element.
+    pub fn array(name: impl Into<String>, type_ref: TypeRef, count: usize) -> Self {
+        ElementDecl {
+            name: name.into(),
+            type_ref,
+            occurs: Occurs::Bounded(count),
+            dimension_name: None,
+            dimension_placement: DimensionPlacement::default(),
+        }
+    }
+
+    /// A dynamic array element governed by `dimension`.
+    pub fn dynamic(
+        name: impl Into<String>,
+        type_ref: TypeRef,
+        dimension: impl Into<String>,
+    ) -> Self {
+        ElementDecl {
+            name: name.into(),
+            type_ref,
+            occurs: Occurs::Unbounded,
+            dimension_name: Some(dimension.into()),
+            dimension_placement: DimensionPlacement::Before,
+        }
+    }
+}
+
+/// One `<xsd:complexType name="...">`: a message format definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComplexType {
+    /// Format name (`name` attribute).
+    pub name: String,
+    /// Fields in document order.
+    pub elements: Vec<ElementDecl>,
+}
+
+impl ComplexType {
+    /// Create a complex type.
+    pub fn new(name: impl Into<String>, elements: Vec<ElementDecl>) -> Self {
+        ComplexType { name: name.into(), elements }
+    }
+
+    /// Find an element by name.
+    pub fn element(&self, name: &str) -> Option<&ElementDecl> {
+        self.elements.iter().find(|e| e.name == name)
+    }
+}
+
+/// A named enumeration: an `<xsd:simpleType>` restricting `xsd:string`
+/// with `<xsd:enumeration>` facets.  §3.1 counts enumeration types among
+/// the primitives XMIT maps onto native metadata; on the wire an
+/// enumeration travels as the unsigned index of its symbol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumType {
+    /// Enumeration name (`name` attribute of the simpleType).
+    pub name: String,
+    /// Legal symbols, in declaration order; the wire value is the index.
+    pub values: Vec<String>,
+}
+
+impl EnumType {
+    /// Index of a symbol.
+    pub fn index_of(&self, symbol: &str) -> Option<usize> {
+        self.values.iter().position(|v| v == symbol)
+    }
+
+    /// Symbol at an index.
+    pub fn symbol(&self, index: usize) -> Option<&str> {
+        self.values.get(index).map(String::as_str)
+    }
+}
+
+/// A parsed metadata document: every complex type it defines, in order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SchemaDocument {
+    /// Complex types in document order ("each one of these subtrees
+    /// defines a separate message format", §3.1).
+    pub types: Vec<ComplexType>,
+    /// Named enumerations defined by the document.
+    pub enums: Vec<EnumType>,
+}
+
+impl SchemaDocument {
+    /// Find a complex type by name.
+    pub fn get(&self, name: &str) -> Option<&ComplexType> {
+        self.types.iter().find(|t| t.name == name)
+    }
+
+    /// Find an enumeration by name.
+    pub fn get_enum(&self, name: &str) -> Option<&EnumType> {
+        self.enums.iter().find(|e| e.name == name)
+    }
+
+    /// Names of all defined types, in document order.
+    pub fn type_names(&self) -> Vec<&str> {
+        self.types.iter().map(|t| t.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_lookup() {
+        let ct = ComplexType::new(
+            "SimpleData",
+            vec![
+                ElementDecl::scalar("timestep", TypeRef::Primitive(XsdPrimitive::Integer)),
+                ElementDecl::dynamic("data", TypeRef::Primitive(XsdPrimitive::Float), "size"),
+            ],
+        );
+        assert_eq!(ct.element("timestep").unwrap().occurs, Occurs::One);
+        let data = ct.element("data").unwrap();
+        assert_eq!(data.occurs, Occurs::Unbounded);
+        assert_eq!(data.dimension_name.as_deref(), Some("size"));
+        assert!(ct.element("nope").is_none());
+
+        let doc = SchemaDocument { types: vec![ct], enums: vec![] };
+        assert!(doc.get("SimpleData").is_some());
+        assert_eq!(doc.type_names(), vec!["SimpleData"]);
+    }
+
+    #[test]
+    fn type_ref_display() {
+        assert_eq!(TypeRef::Primitive(XsdPrimitive::Float).to_string(), "xsd:float");
+        assert_eq!(TypeRef::Named("JoinRequest".to_string()).to_string(), "JoinRequest");
+    }
+}

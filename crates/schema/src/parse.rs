@@ -1,0 +1,594 @@
+//! Building [`SchemaDocument`]s from DOM trees.
+//!
+//! This is the "selective traversal" of §3.1: find every `complexType`
+//! subtree, then walk its `element` children.  Everything else in the
+//! document (annotations, comments, unknown attributes) is ignored, as a
+//! metadata reader should tolerate.
+
+use openmeta_xml::{Document, NodeId, Position, XMLNS_NS};
+
+use crate::error::SchemaError;
+use crate::model::{
+    ComplexType, DimensionPlacement, ElementDecl, Occurs, SchemaDocument, TypeRef,
+};
+use crate::xsd::{XsdCategory, XsdPrimitive, XSD_NAMESPACES};
+
+/// Parse schema metadata from XML text.
+pub fn parse_str(text: &str) -> Result<SchemaDocument, SchemaError> {
+    let doc = openmeta_xml::parse(text)?;
+    parse_document(&doc)
+}
+
+/// Parse schema metadata from an already-built DOM.
+pub fn parse_document(doc: &Document) -> Result<SchemaDocument, SchemaError> {
+    let Some(root) = doc.root_element() else {
+        return Err(SchemaError::invalid("document has no root element", Position::start()));
+    };
+    // "subtrees of the document tree corresponding to the set of all
+    // complexType element tags are extracted" — the root itself may be one.
+    let candidates: Vec<NodeId> = doc
+        .descendants(root)
+        .filter(|&n| {
+            matches!(&doc.node(n).kind, openmeta_xml::NodeKind::Element { .. })
+                && doc.name(n).local == "complexType"
+        })
+        .collect();
+    let mut out = SchemaDocument::default();
+    for ct in candidates {
+        let parsed = parse_complex_type(doc, ct)?;
+        if out.get(&parsed.name).is_some() {
+            return Err(SchemaError::invalid(
+                format!("duplicate complexType '{}'", parsed.name),
+                doc.node(ct).position,
+            ));
+        }
+        out.types.push(parsed);
+    }
+    // Enumerations: simpleType restrictions with enumeration facets.
+    let simple_types: Vec<NodeId> = doc
+        .descendants(root)
+        .filter(|&n| {
+            matches!(&doc.node(n).kind, openmeta_xml::NodeKind::Element { .. })
+                && doc.name(n).local == "simpleType"
+        })
+        .collect();
+    for st in simple_types {
+        let parsed = parse_enum(doc, st)?;
+        if out.get(&parsed.name).is_some() || out.get_enum(&parsed.name).is_some() {
+            return Err(SchemaError::invalid(
+                format!("duplicate type name '{}'", parsed.name),
+                doc.node(st).position,
+            ));
+        }
+        out.enums.push(parsed);
+    }
+    if out.types.is_empty() && out.enums.is_empty() {
+        return Err(SchemaError::invalid(
+            "document defines no complexType or enumeration simpleType",
+            doc.node(root).position,
+        ));
+    }
+    Ok(out)
+}
+
+fn parse_enum(doc: &Document, st: NodeId) -> Result<crate::model::EnumType, SchemaError> {
+    let at = doc.node(st).position;
+    let name = doc
+        .attribute(st, "name")
+        .ok_or_else(|| SchemaError::invalid("simpleType lacks a name attribute", at))?
+        .to_string();
+    let restriction = doc
+        .children_named(st, "restriction")
+        .next()
+        .ok_or_else(|| {
+            SchemaError::invalid(format!("simpleType '{name}' has no restriction"), at)
+        })?;
+    let mut values = Vec::new();
+    for facet in doc.children_named(restriction, "enumeration") {
+        let v = doc.attribute(facet, "value").ok_or_else(|| {
+            SchemaError::invalid(
+                format!("enumeration facet in '{name}' lacks a value"),
+                doc.node(facet).position,
+            )
+        })?;
+        if values.iter().any(|x: &String| x == v) {
+            return Err(SchemaError::invalid(
+                format!("simpleType '{name}' repeats enumeration value '{v}'"),
+                doc.node(facet).position,
+            ));
+        }
+        values.push(v.to_string());
+    }
+    if values.is_empty() {
+        return Err(SchemaError::invalid(
+            format!("simpleType '{name}' declares no enumeration values"),
+            at,
+        ));
+    }
+    Ok(crate::model::EnumType { name, values })
+}
+
+fn parse_complex_type(doc: &Document, ct: NodeId) -> Result<ComplexType, SchemaError> {
+    let at = doc.node(ct).position;
+    let name = doc
+        .attribute(ct, "name")
+        .ok_or_else(|| SchemaError::invalid("complexType lacks a name attribute", at))?
+        .to_string();
+    let mut elements: Vec<ElementDecl> = Vec::new();
+    for child in doc.child_elements(ct) {
+        let child_name = &doc.name(child).local;
+        // Sequence/annotation wrappers are transparent; anything else
+        // that is not an element declaration is ignored.
+        if child_name == "sequence" || child_name == "all" {
+            for inner in doc.child_elements(child) {
+                if doc.name(inner).local == "element" {
+                    push_element(doc, inner, &name, &mut elements)?;
+                }
+            }
+            continue;
+        }
+        if child_name == "element" {
+            push_element(doc, child, &name, &mut elements)?;
+        }
+    }
+    let ct_model = ComplexType { name, elements };
+    validate_dimensions(doc, ct, &ct_model)?;
+    Ok(ct_model)
+}
+
+fn push_element(
+    doc: &Document,
+    el: NodeId,
+    type_name: &str,
+    elements: &mut Vec<ElementDecl>,
+) -> Result<(), SchemaError> {
+    let decl = parse_element(doc, el)?;
+    if elements.iter().any(|e| e.name == decl.name) {
+        return Err(SchemaError::invalid(
+            format!("duplicate element '{}' in complexType '{type_name}'", decl.name),
+            doc.node(el).position,
+        ));
+    }
+    elements.push(decl);
+    Ok(())
+}
+
+fn parse_element(doc: &Document, el: NodeId) -> Result<ElementDecl, SchemaError> {
+    let at = doc.node(el).position;
+    let name = doc
+        .attribute(el, "name")
+        .ok_or_else(|| SchemaError::invalid("element lacks a name attribute", at))?
+        .to_string();
+    let type_attr = doc.attribute(el, "type").ok_or_else(|| {
+        SchemaError::invalid(format!("element '{name}' lacks a type attribute"), at)
+    })?;
+    let type_ref = resolve_type_ref(doc, el, type_attr, at)?;
+
+    if let Some(min) = doc.attribute(el, "minOccurs") {
+        if !matches!(min, "0" | "1") {
+            return Err(SchemaError::invalid(
+                format!("element '{name}': minOccurs must be 0 or 1, got '{min}'"),
+                at,
+            ));
+        }
+    }
+
+    let mut dimension_name = doc.attribute(el, "dimensionName").map(str::to_string);
+    let occurs = match doc.attribute(el, "maxOccurs") {
+        None | Some("1") => Occurs::One,
+        Some("*") | Some("unbounded") => Occurs::Unbounded,
+        Some(v) if v.chars().all(|c| c.is_ascii_digit()) => {
+            let n: usize = v.parse().map_err(|_| {
+                SchemaError::invalid(format!("element '{name}': maxOccurs '{v}' out of range"), at)
+            })?;
+            if n == 0 {
+                return Err(SchemaError::invalid(
+                    format!("element '{name}': maxOccurs must be positive"),
+                    at,
+                ));
+            }
+            Occurs::Bounded(n)
+        }
+        // §3.1: "if the value is a string, an element of type integer with
+        // an identical name attribute must be present … the value of this
+        // variable will be used at run-time to indicate the size".
+        Some(field) => {
+            if dimension_name.is_none() {
+                dimension_name = Some(field.to_string());
+            }
+            Occurs::Unbounded
+        }
+    };
+
+    let dimension_placement = match doc.attribute(el, "dimensionPlacement") {
+        None | Some("before") => DimensionPlacement::Before,
+        Some("after") => DimensionPlacement::After,
+        Some(other) => {
+            return Err(SchemaError::invalid(
+                format!("element '{name}': dimensionPlacement must be before/after, got '{other}'"),
+                at,
+            ))
+        }
+    };
+
+    if occurs == Occurs::Unbounded && dimension_name.is_none() {
+        return Err(SchemaError::invalid(
+            format!(
+                "element '{name}': unbounded arrays need a dimensionName (or a maxOccurs \
+                 naming the length element)"
+            ),
+            at,
+        ));
+    }
+    if matches!(occurs, Occurs::Unbounded | Occurs::Bounded(_))
+        && matches!(type_ref, TypeRef::Primitive(XsdPrimitive::String))
+    {
+        return Err(SchemaError::invalid(
+            format!("element '{name}': arrays of xsd:string are not supported"),
+            at,
+        ));
+    }
+    if matches!(occurs, Occurs::Unbounded | Occurs::Bounded(_))
+        && matches!(type_ref, TypeRef::Named(_))
+    {
+        return Err(SchemaError::invalid(
+            format!("element '{name}': arrays of complex types are not supported"),
+            at,
+        ));
+    }
+
+    Ok(ElementDecl { name, type_ref, occurs, dimension_name, dimension_placement })
+}
+
+/// Resolve a `type="pfx:local"` attribute value against in-scope
+/// namespace declarations (attribute values are QNames by convention, not
+/// by XML rule, so the DOM does not resolve them for us).
+fn resolve_type_ref(
+    doc: &Document,
+    el: NodeId,
+    value: &str,
+    at: Position,
+) -> Result<TypeRef, SchemaError> {
+    let (prefix, local) = match value.split_once(':') {
+        Some((p, l)) => (Some(p), l),
+        None => (None, value),
+    };
+    if local.is_empty() || local.contains(':') {
+        return Err(SchemaError::invalid(format!("malformed type reference '{value}'"), at));
+    }
+    let ns = match prefix {
+        None => None,
+        Some(p) => {
+            let uri = lookup_prefix(doc, el, p).ok_or_else(|| {
+                SchemaError::invalid(
+                    format!("type reference '{value}' uses undeclared prefix '{p}'"),
+                    at,
+                )
+            })?;
+            Some(uri)
+        }
+    };
+    match ns {
+        Some(uri) if XSD_NAMESPACES.contains(&uri.as_str()) => XsdPrimitive::from_local(local)
+            .map(TypeRef::Primitive)
+            .ok_or_else(|| {
+                SchemaError::invalid(
+                    format!("'xsd:{local}' is not a supported XML Schema datatype"),
+                    at,
+                )
+            }),
+        _ => Ok(TypeRef::Named(local.to_string())),
+    }
+}
+
+/// Walk ancestors for an `xmlns:prefix` declaration.
+fn lookup_prefix(doc: &Document, from: NodeId, prefix: &str) -> Option<String> {
+    let mut cur = Some(from);
+    while let Some(n) = cur {
+        for attr in doc.attributes(n) {
+            let is_decl = attr.name.namespace.as_deref() == Some(XMLNS_NS)
+                || attr.name.prefix == "xmlns";
+            if is_decl && attr.name.local == prefix {
+                return Some(attr.value.clone());
+            }
+        }
+        cur = doc.node(n).parent;
+    }
+    None
+}
+
+/// Dynamic arrays must be governed by an integer-typed sibling.
+fn validate_dimensions(
+    doc: &Document,
+    ct_node: NodeId,
+    ct: &ComplexType,
+) -> Result<(), SchemaError> {
+    let at = doc.node(ct_node).position;
+    for e in &ct.elements {
+        if e.occurs != Occurs::Unbounded {
+            continue;
+        }
+        let dim = e.dimension_name.as_deref().expect("unbounded implies dimension (parse)");
+        // The dimension element may be omitted entirely (the paper's
+        // Figure 4 SimpleData does this): the binding layer synthesizes an
+        // implicit integer length field.  When present, it must be usable.
+        let Some(target) = ct.element(dim) else { continue };
+        let ok = match &target.type_ref {
+            TypeRef::Primitive(p) => {
+                matches!(p.category(), XsdCategory::Signed(_) | XsdCategory::Unsigned(_))
+                    && target.occurs == Occurs::One
+            }
+            TypeRef::Named(_) => false,
+        };
+        if !ok {
+            return Err(SchemaError::invalid(
+                format!(
+                    "element '{}': dimension '{dim}' must be a scalar integer element",
+                    e.name
+                ),
+                at,
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const XSD: &str = "http://www.w3.org/2001/XMLSchema";
+
+    fn wrap(body: &str) -> String {
+        format!("<xsd:schema xmlns:xsd=\"{XSD}\">{body}</xsd:schema>")
+    }
+
+    /// Figure 2 of the paper, verbatim structure.
+    #[test]
+    fn parses_asdoff_event() {
+        let doc = parse_str(&wrap(
+            r#"<xsd:complexType name="ASDOffEvent">
+                 <xsd:element name="centerID" type="xsd:string" />
+                 <xsd:element name="airline" type="xsd:string" />
+                 <xsd:element name="flightNum" type="xsd:integer" />
+                 <xsd:element name="off" type="xsd:unsignedLong" />
+               </xsd:complexType>"#,
+        ))
+        .unwrap();
+        let ct = doc.get("ASDOffEvent").unwrap();
+        assert_eq!(ct.elements.len(), 4);
+        assert_eq!(
+            ct.element("centerID").unwrap().type_ref,
+            TypeRef::Primitive(XsdPrimitive::String)
+        );
+        assert_eq!(
+            ct.element("off").unwrap().type_ref,
+            TypeRef::Primitive(XsdPrimitive::UnsignedLong)
+        );
+    }
+
+    /// Figure 4's SimpleData: dynamic array with dimensionName/Placement.
+    #[test]
+    fn parses_simple_data_with_dimension() {
+        let doc = parse_str(&wrap(
+            r#"<xsd:complexType name="SimpleData">
+                 <xsd:element name="timestep" type="xsd:integer" />
+                 <xsd:element name="size" type="xsd:integer" />
+                 <xsd:element name="data" type="xsd:float"
+                     minOccurs="0" maxOccurs="*"
+                     dimensionPlacement="before" dimensionName="size" />
+               </xsd:complexType>"#,
+        ))
+        .unwrap();
+        let data = doc.get("SimpleData").unwrap().element("data").unwrap();
+        assert_eq!(data.occurs, Occurs::Unbounded);
+        assert_eq!(data.dimension_name.as_deref(), Some("size"));
+        assert_eq!(data.dimension_placement, DimensionPlacement::Before);
+    }
+
+    /// §3.1: a maxOccurs naming a field is the length variable.
+    #[test]
+    fn max_occurs_naming_a_field_is_a_dimension() {
+        let doc = parse_str(&wrap(
+            r#"<xsd:complexType name="T">
+                 <xsd:element name="count" type="xsd:int" />
+                 <xsd:element name="vals" type="xsd:double" maxOccurs="count" />
+               </xsd:complexType>"#,
+        ))
+        .unwrap();
+        let vals = doc.get("T").unwrap().element("vals").unwrap();
+        assert_eq!(vals.occurs, Occurs::Unbounded);
+        assert_eq!(vals.dimension_name.as_deref(), Some("count"));
+    }
+
+    #[test]
+    fn numeric_max_occurs_is_static_array() {
+        let doc = parse_str(&wrap(
+            r#"<xsd:complexType name="T">
+                 <xsd:element name="grid" type="xsd:float" maxOccurs="16" />
+               </xsd:complexType>"#,
+        ))
+        .unwrap();
+        assert_eq!(doc.get("T").unwrap().element("grid").unwrap().occurs, Occurs::Bounded(16));
+    }
+
+    #[test]
+    fn bare_complex_type_root_accepted() {
+        let doc = parse_str(&format!(
+            r#"<xsd:complexType name="Solo" xmlns:xsd="{XSD}">
+                 <xsd:element name="x" type="xsd:int" />
+               </xsd:complexType>"#
+        ))
+        .unwrap();
+        assert_eq!(doc.type_names(), vec!["Solo"]);
+    }
+
+    #[test]
+    fn multiple_types_and_composition() {
+        let doc = parse_str(&wrap(
+            r#"<xsd:complexType name="Header">
+                 <xsd:element name="seq" type="xsd:int" />
+               </xsd:complexType>
+               <xsd:complexType name="Msg">
+                 <xsd:element name="hdr" type="Header" />
+                 <xsd:element name="v" type="xsd:double" />
+               </xsd:complexType>"#,
+        ))
+        .unwrap();
+        assert_eq!(doc.type_names(), vec!["Header", "Msg"]);
+        assert_eq!(
+            doc.get("Msg").unwrap().element("hdr").unwrap().type_ref,
+            TypeRef::Named("Header".to_string())
+        );
+    }
+
+    #[test]
+    fn sequence_wrapper_is_transparent() {
+        let doc = parse_str(&wrap(
+            r#"<xsd:complexType name="T">
+                 <xsd:sequence>
+                   <xsd:element name="x" type="xsd:int" />
+                   <xsd:element name="y" type="xsd:int" />
+                 </xsd:sequence>
+               </xsd:complexType>"#,
+        ))
+        .unwrap();
+        assert_eq!(doc.get("T").unwrap().elements.len(), 2);
+    }
+
+    #[test]
+    fn old_draft_namespace_accepted() {
+        let doc = parse_str(
+            r#"<xsd:complexType name="T"
+                  xmlns:xsd="http://www.w3.org/2000/10/XMLSchema">
+                 <xsd:element name="x" type="xsd:unsignedLong" />
+               </xsd:complexType>"#,
+        )
+        .unwrap();
+        assert_eq!(
+            doc.get("T").unwrap().element("x").unwrap().type_ref,
+            TypeRef::Primitive(XsdPrimitive::UnsignedLong)
+        );
+    }
+
+    #[test]
+    fn missing_name_rejected() {
+        let err = parse_str(&wrap(r#"<xsd:complexType><xsd:element name="x" type="xsd:int"/></xsd:complexType>"#))
+            .unwrap_err();
+        assert!(err.to_string().contains("lacks a name"));
+    }
+
+    #[test]
+    fn missing_type_rejected() {
+        let err =
+            parse_str(&wrap(r#"<xsd:complexType name="T"><xsd:element name="x"/></xsd:complexType>"#))
+                .unwrap_err();
+        assert!(err.to_string().contains("lacks a type"));
+    }
+
+    #[test]
+    fn unknown_xsd_type_rejected() {
+        let err = parse_str(&wrap(
+            r#"<xsd:complexType name="T"><xsd:element name="x" type="xsd:hexBinary"/></xsd:complexType>"#,
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("not a supported"));
+    }
+
+    #[test]
+    fn undeclared_type_prefix_rejected() {
+        let err = parse_str(&wrap(
+            r#"<xsd:complexType name="T"><xsd:element name="x" type="zz:int"/></xsd:complexType>"#,
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("undeclared prefix"));
+    }
+
+    #[test]
+    fn unbounded_without_dimension_rejected() {
+        let err = parse_str(&wrap(
+            r#"<xsd:complexType name="T">
+                 <xsd:element name="xs" type="xsd:float" maxOccurs="*" />
+               </xsd:complexType>"#,
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("dimensionName"));
+    }
+
+    #[test]
+    fn dimension_may_be_implicit_like_figure_4() {
+        // Figure 4's SimpleData names a dimension that is not declared as
+        // an element; the binding layer synthesizes it.
+        let doc = parse_str(&wrap(
+            r#"<xsd:complexType name="T">
+                 <xsd:element name="xs" type="xsd:float" maxOccurs="*" dimensionName="n" />
+               </xsd:complexType>"#,
+        ))
+        .unwrap();
+        let xs = doc.get("T").unwrap().element("xs").unwrap();
+        assert_eq!(xs.dimension_name.as_deref(), Some("n"));
+        assert!(doc.get("T").unwrap().element("n").is_none());
+    }
+
+    #[test]
+    fn declared_dimension_must_be_integer() {
+        let err = parse_str(&wrap(
+            r#"<xsd:complexType name="T">
+                 <xsd:element name="n" type="xsd:float" />
+                 <xsd:element name="xs" type="xsd:float" maxOccurs="*" dimensionName="n" />
+               </xsd:complexType>"#,
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("scalar integer"));
+    }
+
+    #[test]
+    fn string_and_complex_arrays_rejected() {
+        for body in [
+            r#"<xsd:complexType name="T">
+                 <xsd:element name="n" type="xsd:int" />
+                 <xsd:element name="xs" type="xsd:string" maxOccurs="*" dimensionName="n" />
+               </xsd:complexType>"#,
+            r#"<xsd:complexType name="U">
+                 <xsd:element name="x" type="xsd:int" />
+               </xsd:complexType>
+               <xsd:complexType name="T">
+                 <xsd:element name="us" type="U" maxOccurs="4" />
+               </xsd:complexType>"#,
+        ] {
+            assert!(parse_str(&wrap(body)).is_err());
+        }
+    }
+
+    #[test]
+    fn duplicate_type_and_element_names_rejected() {
+        assert!(parse_str(&wrap(
+            r#"<xsd:complexType name="T"><xsd:element name="x" type="xsd:int"/></xsd:complexType>
+               <xsd:complexType name="T"><xsd:element name="y" type="xsd:int"/></xsd:complexType>"#,
+        ))
+        .is_err());
+        assert!(parse_str(&wrap(
+            r#"<xsd:complexType name="T">
+                 <xsd:element name="x" type="xsd:int"/>
+                 <xsd:element name="x" type="xsd:int"/>
+               </xsd:complexType>"#,
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn no_complex_types_rejected_and_bad_xml_wrapped() {
+        assert!(matches!(parse_str("<a/>"), Err(SchemaError::Invalid { .. })));
+        assert!(matches!(parse_str("<a>"), Err(SchemaError::Xml(_))));
+    }
+
+    #[test]
+    fn bad_min_occurs_rejected() {
+        assert!(parse_str(&wrap(
+            r#"<xsd:complexType name="T">
+                 <xsd:element name="x" type="xsd:int" minOccurs="7"/>
+               </xsd:complexType>"#,
+        ))
+        .is_err());
+    }
+}

@@ -1,0 +1,172 @@
+//! Serializing schema models back to XML Schema documents.
+//!
+//! The generator produces exactly the dialect [`crate::parse`] reads, so
+//! models round-trip.  XMIT uses this to publish formats (e.g. the tools
+//! that put documents on the HTTP server) and the benchmark harness uses
+//! it to synthesize workloads of parameterized structure sizes.
+
+use std::fmt::Write as _;
+
+use crate::model::{ComplexType, DimensionPlacement, Occurs, SchemaDocument, TypeRef};
+
+/// The namespace prefix emitted for schema constructs.
+const PREFIX: &str = "xsd";
+/// The namespace URI emitted (the 2001 recommendation).
+const NS: &str = "http://www.w3.org/2001/XMLSchema";
+
+/// Render a whole document, wrapped in `<xsd:schema>`.
+pub fn to_xml(doc: &SchemaDocument) -> String {
+    let mut out = String::with_capacity(256 * doc.types.len().max(1));
+    let _ = writeln!(out, "<{PREFIX}:schema xmlns:{PREFIX}=\"{NS}\">");
+    for e in &doc.enums {
+        write_enum(e, 1, &mut out);
+    }
+    for t in &doc.types {
+        write_type(t, 1, &mut out);
+    }
+    out.push_str(&format!("</{PREFIX}:schema>\n"));
+    out
+}
+
+fn write_enum(e: &crate::model::EnumType, depth: usize, out: &mut String) {
+    indent(depth, out);
+    let _ = writeln!(out, "<{PREFIX}:simpleType name=\"{}\">", e.name);
+    indent(depth + 1, out);
+    let _ = writeln!(out, "<{PREFIX}:restriction base=\"{PREFIX}:string\">");
+    for v in &e.values {
+        indent(depth + 2, out);
+        let _ = writeln!(out, "<{PREFIX}:enumeration value=\"{v}\" />");
+    }
+    indent(depth + 1, out);
+    let _ = writeln!(out, "</{PREFIX}:restriction>");
+    indent(depth, out);
+    let _ = writeln!(out, "</{PREFIX}:simpleType>");
+}
+
+/// Render a single complex type as a standalone document (namespace
+/// declared on the type element itself, like the paper's Figure 2).
+pub fn type_to_xml(t: &ComplexType) -> String {
+    let mut out = String::with_capacity(256);
+    let _ = writeln!(out, "<{PREFIX}:complexType name=\"{}\" xmlns:{PREFIX}=\"{NS}\">", t.name);
+    for e in &t.elements {
+        write_element(e, 1, &mut out);
+    }
+    out.push_str(&format!("</{PREFIX}:complexType>\n"));
+    out
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth * 2 {
+        out.push(' ');
+    }
+}
+
+fn write_type(t: &ComplexType, depth: usize, out: &mut String) {
+    indent(depth, out);
+    let _ = writeln!(out, "<{PREFIX}:complexType name=\"{}\">", t.name);
+    for e in &t.elements {
+        write_element(e, depth + 1, out);
+    }
+    indent(depth, out);
+    let _ = writeln!(out, "</{PREFIX}:complexType>");
+}
+
+fn write_element(e: &crate::model::ElementDecl, depth: usize, out: &mut String) {
+    indent(depth, out);
+    let type_attr = match &e.type_ref {
+        TypeRef::Primitive(p) => format!("{PREFIX}:{}", p.local_name()),
+        TypeRef::Named(n) => n.clone(),
+    };
+    let _ = write!(out, "<{PREFIX}:element name=\"{}\" type=\"{type_attr}\"", e.name);
+    match e.occurs {
+        Occurs::One => {}
+        Occurs::Bounded(n) => {
+            let _ = write!(out, " maxOccurs=\"{n}\"");
+        }
+        Occurs::Unbounded => {
+            let _ = write!(out, " minOccurs=\"0\" maxOccurs=\"*\"");
+            if let Some(dim) = &e.dimension_name {
+                let placement = match e.dimension_placement {
+                    DimensionPlacement::Before => "before",
+                    DimensionPlacement::After => "after",
+                };
+                let _ = write!(out, " dimensionPlacement=\"{placement}\" dimensionName=\"{dim}\"");
+            }
+        }
+    }
+    out.push_str(" />\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ElementDecl;
+    use crate::parse::parse_str;
+    use crate::xsd::XsdPrimitive;
+
+    fn sample() -> SchemaDocument {
+        SchemaDocument {
+            types: vec![
+                ComplexType::new(
+                    "Header",
+                    vec![ElementDecl::scalar("seq", TypeRef::Primitive(XsdPrimitive::Int))],
+                ),
+                ComplexType::new(
+                    "SimpleData",
+                    vec![
+                        ElementDecl::scalar(
+                            "timestep",
+                            TypeRef::Primitive(XsdPrimitive::Integer),
+                        ),
+                        ElementDecl::scalar("size", TypeRef::Primitive(XsdPrimitive::Integer)),
+                        ElementDecl::dynamic(
+                            "data",
+                            TypeRef::Primitive(XsdPrimitive::Float),
+                            "size",
+                        ),
+                        ElementDecl::array("grid", TypeRef::Primitive(XsdPrimitive::Double), 4),
+                        ElementDecl::scalar("hdr", TypeRef::Named("Header".to_string())),
+                    ],
+                ),
+            ],
+            enums: vec![crate::model::EnumType {
+                name: "BoundaryKind".to_string(),
+                values: vec!["open".to_string(), "wall".to_string(), "inflow".to_string()],
+            }],
+        }
+    }
+
+    #[test]
+    fn enum_simple_types_round_trip() {
+        let xml = to_xml(&sample());
+        assert!(xml.contains("<xsd:simpleType name=\"BoundaryKind\">"));
+        assert!(xml.contains("<xsd:enumeration value=\"wall\" />"));
+        let back = parse_str(&xml).unwrap();
+        assert_eq!(back.get_enum("BoundaryKind").unwrap().values.len(), 3);
+    }
+
+    #[test]
+    fn document_round_trips_through_parser() {
+        let doc = sample();
+        let xml = to_xml(&doc);
+        let back = parse_str(&xml).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn single_type_round_trips() {
+        let t = sample().types.remove(0);
+        let xml = type_to_xml(&t);
+        let back = parse_str(&xml).unwrap();
+        assert_eq!(back.types, vec![t]);
+    }
+
+    #[test]
+    fn dynamic_array_attributes_present() {
+        let xml = to_xml(&sample());
+        assert!(xml.contains("maxOccurs=\"*\""));
+        assert!(xml.contains("dimensionName=\"size\""));
+        assert!(xml.contains("dimensionPlacement=\"before\""));
+        assert!(xml.contains("maxOccurs=\"4\""));
+    }
+}

@@ -1,0 +1,197 @@
+//! The XML Schema primitive datatypes XMIT maps onto native metadata.
+//!
+//! The paper's footnote points at the XML Schema Part 0 primer for the
+//! full datatype set; XMIT uses the numeric/string core.  Each primitive
+//! here knows its canonical lexical name and its *category + width hint*,
+//! which is what the XMIT→PBIO mapping consumes (the concrete byte width
+//! for the unsized types like `xsd:integer` comes from the target machine
+//! model at binding time).
+
+use std::fmt;
+
+/// Namespace URIs accepted as "the XML Schema namespace".
+///
+/// The paper predates the final 2001 recommendation, so both the 2000
+/// working-draft and 2001 REC URIs are accepted, as Xerces did.
+pub const XSD_NAMESPACES: [&str; 3] = [
+    "http://www.w3.org/2001/XMLSchema",
+    "http://www.w3.org/2000/10/XMLSchema",
+    "http://www.w3.org/1999/XMLSchema",
+];
+
+/// An XML Schema primitive type usable in XMIT metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum XsdPrimitive {
+    /// `xsd:string`.
+    String,
+    /// `xsd:boolean`.
+    Boolean,
+    /// `xsd:float` (32-bit IEEE).
+    Float,
+    /// `xsd:double` (64-bit IEEE).
+    Double,
+    /// `xsd:integer` — unbounded in XML Schema; XMIT binds it to the
+    /// platform `int`.
+    Integer,
+    /// `xsd:long` (64-bit signed).
+    Long,
+    /// `xsd:int` (32-bit signed).
+    Int,
+    /// `xsd:short` (16-bit signed).
+    Short,
+    /// `xsd:byte` (8-bit signed).
+    Byte,
+    /// `xsd:nonNegativeInteger` — bound to platform `unsigned int`.
+    NonNegativeInteger,
+    /// `xsd:unsignedLong` — bound to platform `unsigned long`, exactly as
+    /// in the paper's `ASDOffEvent` and `JoinRequest` examples.
+    UnsignedLong,
+    /// `xsd:unsignedInt` (32-bit unsigned).
+    UnsignedInt,
+    /// `xsd:unsignedShort` (16-bit unsigned).
+    UnsignedShort,
+    /// `xsd:unsignedByte` (8-bit unsigned).
+    UnsignedByte,
+}
+
+/// The value category a primitive belongs to, for native-metadata mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XsdCategory {
+    /// Character string.
+    String,
+    /// Boolean.
+    Boolean,
+    /// Signed integer; payload is the fixed width in bytes, or `None` when
+    /// the platform decides (`xsd:integer`).
+    Signed(Option<usize>),
+    /// Unsigned integer; payload as for `Signed`, with `None` meaning
+    /// "platform `unsigned long`" for [`XsdPrimitive::UnsignedLong`].
+    Unsigned(Option<usize>),
+    /// IEEE float of the given width in bytes.
+    FloatN(usize),
+}
+
+impl XsdPrimitive {
+    /// Parse the local name of an xsd-namespace type reference.
+    pub fn from_local(local: &str) -> Option<XsdPrimitive> {
+        Some(match local {
+            "string" => XsdPrimitive::String,
+            "boolean" => XsdPrimitive::Boolean,
+            "float" => XsdPrimitive::Float,
+            "double" | "decimal" => XsdPrimitive::Double,
+            "integer" => XsdPrimitive::Integer,
+            "long" => XsdPrimitive::Long,
+            "int" => XsdPrimitive::Int,
+            "short" => XsdPrimitive::Short,
+            "byte" => XsdPrimitive::Byte,
+            "nonNegativeInteger" | "positiveInteger" => XsdPrimitive::NonNegativeInteger,
+            "unsignedLong" => XsdPrimitive::UnsignedLong,
+            "unsignedInt" => XsdPrimitive::UnsignedInt,
+            "unsignedShort" => XsdPrimitive::UnsignedShort,
+            "unsignedByte" => XsdPrimitive::UnsignedByte,
+            _ => return None,
+        })
+    }
+
+    /// The canonical lexical name (`unsignedLong`, not `UnsignedLong`).
+    pub fn local_name(self) -> &'static str {
+        match self {
+            XsdPrimitive::String => "string",
+            XsdPrimitive::Boolean => "boolean",
+            XsdPrimitive::Float => "float",
+            XsdPrimitive::Double => "double",
+            XsdPrimitive::Integer => "integer",
+            XsdPrimitive::Long => "long",
+            XsdPrimitive::Int => "int",
+            XsdPrimitive::Short => "short",
+            XsdPrimitive::Byte => "byte",
+            XsdPrimitive::NonNegativeInteger => "nonNegativeInteger",
+            XsdPrimitive::UnsignedLong => "unsignedLong",
+            XsdPrimitive::UnsignedInt => "unsignedInt",
+            XsdPrimitive::UnsignedShort => "unsignedShort",
+            XsdPrimitive::UnsignedByte => "unsignedByte",
+        }
+    }
+
+    /// The mapping category.
+    pub fn category(self) -> XsdCategory {
+        match self {
+            XsdPrimitive::String => XsdCategory::String,
+            XsdPrimitive::Boolean => XsdCategory::Boolean,
+            XsdPrimitive::Float => XsdCategory::FloatN(4),
+            XsdPrimitive::Double => XsdCategory::FloatN(8),
+            XsdPrimitive::Integer => XsdCategory::Signed(None),
+            XsdPrimitive::Long => XsdCategory::Signed(Some(8)),
+            XsdPrimitive::Int => XsdCategory::Signed(Some(4)),
+            XsdPrimitive::Short => XsdCategory::Signed(Some(2)),
+            XsdPrimitive::Byte => XsdCategory::Signed(Some(1)),
+            XsdPrimitive::NonNegativeInteger => XsdCategory::Unsigned(None),
+            XsdPrimitive::UnsignedLong => XsdCategory::Unsigned(None),
+            XsdPrimitive::UnsignedInt => XsdCategory::Unsigned(Some(4)),
+            XsdPrimitive::UnsignedShort => XsdCategory::Unsigned(Some(2)),
+            XsdPrimitive::UnsignedByte => XsdCategory::Unsigned(Some(1)),
+        }
+    }
+
+    /// Every supported primitive, for table-driven tests and generators.
+    pub fn all() -> &'static [XsdPrimitive] {
+        &[
+            XsdPrimitive::String,
+            XsdPrimitive::Boolean,
+            XsdPrimitive::Float,
+            XsdPrimitive::Double,
+            XsdPrimitive::Integer,
+            XsdPrimitive::Long,
+            XsdPrimitive::Int,
+            XsdPrimitive::Short,
+            XsdPrimitive::Byte,
+            XsdPrimitive::NonNegativeInteger,
+            XsdPrimitive::UnsignedLong,
+            XsdPrimitive::UnsignedInt,
+            XsdPrimitive::UnsignedShort,
+            XsdPrimitive::UnsignedByte,
+        ]
+    }
+}
+
+impl fmt::Display for XsdPrimitive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xsd:{}", self.local_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for &p in XsdPrimitive::all() {
+            assert_eq!(XsdPrimitive::from_local(p.local_name()), Some(p), "{p}");
+        }
+        assert_eq!(XsdPrimitive::from_local("hexBinary"), None);
+    }
+
+    #[test]
+    fn paper_types_are_present() {
+        // The types used in Figures 2 and 4 of the paper.
+        assert_eq!(XsdPrimitive::from_local("string"), Some(XsdPrimitive::String));
+        assert_eq!(XsdPrimitive::from_local("integer"), Some(XsdPrimitive::Integer));
+        assert_eq!(XsdPrimitive::from_local("unsignedLong"), Some(XsdPrimitive::UnsignedLong));
+        assert_eq!(XsdPrimitive::from_local("float"), Some(XsdPrimitive::Float));
+    }
+
+    #[test]
+    fn categories() {
+        assert_eq!(XsdPrimitive::Float.category(), XsdCategory::FloatN(4));
+        assert_eq!(XsdPrimitive::Double.category(), XsdCategory::FloatN(8));
+        assert_eq!(XsdPrimitive::Integer.category(), XsdCategory::Signed(None));
+        assert_eq!(XsdPrimitive::Short.category(), XsdCategory::Signed(Some(2)));
+        assert_eq!(XsdPrimitive::UnsignedLong.category(), XsdCategory::Unsigned(None));
+    }
+
+    #[test]
+    fn display_uses_xsd_prefix() {
+        assert_eq!(XsdPrimitive::UnsignedLong.to_string(), "xsd:unsignedLong");
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests: arbitrary schema models round-trip through the
+//! XML Schema writer and parser.
+
+use proptest::prelude::*;
+
+use openmeta_schema::{
+    parse_str, to_xml, ComplexType, ElementDecl, Occurs, SchemaDocument, TypeRef, XsdPrimitive,
+};
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-zA-Z_][a-zA-Z0-9_]{0,10}".prop_filter("avoid reserved", |s| {
+        !s.to_ascii_lowercase().starts_with("xml")
+    })
+}
+
+fn primitive() -> impl Strategy<Value = XsdPrimitive> {
+    prop::sample::select(XsdPrimitive::all().to_vec())
+}
+
+fn integer_primitive() -> impl Strategy<Value = XsdPrimitive> {
+    prop::sample::select(vec![
+        XsdPrimitive::Int,
+        XsdPrimitive::Integer,
+        XsdPrimitive::Long,
+        XsdPrimitive::UnsignedInt,
+        XsdPrimitive::UnsignedLong,
+    ])
+}
+
+fn array_elem_primitive() -> impl Strategy<Value = XsdPrimitive> {
+    prop::sample::select(
+        XsdPrimitive::all()
+            .iter()
+            .copied()
+            .filter(|p| *p != XsdPrimitive::String)
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Build a valid complex type: unique names, dimensions point at integer
+/// scalars that exist.
+fn complex_type() -> impl Strategy<Value = ComplexType> {
+    (
+        ident(),
+        proptest::collection::vec((ident(), primitive()), 1..6),
+        proptest::collection::vec(
+            // Count ≥ 2: maxOccurs="1" canonicalizes to a scalar on parse.
+            (ident(), array_elem_primitive(), 2usize..32),
+            0..3,
+        ),
+        proptest::collection::vec((ident(), array_elem_primitive(), integer_primitive()), 0..3),
+    )
+        .prop_map(|(name, scalars, bounded, dynamics)| {
+            let mut used = std::collections::HashSet::new();
+            let mut elements = Vec::new();
+            for (n, p) in scalars {
+                if used.insert(n.clone()) {
+                    elements.push(ElementDecl::scalar(n, TypeRef::Primitive(p)));
+                }
+            }
+            for (n, p, c) in bounded {
+                if used.insert(n.clone()) {
+                    elements.push(ElementDecl::array(n, TypeRef::Primitive(p), c));
+                }
+            }
+            for (i, (n, p, dim_type)) in dynamics.into_iter().enumerate() {
+                let dim_name = format!("dim_{i}_{n}");
+                if used.insert(n.clone()) && used.insert(dim_name.clone()) {
+                    elements.push(ElementDecl::scalar(
+                        dim_name.clone(),
+                        TypeRef::Primitive(dim_type),
+                    ));
+                    elements.push(ElementDecl::dynamic(n, TypeRef::Primitive(p), dim_name));
+                }
+            }
+            ComplexType::new(name, elements)
+        })
+}
+
+fn document() -> impl Strategy<Value = SchemaDocument> {
+    proptest::collection::vec(complex_type(), 1..5).prop_map(|mut types| {
+        let mut seen = std::collections::HashSet::new();
+        types.retain(|t| seen.insert(t.name.clone()));
+        SchemaDocument { types, enums: vec![] }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn write_parse_round_trip(doc in document()) {
+        let xml = to_xml(&doc);
+        let back = parse_str(&xml)
+            .unwrap_or_else(|e| panic!("generated schema failed to parse: {e}\n{xml}"));
+        prop_assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn parser_never_panics_on_schemaish_soup(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("<xsd:complexType name=\"T\">".to_string()),
+                Just("</xsd:complexType>".to_string()),
+                Just("<xsd:element name=\"x\" type=\"xsd:int\"/>".to_string()),
+                Just("<xsd:element/>".to_string()),
+                Just("<xsd:simpleType name=\"E\">".to_string()),
+                Just("</xsd:simpleType>".to_string()),
+                Just("<xsd:restriction base=\"xsd:string\">".to_string()),
+                Just("</xsd:restriction>".to_string()),
+                Just("<xsd:enumeration value=\"a\"/>".to_string()),
+                Just("maxOccurs=\"*\"".to_string()),
+                Just("<a>".to_string()),
+                Just("</a>".to_string()),
+                ident(),
+            ],
+            0..12,
+        )
+    ) {
+        let _ = parse_str(&parts.concat());
+    }
+
+    #[test]
+    fn all_dynamic_arrays_keep_dimension(doc in document()) {
+        let xml = to_xml(&doc);
+        let back = parse_str(&xml).unwrap();
+        for t in &back.types {
+            for e in &t.elements {
+                if e.occurs == Occurs::Unbounded {
+                    let dim = e.dimension_name.as_deref().expect("dimension preserved");
+                    prop_assert!(t.element(dim).is_some());
+                }
+            }
+        }
+    }
+}

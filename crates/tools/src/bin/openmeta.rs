@@ -1,0 +1,115 @@
+//! `openmeta` — command-line tools for XMIT metadata.
+//!
+//! ```text
+//! openmeta validate <url-or-file>
+//! openmeta layout   <url-or-file> <type> [native|sparc32|sparc64|x86|x86_64]
+//! openmeta codegen  <java|c|class> <url-or-file> <type> [package] [-o dir]
+//! openmeta match    <message-file> <url-or-file>
+//! openmeta inspect  <pbio-file>
+//! openmeta serve    <dir> [port]
+//! ```
+
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  openmeta validate <url-or-file>\n  \
+         openmeta layout <url-or-file> <type> [machine]\n  \
+         openmeta codegen <java|c|cpp|class> <url-or-file> <type> [package] [-o dir]\n  \
+         openmeta diff <old-url> <new-url> <type> [machine]\n  \
+         openmeta match <message-file> <url-or-file>\n  \
+         openmeta inspect <pbio-file>\n  \
+         openmeta serve <dir> [port]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result: Result<(), String> = match args.split_first() {
+        Some((cmd, rest)) => match (cmd.as_str(), rest) {
+            ("validate", [spec]) => openmeta_tools::validate(spec).map(|o| print!("{o}")),
+            ("layout", [spec, ty]) => {
+                openmeta_tools::layout(spec, ty, None).map(|o| print!("{o}"))
+            }
+            ("layout", [spec, ty, machine]) => {
+                openmeta_tools::layout(spec, ty, Some(machine)).map(|o| print!("{o}"))
+            }
+            ("codegen", [kind, spec, ty, tail @ ..]) => {
+                let mut package = None;
+                let mut out_dir = None;
+                let mut it = tail.iter();
+                while let Some(a) = it.next() {
+                    if a == "-o" {
+                        out_dir = it.next().cloned();
+                    } else {
+                        package = Some(a.clone());
+                    }
+                }
+                openmeta_tools::codegen(kind, spec, ty, package.as_deref()).and_then(|files| {
+                    for (name, bytes) in files {
+                        match &out_dir {
+                            Some(dir) => {
+                                let path = std::path::Path::new(dir).join(&name);
+                                std::fs::write(&path, &bytes)
+                                    .map_err(|e| format!("write {}: {e}", path.display()))?;
+                                println!("wrote {}", path.display());
+                            }
+                            None => match String::from_utf8(bytes) {
+                                Ok(text) => print!("{text}"),
+                                Err(_) => {
+                                    return Err(format!(
+                                        "{name} is binary; use -o <dir> to write it"
+                                    ))
+                                }
+                            },
+                        }
+                    }
+                    Ok(())
+                })
+            }
+            ("diff", [old, new, ty]) => {
+                openmeta_tools::diff(old, new, ty, None).map(|o| print!("{o}"))
+            }
+            ("diff", [old, new, ty, machine]) => {
+                openmeta_tools::diff(old, new, ty, Some(machine)).map(|o| print!("{o}"))
+            }
+            ("match", [message, spec]) => {
+                openmeta_tools::match_msg(message, spec).map(|o| print!("{o}"))
+            }
+            ("inspect", [path]) => openmeta_tools::inspect(path).map(|o| print!("{o}")),
+            ("serve", [dir, rest @ ..]) => {
+                let port = match rest {
+                    [] => 0u16,
+                    [p] => match p.parse() {
+                        Ok(p) => p,
+                        Err(_) => return usage(),
+                    },
+                    _ => return usage(),
+                };
+                match openmeta_tools::serve(dir, port) {
+                    Ok((server, hosted)) => {
+                        println!("serving metadata from {dir} on http://{}", server.addr());
+                        for url in hosted {
+                            println!("  {url}");
+                        }
+                        println!("(ctrl-c to stop)");
+                        loop {
+                            std::thread::sleep(std::time::Duration::from_secs(3600));
+                        }
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            _ => return usage(),
+        },
+        None => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("openmeta: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! Command implementations behind the `openmeta` CLI.
+//!
+//! Each command is a plain function from parsed arguments to output text,
+//! so everything is unit-testable without spawning processes:
+//!
+//! | command | function | role |
+//! |---|---|---|
+//! | `validate <url>` | [`validate`] | check a metadata document, list its types |
+//! | `layout <url> <type> [machine]` | [`layout`] | show the generated native struct layout |
+//! | `codegen <java\|c\|class> <url> <type>` | [`codegen`] | emit language bindings |
+//! | `match <message-file> <url>` | [`match_msg`] | schema-check a live message (§3) |
+//! | `inspect <pbio-file>` | [`inspect`] | dump a self-describing PBIO data file |
+//! | `serve <dir> [port]` | [`serve`] | host a directory of metadata documents |
+//!
+//! The `url` arguments accept `http://`, `file://` and bare paths (which
+//! are treated as `file://`).
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use openmeta_pbio::file::FileReader;
+use openmeta_pbio::Value;
+use xmit::{MachineModel, Xmit};
+
+/// Error type: operator-facing message text.
+pub type ToolError = String;
+
+fn to_url(spec: &str) -> String {
+    if spec.contains("://") {
+        spec.to_string()
+    } else {
+        let abs = std::path::absolute(spec).unwrap_or_else(|_| Path::new(spec).to_path_buf());
+        format!("file://{}", abs.display())
+    }
+}
+
+fn machine_by_name(name: Option<&str>) -> Result<MachineModel, ToolError> {
+    Ok(match name.unwrap_or("native") {
+        "native" => MachineModel::native(),
+        "sparc32" => MachineModel::SPARC32,
+        "sparc64" => MachineModel::SPARC64,
+        "x86" => MachineModel::X86,
+        "x86_64" => MachineModel::X86_64,
+        other => return Err(format!("unknown machine model '{other}'")),
+    })
+}
+
+fn load(spec: &str, machine: MachineModel) -> Result<Xmit, ToolError> {
+    let toolkit = Xmit::new(machine);
+    toolkit.load_url(&to_url(spec)).map_err(|e| e.to_string())?;
+    Ok(toolkit)
+}
+
+/// `openmeta validate <url>`
+pub fn validate(spec: &str) -> Result<String, ToolError> {
+    let toolkit = load(spec, MachineModel::native())?;
+    let mut out = String::new();
+    let names = toolkit.loaded_types();
+    let _ = writeln!(out, "{}: {} complexType(s)", spec, names.len());
+    for name in names {
+        match toolkit.bind(&name) {
+            Ok(token) => {
+                let _ = writeln!(
+                    out,
+                    "  {name}: binds OK ({} fields, {} bytes native, id {})",
+                    token.format.total_field_count(),
+                    token.format.record_size,
+                    token.id()
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "  {name}: DOES NOT BIND — {e}");
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `openmeta layout <url> <type> [machine]`
+pub fn layout(spec: &str, type_name: &str, machine: Option<&str>) -> Result<String, ToolError> {
+    let machine = machine_by_name(machine)?;
+    let toolkit = load(spec, machine)?;
+    let token = toolkit.bind(type_name).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} ({} bytes, align {}, format id {}):",
+        type_name, token.format.record_size, token.format.align, token.id()
+    );
+    let _ = writeln!(out, "  {:<18} {:>6} {:>5}  kind", "field", "offset", "size");
+    for f in &token.format.fields {
+        let _ = writeln!(
+            out,
+            "  {:<18} {:>6} {:>5}  {}",
+            f.name,
+            f.offset,
+            f.size,
+            f.kind.describe()
+        );
+    }
+    Ok(out)
+}
+
+/// `openmeta codegen <java|c|class> <url> <type> [package]`
+pub fn codegen(
+    kind: &str,
+    spec: &str,
+    type_name: &str,
+    package: Option<&str>,
+) -> Result<Vec<(String, Vec<u8>)>, ToolError> {
+    let toolkit = load(spec, MachineModel::native())?;
+    let ct = toolkit
+        .definition(type_name)
+        .ok_or_else(|| format!("no complexType '{type_name}' in {spec}"))?;
+    match kind {
+        "java" => {
+            let src =
+                xmit::codegen::java::generate_class(&ct, package).map_err(|e| e.to_string())?;
+            Ok(vec![(format!("{type_name}.java"), src.into_bytes())])
+        }
+        "c" => {
+            let src = xmit::codegen::c::generate_header(&ct).map_err(|e| e.to_string())?;
+            Ok(vec![(format!("{type_name}.h"), src.into_bytes())])
+        }
+        "cpp" => {
+            let src =
+                xmit::codegen::cpp::generate_class(&ct, package).map_err(|e| e.to_string())?;
+            Ok(vec![(format!("{type_name}.hpp"), src.into_bytes())])
+        }
+        "class" => {
+            let bytes = xmit::codegen::jvm::generate_classfile(&ct, package)
+                .map_err(|e| e.to_string())?;
+            Ok(vec![(format!("{type_name}.class"), bytes)])
+        }
+        other => Err(format!("unknown codegen target '{other}' (java|c|cpp|class)")),
+    }
+}
+
+/// `openmeta match <message-file> <url>`
+pub fn match_msg(message_path: &str, spec: &str) -> Result<String, ToolError> {
+    let message = std::fs::read_to_string(message_path)
+        .map_err(|e| format!("read {message_path}: {e}"))?;
+    let toolkit = load(spec, MachineModel::native())?;
+    let candidates: Vec<xmit::ComplexType> = toolkit
+        .loaded_types()
+        .into_iter()
+        .filter_map(|n| toolkit.definition(&n))
+        .collect();
+    let reports = xmit::match_message(&message, &candidates).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "candidates for {message_path}, best first:");
+    for r in reports {
+        let _ = writeln!(
+            out,
+            "  {:<24} score {:.2}  (matched {}, missing {:?}, mismatched {:?}, unexplained {:?})",
+            r.type_name, r.score, r.matched, r.missing, r.mismatched, r.unexplained
+        );
+    }
+    Ok(out)
+}
+
+/// `openmeta diff <old-url> <new-url> <type> [machine]` — evolution
+/// compatibility check before pushing a central format change.
+pub fn diff(
+    old_spec: &str,
+    new_spec: &str,
+    type_name: &str,
+    machine: Option<&str>,
+) -> Result<String, ToolError> {
+    let machine = machine_by_name(machine)?;
+    let old = load(old_spec, machine)?
+        .definition(type_name)
+        .ok_or_else(|| format!("no complexType '{type_name}' in {old_spec}"))?;
+    let new = load(new_spec, machine)?
+        .definition(type_name)
+        .ok_or_else(|| format!("no complexType '{type_name}' in {new_spec}"))?;
+    let report = xmit::diff_types(&old, &new, &machine).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let verdict = match report.compatibility {
+        xmit::Compatibility::Identical => "IDENTICAL — same format id, nothing changes",
+        xmit::Compatibility::Compatible => {
+            "COMPATIBLE — restricted evolution applies; old and new receivers interoperate"
+        }
+        xmit::Compatibility::Lossy => {
+            "LOSSY — shared fields changed width; values may truncate in one direction"
+        }
+        xmit::Compatibility::Breaking => {
+            "BREAKING — a shared field changed category; receivers will reject messages"
+        }
+    };
+    let _ = writeln!(out, "{type_name}: {verdict}");
+    for c in &report.changes {
+        let line = match c {
+            xmit::FieldChange::Added(n) => format!("+ {n} (invisible to old receivers)"),
+            xmit::FieldChange::Removed(n) => format!("- {n} (zero/empty at new receivers)"),
+            xmit::FieldChange::Resized { name, old_size, new_size } => {
+                format!("~ {name}: {old_size} -> {new_size} bytes")
+            }
+            xmit::FieldChange::Retyped { name, old_kind, new_kind } => {
+                format!("! {name}: {old_kind} -> {new_kind}")
+            }
+        };
+        let _ = writeln!(out, "  {line}");
+    }
+    Ok(out)
+}
+
+/// `openmeta inspect <pbio-file>`
+pub fn inspect(path: &str) -> Result<String, ToolError> {
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let mut reader = FileReader::new(std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let mut count = 0usize;
+    loop {
+        match reader.next_record() {
+            Ok(Some(rec)) => {
+                count += 1;
+                let _ = writeln!(
+                    out,
+                    "record {count}: {} ({} bytes native)",
+                    rec.format().name,
+                    rec.format().record_size
+                );
+                if let Ok(Value::Record(rv)) = Value::from_record(&rec) {
+                    for (name, value) in &rv.fields {
+                        let rendered = match value {
+                            Value::FloatArray(v) if v.len() > 8 => {
+                                format!("[{} floats]", v.len())
+                            }
+                            Value::IntArray(v) if v.len() > 8 => {
+                                format!("[{} ints]", v.len())
+                            }
+                            other => format!("{other:?}"),
+                        };
+                        let _ = writeln!(out, "    {name} = {rendered}");
+                    }
+                }
+            }
+            Ok(None) => break,
+            Err(e) => return Err(format!("at record {}: {e}", count + 1)),
+        }
+    }
+    let _ = writeln!(out, "{count} record(s), {} format(s)", reader.registry().len());
+    Ok(out)
+}
+
+/// `openmeta serve <dir> [port]` — returns the running server and the
+/// list of hosted paths; the binary keeps it alive.
+pub fn serve(dir: &str, port: u16) -> Result<(openmeta_ohttp::HttpServer, Vec<String>), ToolError> {
+    let server = openmeta_ohttp::HttpServer::start_on(port).map_err(|e| e.to_string())?;
+    let mut hosted = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read {dir}: {e}"))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let path = entry.path();
+        if path.is_file() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or_default();
+            if name.ends_with(".xsd") || name.ends_with(".xml") {
+                let body = std::fs::read(&path).map_err(|e| e.to_string())?;
+                let web_path = format!("/formats/{name}");
+                server.put_xml(&web_path, body);
+                hosted.push(server.url_for(&web_path));
+            }
+        }
+    }
+    if hosted.is_empty() {
+        return Err(format!("{dir} holds no .xsd/.xml documents"));
+    }
+    Ok((server, hosted))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const XSD: &str = "http://www.w3.org/2001/XMLSchema";
+
+    fn fixture_dir(test: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("openmeta-tools-{}-{test}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("simple.xsd"),
+            format!(
+                r#"<xsd:complexType name="SimpleData" xmlns:xsd="{XSD}">
+                     <xsd:element name="timestep" type="xsd:integer" />
+                     <xsd:element name="data" type="xsd:float" maxOccurs="*"
+                         dimensionName="size" />
+                   </xsd:complexType>"#
+            ),
+        )
+        .unwrap();
+        dir
+    }
+
+    #[test]
+    fn validate_reports_types() {
+        let dir = fixture_dir("validate");
+        let out = validate(dir.join("simple.xsd").to_str().unwrap()).unwrap();
+        assert!(out.contains("1 complexType(s)"));
+        assert!(out.contains("SimpleData: binds OK (3 fields"));
+    }
+
+    #[test]
+    fn validate_reports_parse_failures() {
+        let dir = fixture_dir("badparse");
+        let bad = dir.join("bad.xsd");
+        std::fs::write(&bad, "<not-schema/>").unwrap();
+        assert!(validate(bad.to_str().unwrap()).is_err());
+    }
+
+    #[test]
+    fn layout_shows_machine_specific_offsets() {
+        let dir = fixture_dir("layout");
+        let spec = dir.join("simple.xsd");
+        let sparc = layout(spec.to_str().unwrap(), "SimpleData", Some("sparc32")).unwrap();
+        assert!(sparc.contains("(12 bytes"), "{sparc}");
+        assert!(sparc.contains("float[size]"));
+        assert!(layout(spec.to_str().unwrap(), "SimpleData", Some("mips")).is_err());
+        assert!(layout(spec.to_str().unwrap(), "Nope", None).is_err());
+    }
+
+    #[test]
+    fn codegen_all_three_targets() {
+        let dir = fixture_dir("codegen");
+        let spec = dir.join("simple.xsd");
+        let spec = spec.to_str().unwrap();
+        let java = codegen("java", spec, "SimpleData", Some("edu.gatech")).unwrap();
+        assert_eq!(java[0].0, "SimpleData.java");
+        assert!(String::from_utf8_lossy(&java[0].1).contains("package edu.gatech;"));
+        let c = codegen("c", spec, "SimpleData", None).unwrap();
+        assert!(String::from_utf8_lossy(&c[0].1).contains("float *data;"));
+        let cpp = codegen("cpp", spec, "SimpleData", Some("hydro")).unwrap();
+        assert_eq!(cpp[0].0, "SimpleData.hpp");
+        assert!(String::from_utf8_lossy(&cpp[0].1).contains("std::vector<float> data;"));
+        assert!(String::from_utf8_lossy(&cpp[0].1).contains("namespace hydro {"));
+        let class = codegen("class", spec, "SimpleData", None).unwrap();
+        assert_eq!(&class[0].1[0..4], &[0xCA, 0xFE, 0xBA, 0xBE]);
+        assert!(codegen("cobol", spec, "SimpleData", None).is_err());
+    }
+
+    #[test]
+    fn match_ranks_candidates() {
+        let dir = fixture_dir("match");
+        let msg = dir.join("live.xml");
+        std::fs::write(
+            &msg,
+            "<SimpleData><timestep>4</timestep><size>1</size><data>0.5</data></SimpleData>",
+        )
+        .unwrap();
+        let out = match_msg(msg.to_str().unwrap(), dir.join("simple.xsd").to_str().unwrap())
+            .unwrap();
+        assert!(out.contains("SimpleData"));
+        assert!(out.contains("score 1.00"), "{out}");
+    }
+
+    #[test]
+    fn inspect_dumps_pbio_files() {
+        use openmeta_pbio::file::FileWriter;
+        let dir = fixture_dir("inspect");
+        let toolkit = Xmit::new(MachineModel::native());
+        toolkit
+            .load_url(&to_url(dir.join("simple.xsd").to_str().unwrap()))
+            .unwrap();
+        let token = toolkit.bind("SimpleData").unwrap();
+        let mut w = FileWriter::new(Vec::new()).unwrap();
+        let mut rec = token.new_record();
+        rec.set_i64("timestep", 8).unwrap();
+        rec.set_f64_array("data", &[1.0; 20]).unwrap();
+        w.write_record(&rec).unwrap();
+        let bytes = w.finish().unwrap();
+        let file = dir.join("frames.pbio");
+        std::fs::write(&file, bytes).unwrap();
+        let out = inspect(file.to_str().unwrap()).unwrap();
+        assert!(out.contains("record 1: SimpleData"));
+        assert!(out.contains("timestep = Int(8)"));
+        assert!(out.contains("[20 floats]"));
+        assert!(out.contains("1 record(s), 1 format(s)"));
+    }
+
+    #[test]
+    fn serve_hosts_directory() {
+        let dir = fixture_dir("serve");
+        let (server, hosted) = serve(dir.to_str().unwrap(), 0).unwrap();
+        assert_eq!(hosted.len(), 1);
+        let toolkit = Xmit::new(MachineModel::native());
+        let names = toolkit.load_url(&hosted[0]).unwrap();
+        assert_eq!(names, vec!["SimpleData"]);
+        drop(server);
+        let empty = std::env::temp_dir().join(format!("openmeta-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&empty).unwrap();
+        assert!(serve(empty.to_str().unwrap(), 0).is_err());
+    }
+}
+
+#[cfg(test)]
+mod diff_tests {
+    use super::*;
+
+    const XSD: &str = "http://www.w3.org/2001/XMLSchema";
+
+    #[test]
+    fn diff_renders_verdict_and_changes() {
+        let dir = std::env::temp_dir().join(format!("openmeta-diff-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let old = dir.join("v1.xsd");
+        let new = dir.join("v2.xsd");
+        std::fs::write(
+            &old,
+            format!(
+                r#"<xsd:complexType name="T" xmlns:xsd="{XSD}">
+                     <xsd:element name="x" type="xsd:int" />
+                     <xsd:element name="gone" type="xsd:string" />
+                   </xsd:complexType>"#
+            ),
+        )
+        .unwrap();
+        std::fs::write(
+            &new,
+            format!(
+                r#"<xsd:complexType name="T" xmlns:xsd="{XSD}">
+                     <xsd:element name="x" type="xsd:int" />
+                     <xsd:element name="fresh" type="xsd:double" />
+                   </xsd:complexType>"#
+            ),
+        )
+        .unwrap();
+        let out = diff(old.to_str().unwrap(), new.to_str().unwrap(), "T", None).unwrap();
+        assert!(out.contains("COMPATIBLE"), "{out}");
+        assert!(out.contains("+ fresh"));
+        assert!(out.contains("- gone"));
+        assert!(diff(old.to_str().unwrap(), new.to_str().unwrap(), "U", None).is_err());
+    }
+}

@@ -1,0 +1,343 @@
+//! CORBA CDR (Common Data Representation), as carried by IIOP.
+//!
+//! §5 of the paper: "IIOP attempts to reduce marshaling overhead by
+//! adopting a 'reader-makes-right' approach with respect to byte order
+//! (the actual byte order used in a message is specified by a header
+//! field) … but is not sufficient to allow such message exchanges without
+//! copying of data at both sender and receiver."
+//!
+//! This implementation follows CDR encapsulation rules: one byte-order
+//! flag byte, then primitives aligned to their natural size relative to
+//! the start of the encapsulation, strings as length-prefixed
+//! NUL-terminated octets, sequences as length-prefixed element runs, and
+//! struct members in declaration order.  Every field is visited and
+//! copied individually — the per-field cost Figure 8 shows sitting well
+//! above PBIO's block copy.
+
+use std::sync::Arc;
+
+use openmeta_pbio::{BaseType, FieldKind, FormatDescriptor, RawRecord};
+
+use crate::error::WireError;
+use crate::traits::WireFormat;
+use crate::util::{get_int, get_uint, pad_to, put_uint, Cursor, Order};
+
+/// The CDR comparator.
+#[derive(Default)]
+pub struct CdrWire;
+
+impl CdrWire {
+    /// Create the comparator.
+    pub fn new() -> Self {
+        CdrWire
+    }
+}
+
+fn err(message: impl Into<String>) -> WireError {
+    WireError::new("cdr", message)
+}
+
+/// CDR alignment of a primitive of `size` bytes.
+fn cdr_align(size: usize) -> usize {
+    size.clamp(1, 8)
+}
+
+impl WireFormat for CdrWire {
+    fn name(&self) -> &'static str {
+        "cdr"
+    }
+
+    fn encode(&self, rec: &RawRecord, out: &mut Vec<u8>) -> Result<usize, WireError> {
+        let start = out.len();
+        // CDR encapsulations are self-contained; encode into a scratch
+        // buffer so alignment is relative to the encapsulation start.
+        let mut body = Vec::with_capacity(rec.format().record_size * 2);
+        body.push(match Order::native() {
+            Order::Be => 0u8,
+            Order::Le => 1u8,
+        });
+        encode_struct(rec, rec.format(), "", &mut body)?;
+        out.extend_from_slice(&body);
+        Ok(out.len() - start)
+    }
+
+    fn decode(
+        &self,
+        bytes: &[u8],
+        format: &Arc<FormatDescriptor>,
+    ) -> Result<RawRecord, WireError> {
+        let mut cur = Cursor::new(bytes);
+        let flag = cur.take(1).map_err(|_| err("empty message"))?[0];
+        let order = match flag {
+            0 => Order::Be,
+            1 => Order::Le,
+            other => return Err(err(format!("bad byte-order flag {other}"))),
+        };
+        let mut rec = RawRecord::new(format.clone());
+        decode_struct(&mut cur, order, format, "", &mut rec)?;
+        Ok(rec)
+    }
+}
+
+fn encode_struct(
+    rec: &RawRecord,
+    desc: &FormatDescriptor,
+    prefix: &str,
+    out: &mut Vec<u8>,
+) -> Result<(), WireError> {
+    let order = Order::native();
+    for f in &desc.fields {
+        let path =
+            if prefix.is_empty() { f.name.clone() } else { format!("{prefix}.{}", f.name) };
+        match &f.kind {
+            FieldKind::Scalar(b) => {
+                pad_to(out, cdr_align(f.size));
+                let raw = match b {
+                    BaseType::Float => {
+                        if f.size == 4 {
+                            u64::from((rec.get_f64(&path)? as f32).to_bits())
+                        } else {
+                            rec.get_f64(&path)?.to_bits()
+                        }
+                    }
+                    _ => rec.get_u64(&path)?,
+                };
+                put_uint(out, order, f.size, raw);
+            }
+            FieldKind::String => {
+                let s = rec.get_string(&path)?;
+                pad_to(out, 4);
+                put_uint(out, order, 4, (s.len() + 1) as u64);
+                out.extend_from_slice(s.as_bytes());
+                out.push(0);
+            }
+            FieldKind::StaticArray { elem, elem_size, count } => {
+                pad_to(out, cdr_align(*elem_size));
+                for i in 0..*count {
+                    let raw = match elem {
+                        BaseType::Float => {
+                            if *elem_size == 4 {
+                                u64::from((rec.get_elem_f64(&path, i)? as f32).to_bits())
+                            } else {
+                                rec.get_elem_f64(&path, i)?.to_bits()
+                            }
+                        }
+                        _ => rec.get_elem_i64(&path, i)? as u64,
+                    };
+                    put_uint(out, order, *elem_size, raw);
+                }
+            }
+            FieldKind::DynamicArray { elem, elem_size, .. } => {
+                pad_to(out, 4);
+                if matches!(elem, BaseType::Float) {
+                    let vals = rec.get_f64_array(&path)?;
+                    put_uint(out, order, 4, vals.len() as u64);
+                    pad_to(out, cdr_align(*elem_size));
+                    for v in vals {
+                        let raw = if *elem_size == 4 {
+                            u64::from((v as f32).to_bits())
+                        } else {
+                            v.to_bits()
+                        };
+                        put_uint(out, order, *elem_size, raw);
+                    }
+                } else {
+                    let vals = rec.get_i64_array(&path)?;
+                    put_uint(out, order, 4, vals.len() as u64);
+                    pad_to(out, cdr_align(*elem_size));
+                    for v in vals {
+                        put_uint(out, order, *elem_size, v as u64);
+                    }
+                }
+            }
+            FieldKind::Nested(sub) => encode_struct(rec, sub, &path, out)?,
+        }
+    }
+    Ok(())
+}
+
+fn decode_struct(
+    cur: &mut Cursor<'_>,
+    order: Order,
+    desc: &FormatDescriptor,
+    prefix: &str,
+    rec: &mut RawRecord,
+) -> Result<(), WireError> {
+    for f in &desc.fields {
+        let path =
+            if prefix.is_empty() { f.name.clone() } else { format!("{prefix}.{}", f.name) };
+        let trunc = || err(format!("truncated at field '{path}'"));
+        match &f.kind {
+            FieldKind::Scalar(b) => {
+                cur.align(cdr_align(f.size)).map_err(|_| trunc())?;
+                let raw = cur.take(f.size).map_err(|_| trunc())?;
+                match b {
+                    BaseType::Float => {
+                        let v = if f.size == 4 {
+                            f32::from_bits(get_uint(raw, order) as u32) as f64
+                        } else {
+                            f64::from_bits(get_uint(raw, order))
+                        };
+                        rec.set_f64(&path, v)?;
+                    }
+                    BaseType::Integer => {
+                        rec.set_i64(&path, get_int(raw, order))?;
+                    }
+                    _ => {
+                        rec.set_u64(&path, get_uint(raw, order))?;
+                    }
+                }
+            }
+            FieldKind::String => {
+                cur.align(4).map_err(|_| trunc())?;
+                let len = get_uint(cur.take(4).map_err(|_| trunc())?, order) as usize;
+                if len == 0 {
+                    return Err(err(format!("zero-length CDR string at '{path}'")));
+                }
+                let bytes = cur.take(len).map_err(|_| trunc())?;
+                if bytes[len - 1] != 0 {
+                    return Err(err(format!("CDR string at '{path}' lacks NUL")));
+                }
+                let s = std::str::from_utf8(&bytes[..len - 1])
+                    .map_err(|_| err(format!("string at '{path}' is not UTF-8")))?;
+                rec.set_string(&path, s)?;
+            }
+            FieldKind::StaticArray { elem, elem_size, count } => {
+                cur.align(cdr_align(*elem_size)).map_err(|_| trunc())?;
+                for i in 0..*count {
+                    let raw = cur.take(*elem_size).map_err(|_| trunc())?;
+                    if matches!(elem, BaseType::Float) {
+                        let v = if *elem_size == 4 {
+                            f32::from_bits(get_uint(raw, order) as u32) as f64
+                        } else {
+                            f64::from_bits(get_uint(raw, order))
+                        };
+                        rec.set_elem_f64(&path, i, v)?;
+                    } else {
+                        rec.set_elem_i64(&path, i, get_int(raw, order))?;
+                    }
+                }
+            }
+            FieldKind::DynamicArray { elem, elem_size, .. } => {
+                cur.align(4).map_err(|_| trunc())?;
+                let count = get_uint(cur.take(4).map_err(|_| trunc())?, order) as usize;
+                if count > cur.remaining() / *elem_size + 1 {
+                    return Err(err(format!("sequence at '{path}' claims {count} elements")));
+                }
+                cur.align(cdr_align(*elem_size)).map_err(|_| trunc())?;
+                if matches!(elem, BaseType::Float) {
+                    let mut vals = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        let raw = cur.take(*elem_size).map_err(|_| trunc())?;
+                        vals.push(if *elem_size == 4 {
+                            f32::from_bits(get_uint(raw, order) as u32) as f64
+                        } else {
+                            f64::from_bits(get_uint(raw, order))
+                        });
+                    }
+                    rec.set_f64_array(&path, &vals)?;
+                } else {
+                    let mut vals = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        vals.push(get_int(cur.take(*elem_size).map_err(|_| trunc())?, order));
+                    }
+                    rec.set_i64_array(&path, &vals)?;
+                }
+            }
+            FieldKind::Nested(sub) => decode_struct(cur, order, sub, &path, rec)?,
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openmeta_pbio::{FormatRegistry, FormatSpec, IOField, MachineModel};
+
+    fn fmt_and_rec() -> (Arc<FormatDescriptor>, RawRecord) {
+        let reg = FormatRegistry::new(MachineModel::native());
+        let fmt = reg
+            .register(FormatSpec::new(
+                "M",
+                vec![
+                    IOField::auto("tag", "char", 1),
+                    IOField::auto("v", "float", 8),
+                    IOField::auto("who", "string", 0),
+                    IOField::auto("n", "integer", 4),
+                    IOField::auto("xs", "float[n]", 4),
+                ],
+            ))
+            .unwrap();
+        let mut rec = RawRecord::new(fmt.clone());
+        rec.set_u64("tag", b'Q' as u64).unwrap();
+        rec.set_f64("v", -3.5).unwrap();
+        rec.set_string("who", "cdr").unwrap();
+        rec.set_f64_array("xs", &[0.5, 1.5]).unwrap();
+        (fmt, rec)
+    }
+
+    #[test]
+    fn round_trip() {
+        let (fmt, rec) = fmt_and_rec();
+        let wire = CdrWire::new();
+        let bytes = wire.encode_vec(&rec).unwrap();
+        let back = wire.decode(&bytes, &fmt).unwrap();
+        assert_eq!(back.get_u64("tag").unwrap(), b'Q' as u64);
+        assert_eq!(back.get_f64("v").unwrap(), -3.5);
+        assert_eq!(back.get_string("who").unwrap(), "cdr");
+        assert_eq!(back.get_f64_array("xs").unwrap(), vec![0.5, 1.5]);
+    }
+
+    #[test]
+    fn alignment_rules_respected() {
+        let (_, rec) = fmt_and_rec();
+        let bytes = CdrWire::new().encode_vec(&rec).unwrap();
+        // flag(1) → pad to 0 for char at 1 … double 'v' must start at 8.
+        // tag is at offset 1; the double is aligned to 8.
+        assert_eq!(&bytes[1], &b'Q');
+        let v = f64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        // Only valid on little-endian hosts; tolerate BE by re-checking.
+        if Order::native() == Order::Le {
+            assert_eq!(v, -3.5);
+        }
+    }
+
+    #[test]
+    fn reader_makes_right_foreign_order() {
+        // Craft a big-endian message by hand and decode on any host.
+        let reg = FormatRegistry::new(MachineModel::native());
+        let fmt = reg
+            .register(FormatSpec::new("I", vec![IOField::auto("x", "integer", 4)]))
+            .unwrap();
+        let msg = [0u8, 0, 0, 0, /* pad to 4 */ 0, 0, 0, 42];
+        let back = CdrWire::new().decode(&msg, &fmt).unwrap();
+        assert_eq!(back.get_i64("x").unwrap(), 42);
+    }
+
+    #[test]
+    fn truncation_and_bad_flags_rejected() {
+        let (fmt, rec) = fmt_and_rec();
+        let wire = CdrWire::new();
+        let bytes = wire.encode_vec(&rec).unwrap();
+        assert!(wire.decode(&bytes[..bytes.len() - 1], &fmt).is_err());
+        assert!(wire.decode(&[], &fmt).is_err());
+        let mut bad = bytes.clone();
+        bad[0] = 9;
+        assert!(wire.decode(&bad, &fmt).is_err());
+    }
+
+    #[test]
+    fn hostile_sequence_length_rejected() {
+        let reg = FormatRegistry::new(MachineModel::native());
+        let fmt = reg
+            .register(FormatSpec::new(
+                "A",
+                vec![IOField::auto("n", "integer", 4), IOField::auto("xs", "float[n]", 4)],
+            ))
+            .unwrap();
+        // flag BE, n=1, then count=0xFFFFFFFF with no payload.
+        let msg = [0u8, 0, 0, 0, /*n*/ 0, 0, 0, 1, /*count*/ 0xff, 0xff, 0xff, 0xff];
+        assert!(CdrWire::new().decode(&msg, &fmt).is_err());
+    }
+}

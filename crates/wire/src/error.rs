@@ -1,0 +1,45 @@
+//! Error type for the comparator wire formats.
+
+use std::fmt;
+
+use openmeta_pbio::PbioError;
+
+/// A failure encoding or decoding under one of the comparator formats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Which wire format failed.
+    pub format: &'static str,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl WireError {
+    pub(crate) fn new(format: &'static str, message: impl Into<String>) -> Self {
+        WireError { format, message: message.into() }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} wire format: {}", self.format, self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<PbioError> for WireError {
+    fn from(e: PbioError) -> Self {
+        WireError { format: "pbio", message: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = WireError::new("cdr", "truncated sequence");
+        assert_eq!(e.to_string(), "cdr wire format: truncated sequence");
+    }
+}

@@ -1,0 +1,448 @@
+//! GIOP framing — the "and also IIOP" of §3.2.
+//!
+//! IIOP is GIOP over TCP.  This module implements GIOP 1.0 message
+//! framing around [`crate::CdrWire`] bodies: the 12-byte header (magic,
+//! version, byte-order flag, message type, body length), `Request`
+//! messages whose operation names the format, and `Reply` messages.  It
+//! is what §5 describes: "CORBA-based object systems use IIOP as a wire
+//! format.  IIOP attempts to reduce marshaling overhead by adopting a
+//! 'reader-makes-right' approach with respect to byte order (the actual
+//! byte order used in a message is specified by a header field)."
+
+use std::sync::Arc;
+
+use openmeta_pbio::{FormatDescriptor, RawRecord};
+
+use crate::cdr::CdrWire;
+use crate::error::WireError;
+use crate::traits::WireFormat;
+use crate::util::{get_uint, put_uint, Cursor, Order};
+
+const GIOP_MAGIC: &[u8; 4] = b"GIOP";
+const GIOP_MAJOR: u8 = 1;
+const GIOP_MINOR: u8 = 0;
+
+/// GIOP message types (the subset we frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageType {
+    /// A request carrying one record as its body.
+    Request,
+    /// A reply carrying one record as its body.
+    Reply,
+}
+
+impl MessageType {
+    fn code(self) -> u8 {
+        match self {
+            MessageType::Request => 0,
+            MessageType::Reply => 1,
+        }
+    }
+
+    fn from_code(c: u8) -> Option<MessageType> {
+        Some(match c {
+            0 => MessageType::Request,
+            1 => MessageType::Reply,
+            _ => return None,
+        })
+    }
+}
+
+/// A framed GIOP message.
+#[derive(Debug)]
+pub struct GiopMessage {
+    /// Request or reply.
+    pub message_type: MessageType,
+    /// Request id (echoed in replies).
+    pub request_id: u32,
+    /// Operation name; XMIT uses `deliver_<FormatName>`.
+    pub operation: String,
+    /// The record body.
+    pub record: RawRecord,
+}
+
+/// Frame a record as a GIOP Request.
+pub fn encode_request(request_id: u32, rec: &RawRecord) -> Result<Vec<u8>, WireError> {
+    encode_message(MessageType::Request, request_id, rec)
+}
+
+/// Frame a record as a GIOP Reply.
+pub fn encode_reply(request_id: u32, rec: &RawRecord) -> Result<Vec<u8>, WireError> {
+    encode_message(MessageType::Reply, request_id, rec)
+}
+
+fn err(message: impl Into<String>) -> WireError {
+    WireError::new("giop", message)
+}
+
+fn encode_message(
+    mt: MessageType,
+    request_id: u32,
+    rec: &RawRecord,
+) -> Result<Vec<u8>, WireError> {
+    let order = Order::native();
+    let operation = format!("deliver_{}", rec.format().name);
+    // Build the body first (header carries its length).
+    // Request header (GIOP 1.0, CDR-encoded relative to body start):
+    //   service context count (0), request id, response_expected,
+    //   object key (sequence<octet>), operation string, principal (0).
+    let mut body = Vec::with_capacity(rec.format().record_size * 2 + 64);
+    put_uint(&mut body, order, 4, 0); // service context: empty sequence
+    put_uint(&mut body, order, 4, u64::from(request_id));
+    match mt {
+        MessageType::Request => {
+            body.push(1); // response_expected
+            // CDR aligns the next u32 to 4.
+            while body.len() % 4 != 0 {
+                body.push(0);
+            }
+            put_uint(&mut body, order, 4, 4); // object key length
+            body.extend_from_slice(b"XMIT");
+            put_uint(&mut body, order, 4, (operation.len() + 1) as u64);
+            body.extend_from_slice(operation.as_bytes());
+            body.push(0);
+            while body.len() % 4 != 0 {
+                body.push(0);
+            }
+            put_uint(&mut body, order, 4, 0); // principal: empty
+        }
+        MessageType::Reply => {
+            put_uint(&mut body, order, 4, 0); // reply_status NO_EXCEPTION
+            put_uint(&mut body, order, 4, (operation.len() + 1) as u64);
+            body.extend_from_slice(operation.as_bytes());
+            body.push(0);
+            while body.len() % 4 != 0 {
+                body.push(0);
+            }
+        }
+    }
+    // The record body is a CDR encapsulation (own byte-order flag).
+    let cdr = CdrWire::new();
+    cdr.encode(rec, &mut body)?;
+
+    let mut out = Vec::with_capacity(12 + body.len());
+    out.extend_from_slice(GIOP_MAGIC);
+    out.push(GIOP_MAJOR);
+    out.push(GIOP_MINOR);
+    out.push(match order {
+        Order::Be => 0,
+        Order::Le => 1,
+    });
+    out.push(mt.code());
+    put_uint(&mut out, order, 4, body.len() as u64);
+    out.extend_from_slice(&body);
+    Ok(out)
+}
+
+/// Parse a GIOP message, decoding the body into `format`.
+pub fn decode_message(
+    bytes: &[u8],
+    format: &Arc<FormatDescriptor>,
+) -> Result<GiopMessage, WireError> {
+    let mut cur = Cursor::new(bytes);
+    let magic = cur.take(4).map_err(|_| err("truncated header"))?;
+    if magic != GIOP_MAGIC {
+        return Err(err("bad magic"));
+    }
+    let ver = cur.take(2).map_err(|_| err("truncated header"))?;
+    if ver[0] != GIOP_MAJOR {
+        return Err(err(format!("unsupported GIOP version {}.{}", ver[0], ver[1])));
+    }
+    let flags = cur.take(1).map_err(|_| err("truncated header"))?[0];
+    let order = if flags & 1 == 1 { Order::Le } else { Order::Be };
+    let mt = MessageType::from_code(cur.take(1).map_err(|_| err("truncated header"))?[0])
+        .ok_or_else(|| err("unsupported message type"))?;
+    let body_len = get_uint(cur.take(4).map_err(|_| err("truncated header"))?, order) as usize;
+    let body = cur.take(body_len).map_err(|_| err("truncated body"))?;
+
+    let mut b = Cursor::new(body);
+    let trunc = || err("truncated message header");
+    let sc_count = get_uint(b.take(4).map_err(|_| trunc())?, order);
+    if sc_count != 0 {
+        return Err(err("service contexts are not supported"));
+    }
+    let request_id = get_uint(b.take(4).map_err(|_| trunc())?, order) as u32;
+    let operation = match mt {
+        MessageType::Request => {
+            let _response_expected = b.take(1).map_err(|_| trunc())?[0];
+            b.align(4).map_err(|_| trunc())?;
+            let key_len = get_uint(b.take(4).map_err(|_| trunc())?, order) as usize;
+            b.take(key_len).map_err(|_| trunc())?;
+            read_cdr_string(&mut b, order)?
+        }
+        MessageType::Reply => {
+            let status = get_uint(b.take(4).map_err(|_| trunc())?, order);
+            if status != 0 {
+                return Err(err(format!("reply status {status} (exception)")));
+            }
+            read_cdr_string(&mut b, order)?
+        }
+    };
+    if mt == MessageType::Request {
+        b.align(4).map_err(|_| trunc())?;
+        let principal_len = get_uint(b.take(4).map_err(|_| trunc())?, order) as usize;
+        b.take(principal_len).map_err(|_| trunc())?;
+    } else {
+        b.align(4).map_err(|_| trunc())?;
+    }
+    let expected = format!("deliver_{}", format.name);
+    if operation != expected {
+        return Err(err(format!("operation '{operation}' does not carry '{}'", format.name)));
+    }
+    let record = CdrWire::new().decode(&body[b.pos()..], format)?;
+    Ok(GiopMessage { message_type: mt, request_id, operation, record })
+}
+
+fn read_cdr_string(cur: &mut Cursor<'_>, order: Order) -> Result<String, WireError> {
+    cur.align(4).map_err(|_| err("truncated string"))?;
+    let len = get_uint(cur.take(4).map_err(|_| err("truncated string"))?, order) as usize;
+    if len == 0 {
+        return Err(err("empty CDR string"));
+    }
+    let bytes = cur.take(len).map_err(|_| err("truncated string"))?;
+    if bytes[len - 1] != 0 {
+        return Err(err("CDR string lacks NUL"));
+    }
+    String::from_utf8(bytes[..len - 1].to_vec()).map_err(|_| err("operation not UTF-8"))
+}
+
+// ---------------------------------------------------------------------------
+// IIOP: GIOP over a live TCP stream.
+// ---------------------------------------------------------------------------
+
+/// Write one framed GIOP message to a stream (GIOP frames are
+/// self-delimiting: the header carries the body length).
+pub fn write_to(stream: &mut dyn std::io::Write, message: &[u8]) -> Result<(), WireError> {
+    stream.write_all(message).map_err(|e| err(format!("write: {e}")))?;
+    stream.flush().map_err(|e| err(format!("flush: {e}")))
+}
+
+/// Read one GIOP message from a stream and decode its record, resolving
+/// the target format from `registry` by the operation's format name
+/// (`deliver_<Name>` → the receiver's own registration of `<Name>`).
+///
+/// Returns `Ok(None)` on clean end-of-stream.
+pub fn read_from(
+    stream: &mut dyn std::io::Read,
+    registry: &openmeta_pbio::FormatRegistry,
+) -> Result<Option<GiopMessage>, WireError> {
+    let mut header = [0u8; 12];
+    match stream.read_exact(&mut header) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(err(format!("read header: {e}"))),
+    }
+    if &header[0..4] != GIOP_MAGIC {
+        return Err(err("bad magic"));
+    }
+    let order = if header[6] & 1 == 1 { Order::Le } else { Order::Be };
+    let body_len = get_uint(&header[8..12], order) as usize;
+    if body_len > 64 << 20 {
+        return Err(err(format!("body of {body_len} bytes exceeds limit")));
+    }
+    let mut frame = header.to_vec();
+    frame.resize(12 + body_len, 0);
+    stream
+        .read_exact(&mut frame[12..])
+        .map_err(|e| err(format!("read body: {e}")))?;
+    // Peek the operation to find the target format name.
+    let name = peek_format_name(&frame)?;
+    let format = registry
+        .lookup_name(&name)
+        .ok_or_else(|| err(format!("no registered format named '{name}'")))?;
+    decode_message(&frame, &format).map(Some)
+}
+
+/// Extract the format name from a framed message's operation string
+/// without decoding the record body.
+fn peek_format_name(frame: &[u8]) -> Result<String, WireError> {
+    let order = if frame[6] & 1 == 1 { Order::Le } else { Order::Be };
+    let mt = MessageType::from_code(frame[7]).ok_or_else(|| err("unsupported message type"))?;
+    let mut b = Cursor::new(&frame[12..]);
+    let trunc = || err("truncated message header");
+    let sc = get_uint(b.take(4).map_err(|_| trunc())?, order);
+    if sc != 0 {
+        return Err(err("service contexts are not supported"));
+    }
+    let _request_id = b.take(4).map_err(|_| trunc())?;
+    let operation = match mt {
+        MessageType::Request => {
+            let _resp = b.take(1).map_err(|_| trunc())?;
+            b.align(4).map_err(|_| trunc())?;
+            let key_len = get_uint(b.take(4).map_err(|_| trunc())?, order) as usize;
+            b.take(key_len).map_err(|_| trunc())?;
+            read_cdr_string(&mut b, order)?
+        }
+        MessageType::Reply => {
+            let _status = b.take(4).map_err(|_| trunc())?;
+            read_cdr_string(&mut b, order)?
+        }
+    };
+    operation
+        .strip_prefix("deliver_")
+        .map(str::to_string)
+        .ok_or_else(|| err(format!("operation '{operation}' is not an XMIT delivery")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openmeta_pbio::{FormatRegistry, FormatSpec, IOField, MachineModel};
+
+    fn fixture() -> (Arc<FormatDescriptor>, RawRecord) {
+        let reg = FormatRegistry::new(MachineModel::native());
+        let fmt = reg
+            .register(FormatSpec::new(
+                "SimpleData",
+                vec![
+                    IOField::auto("timestep", "integer", 4),
+                    IOField::auto("size", "integer", 4),
+                    IOField::auto("data", "float[size]", 4),
+                ],
+            ))
+            .unwrap();
+        let mut rec = RawRecord::new(fmt.clone());
+        rec.set_i64("timestep", 17).unwrap();
+        rec.set_f64_array("data", &[2.5, 3.5]).unwrap();
+        (fmt, rec)
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let (fmt, rec) = fixture();
+        let wire = encode_request(42, &rec).unwrap();
+        assert_eq!(&wire[0..4], b"GIOP");
+        let msg = decode_message(&wire, &fmt).unwrap();
+        assert_eq!(msg.message_type, MessageType::Request);
+        assert_eq!(msg.request_id, 42);
+        assert_eq!(msg.operation, "deliver_SimpleData");
+        assert_eq!(msg.record.get_i64("timestep").unwrap(), 17);
+        assert_eq!(msg.record.get_f64_array("data").unwrap(), vec![2.5, 3.5]);
+    }
+
+    #[test]
+    fn reply_round_trip() {
+        let (fmt, rec) = fixture();
+        let wire = encode_reply(42, &rec).unwrap();
+        let msg = decode_message(&wire, &fmt).unwrap();
+        assert_eq!(msg.message_type, MessageType::Reply);
+        assert_eq!(msg.request_id, 42);
+        assert_eq!(msg.record.get_f64_array("data").unwrap(), vec![2.5, 3.5]);
+    }
+
+    #[test]
+    fn header_carries_byte_order_flag() {
+        let (_, rec) = fixture();
+        let wire = encode_request(1, &rec).unwrap();
+        let flag = wire[6];
+        match Order::native() {
+            Order::Le => assert_eq!(flag, 1),
+            Order::Be => assert_eq!(flag, 0),
+        }
+        assert_eq!(wire[4], 1, "GIOP major");
+        assert_eq!(wire[7], 0, "Request type code");
+    }
+
+    #[test]
+    fn wrong_operation_rejected() {
+        let reg = FormatRegistry::new(MachineModel::native());
+        let other = reg
+            .register(FormatSpec::new("Other", vec![IOField::auto("x", "integer", 4)]))
+            .unwrap();
+        let (_, rec) = fixture();
+        let wire = encode_request(1, &rec).unwrap();
+        assert!(decode_message(&wire, &other).is_err());
+    }
+
+    /// IIOP over an actual socket: requests stream one way, a reply comes
+    /// back, formats resolved by operation name at the receiver.
+    #[test]
+    fn iiop_request_reply_over_tcp() {
+        let (_fmt, rec) = fixture();
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        let server = std::thread::spawn(move || {
+            let registry = FormatRegistry::new(MachineModel::native());
+            registry.register(FormatSpec::new(
+                "SimpleData",
+                vec![
+                    IOField::auto("timestep", "integer", 4),
+                    IOField::auto("size", "integer", 4),
+                    IOField::auto("data", "float[size]", 4),
+                ],
+            ))
+            .unwrap();
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut seen = Vec::new();
+            while let Some(msg) = read_from(&mut stream, &registry).unwrap() {
+                assert_eq!(msg.message_type, MessageType::Request);
+                seen.push(msg.record.get_i64("timestep").unwrap());
+                // Echo a reply carrying the same record.
+                let reply = encode_reply(msg.request_id, &msg.record).unwrap();
+                write_to(&mut stream, &reply).unwrap();
+                if seen.len() == 3 {
+                    break;
+                }
+            }
+            seen
+        });
+
+        let mut client = std::net::TcpStream::connect(addr).unwrap();
+        let client_registry = FormatRegistry::new(MachineModel::native());
+        client_registry
+            .register(FormatSpec::new(
+                "SimpleData",
+                vec![
+                    IOField::auto("timestep", "integer", 4),
+                    IOField::auto("size", "integer", 4),
+                    IOField::auto("data", "float[size]", 4),
+                ],
+            ))
+            .unwrap();
+        for i in 0..3 {
+            let mut r = rec.clone();
+            r.set_i64("timestep", 100 + i).unwrap();
+            let req = encode_request(i as u32, &r).unwrap();
+            write_to(&mut client, &req).unwrap();
+            let reply = read_from(&mut client, &client_registry).unwrap().unwrap();
+            assert_eq!(reply.message_type, MessageType::Reply);
+            assert_eq!(reply.request_id, i as u32);
+            assert_eq!(reply.record.get_i64("timestep").unwrap(), 100 + i);
+        }
+        drop(client);
+        assert_eq!(server.join().unwrap(), vec![100, 101, 102]);
+    }
+
+    #[test]
+    fn read_from_clean_eof_is_none() {
+        let registry = FormatRegistry::new(MachineModel::native());
+        let empty: &[u8] = &[];
+        assert!(read_from(&mut { empty }, &registry).unwrap().is_none());
+    }
+
+    #[test]
+    fn read_from_unknown_format_errors() {
+        let (_, rec) = fixture();
+        let wire = encode_request(1, &rec).unwrap();
+        let registry = FormatRegistry::new(MachineModel::native());
+        let mut cursor = &wire[..];
+        assert!(read_from(&mut cursor, &registry).is_err());
+    }
+
+    #[test]
+    fn corrupt_frames_rejected() {
+        let (fmt, rec) = fixture();
+        let wire = encode_request(1, &rec).unwrap();
+        assert!(decode_message(&wire[..8], &fmt).is_err());
+        let mut bad = wire.clone();
+        bad[0] = b'X';
+        assert!(decode_message(&bad, &fmt).is_err());
+        let mut badver = wire.clone();
+        badver[4] = 9;
+        assert!(decode_message(&badver, &fmt).is_err());
+        let mut short = wire.clone();
+        short.truncate(wire.len() - 3);
+        assert!(decode_message(&short, &fmt).is_err());
+    }
+}

@@ -1,0 +1,68 @@
+//! Comparator wire formats.
+//!
+//! The paper's Figure 8 plots send-side encode times for four binary
+//! communication mechanisms — **PBIO**, **MPICH**, **CORBA** (IIOP/CDR)
+//! and **XML** — across message sizes from 100 bytes to 100 KB, on a log
+//! scale.  §4.1 adds the headline claim that XML-as-wire-format costs
+//! "between 2 and 4 orders of magnitude" more than binary mechanisms and
+//! inflates messages by 6–8× (3× for the Figure 1 `SimpleData`).
+//!
+//! This crate implements each comparator against the same record model so
+//! the benchmark harness can reproduce the figure:
+//!
+//! | impl | models | encode strategy |
+//! |---|---|---|
+//! | [`PbioWire`] | PBIO | block-copy fixed image + patched pointer slots |
+//! | [`MpiPackWire`] | MPICH `MPI_Pack` | per-element datatype-walking copy into a contiguous buffer |
+//! | [`CdrWire`] | CORBA CDR (GIOP) | aligned little/big-endian CDR with byte-order flag, reader makes right |
+//! | [`XdrWire`] | Sun RPC XDR (RFC 1014) | big-endian 4-byte-aligned canonical form |
+//! | [`XmlWire`] | XML over ASCII | Figure 1-style element-per-field text, full string conversion both ways |
+//!
+//! All five implement [`WireFormat`], so they are interchangeable in
+//! benchmarks and differential tests.
+
+pub mod cdr;
+pub mod giop;
+pub mod error;
+pub mod mpipack;
+pub mod pbiowire;
+pub mod soap;
+pub mod traits;
+pub mod xdr;
+pub mod util;
+pub mod xmlrpc;
+pub mod xmlwire;
+
+pub use cdr::CdrWire;
+pub use error::WireError;
+pub use mpipack::MpiPackWire;
+pub use pbiowire::PbioWire;
+pub use traits::WireFormat;
+pub use soap::SoapWire;
+pub use xdr::XdrWire;
+pub use xmlrpc::XmlRpcWire;
+pub use xmlwire::XmlWire;
+
+/// The paper's Figure 8 comparators, for table-driven benchmarks.
+pub fn all_formats(
+    registry: std::sync::Arc<openmeta_pbio::FormatRegistry>,
+) -> Vec<Box<dyn WireFormat>> {
+    vec![
+        Box::new(PbioWire::new(registry)),
+        Box::new(MpiPackWire::new()),
+        Box::new(CdrWire::new()),
+        Box::new(XdrWire::new()),
+        Box::new(XmlWire::new()),
+    ]
+}
+
+/// Every wire format including the §3.2 "Others" (SOAP, XML-RPC), for
+/// differential tests.
+pub fn all_formats_extended(
+    registry: std::sync::Arc<openmeta_pbio::FormatRegistry>,
+) -> Vec<Box<dyn WireFormat>> {
+    let mut v = all_formats(registry);
+    v.push(Box::new(SoapWire::new()));
+    v.push(Box::new(XmlRpcWire::new()));
+    v
+}

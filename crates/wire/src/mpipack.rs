@@ -1,0 +1,310 @@
+//! MPI-style pack/unpack, modelled on MPICH's generic `MPI_Pack` path.
+//!
+//! §4.5: "previous research has established that MPI takes on the order
+//! of 10 times as long as PBIO to encode a structure of comparable size".
+//! The reason is structural: `MPI_Pack` walks the user's derived datatype
+//! and copies **element by element** through a type-dispatch loop into a
+//! contiguous `MPI_PACKED` buffer, while PBIO block-copies the whole
+//! record and patches pointer slots.  This implementation reproduces that
+//! per-element loop faithfully (one dispatch + one bounded copy per
+//! element), so the relative cost in Figure 8 emerges from structure, not
+//! from an artificial sleep.
+//!
+//! Framing: fields in declaration order, native byte order, no alignment
+//! (a packed buffer), dynamic arrays and strings length-prefixed with a
+//! u32 count — the receiver shares the datatype, as MPI requires.
+
+use std::sync::Arc;
+
+use openmeta_pbio::{BaseType, FieldKind, FormatDescriptor, RawRecord};
+
+use crate::error::WireError;
+use crate::traits::WireFormat;
+use crate::util::{get_int, get_uint, put_uint, Cursor, Order};
+
+/// The MPI-pack comparator.
+#[derive(Default)]
+pub struct MpiPackWire;
+
+impl MpiPackWire {
+    /// Create the comparator.
+    pub fn new() -> Self {
+        MpiPackWire
+    }
+}
+
+fn err(message: impl Into<String>) -> WireError {
+    WireError::new("mpi", message)
+}
+
+/// One element copied through the dispatch switch, as MPICH's
+/// `MPIR_Pack_size`/segment loop does.
+#[inline(never)]
+fn pack_element(out: &mut Vec<u8>, elem: BaseType, size: usize, raw: u64) {
+    // The dispatch itself is the modelled cost; all integer categories
+    // share a copy loop, floats go through their own arm.
+    match elem {
+        BaseType::Float => put_uint(out, Order::native(), size, raw),
+        BaseType::Integer
+        | BaseType::Unsigned
+        | BaseType::Boolean
+        | BaseType::Enumeration
+        | BaseType::Char => put_uint(out, Order::native(), size, raw),
+    }
+}
+
+impl WireFormat for MpiPackWire {
+    fn name(&self) -> &'static str {
+        "mpi"
+    }
+
+    fn encode(&self, rec: &RawRecord, out: &mut Vec<u8>) -> Result<usize, WireError> {
+        let start = out.len();
+        pack_struct(rec, rec.format(), "", out)?;
+        Ok(out.len() - start)
+    }
+
+    fn decode(
+        &self,
+        bytes: &[u8],
+        format: &Arc<FormatDescriptor>,
+    ) -> Result<RawRecord, WireError> {
+        let mut cur = Cursor::new(bytes);
+        let mut rec = RawRecord::new(format.clone());
+        unpack_struct(&mut cur, format, "", &mut rec)?;
+        if cur.remaining() != 0 {
+            return Err(err(format!("{} trailing bytes", cur.remaining())));
+        }
+        Ok(rec)
+    }
+}
+
+fn pack_struct(
+    rec: &RawRecord,
+    desc: &FormatDescriptor,
+    prefix: &str,
+    out: &mut Vec<u8>,
+) -> Result<(), WireError> {
+    for f in &desc.fields {
+        let path =
+            if prefix.is_empty() { f.name.clone() } else { format!("{prefix}.{}", f.name) };
+        match &f.kind {
+            FieldKind::Scalar(b) => {
+                let raw = match b {
+                    BaseType::Float => {
+                        if f.size == 4 {
+                            u64::from((rec.get_f64(&path)? as f32).to_bits())
+                        } else {
+                            rec.get_f64(&path)?.to_bits()
+                        }
+                    }
+                    _ => rec.get_u64(&path)?,
+                };
+                pack_element(out, scalar_base(b), f.size, raw);
+            }
+            FieldKind::String => {
+                let s = rec.get_string(&path)?;
+                put_uint(out, Order::native(), 4, s.len() as u64);
+                for &b in s.as_bytes() {
+                    pack_element(out, BaseType::Char, 1, u64::from(b));
+                }
+            }
+            FieldKind::StaticArray { elem, elem_size, count } => {
+                for i in 0..*count {
+                    let raw = match elem {
+                        BaseType::Float => {
+                            if *elem_size == 4 {
+                                u64::from((rec.get_elem_f64(&path, i)? as f32).to_bits())
+                            } else {
+                                rec.get_elem_f64(&path, i)?.to_bits()
+                            }
+                        }
+                        _ => rec.get_elem_i64(&path, i)? as u64,
+                    };
+                    pack_element(out, *elem, *elem_size, raw);
+                }
+            }
+            FieldKind::DynamicArray { elem, elem_size, .. } => {
+                if matches!(elem, BaseType::Float) {
+                    let vals = rec.get_f64_array(&path)?;
+                    put_uint(out, Order::native(), 4, vals.len() as u64);
+                    for v in vals {
+                        let raw = if *elem_size == 4 {
+                            u64::from((v as f32).to_bits())
+                        } else {
+                            v.to_bits()
+                        };
+                        pack_element(out, BaseType::Float, *elem_size, raw);
+                    }
+                } else {
+                    let vals = rec.get_i64_array(&path)?;
+                    put_uint(out, Order::native(), 4, vals.len() as u64);
+                    for v in vals {
+                        pack_element(out, *elem, *elem_size, v as u64);
+                    }
+                }
+            }
+            FieldKind::Nested(sub) => pack_struct(rec, sub, &path, out)?,
+        }
+    }
+    Ok(())
+}
+
+fn scalar_base(b: &BaseType) -> BaseType {
+    *b
+}
+
+fn unpack_struct(
+    cur: &mut Cursor<'_>,
+    desc: &FormatDescriptor,
+    prefix: &str,
+    rec: &mut RawRecord,
+) -> Result<(), WireError> {
+    let order = Order::native();
+    for f in &desc.fields {
+        let path =
+            if prefix.is_empty() { f.name.clone() } else { format!("{prefix}.{}", f.name) };
+        let trunc = || err(format!("truncated at field '{path}'"));
+        match &f.kind {
+            FieldKind::Scalar(b) => {
+                let raw = cur.take(f.size).map_err(|_| trunc())?;
+                match b {
+                    BaseType::Float => {
+                        let v = if f.size == 4 {
+                            f32::from_bits(get_uint(raw, order) as u32) as f64
+                        } else {
+                            f64::from_bits(get_uint(raw, order))
+                        };
+                        rec.set_f64(&path, v)?;
+                    }
+                    BaseType::Integer => rec.set_i64(&path, get_int(raw, order))?,
+                    _ => rec.set_u64(&path, get_uint(raw, order))?,
+                }
+            }
+            FieldKind::String => {
+                let len = get_uint(cur.take(4).map_err(|_| trunc())?, order) as usize;
+                let bytes = cur.take(len).map_err(|_| trunc())?;
+                let s = std::str::from_utf8(bytes)
+                    .map_err(|_| err(format!("string at '{path}' is not UTF-8")))?;
+                rec.set_string(&path, s)?;
+            }
+            FieldKind::StaticArray { elem, elem_size, count } => {
+                for i in 0..*count {
+                    let raw = cur.take(*elem_size).map_err(|_| trunc())?;
+                    if matches!(elem, BaseType::Float) {
+                        let v = if *elem_size == 4 {
+                            f32::from_bits(get_uint(raw, order) as u32) as f64
+                        } else {
+                            f64::from_bits(get_uint(raw, order))
+                        };
+                        rec.set_elem_f64(&path, i, v)?;
+                    } else {
+                        rec.set_elem_i64(&path, i, get_int(raw, order))?;
+                    }
+                }
+            }
+            FieldKind::DynamicArray { elem, elem_size, .. } => {
+                let count = get_uint(cur.take(4).map_err(|_| trunc())?, order) as usize;
+                if count > cur.remaining() / *elem_size + 1 {
+                    return Err(err(format!("array at '{path}' claims {count} elements")));
+                }
+                if matches!(elem, BaseType::Float) {
+                    let mut vals = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        let raw = cur.take(*elem_size).map_err(|_| trunc())?;
+                        vals.push(if *elem_size == 4 {
+                            f32::from_bits(get_uint(raw, order) as u32) as f64
+                        } else {
+                            f64::from_bits(get_uint(raw, order))
+                        });
+                    }
+                    rec.set_f64_array(&path, &vals)?;
+                } else {
+                    let mut vals = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        vals.push(get_int(cur.take(*elem_size).map_err(|_| trunc())?, order));
+                    }
+                    rec.set_i64_array(&path, &vals)?;
+                }
+            }
+            FieldKind::Nested(sub) => unpack_struct(cur, sub, &path, rec)?,
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openmeta_pbio::{FormatRegistry, FormatSpec, IOField, MachineModel};
+
+    fn fmt_and_rec() -> (Arc<FormatDescriptor>, RawRecord) {
+        let reg = FormatRegistry::new(MachineModel::native());
+        let fmt = reg
+            .register(FormatSpec::new(
+                "M",
+                vec![
+                    IOField::auto("a", "integer", 4),
+                    IOField::auto("s", "string", 0),
+                    IOField::auto("n", "integer", 4),
+                    IOField::auto("xs", "float[n]", 8),
+                    IOField::auto("grid", "integer[3]", 2),
+                ],
+            ))
+            .unwrap();
+        let mut rec = RawRecord::new(fmt.clone());
+        rec.set_i64("a", -9).unwrap();
+        rec.set_string("s", "mpi").unwrap();
+        rec.set_f64_array("xs", &[2.5, -0.5]).unwrap();
+        for i in 0..3 {
+            rec.set_elem_i64("grid", i, i as i64 - 1).unwrap();
+        }
+        (fmt, rec)
+    }
+
+    #[test]
+    fn round_trip() {
+        let (fmt, rec) = fmt_and_rec();
+        let wire = MpiPackWire::new();
+        let bytes = wire.encode_vec(&rec).unwrap();
+        let back = wire.decode(&bytes, &fmt).unwrap();
+        assert_eq!(back.get_i64("a").unwrap(), -9);
+        assert_eq!(back.get_string("s").unwrap(), "mpi");
+        assert_eq!(back.get_f64_array("xs").unwrap(), vec![2.5, -0.5]);
+        assert_eq!(back.get_elem_i64("grid", 0).unwrap(), -1);
+    }
+
+    #[test]
+    fn packed_buffer_has_no_padding() {
+        let (_, rec) = fmt_and_rec();
+        let bytes = MpiPackWire::new().encode_vec(&rec).unwrap();
+        // 4 (a) + 4+3 (s) + 4 (n) + 4+16 (xs) + 6 (grid) = 41
+        assert_eq!(bytes.len(), 41);
+    }
+
+    #[test]
+    fn truncation_and_trailing_garbage_rejected() {
+        let (fmt, rec) = fmt_and_rec();
+        let wire = MpiPackWire::new();
+        let bytes = wire.encode_vec(&rec).unwrap();
+        assert!(wire.decode(&bytes[..bytes.len() - 1], &fmt).is_err());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(wire.decode(&extra, &fmt).is_err());
+    }
+
+    #[test]
+    fn hostile_count_rejected() {
+        let reg = FormatRegistry::new(MachineModel::native());
+        let fmt = reg
+            .register(FormatSpec::new(
+                "A",
+                vec![IOField::auto("n", "integer", 4), IOField::auto("xs", "float[n]", 4)],
+            ))
+            .unwrap();
+        let mut msg = Vec::new();
+        put_uint(&mut msg, Order::native(), 4, 1); // n
+        put_uint(&mut msg, Order::native(), 4, u32::MAX as u64); // count
+        assert!(MpiPackWire::new().decode(&msg, &fmt).is_err());
+    }
+}

@@ -1,0 +1,182 @@
+//! SOAP-style messaging — the first of §3.2's planned "Others"
+//! integrations ("We plan to implement SOAP/XML-RPC style interfaces and
+//! also IIOP").
+//!
+//! Records travel as a SOAP 1.1 envelope whose body is the Figure 1-style
+//! element-per-field encoding:
+//!
+//! ```xml
+//! <SOAP-ENV:Envelope
+//!     xmlns:SOAP-ENV="http://schemas.xmlsoap.org/soap/envelope/">
+//!   <SOAP-ENV:Body>
+//!     <SimpleData><timestep>9999</timestep>…</SimpleData>
+//!   </SOAP-ENV:Body>
+//! </SOAP-ENV:Envelope>
+//! ```
+//!
+//! This is the same ASCII cost model as [`crate::XmlWire`] plus envelope
+//! overhead — included so the benchmark suite can show what the
+//! then-emerging SOAP systems (references 9, 6 and 1 in the paper) would
+//! have paid.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use openmeta_pbio::{FormatDescriptor, RawRecord};
+use openmeta_xml::NodeKind;
+
+use crate::error::WireError;
+use crate::traits::WireFormat;
+use crate::xmlwire::{decode_record, encode_record};
+
+/// The SOAP 1.1 envelope namespace.
+pub const SOAP_ENV_NS: &str = "http://schemas.xmlsoap.org/soap/envelope/";
+
+/// The SOAP-envelope comparator.
+#[derive(Default)]
+pub struct SoapWire;
+
+impl SoapWire {
+    /// Create the comparator.
+    pub fn new() -> Self {
+        SoapWire
+    }
+}
+
+fn err(message: impl Into<String>) -> WireError {
+    WireError::new("soap", message)
+}
+
+impl WireFormat for SoapWire {
+    fn name(&self) -> &'static str {
+        "soap"
+    }
+
+    fn encode(&self, rec: &RawRecord, out: &mut Vec<u8>) -> Result<usize, WireError> {
+        let start = out.len();
+        let mut text = String::with_capacity(rec.format().record_size * 8 + 160);
+        let _ = write!(
+            text,
+            "<SOAP-ENV:Envelope xmlns:SOAP-ENV=\"{SOAP_ENV_NS}\"><SOAP-ENV:Body><{}>",
+            rec.format().name
+        );
+        encode_record(rec, rec.format(), "", &mut text)?;
+        let _ = write!(text, "</{}></SOAP-ENV:Body></SOAP-ENV:Envelope>", rec.format().name);
+        out.extend_from_slice(text.as_bytes());
+        Ok(out.len() - start)
+    }
+
+    fn decode(
+        &self,
+        bytes: &[u8],
+        format: &Arc<FormatDescriptor>,
+    ) -> Result<RawRecord, WireError> {
+        let text = std::str::from_utf8(bytes).map_err(|_| err("message is not UTF-8"))?;
+        let doc = openmeta_xml::parse(text).map_err(|e| err(format!("bad XML: {e}")))?;
+        let root = doc.root_element().ok_or_else(|| err("no envelope"))?;
+        if !doc.name(root).is(Some(SOAP_ENV_NS), "Envelope") {
+            return Err(err(format!("root is <{}>, not a SOAP envelope", doc.name(root))));
+        }
+        let body = doc
+            .child_elements(root)
+            .find(|&c| doc.name(c).is(Some(SOAP_ENV_NS), "Body"))
+            .ok_or_else(|| err("envelope has no Body"))?;
+        let payload = doc
+            .child_elements(body)
+            .find(|&c| {
+                matches!(&doc.node(c).kind, NodeKind::Element { .. })
+                    && doc.name(c).local == format.name
+            })
+            .ok_or_else(|| err(format!("Body holds no <{}>", format.name)))?;
+        let mut rec = RawRecord::new(format.clone());
+        decode_record(&doc, payload, format, "", &mut rec)?;
+        Ok(rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openmeta_pbio::{FormatRegistry, FormatSpec, IOField, MachineModel};
+
+    fn fixture() -> (Arc<FormatDescriptor>, RawRecord) {
+        let reg = FormatRegistry::new(MachineModel::native());
+        let fmt = reg
+            .register(FormatSpec::new(
+                "SimpleData",
+                vec![
+                    IOField::auto("timestep", "integer", 4),
+                    IOField::auto("size", "integer", 4),
+                    IOField::auto("data", "float[size]", 4),
+                ],
+            ))
+            .unwrap();
+        let mut rec = RawRecord::new(fmt.clone());
+        rec.set_i64("timestep", 9999).unwrap();
+        rec.set_f64_array("data", &[1.5, 2.5]).unwrap();
+        (fmt, rec)
+    }
+
+    #[test]
+    fn envelope_structure() {
+        let (_, rec) = fixture();
+        let text = String::from_utf8(SoapWire::new().encode_vec(&rec).unwrap()).unwrap();
+        assert!(text.starts_with("<SOAP-ENV:Envelope"));
+        assert!(text.contains("<SOAP-ENV:Body><SimpleData>"));
+        assert!(text.ends_with("</SOAP-ENV:Body></SOAP-ENV:Envelope>"));
+    }
+
+    #[test]
+    fn round_trip() {
+        let (fmt, rec) = fixture();
+        let wire = SoapWire::new();
+        let bytes = wire.encode_vec(&rec).unwrap();
+        let back = wire.decode(&bytes, &fmt).unwrap();
+        assert_eq!(back.get_i64("timestep").unwrap(), 9999);
+        assert_eq!(back.get_f64_array("data").unwrap(), vec![1.5, 2.5]);
+    }
+
+    #[test]
+    fn foreign_prefix_accepted() {
+        // Namespace matching, not prefix matching.
+        let (fmt, _) = fixture();
+        let msg = format!(
+            "<env:Envelope xmlns:env=\"{SOAP_ENV_NS}\"><env:Body>\
+             <SimpleData><timestep>5</timestep><size>0</size></SimpleData>\
+             </env:Body></env:Envelope>"
+        );
+        let back = SoapWire::new().decode(msg.as_bytes(), &fmt).unwrap();
+        assert_eq!(back.get_i64("timestep").unwrap(), 5);
+    }
+
+    #[test]
+    fn non_envelope_rejected() {
+        let (fmt, _) = fixture();
+        let wire = SoapWire::new();
+        assert!(wire.decode(b"<SimpleData/>", &fmt).is_err());
+        assert!(wire
+            .decode(
+                format!("<x:Envelope xmlns:x=\"{SOAP_ENV_NS}\"><x:Other/></x:Envelope>")
+                    .as_bytes(),
+                &fmt
+            )
+            .is_err());
+        assert!(wire
+            .decode(
+                format!(
+                    "<x:Envelope xmlns:x=\"{SOAP_ENV_NS}\"><x:Body><Wrong/></x:Body></x:Envelope>"
+                )
+                .as_bytes(),
+                &fmt
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn envelope_costs_more_than_bare_xml() {
+        let (_, rec) = fixture();
+        let soap = SoapWire::new().encode_vec(&rec).unwrap().len();
+        let xml = crate::XmlWire::new().encode_vec(&rec).unwrap().len();
+        assert!(soap > xml);
+    }
+}

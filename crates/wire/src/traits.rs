@@ -1,0 +1,83 @@
+//! The common `WireFormat` interface and record-walking helpers.
+
+use std::sync::Arc;
+
+use openmeta_pbio::{FormatDescriptor, RawRecord};
+use openmeta_pbio::layout::FieldLayout;
+
+use crate::error::WireError;
+
+/// A wire format that can marshal records to bytes and back.
+///
+/// `decode` takes the target format explicitly: the comparators model
+/// systems where both sides share the message definition (MPI datatypes,
+/// CORBA IDL, the XML document), so no format identifier travels in-band.
+pub trait WireFormat: Send + Sync {
+    /// Short name used in benchmark tables (`"pbio"`, `"xml"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Marshal `rec`, appending to `out`.  Returns bytes written.
+    fn encode(&self, rec: &RawRecord, out: &mut Vec<u8>) -> Result<usize, WireError>;
+
+    /// Unmarshal one record of `format` from `bytes`.
+    fn decode(
+        &self,
+        bytes: &[u8],
+        format: &Arc<FormatDescriptor>,
+    ) -> Result<RawRecord, WireError>;
+
+    /// Convenience: encode into a fresh buffer.
+    fn encode_vec(&self, rec: &RawRecord) -> Result<Vec<u8>, WireError> {
+        let mut out = Vec::new();
+        self.encode(rec, &mut out)?;
+        Ok(out)
+    }
+}
+
+/// Walk a format's fields in declaration order, recursing into nested
+/// records; the callback receives the dotted path and the field.
+pub fn visit_fields<'d>(
+    desc: &'d FormatDescriptor,
+    prefix: &str,
+    visit: &mut impl FnMut(&str, &'d FieldLayout) -> Result<(), WireError>,
+) -> Result<(), WireError> {
+    for f in &desc.fields {
+        let path =
+            if prefix.is_empty() { f.name.clone() } else { format!("{prefix}.{}", f.name) };
+        if let openmeta_pbio::FieldKind::Nested(sub) = &f.kind {
+            visit_fields(sub, &path, visit)?;
+        } else {
+            visit(&path, f)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openmeta_pbio::{FormatRegistry, FormatSpec, IOField, MachineModel};
+
+    #[test]
+    fn visit_walks_nested_paths_in_order() {
+        let reg = FormatRegistry::new(MachineModel::native());
+        reg.register(FormatSpec::new(
+            "Hdr",
+            vec![IOField::auto("seq", "integer", 4), IOField::auto("src", "string", 0)],
+        ))
+        .unwrap();
+        let fmt = reg
+            .register(FormatSpec::new(
+                "Msg",
+                vec![IOField::auto("hdr", "Hdr", 0), IOField::auto("v", "float", 8)],
+            ))
+            .unwrap();
+        let mut seen = Vec::new();
+        visit_fields(&fmt, "", &mut |path, _| {
+            seen.push(path.to_string());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen, vec!["hdr.seq", "hdr.src", "v"]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Byte-level helpers shared by the comparator codecs.
+
+/// Byte order of a comparator stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Order {
+    /// Big endian.
+    Be,
+    /// Little endian.
+    Le,
+}
+
+impl Order {
+    /// Native order of this host.
+    pub fn native() -> Order {
+        if cfg!(target_endian = "big") {
+            Order::Be
+        } else {
+            Order::Le
+        }
+    }
+}
+
+/// Write the low `width` bytes of `v`.
+pub fn put_uint(out: &mut Vec<u8>, order: Order, width: usize, v: u64) {
+    match order {
+        Order::Be => out.extend_from_slice(&v.to_be_bytes()[8 - width..]),
+        Order::Le => out.extend_from_slice(&v.to_le_bytes()[..width]),
+    }
+}
+
+/// Read an unsigned integer of `width` bytes.
+pub fn get_uint(buf: &[u8], order: Order) -> u64 {
+    let mut v = 0u64;
+    match order {
+        Order::Be => {
+            for &b in buf {
+                v = (v << 8) | u64::from(b);
+            }
+        }
+        Order::Le => {
+            for &b in buf.iter().rev() {
+                v = (v << 8) | u64::from(b);
+            }
+        }
+    }
+    v
+}
+
+/// Read a sign-extended integer of `buf.len()` bytes.
+pub fn get_int(buf: &[u8], order: Order) -> i64 {
+    let raw = get_uint(buf, order);
+    let bits = buf.len() * 8;
+    if bits == 64 {
+        raw as i64
+    } else if raw & (1 << (bits - 1)) != 0 {
+        (raw | !((1u64 << bits) - 1)) as i64
+    } else {
+        raw as i64
+    }
+}
+
+/// Pad `out` with zeros until its length is a multiple of `align`.
+pub fn pad_to(out: &mut Vec<u8>, align: usize) {
+    while !out.len().is_multiple_of(align) {
+        out.push(0);
+    }
+}
+
+/// A checked read cursor.
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Wrap a buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    /// Current position.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Remaining byte count.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Advance to the next multiple of `align`.
+    #[allow(clippy::result_unit_err)] // callers map () to their own wire errors
+    pub fn align(&mut self, align: usize) -> Result<(), ()> {
+        let target = self.pos.div_ceil(align) * align;
+        if target > self.buf.len() {
+            return Err(());
+        }
+        self.pos = target;
+        Ok(())
+    }
+
+    /// Take `n` bytes.
+    #[allow(clippy::result_unit_err)] // callers map () to their own wire errors
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], ()> {
+        if self.pos + n > self.buf.len() {
+            return Err(());
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uint_round_trip_both_orders() {
+        for order in [Order::Be, Order::Le] {
+            for width in [1usize, 2, 4, 8] {
+                let v = 0x1122_3344_5566_7788u64 & ((1u128 << (width * 8)) - 1) as u64;
+                let mut out = Vec::new();
+                put_uint(&mut out, order, width, v);
+                assert_eq!(out.len(), width);
+                assert_eq!(get_uint(&out, order), v);
+            }
+        }
+    }
+
+    #[test]
+    fn int_sign_extension() {
+        let mut out = Vec::new();
+        put_uint(&mut out, Order::Be, 2, (-2i64) as u64);
+        assert_eq!(get_int(&out, Order::Be), -2);
+    }
+
+    #[test]
+    fn padding_and_alignment() {
+        let mut out = vec![1u8];
+        pad_to(&mut out, 4);
+        assert_eq!(out.len(), 4);
+        let mut c = Cursor::new(&out);
+        c.take(1).unwrap();
+        c.align(4).unwrap();
+        assert_eq!(c.pos(), 4);
+        assert!(c.take(1).is_err());
+    }
+}

@@ -1,0 +1,490 @@
+//! XML-RPC style messaging — the second of §3.2's planned "Others"
+//! integrations, after the XML-RPC specification the paper cites as its
+//! reference 9.
+//!
+//! A record becomes one `methodCall` whose single parameter is a
+//! `<struct>` mirroring the format:
+//!
+//! ```xml
+//! <methodCall>
+//!   <methodName>xmit.deliver.SimpleData</methodName>
+//!   <params><param><value><struct>
+//!     <member><name>timestep</name><value><i4>9999</i4></value></member>
+//!     <member><name>data</name><value><array><data>
+//!       <value><double>12.345</double></value>
+//!     </data></array></value></member>
+//!   </struct></value></param></params>
+//! </methodCall>
+//! ```
+//!
+//! Scalars map onto XML-RPC's `<i4>`/`<i8>`/`<double>`/`<boolean>`/
+//! `<string>`; arrays onto `<array><data>`; composed types onto nested
+//! `<struct>`s.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use openmeta_pbio::{BaseType, FieldKind, FormatDescriptor, RawRecord};
+use openmeta_xml::{escape_text, Document, NodeId};
+
+use crate::error::WireError;
+use crate::traits::WireFormat;
+
+/// The XML-RPC comparator.
+#[derive(Default)]
+pub struct XmlRpcWire;
+
+impl XmlRpcWire {
+    /// Create the comparator.
+    pub fn new() -> Self {
+        XmlRpcWire
+    }
+
+    /// Method name used for a format.
+    pub fn method_name(format: &FormatDescriptor) -> String {
+        format!("xmit.deliver.{}", format.name)
+    }
+}
+
+fn err(message: impl Into<String>) -> WireError {
+    WireError::new("xmlrpc", message)
+}
+
+impl WireFormat for XmlRpcWire {
+    fn name(&self) -> &'static str {
+        "xmlrpc"
+    }
+
+    fn encode(&self, rec: &RawRecord, out: &mut Vec<u8>) -> Result<usize, WireError> {
+        let start = out.len();
+        let mut text = String::with_capacity(rec.format().record_size * 12 + 200);
+        let _ = write!(
+            text,
+            "<methodCall><methodName>{}</methodName><params><param><value>",
+            Self::method_name(rec.format())
+        );
+        encode_struct(rec, rec.format(), "", &mut text)?;
+        text.push_str("</value></param></params></methodCall>");
+        out.extend_from_slice(text.as_bytes());
+        Ok(out.len() - start)
+    }
+
+    fn decode(
+        &self,
+        bytes: &[u8],
+        format: &Arc<FormatDescriptor>,
+    ) -> Result<RawRecord, WireError> {
+        let text = std::str::from_utf8(bytes).map_err(|_| err("message is not UTF-8"))?;
+        let doc = openmeta_xml::parse(text).map_err(|e| err(format!("bad XML: {e}")))?;
+        let root = doc.root_element().ok_or_else(|| err("empty document"))?;
+        if doc.name(root).local != "methodCall" {
+            return Err(err("not a methodCall"));
+        }
+        let method = doc
+            .children_named(root, "methodName")
+            .next()
+            .map(|n| doc.text_content(n))
+            .ok_or_else(|| err("missing methodName"))?;
+        if method != Self::method_name(format) {
+            return Err(err(format!(
+                "method '{method}' does not deliver '{}'",
+                format.name
+            )));
+        }
+        let value = doc
+            .children_named(root, "params")
+            .next()
+            .and_then(|p| doc.children_named(p, "param").next())
+            .and_then(|p| doc.children_named(p, "value").next())
+            .ok_or_else(|| err("missing params/param/value"))?;
+        let st = doc
+            .children_named(value, "struct")
+            .next()
+            .ok_or_else(|| err("parameter is not a struct"))?;
+        let mut rec = RawRecord::new(format.clone());
+        decode_struct(&doc, st, format, "", &mut rec)?;
+        Ok(rec)
+    }
+}
+
+fn write_scalar_value(out: &mut String, kind: &BaseType, size: usize, int: i64, float: f64) {
+    match kind {
+        BaseType::Float => {
+            if size == 4 {
+                let _ = write!(out, "<double>{}</double>", float as f32);
+            } else {
+                let _ = write!(out, "<double>{float}</double>");
+            }
+        }
+        BaseType::Boolean => {
+            let _ = write!(out, "<boolean>{}</boolean>", i64::from(int != 0));
+        }
+        _ => {
+            if (i64::from(i32::MIN)..=i64::from(i32::MAX)).contains(&int) {
+                let _ = write!(out, "<i4>{int}</i4>");
+            } else {
+                // The common i8 extension for 64-bit values.
+                let _ = write!(out, "<i8>{int}</i8>");
+            }
+        }
+    }
+}
+
+fn encode_struct(
+    rec: &RawRecord,
+    desc: &FormatDescriptor,
+    prefix: &str,
+    out: &mut String,
+) -> Result<(), WireError> {
+    out.push_str("<struct>");
+    for f in &desc.fields {
+        let path =
+            if prefix.is_empty() { f.name.clone() } else { format!("{prefix}.{}", f.name) };
+        let _ = write!(out, "<member><name>{}</name><value>", f.name);
+        match &f.kind {
+            FieldKind::Scalar(b) => {
+                let (int, float) = match b {
+                    BaseType::Float => (0, rec.get_f64(&path)?),
+                    _ => (rec.get_i64(&path)?, 0.0),
+                };
+                write_scalar_value(out, b, f.size, int, float);
+            }
+            FieldKind::String => {
+                let _ =
+                    write!(out, "<string>{}</string>", escape_text(rec.get_string(&path)?));
+            }
+            FieldKind::StaticArray { elem: BaseType::Char, .. } => {
+                let _ = write!(
+                    out,
+                    "<string>{}</string>",
+                    escape_text(&rec.get_char_array(&path)?)
+                );
+            }
+            FieldKind::StaticArray { elem, elem_size, count } => {
+                out.push_str("<array><data>");
+                for i in 0..*count {
+                    out.push_str("<value>");
+                    let (int, float) = match elem {
+                        BaseType::Float => (0, rec.get_elem_f64(&path, i)?),
+                        _ => (rec.get_elem_i64(&path, i)?, 0.0),
+                    };
+                    write_scalar_value(out, elem, *elem_size, int, float);
+                    out.push_str("</value>");
+                }
+                out.push_str("</data></array>");
+            }
+            FieldKind::DynamicArray { elem, elem_size, .. } => {
+                out.push_str("<array><data>");
+                if matches!(elem, BaseType::Float) {
+                    for v in rec.get_f64_array(&path)? {
+                        out.push_str("<value>");
+                        write_scalar_value(out, elem, *elem_size, 0, v);
+                        out.push_str("</value>");
+                    }
+                } else {
+                    for v in rec.get_i64_array(&path)? {
+                        out.push_str("<value>");
+                        write_scalar_value(out, elem, *elem_size, v, 0.0);
+                        out.push_str("</value>");
+                    }
+                }
+                out.push_str("</data></array>");
+            }
+            FieldKind::Nested(sub) => encode_struct(rec, sub, &path, out)?,
+        }
+        out.push_str("</value></member>");
+    }
+    out.push_str("</struct>");
+    Ok(())
+}
+
+/// Find the typed child of a `<value>` element, with XML-RPC's implicit
+/// string default.
+fn value_payload(doc: &Document, value: NodeId) -> (String, Option<NodeId>) {
+    match doc.child_elements(value).next() {
+        Some(typed) => (doc.name(typed).local.clone(), Some(typed)),
+        None => ("string".to_string(), None),
+    }
+}
+
+fn scalar_from_value(
+    doc: &Document,
+    value: NodeId,
+    field: &str,
+) -> Result<(String, String), WireError> {
+    let (ty, typed) = value_payload(doc, value);
+    let text = match typed {
+        Some(n) => doc.text_content(n),
+        None => doc.text_content(value),
+    };
+    if matches!(ty.as_str(), "i4" | "int" | "i8" | "double" | "boolean" | "string") {
+        Ok((ty, text))
+    } else {
+        Err(err(format!("member '{field}' has unsupported value type <{ty}>")))
+    }
+}
+
+fn set_scalar(
+    rec: &mut RawRecord,
+    path: &str,
+    kind: &BaseType,
+    ty: &str,
+    text: &str,
+) -> Result<(), WireError> {
+    let bad = |what: &str| err(format!("member '{path}': bad {what} '{text}'"));
+    match kind {
+        BaseType::Float => {
+            if ty != "double" && ty != "i4" && ty != "int" {
+                return Err(err(format!("member '{path}': expected <double>, got <{ty}>")));
+            }
+            rec.set_f64(path, text.trim().parse::<f64>().map_err(|_| bad("double"))?)?;
+        }
+        BaseType::Boolean => {
+            let v = match text.trim() {
+                "1" | "true" => true,
+                "0" | "false" => false,
+                _ => return Err(bad("boolean")),
+            };
+            rec.set_bool(path, v)?;
+        }
+        _ => {
+            rec.set_i64(path, text.trim().parse::<i64>().map_err(|_| bad("integer"))?)?;
+        }
+    }
+    Ok(())
+}
+
+fn decode_struct(
+    doc: &Document,
+    st: NodeId,
+    desc: &FormatDescriptor,
+    prefix: &str,
+    rec: &mut RawRecord,
+) -> Result<(), WireError> {
+    // Index members by name.
+    let mut members = std::collections::HashMap::new();
+    for m in doc.children_named(st, "member") {
+        let name = doc
+            .children_named(m, "name")
+            .next()
+            .map(|n| doc.text_content(n))
+            .ok_or_else(|| err("member without a name"))?;
+        let value = doc
+            .children_named(m, "value")
+            .next()
+            .ok_or_else(|| err(format!("member '{name}' without a value")))?;
+        members.insert(name, value);
+    }
+    for f in &desc.fields {
+        let path =
+            if prefix.is_empty() { f.name.clone() } else { format!("{prefix}.{}", f.name) };
+        let value = *members
+            .get(&f.name)
+            .ok_or_else(|| err(format!("missing member '{}'", f.name)))?;
+        match &f.kind {
+            FieldKind::Scalar(b) => {
+                let (ty, text) = scalar_from_value(doc, value, &f.name)?;
+                set_scalar(rec, &path, b, &ty, &text)?;
+            }
+            FieldKind::String | FieldKind::StaticArray { elem: BaseType::Char, .. } => {
+                let (ty, text) = scalar_from_value(doc, value, &f.name)?;
+                if ty != "string" {
+                    return Err(err(format!(
+                        "member '{}': expected <string>, got <{ty}>",
+                        f.name
+                    )));
+                }
+                if matches!(f.kind, FieldKind::String) {
+                    rec.set_string(&path, text)?;
+                } else {
+                    rec.set_char_array(&path, &text)?;
+                }
+            }
+            FieldKind::StaticArray { elem, count, .. } => {
+                let values = array_values(doc, value, &f.name)?;
+                if values.len() != *count {
+                    return Err(err(format!(
+                        "member '{}': expected {count} values, got {}",
+                        f.name,
+                        values.len()
+                    )));
+                }
+                for (i, v) in values.iter().enumerate() {
+                    let (ty, text) = scalar_from_value(doc, *v, &f.name)?;
+                    if matches!(elem, BaseType::Float) {
+                        let x: f64 = text
+                            .trim()
+                            .parse()
+                            .map_err(|_| err(format!("member '{}': bad double", f.name)))?;
+                        let _ = ty;
+                        rec.set_elem_f64(&path, i, x)?;
+                    } else {
+                        let x: i64 = text
+                            .trim()
+                            .parse()
+                            .map_err(|_| err(format!("member '{}': bad integer", f.name)))?;
+                        rec.set_elem_i64(&path, i, x)?;
+                    }
+                }
+            }
+            FieldKind::DynamicArray { elem, .. } => {
+                let values = array_values(doc, value, &f.name)?;
+                if matches!(elem, BaseType::Float) {
+                    let mut xs = Vec::with_capacity(values.len());
+                    for v in values {
+                        let (_, text) = scalar_from_value(doc, v, &f.name)?;
+                        xs.push(text.trim().parse::<f64>().map_err(|_| {
+                            err(format!("member '{}': bad double", f.name))
+                        })?);
+                    }
+                    rec.set_f64_array(&path, &xs)?;
+                } else {
+                    let mut xs = Vec::with_capacity(values.len());
+                    for v in values {
+                        let (_, text) = scalar_from_value(doc, v, &f.name)?;
+                        xs.push(text.trim().parse::<i64>().map_err(|_| {
+                            err(format!("member '{}': bad integer", f.name))
+                        })?);
+                    }
+                    rec.set_i64_array(&path, &xs)?;
+                }
+            }
+            FieldKind::Nested(sub) => {
+                let st = doc
+                    .children_named(value, "struct")
+                    .next()
+                    .ok_or_else(|| err(format!("member '{}' is not a struct", f.name)))?;
+                decode_struct(doc, st, sub, &path, rec)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn array_values(doc: &Document, value: NodeId, field: &str) -> Result<Vec<NodeId>, WireError> {
+    let arr = doc
+        .children_named(value, "array")
+        .next()
+        .ok_or_else(|| err(format!("member '{field}' is not an array")))?;
+    let data = doc
+        .children_named(arr, "data")
+        .next()
+        .ok_or_else(|| err(format!("member '{field}': array without data")))?;
+    Ok(doc.children_named(data, "value").collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openmeta_pbio::{FormatRegistry, FormatSpec, IOField, MachineModel};
+
+    fn fixture() -> (Arc<FormatDescriptor>, RawRecord) {
+        let reg = FormatRegistry::new(MachineModel::native());
+        reg.register(FormatSpec::new(
+            "Hdr",
+            vec![IOField::auto("seq", "integer", 4), IOField::auto("src", "string", 0)],
+        ))
+        .unwrap();
+        let fmt = reg
+            .register(FormatSpec::new(
+                "Telemetry",
+                vec![
+                    IOField::auto("hdr", "Hdr", 0),
+                    IOField::auto("big", "unsigned integer", 8),
+                    IOField::auto("ok", "boolean", 4),
+                    IOField::auto("tag", "char[6]", 1),
+                    IOField::auto("n", "integer", 4),
+                    IOField::auto("xs", "float[n]", 8),
+                    IOField::auto("grid", "integer[2]", 4),
+                ],
+            ))
+            .unwrap();
+        let mut rec = RawRecord::new(fmt.clone());
+        rec.set_i64("hdr.seq", 9).unwrap();
+        rec.set_string("hdr.src", "gauge").unwrap();
+        rec.set_u64("big", 5_000_000_000).unwrap();
+        rec.set_bool("ok", true).unwrap();
+        rec.set_char_array("tag", "t6").unwrap();
+        rec.set_f64_array("xs", &[0.5, -1.5]).unwrap();
+        rec.set_elem_i64("grid", 0, 3).unwrap();
+        rec.set_elem_i64("grid", 1, 4).unwrap();
+        (fmt, rec)
+    }
+
+    #[test]
+    fn call_structure() {
+        let (_, rec) = fixture();
+        let text = String::from_utf8(XmlRpcWire::new().encode_vec(&rec).unwrap()).unwrap();
+        assert!(text.starts_with("<methodCall><methodName>xmit.deliver.Telemetry</methodName>"));
+        assert!(text.contains("<member><name>big</name><value><i8>5000000000</i8></value>"));
+        assert!(text.contains("<boolean>1</boolean>"));
+        assert!(text.contains("<array><data><value><double>0.5</double></value>"));
+        assert!(text.contains("<struct><member><name>seq</name><value><i4>9</i4>"));
+    }
+
+    #[test]
+    fn round_trip() {
+        let (fmt, rec) = fixture();
+        let wire = XmlRpcWire::new();
+        let bytes = wire.encode_vec(&rec).unwrap();
+        let back = wire.decode(&bytes, &fmt).unwrap();
+        assert_eq!(back.get_i64("hdr.seq").unwrap(), 9);
+        assert_eq!(back.get_string("hdr.src").unwrap(), "gauge");
+        assert_eq!(back.get_u64("big").unwrap(), 5_000_000_000);
+        assert!(back.get_bool("ok").unwrap());
+        assert_eq!(back.get_char_array("tag").unwrap(), "t6");
+        assert_eq!(back.get_f64_array("xs").unwrap(), vec![0.5, -1.5]);
+        assert_eq!(back.get_elem_i64("grid", 1).unwrap(), 4);
+    }
+
+    #[test]
+    fn wrong_method_rejected() {
+        let (fmt, rec) = fixture();
+        let wire = XmlRpcWire::new();
+        let text = String::from_utf8(wire.encode_vec(&rec).unwrap())
+            .unwrap()
+            .replace("Telemetry", "Other");
+        // Method name mismatch even though the struct matches.
+        assert!(wire.decode(text.as_bytes(), &fmt).is_err());
+    }
+
+    #[test]
+    fn malformed_calls_rejected() {
+        let (fmt, _) = fixture();
+        let wire = XmlRpcWire::new();
+        for msg in [
+            "not xml",
+            "<methodResponse/>",
+            "<methodCall><methodName>xmit.deliver.Telemetry</methodName></methodCall>",
+            "<methodCall><methodName>xmit.deliver.Telemetry</methodName>\
+             <params><param><value><i4>1</i4></value></param></params></methodCall>",
+        ] {
+            assert!(wire.decode(msg.as_bytes(), &fmt).is_err(), "{msg}");
+        }
+    }
+
+    #[test]
+    fn missing_member_rejected() {
+        let (fmt, rec) = fixture();
+        let wire = XmlRpcWire::new();
+        let text = String::from_utf8(wire.encode_vec(&rec).unwrap()).unwrap().replace(
+            "<member><name>ok</name><value><boolean>1</boolean></value></member>",
+            "",
+        );
+        let e = wire.decode(text.as_bytes(), &fmt).unwrap_err();
+        assert!(e.message.contains("missing member 'ok'"), "{e}");
+    }
+
+    #[test]
+    fn untyped_value_defaults_to_string() {
+        let reg = FormatRegistry::new(MachineModel::native());
+        let fmt = reg
+            .register(FormatSpec::new("S", vec![IOField::auto("s", "string", 0)]))
+            .unwrap();
+        let msg = "<methodCall><methodName>xmit.deliver.S</methodName><params><param>\
+                   <value><struct><member><name>s</name><value>plain text</value></member>\
+                   </struct></value></param></params></methodCall>";
+        let back = XmlRpcWire::new().decode(msg.as_bytes(), &fmt).unwrap();
+        assert_eq!(back.get_string("s").unwrap(), "plain text");
+    }
+}

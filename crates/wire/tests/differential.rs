@@ -1,0 +1,157 @@
+//! Differential testing: every comparator wire format must round-trip
+//! the same records to the same values — they differ in cost and bytes,
+//! never in meaning.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use openmeta_pbio::{FormatRegistry, FormatSpec, IOField, MachineModel, RawRecord};
+use openmeta_wire::{all_formats, all_formats_extended};
+
+fn registry() -> Arc<FormatRegistry> {
+    Arc::new(FormatRegistry::new(MachineModel::native()))
+}
+
+fn mixed_format(reg: &FormatRegistry) -> Arc<openmeta_pbio::FormatDescriptor> {
+    reg.register(FormatSpec::new(
+        "Mixed",
+        vec![
+            IOField::auto("id", "integer", 4),
+            IOField::auto("weight", "float", 8),
+            IOField::auto("ratio", "float", 4),
+            IOField::auto("label", "string", 0),
+            IOField::auto("n", "integer", 4),
+            IOField::auto("samples", "float[n]", 8),
+            IOField::auto("m", "integer", 4),
+            IOField::auto("codes", "integer[m]", 4),
+            IOField::auto("grid", "integer[4]", 2),
+        ],
+    ))
+    .unwrap()
+}
+
+#[derive(Debug, Clone)]
+struct Payload {
+    id: i64,
+    weight: f64,
+    ratio: f32,
+    label: String,
+    samples: Vec<f64>,
+    codes: Vec<i64>,
+    grid: [i64; 4],
+}
+
+fn payload() -> impl Strategy<Value = Payload> {
+    (
+        any::<i32>(),
+        -1e9f64..1e9,
+        -1e6f32..1e6,
+        "[ -~]{0,40}",
+        proptest::collection::vec(-1e6f64..1e6, 0..20),
+        proptest::collection::vec(-1000000i64..1000000, 0..20),
+        [-30000i64..30000, -30000i64..30000, -30000i64..30000, -30000i64..30000],
+    )
+        .prop_map(|(id, weight, ratio, label, samples, codes, grid)| Payload {
+            id: id as i64,
+            weight,
+            ratio,
+            label,
+            samples,
+            codes,
+            grid,
+        })
+}
+
+fn build(fmt: &Arc<openmeta_pbio::FormatDescriptor>, p: &Payload) -> RawRecord {
+    let mut rec = RawRecord::new(fmt.clone());
+    rec.set_i64("id", p.id).unwrap();
+    rec.set_f64("weight", p.weight).unwrap();
+    rec.set_f64("ratio", p.ratio as f64).unwrap();
+    rec.set_string("label", p.label.clone()).unwrap();
+    rec.set_f64_array("samples", &p.samples).unwrap();
+    rec.set_i64_array("codes", &p.codes).unwrap();
+    for (i, g) in p.grid.iter().enumerate() {
+        rec.set_elem_i64("grid", i, *g).unwrap();
+    }
+    rec
+}
+
+fn check(back: &RawRecord, p: &Payload, which: &str) {
+    assert_eq!(back.get_i64("id").unwrap(), p.id, "{which}: id");
+    assert_eq!(back.get_f64("weight").unwrap(), p.weight, "{which}: weight");
+    assert_eq!(back.get_f64("ratio").unwrap(), p.ratio as f64, "{which}: ratio");
+    assert_eq!(back.get_string("label").unwrap(), p.label, "{which}: label");
+    assert_eq!(back.get_f64_array("samples").unwrap(), p.samples, "{which}: samples");
+    assert_eq!(back.get_i64_array("codes").unwrap(), p.codes, "{which}: codes");
+    for (i, g) in p.grid.iter().enumerate() {
+        assert_eq!(back.get_elem_i64("grid", i).unwrap(), *g, "{which}: grid[{i}]");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn all_formats_round_trip_identically(p in payload()) {
+        let reg = registry();
+        let fmt = mixed_format(&reg);
+        let rec = build(&fmt, &p);
+        for wire in all_formats_extended(reg.clone()) {
+            let bytes = wire.encode_vec(&rec)
+                .unwrap_or_else(|e| panic!("{} encode: {e}", wire.name()));
+            let back = wire.decode(&bytes, &fmt)
+                .unwrap_or_else(|e| panic!("{} decode: {e}", wire.name()));
+            check(&back, &p, wire.name());
+        }
+    }
+
+    #[test]
+    fn no_format_panics_on_mutated_bytes(
+        p in payload(),
+        flips in proptest::collection::vec((any::<prop::sample::Index>(), 1u8..255), 1..5),
+    ) {
+        let reg = registry();
+        let fmt = mixed_format(&reg);
+        let rec = build(&fmt, &p);
+        for wire in all_formats_extended(reg.clone()) {
+            let mut bytes = wire.encode_vec(&rec).unwrap();
+            if bytes.is_empty() { continue; }
+            for (idx, x) in &flips {
+                let i = idx.index(bytes.len());
+                bytes[i] ^= *x;
+            }
+            let _ = wire.decode(&bytes, &fmt); // may error, must not panic
+        }
+    }
+}
+
+/// The paper's size ordering: binary formats are compact, XML is not.
+#[test]
+fn xml_is_largest_pbio_among_smallest() {
+    let reg = registry();
+    let fmt = mixed_format(&reg);
+    let p = Payload {
+        id: 42,
+        weight: 1.5,
+        ratio: 0.25,
+        label: "hydrology".to_string(),
+        samples: (0..50).map(|i| i as f64 * 0.75).collect(),
+        codes: (0..20).collect(),
+        grid: [1, 2, 3, 4],
+    };
+    let rec = build(&fmt, &p);
+    let mut sizes = std::collections::HashMap::new();
+    for wire in all_formats(reg.clone()) {
+        sizes.insert(wire.name(), wire.encode_vec(&rec).unwrap().len());
+    }
+    let xml = sizes["xml"];
+    for (name, size) in &sizes {
+        if *name != "xml" {
+            assert!(
+                xml > 2 * size,
+                "xml ({xml}) should dwarf {name} ({size}); sizes: {sizes:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Language-level code generation from schema metadata (§3.2).
+//!
+//! XMIT "can generate Java source code from a set of XML Schema
+//! descriptions, with the individual elements of each complexType
+//! represented as fields of a class"; this module implements that path
+//! ([`java`]), plus the inverse of Figure 2: C struct and `IOField`
+//! declarations for programs that still want compiled-in metadata ([`c`]).
+//!
+//! The paper's second Java path — direct **bytecode** generation, "so
+//! that the classes are immediately available to the running system" —
+//! is implemented in [`jvm`]: a from-scratch JVM class-file emitter (and
+//! structural reader, used for verification without a JVM).  The
+//! conclusion's plan to generate "message object representations in both
+//! C++ and Java" is completed by [`cpp`].
+
+pub mod c;
+pub mod cpp;
+pub mod java;
+pub mod jvm;

@@ -1,0 +1,83 @@
+//! XMIT's error type: a union of the substrate failures plus its own
+//! binding diagnostics.
+
+use std::fmt;
+
+use openmeta_ohttp::HttpError;
+use openmeta_pbio::PbioError;
+use openmeta_schema::SchemaError;
+
+/// Any failure in discovery, binding or marshaling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XmitError {
+    /// Fetching a metadata document failed.
+    Discovery(HttpError),
+    /// A fetched document is not valid XMIT schema metadata.
+    Schema(SchemaError),
+    /// The underlying BCM rejected the generated metadata or a record.
+    Bcm(PbioError),
+    /// A type name is not present in any loaded document.
+    UnknownType(String),
+    /// Binding-level problem (e.g. circular composition).
+    Binding(String),
+}
+
+impl fmt::Display for XmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmitError::Discovery(e) => write!(f, "metadata discovery failed: {e}"),
+            XmitError::Schema(e) => write!(f, "metadata document invalid: {e}"),
+            XmitError::Bcm(e) => write!(f, "BCM error: {e}"),
+            XmitError::UnknownType(n) => {
+                write!(f, "no loaded document defines complexType '{n}'")
+            }
+            XmitError::Binding(m) => write!(f, "binding failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for XmitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            XmitError::Discovery(e) => Some(e),
+            XmitError::Schema(e) => Some(e),
+            XmitError::Bcm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HttpError> for XmitError {
+    fn from(e: HttpError) -> Self {
+        XmitError::Discovery(e)
+    }
+}
+
+impl From<SchemaError> for XmitError {
+    fn from(e: SchemaError) -> Self {
+        XmitError::Schema(e)
+    }
+}
+
+impl From<PbioError> for XmitError {
+    fn from(e: PbioError) -> Self {
+        XmitError::Bcm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: XmitError = HttpError::NotFound("mem://x".to_string()).into();
+        assert!(e.to_string().contains("discovery failed"));
+        let e: XmitError = PbioError::UnknownFormat("F".to_string()).into();
+        assert!(e.to_string().contains("BCM error"));
+        assert_eq!(
+            XmitError::UnknownType("T".to_string()).to_string(),
+            "no loaded document defines complexType 'T'"
+        );
+    }
+}

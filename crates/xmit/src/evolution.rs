@@ -1,0 +1,271 @@
+//! Compatibility analysis between format versions.
+//!
+//! PBIO's restricted evolution (§5) has precise rules: receivers match
+//! fields *by name*; added fields are invisible to old receivers; removed
+//! fields read as zero at new receivers; a field whose value category
+//! changes (e.g. float → string) makes the versions incompatible.  This
+//! module turns two `complexType` definitions into an explicit
+//! compatibility report, for tooling (`openmeta diff`) and for deployment
+//! checks before a central format change is pushed.
+
+use openmeta_pbio::MachineModel;
+use openmeta_schema::ComplexType;
+
+use crate::error::XmitError;
+use crate::mapping::map_type;
+
+/// How one field differs between versions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldChange {
+    /// Present only in the new version; old receivers ignore it.
+    Added(String),
+    /// Present only in the old version; new receivers see zero/empty.
+    Removed(String),
+    /// Same name, same value category, different width — converts with
+    /// possible truncation.
+    Resized {
+        /// Field name.
+        name: String,
+        /// Old element width in bytes.
+        old_size: usize,
+        /// New element width in bytes.
+        new_size: usize,
+    },
+    /// Same name, incompatible value category — messages cannot convert.
+    Retyped {
+        /// Field name.
+        name: String,
+        /// Old kind description.
+        old_kind: String,
+        /// New kind description.
+        new_kind: String,
+    },
+}
+
+/// The overall verdict for a pair of versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Compatibility {
+    /// Byte-identical layouts: same format id, nothing to do.
+    Identical,
+    /// Every shared field keeps its kind and width; exchanges in both
+    /// directions are lossless (PBIO's restricted evolution).
+    Compatible,
+    /// Shared fields convert but some widths shrank — values may
+    /// truncate in one direction.
+    Lossy,
+    /// At least one shared field changed category; decode will fail.
+    Breaking,
+}
+
+/// A full diff between two versions of a format.
+#[derive(Debug, Clone)]
+pub struct EvolutionReport {
+    /// The verdict.
+    pub compatibility: Compatibility,
+    /// Per-field changes, in new-version field order (removals last).
+    pub changes: Vec<FieldChange>,
+}
+
+/// Diff two definitions under `machine` (widths are machine-dependent:
+/// `xsd:unsignedLong` resizes between SPARC32 and LP64, for example).
+pub fn diff_types(
+    old: &ComplexType,
+    new: &ComplexType,
+    machine: &MachineModel,
+) -> Result<EvolutionReport, XmitError> {
+    let old_spec = map_type(old, machine)?;
+    let new_spec = map_type(new, machine)?;
+
+    let kind_of = |f: &openmeta_pbio::IOField| -> (String, usize) {
+        // Compare by PBIO type string base + element size; the base
+        // string collapses to the category used by conversion.
+        let base = f.type_desc.split('[').next().unwrap_or("").trim().to_string();
+        (base, f.size)
+    };
+    let category = |base: &str| -> u8 {
+        match base {
+            "float" | "double" => 1,
+            "string" => 2,
+            "integer" | "int" | "unsigned integer" | "unsigned" | "boolean" | "enumeration"
+            | "char" => 0,
+            _ => 3, // nested format name
+        }
+    };
+    let arrayness = |f: &openmeta_pbio::IOField| f.type_desc.contains('[');
+
+    let mut changes = Vec::new();
+    let mut any_shared_resize = false;
+    let mut any_breaking = false;
+    for nf in &new_spec.fields {
+        match old_spec.fields.iter().find(|of| of.name == nf.name) {
+            None => changes.push(FieldChange::Added(nf.name.clone())),
+            Some(of) => {
+                let (ob, os) = kind_of(of);
+                let (nb, ns) = kind_of(nf);
+                let compatible_kind =
+                    category(&ob) == category(&nb) && arrayness(of) == arrayness(nf)
+                        && (category(&ob) != 3 || ob == nb);
+                if !compatible_kind {
+                    any_breaking = true;
+                    changes.push(FieldChange::Retyped {
+                        name: nf.name.clone(),
+                        old_kind: of.type_desc.clone(),
+                        new_kind: nf.type_desc.clone(),
+                    });
+                } else if os != ns {
+                    any_shared_resize = true;
+                    changes.push(FieldChange::Resized {
+                        name: nf.name.clone(),
+                        old_size: os,
+                        new_size: ns,
+                    });
+                }
+            }
+        }
+    }
+    for of in &old_spec.fields {
+        if !new_spec.fields.iter().any(|nf| nf.name == of.name) {
+            changes.push(FieldChange::Removed(of.name.clone()));
+        }
+    }
+
+    let compatibility = if any_breaking {
+        Compatibility::Breaking
+    } else if any_shared_resize {
+        Compatibility::Lossy
+    } else if changes.is_empty() && old_spec == new_spec {
+        Compatibility::Identical
+    } else {
+        Compatibility::Compatible
+    };
+    Ok(EvolutionReport { compatibility, changes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openmeta_schema::parse_str;
+
+    const XSD: &str = "http://www.w3.org/2001/XMLSchema";
+
+    fn ct(body: &str) -> ComplexType {
+        parse_str(&format!(
+            r#"<xsd:complexType name="T" xmlns:xsd="{XSD}">{body}</xsd:complexType>"#
+        ))
+        .unwrap()
+        .types
+        .remove(0)
+    }
+
+    #[test]
+    fn identical_versions() {
+        let a = ct(r#"<xsd:element name="x" type="xsd:int" />"#);
+        let r = diff_types(&a, &a, &MachineModel::native()).unwrap();
+        assert_eq!(r.compatibility, Compatibility::Identical);
+        assert!(r.changes.is_empty());
+    }
+
+    #[test]
+    fn additions_and_removals_are_compatible() {
+        let old = ct(r#"<xsd:element name="x" type="xsd:int" />
+                        <xsd:element name="gone" type="xsd:string" />"#);
+        let new = ct(r#"<xsd:element name="x" type="xsd:int" />
+                        <xsd:element name="fresh" type="xsd:double" />"#);
+        let r = diff_types(&old, &new, &MachineModel::native()).unwrap();
+        assert_eq!(r.compatibility, Compatibility::Compatible);
+        assert_eq!(
+            r.changes,
+            vec![
+                FieldChange::Added("fresh".to_string()),
+                FieldChange::Removed("gone".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn width_changes_are_lossy() {
+        let old = ct(r#"<xsd:element name="x" type="xsd:long" />"#);
+        let new = ct(r#"<xsd:element name="x" type="xsd:int" />"#);
+        let r = diff_types(&old, &new, &MachineModel::native()).unwrap();
+        assert_eq!(r.compatibility, Compatibility::Lossy);
+        assert_eq!(
+            r.changes,
+            vec![FieldChange::Resized { name: "x".to_string(), old_size: 8, new_size: 4 }]
+        );
+    }
+
+    #[test]
+    fn category_changes_are_breaking() {
+        let old = ct(r#"<xsd:element name="x" type="xsd:int" />"#);
+        let new = ct(r#"<xsd:element name="x" type="xsd:string" />"#);
+        let r = diff_types(&old, &new, &MachineModel::native()).unwrap();
+        assert_eq!(r.compatibility, Compatibility::Breaking);
+        assert!(matches!(r.changes[0], FieldChange::Retyped { .. }));
+    }
+
+    #[test]
+    fn scalar_to_array_is_breaking() {
+        let old = ct(r#"<xsd:element name="x" type="xsd:float" />"#);
+        let new = ct(r#"<xsd:element name="x" type="xsd:float" maxOccurs="4" />"#);
+        let r = diff_types(&old, &new, &MachineModel::native()).unwrap();
+        assert_eq!(r.compatibility, Compatibility::Breaking);
+    }
+
+    #[test]
+    fn machine_dependent_widths_show_up() {
+        // unsignedLong is 4 bytes on SPARC32 and 8 on x86-64, so the
+        // "same" document diffs as identical on one machine model…
+        let a = ct(r#"<xsd:element name="x" type="xsd:unsignedLong" />"#);
+        let b = ct(r#"<xsd:element name="x" type="xsd:unsignedInt" />"#);
+        let sparc = diff_types(&a, &b, &MachineModel::SPARC32).unwrap();
+        assert_eq!(sparc.compatibility, Compatibility::Identical);
+        // …and as a resize on the other.
+        let lp64 = diff_types(&a, &b, &MachineModel::X86_64).unwrap();
+        assert_eq!(lp64.compatibility, Compatibility::Lossy);
+    }
+
+    /// The verdicts agree with what decode actually does.
+    #[test]
+    fn verdicts_match_runtime_behaviour() {
+        use crate::toolkit::Xmit;
+        let old = ct(r#"<xsd:element name="x" type="xsd:int" />"#);
+        let new_ok = ct(r#"<xsd:element name="x" type="xsd:int" />
+                           <xsd:element name="y" type="xsd:double" />"#);
+        let new_bad = ct(r#"<xsd:element name="x" type="xsd:string" />"#);
+
+        let doc = |t: &ComplexType| {
+            openmeta_schema::to_xml(&openmeta_schema::SchemaDocument {
+                types: vec![t.clone()],
+                enums: vec![],
+            })
+        };
+        let sender = Xmit::new(MachineModel::native());
+        sender.load_str(&doc(&old)).unwrap();
+        let t_old = sender.bind("T").unwrap();
+        let mut rec = t_old.new_record();
+        rec.set_i64("x", 5).unwrap();
+        let wire = crate::encode(&rec).unwrap();
+
+        // Compatible: decodes.
+        let rx = Xmit::new(MachineModel::native());
+        rx.load_str(&doc(&new_ok)).unwrap();
+        let t_new = rx.bind("T").unwrap();
+        rx.registry().register_descriptor((*t_old.format).clone());
+        assert!(crate::decode_with(&wire, rx.registry(), &t_new.format).is_ok());
+        assert_eq!(
+            diff_types(&old, &new_ok, &MachineModel::native()).unwrap().compatibility,
+            Compatibility::Compatible
+        );
+
+        // Breaking: decode errors.
+        let rx2 = Xmit::new(MachineModel::native());
+        rx2.load_str(&doc(&new_bad)).unwrap();
+        let t_bad = rx2.bind("T").unwrap();
+        rx2.registry().register_descriptor((*t_old.format).clone());
+        assert!(crate::decode_with(&wire, rx2.registry(), &t_bad.format).is_err());
+        assert_eq!(
+            diff_types(&old, &new_bad, &MachineModel::native()).unwrap().compatibility,
+            Compatibility::Breaking
+        );
+    }
+}

@@ -1,0 +1,303 @@
+//! Constructing native (PBIO) metadata from XML Schema definitions —
+//! the heart of §3.1.
+//!
+//! "The selection of a native metadata system implicitly selects a mapping
+//! from the supported set of XML Schema data types to those supported by
+//! the native system.  The mapping also includes information such as
+//! structure offsets and data type sizes for BCMs requiring them."
+//!
+//! Concretely: each `complexType` becomes a [`FormatSpec`]; each `element`
+//! becomes an [`IOField`] whose PBIO type string and byte width are chosen
+//! per the target [`MachineModel`] (e.g. `xsd:unsignedLong` → `unsigned
+//! integer` of `sizeof(unsigned long)` — 4 bytes on the paper's SPARC32,
+//! 8 on LP64).  Offsets are left to PBIO's layout engine, which removes
+//! "the need to consider … structure padding".
+
+use openmeta_pbio::{FormatSpec, IOField, MachineModel};
+use openmeta_schema::{ComplexType, Occurs, SchemaDocument, TypeRef};
+use openmeta_schema::xsd::XsdPrimitive;
+
+use crate::error::XmitError;
+
+/// PBIO base-type string and element width for one xsd primitive.
+///
+/// Returns `None` for `xsd:string`, which maps to PBIO's var-length
+/// `string` kind rather than a sized scalar.
+pub fn primitive_to_pbio(p: XsdPrimitive, machine: &MachineModel) -> Option<(&'static str, usize)> {
+    Some(match p {
+        XsdPrimitive::String => return None,
+        XsdPrimitive::Boolean => ("boolean", 4),
+        XsdPrimitive::Float => ("float", 4),
+        XsdPrimitive::Double => ("float", 8),
+        // xsd:integer is unbounded in XML Schema; XMIT binds it to the
+        // platform int, as the paper's examples do.
+        XsdPrimitive::Integer => ("integer", 4),
+        XsdPrimitive::Long => ("integer", 8),
+        XsdPrimitive::Int => ("integer", 4),
+        XsdPrimitive::Short => ("integer", 2),
+        XsdPrimitive::Byte => ("integer", 1),
+        XsdPrimitive::NonNegativeInteger => ("unsigned integer", 4),
+        // The paper's JoinRequest/ASDOffEvent map unsignedLong onto the
+        // platform unsigned long.
+        XsdPrimitive::UnsignedLong => ("unsigned integer", machine.long_size),
+        XsdPrimitive::UnsignedInt => ("unsigned integer", 4),
+        XsdPrimitive::UnsignedShort => ("unsigned integer", 2),
+        XsdPrimitive::UnsignedByte => ("unsigned integer", 1),
+    })
+}
+
+/// Map one complex type to a PBIO format spec.
+///
+/// Dynamic arrays whose `dimensionName` names no declared element get an
+/// implicit integer length field synthesized next to the array, honouring
+/// `dimensionPlacement` (this is what makes the paper's Figure 4
+/// `SimpleData` document produce the three-field C struct).
+pub fn map_type(ct: &ComplexType, machine: &MachineModel) -> Result<FormatSpec, XmitError> {
+    map_type_with_enums(ct, machine, &|_| false)
+}
+
+/// Like [`map_type`], with named-type references that `is_enum` claims
+/// mapped onto PBIO's `enumeration` base type (4-byte symbol index)
+/// instead of nested records — §3.1's "integer, string, and enumeration
+/// types".
+pub fn map_type_with_enums(
+    ct: &ComplexType,
+    machine: &MachineModel,
+    is_enum: &dyn Fn(&str) -> bool,
+) -> Result<FormatSpec, XmitError> {
+    let mut fields: Vec<IOField> = Vec::with_capacity(ct.elements.len() + 1);
+    for e in &ct.elements {
+        match (&e.type_ref, e.occurs) {
+            (TypeRef::Named(n), Occurs::One) if is_enum(n) => {
+                fields.push(IOField::auto(e.name.clone(), "enumeration", 4));
+            }
+            (TypeRef::Named(n), Occurs::One) => {
+                fields.push(IOField::auto(e.name.clone(), n.clone(), 0));
+            }
+            (TypeRef::Named(n), _) => {
+                return Err(XmitError::Binding(format!(
+                    "element '{}': arrays of complex type '{n}' are not mappable to PBIO",
+                    e.name
+                )));
+            }
+            (TypeRef::Primitive(p), occurs) => {
+                let scalar = primitive_to_pbio(*p, machine);
+                match (occurs, scalar) {
+                    (Occurs::One, None) => {
+                        fields.push(IOField::auto(e.name.clone(), "string", 0));
+                    }
+                    (Occurs::One, Some((base, size))) => {
+                        fields.push(IOField::auto(e.name.clone(), base, size));
+                    }
+                    (Occurs::Bounded(n), Some((base, size))) => {
+                        fields.push(IOField::auto(e.name.clone(), format!("{base}[{n}]"), size));
+                    }
+                    (Occurs::Unbounded, Some((base, size))) => {
+                        let dim = e.dimension_name.as_deref().ok_or_else(|| {
+                            XmitError::Binding(format!(
+                                "element '{}': dynamic array without a dimension",
+                                e.name
+                            ))
+                        })?;
+                        let needs_synthetic = ct.element(dim).is_none()
+                            && !fields.iter().any(|f| f.name == dim);
+                        let array =
+                            IOField::auto(e.name.clone(), format!("{base}[{dim}]"), size);
+                        if needs_synthetic {
+                            use openmeta_schema::model::DimensionPlacement;
+                            let length = IOField::auto(dim, "integer", 4);
+                            match e.dimension_placement {
+                                DimensionPlacement::Before => {
+                                    fields.push(length);
+                                    fields.push(array);
+                                }
+                                DimensionPlacement::After => {
+                                    fields.push(array);
+                                    fields.push(length);
+                                }
+                            }
+                        } else {
+                            fields.push(array);
+                        }
+                    }
+                    (_, None) => {
+                        return Err(XmitError::Binding(format!(
+                            "element '{}': arrays of xsd:string are not mappable to PBIO",
+                            e.name
+                        )));
+                    }
+                }
+            }
+        }
+    }
+    Ok(FormatSpec::new(ct.name.clone(), fields))
+}
+
+/// Map every type in a document, in document order, honouring the
+/// document's own enumeration definitions.
+pub fn map_document(
+    doc: &SchemaDocument,
+    machine: &MachineModel,
+) -> Result<Vec<FormatSpec>, XmitError> {
+    let is_enum = |n: &str| doc.get_enum(n).is_some();
+    doc.types.iter().map(|t| map_type_with_enums(t, machine, &is_enum)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openmeta_pbio::FormatRegistry;
+    use openmeta_schema::parse_str;
+
+    const XSD: &str = "http://www.w3.org/2001/XMLSchema";
+
+    fn wrap(body: &str) -> String {
+        format!("<xsd:schema xmlns:xsd=\"{XSD}\">{body}</xsd:schema>")
+    }
+
+    /// Figure 2's ASDOffEvent → exactly the PBIO metadata of Figure 2.
+    #[test]
+    fn asdoff_event_matches_figure_2() {
+        let doc = parse_str(&wrap(
+            r#"<xsd:complexType name="ASDOffEvent">
+                 <xsd:element name="centerID" type="xsd:string" />
+                 <xsd:element name="airline" type="xsd:string" />
+                 <xsd:element name="flightNum" type="xsd:integer" />
+                 <xsd:element name="off" type="xsd:unsignedLong" />
+               </xsd:complexType>"#,
+        ))
+        .unwrap();
+        let spec = map_type(doc.get("ASDOffEvent").unwrap(), &MachineModel::SPARC32).unwrap();
+        assert_eq!(
+            spec.fields,
+            vec![
+                IOField::auto("centerID", "string", 0),
+                IOField::auto("airline", "string", 0),
+                IOField::auto("flightNum", "integer", 4),
+                IOField::auto("off", "unsigned integer", 4), // sizeof(unsigned long) on SPARC32
+            ]
+        );
+        // And the registered struct is 16 bytes, like the C original.
+        let reg = FormatRegistry::new(MachineModel::SPARC32);
+        assert_eq!(reg.register(spec).unwrap().record_size, 16);
+    }
+
+    /// Figure 4's SimpleData: implicit `size` length field synthesized
+    /// before the array, giving the paper's 12-byte struct.
+    #[test]
+    fn simple_data_synthesizes_size_field() {
+        let doc = parse_str(&wrap(
+            r#"<xsd:complexType name="SimpleData">
+                 <xsd:element name="timestep" type="xsd:integer" />
+                 <xsd:element name="data" type="xsd:float"
+                     minOccurs="0" maxOccurs="*"
+                     dimensionPlacement="before" dimensionName="size" />
+               </xsd:complexType>"#,
+        ))
+        .unwrap();
+        let spec = map_type(doc.get("SimpleData").unwrap(), &MachineModel::SPARC32).unwrap();
+        let names: Vec<&str> = spec.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["timestep", "size", "data"]);
+        let reg = FormatRegistry::new(MachineModel::SPARC32);
+        assert_eq!(reg.register(spec).unwrap().record_size, 12);
+    }
+
+    #[test]
+    fn explicit_dimension_not_duplicated() {
+        let doc = parse_str(&wrap(
+            r#"<xsd:complexType name="T">
+                 <xsd:element name="size" type="xsd:integer" />
+                 <xsd:element name="data" type="xsd:float" maxOccurs="*"
+                     dimensionName="size" />
+               </xsd:complexType>"#,
+        ))
+        .unwrap();
+        let spec = map_type(doc.get("T").unwrap(), &MachineModel::SPARC32).unwrap();
+        assert_eq!(spec.fields.len(), 2);
+    }
+
+    #[test]
+    fn dimension_placement_after() {
+        let doc = parse_str(&wrap(
+            r#"<xsd:complexType name="T">
+                 <xsd:element name="data" type="xsd:double" maxOccurs="*"
+                     dimensionPlacement="after" dimensionName="n" />
+               </xsd:complexType>"#,
+        ))
+        .unwrap();
+        let spec = map_type(doc.get("T").unwrap(), &MachineModel::SPARC32).unwrap();
+        let names: Vec<&str> = spec.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["data", "n"]);
+        assert_eq!(spec.fields[0].type_desc, "float[n]");
+        assert_eq!(spec.fields[0].size, 8);
+    }
+
+    #[test]
+    fn machine_dependent_widths() {
+        let doc = parse_str(&wrap(
+            r#"<xsd:complexType name="W">
+                 <xsd:element name="addr" type="xsd:unsignedLong" />
+               </xsd:complexType>"#,
+        ))
+        .unwrap();
+        let s32 = map_type(doc.get("W").unwrap(), &MachineModel::SPARC32).unwrap();
+        let s64 = map_type(doc.get("W").unwrap(), &MachineModel::X86_64).unwrap();
+        assert_eq!(s32.fields[0].size, 4);
+        assert_eq!(s64.fields[0].size, 8);
+    }
+
+    #[test]
+    fn every_primitive_maps_and_registers() {
+        let reg = FormatRegistry::new(MachineModel::native());
+        let mut fields = String::new();
+        for (i, p) in XsdPrimitive::all().iter().enumerate() {
+            fields.push_str(&format!(
+                "<xsd:element name=\"f{i}\" type=\"xsd:{}\" />",
+                p.local_name()
+            ));
+        }
+        let doc = parse_str(&wrap(&format!(
+            "<xsd:complexType name=\"All\">{fields}</xsd:complexType>"
+        )))
+        .unwrap();
+        let spec = map_type(doc.get("All").unwrap(), &MachineModel::native()).unwrap();
+        let desc = reg.register(spec).unwrap();
+        assert_eq!(desc.total_field_count(), XsdPrimitive::all().len());
+    }
+
+    #[test]
+    fn static_arrays_map() {
+        let doc = parse_str(&wrap(
+            r#"<xsd:complexType name="G">
+                 <xsd:element name="grid" type="xsd:float" maxOccurs="16" />
+               </xsd:complexType>"#,
+        ))
+        .unwrap();
+        let spec = map_type(doc.get("G").unwrap(), &MachineModel::SPARC32).unwrap();
+        assert_eq!(spec.fields[0].type_desc, "float[16]");
+        let reg = FormatRegistry::new(MachineModel::SPARC32);
+        assert_eq!(reg.register(spec).unwrap().record_size, 64);
+    }
+
+    #[test]
+    fn composition_maps_to_nested_formats() {
+        let doc = parse_str(&wrap(
+            r#"<xsd:complexType name="Hdr">
+                 <xsd:element name="seq" type="xsd:int" />
+               </xsd:complexType>
+               <xsd:complexType name="Msg">
+                 <xsd:element name="hdr" type="Hdr" />
+                 <xsd:element name="v" type="xsd:double" />
+               </xsd:complexType>"#,
+        ))
+        .unwrap();
+        let specs = map_document(&doc, &MachineModel::SPARC32).unwrap();
+        let reg = FormatRegistry::new(MachineModel::SPARC32);
+        for s in specs {
+            reg.register(s).unwrap();
+        }
+        let msg = reg.lookup_name("Msg").unwrap();
+        assert_eq!(msg.record_size, 16);
+        assert!(msg.field_path("hdr.seq").is_some());
+    }
+}

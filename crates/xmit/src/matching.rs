@@ -1,0 +1,274 @@
+//! Schema-checking of live messages.
+//!
+//! §3 lists as an XMIT advantage that "since the structure of a message
+//! will be represented using XML, schema-checking tools may be applied to
+//! live messages received from other parties to determine which of
+//! several structure definitions a message best matches."  This module is
+//! that tool: give it the text of an XML-wire message and a set of loaded
+//! `complexType`s, and it scores each candidate.
+
+use openmeta_schema::{ComplexType, Occurs, TypeRef};
+use openmeta_schema::xsd::{XsdCategory, XsdPrimitive};
+use openmeta_xml::{Document, NodeId};
+
+use crate::error::XmitError;
+
+/// How one candidate type fared against a message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchReport {
+    /// Candidate type name.
+    pub type_name: String,
+    /// 0.0–1.0; higher is better.  1.0 = every declared element present
+    /// with a parsable value, nothing unexplained, root name agrees.
+    pub score: f64,
+    /// Whether the message's root element name equals the type name.
+    pub root_matches: bool,
+    /// Declared elements satisfied by the message.
+    pub matched: usize,
+    /// Declared elements absent from the message.
+    pub missing: Vec<String>,
+    /// Declared elements present with unparsable values.
+    pub mismatched: Vec<String>,
+    /// Message elements no declaration explains.
+    pub unexplained: Vec<String>,
+}
+
+/// Score every candidate against a live message; best first.
+pub fn match_message(
+    message_xml: &str,
+    candidates: &[ComplexType],
+) -> Result<Vec<MatchReport>, XmitError> {
+    let doc = openmeta_xml::parse(message_xml)
+        .map_err(openmeta_schema::SchemaError::Xml)
+        .map_err(XmitError::Schema)?;
+    let root = doc
+        .root_element()
+        .ok_or_else(|| XmitError::Binding("message has no root element".to_string()))?;
+    let mut reports: Vec<MatchReport> =
+        candidates.iter().map(|ct| score_candidate(&doc, root, ct)).collect();
+    reports.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite"));
+    Ok(reports)
+}
+
+/// Convenience: the single best candidate, if any clears `threshold`.
+pub fn best_match<'c>(
+    message_xml: &str,
+    candidates: &'c [ComplexType],
+    threshold: f64,
+) -> Result<Option<&'c ComplexType>, XmitError> {
+    let reports = match_message(message_xml, candidates)?;
+    Ok(reports
+        .first()
+        .filter(|r| r.score >= threshold)
+        .and_then(|r| candidates.iter().find(|c| c.name == r.type_name)))
+}
+
+fn value_parses(p: XsdPrimitive, text: &str) -> bool {
+    let t = text.trim();
+    match p.category() {
+        XsdCategory::String => true,
+        XsdCategory::Boolean => matches!(t, "true" | "false" | "0" | "1"),
+        XsdCategory::FloatN(_) => t.parse::<f64>().is_ok(),
+        XsdCategory::Signed(_) => t.parse::<i64>().is_ok(),
+        XsdCategory::Unsigned(_) => t.parse::<u64>().is_ok(),
+    }
+}
+
+fn score_candidate(doc: &Document, root: NodeId, ct: &ComplexType) -> MatchReport {
+    let root_matches = doc.name(root).local == ct.name;
+    let mut matched = 0usize;
+    let mut missing = Vec::new();
+    let mut mismatched = Vec::new();
+    let mut explained: std::collections::HashSet<String> = std::collections::HashSet::new();
+
+    for e in &ct.elements {
+        let nodes: Vec<NodeId> = doc.children_named(root, &e.name).collect();
+        explained.insert(e.name.clone());
+        let occurs_ok = match e.occurs {
+            Occurs::One => nodes.len() == 1,
+            Occurs::Bounded(n) => nodes.len() == n || nodes.len() == 1,
+            Occurs::Unbounded => true,
+        };
+        // A dynamic array's implicit dimension element may or may not be
+        // present in the message; never demand it.
+        if nodes.is_empty() {
+            if e.occurs == Occurs::Unbounded {
+                matched += 1; // empty array is legitimate
+            } else {
+                missing.push(e.name.clone());
+            }
+            continue;
+        }
+        if !occurs_ok {
+            mismatched.push(e.name.clone());
+            continue;
+        }
+        let values_ok = match &e.type_ref {
+            TypeRef::Primitive(p) => nodes.iter().all(|&n| value_parses(*p, &doc.text_content(n))),
+            TypeRef::Named(_) => nodes
+                .iter()
+                .all(|&n| doc.child_elements(n).next().is_some() || doc.text_content(n).trim().is_empty()),
+        };
+        if values_ok {
+            matched += 1;
+        } else {
+            mismatched.push(e.name.clone());
+        }
+    }
+    // Dimension names referenced by dynamic arrays are explained too.
+    for e in &ct.elements {
+        if let Some(dim) = &e.dimension_name {
+            explained.insert(dim.clone());
+        }
+    }
+    let unexplained: Vec<String> = {
+        let mut seen = std::collections::HashSet::new();
+        doc.child_elements(root)
+            .map(|c| doc.name(c).local.clone())
+            .filter(|n| !explained.contains(n))
+            .filter(|n| seen.insert(n.clone()))
+            .collect()
+    };
+
+    let declared = ct.elements.len().max(1) as f64;
+    let child_names: std::collections::HashSet<String> = {
+        doc.child_elements(root).map(|c| doc.name(c).local.clone()).collect()
+    };
+    let present_kinds = child_names.len().max(1) as f64;
+    let mut score = matched as f64 / declared;
+    score *= 1.0 - (unexplained.len() as f64 / present_kinds).min(1.0) * 0.5;
+    score -= mismatched.len() as f64 / declared * 0.5;
+    if root_matches {
+        score = (score + 1.0) / 2.0 + 0.0; // root agreement pulls toward 1
+    } else {
+        score *= 0.75;
+    }
+    MatchReport {
+        type_name: ct.name.clone(),
+        score: score.clamp(0.0, 1.0),
+        root_matches,
+        matched,
+        missing,
+        mismatched,
+        unexplained,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openmeta_schema::parse_str;
+
+    const XSD: &str = "http://www.w3.org/2001/XMLSchema";
+
+    fn candidates() -> Vec<ComplexType> {
+        parse_str(&format!(
+            r#"<xsd:schema xmlns:xsd="{XSD}">
+                 <xsd:complexType name="SimpleData">
+                   <xsd:element name="timestep" type="xsd:integer" />
+                   <xsd:element name="size" type="xsd:integer" />
+                   <xsd:element name="data" type="xsd:float" maxOccurs="*"
+                       dimensionName="size" />
+                 </xsd:complexType>
+                 <xsd:complexType name="JoinRequest">
+                   <xsd:element name="name" type="xsd:string" />
+                   <xsd:element name="server" type="xsd:unsignedLong" />
+                   <xsd:element name="pid" type="xsd:unsignedLong" />
+                 </xsd:complexType>
+               </xsd:schema>"#
+        ))
+        .unwrap()
+        .types
+    }
+
+    #[test]
+    fn identifies_the_right_format() {
+        let msg = "<SimpleData><timestep>9</timestep><size>2</size>\
+                   <data>1.5</data><data>2.5</data></SimpleData>";
+        let reports = match_message(msg, &candidates()).unwrap();
+        assert_eq!(reports[0].type_name, "SimpleData");
+        assert!(reports[0].score > reports[1].score);
+        assert!(reports[0].root_matches);
+        assert_eq!(reports[0].matched, 3);
+        assert!(reports[0].missing.is_empty());
+    }
+
+    #[test]
+    fn identifies_despite_renamed_root() {
+        // The sender wrapped the payload differently; field structure
+        // still identifies the format.
+        let msg = "<msg><name>flow2d</name><server>1</server><pid>42</pid></msg>";
+        let reports = match_message(msg, &candidates()).unwrap();
+        assert_eq!(reports[0].type_name, "JoinRequest");
+        assert!(!reports[0].root_matches);
+    }
+
+    #[test]
+    fn best_match_threshold() {
+        let cands = candidates();
+        let msg = "<SimpleData><timestep>9</timestep><size>0</size></SimpleData>";
+        let best = best_match(msg, &cands, 0.8).unwrap().unwrap();
+        assert_eq!(best.name, "SimpleData");
+        // A message matching nothing falls below the threshold.
+        let noise = "<x><alpha>1</alpha><beta>q</beta></x>";
+        assert!(best_match(noise, &cands, 0.8).unwrap().is_none());
+    }
+
+    #[test]
+    fn mismatched_value_types_penalized() {
+        let good = "<JoinRequest><name>a</name><server>1</server><pid>2</pid></JoinRequest>";
+        let bad = "<JoinRequest><name>a</name><server>NaN!</server><pid>x</pid></JoinRequest>";
+        let cands = candidates();
+        let g = match_message(good, &cands).unwrap();
+        let b = match_message(bad, &cands).unwrap();
+        let gs = g.iter().find(|r| r.type_name == "JoinRequest").unwrap();
+        let bs = b.iter().find(|r| r.type_name == "JoinRequest").unwrap();
+        assert!(gs.score > bs.score);
+        assert_eq!(bs.mismatched, vec!["server".to_string(), "pid".to_string()]);
+    }
+
+    #[test]
+    fn unexplained_elements_penalized() {
+        let exact = "<JoinRequest><name>a</name><server>1</server><pid>2</pid></JoinRequest>";
+        let extra = "<JoinRequest><name>a</name><server>1</server><pid>2</pid>\
+                     <junk>zzz</junk><junk2>1</junk2></JoinRequest>";
+        let cands = candidates();
+        let e = &match_message(exact, &cands).unwrap()[0];
+        let x = &match_message(extra, &cands).unwrap()[0];
+        assert!(e.score > x.score);
+        assert_eq!(x.unexplained.len(), 2);
+    }
+
+    #[test]
+    fn real_xml_wire_output_scores_perfectly() {
+        // A message produced by the XML wire format must score 1.0
+        // against its own definition.
+        use openmeta_pbio::{FormatRegistry, FormatSpec, IOField, MachineModel, RawRecord};
+        let reg = FormatRegistry::new(MachineModel::native());
+        let fmt = reg
+            .register(FormatSpec::new(
+                "SimpleData",
+                vec![
+                    IOField::auto("timestep", "integer", 4),
+                    IOField::auto("size", "integer", 4),
+                    IOField::auto("data", "float[size]", 4),
+                ],
+            ))
+            .unwrap();
+        let mut rec = RawRecord::new(fmt);
+        rec.set_i64("timestep", 3).unwrap();
+        rec.set_f64_array("data", &[1.0, 2.0]).unwrap();
+        // Hand-rolled equivalent of the XML wire output.
+        let msg = "<SimpleData><timestep>3</timestep><size>2</size>\
+                   <data>1</data><data>2</data></SimpleData>";
+        let reports = match_message(msg, &candidates()).unwrap();
+        assert_eq!(reports[0].type_name, "SimpleData");
+        assert!((reports[0].score - 1.0).abs() < 1e-9, "score {}", reports[0].score);
+    }
+
+    #[test]
+    fn garbage_input_is_an_error_not_a_panic() {
+        assert!(match_message("<<<", &candidates()).is_err());
+        assert!(match_message("", &candidates()).is_err());
+    }
+}

@@ -1,0 +1,345 @@
+//! Point-to-point messaging with self-announcing formats.
+//!
+//! A sender transmits a format's descriptor once, before the first record
+//! of that format, so receivers can decode with no prior agreement — the
+//! transport-level realization of "format identifiers are generated which
+//! allow component programs to retrieve the metadata on demand".  Records
+//! themselves carry only the id.
+//!
+//! ```text
+//! frame := len:u32be kind:u8 payload
+//!          kind 1: payload = format descriptor (pbio::codec)
+//!          kind 2: payload = one encoded record (pbio::marshal)
+//! ```
+
+use std::collections::HashSet;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+use openmeta_pbio::codec::{decode_descriptor, encode_descriptor};
+use openmeta_pbio::{decode, encode, FormatId, FormatRegistry, PbioError, RawRecord};
+
+use crate::error::XmitError;
+
+const FRAME_FORMAT: u8 = 1;
+const FRAME_RECORD: u8 = 2;
+const MAX_FRAME: usize = 64 << 20;
+
+fn write_frame(stream: &mut TcpStream, kind: u8, payload: &[u8]) -> Result<(), XmitError> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| XmitError::Bcm(PbioError::Io("frame too large".to_string())))?;
+    stream.write_all(&len.to_be_bytes()).map_err(PbioError::from)?;
+    stream.write_all(&[kind]).map_err(PbioError::from)?;
+    stream.write_all(payload).map_err(PbioError::from)?;
+    Ok(())
+}
+
+/// Sends records over a TCP stream, announcing formats on first use.
+pub struct XmitSender {
+    stream: TcpStream,
+    announced: HashSet<FormatId>,
+}
+
+impl XmitSender {
+    /// Connect to a receiver.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<XmitSender, XmitError> {
+        let stream = TcpStream::connect(addr).map_err(PbioError::from)?;
+        Ok(XmitSender::from_stream(stream))
+    }
+
+    /// Wrap an accepted stream.
+    pub fn from_stream(stream: TcpStream) -> XmitSender {
+        XmitSender { stream, announced: HashSet::new() }
+    }
+
+    /// Send one record.  The format descriptor precedes the first record
+    /// of each format on this connection.
+    pub fn send(&mut self, rec: &RawRecord) -> Result<(), XmitError> {
+        let id = rec.format().id();
+        if self.announced.insert(id) {
+            let desc = encode_descriptor(rec.format());
+            write_frame(&mut self.stream, FRAME_FORMAT, &desc)?;
+        }
+        let wire = encode(rec)?;
+        write_frame(&mut self.stream, FRAME_RECORD, &wire)?;
+        self.stream.flush().map_err(PbioError::from)?;
+        Ok(())
+    }
+}
+
+/// Receives records from a TCP stream, learning formats as they arrive
+/// and converting to the local registry's machine model.
+pub struct XmitReceiver {
+    stream: TcpStream,
+    registry: Arc<FormatRegistry>,
+}
+
+impl XmitReceiver {
+    /// Wrap an accepted stream; decoded records are converted to
+    /// `registry`'s formats when it holds a same-named registration.
+    pub fn new(stream: TcpStream, registry: Arc<FormatRegistry>) -> XmitReceiver {
+        XmitReceiver { stream, registry }
+    }
+
+    /// The registry formats are resolved against.
+    pub fn registry(&self) -> &Arc<FormatRegistry> {
+        &self.registry
+    }
+
+    fn read_frame(&mut self) -> Result<Option<(u8, Vec<u8>)>, XmitError> {
+        let mut len_buf = [0u8; 4];
+        match self.stream.read_exact(&mut len_buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(XmitError::Bcm(e.into())),
+        }
+        let len = u32::from_be_bytes(len_buf) as usize;
+        if len > MAX_FRAME {
+            return Err(XmitError::Bcm(PbioError::BadWireData(format!(
+                "frame of {len} bytes exceeds limit"
+            ))));
+        }
+        let mut kind = [0u8; 1];
+        self.stream.read_exact(&mut kind).map_err(PbioError::from)?;
+        let mut payload = vec![0u8; len];
+        self.stream.read_exact(&mut payload).map_err(PbioError::from)?;
+        Ok(Some((kind[0], payload)))
+    }
+
+    /// Receive the next record; `Ok(None)` when the sender hung up
+    /// cleanly.
+    pub fn recv(&mut self) -> Result<Option<RawRecord>, XmitError> {
+        loop {
+            let Some((kind, payload)) = self.read_frame()? else { return Ok(None) };
+            match kind {
+                FRAME_FORMAT => {
+                    let desc = decode_descriptor(&payload)?;
+                    self.registry.register_descriptor(desc);
+                }
+                FRAME_RECORD => return Ok(Some(decode(&payload, &self.registry)?)),
+                other => {
+                    return Err(XmitError::Bcm(PbioError::BadWireData(format!(
+                        "unknown frame kind {other}"
+                    ))))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toolkit::Xmit;
+    use openmeta_pbio::MachineModel;
+    use std::net::TcpListener;
+
+    const XSD: &str = "http://www.w3.org/2001/XMLSchema";
+
+    fn simple_data_xml() -> String {
+        format!(
+            r#"<xsd:complexType name="SimpleData" xmlns:xsd="{XSD}">
+                 <xsd:element name="timestep" type="xsd:integer" />
+                 <xsd:element name="data" type="xsd:float" minOccurs="0"
+                     maxOccurs="*" dimensionPlacement="before" dimensionName="size" />
+               </xsd:complexType>"#
+        )
+    }
+
+    #[test]
+    fn records_flow_with_no_prior_agreement() {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        let receiver_thread = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            // The receiver registry starts empty: all metadata arrives
+            // through the connection.
+            let registry = Arc::new(FormatRegistry::new(MachineModel::native()));
+            let mut rx = XmitReceiver::new(stream, registry);
+            let mut seen = Vec::new();
+            while let Some(rec) = rx.recv().unwrap() {
+                seen.push((
+                    rec.get_i64("timestep").unwrap(),
+                    rec.get_f64_array("data").unwrap(),
+                ));
+            }
+            seen
+        });
+
+        let xmit = Xmit::new(MachineModel::native());
+        xmit.load_str(&simple_data_xml()).unwrap();
+        let token = xmit.bind("SimpleData").unwrap();
+        let mut tx = XmitSender::connect(addr).unwrap();
+        for t in 0..5 {
+            let mut rec = token.new_record();
+            rec.set_i64("timestep", t).unwrap();
+            rec.set_f64_array("data", &[t as f64 * 0.5; 3]).unwrap();
+            tx.send(&rec).unwrap();
+        }
+        drop(tx);
+
+        let seen = receiver_thread.join().unwrap();
+        assert_eq!(seen.len(), 5);
+        assert_eq!(seen[4].0, 4);
+        assert_eq!(seen[4].1, vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn descriptor_sent_once_per_format() {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let counter = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut formats = 0usize;
+            let mut records = 0usize;
+            loop {
+                let mut len_buf = [0u8; 4];
+                if stream.read_exact(&mut len_buf).is_err() {
+                    break;
+                }
+                let len = u32::from_be_bytes(len_buf) as usize;
+                let mut kind = [0u8; 1];
+                stream.read_exact(&mut kind).unwrap();
+                let mut payload = vec![0u8; len];
+                stream.read_exact(&mut payload).unwrap();
+                match kind[0] {
+                    FRAME_FORMAT => formats += 1,
+                    FRAME_RECORD => records += 1,
+                    _ => unreachable!(),
+                }
+            }
+            (formats, records)
+        });
+
+        let xmit = Xmit::new(MachineModel::native());
+        xmit.load_str(&simple_data_xml()).unwrap();
+        let token = xmit.bind("SimpleData").unwrap();
+        let mut tx = XmitSender::connect(addr).unwrap();
+        for _ in 0..10 {
+            tx.send(&token.new_record()).unwrap();
+        }
+        drop(tx);
+        assert_eq!(counter.join().unwrap(), (1, 10));
+    }
+
+    #[test]
+    fn receiver_rejects_garbage_frames_without_panicking() {
+        use std::io::Write as _;
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let rx_thread = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let registry = Arc::new(FormatRegistry::new(MachineModel::native()));
+            let mut rx = XmitReceiver::new(stream, registry);
+            rx.recv()
+        });
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        // A frame with an unknown kind byte.
+        s.write_all(&4u32.to_be_bytes()).unwrap();
+        s.write_all(&[9u8]).unwrap();
+        s.write_all(b"junk").unwrap();
+        drop(s);
+        assert!(rx_thread.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn receiver_rejects_oversized_frames() {
+        use std::io::Write as _;
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let rx_thread = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let registry = Arc::new(FormatRegistry::new(MachineModel::native()));
+            let mut rx = XmitReceiver::new(stream, registry);
+            rx.recv()
+        });
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        s.write_all(&u32::MAX.to_be_bytes()).unwrap();
+        drop(s);
+        assert!(rx_thread.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn receiver_handles_truncated_stream() {
+        use std::io::Write as _;
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let rx_thread = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let registry = Arc::new(FormatRegistry::new(MachineModel::native()));
+            let mut rx = XmitReceiver::new(stream, registry);
+            rx.recv()
+        });
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        // Length promises 100 bytes; connection dies after 3.
+        s.write_all(&100u32.to_be_bytes()).unwrap();
+        s.write_all(&[FRAME_RECORD, 1, 2]).unwrap();
+        drop(s);
+        assert!(rx_thread.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn record_for_a_format_the_receiver_never_learned_errors() {
+        // A RECORD frame arriving before its FORMAT frame (out-of-order
+        // sender bug) must produce UnknownFormatId, not a panic.
+        use std::io::Write as _;
+        let xm = Xmit::new(MachineModel::native());
+        xm.load_str(&simple_data_xml()).unwrap();
+        let token = xm.bind("SimpleData").unwrap();
+        let wire = crate::encode(&token.new_record()).unwrap();
+
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let rx_thread = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let registry = Arc::new(FormatRegistry::new(MachineModel::native()));
+            let mut rx = XmitReceiver::new(stream, registry);
+            rx.recv()
+        });
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        s.write_all(&(wire.len() as u32).to_be_bytes()).unwrap();
+        s.write_all(&[FRAME_RECORD]).unwrap();
+        s.write_all(&wire).unwrap();
+        drop(s);
+        let err = rx_thread.join().unwrap().unwrap_err();
+        assert!(matches!(
+            err,
+            crate::XmitError::Bcm(openmeta_pbio::PbioError::UnknownFormatId(_))
+        ));
+    }
+
+    #[test]
+    fn cross_model_link_converts_at_receiver() {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let rx_thread = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            // Receiver is a little-endian LP64 machine with its own
+            // registration of the format.
+            let rx_xmit = Xmit::new(MachineModel::X86_64);
+            rx_xmit.load_str(&simple_data_xml()).unwrap();
+            rx_xmit.bind("SimpleData").unwrap();
+            let mut rx = XmitReceiver::new(stream, rx_xmit.registry().clone());
+            let rec = rx.recv().unwrap().unwrap();
+            assert_eq!(rec.format().machine, MachineModel::X86_64);
+            (rec.get_i64("timestep").unwrap(), rec.get_f64_array("data").unwrap())
+        });
+
+        // Sender pretends to be the paper's big-endian SPARC32.
+        let tx_xmit = Xmit::new(MachineModel::SPARC32);
+        tx_xmit.load_str(&simple_data_xml()).unwrap();
+        let token = tx_xmit.bind("SimpleData").unwrap();
+        let mut rec = token.new_record();
+        rec.set_i64("timestep", 77).unwrap();
+        rec.set_f64_array("data", &[1.5, -2.5]).unwrap();
+        let mut tx = XmitSender::connect(addr).unwrap();
+        tx.send(&rec).unwrap();
+        drop(tx);
+
+        let (ts, data) = rx_thread.join().unwrap();
+        assert_eq!(ts, 77);
+        assert_eq!(data, vec![1.5, -2.5]);
+    }
+}

@@ -1,0 +1,224 @@
+//! Run-time type customization for less capable clients.
+//!
+//! §1's future-work scenario: "less capable visualization engines such as
+//! handhelds can customize remote metadata for their own needs."  A
+//! *projection* derives a narrowed `complexType` from a loaded one — a
+//! subset of its elements, optionally with doubles narrowed to floats —
+//! which then binds and decodes like any other format.  Because PBIO
+//! conversion matches fields **by name**, a full-fat message from the
+//! server decodes straight into the projected format: unselected fields
+//! are skipped, doubles are narrowed at the receiver, and the sender
+//! never knows.
+
+use openmeta_schema::{ComplexType, Occurs, TypeRef};
+use openmeta_schema::xsd::XsdPrimitive;
+
+use crate::error::XmitError;
+
+/// Options for deriving a client-side view of a format.
+#[derive(Debug, Clone, Default)]
+pub struct Projection {
+    /// Elements to keep, in the original order.  Dimension elements of
+    /// kept dynamic arrays are retained automatically.
+    pub keep: Vec<String>,
+    /// Narrow `xsd:double` to `xsd:float` (half the memory and wire cost
+    /// after re-encoding — the handheld case).
+    pub narrow_doubles: bool,
+    /// Suffix appended to the projected type's name; defaults to
+    /// `"Projected"` when empty so ids never collide with the original.
+    pub rename_suffix: String,
+}
+
+impl Projection {
+    /// Keep the given fields, nothing else changed.
+    pub fn keeping<S: Into<String>>(fields: impl IntoIterator<Item = S>) -> Projection {
+        Projection {
+            keep: fields.into_iter().map(Into::into).collect(),
+            ..Projection::default()
+        }
+    }
+
+    /// Also narrow doubles to floats.
+    pub fn with_narrowing(mut self) -> Projection {
+        self.narrow_doubles = true;
+        self
+    }
+}
+
+/// Derive a projected `complexType`.
+pub fn project_type(ct: &ComplexType, projection: &Projection) -> Result<ComplexType, XmitError> {
+    if projection.keep.is_empty() {
+        return Err(XmitError::Binding("projection keeps no fields".to_string()));
+    }
+    for want in &projection.keep {
+        if ct.element(want).is_none() {
+            // Implicit dimension names are not projectable by themselves.
+            return Err(XmitError::Binding(format!(
+                "projection keeps '{want}', which '{}' does not declare",
+                ct.name
+            )));
+        }
+    }
+    let mut keep: Vec<&str> = projection.keep.iter().map(String::as_str).collect();
+    // Retain dimensions governing kept dynamic arrays.
+    for e in &ct.elements {
+        if keep.contains(&e.name.as_str()) && e.occurs == Occurs::Unbounded {
+            if let Some(dim) = &e.dimension_name {
+                if ct.element(dim).is_some() && !keep.contains(&dim.as_str()) {
+                    keep.push(dim);
+                }
+            }
+        }
+    }
+    let mut elements = Vec::new();
+    for e in &ct.elements {
+        if !keep.contains(&e.name.as_str()) {
+            continue;
+        }
+        let mut out = e.clone();
+        if projection.narrow_doubles {
+            if let TypeRef::Primitive(XsdPrimitive::Double) = out.type_ref {
+                out.type_ref = TypeRef::Primitive(XsdPrimitive::Float);
+            }
+        }
+        if matches!(out.type_ref, TypeRef::Named(_)) {
+            return Err(XmitError::Binding(format!(
+                "projection of composed element '{}' is not supported; project the \
+                 nested type instead",
+                e.name
+            )));
+        }
+        elements.push(out);
+    }
+    let suffix = if projection.rename_suffix.is_empty() {
+        "Projected"
+    } else {
+        &projection.rename_suffix
+    };
+    Ok(ComplexType::new(format!("{}{suffix}", ct.name), elements))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toolkit::Xmit;
+    use openmeta_pbio::MachineModel;
+    use openmeta_schema::parse_str;
+
+    const XSD: &str = "http://www.w3.org/2001/XMLSchema";
+
+    fn flow_type() -> ComplexType {
+        parse_str(&format!(
+            r#"<xsd:complexType name="Flow" xmlns:xsd="{XSD}">
+                 <xsd:element name="timestep" type="xsd:integer" />
+                 <xsd:element name="station" type="xsd:string" />
+                 <xsd:element name="ncells" type="xsd:integer" />
+                 <xsd:element name="depth" type="xsd:double" maxOccurs="*"
+                     dimensionName="ncells" />
+                 <xsd:element name="velocity" type="xsd:double" maxOccurs="*"
+                     dimensionName="nvel" />
+                 <xsd:element name="quality" type="xsd:double" />
+               </xsd:complexType>"#
+        ))
+        .unwrap()
+        .types
+        .remove(0)
+    }
+
+    #[test]
+    fn keeps_fields_and_their_dimensions() {
+        let p = project_type(&flow_type(), &Projection::keeping(["timestep", "depth"])).unwrap();
+        assert_eq!(p.name, "FlowProjected");
+        let names: Vec<&str> = p.elements.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["timestep", "ncells", "depth"]);
+    }
+
+    #[test]
+    fn narrows_doubles() {
+        let p = project_type(
+            &flow_type(),
+            &Projection::keeping(["quality"]).with_narrowing(),
+        )
+        .unwrap();
+        assert_eq!(
+            p.element("quality").unwrap().type_ref,
+            TypeRef::Primitive(XsdPrimitive::Float)
+        );
+    }
+
+    #[test]
+    fn unknown_and_empty_projections_rejected() {
+        assert!(project_type(&flow_type(), &Projection::keeping(["nope"])).is_err());
+        assert!(project_type(&flow_type(), &Projection::default()).is_err());
+    }
+
+    /// The §1 scenario, end to end: the server sends full-fat doubles;
+    /// the handheld binds a narrowed projection and decodes the same
+    /// wire bytes.
+    #[test]
+    fn handheld_decodes_full_message_through_projection() {
+        let server = Xmit::new(MachineModel::native());
+        server.load_str(&openmeta_schema::to_xml(&openmeta_schema::SchemaDocument { types: vec![flow_type()], enums: vec![] }))
+        .unwrap();
+        let full = server.bind("Flow").unwrap();
+        let mut rec = full.new_record();
+        rec.set_i64("timestep", 12).unwrap();
+        rec.set_string("station", "upstream").unwrap();
+        rec.set_f64_array("depth", &[1.25, 2.5, 3.75]).unwrap();
+        rec.set_f64_array("velocity", &[0.125; 8]).unwrap();
+        rec.set_f64("quality", 0.5).unwrap();
+        let wire = crate::encode(&rec).unwrap();
+
+        // The handheld: projected view, floats instead of doubles, no
+        // velocity array at all.
+        let handheld = Xmit::new(MachineModel::native());
+        let projected = project_type(
+            &flow_type(),
+            &Projection::keeping(["timestep", "depth", "quality"]).with_narrowing(),
+        )
+        .unwrap();
+        handheld
+            .load_str(&openmeta_schema::to_xml(&openmeta_schema::SchemaDocument { types: vec![projected], enums: vec![] }))
+            .unwrap();
+        let small = handheld.bind("FlowProjected").unwrap();
+        assert!(small.format.record_size < full.format.record_size);
+
+        handheld.registry().register_descriptor((*full.format).clone());
+        let got = crate::decode_with(&wire, handheld.registry(), &small.format).unwrap();
+        assert_eq!(got.get_i64("timestep").unwrap(), 12);
+        assert_eq!(got.get_f64("quality").unwrap(), 0.5);
+        assert_eq!(got.get_f64_array("depth").unwrap(), vec![1.25, 2.5, 3.75]);
+        assert!(got.get_string("station").is_err(), "dropped by projection");
+        assert!(got.get_f64_array("velocity").is_err(), "dropped by projection");
+    }
+
+    /// Narrowing is lossy exactly like a C cast — values come back at f32
+    /// precision.
+    #[test]
+    fn narrowing_quantizes_at_the_receiver() {
+        let server = Xmit::new(MachineModel::native());
+        server
+            .load_str(&format!(
+                r#"<xsd:complexType name="D" xmlns:xsd="{XSD}">
+                     <xsd:element name="x" type="xsd:double" />
+                   </xsd:complexType>"#
+            ))
+            .unwrap();
+        let full = server.bind("D").unwrap();
+        let mut rec = full.new_record();
+        rec.set_f64("x", std::f64::consts::PI).unwrap();
+        let wire = crate::encode(&rec).unwrap();
+
+        let ct = server.definition("D").unwrap();
+        let projected =
+            project_type(&ct, &Projection::keeping(["x"]).with_narrowing()).unwrap();
+        let handheld = Xmit::new(MachineModel::native());
+        handheld
+            .load_str(&openmeta_schema::to_xml(&openmeta_schema::SchemaDocument { types: vec![projected], enums: vec![] }))
+            .unwrap();
+        let small = handheld.bind("DProjected").unwrap();
+        handheld.registry().register_descriptor((*full.format).clone());
+        let got = crate::decode_with(&wire, handheld.registry(), &small.format).unwrap();
+        assert_eq!(got.get_f64("x").unwrap(), std::f64::consts::PI as f32 as f64);
+    }
+}

@@ -1,0 +1,410 @@
+//! The toolkit facade: load documents, bind types, mint records.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use openmeta_ohttp::{DocumentSource, StandardSource, Url};
+use openmeta_pbio::server::FormatServerClient;
+use openmeta_pbio::{FormatDescriptor, FormatId, FormatRegistry, MachineModel, RawRecord};
+use openmeta_schema::model::EnumType;
+use openmeta_schema::{parse_str, ComplexType, TypeRef};
+
+use crate::error::XmitError;
+use crate::mapping::map_type_with_enums;
+
+/// The result of binding a complex type: the paper's "binding token …
+/// used directly with the chosen BCM to perform marshaling and
+/// unmarshaling".
+#[derive(Debug, Clone)]
+pub struct BindingToken {
+    /// The complex type this token binds.
+    pub type_name: String,
+    /// The generated native metadata, registered with the BCM.
+    pub format: Arc<FormatDescriptor>,
+}
+
+impl BindingToken {
+    /// The compact format identifier carried in message headers.
+    pub fn id(&self) -> FormatId {
+        self.format.id()
+    }
+
+    /// A zeroed record of this format.
+    pub fn new_record(&self) -> RawRecord {
+        RawRecord::new(self.format.clone())
+    }
+}
+
+/// The XMIT toolkit instance.
+///
+/// Holds loaded (but not yet bound) complex types, a PBIO format registry
+/// for the selected machine model, and the document source used for
+/// discovery.
+pub struct Xmit {
+    registry: Arc<FormatRegistry>,
+    standard: Arc<StandardSource>,
+    custom: Option<Arc<dyn DocumentSource>>,
+    /// Loaded complex types, latest definition per name.
+    types: RwLock<HashMap<String, ComplexType>>,
+    /// Loaded enumerations, latest definition per name.
+    enums: RwLock<HashMap<String, EnumType>>,
+    /// URL → type names it defined at last load (for refresh bookkeeping).
+    documents: RwLock<HashMap<String, Vec<String>>>,
+    /// Optional format server for resolving unknown format ids on decode.
+    format_server: RwLock<Option<FormatServerClient>>,
+}
+
+impl Xmit {
+    /// A toolkit generating metadata for `machine`, with the standard
+    /// document source (`http://`, `file://`, `mem://`).
+    pub fn new(machine: MachineModel) -> Xmit {
+        Xmit {
+            registry: Arc::new(FormatRegistry::new(machine)),
+            standard: Arc::new(StandardSource::new()),
+            custom: None,
+            types: RwLock::new(HashMap::new()),
+            enums: RwLock::new(HashMap::new()),
+            documents: RwLock::new(HashMap::new()),
+            format_server: RwLock::new(None),
+        }
+    }
+
+    /// A toolkit with a caller-provided document source.
+    pub fn with_source(machine: MachineModel, source: Arc<dyn DocumentSource>) -> Xmit {
+        Xmit { custom: Some(source), ..Xmit::new(machine) }
+    }
+
+    /// The BCM format registry (shared with receivers for decoding).
+    pub fn registry(&self) -> &Arc<FormatRegistry> {
+        &self.registry
+    }
+
+    /// The standard source, e.g. to publish `mem://` fixtures in tests.
+    pub fn source(&self) -> &StandardSource {
+        &self.standard
+    }
+
+    fn fetch(&self, url: &Url) -> Result<String, XmitError> {
+        match &self.custom {
+            Some(s) => Ok(s.fetch(url)?),
+            None => Ok(self.standard.fetch(url)?),
+        }
+    }
+
+    /// Fetch a document's text through the toolkit's source without
+    /// loading it (used by [`crate::watcher::FormatWatcher`] to detect
+    /// changes).
+    pub fn fetch_document(&self, url: &Url) -> Result<String, XmitError> {
+        self.fetch(url)
+    }
+
+    /// "Load the toolkit with message definitions (contained in XML
+    /// documents) from one or more URLs."  Returns the names of the
+    /// complex types the document defined.
+    pub fn load_url(&self, url: &str) -> Result<Vec<String>, XmitError> {
+        let parsed = Url::parse(url)?;
+        let text = self.fetch(&parsed)?;
+        let names = self.load_str(&text)?;
+        self.documents.write().insert(url.to_string(), names.clone());
+        Ok(names)
+    }
+
+    /// Load definitions from already-fetched XML text.
+    pub fn load_str(&self, text: &str) -> Result<Vec<String>, XmitError> {
+        let doc = parse_str(text)?;
+        let mut names = Vec::with_capacity(doc.types.len());
+        {
+            let mut types = self.types.write();
+            for ct in doc.types {
+                names.push(ct.name.clone());
+                types.insert(ct.name.clone(), ct);
+            }
+        }
+        {
+            let mut enums = self.enums.write();
+            for en in doc.enums {
+                enums.insert(en.name.clone(), en);
+            }
+        }
+        Ok(names)
+    }
+
+    /// Re-fetch a previously loaded URL, picking up centralized format
+    /// changes.  Returns the (possibly changed) type names.
+    pub fn refresh(&self, url: &str) -> Result<Vec<String>, XmitError> {
+        self.load_url(url)
+    }
+
+    /// Names of all loaded complex types, sorted.
+    pub fn loaded_types(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.types.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Look at a loaded (unbound) definition.
+    pub fn definition(&self, name: &str) -> Option<ComplexType> {
+        self.types.read().get(name).cloned()
+    }
+
+    /// Look at a loaded enumeration definition.
+    pub fn enumeration(&self, name: &str) -> Option<EnumType> {
+        self.enums.read().get(name).cloned()
+    }
+
+    /// Wire value of an enumeration symbol (its declaration index).
+    pub fn enum_index(&self, enum_name: &str, symbol: &str) -> Result<u64, XmitError> {
+        let en = self
+            .enumeration(enum_name)
+            .ok_or_else(|| XmitError::UnknownType(enum_name.to_string()))?;
+        en.index_of(symbol).map(|i| i as u64).ok_or_else(|| {
+            XmitError::Binding(format!("'{symbol}' is not a value of enumeration '{enum_name}'"))
+        })
+    }
+
+    /// Symbol behind a wire value of an enumeration.
+    pub fn enum_symbol(&self, enum_name: &str, index: u64) -> Result<String, XmitError> {
+        let en = self
+            .enumeration(enum_name)
+            .ok_or_else(|| XmitError::UnknownType(enum_name.to_string()))?;
+        en.symbol(index as usize).map(str::to_string).ok_or_else(|| {
+            XmitError::Binding(format!("enumeration '{enum_name}' has no value {index}"))
+        })
+    }
+
+    /// Bind a loaded complex type: generate PBIO metadata (recursively
+    /// binding composed types first) and register it.
+    pub fn bind(&self, name: &str) -> Result<BindingToken, XmitError> {
+        let mut visiting = Vec::new();
+        let format = self.bind_inner(name, &mut visiting)?;
+        Ok(BindingToken { type_name: name.to_string(), format })
+    }
+
+    fn bind_inner(
+        &self,
+        name: &str,
+        visiting: &mut Vec<String>,
+    ) -> Result<Arc<FormatDescriptor>, XmitError> {
+        if visiting.iter().any(|v| v == name) {
+            return Err(XmitError::Binding(format!(
+                "circular composition: {} -> {name}",
+                visiting.join(" -> ")
+            )));
+        }
+        let ct = self
+            .types
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| XmitError::UnknownType(name.to_string()))?;
+        visiting.push(name.to_string());
+        // Bind composed types first so registry resolution succeeds;
+        // enumeration references map to a scalar and need no binding.
+        for e in &ct.elements {
+            if let TypeRef::Named(n) = &e.type_ref {
+                if self.enums.read().contains_key(n) {
+                    continue;
+                }
+                self.bind_inner(n, visiting)?;
+            }
+        }
+        visiting.pop();
+        let enums = self.enums.read();
+        let spec =
+            map_type_with_enums(&ct, &self.registry.machine(), &|n| enums.contains_key(n))?;
+        drop(enums);
+        Ok(self.registry.register(spec)?)
+    }
+
+    /// Bind every loaded type; returns tokens sorted by type name.
+    pub fn bind_all(&self) -> Result<Vec<BindingToken>, XmitError> {
+        self.loaded_types().into_iter().map(|n| self.bind(&n)).collect()
+    }
+
+    /// One-call convenience: bind `name` and mint a record of it.
+    pub fn new_record(&self, name: &str) -> Result<RawRecord, XmitError> {
+        Ok(self.bind(name)?.new_record())
+    }
+
+    // -- format-server integration (the Figure 2 arrow: "format
+    // identifiers … allow component programs to retrieve the metadata on
+    // demand") ---------------------------------------------------------
+
+    /// Attach the format server decode should resolve unknown ids from.
+    pub fn attach_format_server(&self, addr: std::net::SocketAddr) {
+        *self.format_server.write() = Some(FormatServerClient::connect(addr));
+    }
+
+    /// Publish a bound format's descriptor to the attached server so
+    /// remote components can resolve it by id.
+    pub fn publish_format(&self, token: &BindingToken) -> Result<FormatId, XmitError> {
+        let guard = self.format_server.read();
+        let client = guard
+            .as_ref()
+            .ok_or_else(|| XmitError::Binding("no format server attached".to_string()))?;
+        Ok(client.register(&token.format)?)
+    }
+
+    /// Decode a wire buffer, fetching the sender's descriptor from the
+    /// attached format server if this toolkit has never seen its id.
+    pub fn decode_resolving(&self, wire: &[u8]) -> Result<RawRecord, XmitError> {
+        let header = openmeta_pbio::marshal::parse_header(wire)?;
+        if self.registry.lookup_id(header.format_id).is_none() {
+            let guard = self.format_server.read();
+            let client = guard.as_ref().ok_or(XmitError::Bcm(
+                openmeta_pbio::PbioError::UnknownFormatId(header.format_id.0),
+            ))?;
+            client.resolve_into(header.format_id, &self.registry)?;
+        }
+        Ok(openmeta_pbio::decode(wire, &self.registry)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openmeta_ohttp::HttpServer;
+    use openmeta_pbio::{decode, encode};
+
+    const XSD: &str = "http://www.w3.org/2001/XMLSchema";
+
+    fn join_request_xml() -> String {
+        format!(
+            r#"<xsd:complexType name="JoinRequest" xmlns:xsd="{XSD}">
+                 <xsd:element name="name" type="xsd:string" />
+                 <xsd:element name="server" type="xsd:unsignedLong" />
+                 <xsd:element name="ip_addr" type="xsd:unsignedLong" />
+                 <xsd:element name="pid" type="xsd:unsignedLong" />
+                 <xsd:element name="ds_addr" type="xsd:unsignedLong" />
+               </xsd:complexType>"#
+        )
+    }
+
+    #[test]
+    fn load_bind_marshal_from_mem() {
+        let xmit = Xmit::new(MachineModel::native());
+        xmit.source().put_mem("join", join_request_xml());
+        let names = xmit.load_url("mem://join").unwrap();
+        assert_eq!(names, vec!["JoinRequest"]);
+        let token = xmit.bind("JoinRequest").unwrap();
+        let mut rec = token.new_record();
+        rec.set_string("name", "flow2d").unwrap();
+        rec.set_u64("server", 7).unwrap();
+        let wire = encode(&rec).unwrap();
+        let back = decode(&wire, xmit.registry()).unwrap();
+        assert_eq!(back.get_string("name").unwrap(), "flow2d");
+        assert_eq!(back.get_u64("server").unwrap(), 7);
+    }
+
+    #[test]
+    fn remote_discovery_over_http() {
+        let server = HttpServer::start().unwrap();
+        server.put_xml("/formats/join.xsd", join_request_xml());
+        let xmit = Xmit::new(MachineModel::native());
+        let names = xmit.load_url(&server.url_for("/formats/join.xsd")).unwrap();
+        assert_eq!(names, vec!["JoinRequest"]);
+        assert!(xmit.bind("JoinRequest").is_ok());
+        assert_eq!(server.hit_count(), 1);
+    }
+
+    #[test]
+    fn sparc32_join_request_is_20_bytes() {
+        // The paper's Figure 6 reports JoinRequest as a 20-byte structure.
+        let xmit = Xmit::new(MachineModel::SPARC32);
+        xmit.load_str(&join_request_xml()).unwrap();
+        let token = xmit.bind("JoinRequest").unwrap();
+        assert_eq!(token.format.record_size, 20);
+    }
+
+    #[test]
+    fn unknown_type_and_bad_urls_error() {
+        let xmit = Xmit::new(MachineModel::native());
+        assert!(matches!(xmit.bind("Nope"), Err(XmitError::UnknownType(_))));
+        assert!(matches!(xmit.load_url("mem://absent"), Err(XmitError::Discovery(_))));
+        assert!(matches!(xmit.load_url("not a url"), Err(XmitError::Discovery(_))));
+        assert!(matches!(xmit.load_str("<a/>"), Err(XmitError::Schema(_))));
+    }
+
+    #[test]
+    fn format_change_via_reload() {
+        let server = HttpServer::start().unwrap();
+        let v1 = format!(
+            r#"<xsd:complexType name="Evt" xmlns:xsd="{XSD}">
+                 <xsd:element name="a" type="xsd:int" /></xsd:complexType>"#
+        );
+        let v2 = format!(
+            r#"<xsd:complexType name="Evt" xmlns:xsd="{XSD}">
+                 <xsd:element name="a" type="xsd:int" />
+                 <xsd:element name="b" type="xsd:double" /></xsd:complexType>"#
+        );
+        server.put_xml("/evt.xsd", v1);
+        let xmit = Xmit::new(MachineModel::native());
+        let url = server.url_for("/evt.xsd");
+        xmit.load_url(&url).unwrap();
+        let t1 = xmit.bind("Evt").unwrap();
+        // The format evolves centrally; the component just refreshes.
+        server.put_xml("/evt.xsd", v2);
+        xmit.refresh(&url).unwrap();
+        let t2 = xmit.bind("Evt").unwrap();
+        assert_ne!(t1.id(), t2.id());
+        assert_eq!(t2.format.fields.len(), 2);
+        // Both versions stay addressable for in-flight messages.
+        assert!(xmit.registry().lookup_id(t1.id()).is_some());
+    }
+
+    #[test]
+    fn composition_binds_dependencies() {
+        let xmit = Xmit::new(MachineModel::native());
+        xmit.load_str(&format!(
+            r#"<xsd:schema xmlns:xsd="{XSD}">
+                 <xsd:complexType name="Msg">
+                   <xsd:element name="hdr" type="Hdr" />
+                   <xsd:element name="v" type="xsd:double" />
+                 </xsd:complexType>
+                 <xsd:complexType name="Hdr">
+                   <xsd:element name="seq" type="xsd:int" />
+                 </xsd:complexType>
+               </xsd:schema>"#
+        ))
+        .unwrap();
+        // Binding Msg first works even though Hdr appears later in the doc.
+        let token = xmit.bind("Msg").unwrap();
+        assert!(token.format.field_path("hdr.seq").is_some());
+        assert_eq!(xmit.bind_all().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn circular_composition_rejected() {
+        let xmit = Xmit::new(MachineModel::native());
+        xmit.load_str(&format!(
+            r#"<xsd:schema xmlns:xsd="{XSD}">
+                 <xsd:complexType name="A"><xsd:element name="b" type="B" /></xsd:complexType>
+                 <xsd:complexType name="B"><xsd:element name="a" type="A" /></xsd:complexType>
+               </xsd:schema>"#
+        ))
+        .unwrap();
+        assert!(matches!(xmit.bind("A"), Err(XmitError::Binding(_))));
+    }
+
+    #[test]
+    fn missing_composed_type_reported() {
+        let xmit = Xmit::new(MachineModel::native());
+        xmit.load_str(&format!(
+            r#"<xsd:complexType name="A" xmlns:xsd="{XSD}">
+                 <xsd:element name="q" type="Mystery" /></xsd:complexType>"#
+        ))
+        .unwrap();
+        assert!(matches!(xmit.bind("A"), Err(XmitError::UnknownType(_))));
+    }
+
+    #[test]
+    fn binding_is_idempotent() {
+        let xmit = Xmit::new(MachineModel::native());
+        xmit.load_str(&join_request_xml()).unwrap();
+        let t1 = xmit.bind("JoinRequest").unwrap();
+        let t2 = xmit.bind("JoinRequest").unwrap();
+        assert!(Arc::ptr_eq(&t1.format, &t2.format));
+    }
+}

@@ -1,0 +1,195 @@
+//! Propagation of centralized format changes.
+//!
+//! §3: "changes to the message formats used by distributed programs can
+//! be centralized, and XMIT ensures that they are propagated to all
+//! program components using these formats."  The toolkit's `refresh` is
+//! the pull half; this module supplies the push half: a [`FormatWatcher`]
+//! polls a metadata URL and re-binds through a shared [`Xmit`] whenever
+//! the document changes, notifying subscribers with the fresh tokens.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::error::XmitError;
+use crate::toolkit::{BindingToken, Xmit};
+
+/// A format-change notification.
+#[derive(Debug, Clone)]
+pub struct FormatChange {
+    /// The URL that changed.
+    pub url: String,
+    /// Freshly bound tokens for every type the document now defines.
+    pub tokens: Vec<BindingToken>,
+}
+
+/// Watches one metadata URL for changes.
+///
+/// Dropping the watcher stops the polling thread.
+pub struct FormatWatcher {
+    stop: Arc<AtomicBool>,
+    versions_seen: Arc<AtomicU64>,
+    thread: Option<JoinHandle<()>>,
+    receiver: Receiver<FormatChange>,
+}
+
+impl FormatWatcher {
+    /// Start watching `url` through `toolkit`, polling every `interval`.
+    ///
+    /// The document is fetched and bound once immediately (so the first
+    /// notification is the initial state), then re-fetched on the
+    /// interval; a notification fires only when the text actually
+    /// changes.
+    pub fn start(
+        toolkit: Arc<Xmit>,
+        url: impl Into<String>,
+        interval: Duration,
+    ) -> Result<FormatWatcher, XmitError> {
+        let url = url.into();
+        let stop = Arc::new(AtomicBool::new(false));
+        let versions_seen = Arc::new(AtomicU64::new(0));
+        let (tx, rx): (Sender<FormatChange>, Receiver<FormatChange>) = unbounded();
+
+        // Initial load happens on the caller's thread so errors surface.
+        let mut last_text = fetch_text(&toolkit, &url)?;
+        publish(&toolkit, &url, &tx)?;
+        versions_seen.store(1, Ordering::Release);
+
+        let (stop2, seen2) = (stop.clone(), versions_seen.clone());
+        let thread = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Acquire) {
+                std::thread::sleep(interval);
+                if stop2.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(text) = fetch_text(&toolkit, &url) else { continue };
+                if text != last_text {
+                    last_text = text;
+                    if publish(&toolkit, &url, &tx).is_ok() {
+                        seen2.fetch_add(1, Ordering::AcqRel);
+                    }
+                }
+            }
+        });
+        Ok(FormatWatcher { stop, versions_seen, thread: Some(thread), receiver: rx })
+    }
+
+    /// The channel change notifications arrive on.
+    pub fn changes(&self) -> &Receiver<FormatChange> {
+        &self.receiver
+    }
+
+    /// How many document versions (including the initial one) have been
+    /// seen and bound.
+    pub fn versions_seen(&self) -> u64 {
+        self.versions_seen.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for FormatWatcher {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn fetch_text(toolkit: &Xmit, url: &str) -> Result<String, XmitError> {
+    let parsed = openmeta_ohttp::Url::parse(url)?;
+    toolkit.fetch_document(&parsed)
+}
+
+fn publish(
+    toolkit: &Xmit,
+    url: &str,
+    tx: &Sender<FormatChange>,
+) -> Result<(), XmitError> {
+    let names = toolkit.load_url(url)?;
+    let tokens: Result<Vec<BindingToken>, XmitError> =
+        names.iter().map(|n| toolkit.bind(n)).collect();
+    let _ = tx.send(FormatChange { url: url.to_string(), tokens: tokens? });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openmeta_ohttp::HttpServer;
+    use openmeta_pbio::MachineModel;
+
+    const XSD: &str = "http://www.w3.org/2001/XMLSchema";
+
+    fn doc(fields: &str) -> String {
+        format!(
+            r#"<xsd:complexType name="Evt" xmlns:xsd="{XSD}">
+                 <xsd:element name="a" type="xsd:int" />{fields}
+               </xsd:complexType>"#
+        )
+    }
+
+    #[test]
+    fn initial_state_delivered_immediately() {
+        let http = HttpServer::start().unwrap();
+        http.put_xml("/evt.xsd", doc(""));
+        let toolkit = Arc::new(Xmit::new(MachineModel::native()));
+        let watcher =
+            FormatWatcher::start(toolkit, http.url_for("/evt.xsd"), Duration::from_millis(5))
+                .unwrap();
+        let change = watcher.changes().recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(change.tokens.len(), 1);
+        assert_eq!(change.tokens[0].type_name, "Evt");
+        assert_eq!(watcher.versions_seen(), 1);
+    }
+
+    #[test]
+    fn central_change_propagates() {
+        let http = HttpServer::start().unwrap();
+        http.put_xml("/evt.xsd", doc(""));
+        let toolkit = Arc::new(Xmit::new(MachineModel::native()));
+        let watcher = FormatWatcher::start(
+            toolkit.clone(),
+            http.url_for("/evt.xsd"),
+            Duration::from_millis(5),
+        )
+        .unwrap();
+        let v1 = watcher.changes().recv_timeout(Duration::from_secs(5)).unwrap();
+
+        // The format evolves centrally …
+        http.put_xml("/evt.xsd", doc(r#"<xsd:element name="b" type="xsd:double" />"#));
+        // … and the component hears about it without doing anything.
+        let v2 = watcher.changes().recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_ne!(v1.tokens[0].id(), v2.tokens[0].id());
+        assert_eq!(v2.tokens[0].format.fields.len(), 2);
+        // The toolkit's binding now reflects v2 for everyone sharing it.
+        assert_eq!(toolkit.bind("Evt").unwrap().id(), v2.tokens[0].id());
+        // And v1 remains addressable for in-flight messages.
+        assert!(toolkit.registry().lookup_id(v1.tokens[0].id()).is_some());
+    }
+
+    #[test]
+    fn unchanged_documents_do_not_spam() {
+        let http = HttpServer::start().unwrap();
+        http.put_xml("/evt.xsd", doc(""));
+        let toolkit = Arc::new(Xmit::new(MachineModel::native()));
+        let watcher = FormatWatcher::start(
+            toolkit,
+            http.url_for("/evt.xsd"),
+            Duration::from_millis(2),
+        )
+        .unwrap();
+        let _initial = watcher.changes().recv_timeout(Duration::from_secs(5)).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(watcher.versions_seen(), 1, "no change, no notification");
+        assert!(watcher.changes().try_recv().is_err());
+    }
+
+    #[test]
+    fn start_fails_fast_on_bad_url() {
+        let toolkit = Arc::new(Xmit::new(MachineModel::native()));
+        assert!(FormatWatcher::start(toolkit, "mem://absent", Duration::from_millis(5)).is_err());
+    }
+}

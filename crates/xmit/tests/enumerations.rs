@@ -1,0 +1,111 @@
+//! Enumeration types end to end — §3.1 lists them among the XML Schema
+//! primitives XMIT maps onto native metadata.  An `<xsd:simpleType>`
+//! restriction with `<xsd:enumeration>` facets becomes a PBIO
+//! `enumeration` scalar: symbols on the API, a 4-byte index on the wire.
+
+use xmit::{MachineModel, Xmit};
+
+const XSD: &str = "http://www.w3.org/2001/XMLSchema";
+
+fn metadata() -> String {
+    format!(
+        r#"<xsd:schema xmlns:xsd="{XSD}">
+             <xsd:simpleType name="BoundaryKind">
+               <xsd:restriction base="xsd:string">
+                 <xsd:enumeration value="open" />
+                 <xsd:enumeration value="wall" />
+                 <xsd:enumeration value="inflow" />
+                 <xsd:enumeration value="outflow" />
+               </xsd:restriction>
+             </xsd:simpleType>
+             <xsd:complexType name="BoundaryUpdate">
+               <xsd:element name="cell" type="xsd:integer" />
+               <xsd:element name="kind" type="BoundaryKind" />
+             </xsd:complexType>
+           </xsd:schema>"#
+    )
+}
+
+#[test]
+fn enum_fields_bind_as_scalars() {
+    let toolkit = Xmit::new(MachineModel::SPARC32);
+    toolkit.load_str(&metadata()).unwrap();
+    let token = toolkit.bind("BoundaryUpdate").unwrap();
+    // int + 4-byte enumeration = 8 bytes, no nested record.
+    assert_eq!(token.format.record_size, 8);
+    let kind = token.format.field("kind").unwrap();
+    assert_eq!(kind.kind.describe(), "enumeration");
+}
+
+#[test]
+fn symbols_round_trip_over_the_wire() {
+    let toolkit = Xmit::new(MachineModel::native());
+    toolkit.load_str(&metadata()).unwrap();
+    let token = toolkit.bind("BoundaryUpdate").unwrap();
+
+    let mut rec = token.new_record();
+    rec.set_i64("cell", 17).unwrap();
+    rec.set_u64("kind", toolkit.enum_index("BoundaryKind", "inflow").unwrap()).unwrap();
+    let wire = xmit::encode(&rec).unwrap();
+
+    let back = xmit::decode(&wire, toolkit.registry()).unwrap();
+    let symbol = toolkit.enum_symbol("BoundaryKind", back.get_u64("kind").unwrap()).unwrap();
+    assert_eq!(symbol, "inflow");
+}
+
+#[test]
+fn unknown_symbols_and_indices_are_errors() {
+    let toolkit = Xmit::new(MachineModel::native());
+    toolkit.load_str(&metadata()).unwrap();
+    assert!(toolkit.enum_index("BoundaryKind", "diagonal").is_err());
+    assert!(toolkit.enum_symbol("BoundaryKind", 99).is_err());
+    assert!(toolkit.enum_index("NoSuchEnum", "open").is_err());
+    assert_eq!(toolkit.enumeration("BoundaryKind").unwrap().values.len(), 4);
+}
+
+#[test]
+fn enums_survive_cross_machine_conversion() {
+    let sender = Xmit::new(MachineModel::SPARC32);
+    sender.load_str(&metadata()).unwrap();
+    let s_token = sender.bind("BoundaryUpdate").unwrap();
+
+    let receiver = Xmit::new(MachineModel::X86_64);
+    receiver.load_str(&metadata()).unwrap();
+    receiver.bind("BoundaryUpdate").unwrap();
+    receiver.registry().register_descriptor((*s_token.format).clone());
+
+    let mut rec = s_token.new_record();
+    rec.set_u64("kind", sender.enum_index("BoundaryKind", "wall").unwrap()).unwrap();
+    let wire = xmit::encode(&rec).unwrap();
+    let back = xmit::decode(&wire, receiver.registry()).unwrap();
+    assert_eq!(
+        receiver.enum_symbol("BoundaryKind", back.get_u64("kind").unwrap()).unwrap(),
+        "wall"
+    );
+}
+
+#[test]
+fn enum_definitions_are_validated() {
+    // No values, duplicate values, missing name: all diagnosed.
+    for bad in [
+        format!(
+            r#"<xsd:simpleType name="E" xmlns:xsd="{XSD}">
+                 <xsd:restriction base="xsd:string" /></xsd:simpleType>"#
+        ),
+        format!(
+            r#"<xsd:simpleType name="E" xmlns:xsd="{XSD}">
+                 <xsd:restriction base="xsd:string">
+                   <xsd:enumeration value="a" /><xsd:enumeration value="a" />
+                 </xsd:restriction></xsd:simpleType>"#
+        ),
+        format!(
+            r#"<xsd:simpleType xmlns:xsd="{XSD}">
+                 <xsd:restriction base="xsd:string">
+                   <xsd:enumeration value="a" />
+                 </xsd:restriction></xsd:simpleType>"#
+        ),
+    ] {
+        let toolkit = Xmit::new(MachineModel::native());
+        assert!(toolkit.load_str(&bad).is_err(), "{bad}");
+    }
+}

@@ -1,0 +1,592 @@
+//! Arena-based DOM tree with namespace resolution.
+//!
+//! Nodes live in a flat `Vec` inside [`Document`] and are referenced by
+//! [`NodeId`] indices, which keeps the tree cache-friendly and avoids
+//! interior mutability.  The shape mirrors what XMIT's metadata generator
+//! needs: selective traversal of element subtrees (`complexType` →
+//! `element`) with attribute lookup.
+
+use std::fmt;
+
+use crate::error::{ErrorKind, Position, XmlError};
+use crate::name::{split_prefix, QName, XMLNS_NS, XML_NS};
+use crate::reader::{Event, Reader};
+use crate::writer::{WriteStyle, Writer};
+
+/// Index of a node within its [`Document`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A namespace-resolved attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Resolved attribute name.  Per the namespaces spec, unprefixed
+    /// attributes are in *no* namespace (they do not inherit the default).
+    pub name: QName,
+    /// Attribute value (references already resolved).
+    pub value: String,
+}
+
+/// The payload of a DOM node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An element with resolved name and attributes.
+    Element {
+        /// Resolved element name.
+        name: QName,
+        /// Attributes in document order, `xmlns` declarations included.
+        attributes: Vec<Attribute>,
+    },
+    /// Character data (adjacent text and CDATA are merged).
+    Text(String),
+    /// A comment.
+    Comment(String),
+    /// A processing instruction.
+    ProcessingInstruction {
+        /// PI target.
+        target: String,
+        /// PI data.
+        data: String,
+    },
+}
+
+/// One node in the arena: payload plus tree links.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Node payload.
+    pub kind: NodeKind,
+    /// Parent node, `None` for top-level nodes.
+    pub parent: Option<NodeId>,
+    pub(crate) first_child: Option<NodeId>,
+    pub(crate) last_child: Option<NodeId>,
+    pub(crate) next_sibling: Option<NodeId>,
+    /// Source position of the construct that produced this node.
+    pub position: Position,
+}
+
+/// A parsed XML document.
+#[derive(Debug, Clone, Default)]
+pub struct Document {
+    nodes: Vec<Node>,
+    /// Top-level nodes in order (comments/PIs and the single root element).
+    top: Vec<NodeId>,
+    root: Option<NodeId>,
+    /// Declared encoding, from the XML declaration if present.
+    pub encoding: Option<String>,
+}
+
+impl Document {
+    /// The single root element.
+    pub fn root_element(&self) -> Option<NodeId> {
+        self.root
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Total number of nodes in the arena.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the document holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The resolved name of an element node.
+    ///
+    /// # Panics
+    /// Panics if `id` is not an element.
+    pub fn name(&self, id: NodeId) -> &QName {
+        match &self.node(id).kind {
+            NodeKind::Element { name, .. } => name,
+            other => panic!("node is not an element: {other:?}"),
+        }
+    }
+
+    /// All attributes of an element (empty for non-elements).
+    pub fn attributes(&self, id: NodeId) -> &[Attribute] {
+        match &self.node(id).kind {
+            NodeKind::Element { attributes, .. } => attributes,
+            _ => &[],
+        }
+    }
+
+    /// Look up an attribute value by *local* name, ignoring namespaces.
+    ///
+    /// This matches how XMIT reads schema attributes (`name`, `type`,
+    /// `maxOccurs`): schema documents leave them unprefixed.
+    pub fn attribute(&self, id: NodeId, local: &str) -> Option<&str> {
+        self.attributes(id)
+            .iter()
+            .find(|a| a.name.local == local && a.name.namespace.is_none())
+            .map(|a| a.value.as_str())
+    }
+
+    /// Look up an attribute by namespace URI + local name.
+    pub fn attribute_ns(&self, id: NodeId, ns: Option<&str>, local: &str) -> Option<&str> {
+        self.attributes(id)
+            .iter()
+            .find(|a| a.name.is(ns, local))
+            .map(|a| a.value.as_str())
+    }
+
+    /// Iterate over the direct children of `id`.
+    pub fn children(&self, id: NodeId) -> Children<'_> {
+        Children { doc: self, next: self.node(id).first_child }
+    }
+
+    /// Iterate over the direct *element* children of `id`.
+    pub fn child_elements(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.children(id)
+            .filter(|&c| matches!(self.node(c).kind, NodeKind::Element { .. }))
+    }
+
+    /// Find direct element children whose local name is `local`.
+    pub fn children_named<'d>(
+        &'d self,
+        id: NodeId,
+        local: &'d str,
+    ) -> impl Iterator<Item = NodeId> + 'd {
+        self.child_elements(id).filter(move |&c| self.name(c).local == local)
+    }
+
+    /// Depth-first pre-order traversal of the subtree rooted at `id`
+    /// (including `id` itself).
+    pub fn descendants(&self, id: NodeId) -> Descendants<'_> {
+        Descendants { doc: self, stack: vec![id] }
+    }
+
+    /// Every element in the document, in document order.
+    pub fn all_elements(&self) -> Vec<NodeId> {
+        let Some(root) = self.root else { return Vec::new() };
+        self.descendants(root)
+            .filter(|&n| matches!(self.node(n).kind, NodeKind::Element { .. }))
+            .collect()
+    }
+
+    /// Concatenated text content of the subtree rooted at `id`.
+    pub fn text_content(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        for n in self.descendants(id) {
+            if let NodeKind::Text(t) = &self.node(n).kind {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Top-level nodes (prolog comments/PIs, the root element, epilog misc).
+    pub fn top_level(&self) -> &[NodeId] {
+        &self.top
+    }
+
+    /// Serialize compactly (no added whitespace).
+    pub fn to_string_compact(&self) -> String {
+        Writer::new(WriteStyle::Compact).document(self)
+    }
+
+    /// Serialize with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        Writer::new(WriteStyle::Pretty { indent: 2 }).document(self)
+    }
+
+    fn push_node(&mut self, node: Node) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("node arena exceeds u32 range"));
+        self.nodes.push(node);
+        id
+    }
+
+    fn attach(&mut self, parent: Option<NodeId>, id: NodeId) {
+        match parent {
+            None => self.top.push(id),
+            Some(p) => {
+                let prev_last = self.nodes[p.index()].last_child.replace(id);
+                match prev_last {
+                    None => self.nodes[p.index()].first_child = Some(id),
+                    Some(prev) => self.nodes[prev.index()].next_sibling = Some(id),
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string_compact())
+    }
+}
+
+/// Iterator over direct children.
+pub struct Children<'d> {
+    doc: &'d Document,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Children<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.next?;
+        self.next = self.doc.node(id).next_sibling;
+        Some(id)
+    }
+}
+
+/// Depth-first pre-order iterator.
+pub struct Descendants<'d> {
+    doc: &'d Document,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.stack.pop()?;
+        let children: Vec<NodeId> = self.doc.children(id).collect();
+        self.stack.extend(children.into_iter().rev());
+        Some(id)
+    }
+}
+
+/// Namespace scope: a stack of prefix bindings.
+struct NsScope {
+    /// `(prefix, uri, depth)`; empty `uri` undeclares the binding.
+    bindings: Vec<(String, String, usize)>,
+    default: Vec<(String, usize)>,
+}
+
+impl NsScope {
+    fn new() -> Self {
+        NsScope {
+            bindings: vec![
+                ("xml".to_string(), XML_NS.to_string(), 0),
+                ("xmlns".to_string(), XMLNS_NS.to_string(), 0),
+            ],
+            default: Vec::new(),
+        }
+    }
+
+    fn resolve(&self, prefix: &str) -> Option<&str> {
+        self.bindings
+            .iter()
+            .rev()
+            .find(|(p, _, _)| p == prefix)
+            .map(|(_, u, _)| u.as_str())
+            .filter(|u| !u.is_empty())
+    }
+
+    fn default_ns(&self) -> Option<&str> {
+        self.default.last().map(|(u, _)| u.as_str()).filter(|u| !u.is_empty())
+    }
+
+    fn pop_to(&mut self, depth: usize) {
+        while matches!(self.bindings.last(), Some(&(_, _, d)) if d >= depth) {
+            self.bindings.pop();
+        }
+        while matches!(self.default.last(), Some(&(_, d)) if d >= depth) {
+            self.default.pop();
+        }
+    }
+}
+
+/// Build a [`Document`] from source text, resolving namespaces.
+pub fn build(text: &str) -> Result<Document, XmlError> {
+    let mut doc = Document::default();
+    let mut reader = Reader::new(text);
+    let mut scope = NsScope::new();
+    let mut parents: Vec<NodeId> = Vec::new();
+    let mut depth = 0usize;
+
+    loop {
+        let at = reader.source_position();
+        let event = reader.next_event()?;
+        match event {
+            Event::Eof => break,
+            Event::Declaration { encoding, .. } => {
+                doc.encoding = encoding.map(str::to_string);
+            }
+            Event::Doctype(_) => {}
+            Event::Comment(c) => {
+                let id = doc.push_node(Node {
+                    kind: NodeKind::Comment(c.to_string()),
+                    parent: parents.last().copied(),
+                    first_child: None,
+                    last_child: None,
+                    next_sibling: None,
+                    position: at,
+                });
+                doc.attach(parents.last().copied(), id);
+            }
+            Event::ProcessingInstruction { target, data } => {
+                let id = doc.push_node(Node {
+                    kind: NodeKind::ProcessingInstruction {
+                        target: target.to_string(),
+                        data: data.to_string(),
+                    },
+                    parent: parents.last().copied(),
+                    first_child: None,
+                    last_child: None,
+                    next_sibling: None,
+                    position: at,
+                });
+                doc.attach(parents.last().copied(), id);
+            }
+            Event::Text(_) | Event::CData(_) => {
+                let t: std::borrow::Cow<'_, str> = match event {
+                    Event::Text(t) => t,
+                    Event::CData(t) => std::borrow::Cow::Borrowed(t),
+                    _ => unreachable!("outer match arm guarantees text"),
+                };
+                let parent = parents.last().copied();
+                // Merge adjacent text nodes.
+                let merged = parent.and_then(|p| doc.node(p).last_child).and_then(|last| {
+                    matches!(doc.node(last).kind, NodeKind::Text(_)).then_some(last)
+                });
+                match merged {
+                    Some(last) => {
+                        if let NodeKind::Text(existing) = &mut doc.nodes[last.index()].kind {
+                            existing.push_str(&t);
+                        }
+                    }
+                    None => {
+                        let id = doc.push_node(Node {
+                            kind: NodeKind::Text(t.into_owned()),
+                            parent,
+                            first_child: None,
+                            last_child: None,
+                            next_sibling: None,
+                            position: at,
+                        });
+                        doc.attach(parent, id);
+                    }
+                }
+            }
+            Event::StartElement { name, attributes, .. } => {
+                depth += 1;
+                // First pass: record namespace declarations for this scope.
+                for a in &attributes {
+                    if a.name == "xmlns" {
+                        scope.default.push((a.value.to_string(), depth));
+                    } else if let Some(p) = a.name.strip_prefix("xmlns:") {
+                        if p.is_empty() {
+                            return Err(XmlError::new(
+                                ErrorKind::InvalidName,
+                                "empty prefix in xmlns declaration",
+                                at,
+                            ));
+                        }
+                        scope.bindings.push((p.to_string(), a.value.to_string(), depth));
+                    }
+                }
+                // Second pass: resolve element and attribute names.
+                let (prefix, local) = split_prefix(name).ok_or_else(|| {
+                    XmlError::new(ErrorKind::InvalidName, format!("bad QName '{name}'"), at)
+                })?;
+                let ns = if prefix.is_empty() {
+                    scope.default_ns().map(str::to_string)
+                } else {
+                    Some(
+                        scope
+                            .resolve(prefix)
+                            .ok_or_else(|| {
+                                XmlError::new(
+                                    ErrorKind::UndeclaredPrefix,
+                                    format!("undeclared namespace prefix '{prefix}'"),
+                                    at,
+                                )
+                            })?
+                            .to_string(),
+                    )
+                };
+                let qname =
+                    QName { prefix: prefix.to_string(), local: local.to_string(), namespace: ns };
+                let mut resolved = Vec::with_capacity(attributes.len());
+                for a in &attributes {
+                    let (ap, al) = split_prefix(a.name).ok_or_else(|| {
+                        XmlError::new(
+                            ErrorKind::InvalidName,
+                            format!("bad attribute QName '{}'", a.name),
+                            at,
+                        )
+                    })?;
+                    let ans = if a.name == "xmlns" {
+                        Some(XMLNS_NS.to_string())
+                    } else if ap.is_empty() {
+                        None // unprefixed attributes take no namespace
+                    } else {
+                        Some(
+                            scope
+                                .resolve(ap)
+                                .ok_or_else(|| {
+                                    XmlError::new(
+                                        ErrorKind::UndeclaredPrefix,
+                                        format!("undeclared namespace prefix '{ap}'"),
+                                        at,
+                                    )
+                                })?
+                                .to_string(),
+                        )
+                    };
+                    resolved.push(Attribute {
+                        name: QName {
+                            prefix: ap.to_string(),
+                            local: al.to_string(),
+                            namespace: ans,
+                        },
+                        value: a.value.to_string(),
+                    });
+                }
+                let parent = parents.last().copied();
+                let id = doc.push_node(Node {
+                    kind: NodeKind::Element { name: qname, attributes: resolved },
+                    parent,
+                    first_child: None,
+                    last_child: None,
+                    next_sibling: None,
+                    position: at,
+                });
+                doc.attach(parent, id);
+                if parent.is_none() {
+                    doc.root = Some(id);
+                }
+                parents.push(id);
+            }
+            Event::EndElement { .. } => {
+                parents.pop();
+                scope.pop_to(depth);
+                depth = depth.saturating_sub(1);
+            }
+        }
+    }
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn builds_tree_shape() {
+        let doc = parse("<a><b/><c><d/></c></a>").unwrap();
+        let root = doc.root_element().unwrap();
+        let kids: Vec<_> = doc.child_elements(root).collect();
+        assert_eq!(kids.len(), 2);
+        assert_eq!(doc.name(kids[0]).local, "b");
+        assert_eq!(doc.name(kids[1]).local, "c");
+        assert_eq!(doc.child_elements(kids[1]).count(), 1);
+        assert_eq!(doc.node(kids[0]).parent, Some(root));
+    }
+
+    #[test]
+    fn default_namespace_applies_to_elements_not_attributes() {
+        let doc = parse(r#"<a xmlns="urn:d"><b x="1"/></a>"#).unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.name(root).namespace.as_deref(), Some("urn:d"));
+        let b = doc.child_elements(root).next().unwrap();
+        assert_eq!(doc.name(b).namespace.as_deref(), Some("urn:d"));
+        let attr = &doc.attributes(b)[0];
+        assert_eq!(attr.name.namespace, None);
+    }
+
+    #[test]
+    fn prefixed_namespaces_resolve() {
+        let doc = parse(
+            r#"<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+                 <xsd:element name="f" xsd:kind="k"/>
+               </xsd:schema>"#,
+        )
+        .unwrap();
+        let root = doc.root_element().unwrap();
+        let ns = "http://www.w3.org/2001/XMLSchema";
+        assert!(doc.name(root).is(Some(ns), "schema"));
+        let el = doc.child_elements(root).next().unwrap();
+        assert!(doc.name(el).is(Some(ns), "element"));
+        assert_eq!(doc.attribute(el, "name"), Some("f"));
+        assert_eq!(doc.attribute_ns(el, Some(ns), "kind"), Some("k"));
+    }
+
+    #[test]
+    fn namespace_scoping_pops_after_element() {
+        let doc = parse(r#"<a><b xmlns:p="urn:p"><p:c/></b><d/></a>"#).unwrap();
+        let root = doc.root_element().unwrap();
+        let kids: Vec<_> = doc.child_elements(root).collect();
+        let c = doc.child_elements(kids[0]).next().unwrap();
+        assert_eq!(doc.name(c).namespace.as_deref(), Some("urn:p"));
+        assert_eq!(doc.name(kids[1]).namespace, None);
+    }
+
+    #[test]
+    fn inner_declaration_shadows_outer() {
+        let doc = parse(r#"<p:a xmlns:p="urn:1"><p:b xmlns:p="urn:2"/></p:a>"#).unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.name(root).namespace.as_deref(), Some("urn:1"));
+        let b = doc.child_elements(root).next().unwrap();
+        assert_eq!(doc.name(b).namespace.as_deref(), Some("urn:2"));
+    }
+
+    #[test]
+    fn undeclared_prefix_rejected() {
+        let err = parse("<p:a/>").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UndeclaredPrefix);
+    }
+
+    #[test]
+    fn adjacent_text_and_cdata_merge() {
+        let doc = parse("<a>one <![CDATA[& two]]> three</a>").unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.children(root).count(), 1);
+        assert_eq!(doc.text_content(root), "one & two three");
+    }
+
+    #[test]
+    fn descendants_pre_order() {
+        let doc = parse("<a><b><c/></b><d/></a>").unwrap();
+        let names: Vec<_> = doc
+            .descendants(doc.root_element().unwrap())
+            .map(|n| doc.name(n).local.clone())
+            .collect();
+        assert_eq!(names, ["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn children_named_filters() {
+        let doc = parse("<t><element a=\"1\"/><other/><element a=\"2\"/></t>").unwrap();
+        let root = doc.root_element().unwrap();
+        let els: Vec<_> = doc.children_named(root, "element").collect();
+        assert_eq!(els.len(), 2);
+        assert_eq!(doc.attribute(els[1], "a"), Some("2"));
+    }
+
+    #[test]
+    fn top_level_includes_prolog_misc() {
+        let doc = parse("<!--pre--><a/><!--post-->").unwrap();
+        assert_eq!(doc.top_level().len(), 3);
+        assert!(matches!(doc.node(doc.top_level()[0]).kind, NodeKind::Comment(_)));
+    }
+
+    #[test]
+    fn encoding_recorded() {
+        let doc = parse("<?xml version=\"1.0\" encoding=\"UTF-8\"?><a/>").unwrap();
+        assert_eq!(doc.encoding.as_deref(), Some("UTF-8"));
+    }
+
+    #[test]
+    fn xml_prefix_is_predeclared() {
+        let doc = parse(r#"<a xml:lang="en"/>"#).unwrap();
+        let root = doc.root_element().unwrap();
+        let attr = &doc.attributes(root)[0];
+        assert_eq!(attr.name.namespace.as_deref(), Some(XML_NS));
+    }
+}

@@ -1,0 +1,95 @@
+//! Error and source-position types for the XML parser.
+
+use std::fmt;
+
+/// A 1-based line/column position within an XML source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Position {
+    /// 1-based line number (0 means "unknown").
+    pub line: u32,
+    /// 1-based column number in characters (0 means "unknown").
+    pub column: u32,
+    /// Byte offset from the start of the input.
+    pub offset: usize,
+}
+
+impl Position {
+    /// The position of the first character of a document.
+    pub fn start() -> Self {
+        Position { line: 1, column: 1, offset: 0 }
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// An error produced while parsing or building an XML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Machine-readable error category.
+    pub kind: ErrorKind,
+    /// Human-readable detail (what was found, what was expected).
+    pub message: String,
+    /// Where in the source the error was detected.
+    pub position: Position,
+}
+
+/// Categories of XML parse errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof,
+    /// A token violated XML 1.0 grammar.
+    Syntax,
+    /// An element or attribute name is not a valid (qualified) name.
+    InvalidName,
+    /// Close tag does not match the open tag, or tags left open at EOF.
+    TagMismatch,
+    /// The same attribute appears twice on one element.
+    DuplicateAttribute,
+    /// A character or entity reference is malformed or out of range.
+    BadReference,
+    /// A namespace prefix was used without being declared.
+    UndeclaredPrefix,
+    /// Document-level structure violation (e.g. two root elements).
+    Structure,
+}
+
+impl XmlError {
+    pub(crate) fn new(kind: ErrorKind, message: impl Into<String>, position: Position) -> Self {
+        XmlError { kind, message: message.into(), position }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_displays_line_and_column() {
+        let p = Position { line: 3, column: 14, offset: 60 };
+        assert_eq!(p.to_string(), "3:14");
+    }
+
+    #[test]
+    fn error_display_includes_position_and_message() {
+        let e = XmlError::new(ErrorKind::Syntax, "expected '>'", Position::start());
+        assert_eq!(e.to_string(), "XML error at 1:1: expected '>'");
+    }
+
+    #[test]
+    fn start_position_is_one_one() {
+        assert_eq!(Position::start(), Position { line: 1, column: 1, offset: 0 });
+    }
+}

@@ -1,0 +1,186 @@
+//! Escaping and unescaping of XML character data and attribute values.
+//!
+//! XML defines five predefined entities (`&lt; &gt; &amp; &apos; &quot;`)
+//! plus numeric character references (`&#10;`, `&#x1F;`).  The XMIT wire
+//! comparator (XML-as-wire-format) spends a large part of its encode budget
+//! here, which is precisely the cost the paper's Figure 8 measures.
+
+use std::borrow::Cow;
+
+use crate::error::{ErrorKind, Position, XmlError};
+
+/// Escape character data for use as element text content.
+///
+/// Only `&`, `<` and `>` are escaped; quotes are legal inside text.
+/// Returns `Cow::Borrowed` when no escaping is required so the common
+/// all-clean case allocates nothing.
+pub fn escape_text(s: &str) -> Cow<'_, str> {
+    escape_with(s, |c| matches!(c, '&' | '<' | '>'))
+}
+
+/// Escape a string for use inside a double-quoted attribute value.
+pub fn escape_attr(s: &str) -> Cow<'_, str> {
+    escape_with(s, |c| matches!(c, '&' | '<' | '>' | '"' | '\''))
+}
+
+fn escape_with(s: &str, needs: impl Fn(char) -> bool) -> Cow<'_, str> {
+    let first = match s.char_indices().find(|&(_, c)| needs(c)) {
+        None => return Cow::Borrowed(s),
+        Some((i, _)) => i,
+    };
+    let mut out = String::with_capacity(s.len() + 8);
+    out.push_str(&s[..first]);
+    for c in s[first..].chars() {
+        if needs(c) {
+            match c {
+                '&' => out.push_str("&amp;"),
+                '<' => out.push_str("&lt;"),
+                '>' => out.push_str("&gt;"),
+                '"' => out.push_str("&quot;"),
+                '\'' => out.push_str("&apos;"),
+                _ => unreachable!("escape predicate only selects markup chars"),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Resolve one entity or character reference.
+///
+/// `body` is the text between `&` and `;` (e.g. `"amp"`, `"#x41"`).
+pub(crate) fn resolve_reference(body: &str, at: Position) -> Result<char, XmlError> {
+    let err = |msg: String| XmlError::new(ErrorKind::BadReference, msg, at);
+    if let Some(num) = body.strip_prefix('#') {
+        let code = if let Some(hex) = num.strip_prefix('x').or_else(|| num.strip_prefix('X')) {
+            u32::from_str_radix(hex, 16)
+                .map_err(|_| err(format!("bad hex character reference '&#{num};'")))?
+        } else {
+            num.parse::<u32>()
+                .map_err(|_| err(format!("bad decimal character reference '&#{num};'")))?
+        };
+        let ch = char::from_u32(code)
+            .ok_or_else(|| err(format!("character reference U+{code:X} is not a valid char")))?;
+        if !is_xml_char(ch) {
+            return Err(err(format!("character reference U+{code:X} is not an XML Char")));
+        }
+        return Ok(ch);
+    }
+    match body {
+        "amp" => Ok('&'),
+        "lt" => Ok('<'),
+        "gt" => Ok('>'),
+        "apos" => Ok('\''),
+        "quot" => Ok('"'),
+        other => Err(err(format!("unknown entity '&{other};' (DTD entities are not supported)"))),
+    }
+}
+
+/// Unescape entity and character references in `s`.
+///
+/// Returns `Cow::Borrowed` when the input contains no `&`.
+pub fn unescape(s: &str) -> Result<Cow<'_, str>, XmlError> {
+    unescape_at(s, Position::start())
+}
+
+pub(crate) fn unescape_at(s: &str, base: Position) -> Result<Cow<'_, str>, XmlError> {
+    let Some(first) = s.find('&') else { return Ok(Cow::Borrowed(s)) };
+    let mut out = String::with_capacity(s.len());
+    out.push_str(&s[..first]);
+    let mut rest = &s[first..];
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let after = &rest[amp + 1..];
+        let Some(semi) = after.find(';') else {
+            return Err(XmlError::new(
+                ErrorKind::BadReference,
+                "'&' not followed by a terminated reference",
+                base,
+            ));
+        };
+        out.push(resolve_reference(&after[..semi], base)?);
+        rest = &after[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(Cow::Owned(out))
+}
+
+/// Is `c` a legal XML 1.0 `Char`?
+pub(crate) fn is_xml_char(c: char) -> bool {
+    matches!(c,
+        '\u{9}' | '\u{A}' | '\u{D}'
+        | '\u{20}'..='\u{D7FF}'
+        | '\u{E000}'..='\u{FFFD}'
+        | '\u{10000}'..='\u{10FFFF}')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_text_borrows() {
+        assert!(matches!(escape_text("hello world"), Cow::Borrowed(_)));
+        assert!(matches!(unescape("hello").unwrap(), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn escapes_markup_characters_in_text() {
+        assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+        // Quotes legal in text content.
+        assert_eq!(escape_text("say \"hi\""), "say \"hi\"");
+    }
+
+    #[test]
+    fn escapes_quotes_in_attributes() {
+        assert_eq!(escape_attr("a\"b'c"), "a&quot;b&apos;c");
+    }
+
+    #[test]
+    fn unescapes_predefined_entities() {
+        assert_eq!(unescape("&lt;&gt;&amp;&apos;&quot;").unwrap(), "<>&'\"");
+    }
+
+    #[test]
+    fn unescapes_character_references() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;").unwrap(), "ABc");
+        assert_eq!(unescape("snow&#x2603;man").unwrap(), "snow\u{2603}man");
+    }
+
+    #[test]
+    fn round_trip_text() {
+        let original = "x < y && y > \"z\"";
+        let escaped = escape_text(original);
+        assert_eq!(unescape(&escaped).unwrap(), original);
+    }
+
+    #[test]
+    fn rejects_unknown_entity() {
+        let e = unescape("&nbsp;").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::BadReference);
+    }
+
+    #[test]
+    fn rejects_unterminated_reference() {
+        assert!(unescape("a & b").is_err());
+        assert!(unescape("tail&amp").is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_character_reference() {
+        assert!(unescape("&#x110000;").is_err()); // beyond Unicode
+        assert!(unescape("&#0;").is_err()); // NUL is not an XML Char
+        assert!(unescape("&#xD800;").is_err()); // surrogate
+    }
+
+    #[test]
+    fn xml_char_predicate() {
+        assert!(is_xml_char('\t'));
+        assert!(is_xml_char('\n'));
+        assert!(is_xml_char('A'));
+        assert!(!is_xml_char('\u{0}'));
+        assert!(!is_xml_char('\u{B}'));
+        assert!(!is_xml_char('\u{FFFE}'));
+    }
+}

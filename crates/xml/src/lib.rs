@@ -1,0 +1,64 @@
+//! A from-scratch XML 1.0 (+ Namespaces) parser, DOM, and serializer.
+//!
+//! The HPDC 2001 XMIT system used the Xerces-C parser to turn XML Schema
+//! documents into DOM trees that were then traversed to build native (PBIO)
+//! metadata.  This crate is the equivalent substrate for the reproduction:
+//! it provides
+//!
+//! * a streaming **pull parser** ([`Reader`]) producing [`Event`]s,
+//! * an arena-based **DOM** ([`Document`], [`NodeId`]) built by [`parse`],
+//! * **namespace** resolution per the *Namespaces in XML* recommendation,
+//! * a **serializer** ([`Writer`]) that round-trips documents, and
+//! * entity escaping/unescaping for the five predefined entities plus
+//!   decimal/hex character references.
+//!
+//! The supported language is the subset exercised by schema documents and
+//! XML-as-wire-format messages: elements, attributes, character data, CDATA
+//! sections, comments, processing instructions, and the XML declaration.
+//! DTDs are recognized and skipped (internal subsets are tolerated but not
+//! interpreted); custom general entities are therefore not expanded.
+//!
+//! # Example
+//!
+//! ```
+//! let doc = openmeta_xml::parse(
+//!     "<xsd:complexType name=\"JoinRequest\" xmlns:xsd=\"http://www.w3.org/2001/XMLSchema\">\
+//!        <xsd:element name=\"name\" type=\"xsd:string\"/>\
+//!      </xsd:complexType>").unwrap();
+//! let root = doc.root_element().unwrap();
+//! assert_eq!(doc.name(root).local, "complexType");
+//! assert_eq!(doc.attribute(root, "name"), Some("JoinRequest"));
+//! assert_eq!(doc.children(root).count(), 1);
+//! ```
+
+pub mod dom;
+pub mod error;
+pub mod escape;
+pub mod name;
+pub mod reader;
+pub mod writer;
+
+pub use dom::{Attribute, Document, Node, NodeId, NodeKind};
+pub use error::{Position, XmlError};
+pub use escape::{escape_attr, escape_text, unescape};
+pub use name::{QName, XMLNS_NS, XML_NS};
+pub use reader::{Event, Reader};
+pub use writer::{WriteStyle, Writer};
+
+/// Parse a complete XML document into a [`Document`] DOM tree.
+///
+/// Namespace declarations are resolved during the build: every element and
+/// attribute [`QName`] carries its expanded namespace URI (if any).
+pub fn parse(text: &str) -> Result<Document, XmlError> {
+    dom::build(text)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn crate_level_round_trip() {
+        let src = "<a><b x=\"1\">hi</b><c/></a>";
+        let doc = super::parse(src).unwrap();
+        assert_eq!(doc.to_string_compact(), src);
+    }
+}

@@ -1,0 +1,146 @@
+//! Qualified names and namespace constants.
+
+use std::fmt;
+
+/// The reserved namespace URI bound to the `xml` prefix.
+pub const XML_NS: &str = "http://www.w3.org/XML/1998/namespace";
+/// The reserved namespace URI bound to the `xmlns` prefix.
+pub const XMLNS_NS: &str = "http://www.w3.org/2000/xmlns/";
+
+/// A namespace-resolved qualified name.
+///
+/// `prefix` preserves the lexical prefix as written in the document (so the
+/// serializer can round-trip), while `namespace` holds the expanded URI the
+/// prefix was bound to at that point in the tree, or `None` for names in no
+/// namespace.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QName {
+    /// Lexical prefix as written (empty string if unprefixed).
+    pub prefix: String,
+    /// Local part of the name.
+    pub local: String,
+    /// Resolved namespace URI, if the name is in a namespace.
+    pub namespace: Option<String>,
+}
+
+impl QName {
+    /// An unprefixed name in no namespace.
+    pub fn local(local: impl Into<String>) -> Self {
+        QName { prefix: String::new(), local: local.into(), namespace: None }
+    }
+
+    /// A name with an explicit prefix and resolved namespace URI.
+    pub fn prefixed(
+        prefix: impl Into<String>,
+        local: impl Into<String>,
+        namespace: impl Into<String>,
+    ) -> Self {
+        QName { prefix: prefix.into(), local: local.into(), namespace: Some(namespace.into()) }
+    }
+
+    /// The name as written in the source: `prefix:local` or `local`.
+    pub fn lexical(&self) -> String {
+        if self.prefix.is_empty() {
+            self.local.clone()
+        } else {
+            format!("{}:{}", self.prefix, self.local)
+        }
+    }
+
+    /// Does this name match `(namespace, local)`?
+    pub fn is(&self, namespace: Option<&str>, local: &str) -> bool {
+        self.local == local && self.namespace.as_deref() == namespace
+    }
+}
+
+impl fmt::Display for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.prefix.is_empty() {
+            write!(f, "{}", self.local)
+        } else {
+            write!(f, "{}:{}", self.prefix, self.local)
+        }
+    }
+}
+
+/// Is `c` a legal first character of an XML `Name`?
+pub(crate) fn is_name_start(c: char) -> bool {
+    matches!(c,
+        ':' | '_' | 'A'..='Z' | 'a'..='z'
+        | '\u{C0}'..='\u{D6}' | '\u{D8}'..='\u{F6}' | '\u{F8}'..='\u{2FF}'
+        | '\u{370}'..='\u{37D}' | '\u{37F}'..='\u{1FFF}'
+        | '\u{200C}'..='\u{200D}' | '\u{2070}'..='\u{218F}'
+        | '\u{2C00}'..='\u{2FEF}' | '\u{3001}'..='\u{D7FF}'
+        | '\u{F900}'..='\u{FDCF}' | '\u{FDF0}'..='\u{FFFD}'
+        | '\u{10000}'..='\u{EFFFF}')
+}
+
+/// Is `c` a legal non-first character of an XML `Name`?
+pub(crate) fn is_name_char(c: char) -> bool {
+    is_name_start(c)
+        || matches!(c, '-' | '.' | '0'..='9' | '\u{B7}' | '\u{300}'..='\u{36F}' | '\u{203F}'..='\u{2040}')
+}
+
+/// Split a lexical name into `(prefix, local)` at the first colon.
+///
+/// Returns `("", name)` when unprefixed.  A name with more than one colon or
+/// an empty prefix/local part is reported as `None`.
+pub(crate) fn split_prefix(name: &str) -> Option<(&str, &str)> {
+    match name.find(':') {
+        None => Some(("", name)),
+        Some(i) => {
+            let (p, l) = (&name[..i], &name[i + 1..]);
+            if p.is_empty() || l.is_empty() || l.contains(':') {
+                None
+            } else {
+                Some((p, l))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexical_form() {
+        assert_eq!(QName::local("foo").lexical(), "foo");
+        assert_eq!(QName::prefixed("xsd", "element", "urn:x").lexical(), "xsd:element");
+    }
+
+    #[test]
+    fn matches_by_namespace_and_local() {
+        let q = QName::prefixed("xsd", "element", "urn:x");
+        assert!(q.is(Some("urn:x"), "element"));
+        assert!(!q.is(None, "element"));
+        assert!(!q.is(Some("urn:x"), "attribute"));
+    }
+
+    #[test]
+    fn name_char_classes() {
+        assert!(is_name_start('_'));
+        assert!(is_name_start('A'));
+        assert!(!is_name_start('-'));
+        assert!(!is_name_start('3'));
+        assert!(is_name_char('-'));
+        assert!(is_name_char('3'));
+        assert!(is_name_char('.'));
+        assert!(!is_name_char(' '));
+    }
+
+    #[test]
+    fn split_prefix_variants() {
+        assert_eq!(split_prefix("a"), Some(("", "a")));
+        assert_eq!(split_prefix("xsd:element"), Some(("xsd", "element")));
+        assert_eq!(split_prefix(":x"), None);
+        assert_eq!(split_prefix("x:"), None);
+        assert_eq!(split_prefix("a:b:c"), None);
+    }
+
+    #[test]
+    fn display_matches_lexical() {
+        let q = QName::prefixed("p", "n", "u");
+        assert_eq!(q.to_string(), q.lexical());
+    }
+}

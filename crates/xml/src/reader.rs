@@ -1,0 +1,683 @@
+//! A streaming pull parser for XML 1.0 documents.
+//!
+//! [`Reader`] walks the input once, producing borrowed [`Event`]s.  It checks
+//! well-formedness as it goes: tag nesting, attribute uniqueness, legal
+//! names, legal characters, reference syntax, and document structure
+//! (exactly one root element, nothing but misc after it).  Namespace
+//! resolution is layered on top by the DOM builder ([`crate::dom::build`]).
+
+use std::borrow::Cow;
+
+use crate::error::{ErrorKind, Position, XmlError};
+use crate::escape::{is_xml_char, unescape_at};
+use crate::name::{is_name_char, is_name_start};
+
+/// A raw (namespace-unresolved) attribute as it appears in a start tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawAttribute<'a> {
+    /// Lexical attribute name, possibly prefixed (`xsd:type`).
+    pub name: &'a str,
+    /// Attribute value with references already resolved.
+    pub value: Cow<'a, str>,
+}
+
+/// One parse event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event<'a> {
+    /// The `<?xml version=... ?>` declaration, if present (first event only).
+    Declaration {
+        /// XML version, e.g. `"1.0"`.
+        version: &'a str,
+        /// Declared encoding, if any.
+        encoding: Option<&'a str>,
+        /// Declared standalone flag, if any.
+        standalone: Option<bool>,
+    },
+    /// `<name attr="v" ...>` or `<name/>`.
+    StartElement {
+        /// Lexical element name, possibly prefixed.
+        name: &'a str,
+        /// Attributes in document order.
+        attributes: Vec<RawAttribute<'a>>,
+        /// `true` for `<name/>`; the matching [`Event::EndElement`] is still
+        /// delivered immediately after.
+        self_closing: bool,
+    },
+    /// `</name>`, or the synthetic close of a self-closing element.
+    EndElement {
+        /// Lexical element name.
+        name: &'a str,
+    },
+    /// Character data between tags, references resolved.
+    Text(Cow<'a, str>),
+    /// A `<![CDATA[...]]>` section (content verbatim).
+    CData(&'a str),
+    /// A `<!-- ... -->` comment (content verbatim).
+    Comment(&'a str),
+    /// A `<?target data?>` processing instruction.
+    ProcessingInstruction {
+        /// PI target.
+        target: &'a str,
+        /// PI data (possibly empty).
+        data: &'a str,
+    },
+    /// A `<!DOCTYPE ...>` declaration, skipped verbatim (no interpretation).
+    Doctype(&'a str),
+    /// End of input; returned exactly once, after which the reader is done.
+    Eof,
+}
+
+/// Streaming XML pull parser over a `&str`.
+pub struct Reader<'a> {
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    col: u32,
+    /// Stack of open element names, for tag-matching.
+    stack: Vec<&'a str>,
+    /// Byte offsets into `src` of the open-tag positions (for errors).
+    stack_pos: Vec<Position>,
+    seen_root: bool,
+    root_closed: bool,
+    started: bool,
+    done: bool,
+    /// Deferred synthetic end event for a self-closing element.
+    pending_end: Option<&'a str>,
+}
+
+impl<'a> Reader<'a> {
+    /// Create a reader over a full document text.
+    pub fn new(src: &'a str) -> Self {
+        Reader {
+            src,
+            pos: 0,
+            line: 1,
+            col: 1,
+            stack: Vec::new(),
+            stack_pos: Vec::new(),
+            seen_root: false,
+            root_closed: false,
+            started: false,
+            done: false,
+            pending_end: None,
+        }
+    }
+
+    /// Current source position (position of the next unread character).
+    pub fn source_position(&self) -> Position {
+        Position { line: self.line, column: self.col, offset: self.pos }
+    }
+
+    /// Nesting depth of currently open elements.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    fn err(&self, kind: ErrorKind, msg: impl Into<String>) -> XmlError {
+        XmlError::new(kind, msg, self.source_position())
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn eat(&mut self, lit: &str) -> bool {
+        if self.rest().starts_with(lit) {
+            for _ in lit.chars() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, lit: &str) -> Result<(), XmlError> {
+        if self.eat(lit) {
+            Ok(())
+        } else {
+            let found: String = self.rest().chars().take(8).collect();
+            Err(self.err(ErrorKind::Syntax, format!("expected '{lit}', found '{found}'")))
+        }
+    }
+
+    fn skip_ws(&mut self) -> usize {
+        let mut n = 0;
+        while matches!(self.peek(), Some(' ' | '\t' | '\r' | '\n')) {
+            self.bump();
+            n += 1;
+        }
+        n
+    }
+
+    /// Consume an XML `Name` token.
+    fn read_name(&mut self) -> Result<&'a str, XmlError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if is_name_start(c) => {
+                self.bump();
+            }
+            Some(c) => {
+                return Err(self.err(ErrorKind::InvalidName, format!("'{c}' cannot start a name")))
+            }
+            None => return Err(self.err(ErrorKind::UnexpectedEof, "expected a name")),
+        }
+        while matches!(self.peek(), Some(c) if is_name_char(c)) {
+            self.bump();
+        }
+        Ok(&self.src[start..self.pos])
+    }
+
+    /// Scan until `terminator`, returning the text before it (consumes it).
+    fn read_until(&mut self, terminator: &str, what: &str) -> Result<&'a str, XmlError> {
+        match self.rest().find(terminator) {
+            Some(i) => {
+                let s = &self.rest()[..i];
+                for _ in s.chars().chain(terminator.chars()) {
+                    self.bump();
+                }
+                Ok(s)
+            }
+            None => Err(self.err(ErrorKind::UnexpectedEof, format!("unterminated {what}"))),
+        }
+    }
+
+    /// Pull the next event.
+    pub fn next_event(&mut self) -> Result<Event<'a>, XmlError> {
+        if let Some(name) = self.pending_end.take() {
+            self.pop_tag(name)?;
+            return Ok(Event::EndElement { name });
+        }
+        if self.done {
+            return Ok(Event::Eof);
+        }
+        if !self.started {
+            self.started = true;
+            if self.rest().starts_with("<?xml") {
+                return self.read_declaration();
+            }
+        }
+        if self.pos >= self.src.len() {
+            if let Some(open) = self.stack.last() {
+                return Err(XmlError::new(
+                    ErrorKind::TagMismatch,
+                    format!("end of input with <{open}> still open"),
+                    *self.stack_pos.last().expect("stack_pos parallels stack"),
+                ));
+            }
+            if !self.seen_root {
+                return Err(self.err(ErrorKind::Structure, "document has no root element"));
+            }
+            self.done = true;
+            return Ok(Event::Eof);
+        }
+        if self.peek() == Some('<') {
+            self.bump();
+            match self.peek() {
+                Some('?') => {
+                    self.bump();
+                    self.read_pi()
+                }
+                Some('!') => {
+                    self.bump();
+                    if self.eat("--") {
+                        self.read_comment()
+                    } else if self.eat("[CDATA[") {
+                        self.read_cdata()
+                    } else if self.eat("DOCTYPE") {
+                        self.read_doctype()
+                    } else {
+                        Err(self.err(ErrorKind::Syntax, "unrecognized markup after '<!'"))
+                    }
+                }
+                Some('/') => {
+                    self.bump();
+                    self.read_end_tag()
+                }
+                _ => self.read_start_tag(),
+            }
+        } else {
+            self.read_text()
+        }
+    }
+
+    fn read_declaration(&mut self) -> Result<Event<'a>, XmlError> {
+        self.expect("<?xml")?;
+        let body = self.read_until("?>", "XML declaration")?;
+        // The declaration grammar is tiny; parse it as pseudo-attributes.
+        let mut version = None;
+        let mut encoding = None;
+        let mut standalone = None;
+        let mut rest = body.trim();
+        while !rest.is_empty() {
+            let eq = rest.find('=').ok_or_else(|| {
+                self.err(ErrorKind::Syntax, "malformed XML declaration (missing '=')")
+            })?;
+            let key = rest[..eq].trim();
+            let after = rest[eq + 1..].trim_start();
+            let quote = after.chars().next().filter(|&q| q == '"' || q == '\'').ok_or_else(
+                || self.err(ErrorKind::Syntax, "XML declaration value must be quoted"),
+            )?;
+            let val_end = after[1..]
+                .find(quote)
+                .ok_or_else(|| self.err(ErrorKind::Syntax, "unterminated declaration value"))?;
+            let value = &after[1..1 + val_end];
+            match key {
+                "version" => version = Some(value),
+                "encoding" => encoding = Some(value),
+                "standalone" => {
+                    standalone = Some(match value {
+                        "yes" => true,
+                        "no" => false,
+                        other => {
+                            return Err(self.err(
+                                ErrorKind::Syntax,
+                                format!("standalone must be yes/no, got '{other}'"),
+                            ))
+                        }
+                    })
+                }
+                other => {
+                    return Err(self
+                        .err(ErrorKind::Syntax, format!("unknown declaration item '{other}'")))
+                }
+            }
+            rest = after[1 + val_end + 1..].trim_start();
+        }
+        let version = version
+            .ok_or_else(|| self.err(ErrorKind::Syntax, "XML declaration lacks a version"))?;
+        Ok(Event::Declaration { version, encoding, standalone })
+    }
+
+    fn read_pi(&mut self) -> Result<Event<'a>, XmlError> {
+        let target = self.read_name()?;
+        if target.eq_ignore_ascii_case("xml") {
+            return Err(self.err(ErrorKind::Syntax, "PI target 'xml' is reserved"));
+        }
+        self.skip_ws();
+        let data = self.read_until("?>", "processing instruction")?;
+        Ok(Event::ProcessingInstruction { target, data })
+    }
+
+    fn read_comment(&mut self) -> Result<Event<'a>, XmlError> {
+        let body = self.read_until("-->", "comment")?;
+        if body.contains("--") {
+            return Err(self.err(ErrorKind::Syntax, "'--' is not allowed inside a comment"));
+        }
+        Ok(Event::Comment(body))
+    }
+
+    fn read_cdata(&mut self) -> Result<Event<'a>, XmlError> {
+        if self.stack.is_empty() {
+            return Err(self.err(ErrorKind::Structure, "CDATA outside the root element"));
+        }
+        let body = self.read_until("]]>", "CDATA section")?;
+        Ok(Event::CData(body))
+    }
+
+    fn read_doctype(&mut self) -> Result<Event<'a>, XmlError> {
+        if self.seen_root {
+            return Err(self.err(ErrorKind::Structure, "DOCTYPE after the root element"));
+        }
+        // Skip to the matching '>', tolerating one level of internal subset.
+        let start = self.pos;
+        let mut depth = 0usize;
+        loop {
+            match self.bump() {
+                Some('[') => depth += 1,
+                Some(']') => depth = depth.saturating_sub(1),
+                Some('>') if depth == 0 => {
+                    return Ok(Event::Doctype(self.src[start..self.pos - 1].trim()))
+                }
+                Some(_) => {}
+                None => return Err(self.err(ErrorKind::UnexpectedEof, "unterminated DOCTYPE")),
+            }
+        }
+    }
+
+    fn read_start_tag(&mut self) -> Result<Event<'a>, XmlError> {
+        let open_pos = self.source_position();
+        let name = self.read_name()?;
+        if self.root_closed {
+            return Err(self.err(ErrorKind::Structure, "content after the root element"));
+        }
+        if self.stack.is_empty() && self.seen_root {
+            return Err(self.err(ErrorKind::Structure, "multiple root elements"));
+        }
+        let mut attributes = Vec::new();
+        loop {
+            let had_ws = self.skip_ws() > 0;
+            match self.peek() {
+                Some('>') => {
+                    self.bump();
+                    self.seen_root = true;
+                    self.stack.push(name);
+                    self.stack_pos.push(open_pos);
+                    return Ok(Event::StartElement { name, attributes, self_closing: false });
+                }
+                Some('/') => {
+                    self.bump();
+                    self.expect(">")?;
+                    self.seen_root = true;
+                    self.stack.push(name);
+                    self.stack_pos.push(open_pos);
+                    self.pending_end = Some(name);
+                    return Ok(Event::StartElement { name, attributes, self_closing: true });
+                }
+                Some(_) => {
+                    if !had_ws {
+                        return Err(
+                            self.err(ErrorKind::Syntax, "attributes must be whitespace-separated")
+                        );
+                    }
+                    let attr = self.read_attribute()?;
+                    if attributes.iter().any(|a: &RawAttribute<'_>| a.name == attr.name) {
+                        return Err(self.err(
+                            ErrorKind::DuplicateAttribute,
+                            format!("duplicate attribute '{}'", attr.name),
+                        ));
+                    }
+                    attributes.push(attr);
+                }
+                None => {
+                    return Err(self.err(ErrorKind::UnexpectedEof, "unterminated start tag"))
+                }
+            }
+        }
+    }
+
+    fn read_attribute(&mut self) -> Result<RawAttribute<'a>, XmlError> {
+        let name = self.read_name()?;
+        self.skip_ws();
+        self.expect("=")?;
+        self.skip_ws();
+        let quote = match self.bump() {
+            Some(q @ ('"' | '\'')) => q,
+            _ => return Err(self.err(ErrorKind::Syntax, "attribute value must be quoted")),
+        };
+        let at = self.source_position();
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                Some(c) if c == quote => {
+                    let raw = &self.src[start..self.pos];
+                    self.bump();
+                    if raw.contains('<') {
+                        return Err(
+                            self.err(ErrorKind::Syntax, "'<' is not allowed in attribute values")
+                        );
+                    }
+                    // Attribute-value normalization (XML 1.0 §3.3.3):
+                    // literal whitespace becomes a space, while whitespace
+                    // written as character references survives — so
+                    // normalize the raw text before resolving references.
+                    let value = if raw.contains(['\t', '\n', '\r']) {
+                        let normalized: String = raw
+                            .chars()
+                            .map(|c| if matches!(c, '\t' | '\n' | '\r') { ' ' } else { c })
+                            .collect();
+                        std::borrow::Cow::Owned(
+                            unescape_at(&normalized, at)?.into_owned(),
+                        )
+                    } else {
+                        unescape_at(raw, at)?
+                    };
+                    return Ok(RawAttribute { name, value });
+                }
+                Some(c) if !is_xml_char(c) => {
+                    return Err(self
+                        .err(ErrorKind::Syntax, format!("illegal character U+{:X}", c as u32)))
+                }
+                Some(_) => {
+                    self.bump();
+                }
+                None => {
+                    return Err(self.err(ErrorKind::UnexpectedEof, "unterminated attribute value"))
+                }
+            }
+        }
+    }
+
+    fn pop_tag(&mut self, name: &'a str) -> Result<(), XmlError> {
+        match self.stack.pop() {
+            Some(open) if open == name => {
+                self.stack_pos.pop();
+                if self.stack.is_empty() {
+                    self.root_closed = true;
+                }
+                Ok(())
+            }
+            Some(open) => Err(self.err(
+                ErrorKind::TagMismatch,
+                format!("closing tag </{name}> does not match open <{open}>"),
+            )),
+            None => Err(self
+                .err(ErrorKind::TagMismatch, format!("closing tag </{name}> with nothing open"))),
+        }
+    }
+
+    fn read_end_tag(&mut self) -> Result<Event<'a>, XmlError> {
+        let name = self.read_name()?;
+        self.skip_ws();
+        self.expect(">")?;
+        self.pop_tag(name)?;
+        Ok(Event::EndElement { name })
+    }
+
+    fn read_text(&mut self) -> Result<Event<'a>, XmlError> {
+        let at = self.source_position();
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == '<' {
+                break;
+            }
+            if !is_xml_char(c) {
+                return Err(
+                    self.err(ErrorKind::Syntax, format!("illegal character U+{:X}", c as u32))
+                );
+            }
+            self.bump();
+        }
+        let raw = &self.src[start..self.pos];
+        if raw.contains("]]>") {
+            return Err(self.err(ErrorKind::Syntax, "']]>' is not allowed in character data"));
+        }
+        if self.stack.is_empty() {
+            // Outside the root element only whitespace is allowed.
+            if raw.trim().is_empty() {
+                return self.next_event();
+            }
+            return Err(self.err(ErrorKind::Structure, "character data outside the root element"));
+        }
+        Ok(Event::Text(unescape_at(raw, at)?))
+    }
+}
+
+/// Iterator adapter: yields events until `Eof` or the first error.
+impl<'a> Iterator for Reader<'a> {
+    type Item = Result<Event<'a>, XmlError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.next_event() {
+            Ok(Event::Eof) => None,
+            Ok(e) => Some(Ok(e)),
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(src: &str) -> Vec<Event<'_>> {
+        Reader::new(src).collect::<Result<Vec<_>, _>>().unwrap()
+    }
+
+    fn parse_err(src: &str) -> XmlError {
+        Reader::new(src)
+            .collect::<Result<Vec<_>, _>>()
+            .expect_err("expected a parse error")
+    }
+
+    #[test]
+    fn empty_element() {
+        let ev = events("<a/>");
+        assert_eq!(
+            ev,
+            vec![
+                Event::StartElement { name: "a", attributes: vec![], self_closing: true },
+                Event::EndElement { name: "a" },
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_elements_with_text() {
+        let ev = events("<a><b>hi</b></a>");
+        assert_eq!(ev.len(), 5);
+        assert!(matches!(&ev[2], Event::Text(t) if t == "hi"));
+    }
+
+    #[test]
+    fn attributes_parse_and_unescape() {
+        let ev = events(r#"<a x="1" y='two &amp; three'/>"#);
+        let Event::StartElement { attributes, .. } = &ev[0] else { panic!() };
+        assert_eq!(attributes[0], RawAttribute { name: "x", value: "1".into() });
+        assert_eq!(attributes[1].value, "two & three");
+    }
+
+    #[test]
+    fn declaration_is_parsed() {
+        let ev = events("<?xml version=\"1.0\" encoding=\"UTF-8\" standalone=\"yes\"?><a/>");
+        assert_eq!(
+            ev[0],
+            Event::Declaration { version: "1.0", encoding: Some("UTF-8"), standalone: Some(true) }
+        );
+    }
+
+    #[test]
+    fn comments_pis_cdata() {
+        let ev = events("<!--c--><a><?go now?><![CDATA[<raw>]]></a>");
+        assert!(matches!(ev[0], Event::Comment("c")));
+        assert!(matches!(ev[2], Event::ProcessingInstruction { target: "go", data: "now" }));
+        assert!(matches!(ev[3], Event::CData("<raw>")));
+    }
+
+    #[test]
+    fn doctype_is_skipped() {
+        let ev = events("<!DOCTYPE note [ <!ELEMENT note (#PCDATA)> ]><note/>");
+        assert!(matches!(ev[0], Event::Doctype(_)));
+    }
+
+    #[test]
+    fn text_references_resolved() {
+        let ev = events("<a>1 &lt; 2 &#38; 3 &gt; 2</a>");
+        assert!(matches!(&ev[1], Event::Text(t) if t == "1 < 2 & 3 > 2"));
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        let e = parse_err("<a><b></a></b>");
+        assert_eq!(e.kind, ErrorKind::TagMismatch);
+    }
+
+    #[test]
+    fn unclosed_root_rejected() {
+        let e = parse_err("<a><b></b>");
+        assert_eq!(e.kind, ErrorKind::TagMismatch);
+    }
+
+    #[test]
+    fn duplicate_attributes_rejected() {
+        let e = parse_err(r#"<a x="1" x="2"/>"#);
+        assert_eq!(e.kind, ErrorKind::DuplicateAttribute);
+    }
+
+    #[test]
+    fn multiple_roots_rejected() {
+        let e = parse_err("<a/><b/>");
+        assert_eq!(e.kind, ErrorKind::Structure);
+    }
+
+    #[test]
+    fn text_outside_root_rejected() {
+        let e = parse_err("<a/>trailing");
+        assert_eq!(e.kind, ErrorKind::Structure);
+        // Whitespace is fine.
+        events("  <a/>  \n");
+    }
+
+    #[test]
+    fn empty_document_rejected() {
+        assert_eq!(parse_err("").kind, ErrorKind::Structure);
+        assert_eq!(parse_err("   \n ").kind, ErrorKind::Structure);
+    }
+
+    #[test]
+    fn bad_names_rejected() {
+        assert_eq!(parse_err("<1a/>").kind, ErrorKind::InvalidName);
+        assert_eq!(parse_err("<a -b=\"1\"/>").kind, ErrorKind::InvalidName);
+    }
+
+    #[test]
+    fn unquoted_attribute_rejected() {
+        assert_eq!(parse_err("<a x=1/>").kind, ErrorKind::Syntax);
+    }
+
+    #[test]
+    fn lt_in_attribute_rejected() {
+        assert_eq!(parse_err("<a x=\"a<b\"/>").kind, ErrorKind::Syntax);
+    }
+
+    #[test]
+    fn cdata_terminator_in_text_rejected() {
+        assert_eq!(parse_err("<a>oops ]]> here</a>").kind, ErrorKind::Syntax);
+    }
+
+    #[test]
+    fn double_dash_in_comment_rejected() {
+        assert_eq!(parse_err("<a><!-- a -- b --></a>").kind, ErrorKind::Syntax);
+    }
+
+    #[test]
+    fn position_tracking() {
+        let e = parse_err("<a>\n  <b></c>\n</a>");
+        assert_eq!(e.position.line, 2);
+    }
+
+    #[test]
+    fn whitespace_in_end_tag_tolerated() {
+        events("<a></a >");
+    }
+
+    #[test]
+    fn depth_reporting() {
+        let mut r = Reader::new("<a><b/></a>");
+        r.next_event().unwrap();
+        assert_eq!(r.depth(), 1);
+        r.next_event().unwrap(); // <b/> start
+        assert_eq!(r.depth(), 2);
+        r.next_event().unwrap(); // synthetic </b>
+        assert_eq!(r.depth(), 1);
+    }
+}

@@ -1,0 +1,219 @@
+//! Serialization of [`Document`] trees back to XML text.
+
+use crate::dom::{Document, NodeId, NodeKind};
+use crate::escape::{escape_attr, escape_text};
+
+/// Output formatting style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteStyle {
+    /// No whitespace added; text nodes reproduced exactly.  A compact write
+    /// of a freshly parsed compact document reproduces the input (modulo
+    /// attribute quoting style and resolved references).
+    Compact,
+    /// Children indented; whitespace-only text dropped.  Intended for
+    /// human-facing output such as generated schema documents.
+    Pretty {
+        /// Spaces per indentation level.
+        indent: usize,
+    },
+}
+
+/// Serializer for DOM documents and subtrees.
+pub struct Writer {
+    style: WriteStyle,
+}
+
+impl Writer {
+    /// Create a writer with the given style.
+    pub fn new(style: WriteStyle) -> Self {
+        Writer { style }
+    }
+
+    /// Serialize a whole document (all top-level nodes).
+    pub fn document(&self, doc: &Document) -> String {
+        let mut out = String::new();
+        for &id in doc.top_level() {
+            self.node(doc, id, 0, &mut out);
+        }
+        if matches!(self.style, WriteStyle::Pretty { .. }) {
+            while out.ends_with('\n') {
+                out.pop();
+            }
+        }
+        out
+    }
+
+    /// Serialize the subtree rooted at `id`.
+    pub fn subtree(&self, doc: &Document, id: NodeId) -> String {
+        let mut out = String::new();
+        self.node(doc, id, 0, &mut out);
+        out
+    }
+
+    fn indent(&self, depth: usize, out: &mut String) {
+        if let WriteStyle::Pretty { indent } = self.style {
+            for _ in 0..depth * indent {
+                out.push(' ');
+            }
+        }
+    }
+
+    fn node(&self, doc: &Document, id: NodeId, depth: usize, out: &mut String) {
+        match &doc.node(id).kind {
+            NodeKind::Text(t) => {
+                if matches!(self.style, WriteStyle::Pretty { .. }) && t.trim().is_empty() {
+                    return;
+                }
+                self.indent(depth, out);
+                out.push_str(&escape_text(t));
+                if matches!(self.style, WriteStyle::Pretty { .. }) {
+                    out.push('\n');
+                }
+            }
+            NodeKind::Comment(c) => {
+                self.indent(depth, out);
+                out.push_str("<!--");
+                out.push_str(c);
+                out.push_str("-->");
+                if matches!(self.style, WriteStyle::Pretty { .. }) {
+                    out.push('\n');
+                }
+            }
+            NodeKind::ProcessingInstruction { target, data } => {
+                self.indent(depth, out);
+                out.push_str("<?");
+                out.push_str(target);
+                if !data.is_empty() {
+                    out.push(' ');
+                    out.push_str(data);
+                }
+                out.push_str("?>");
+                if matches!(self.style, WriteStyle::Pretty { .. }) {
+                    out.push('\n');
+                }
+            }
+            NodeKind::Element { name, attributes } => {
+                self.indent(depth, out);
+                out.push('<');
+                out.push_str(&name.lexical());
+                for a in attributes {
+                    out.push(' ');
+                    out.push_str(&a.name.lexical());
+                    out.push_str("=\"");
+                    out.push_str(&escape_attr(&a.value));
+                    out.push('"');
+                }
+                let children: Vec<NodeId> = doc.children(id).collect();
+                let visible = match self.style {
+                    WriteStyle::Compact => children.clone(),
+                    WriteStyle::Pretty { .. } => children
+                        .iter()
+                        .copied()
+                        .filter(|&c| match &doc.node(c).kind {
+                            NodeKind::Text(t) => !t.trim().is_empty(),
+                            _ => true,
+                        })
+                        .collect(),
+                };
+                if visible.is_empty() {
+                    out.push_str("/>");
+                    if matches!(self.style, WriteStyle::Pretty { .. }) {
+                        out.push('\n');
+                    }
+                    return;
+                }
+                out.push('>');
+                // Pretty style keeps a single text child inline.
+                let inline_text = matches!(self.style, WriteStyle::Pretty { .. })
+                    && visible.len() == 1
+                    && matches!(doc.node(visible[0]).kind, NodeKind::Text(_));
+                if inline_text {
+                    if let NodeKind::Text(t) = &doc.node(visible[0]).kind {
+                        out.push_str(&escape_text(t));
+                    }
+                } else {
+                    if matches!(self.style, WriteStyle::Pretty { .. }) {
+                        out.push('\n');
+                    }
+                    for c in visible {
+                        self.node(doc, c, depth + 1, out);
+                    }
+                    self.indent(depth, out);
+                }
+                out.push_str("</");
+                out.push_str(&name.lexical());
+                out.push('>');
+                if matches!(self.style, WriteStyle::Pretty { .. }) {
+                    out.push('\n');
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn compact_round_trip() {
+        for src in [
+            "<a/>",
+            "<a x=\"1\" y=\"2\"/>",
+            "<a><b>text</b><c/></a>",
+            "<r><x>1 &lt; 2</x></r>",
+            "<!--c--><a/>",
+        ] {
+            let doc = parse(src).unwrap();
+            assert_eq!(doc.to_string_compact(), src, "round trip of {src}");
+        }
+    }
+
+    #[test]
+    fn attribute_values_escaped_on_output() {
+        let doc = parse("<a v=\"x &amp; &quot;y&quot;\"/>").unwrap();
+        assert_eq!(doc.to_string_compact(), "<a v=\"x &amp; &quot;y&quot;\"/>");
+    }
+
+    #[test]
+    fn pretty_indents_children() {
+        let doc = parse("<a><b><c/></b></a>").unwrap();
+        let pretty = doc.to_string_pretty();
+        assert_eq!(pretty, "<a>\n  <b>\n    <c/>\n  </b>\n</a>");
+    }
+
+    #[test]
+    fn pretty_keeps_single_text_inline() {
+        let doc = parse("<a><b>hi</b></a>").unwrap();
+        assert_eq!(doc.to_string_pretty(), "<a>\n  <b>hi</b>\n</a>");
+    }
+
+    #[test]
+    fn pretty_drops_whitespace_only_text() {
+        let doc = parse("<a>\n  <b/>\n</a>").unwrap();
+        assert_eq!(doc.to_string_pretty(), "<a>\n  <b/>\n</a>");
+    }
+
+    #[test]
+    fn subtree_serialization() {
+        let doc = parse("<a><b x=\"1\"/></a>").unwrap();
+        let b = doc.child_elements(doc.root_element().unwrap()).next().unwrap();
+        let w = Writer::new(WriteStyle::Compact);
+        assert_eq!(w.subtree(&doc, b), "<b x=\"1\"/>");
+    }
+
+    #[test]
+    fn pi_serialization() {
+        let doc = parse("<a><?go now?></a>").unwrap();
+        assert_eq!(doc.to_string_compact(), "<a><?go now?></a>");
+    }
+
+    #[test]
+    fn reparse_of_compact_output_is_identical_tree() {
+        let src = "<a p=\"&lt;&gt;\"><b>1</b> tail <c/></a>";
+        let doc = parse(src).unwrap();
+        let again = parse(&doc.to_string_compact()).unwrap();
+        assert_eq!(doc.to_string_compact(), again.to_string_compact());
+    }
+}

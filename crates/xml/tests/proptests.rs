@@ -1,0 +1,191 @@
+//! Property-based tests for the XML parser and serializer.
+//!
+//! Strategy: generate random well-formed documents structurally, serialize
+//! them, and require that parsing the serialization reproduces the same
+//! tree.  Also: arbitrary *text* never panics the parser (it may error),
+//! and escape/unescape is an identity on arbitrary strings.
+
+use proptest::prelude::*;
+
+use openmeta_xml::{escape_attr, escape_text, parse, unescape, Document, NodeId, NodeKind};
+
+/// A generated XML tree, independent of the crate's DOM.
+#[derive(Debug, Clone)]
+enum Tree {
+    Element { name: String, attrs: Vec<(String, String)>, children: Vec<Tree> },
+    Text(String),
+    Comment(String),
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[A-Za-z_][A-Za-z0-9_.-]{0,11}".prop_filter("xml-reserved names", |s| {
+        !s.to_ascii_lowercase().starts_with("xml")
+    })
+}
+
+/// Attribute/text payload: printable, no control chars (those require
+/// references that the serializer does not emit).
+fn payload_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            proptest::char::range(' ', '~'),
+            proptest::char::range('\u{A0}', '\u{2FF}'),
+            Just('\u{2603}'),
+        ],
+        0..20,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    // Non-empty so compact round-trips do not merge-or-drop empties;
+    // ']]>' would be rejected by the writer-side parser.
+    payload_strategy()
+        .prop_filter("non-empty, no cdata-end", |s| !s.is_empty() && !s.contains("]]>"))
+}
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    let leaf = prop_oneof![
+        text_strategy().prop_map(Tree::Text),
+        name_strategy().prop_map(|n| Tree::Element { name: n, attrs: vec![], children: vec![] }),
+        payload_strategy()
+            .prop_filter("comment body", |s| !s.contains("--") && !s.ends_with('-'))
+            .prop_map(Tree::Comment),
+    ];
+    leaf.prop_recursive(4, 32, 5, |inner| {
+        (
+            name_strategy(),
+            proptest::collection::vec((name_strategy(), payload_strategy()), 0..4),
+            proptest::collection::vec(inner, 0..5),
+        )
+            .prop_map(|(name, mut attrs, children)| {
+                attrs.dedup_by(|a, b| a.0 == b.0);
+                let mut seen = std::collections::HashSet::new();
+                attrs.retain(|(k, _)| seen.insert(k.clone()));
+                // Adjacent text children would merge on reparse; keep one.
+                let mut out: Vec<Tree> = Vec::new();
+                for c in children {
+                    if matches!(c, Tree::Text(_))
+                        && matches!(out.last(), Some(Tree::Text(_)))
+                    {
+                        continue;
+                    }
+                    out.push(c);
+                }
+                Tree::Element { name, attrs, children: out }
+            })
+    })
+}
+
+fn root_strategy() -> impl Strategy<Value = Tree> {
+    tree_strategy().prop_map(|t| match t {
+        e @ Tree::Element { .. } => e,
+        other => Tree::Element { name: "root".into(), attrs: vec![], children: vec![other] },
+    })
+}
+
+fn serialize(t: &Tree, out: &mut String) {
+    match t {
+        Tree::Text(s) => out.push_str(&escape_text(s)),
+        Tree::Comment(c) => {
+            out.push_str("<!--");
+            out.push_str(c);
+            out.push_str("-->");
+        }
+        Tree::Element { name, attrs, children } => {
+            out.push('<');
+            out.push_str(name);
+            for (k, v) in attrs {
+                out.push(' ');
+                out.push_str(k);
+                out.push_str("=\"");
+                out.push_str(&escape_attr(v));
+                out.push('"');
+            }
+            if children.is_empty() {
+                out.push_str("/>");
+            } else {
+                out.push('>');
+                for c in children {
+                    serialize(c, out);
+                }
+                out.push_str("</");
+                out.push_str(name);
+                out.push('>');
+            }
+        }
+    }
+}
+
+fn assert_same(doc: &Document, id: NodeId, tree: &Tree) {
+    match (&doc.node(id).kind, tree) {
+        (NodeKind::Text(a), Tree::Text(b)) => assert_eq!(a, b),
+        (NodeKind::Comment(a), Tree::Comment(b)) => assert_eq!(a, b),
+        (NodeKind::Element { name, attributes }, Tree::Element { name: n, attrs, children }) => {
+            assert_eq!(&name.local, n);
+            assert_eq!(attributes.len(), attrs.len());
+            for (attr, (k, v)) in attributes.iter().zip(attrs) {
+                assert_eq!(&attr.name.local, k);
+                assert_eq!(&attr.value, v);
+            }
+            let kids: Vec<NodeId> = doc.children(id).collect();
+            assert_eq!(kids.len(), children.len(), "child count under <{n}>");
+            for (kid, sub) in kids.iter().zip(children) {
+                assert_same(doc, *kid, sub);
+            }
+        }
+        (got, want) => panic!("node kind mismatch: got {got:?}, want {want:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn serialize_parse_round_trip(tree in root_strategy()) {
+        let mut text = String::new();
+        serialize(&tree, &mut text);
+        let doc = parse(&text).unwrap_or_else(|e| panic!("parse failed: {e}\nsource: {text}"));
+        let root = doc.root_element().expect("root element");
+        assert_same(&doc, root, &tree);
+        // And the DOM's own serializer round-trips again.
+        let re = doc.to_string_compact();
+        let doc2 = parse(&re).expect("reparse of compact output");
+        assert_same(&doc2, doc2.root_element().unwrap(), &tree);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "\\PC{0,200}") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn parser_never_panics_on_markup_soup(
+        s in proptest::collection::vec(
+            prop_oneof![
+                Just("<".to_string()), Just(">".to_string()), Just("/".to_string()),
+                Just("&".to_string()), Just("\"".to_string()), Just("a".to_string()),
+                Just("<a>".to_string()), Just("</a>".to_string()), Just("=".to_string()),
+                Just("<!--".to_string()), Just("-->".to_string()), Just("]]>".to_string()),
+                Just("<![CDATA[".to_string()), Just("&#x41;".to_string()),
+            ],
+            0..30,
+        ).prop_map(|v| v.concat())
+    ) {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn escape_unescape_identity_text(s in "\\PC{0,100}") {
+        let escaped = escape_text(&s);
+        let back = unescape(&escaped).unwrap();
+        prop_assert_eq!(back.as_ref(), s.as_str());
+    }
+
+    #[test]
+    fn escape_unescape_identity_attr(s in "\\PC{0,100}") {
+        let escaped = escape_attr(&s);
+        let back = unescape(&escaped).unwrap();
+        prop_assert_eq!(back.as_ref(), s.as_str());
+    }
+}

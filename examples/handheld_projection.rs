@@ -1,0 +1,74 @@
+//! The paper's §1 future-work scenario, running: "less capable
+//! visualization engines such as handhelds can customize remote metadata
+//! for their own needs."
+//!
+//! A simulation server publishes full-fat `FlowField2D` frames (doubles,
+//! all fields).  A handheld client *projects* the remote metadata down to
+//! the three fields it can afford — narrowed to 32-bit floats — binds the
+//! projection, and decodes the **same wire bytes** the big clients get.
+//! The sender never learns the handheld exists.
+//!
+//! ```text
+//! cargo run --example handheld_projection
+//! ```
+
+use openmeta_hydrology::{hydrology_schema_xml, FlowDataset};
+use openmeta_hydrology::components::build_flow_record;
+use xmit::{project_type, HttpServer, MachineModel, Projection, Xmit};
+
+fn main() {
+    // The metadata server and a full-capability sender.
+    let http = HttpServer::start().expect("http server");
+    http.put_xml("/formats/hydrology.xsd", hydrology_schema_xml());
+    let url = http.url_for("/formats/hydrology.xsd");
+
+    let server = Xmit::new(MachineModel::native());
+    server.load_url(&url).expect("server discovery");
+    let full = server.bind("FlowField2D").expect("server bind");
+
+    let frame = FlowDataset::new(48, 48, 2001).frame_at(9);
+    let rec = build_flow_record(&full, &frame).expect("build frame");
+    let wire = xmit::encode(&rec).expect("encode");
+    println!(
+        "server format : {} fields, {} bytes/record, wire message {} bytes",
+        full.format.total_field_count(),
+        full.format.record_size,
+        wire.len()
+    );
+
+    // The handheld: discovers the same metadata, derives its own view.
+    let handheld = Xmit::new(MachineModel::native());
+    handheld.load_url(&url).expect("handheld discovery");
+    let remote = handheld.definition("FlowField2D").expect("loaded");
+    // Composed fields (the GridMetadata header) are not projectable —
+    // the handheld keeps only the depth surface, narrowed to f32.
+    let projected = project_type(&remote, &Projection::keeping(["depth"]).with_narrowing())
+        .expect("projection");
+    let doc = openmeta_schema::to_xml(&openmeta_schema::SchemaDocument {
+        types: vec![projected],
+        enums: vec![],
+    });
+    handheld.load_str(&doc).expect("projection loads");
+    let small = handheld.bind("FlowField2DProjected").expect("handheld bind");
+    println!(
+        "handheld view : {} fields, {} bytes/record ({}% of the full layout)",
+        small.format.total_field_count(),
+        small.format.record_size,
+        small.format.record_size * 100 / full.format.record_size.max(1)
+    );
+
+    // Same bytes, narrower view.
+    handheld.registry().register_descriptor((*full.format).clone());
+    let got = xmit::decode_with(&wire, handheld.registry(), &small.format)
+        .expect("decode through projection");
+    let depth = got.get_f64_array("depth").expect("depth present");
+    let (min, max) = depth
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    println!(
+        "handheld sees : {} depth samples at f32 precision, range {min:.3}..{max:.3}",
+        depth.len()
+    );
+    assert!(got.get_f64_array("velocity").is_err(), "velocity dropped by projection");
+    println!("velocity field: dropped by the projection, exactly as requested");
+}

@@ -1,0 +1,126 @@
+//! Cross-crate integration: PBIO data files carrying XMIT-bound records,
+//! the comparator wire formats over real Hydrology payloads, and the
+//! dynamic value bridge — every public plane of the system in one place.
+
+use std::sync::Arc;
+
+use openmeta_hydrology::components::build_flow_record;
+use openmeta_hydrology::{hydrology_schema_xml, FlowDataset};
+use openmeta_pbio::file::{FileReader, FileWriter};
+use openmeta_wire::all_formats;
+use xmit::{MachineModel, Value, Xmit};
+
+fn toolkit() -> Xmit {
+    let t = Xmit::new(MachineModel::native());
+    t.load_str(&hydrology_schema_xml()).unwrap();
+    t
+}
+
+/// PBIO files are self-describing: write Hydrology frames to a file, read
+/// them back with a reader that knows nothing but the bytes.
+#[test]
+fn pbio_file_round_trip_with_xmit_bound_formats() {
+    let t = toolkit();
+    let flow = t.bind("FlowField2D").unwrap();
+    let join = t.bind("JoinRequest").unwrap();
+
+    let mut writer = FileWriter::new(Vec::new()).unwrap();
+    let ds = FlowDataset::new(6, 5, 3);
+    for ts in 0..4 {
+        let rec = build_flow_record(&flow, &ds.frame_at(ts)).unwrap();
+        writer.write_record(&rec).unwrap();
+    }
+    let mut j = join.new_record();
+    j.set_string("name", "archiver").unwrap();
+    writer.write_record(&j).unwrap();
+    let bytes = writer.finish().unwrap();
+
+    let mut reader = FileReader::new(&bytes[..]).unwrap();
+    let mut flow_frames = 0;
+    let mut joins = 0;
+    while let Some(rec) = reader.next_record().unwrap() {
+        match rec.format().name.as_str() {
+            "FlowField2D" => {
+                let ts = rec.get_i64("meta.timestep").unwrap();
+                let expected = ds.frame_at(ts);
+                assert_eq!(rec.get_f64_array("depth").unwrap(), expected.depth);
+                flow_frames += 1;
+            }
+            "JoinRequest" => {
+                assert_eq!(rec.get_string("name").unwrap(), "archiver");
+                joins += 1;
+            }
+            other => panic!("unexpected format {other}"),
+        }
+    }
+    assert_eq!((flow_frames, joins), (4, 1));
+}
+
+/// Every comparator wire format round-trips a real Hydrology bulk record
+/// to identical values (sizes differ wildly; meaning must not).
+#[test]
+fn comparators_agree_on_hydrology_records() {
+    let t = toolkit();
+    let flow = t.bind("FlowField2D").unwrap();
+    let frame = FlowDataset::new(12, 10, 9).frame_at(1);
+    let rec = build_flow_record(&flow, &frame).unwrap();
+    let fmt = rec.format().clone();
+    let registry = t.registry().clone();
+
+    let reference = Value::from_record(&rec).unwrap();
+    for wire in all_formats(registry) {
+        let bytes = wire.encode_vec(&rec).unwrap_or_else(|e| panic!("{}: {e}", wire.name()));
+        let back = wire.decode(&bytes, &fmt).unwrap_or_else(|e| panic!("{}: {e}", wire.name()));
+        assert_eq!(
+            Value::from_record(&back).unwrap(),
+            reference,
+            "{} changed the record",
+            wire.name()
+        );
+    }
+}
+
+/// The Value bridge composes with binding: build a record from a dynamic
+/// tree, push it through the wire, and read it back as a tree.
+#[test]
+fn value_tree_to_wire_and_back() {
+    use openmeta_pbio::value::RecordValue;
+    let t = toolkit();
+    let token = t.bind("SimpleData").unwrap();
+    let tree = Value::Record(RecordValue {
+        format_name: "SimpleData".to_string(),
+        fields: vec![
+            ("timestep".to_string(), Value::Int(5)),
+            ("data".to_string(), Value::FloatArray(vec![0.25, 0.5, 0.75])),
+        ],
+    });
+    let rec = tree.into_record(token.format.clone()).unwrap();
+    assert_eq!(rec.get_i64("size").unwrap(), 3, "length field synthesized and set");
+    let wire = xmit::encode(&rec).unwrap();
+    let back = xmit::decode(&wire, t.registry()).unwrap();
+    let Value::Record(rv) = Value::from_record(&back).unwrap() else { panic!() };
+    assert_eq!(rv.get("timestep"), Some(&Value::Int(5)));
+    assert_eq!(rv.get("data"), Some(&Value::FloatArray(vec![0.25, 0.5, 0.75])));
+}
+
+/// Binding many formats from many threads against one shared registry.
+#[test]
+fn concurrent_binding_is_safe_and_deduplicated() {
+    let t = Arc::new(toolkit());
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let t = t.clone();
+        handles.push(std::thread::spawn(move || {
+            for name in openmeta_hydrology::HYDROLOGY_TYPES {
+                t.bind(name).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // 5 top-level types + nested GridMetadata inside FlowField2D share
+    // content-addressed ids, so the registry holds exactly one descriptor
+    // per distinct format.
+    assert_eq!(t.registry().len(), 5);
+}

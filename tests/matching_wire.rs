@@ -1,0 +1,128 @@
+//! Schema matching against *real* XML-wire traffic: every message the
+//! XML wire format produces must be identified as its own format among
+//! all the Hydrology candidates, regardless of payload.
+
+use proptest::prelude::*;
+
+use openmeta_hydrology::components::build_flow_record;
+use openmeta_hydrology::{hydrology_schema_xml, FlowDataset};
+use openmeta_wire::{WireFormat, XmlWire};
+use xmit::{match_message, ComplexType, MachineModel, Xmit};
+
+fn candidates(toolkit: &Xmit) -> Vec<ComplexType> {
+    toolkit.loaded_types().into_iter().filter_map(|n| toolkit.definition(&n)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn simple_data_messages_identify_themselves(
+        timestep in -1_000_000i64..1_000_000,
+        data in proptest::collection::vec(-1e6f64..1e6, 0..24),
+    ) {
+        let toolkit = Xmit::new(MachineModel::native());
+        toolkit.load_str(&hydrology_schema_xml()).unwrap();
+        let token = toolkit.bind("SimpleData").unwrap();
+        let mut rec = token.new_record();
+        rec.set_i64("timestep", timestep).unwrap();
+        let narrowed: Vec<f64> = data.iter().map(|&x| x as f32 as f64).collect();
+        rec.set_f64_array("data", &narrowed).unwrap();
+        let bytes = XmlWire::new().encode_vec(&rec).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+
+        let reports = match_message(&text, &candidates(&toolkit)).unwrap();
+        prop_assert_eq!(&reports[0].type_name, "SimpleData");
+        prop_assert!(reports[0].score > 0.9, "score {}", reports[0].score);
+    }
+
+    #[test]
+    fn control_messages_identify_themselves(
+        command in 0i64..5,
+        steps in 0i64..100,
+        note in "[a-zA-Z0-9 ]{0,20}",
+    ) {
+        let toolkit = Xmit::new(MachineModel::native());
+        toolkit.load_str(&hydrology_schema_xml()).unwrap();
+        let token = toolkit.bind("ControlMsg").unwrap();
+        let mut rec = token.new_record();
+        rec.set_string("target", "presend").unwrap();
+        rec.set_i64("command", command).unwrap();
+        rec.set_i64("steps", steps).unwrap();
+        rec.set_string("note", note).unwrap();
+        let bytes = XmlWire::new().encode_vec(&rec).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+
+        let reports = match_message(&text, &candidates(&toolkit)).unwrap();
+        prop_assert_eq!(&reports[0].type_name, "ControlMsg");
+    }
+}
+
+#[test]
+fn flow_field_messages_identify_themselves() {
+    let toolkit = Xmit::new(MachineModel::native());
+    toolkit.load_str(&hydrology_schema_xml()).unwrap();
+    let token = toolkit.bind("FlowField2D").unwrap();
+    let frame = FlowDataset::new(6, 4, 3).frame_at(1);
+    let rec = build_flow_record(&token, &frame).unwrap();
+    let text = String::from_utf8(XmlWire::new().encode_vec(&rec).unwrap()).unwrap();
+    let reports = match_message(&text, &candidates(&toolkit)).unwrap();
+    assert_eq!(reports[0].type_name, "FlowField2D");
+    assert!(reports[0].score > 0.9, "score {}", reports[0].score);
+}
+
+/// Cross-identification: each format's wire output must score its own
+/// definition strictly above every other candidate.
+#[test]
+fn no_format_confuses_the_matcher() {
+    let toolkit = Xmit::new(MachineModel::native());
+    toolkit.load_str(&hydrology_schema_xml()).unwrap();
+    let wire = XmlWire::new();
+
+    let mut messages: Vec<(String, String)> = Vec::new();
+    {
+        let t = toolkit.bind("SimpleData").unwrap();
+        let mut r = t.new_record();
+        r.set_i64("timestep", 1).unwrap();
+        r.set_f64_array("data", &[1.0]).unwrap();
+        messages.push((
+            "SimpleData".into(),
+            String::from_utf8(wire.encode_vec(&r).unwrap()).unwrap(),
+        ));
+    }
+    {
+        let t = toolkit.bind("JoinRequest").unwrap();
+        let mut r = t.new_record();
+        r.set_string("name", "x").unwrap();
+        messages.push((
+            "JoinRequest".into(),
+            String::from_utf8(wire.encode_vec(&r).unwrap()).unwrap(),
+        ));
+    }
+    {
+        let t = toolkit.bind("GridMetadata").unwrap();
+        let r = t.new_record();
+        messages.push((
+            "GridMetadata".into(),
+            String::from_utf8(wire.encode_vec(&r).unwrap()).unwrap(),
+        ));
+    }
+
+    let cands = candidates(&toolkit);
+    for (expected, text) in &messages {
+        let reports = match_message(text, &cands).unwrap();
+        assert_eq!(
+            &reports[0].type_name, expected,
+            "message for {expected} matched {} first",
+            reports[0].type_name
+        );
+        assert!(
+            reports[0].score > reports[1].score,
+            "{expected}: tie between {} ({}) and {} ({})",
+            reports[0].type_name,
+            reports[0].score,
+            reports[1].type_name,
+            reports[1].score
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Full-stack discovery: metadata over HTTP, descriptors over the format
+//! server, records over XMIT messaging — all three planes at once, with
+//! heterogeneous machine models.
+
+use std::net::TcpListener;
+use std::sync::Arc;
+
+use openmeta_pbio::server::{FormatServer, FormatServerClient};
+use xmit::{
+    FormatRegistry, HttpServer, MachineModel, Xmit, XmitReceiver, XmitSender,
+};
+
+const XSD: &str = "http://www.w3.org/2001/XMLSchema";
+
+fn metadata() -> String {
+    format!(
+        r#"<xsd:complexType name="Telemetry" xmlns:xsd="{XSD}">
+             <xsd:element name="node" type="xsd:string" />
+             <xsd:element name="seq" type="xsd:unsignedLong" />
+             <xsd:element name="readings" type="xsd:double" minOccurs="0"
+                 maxOccurs="*" dimensionPlacement="before" dimensionName="n" />
+           </xsd:complexType>"#
+    )
+}
+
+/// Discovery through HTTP + id resolution through the format server: a
+/// receiver that has *neither* the XML document *nor* the sender's format
+/// still decodes, by fetching the descriptor by id.
+#[test]
+fn format_server_closes_the_metadata_loop() {
+    let fmt_server = FormatServer::start().unwrap();
+    let http = HttpServer::start().unwrap();
+    http.put_xml("/telemetry.xsd", metadata());
+
+    // Sender: discovers XML via HTTP, publishes its descriptor by id.
+    let sender = Xmit::new(MachineModel::SPARC32);
+    sender.load_url(&http.url_for("/telemetry.xsd")).unwrap();
+    let token = sender.bind("Telemetry").unwrap();
+    let client = FormatServerClient::connect(fmt_server.addr());
+    let id = client.register(&token.format).unwrap();
+    assert_eq!(id, token.id());
+
+    let mut rec = token.new_record();
+    rec.set_string("node", "gauge-9").unwrap();
+    rec.set_u64("seq", 1001).unwrap();
+    rec.set_f64_array("readings", &[0.5, 1.5, 2.5]).unwrap();
+    let wire = xmit::encode(&rec).unwrap();
+
+    // Receiver: knows only the wire bytes and the format server address.
+    let registry = FormatRegistry::new(MachineModel::native());
+    let header = openmeta_pbio::marshal::parse_header(&wire).unwrap();
+    let receiver_client = FormatServerClient::connect(fmt_server.addr());
+    receiver_client.resolve_into(header.format_id, &registry).unwrap();
+    let got = xmit::decode(&wire, &registry).unwrap();
+    assert_eq!(got.get_string("node").unwrap(), "gauge-9");
+    assert_eq!(got.get_u64("seq").unwrap(), 1001);
+    assert_eq!(got.get_f64_array("readings").unwrap(), vec![0.5, 1.5, 2.5]);
+}
+
+/// The messaging layer does the same thing in-band: formats announce
+/// themselves on the connection, so a cold receiver needs nothing at all.
+#[test]
+fn messaging_streams_from_three_machine_models() {
+    let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    let rx_thread = std::thread::spawn(move || {
+        let registry = Arc::new(FormatRegistry::new(MachineModel::native()));
+        let mut out = Vec::new();
+        for _ in 0..3 {
+            let (stream, _) = listener.accept().unwrap();
+            let mut rx = XmitReceiver::new(stream, registry.clone());
+            while let Some(rec) = rx.recv().unwrap() {
+                out.push((
+                    rec.get_string("node").unwrap().to_string(),
+                    rec.get_f64_array("readings").unwrap(),
+                ));
+            }
+        }
+        out
+    });
+
+    for (i, model) in
+        [MachineModel::SPARC32, MachineModel::X86, MachineModel::X86_64].into_iter().enumerate()
+    {
+        let xm = Xmit::new(model);
+        xm.load_str(&metadata()).unwrap();
+        let token = xm.bind("Telemetry").unwrap();
+        let mut rec = token.new_record();
+        rec.set_string("node", format!("model-{i}")).unwrap();
+        rec.set_f64_array("readings", &[i as f64; 4]).unwrap();
+        let mut tx = XmitSender::connect(addr).unwrap();
+        tx.send(&rec).unwrap();
+    }
+
+    let got = rx_thread.join().unwrap();
+    assert_eq!(got.len(), 3);
+    for (i, (node, readings)) in got.iter().enumerate() {
+        assert_eq!(node, &format!("model-{i}"));
+        assert_eq!(readings, &vec![i as f64; 4]);
+    }
+}
+
+/// Discovery indirection (§3): the same program text works when the
+/// metadata arrives from mem://, file:// or http:// — only the URL
+/// string changes.
+#[test]
+fn all_three_url_schemes_discover_identically() {
+    let http = HttpServer::start().unwrap();
+    http.put_xml("/t.xsd", metadata());
+    let dir = std::env::temp_dir().join("openmeta-discovery-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file_path = dir.join("t.xsd");
+    std::fs::write(&file_path, metadata()).unwrap();
+
+    let mut ids = Vec::new();
+    let urls = [
+        "mem://telemetry".to_string(),
+        format!("file://{}", file_path.display()),
+        http.url_for("/t.xsd"),
+    ];
+    for url in &urls {
+        let xm = Xmit::new(MachineModel::native());
+        xm.source().put_mem("telemetry", metadata());
+        xm.load_url(url).unwrap_or_else(|e| panic!("{url}: {e}"));
+        ids.push(xm.bind("Telemetry").unwrap().id());
+    }
+    assert_eq!(ids[0], ids[1]);
+    assert_eq!(ids[1], ids[2], "identical metadata must yield identical format ids");
+}
