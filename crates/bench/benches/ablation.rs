@@ -7,7 +7,11 @@
 //!   (extract only) vs when byte order / widths differ (full conversion)
 //!   vs the zero-copy `EncodedView` path;
 //! * **discovery ablation** — binding from an already-loaded definition
-//!   vs parse+bind (isolates the XML parse share of the RDM).
+//!   vs parse+bind (isolates the XML parse share of the RDM);
+//! * **plan ablation** — the per-field interpreter vs the compiled
+//!   marshal/convert plans (encode, same-format decode, cross-machine
+//!   convert), the one-time plan-compile cost, and the registry plan-cache
+//!   hit rate over a message burst.
 
 use std::sync::Arc;
 
@@ -44,8 +48,7 @@ fn receiver_makes_right_ablation(c: &mut Criterion) {
     // Sender on a foreign machine model (byte-swap + width conversion
     // required), and on the native model (no conversion).
     let native = Arc::new(FormatRegistry::new(MachineModel::native()));
-    let foreign_model = if MachineModel::native().byte_order == openmeta_pbio::ByteOrder::Little
-    {
+    let foreign_model = if MachineModel::native().byte_order == openmeta_pbio::ByteOrder::Little {
         MachineModel::SPARC32
     } else {
         MachineModel::X86
@@ -118,10 +121,94 @@ fn discovery_ablation(c: &mut Criterion) {
     group.finish();
 }
 
+fn plan_ablation(c: &mut Criterion) {
+    use openmeta_pbio::marshal::{decode_with_interpreted, encode_into_interpreted};
+    use openmeta_pbio::{ConvertPlan, EncodePlan, Encoder};
+
+    let native = Arc::new(FormatRegistry::new(MachineModel::native()));
+    let foreign_model = if MachineModel::native().byte_order == openmeta_pbio::ByteOrder::Little {
+        MachineModel::SPARC32
+    } else {
+        MachineModel::X86
+    };
+    let foreign = Arc::new(FormatRegistry::new(foreign_model));
+
+    let (rec, size) = figure8_record(&native, 10_000);
+    let (foreign_rec, _) = figure8_record(&foreign, 10_000);
+    native.register_descriptor((**foreign_rec.format()).clone());
+
+    let same_wire = xmit::encode(&rec).unwrap();
+    let cross_wire = xmit::encode(&foreign_rec).unwrap();
+    let target = rec.format().clone();
+
+    // Encode: interpreter vs plan-per-call vs cached-plan `Encoder`.
+    let mut group = c.benchmark_group("ablation_plan_encode");
+    group.bench_function("interpreted", |b| {
+        let mut buf = Vec::with_capacity(size * 2);
+        b.iter(|| {
+            buf.clear();
+            encode_into_interpreted(&rec, &mut buf).unwrap()
+        })
+    });
+    group.bench_function("compiled_per_call", |b| {
+        let mut buf = Vec::with_capacity(size * 2);
+        b.iter(|| {
+            buf.clear();
+            xmit::encode_into(&rec, &mut buf).unwrap()
+        })
+    });
+    group.bench_function("compiled_cached_encoder", |b| {
+        let mut enc = Encoder::new();
+        b.iter(|| enc.encode(&rec).unwrap().len())
+    });
+    group.finish();
+
+    // Decode: interpreter vs registry-cached plans, same-format (extract
+    // fast path) and cross-machine (full conversion).
+    let mut group = c.benchmark_group("ablation_plan_decode");
+    group.bench_function("same_format_interpreted", |b| {
+        b.iter(|| decode_with_interpreted(&same_wire, &native, &target).unwrap())
+    });
+    group.bench_function("same_format_compiled", |b| {
+        b.iter(|| decode_with(&same_wire, &native, &target).unwrap())
+    });
+    group.bench_function("cross_machine_interpreted", |b| {
+        b.iter(|| decode_with_interpreted(&cross_wire, &native, &target).unwrap())
+    });
+    group.bench_function("cross_machine_compiled", |b| {
+        b.iter(|| decode_with(&cross_wire, &native, &target).unwrap())
+    });
+    group.finish();
+
+    // One-time plan-compile cost (amortised over the cache lifetime).
+    let src = foreign_rec.format().clone();
+    let mut group = c.benchmark_group("ablation_plan_compile");
+    group.bench_function("encode_plan", |b| b.iter(|| EncodePlan::compile(&target).unwrap()));
+    group.bench_function("convert_plan", |b| {
+        b.iter(|| ConvertPlan::compile(&src, &target).unwrap())
+    });
+    group.finish();
+
+    // Cache hit rate over a representative burst: one registry decoding
+    // 10 000 messages of one format compiles exactly one plan.
+    native.reset_plan_cache_stats();
+    for _ in 0..10_000 {
+        decode_with(&cross_wire, &native, &target).unwrap();
+    }
+    let stats = native.plan_cache_stats();
+    println!(
+        "ablation_plan_cache/10k_msgs                     hits: {} misses: {} ({:.3}% hit rate)",
+        stats.hits,
+        stats.misses,
+        100.0 * stats.hits as f64 / (stats.hits + stats.misses).max(1) as f64
+    );
+}
+
 fn bench(c: &mut Criterion) {
     wire_format_ablation(c);
     receiver_makes_right_ablation(c);
     discovery_ablation(c);
+    plan_ablation(c);
 }
 
 criterion_group!(benches, bench);

@@ -8,5 +8,6 @@ fn main() {
     println!("{}\n", openmeta_bench::reports::figure7_report(enc));
     println!("{}\n", openmeta_bench::reports::figure8_report(wire_iters));
     println!("{}\n", openmeta_bench::reports::figure8_decode_report(wire_iters));
-    println!("{}", openmeta_bench::reports::figure1_report(wire_iters));
+    println!("{}\n", openmeta_bench::reports::figure1_report(wire_iters));
+    println!("{}", openmeta_bench::reports::plan_ablation_report(wire_iters));
 }

@@ -1,6 +1,17 @@
 //! Regenerate Figure 3: proof-of-concept registration costs and RDM.
+//! `--json` additionally writes the rows to `BENCH_fig3.json`.
+
+use openmeta_bench::reports::{figure3_report_from, registration_rows, registration_rows_to_json};
+use openmeta_bench::workloads::figure3_cases;
 
 fn main() {
-    let iters = if std::env::args().any(|a| a == "--quick") { 50 } else { 2000 };
-    println!("{}", openmeta_bench::reports::figure3_report(iters));
+    let args: Vec<String> = std::env::args().collect();
+    let iters = if args.iter().any(|a| a == "--quick") { 50 } else { 2000 };
+    let rows = registration_rows(&figure3_cases(), iters);
+    println!("{}", figure3_report_from(&rows));
+    if args.iter().any(|a| a == "--json") {
+        std::fs::write("BENCH_fig3.json", registration_rows_to_json(&rows))
+            .expect("write BENCH_fig3.json");
+        eprintln!("wrote BENCH_fig3.json");
+    }
 }

@@ -1,6 +1,17 @@
 //! Regenerate Figure 6: Hydrology registration costs and RDM.
+//! `--json` additionally writes the rows to `BENCH_fig6.json`.
+
+use openmeta_bench::reports::{figure6_report_from, registration_rows, registration_rows_to_json};
+use openmeta_bench::workloads::figure6_cases;
 
 fn main() {
-    let iters = if std::env::args().any(|a| a == "--quick") { 50 } else { 2000 };
-    println!("{}", openmeta_bench::reports::figure6_report(iters));
+    let args: Vec<String> = std::env::args().collect();
+    let iters = if args.iter().any(|a| a == "--quick") { 50 } else { 2000 };
+    let rows = registration_rows(&figure6_cases(), iters);
+    println!("{}", figure6_report_from(&rows));
+    if args.iter().any(|a| a == "--json") {
+        std::fs::write("BENCH_fig6.json", registration_rows_to_json(&rows))
+            .expect("write BENCH_fig6.json");
+        eprintln!("wrote BENCH_fig6.json");
+    }
 }

@@ -1,6 +1,16 @@
 //! Regenerate Figure 7: encode times, native vs XMIT metadata.
+//! `--json` additionally writes the rows to `BENCH_fig7.json`.
+
+use openmeta_bench::reports::{figure7_report_from, figure7_rows, figure7_rows_to_json};
 
 fn main() {
-    let iters = if std::env::args().any(|a| a == "--quick") { 20 } else { 500 };
-    println!("{}", openmeta_bench::reports::figure7_report(iters));
+    let args: Vec<String> = std::env::args().collect();
+    let iters = if args.iter().any(|a| a == "--quick") { 20 } else { 500 };
+    let rows = figure7_rows(iters);
+    println!("{}", figure7_report_from(&rows));
+    if args.iter().any(|a| a == "--json") {
+        std::fs::write("BENCH_fig7.json", figure7_rows_to_json(&rows))
+            .expect("write BENCH_fig7.json");
+        eprintln!("wrote BENCH_fig7.json");
+    }
 }

@@ -1,0 +1,3 @@
+fn main() {
+    println!("{}", openmeta_bench::reports::plan_ablation_report(200));
+}

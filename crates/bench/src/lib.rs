@@ -24,7 +24,11 @@ use std::time::{Duration, Instant};
 ///
 /// `setup` runs outside the timed region each iteration (fresh registries
 /// for registration benchmarks, reused buffers for encode benchmarks).
-pub fn time_mean<S, T>(iters: usize, mut setup: impl FnMut() -> S, mut f: impl FnMut(S) -> T) -> Duration {
+pub fn time_mean<S, T>(
+    iters: usize,
+    mut setup: impl FnMut() -> S,
+    mut f: impl FnMut(S) -> T,
+) -> Duration {
     assert!(iters > 0);
     // One warm-up pass keeps first-touch page faults out of the numbers.
     let s = setup();
@@ -110,13 +114,17 @@ mod tests {
 
     #[test]
     fn time_mean_measures_something() {
-        let d = time_mean(3, || (), |()| {
-            let mut x = 0u64;
-            for i in 0..1000 {
-                x = x.wrapping_add(i);
-            }
-            x
-        });
+        let d = time_mean(
+            3,
+            || (),
+            |()| {
+                let mut x = 0u64;
+                for i in 0..1000 {
+                    x = x.wrapping_add(i);
+                }
+                x
+            },
+        );
         assert!(d > Duration::ZERO);
     }
 

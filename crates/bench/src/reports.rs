@@ -9,8 +9,8 @@ use openmeta_wire::{all_formats, WireFormat, XmlWire};
 use xmit::Xmit;
 
 use crate::workloads::{
-    figure1_record, figure3_cases, figure6_cases, figure7_cases, figure8_record,
-    RegistrationCase, FIGURE8_SIZES,
+    figure1_record, figure3_cases, figure6_cases, figure7_cases, figure8_record, RegistrationCase,
+    FIGURE8_SIZES,
 };
 use crate::{ms, pretty, time_mean, Table};
 
@@ -104,28 +104,105 @@ fn registration_table(rows: &[RegistrationRow]) -> Table {
 
 /// Figure 3: proof-of-concept registration costs.
 pub fn figure3_report(iters: usize) -> String {
-    let rows = registration_rows(&figure3_cases(), iters);
+    figure3_report_from(&registration_rows(&figure3_cases(), iters))
+}
+
+/// Render Figure 3 from pre-measured rows.
+pub fn figure3_report_from(rows: &[RegistrationRow]) -> String {
     format!(
         "Figure 3 — format registration costs using PBIO and XMIT\n\
          (paper: RDM 1.87–2.05 for 32/52/180-byte structures)\n\n{}",
-        registration_table(&rows).render()
+        registration_table(rows).render()
     )
 }
 
 /// Figure 6: Hydrology registration costs.
 pub fn figure6_report(iters: usize) -> String {
-    let rows = registration_rows(&figure6_cases(), iters);
+    figure6_report_from(&registration_rows(&figure6_cases(), iters))
+}
+
+/// Render Figure 6 from pre-measured rows.
+pub fn figure6_report_from(rows: &[RegistrationRow]) -> String {
     format!(
         "Figure 6 — format registration costs for the Hydrology application\n\
          (paper: RDM 2.11–2.73 for 12/20/44-byte structures, 4 for the\n\
          field-heavy 152-byte GridMetadata)\n\n{}",
-        registration_table(&rows).render()
+        registration_table(rows).render()
     )
+}
+
+/// One row of the Figure 7 encode comparison.
+pub struct Figure7Row {
+    /// Workload record name.
+    pub name: String,
+    /// PBIO-encoded size in bytes.
+    pub encoded_size: usize,
+    /// Encode time with natively registered (compiled-in) metadata.
+    pub native: Duration,
+    /// Encode time with XMIT-generated metadata.
+    pub xmit: Duration,
+}
+
+impl Figure7Row {
+    /// XMIT-metadata encode time relative to native metadata.
+    pub fn ratio(&self) -> f64 {
+        self.xmit.as_secs_f64() / self.native.as_secs_f64()
+    }
+}
+
+/// Measure Figure 7: encoding times with native vs XMIT-generated
+/// metadata.
+pub fn figure7_rows(iters: usize) -> Vec<Figure7Row> {
+    let (toolkit, cases) = figure7_cases();
+    let rows = cases
+        .iter()
+        .map(|case| {
+            // The "native" variant uses a descriptor registered from
+            // compiled-in specs; values are copied across via the dynamic
+            // value tree (outside the timed region).
+            let native_reg = FormatRegistry::new(MachineModel::native());
+            let native_fmt = register_compiled(&native_reg, case.record.format());
+            let native_rec = Value::from_record(&case.record)
+                .expect("value")
+                .into_record(native_fmt)
+                .expect("rebind");
+
+            let mut buf = Vec::with_capacity(case.encoded_size + 64);
+            let t_native = time_mean(
+                iters,
+                || (),
+                |()| {
+                    buf.clear();
+                    xmit::encode_into(&native_rec, &mut buf).expect("encode")
+                },
+            );
+            let t_xmit = time_mean(
+                iters,
+                || (),
+                |()| {
+                    buf.clear();
+                    xmit::encode_into(&case.record, &mut buf).expect("encode")
+                },
+            );
+            Figure7Row {
+                name: case.name.clone(),
+                encoded_size: case.encoded_size,
+                native: t_native,
+                xmit: t_xmit,
+            }
+        })
+        .collect();
+    drop(toolkit);
+    rows
 }
 
 /// Figure 7: encoding times with native vs XMIT-generated metadata.
 pub fn figure7_report(iters: usize) -> String {
-    let (toolkit, cases) = figure7_cases();
+    figure7_report_from(&figure7_rows(iters))
+}
+
+/// Render Figure 7 from pre-measured rows.
+pub fn figure7_report_from(rows: &[Figure7Row]) -> String {
     let mut t = Table::new(&[
         "record",
         "encoded size (bytes)",
@@ -133,35 +210,15 @@ pub fn figure7_report(iters: usize) -> String {
         "XMIT metadata encode",
         "ratio",
     ]);
-    for case in &cases {
-        // The "native" variant uses a descriptor registered from
-        // compiled-in specs; values are copied across via the dynamic
-        // value tree (outside the timed region).
-        let native_reg = FormatRegistry::new(MachineModel::native());
-        let native_fmt = register_compiled(&native_reg, case.record.format());
-        let native_rec = Value::from_record(&case.record)
-            .expect("value")
-            .into_record(native_fmt)
-            .expect("rebind");
-
-        let mut buf = Vec::with_capacity(case.encoded_size + 64);
-        let t_native = time_mean(iters, || (), |()| {
-            buf.clear();
-            xmit::encode_into(&native_rec, &mut buf).expect("encode")
-        });
-        let t_xmit = time_mean(iters, || (), |()| {
-            buf.clear();
-            xmit::encode_into(&case.record, &mut buf).expect("encode")
-        });
+    for r in rows {
         t.row(vec![
-            case.name.clone(),
-            case.encoded_size.to_string(),
-            pretty(t_native),
-            pretty(t_xmit),
-            format!("{:.2}", t_xmit.as_secs_f64() / t_native.as_secs_f64()),
+            r.name.clone(),
+            r.encoded_size.to_string(),
+            pretty(r.native),
+            pretty(r.xmit),
+            format!("{:.2}", r.ratio()),
         ]);
     }
-    drop(toolkit);
     format!(
         "Figure 7 — structure encoding times using PBIO-native and\n\
          XMIT-generated metadata (paper: indistinguishable)\n\n{}",
@@ -207,33 +264,63 @@ fn fields_of(desc: &openmeta_pbio::FormatDescriptor) -> Vec<openmeta_pbio::IOFie
         .collect()
 }
 
-/// Figure 8: send-side encode times per wire format and message size.
-pub fn figure8_report(iters: usize) -> String {
+/// One row of the Figure 8 wire-format comparison.
+pub struct Figure8Row {
+    /// Requested binary payload size in bytes.
+    pub target: usize,
+    /// Actual encoded payload size in bytes.
+    pub actual: usize,
+    /// Wire-format name (`pbio`, `mpi`, `cdr`, `xdr`, `xml`).
+    pub format: String,
+    /// Mean send-side encode time.
+    pub encode: Duration,
+}
+
+/// Measure Figure 8: send-side encode times per wire format and size.
+pub fn figure8_rows(iters: usize) -> Vec<Figure8Row> {
     let registry = Arc::new(FormatRegistry::new(MachineModel::native()));
     let formats = all_formats(registry.clone());
-    let mut t = Table::new(&["binary size", "format", "encode time", "vs PBIO"]);
+    let mut rows = Vec::new();
     for target in FIGURE8_SIZES {
         let (rec, actual) = figure8_record(&registry, target);
-        let mut pbio_time = None;
         for wire in &formats {
             let mut buf = Vec::with_capacity(actual * 8);
-            let d = time_mean(iters, || (), |()| {
-                buf.clear();
-                wire.encode(&rec, &mut buf).expect("encode")
-            });
-            if wire.name() == "pbio" {
-                pbio_time = Some(d);
-            }
-            let rel = pbio_time
-                .map(|p| format!("{:.1}x", d.as_secs_f64() / p.as_secs_f64()))
-                .unwrap_or_default();
-            t.row(vec![
-                format!("{target} B (actual {actual})"),
-                wire.name().to_string(),
-                pretty(d),
-                rel,
-            ]);
+            let d = time_mean(
+                iters,
+                || (),
+                |()| {
+                    buf.clear();
+                    wire.encode(&rec, &mut buf).expect("encode")
+                },
+            );
+            rows.push(Figure8Row { target, actual, format: wire.name().to_string(), encode: d });
         }
+    }
+    rows
+}
+
+/// Figure 8: send-side encode times per wire format and message size.
+pub fn figure8_report(iters: usize) -> String {
+    figure8_report_from(&figure8_rows(iters))
+}
+
+/// Render Figure 8 from pre-measured rows.
+pub fn figure8_report_from(rows: &[Figure8Row]) -> String {
+    let mut t = Table::new(&["binary size", "format", "encode time", "vs PBIO"]);
+    let mut pbio_time = None;
+    for r in rows {
+        if r.format == "pbio" {
+            pbio_time = Some(r.encode);
+        }
+        let rel = pbio_time
+            .map(|p| format!("{:.1}x", r.encode.as_secs_f64() / p.as_secs_f64()))
+            .unwrap_or_default();
+        t.row(vec![
+            format!("{} B (actual {})", r.target, r.actual),
+            r.format.clone(),
+            pretty(r.encode),
+            rel,
+        ]);
     }
     format!(
         "Figure 8 — send-side encode times for various message sizes and\n\
@@ -290,18 +377,25 @@ pub fn figure1_report(iters: usize) -> String {
     let xml_bytes = xml.encode_vec(&rec).expect("xml encode");
 
     let mut buf = Vec::with_capacity(xml_bytes.len());
-    let t_bin_enc = time_mean(iters, || (), |()| {
-        buf.clear();
-        xmit::encode_into(&rec, &mut buf).expect("encode")
-    });
+    let t_bin_enc = time_mean(
+        iters,
+        || (),
+        |()| {
+            buf.clear();
+            xmit::encode_into(&rec, &mut buf).expect("encode")
+        },
+    );
     let t_bin_dec =
         time_mean(iters, || (), |()| xmit::decode(&binary_bytes, &registry).expect("decode"));
-    let t_xml_enc = time_mean(iters, || (), |()| {
-        buf.clear();
-        xml.encode(&rec, &mut buf).expect("encode")
-    });
-    let t_xml_dec =
-        time_mean(iters, || (), |()| xml.decode(&xml_bytes, &fmt).expect("decode"));
+    let t_xml_enc = time_mean(
+        iters,
+        || (),
+        |()| {
+            buf.clear();
+            xml.encode(&rec, &mut buf).expect("encode")
+        },
+    );
+    let t_xml_dec = time_mean(iters, || (), |()| xml.decode(&xml_bytes, &fmt).expect("decode"));
 
     let bin_rt = t_bin_enc + t_bin_dec;
     let xml_rt = t_xml_enc + t_xml_dec;
@@ -354,6 +448,235 @@ pub fn figure1_report(iters: usize) -> String {
     )
 }
 
+/// Plan-compiler ablation: the per-field interpreter vs compiled plans on
+/// the Figure 8 workload (the 100 KB point), plus the one-time compile
+/// cost and the registry plan-cache hit rate over a message burst.
+pub fn plan_ablation_report(iters: usize) -> String {
+    use openmeta_pbio::marshal::{decode_with_interpreted, encode_into_interpreted};
+    use openmeta_pbio::{decode_with, ByteOrder, ConvertPlan, EncodePlan, Encoder};
+
+    fn speedup_of(interp: Duration, plan: Duration) -> String {
+        format!("{:.2}x", interp.as_secs_f64() / plan.as_secs_f64())
+    }
+
+    let native = Arc::new(FormatRegistry::new(MachineModel::native()));
+    let foreign_model = if MachineModel::native().byte_order == ByteOrder::Little {
+        MachineModel::SPARC32
+    } else {
+        MachineModel::X86
+    };
+    let foreign = Arc::new(FormatRegistry::new(foreign_model));
+
+    let (rec, size) = figure8_record(&native, 100_000);
+    let (foreign_rec, _) = figure8_record(&foreign, 100_000);
+    native.register_descriptor((**foreign_rec.format()).clone());
+
+    let same_wire = xmit::encode(&rec).expect("encode");
+    let cross_wire = xmit::encode(&foreign_rec).expect("encode");
+    let target = rec.format().clone();
+    let src = foreign_rec.format().clone();
+
+    let mut buf = Vec::with_capacity(size * 2);
+    let t_enc_interp = time_mean(
+        iters,
+        || (),
+        |()| {
+            buf.clear();
+            encode_into_interpreted(&rec, &mut buf).expect("encode")
+        },
+    );
+    let t_enc_plan = time_mean(
+        iters,
+        || (),
+        |()| {
+            buf.clear();
+            xmit::encode_into(&rec, &mut buf).expect("encode")
+        },
+    );
+    let mut enc = Encoder::new();
+    let t_enc_cached = time_mean(iters, || (), |()| enc.encode(&rec).expect("encode").len());
+
+    let t_same_interp = time_mean(
+        iters,
+        || (),
+        |()| decode_with_interpreted(&same_wire, &native, &target).expect("decode"),
+    );
+    let t_same_plan =
+        time_mean(iters, || (), |()| decode_with(&same_wire, &native, &target).expect("decode"));
+    let t_cross_interp = time_mean(
+        iters,
+        || (),
+        |()| decode_with_interpreted(&cross_wire, &native, &target).expect("decode"),
+    );
+    let t_cross_plan =
+        time_mean(iters, || (), |()| decode_with(&cross_wire, &native, &target).expect("decode"));
+
+    let t_compile_enc = time_mean(iters, || (), |()| EncodePlan::compile(&target).expect("plan"));
+    let t_compile_conv =
+        time_mean(iters, || (), |()| ConvertPlan::compile(&src, &target).expect("plan"));
+
+    native.reset_plan_cache_stats();
+    for _ in 0..10_000 {
+        decode_with(&cross_wire, &native, &target).expect("decode");
+    }
+    let stats = native.plan_cache_stats();
+
+    // Cross-machine decode per Figure 7 Hydrology format: re-register each
+    // record's spec under the foreign machine model, rebuild the record
+    // there via the value tree, and decode its wire form on the native
+    // receiver both ways.
+    let (toolkit7, cases7) = figure7_cases();
+    let mut t7 =
+        Table::new(&["Fig. 7 record (cross-machine decode)", "interpreted", "compiled", "speedup"]);
+    for case in &cases7 {
+        let foreign_reg = FormatRegistry::new(foreign_model);
+        let foreign_fmt = register_compiled(&foreign_reg, case.record.format());
+        let foreign_case_rec = Value::from_record(&case.record)
+            .expect("value")
+            .into_record(foreign_fmt)
+            .expect("rebind");
+        let wire = xmit::encode(&foreign_case_rec).expect("encode");
+
+        let native_reg = FormatRegistry::new(MachineModel::native());
+        let native_fmt = register_compiled(&native_reg, case.record.format());
+        native_reg.register_descriptor((**foreign_case_rec.format()).clone());
+
+        let ti = time_mean(
+            iters,
+            || (),
+            |()| decode_with_interpreted(&wire, &native_reg, &native_fmt).expect("decode"),
+        );
+        let tc = time_mean(
+            iters,
+            || (),
+            |()| decode_with(&wire, &native_reg, &native_fmt).expect("decode"),
+        );
+        t7.row(vec![case.name.clone(), pretty(ti), pretty(tc), speedup_of(ti, tc)]);
+    }
+    drop(toolkit7);
+
+    let mut t =
+        Table::new(&["operation (100 KB Figure 8 record)", "interpreted", "compiled", "speedup"]);
+    t.row(vec![
+        "encode (fresh plan each call)".to_string(),
+        pretty(t_enc_interp),
+        pretty(t_enc_plan),
+        speedup_of(t_enc_interp, t_enc_plan),
+    ]);
+    t.row(vec![
+        "encode (cached Encoder)".to_string(),
+        pretty(t_enc_interp),
+        pretty(t_enc_cached),
+        speedup_of(t_enc_interp, t_enc_cached),
+    ]);
+    t.row(vec![
+        "decode, same format (extract)".to_string(),
+        pretty(t_same_interp),
+        pretty(t_same_plan),
+        speedup_of(t_same_interp, t_same_plan),
+    ]);
+    t.row(vec![
+        "decode, cross-machine (convert)".to_string(),
+        pretty(t_cross_interp),
+        pretty(t_cross_plan),
+        speedup_of(t_cross_interp, t_cross_plan),
+    ]);
+    format!(
+        "Plan-compiler ablation — per-field interpreter vs compiled\n\
+         marshal/convert plans (not in the paper; PBIO's CM-era descendant\n\
+         used the same DCG trick)\n\n{}\n\n{}\n\n\
+         one-time plan compile: encode {} / convert {}\n\
+         plan cache over 10 000 cross-machine decodes: {} hits, {} misses\n\
+         ({:.3}% hit rate)",
+        t.render(),
+        t7.render(),
+        pretty(t_compile_enc),
+        pretty(t_compile_conv),
+        stats.hits,
+        stats.misses,
+        100.0 * stats.hits as f64 / (stats.hits + stats.misses).max(1) as f64
+    )
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialize Figure 3/6 registration rows as a JSON array (times in ns).
+pub fn registration_rows_to_json(rows: &[RegistrationRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  {{\"format\": \"{}\", \"sparc_size\": {}, \"encoded_size\": {}, \
+             \"pbio_ns\": {}, \"xmit_ns\": {}, \"rdm\": {:.4}}}",
+            json_escape(&r.name),
+            r.sparc_size,
+            r.encoded_size,
+            r.pbio.as_nanos(),
+            r.xmit.as_nanos(),
+            r.rdm()
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Serialize Figure 7 rows as a JSON array (times in ns).
+pub fn figure7_rows_to_json(rows: &[Figure7Row]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  {{\"record\": \"{}\", \"encoded_size\": {}, \"native_ns\": {}, \
+             \"xmit_ns\": {}, \"ratio\": {:.4}}}",
+            json_escape(&r.name),
+            r.encoded_size,
+            r.native.as_nanos(),
+            r.xmit.as_nanos(),
+            r.ratio()
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Serialize Figure 8 rows as a JSON array (times in ns).
+pub fn figure8_rows_to_json(rows: &[Figure8Row]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  {{\"target_bytes\": {}, \"actual_bytes\": {}, \"format\": \"{}\", \
+             \"encode_ns\": {}}}",
+            r.target,
+            r.actual,
+            json_escape(&r.format),
+            r.encode.as_nanos()
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -376,9 +699,25 @@ mod tests {
             figure7_report(FAST),
             figure8_report(FAST),
             figure1_report(FAST),
+            plan_ablation_report(FAST),
         ] {
             assert!(report.contains('|'), "table missing:\n{report}");
         }
+    }
+
+    #[test]
+    fn json_serializers_emit_well_formed_arrays() {
+        let reg = registration_rows(&figure3_cases(), FAST);
+        let j = registration_rows_to_json(&reg);
+        assert!(j.starts_with("[\n") && j.ends_with("]\n"), "{j}");
+        assert!(j.contains("\"rdm\":"));
+
+        let f7 = figure7_rows_to_json(&figure7_rows(FAST));
+        assert!(f7.contains("\"native_ns\":") && f7.contains("\"ratio\":"), "{f7}");
+
+        let f8 = figure8_rows_to_json(&figure8_rows(FAST));
+        assert!(f8.contains("\"format\": \"pbio\""), "{f8}");
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
 
     #[test]
@@ -388,10 +727,14 @@ mod tests {
         let mut times = std::collections::HashMap::new();
         for wire in all_formats(registry.clone()) {
             let mut buf = Vec::new();
-            let d = time_mean(5, || (), |()| {
-                buf.clear();
-                wire.encode(&rec, &mut buf).expect("encode")
-            });
+            let d = time_mean(
+                5,
+                || (),
+                |()| {
+                    buf.clear();
+                    wire.encode(&rec, &mut buf).expect("encode")
+                },
+            );
             times.insert(wire.name(), d);
         }
         let xml = times["xml"];

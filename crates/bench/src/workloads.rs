@@ -31,8 +31,7 @@ impl RegistrationCase {
         // "Compiled-in" metadata is exactly what the XML maps to; it is
         // derived once here, outside any timed region.
         let doc = parse_str(&xml).expect("workload XML must be valid schema");
-        let compiled =
-            map_document(&doc, &MachineModel::SPARC32).expect("workload XML must map");
+        let compiled = map_document(&doc, &MachineModel::SPARC32).expect("workload XML must map");
         let case = RegistrationCase { name, sparc_size, xml, compiled };
         case.verify();
         case
@@ -45,11 +44,7 @@ impl RegistrationCase {
             last = Some(reg.register(spec.clone()).expect("workload spec must register"));
         }
         let desc = last.expect("at least one spec");
-        assert_eq!(
-            desc.record_size, self.sparc_size,
-            "{}: SPARC32 sizeof mismatch",
-            self.name
-        );
+        assert_eq!(desc.record_size, self.sparc_size, "{}: SPARC32 sizeof mismatch", self.name);
     }
 }
 
@@ -230,10 +225,7 @@ mod tests {
     #[test]
     fn figure6_sizes_verified_at_build() {
         let cases = figure6_cases();
-        assert_eq!(
-            cases.iter().map(|c| c.sparc_size).collect::<Vec<_>>(),
-            vec![12, 20, 44, 152]
-        );
+        assert_eq!(cases.iter().map(|c| c.sparc_size).collect::<Vec<_>>(), vec![12, 20, 44, 152]);
     }
 
     #[test]

@@ -58,10 +58,7 @@ pub fn build_control(
 }
 
 /// Pack a [`FlowFrame`] into a `FlowField2D` record.
-pub fn build_flow_record(
-    token: &BindingToken,
-    frame: &FlowFrame,
-) -> Result<RawRecord, XmitError> {
+pub fn build_flow_record(token: &BindingToken, frame: &FlowFrame) -> Result<RawRecord, XmitError> {
     let mut rec = token.new_record();
     rec.set_i64("meta.nx", frame.nx as i64)?;
     rec.set_i64("meta.ny", frame.ny as i64)?;

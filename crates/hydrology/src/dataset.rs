@@ -94,8 +94,8 @@ impl FlowDataset {
                 let y = j as f64 / ny as f64;
                 let mut d = self.base_depth;
                 for &(phase, freq, amp) in &self.phases {
-                    d += amp
-                        * (std::f64::consts::TAU * (freq * (x + y) + 0.3 * time) + phase).sin();
+                    d +=
+                        amp * (std::f64::consts::TAU * (freq * (x + y) + 0.3 * time) + phase).sin();
                 }
                 depth.push(d);
                 // A gentle rotation around the domain centre whose speed

@@ -77,9 +77,10 @@ pub fn http_get(url: &Url) -> Result<Response, HttpError> {
         let value = value.trim();
         match name.to_ascii_lowercase().as_str() {
             "content-length" => {
-                content_length = Some(value.parse().map_err(|_| {
-                    HttpError::BadResponse(format!("bad Content-Length '{value}'"))
-                })?)
+                content_length =
+                    Some(value.parse().map_err(|_| {
+                        HttpError::BadResponse(format!("bad Content-Length '{value}'"))
+                    })?)
             }
             "content-type" => content_type = Some(value.to_string()),
             "transfer-encoding" if value.eq_ignore_ascii_case("chunked") => chunked = true,

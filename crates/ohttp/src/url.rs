@@ -41,9 +41,7 @@ impl Url {
                     return Err(bad());
                 }
                 let (host, port) = match authority.rsplit_once(':') {
-                    Some((h, p)) => {
-                        (h.to_string(), p.parse::<u16>().map_err(|_| bad())?)
-                    }
+                    Some((h, p)) => (h.to_string(), p.parse::<u16>().map_err(|_| bad())?),
                     None => (authority.to_string(), 80),
                 };
                 if host.is_empty() {
@@ -146,12 +144,9 @@ mod tests {
 
     #[test]
     fn display_round_trip() {
-        for s in [
-            "http://example.org/x/y.xsd",
-            "http://127.0.0.1:9999/z",
-            "mem://key",
-            "file:///a/b",
-        ] {
+        for s in
+            ["http://example.org/x/y.xsd", "http://127.0.0.1:9999/z", "mem://key", "file:///a/b"]
+        {
             let u = Url::parse(s).unwrap();
             assert_eq!(Url::parse(&u.to_string()).unwrap(), u, "{s}");
         }

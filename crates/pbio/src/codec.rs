@@ -9,10 +9,10 @@
 use std::sync::Arc;
 
 use crate::error::PbioError;
+use crate::format::FormatDescriptor;
 use crate::layout::FieldLayout;
 use crate::machine::MachineModel;
 use crate::types::{BaseType, FieldKind};
-use crate::format::FormatDescriptor;
 
 const KIND_SCALAR: u8 = 0;
 const KIND_STRING: u8 = 1;
@@ -154,7 +154,16 @@ fn read_descriptor(cur: &mut Cur<'_>) -> Result<FormatDescriptor, PbioError> {
         };
         fields.push(FieldLayout { name: fname, kind, offset, size, align: falign });
     }
-    Ok(FormatDescriptor { name, machine, fields, record_size, align })
+    let mut d = FormatDescriptor {
+        name,
+        machine,
+        fields,
+        record_size,
+        align,
+        id: crate::format::FormatId(0),
+    };
+    d.id = d.computed_id();
+    Ok(d)
 }
 
 fn base(code: u8) -> Result<BaseType, PbioError> {

@@ -15,9 +15,7 @@ use std::sync::Arc;
 use crate::error::PbioError;
 use crate::format::FormatDescriptor;
 use crate::machine::ByteOrder;
-use crate::record::{
-    read_float, read_int, read_uint, write_float, write_uint, RawRecord, VarData,
-};
+use crate::record::{read_float, read_int, read_uint, write_float, write_uint, RawRecord, VarData};
 use crate::types::{BaseType, FieldKind};
 
 /// Pull the fixed image and the var-length payloads out of a wire data
@@ -69,11 +67,9 @@ pub(crate) fn extract(
                 varlen.insert(s.slot_offset, VarData::Str(text.to_string()));
             }
             FieldKind::DynamicArray { elem_size, length_field, .. } => {
-                let lf = s.record.field(length_field).ok_or_else(|| {
-                    PbioError::BadDimension {
-                        field: s.field.name.clone(),
-                        reason: format!("length field '{length_field}' missing"),
-                    }
+                let lf = s.record.field(length_field).ok_or_else(|| PbioError::BadDimension {
+                    field: s.field.name.clone(),
+                    reason: format!("length field '{length_field}' missing"),
                 })?;
                 let lf_off = s.record_base + lf.offset;
                 let count = read_uint(&data[lf_off..lf_off + lf.size], order) as usize;
@@ -196,9 +192,7 @@ fn convert_fields(
                 }
             }
             (FieldKind::Nested(tsub), FieldKind::Nested(ssub)) => {
-                convert_fields(
-                    src_fixed, src_var, ssub, s_off, tsub, t_off, dst_fixed, dst_var,
-                )?;
+                convert_fields(src_fixed, src_var, ssub, s_off, tsub, t_off, dst_fixed, dst_var)?;
             }
             _ => return Err(mismatch()),
         }
@@ -207,7 +201,7 @@ fn convert_fields(
 }
 
 /// Scalar conversion categories: anything integer-like interconverts.
-fn scalar_category(b: BaseType) -> u8 {
+pub(crate) fn scalar_category(b: BaseType) -> u8 {
     match b {
         BaseType::Float => 1,
         BaseType::Integer
@@ -394,9 +388,8 @@ mod tests {
     #[test]
     fn format_evolution_receiver_new_fields_default_zero() {
         let reg = FormatRegistry::new(MachineModel::native());
-        let v1 = reg
-            .register(FormatSpec::new("Evt", vec![IOField::auto("a", "integer", 4)]))
-            .unwrap();
+        let v1 =
+            reg.register(FormatSpec::new("Evt", vec![IOField::auto("a", "integer", 4)])).unwrap();
         let v2 = Arc::new(
             FormatDescriptor::resolve(
                 &FormatSpec::new(
@@ -424,9 +417,8 @@ mod tests {
     #[test]
     fn incompatible_retyped_field_rejected() {
         let reg = FormatRegistry::new(MachineModel::native());
-        let as_int = reg
-            .register(FormatSpec::new("T", vec![IOField::auto("x", "integer", 4)]))
-            .unwrap();
+        let as_int =
+            reg.register(FormatSpec::new("T", vec![IOField::auto("x", "integer", 4)])).unwrap();
         let as_str = Arc::new(
             FormatDescriptor::resolve(
                 &FormatSpec::new("T", vec![IOField::auto("x", "string", 0)]),
@@ -437,10 +429,7 @@ mod tests {
         );
         let rec = RawRecord::new(as_int);
         let wire = encode(&rec).unwrap();
-        assert!(matches!(
-            decode_with(&wire, &reg, &as_str),
-            Err(PbioError::TypeMismatch { .. })
-        ));
+        assert!(matches!(decode_with(&wire, &reg, &as_str), Err(PbioError::TypeMismatch { .. })));
     }
 
     #[test]
@@ -498,9 +487,8 @@ mod tests {
     #[test]
     fn extract_rejects_bad_pointers() {
         let reg = FormatRegistry::new(MachineModel::native());
-        let fmt = reg
-            .register(FormatSpec::new("S", vec![IOField::auto("s", "string", 0)]))
-            .unwrap();
+        let fmt =
+            reg.register(FormatSpec::new("S", vec![IOField::auto("s", "string", 0)])).unwrap();
         let mut rec = RawRecord::new(fmt.clone());
         rec.set_string("s", "ok").unwrap();
         let wire = encode(&rec).unwrap();

@@ -123,10 +123,8 @@ pub fn parse_type_string(type_desc: &str) -> Result<ParsedType, PbioError> {
                 }
                 Ok(ParsedType::StaticArray(b, n))
             } else if d == "*" {
-                Err(err(
-                    "unbounded '*' dimension requires a length field; use base[fieldName] \
-                     (XMIT maps maxOccurs=\"*\" to a trailing length field automatically)",
-                ))
+                Err(err("unbounded '*' dimension requires a length field; use base[fieldName] \
+                     (XMIT maps maxOccurs=\"*\" to a trailing length field automatically)"))
             } else {
                 Ok(ParsedType::DynamicArray(b, d.to_string()))
             }

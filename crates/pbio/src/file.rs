@@ -142,11 +142,7 @@ mod tests {
             ],
         ))
         .unwrap();
-        reg.register(FormatSpec::new(
-            "Note",
-            vec![IOField::auto("text", "string", 0)],
-        ))
-        .unwrap();
+        reg.register(FormatSpec::new("Note", vec![IOField::auto("text", "string", 0)])).unwrap();
         reg
     }
 

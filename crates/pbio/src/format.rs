@@ -60,6 +60,10 @@ pub struct FormatDescriptor {
     pub record_size: usize,
     /// Record alignment under `machine`.
     pub align: usize,
+    /// Content-addressed id, computed once at construction.  Decode hot
+    /// paths compare ids per message; recomputing the FNV hash over the
+    /// serialized descriptor each time would dominate small-record decodes.
+    pub(crate) id: FormatId,
 }
 
 /// A var-length slot discovered by [`FormatDescriptor::varlen_slots`]:
@@ -128,14 +132,16 @@ impl FormatDescriptor {
             partials.push((f.name.clone(), kind, f.size, f.offset));
         }
         let layout = layout_record(partials, &machine)?;
-        let descriptor = FormatDescriptor {
+        let mut descriptor = FormatDescriptor {
             name: spec.name.clone(),
             machine,
             fields: layout.fields,
             record_size: layout.record_size,
             align: layout.align,
+            id: FormatId(0),
         };
         descriptor.validate_dimensions()?;
+        descriptor.id = descriptor.computed_id();
         Ok(descriptor)
     }
 
@@ -232,6 +238,13 @@ impl FormatDescriptor {
 
     /// Content-addressed identifier of this descriptor.
     pub fn id(&self) -> FormatId {
+        self.id
+    }
+
+    /// Hash the serialized descriptor into its content-addressed id.
+    /// Construction sites call this once and store the result; the `id`
+    /// field itself is not part of the serialized form.
+    pub(crate) fn computed_id(&self) -> FormatId {
         FormatId(fnv1a_64(&crate::codec::encode_descriptor(self)))
     }
 }
@@ -282,16 +295,14 @@ mod tests {
             "Bad",
             vec![IOField::auto("x", "integer", 4), IOField::auto("x", "float", 4)],
         );
-        let err =
-            FormatDescriptor::resolve(&spec, MachineModel::SPARC32, &no_nested).unwrap_err();
+        let err = FormatDescriptor::resolve(&spec, MachineModel::SPARC32, &no_nested).unwrap_err();
         assert!(matches!(err, PbioError::BadField { .. }));
     }
 
     #[test]
     fn missing_length_field_rejected() {
         let spec = FormatSpec::new("Bad", vec![IOField::auto("data", "float[n]", 4)]);
-        let err =
-            FormatDescriptor::resolve(&spec, MachineModel::SPARC32, &no_nested).unwrap_err();
+        let err = FormatDescriptor::resolve(&spec, MachineModel::SPARC32, &no_nested).unwrap_err();
         assert!(matches!(err, PbioError::BadDimension { .. }));
     }
 
@@ -301,24 +312,21 @@ mod tests {
             "Bad",
             vec![IOField::auto("n", "float", 4), IOField::auto("data", "float[n]", 4)],
         );
-        let err =
-            FormatDescriptor::resolve(&spec, MachineModel::SPARC32, &no_nested).unwrap_err();
+        let err = FormatDescriptor::resolve(&spec, MachineModel::SPARC32, &no_nested).unwrap_err();
         assert!(matches!(err, PbioError::BadDimension { .. }));
     }
 
     #[test]
     fn unknown_nested_format_rejected() {
         let spec = FormatSpec::new("Outer", vec![IOField::auto("inner", "Mystery", 0)]);
-        let err =
-            FormatDescriptor::resolve(&spec, MachineModel::SPARC32, &no_nested).unwrap_err();
+        let err = FormatDescriptor::resolve(&spec, MachineModel::SPARC32, &no_nested).unwrap_err();
         assert_eq!(err, PbioError::UnknownFormat("Mystery".to_string()));
     }
 
     #[test]
     fn self_nesting_rejected() {
         let spec = FormatSpec::new("Recur", vec![IOField::auto("again", "Recur", 0)]);
-        let err =
-            FormatDescriptor::resolve(&spec, MachineModel::SPARC32, &no_nested).unwrap_err();
+        let err = FormatDescriptor::resolve(&spec, MachineModel::SPARC32, &no_nested).unwrap_err();
         assert!(matches!(err, PbioError::BadField { .. }));
     }
 
@@ -354,7 +362,7 @@ mod tests {
         assert_eq!(outer.fields[0].size, 16);
         assert_eq!(outer.fields[1].offset, 16);
         assert_eq!(outer.record_size, 32); // 16 + 8 + ptr4 → padded to 8
-        // Dotted paths reach inside.
+                                           // Dotted paths reach inside.
         let (off, f, _) = outer.field_path("hdr.when").unwrap();
         assert_eq!(off, 8);
         assert_eq!(f.name, "when");

@@ -12,10 +12,22 @@ use crate::error::PbioError;
 use crate::machine::MachineModel;
 use crate::types::FieldKind;
 
-/// Round `n` up to a multiple of `align` (power of two).
+/// Round `n` up to a multiple of `align`.
+///
+/// Every alignment the layout engine itself produces is a power of two
+/// (element sizes are validated to 1/2/4/8), and that case keeps the
+/// single-mask fast path.  The marshaler, however, aligns var-length array
+/// payloads to `elem_size.max(1)` — a quantity that is only a power of two
+/// by the same validation — so a general fallback is kept rather than a
+/// `debug_assert`, to stay correct if wider element sizes are ever
+/// admitted.
 pub fn align_up(n: usize, align: usize) -> usize {
-    debug_assert!(align.is_power_of_two());
-    (n + align - 1) & !(align - 1)
+    debug_assert!(align > 0, "alignment of zero is meaningless");
+    if align.is_power_of_two() {
+        (n + align - 1) & !(align - 1)
+    } else {
+        n.next_multiple_of(align)
+    }
 }
 
 /// A field after layout: resolved kind, concrete slot.
@@ -39,11 +51,7 @@ pub struct FieldLayout {
 ///
 /// `declared_size` is the `IOField::size` (element width for scalars and
 /// arrays; ignored for strings and nested records).
-pub fn slot_of(
-    kind: &FieldKind,
-    declared_size: usize,
-    machine: &MachineModel,
-) -> (usize, usize) {
+pub fn slot_of(kind: &FieldKind, declared_size: usize, machine: &MachineModel) -> (usize, usize) {
     match kind {
         FieldKind::Scalar(_) => (declared_size, machine.scalar_align(declared_size)),
         FieldKind::String | FieldKind::DynamicArray { .. } => {
@@ -274,11 +282,8 @@ mod tests {
 
     #[test]
     fn invalid_scalar_width_rejected() {
-        let err = layout_record(
-            vec![scalar("x", BaseType::Float, 2)],
-            &MachineModel::SPARC32,
-        )
-        .unwrap_err();
+        let err = layout_record(vec![scalar("x", BaseType::Float, 2)], &MachineModel::SPARC32)
+            .unwrap_err();
         assert!(matches!(err, PbioError::BadField { .. }));
     }
 
@@ -298,5 +303,29 @@ mod tests {
         };
         assert_eq!(mk(&MachineModel::SPARC32), 4);
         assert_eq!(mk(&MachineModel::X86_64), 8);
+    }
+
+    #[test]
+    fn align_up_powers_of_two() {
+        assert_eq!(align_up(0, 1), 0);
+        assert_eq!(align_up(7, 1), 7);
+        assert_eq!(align_up(7, 8), 8);
+        assert_eq!(align_up(8, 8), 8);
+        assert_eq!(align_up(9, 4), 12);
+        assert_eq!(align_up(17, 16), 32);
+    }
+
+    #[test]
+    fn align_up_non_powers_of_two() {
+        // The marshaler aligns array payloads to elem_size.max(1); these
+        // widths cannot arise today (element sizes are validated to
+        // 1/2/4/8) but the helper must not silently corrupt if they do.
+        assert_eq!(align_up(0, 3), 0);
+        assert_eq!(align_up(1, 3), 3);
+        assert_eq!(align_up(3, 3), 3);
+        assert_eq!(align_up(4, 3), 6);
+        assert_eq!(align_up(7, 6), 12);
+        assert_eq!(align_up(13, 12), 24);
+        assert_eq!(align_up(24, 12), 24);
     }
 }

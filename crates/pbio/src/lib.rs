@@ -65,6 +65,7 @@ pub mod format;
 pub mod layout;
 pub mod machine;
 pub mod marshal;
+pub mod plan;
 pub mod record;
 pub mod registry;
 pub mod server;
@@ -76,8 +77,9 @@ pub use field::IOField;
 pub use format::{FormatDescriptor, FormatId, FormatSpec};
 pub use machine::{ByteOrder, MachineModel};
 pub use marshal::{decode, decode_with, encode, encode_into, EncodedView};
+pub use plan::{ConvertPlan, EncodePlan, Encoder};
 pub use record::RawRecord;
-pub use registry::FormatRegistry;
+pub use registry::{FormatRegistry, PlanCacheStats};
 pub use types::{BaseType, FieldKind};
 pub use value::Value;
 
@@ -88,6 +90,7 @@ pub mod prelude {
     pub use crate::format::{FormatDescriptor, FormatId, FormatSpec};
     pub use crate::machine::{ByteOrder, MachineModel};
     pub use crate::marshal::{decode, decode_with, encode, encode_into};
+    pub use crate::plan::Encoder;
     pub use crate::record::RawRecord;
     pub use crate::registry::FormatRegistry;
     pub use crate::types::{BaseType, FieldKind};

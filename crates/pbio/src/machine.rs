@@ -45,20 +45,12 @@ pub struct MachineModel {
 
 impl MachineModel {
     /// The 32-bit big-endian SPARC V8 model of the paper's Sun Ultra 1/170.
-    pub const SPARC32: MachineModel = MachineModel {
-        byte_order: ByteOrder::Big,
-        pointer_size: 4,
-        long_size: 4,
-        max_align: 8,
-    };
+    pub const SPARC32: MachineModel =
+        MachineModel { byte_order: ByteOrder::Big, pointer_size: 4, long_size: 4, max_align: 8 };
 
     /// Classic 32-bit x86 (System V i386 ABI: 8-byte scalars align to 4).
-    pub const X86: MachineModel = MachineModel {
-        byte_order: ByteOrder::Little,
-        pointer_size: 4,
-        long_size: 4,
-        max_align: 4,
-    };
+    pub const X86: MachineModel =
+        MachineModel { byte_order: ByteOrder::Little, pointer_size: 4, long_size: 4, max_align: 4 };
 
     /// x86-64 System V (LP64: 8-byte longs and pointers).
     pub const X86_64: MachineModel = MachineModel {
@@ -69,12 +61,8 @@ impl MachineModel {
     };
 
     /// 64-bit big-endian SPARC V9 (LP64).
-    pub const SPARC64: MachineModel = MachineModel {
-        byte_order: ByteOrder::Big,
-        pointer_size: 8,
-        long_size: 8,
-        max_align: 16,
-    };
+    pub const SPARC64: MachineModel =
+        MachineModel { byte_order: ByteOrder::Big, pointer_size: 8, long_size: 8, max_align: 16 };
 
     /// The model of the machine running this code.
     pub fn native() -> MachineModel {

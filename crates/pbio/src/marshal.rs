@@ -39,12 +39,25 @@ use crate::types::{BaseType, FieldKind};
 
 /// Wire header size in bytes.
 pub const HEADER_SIZE: usize = 20;
-const MAGIC: [u8; 2] = *b"PB";
-const VERSION: u8 = 1;
+pub(crate) const MAGIC: [u8; 2] = *b"PB";
+pub(crate) const VERSION: u8 = 1;
 
 /// Encode a record, appending to `out`.  Returns the number of bytes
 /// written.
+///
+/// This compiles a transient [`crate::plan::EncodePlan`] per call; hot
+/// paths that encode the same format repeatedly should hold a
+/// [`crate::plan::Encoder`], which caches plans and reuses buffers.
 pub fn encode_into(rec: &RawRecord, out: &mut Vec<u8>) -> Result<usize, PbioError> {
+    let plan = crate::plan::EncodePlan::compile(rec.format())?;
+    let mut placements = Vec::new();
+    crate::plan::execute_encode(&plan, rec, out, &mut placements)
+}
+
+/// Reference field-at-a-time encoder, kept for differential testing of the
+/// compiled plans.  Produces byte-identical output to [`encode_into`].
+#[doc(hidden)]
+pub fn encode_into_interpreted(rec: &RawRecord, out: &mut Vec<u8>) -> Result<usize, PbioError> {
     let desc = rec.format();
     let order = desc.machine.byte_order;
     let slots = desc.varlen_slots();
@@ -56,10 +69,7 @@ pub fn encode_into(rec: &RawRecord, out: &mut Vec<u8>) -> Result<usize, PbioErro
         let (len, align) = match (&s.field.kind, rec.varlen.get(&s.slot_offset)) {
             (FieldKind::String, Some(VarData::Str(v))) => (v.len() + 1, 1),
             (FieldKind::String, None) => (0, 1),
-            (
-                FieldKind::DynamicArray { elem_size, length_field, .. },
-                payload,
-            ) => {
+            (FieldKind::DynamicArray { elem_size, length_field, .. }, payload) => {
                 let declared = {
                     // Length lives beside the slot, inside the same subrecord.
                     let (off, lf) = s
@@ -207,7 +217,35 @@ pub fn decode(wire: &[u8], registry: &FormatRegistry) -> Result<RawRecord, PbioE
 }
 
 /// Decode into a caller-chosen target format.
+///
+/// Both the same-format extraction and the cross-format conversion run
+/// compiled plans cached in `registry` (see [`crate::plan`]), keyed by the
+/// wire's format id, so steady-state decoding pays compilation once per
+/// (sender, receiver) pair.
 pub fn decode_with(
+    wire: &[u8],
+    registry: &FormatRegistry,
+    target: &Arc<FormatDescriptor>,
+) -> Result<RawRecord, PbioError> {
+    let header = parse_header(wire)?;
+    let sender = registry
+        .lookup_id(header.format_id)
+        .ok_or(PbioError::UnknownFormatId(header.format_id.0))?;
+    let data = &wire[HEADER_SIZE..HEADER_SIZE + header.data_size];
+    if Arc::ptr_eq(&sender, target) || header.format_id == target.id() {
+        // Fast path: formats identical; the fixed image is already right.
+        let plan = registry.encode_plan_keyed(&sender, header.format_id)?;
+        let (fixed, varlen) = crate::plan::execute_extract(&plan, data)?;
+        return Ok(RawRecord::from_parts(target.clone(), fixed, varlen));
+    }
+    let plan = registry.convert_plan(&sender, target)?;
+    crate::plan::execute_convert(&plan, data, target)
+}
+
+/// Reference field-at-a-time decoder, kept for differential testing of the
+/// compiled plans.  Produces records identical to [`decode_with`].
+#[doc(hidden)]
+pub fn decode_with_interpreted(
     wire: &[u8],
     registry: &FormatRegistry,
     target: &Arc<FormatDescriptor>,
@@ -249,13 +287,9 @@ impl<'a> EncodedView<'a> {
     }
 
     fn field(&self, path: &str) -> Result<(usize, FieldKind), PbioError> {
-        self.desc
-            .field_path(path)
-            .map(|(off, f, _)| (off, f.kind.clone()))
-            .ok_or_else(|| PbioError::NoSuchField {
-                format: self.desc.name.clone(),
-                field: path.to_string(),
-            })
+        self.desc.field_path(path).map(|(off, f, _)| (off, f.kind.clone())).ok_or_else(|| {
+            PbioError::NoSuchField { format: self.desc.name.clone(), field: path.to_string() }
+        })
     }
 
     fn scalar_slice(&self, off: usize, size: usize) -> Result<&'a [u8], PbioError> {
@@ -270,10 +304,7 @@ impl<'a> EncodedView<'a> {
         let size = match kind {
             FieldKind::Scalar(BaseType::Integer) => {
                 let f = self.desc.field_path(path).expect("resolved above").1;
-                return Ok(read_int(
-                    self.scalar_slice(off, f.size)?,
-                    self.desc.machine.byte_order,
-                ));
+                return Ok(read_int(self.scalar_slice(off, f.size)?, self.desc.machine.byte_order));
             }
             FieldKind::Scalar(_) => self.desc.field_path(path).expect("resolved above").1.size,
             _ => {

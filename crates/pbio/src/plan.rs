@@ -1,0 +1,1031 @@
+//! Compiled marshal/convert plans: per-format instruction programs.
+//!
+//! The interpreted paths in [`crate::marshal`] and [`crate::convert`]
+//! re-derive the same facts on every record: walking the descriptor tree
+//! for var-length slots, resolving `length_field` names, matching receiver
+//! fields against sender fields by name, and re-deciding per scalar whether
+//! anything (order, width, signedness) actually differs.  All of that is a
+//! function of the *descriptor pair*, not of the record.  This module
+//! lowers it once into flat instruction programs:
+//!
+//! * [`EncodePlan`] — one program per format.  Encoding becomes: append a
+//!   precomputed header template, memcpy the fixed image, patch pointer
+//!   slots from a flat slot table, append payloads.  The same slot table
+//!   drives extraction on decode, including a borrowed zero-copy variant
+//!   ([`EncodePlan::extract_borrowed`]) for the same-machine/same-format
+//!   fast path.
+//! * [`ConvertPlan`] — one program per (sender, receiver) descriptor pair.
+//!   Name matching, width/order classification, and type checking all
+//!   happen at compile time; execution is a tight loop over
+//!   `Copy`/`Swap`/`Int`/`Float` ops on the fixed image plus per-slot
+//!   var-length moves.  Adjacent compatible ops are coalesced so runs of
+//!   like fields become single memcpys or single swap loops.
+//!
+//! Plans are cached at the [`crate::registry::FormatRegistry`] level keyed
+//! by [`FormatId`](crate::format::FormatId) (pairs of ids for conversion),
+//! so steady-state messaging pays compilation once per format pair.
+//!
+//! Fidelity notes (vs. the interpreted reference paths, which are kept for
+//! differential testing):
+//!
+//! * Outputs are byte-identical, with one documented exception: a
+//!   same-width `f32` whose bits encode a *signaling* NaN is preserved
+//!   bit-for-bit by the compiled `Copy`/`Swap` ops, while the interpreted
+//!   path's `f32 → f64 → f32` round-trip may quieten it on x86.  The
+//!   compiled behaviour is the more faithful one.
+//! * Type mismatches between a sender/receiver pair are detected at plan
+//!   *compile* time.  On a wire that is both corrupt and type-mismatched,
+//!   the compiled path therefore reports [`PbioError::TypeMismatch`] where
+//!   the interpreted path would have tripped over the corruption first.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use crate::convert::scalar_category;
+use crate::error::PbioError;
+use crate::format::FormatDescriptor;
+use crate::layout::align_up;
+use crate::machine::ByteOrder;
+use crate::marshal::{HEADER_SIZE, MAGIC, VERSION};
+use crate::record::{read_float, read_int, read_uint, write_float, write_uint, RawRecord, VarData};
+use crate::types::{BaseType, FieldKind};
+
+// ---------------------------------------------------------------------------
+// Shared slot table.
+// ---------------------------------------------------------------------------
+
+/// What a var-length pointer slot points at.
+#[derive(Debug, Clone)]
+enum PayloadKind {
+    /// NUL-terminated string, align 1.
+    Str,
+    /// Dynamic-array run governed by a sibling length field.
+    Arr { elem_size: usize, len_off: usize, len_size: usize, len_name: String },
+}
+
+/// One var-length pointer slot, with every name lookup already resolved.
+#[derive(Debug, Clone)]
+struct SlotSpec {
+    /// Field name (for error messages only).
+    name: String,
+    /// Absolute offset of the pointer slot in the fixed image.
+    off: usize,
+    /// Pointer-slot size in bytes.
+    size: usize,
+    payload: PayloadKind,
+}
+
+/// Flatten a descriptor's var-length slots, resolving length fields once.
+fn compile_slots(desc: &FormatDescriptor) -> Result<Vec<SlotSpec>, PbioError> {
+    let mut out = Vec::new();
+    for s in desc.varlen_slots() {
+        let payload = match &s.field.kind {
+            FieldKind::String => PayloadKind::Str,
+            FieldKind::DynamicArray { elem_size, length_field, .. } => {
+                let lf = s.record.field(length_field).ok_or_else(|| PbioError::BadDimension {
+                    field: s.field.name.clone(),
+                    reason: format!("length field '{length_field}' missing"),
+                })?;
+                PayloadKind::Arr {
+                    elem_size: *elem_size,
+                    len_off: s.record_base + lf.offset,
+                    len_size: lf.size,
+                    len_name: length_field.clone(),
+                }
+            }
+            other => unreachable!("varlen_slots only yields varlen kinds, got {other:?}"),
+        };
+        out.push(SlotSpec {
+            name: s.field.name.clone(),
+            off: s.slot_offset,
+            size: s.field.size,
+            payload,
+        });
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Encode plans (also the extract program for same-format decode).
+// ---------------------------------------------------------------------------
+
+/// Compiled encode/extract program for one format.
+#[derive(Debug)]
+pub struct EncodePlan {
+    /// Complete wire header with the data-size word left zero; patched per
+    /// record.
+    header: [u8; HEADER_SIZE],
+    record_size: usize,
+    order: ByteOrder,
+    slots: Vec<SlotSpec>,
+}
+
+impl EncodePlan {
+    /// Lower `desc` into an encode/extract program.
+    pub fn compile(desc: &FormatDescriptor) -> Result<EncodePlan, PbioError> {
+        let mut header = [0u8; HEADER_SIZE];
+        header[0..2].copy_from_slice(&MAGIC);
+        header[2] = VERSION;
+        header[3] = match desc.machine.byte_order {
+            ByteOrder::Big => 1,
+            ByteOrder::Little => 0,
+        };
+        header[4..12].copy_from_slice(&desc.id().0.to_be_bytes());
+        Ok(EncodePlan {
+            header,
+            record_size: desc.record_size,
+            order: desc.machine.byte_order,
+            slots: compile_slots(desc)?,
+        })
+    }
+
+    /// Borrowed, validated view of an encoded data section: the fixed image
+    /// and every var-length payload, with nothing copied.
+    ///
+    /// Unlike the owned extraction used by [`crate::decode`], the fixed
+    /// slice still holds the wire's pointer-slot offsets (zeroing them
+    /// would require a copy); use the returned `vars` table instead of
+    /// chasing them.
+    pub fn extract_borrowed<'a>(&self, data: &'a [u8]) -> Result<ExtractedRecord<'a>, PbioError> {
+        check_record_size(data, self.record_size)?;
+        let mut vars = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            if let Some(v) = locate_payload(data, slot, self.order)? {
+                vars.push((slot.off, v));
+            }
+        }
+        Ok(ExtractedRecord { fixed: &data[..self.record_size], vars })
+    }
+}
+
+/// A zero-copy extraction: everything borrows from the wire buffer.
+#[derive(Debug)]
+pub struct ExtractedRecord<'a> {
+    /// The fixed image (pointer slots still hold wire offsets).
+    pub fixed: &'a [u8],
+    /// `(slot offset, payload)` for every present var-length field.
+    pub vars: Vec<(usize, VarSlice<'a>)>,
+}
+
+/// A borrowed var-length payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VarSlice<'a> {
+    /// A validated UTF-8 string (terminator excluded).
+    Str(&'a str),
+    /// Raw dynamic-array elements in the sender's representation.
+    Bytes(&'a [u8]),
+}
+
+fn check_record_size(data: &[u8], record_size: usize) -> Result<(), PbioError> {
+    if data.len() < record_size {
+        return Err(PbioError::BadWireData(format!(
+            "data section of {} bytes is smaller than the {}-byte record",
+            data.len(),
+            record_size
+        )));
+    }
+    Ok(())
+}
+
+/// Chase one pointer slot, validating exactly as the interpreted extract
+/// does.  `None` means the payload is absent (null pointer).
+fn locate_payload<'a>(
+    data: &'a [u8],
+    slot: &SlotSpec,
+    order: ByteOrder,
+) -> Result<Option<VarSlice<'a>>, PbioError> {
+    let raw = &data[slot.off..slot.off + slot.size];
+    let ptr_bytes = match order {
+        ByteOrder::Big => &raw[slot.size - 4..],
+        ByteOrder::Little => &raw[..4],
+    };
+    let at = read_uint(ptr_bytes, order) as usize;
+    if at == 0 {
+        return Ok(None);
+    }
+    if at >= data.len() {
+        return Err(PbioError::BadWireData(format!(
+            "field '{}' points at {at}, beyond the {}-byte data section",
+            slot.name,
+            data.len()
+        )));
+    }
+    match &slot.payload {
+        PayloadKind::Str => {
+            let tail = &data[at..];
+            let end = tail.iter().position(|&b| b == 0).ok_or_else(|| {
+                PbioError::BadWireData(format!("field '{}': unterminated string", slot.name))
+            })?;
+            let text = std::str::from_utf8(&tail[..end]).map_err(|_| {
+                PbioError::BadWireData(format!("field '{}': string not UTF-8", slot.name))
+            })?;
+            Ok(Some(VarSlice::Str(text)))
+        }
+        PayloadKind::Arr { elem_size, len_off, len_size, .. } => {
+            let count = read_uint(&data[*len_off..*len_off + *len_size], order) as usize;
+            let bytes_len = count.checked_mul(*elem_size).ok_or_else(|| {
+                PbioError::BadWireData(format!("field '{}': array length overflows", slot.name))
+            })?;
+            let payload = data.get(at..at + bytes_len).ok_or_else(|| {
+                PbioError::BadWireData(format!(
+                    "field '{}': {count}-element payload exceeds the data section",
+                    slot.name
+                ))
+            })?;
+            Ok(Some(VarSlice::Bytes(payload)))
+        }
+    }
+}
+
+/// Run an encode plan, appending the wire image to `out`.  `placements` is
+/// caller-provided scratch (reused across calls by [`Encoder`]).  Returns
+/// the number of bytes written.
+pub(crate) fn execute_encode(
+    plan: &EncodePlan,
+    rec: &RawRecord,
+    out: &mut Vec<u8>,
+    placements: &mut Vec<(usize, usize)>,
+) -> Result<usize, PbioError> {
+    let fixed = rec.fixed_bytes();
+    debug_assert_eq!(fixed.len(), plan.record_size, "plan compiled for a different format");
+    let order = plan.order;
+
+    // Pass 1: place payloads within the data section.
+    placements.clear();
+    let mut data_size = plan.record_size;
+    for slot in &plan.slots {
+        let (len, align) = match (&slot.payload, rec.varlen.get(&slot.off)) {
+            (PayloadKind::Str, Some(VarData::Str(v))) => (v.len() + 1, 1),
+            (PayloadKind::Str, None) => (0, 1),
+            (PayloadKind::Arr { elem_size, len_off, len_size, len_name }, payload) => {
+                let declared = read_uint(&fixed[*len_off..*len_off + *len_size], order) as usize;
+                let have = match payload {
+                    Some(VarData::Bytes(b)) => b.len() / elem_size,
+                    Some(VarData::Str(_)) => {
+                        unreachable!("array slots only ever hold VarData::Bytes")
+                    }
+                    None => 0,
+                };
+                if declared != have {
+                    return Err(PbioError::BadDimension {
+                        field: slot.name.clone(),
+                        reason: format!(
+                            "length field '{len_name}' says {declared} elements, \
+                             array holds {have}"
+                        ),
+                    });
+                }
+                (have * elem_size, (*elem_size).max(1))
+            }
+            (PayloadKind::Str, Some(VarData::Bytes(_))) => {
+                unreachable!("string slots only ever hold VarData::Str")
+            }
+        };
+        let at = if len == 0 { 0 } else { align_up(data_size, align) };
+        if len != 0 {
+            data_size = at + len;
+        }
+        placements.push((at, len));
+    }
+
+    // Pass 2: emit.
+    let start = out.len();
+    out.reserve(HEADER_SIZE + data_size);
+    out.extend_from_slice(&plan.header);
+    out[start + 12..start + 16].copy_from_slice(&(data_size as u32).to_be_bytes());
+    let data_start = out.len();
+    out.extend_from_slice(fixed);
+    for (slot, &(payload_at, len)) in plan.slots.iter().zip(placements.iter()) {
+        let slot_abs = data_start + slot.off;
+        let ptr = if len == 0 { 0u64 } else { payload_at as u64 };
+        out[slot_abs..slot_abs + slot.size].fill(0);
+        let (lo, hi) = match order {
+            ByteOrder::Big => (slot_abs + slot.size - 4, slot_abs + slot.size),
+            ByteOrder::Little => (slot_abs, slot_abs + 4),
+        };
+        write_uint(&mut out[lo..hi], order, ptr);
+    }
+    for (slot, &(payload_at, len)) in plan.slots.iter().zip(placements.iter()) {
+        if len == 0 {
+            continue;
+        }
+        let want = data_start + payload_at;
+        debug_assert!(out.len() <= want, "placements are monotone");
+        out.resize(want, 0);
+        match rec.varlen.get(&slot.off) {
+            Some(VarData::Str(v)) => {
+                out.extend_from_slice(v.as_bytes());
+                out.push(0);
+            }
+            Some(VarData::Bytes(b)) => out.extend_from_slice(b),
+            None => unreachable!("len > 0 implies payload present"),
+        }
+    }
+    debug_assert_eq!(out.len() - data_start, data_size);
+    Ok(out.len() - start)
+}
+
+/// Owned extraction via a compiled plan: the same-format decode path.
+/// Pointer slots in the returned fixed image are zeroed, exactly like the
+/// interpreted [`crate::convert`] extract.
+pub(crate) fn execute_extract(
+    plan: &EncodePlan,
+    data: &[u8],
+) -> Result<(Vec<u8>, BTreeMap<usize, VarData>), PbioError> {
+    check_record_size(data, plan.record_size)?;
+    let mut fixed = data[..plan.record_size].to_vec();
+    let mut varlen = BTreeMap::new();
+    for slot in &plan.slots {
+        let payload = locate_payload(data, slot, plan.order)?;
+        fixed[slot.off..slot.off + slot.size].fill(0);
+        match payload {
+            Some(VarSlice::Str(s)) => {
+                varlen.insert(slot.off, VarData::Str(s.to_string()));
+            }
+            Some(VarSlice::Bytes(b)) => {
+                varlen.insert(slot.off, VarData::Bytes(b.to_vec()));
+            }
+            None => {}
+        }
+    }
+    Ok((fixed, varlen))
+}
+
+// ---------------------------------------------------------------------------
+// Convert plans.
+// ---------------------------------------------------------------------------
+
+/// One instruction over the fixed images.  Offsets/lengths are `u32` to
+/// keep programs compact; record sizes comfortably fit.
+#[derive(Debug, Clone, Copy)]
+enum FixedOp {
+    /// Bitwise copy of `len` bytes.
+    Copy { src: u32, dst: u32, len: u32 },
+    /// Per-element byte reversal: same width, opposite byte order.
+    Swap { src: u32, dst: u32, width: u8, count: u32 },
+    /// Integer width change (sign-extending iff the source is signed).
+    Int { src: u32, dst: u32, src_w: u8, dst_w: u8, signed: bool, count: u32 },
+    /// Float width change via f64.
+    Float { src: u32, dst: u32, src_w: u8, dst_w: u8, count: u32 },
+}
+
+/// Per-element conversion kind, shared by fixed and var-length arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ElemConv {
+    Copy,
+    Swap,
+    Int { signed: bool },
+    Float,
+}
+
+/// How a var-length payload crosses the format pair.
+#[derive(Debug, Clone, Copy)]
+enum VarConv {
+    /// Representation matches: clone the payload as-is.
+    Move,
+    /// Per-element conversion.
+    Elem { conv: ElemConv, src_w: usize, dst_w: usize },
+}
+
+/// Move/convert one var-length payload from a source slot to a destination
+/// slot.
+#[derive(Debug, Clone, Copy)]
+struct VarOp {
+    /// Index into the source slot table (and the located-payload vector).
+    src_idx: usize,
+    /// Destination slot offset (the `varlen` key).
+    dst_off: usize,
+    conv: VarConv,
+}
+
+/// Post-pass: make a destination dynamic-array length field agree with the
+/// payload actually present (mirrors `convert::fix_dynamic_lengths`).
+#[derive(Debug, Clone, Copy)]
+struct LenFix {
+    len_off: usize,
+    len_size: usize,
+    arr_off: usize,
+    elem_size: usize,
+}
+
+/// Compiled conversion program for one (sender, receiver) descriptor pair.
+#[derive(Debug)]
+pub struct ConvertPlan {
+    src_order: ByteOrder,
+    dst_order: ByteOrder,
+    src_record_size: usize,
+    dst_record_size: usize,
+    /// The sender's slot table: every slot is located and validated, even
+    /// ones the receiver ignores, matching interpreted extract semantics.
+    src_slots: Vec<SlotSpec>,
+    ops: Vec<FixedOp>,
+    var_ops: Vec<VarOp>,
+    len_fixes: Vec<LenFix>,
+}
+
+/// Decide how one scalar crosses the pair.  `None` is a category mismatch.
+fn classify(
+    sb: BaseType,
+    sw: usize,
+    so: ByteOrder,
+    tb: BaseType,
+    tw: usize,
+    to: ByteOrder,
+) -> Option<ElemConv> {
+    if scalar_category(sb) != scalar_category(tb) {
+        return None;
+    }
+    if sw == tw && (so == to || sw == 1) {
+        return Some(ElemConv::Copy);
+    }
+    if sw == tw {
+        return Some(ElemConv::Swap);
+    }
+    if scalar_category(sb) == 1 {
+        return Some(ElemConv::Float);
+    }
+    Some(ElemConv::Int { signed: matches!(sb, BaseType::Integer) })
+}
+
+/// Append a fixed op, coalescing with the previous one when both source and
+/// destination ranges are exactly adjacent and the kinds agree.  Adjacency
+/// never spans padding, so coalesced programs write the same bytes the
+/// field-at-a-time interpreter would.
+fn push_coalesced(ops: &mut Vec<FixedOp>, op: FixedOp) {
+    if let Some(last) = ops.last_mut() {
+        match (last, op) {
+            (FixedOp::Copy { src, dst, len }, FixedOp::Copy { src: s2, dst: d2, len: l2 })
+                if *src + *len == s2 && *dst + *len == d2 =>
+            {
+                *len += l2;
+                return;
+            }
+            (
+                FixedOp::Swap { src, dst, width, count },
+                FixedOp::Swap { src: s2, dst: d2, width: w2, count: c2 },
+            ) if *width == w2
+                && *src + u32::from(*width) * *count == s2
+                && *dst + u32::from(*width) * *count == d2 =>
+            {
+                *count += c2;
+                return;
+            }
+            (
+                FixedOp::Int { src, dst, src_w, dst_w, signed, count },
+                FixedOp::Int { src: s2, dst: d2, src_w: sw2, dst_w: dw2, signed: sg2, count: c2 },
+            ) if *src_w == sw2
+                && *dst_w == dw2
+                && *signed == sg2
+                && *src + u32::from(*src_w) * *count == s2
+                && *dst + u32::from(*dst_w) * *count == d2 =>
+            {
+                *count += c2;
+                return;
+            }
+            (
+                FixedOp::Float { src, dst, src_w, dst_w, count },
+                FixedOp::Float { src: s2, dst: d2, src_w: sw2, dst_w: dw2, count: c2 },
+            ) if *src_w == sw2
+                && *dst_w == dw2
+                && *src + u32::from(*src_w) * *count == s2
+                && *dst + u32::from(*dst_w) * *count == d2 =>
+            {
+                *count += c2;
+                return;
+            }
+            _ => {}
+        }
+    }
+    ops.push(op);
+}
+
+fn elem_op(conv: ElemConv, src: usize, dst: usize, sw: usize, tw: usize, n: usize) -> FixedOp {
+    let (src, dst, n) = (src as u32, dst as u32, n as u32);
+    match conv {
+        ElemConv::Copy => FixedOp::Copy { src, dst, len: sw as u32 * n },
+        ElemConv::Swap => FixedOp::Swap { src, dst, width: sw as u8, count: n },
+        ElemConv::Int { signed } => {
+            FixedOp::Int { src, dst, src_w: sw as u8, dst_w: tw as u8, signed, count: n }
+        }
+        ElemConv::Float => FixedOp::Float { src, dst, src_w: sw as u8, dst_w: tw as u8, count: n },
+    }
+}
+
+impl ConvertPlan {
+    /// Lower a (sender, receiver) descriptor pair into a conversion
+    /// program.  Field matching and type checking happen here, once.
+    pub fn compile(
+        from: &FormatDescriptor,
+        to: &FormatDescriptor,
+    ) -> Result<ConvertPlan, PbioError> {
+        let src_slots = compile_slots(from)?;
+        let slot_index: HashMap<usize, usize> =
+            src_slots.iter().enumerate().map(|(i, s)| (s.off, i)).collect();
+        let mut ops = Vec::new();
+        let mut var_ops = Vec::new();
+        compile_fields(from, 0, to, 0, &slot_index, &mut ops, &mut var_ops)?;
+        let mut len_fixes = Vec::new();
+        compile_len_fixes(to, 0, &mut len_fixes);
+        Ok(ConvertPlan {
+            src_order: from.machine.byte_order,
+            dst_order: to.machine.byte_order,
+            src_record_size: from.record_size,
+            dst_record_size: to.record_size,
+            src_slots,
+            ops,
+            var_ops,
+            len_fixes,
+        })
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compile_fields(
+    from: &FormatDescriptor,
+    from_base: usize,
+    to: &FormatDescriptor,
+    to_base: usize,
+    slot_index: &HashMap<usize, usize>,
+    ops: &mut Vec<FixedOp>,
+    var_ops: &mut Vec<VarOp>,
+) -> Result<(), PbioError> {
+    let so = from.machine.byte_order;
+    let to_order = to.machine.byte_order;
+    for tf in &to.fields {
+        // Receiver-side fields the sender does not have stay zeroed:
+        // PBIO's restricted evolution.
+        let Some(sf) = from.field(&tf.name) else { continue };
+        let s_off = from_base + sf.offset;
+        let t_off = to_base + tf.offset;
+        let mismatch = || PbioError::TypeMismatch {
+            field: tf.name.clone(),
+            expected: tf.kind.describe(),
+            actual: sf.kind.describe(),
+        };
+        match (&tf.kind, &sf.kind) {
+            (FieldKind::Scalar(tb), FieldKind::Scalar(sb)) => {
+                let conv =
+                    classify(*sb, sf.size, so, *tb, tf.size, to_order).ok_or_else(mismatch)?;
+                push_coalesced(ops, elem_op(conv, s_off, t_off, sf.size, tf.size, 1));
+            }
+            (FieldKind::String, FieldKind::String) => {
+                let src_idx = slot_index[&s_off];
+                var_ops.push(VarOp { src_idx, dst_off: t_off, conv: VarConv::Move });
+            }
+            (
+                FieldKind::DynamicArray { elem: te, elem_size: tes, .. },
+                FieldKind::DynamicArray { elem: se, elem_size: ses, .. },
+            ) => {
+                let conv = classify(*se, *ses, so, *te, *tes, to_order).ok_or_else(mismatch)?;
+                let src_idx = slot_index[&s_off];
+                let conv = if conv == ElemConv::Copy {
+                    VarConv::Move
+                } else {
+                    VarConv::Elem { conv, src_w: *ses, dst_w: *tes }
+                };
+                var_ops.push(VarOp { src_idx, dst_off: t_off, conv });
+            }
+            (
+                FieldKind::StaticArray { elem: te, elem_size: tes, count: tc },
+                FieldKind::StaticArray { elem: se, elem_size: ses, count: sc },
+            ) => {
+                let conv = classify(*se, *ses, so, *te, *tes, to_order).ok_or_else(mismatch)?;
+                let n = (*tc).min(*sc);
+                if n > 0 {
+                    push_coalesced(ops, elem_op(conv, s_off, t_off, *ses, *tes, n));
+                }
+            }
+            (FieldKind::Nested(tsub), FieldKind::Nested(ssub)) => {
+                compile_fields(ssub, s_off, tsub, t_off, slot_index, ops, var_ops)?;
+            }
+            _ => return Err(mismatch()),
+        }
+    }
+    Ok(())
+}
+
+fn compile_len_fixes(desc: &FormatDescriptor, base: usize, out: &mut Vec<LenFix>) {
+    for f in &desc.fields {
+        match &f.kind {
+            FieldKind::DynamicArray { elem_size, length_field, .. } => {
+                if let Some(lf) = desc.field(length_field) {
+                    out.push(LenFix {
+                        len_off: base + lf.offset,
+                        len_size: lf.size,
+                        arr_off: base + f.offset,
+                        elem_size: *elem_size,
+                    });
+                }
+            }
+            FieldKind::Nested(sub) => compile_len_fixes(sub, base + f.offset, out),
+            _ => {}
+        }
+    }
+}
+
+/// Byte-reverse each `width`-byte element of `src` into `dst`.  The
+/// fixed-width integer round-trips compile to single `bswap`/`rev`
+/// instructions and auto-vectorize, which matters for the multi-hundred-KB
+/// float arrays of the Figure 7/8 workloads.
+fn swap_elems(src: &[u8], dst: &mut [u8], width: usize) {
+    debug_assert_eq!(src.len(), dst.len());
+    match width {
+        1 => dst.copy_from_slice(src),
+        2 => {
+            for (s, d) in src.chunks_exact(2).zip(dst.chunks_exact_mut(2)) {
+                let v = u16::from_ne_bytes(s.try_into().unwrap()).swap_bytes();
+                d.copy_from_slice(&v.to_ne_bytes());
+            }
+        }
+        4 => {
+            for (s, d) in src.chunks_exact(4).zip(dst.chunks_exact_mut(4)) {
+                let v = u32::from_ne_bytes(s.try_into().unwrap()).swap_bytes();
+                d.copy_from_slice(&v.to_ne_bytes());
+            }
+        }
+        8 => {
+            for (s, d) in src.chunks_exact(8).zip(dst.chunks_exact_mut(8)) {
+                let v = u64::from_ne_bytes(s.try_into().unwrap()).swap_bytes();
+                d.copy_from_slice(&v.to_ne_bytes());
+            }
+        }
+        w => {
+            for (s, d) in src.chunks_exact(w).zip(dst.chunks_exact_mut(w)) {
+                for j in 0..w {
+                    d[j] = s[w - 1 - j];
+                }
+            }
+        }
+    }
+}
+
+fn convert_elems(
+    conv: ElemConv,
+    src: &[u8],
+    src_w: usize,
+    src_order: ByteOrder,
+    dst: &mut [u8],
+    dst_w: usize,
+    dst_order: ByteOrder,
+) {
+    let count = src.len() / src_w;
+    match conv {
+        ElemConv::Copy => dst[..count * dst_w].copy_from_slice(&src[..count * src_w]),
+        ElemConv::Swap => swap_elems(&src[..count * src_w], &mut dst[..count * src_w], src_w),
+        ElemConv::Int { signed } => {
+            for i in 0..count {
+                let s = &src[i * src_w..(i + 1) * src_w];
+                let v =
+                    if signed { read_int(s, src_order) as u64 } else { read_uint(s, src_order) };
+                write_uint(&mut dst[i * dst_w..(i + 1) * dst_w], dst_order, v);
+            }
+        }
+        ElemConv::Float => {
+            for i in 0..count {
+                let v = read_float(&src[i * src_w..(i + 1) * src_w], src_order);
+                write_float(&mut dst[i * dst_w..(i + 1) * dst_w], dst_order, v);
+            }
+        }
+    }
+}
+
+/// Run a conversion plan over a wire data section, producing a record in
+/// the receiver's representation.  Extraction happens in place — the
+/// sender's payloads are borrowed from `data` and copied at most once,
+/// directly into their converted destination.
+pub(crate) fn execute_convert(
+    plan: &ConvertPlan,
+    data: &[u8],
+    target: &Arc<FormatDescriptor>,
+) -> Result<RawRecord, PbioError> {
+    check_record_size(data, plan.src_record_size)?;
+
+    // Pass 1: locate and validate every sender payload (borrowed).
+    let mut vars: Vec<Option<VarSlice<'_>>> = Vec::with_capacity(plan.src_slots.len());
+    for slot in &plan.src_slots {
+        vars.push(locate_payload(data, slot, plan.src_order)?);
+    }
+
+    // Pass 2: fixed image.
+    let mut fixed = vec![0u8; plan.dst_record_size];
+    for op in &plan.ops {
+        match *op {
+            FixedOp::Copy { src, dst, len } => {
+                let (src, dst, len) = (src as usize, dst as usize, len as usize);
+                fixed[dst..dst + len].copy_from_slice(&data[src..src + len]);
+            }
+            FixedOp::Swap { src, dst, width, count } => {
+                let (src, dst, w) = (src as usize, dst as usize, width as usize);
+                let n = count as usize * w;
+                swap_elems(&data[src..src + n], &mut fixed[dst..dst + n], w);
+            }
+            FixedOp::Int { src, dst, src_w, dst_w, signed, count } => {
+                let (src, dst) = (src as usize, dst as usize);
+                let (sw, dw) = (src_w as usize, dst_w as usize);
+                for i in 0..count as usize {
+                    let s = &data[src + i * sw..src + (i + 1) * sw];
+                    let v = if signed {
+                        read_int(s, plan.src_order) as u64
+                    } else {
+                        read_uint(s, plan.src_order)
+                    };
+                    write_uint(&mut fixed[dst + i * dw..dst + (i + 1) * dw], plan.dst_order, v);
+                }
+            }
+            FixedOp::Float { src, dst, src_w, dst_w, count } => {
+                let (src, dst) = (src as usize, dst as usize);
+                let (sw, dw) = (src_w as usize, dst_w as usize);
+                for i in 0..count as usize {
+                    let v = read_float(&data[src + i * sw..src + (i + 1) * sw], plan.src_order);
+                    write_float(&mut fixed[dst + i * dw..dst + (i + 1) * dw], plan.dst_order, v);
+                }
+            }
+        }
+    }
+
+    // Pass 3: var-length payloads, borrowed source → converted destination.
+    let mut varlen = BTreeMap::new();
+    for vo in &plan.var_ops {
+        match (vo.conv, vars[vo.src_idx]) {
+            (_, None) => {}
+            (VarConv::Move, Some(VarSlice::Str(s))) => {
+                varlen.insert(vo.dst_off, VarData::Str(s.to_string()));
+            }
+            (VarConv::Move, Some(VarSlice::Bytes(b))) => {
+                varlen.insert(vo.dst_off, VarData::Bytes(b.to_vec()));
+            }
+            (VarConv::Elem { conv, src_w, dst_w }, Some(VarSlice::Bytes(b))) => {
+                let count = b.len() / src_w;
+                let mut out = vec![0u8; count * dst_w];
+                convert_elems(conv, b, src_w, plan.src_order, &mut out, dst_w, plan.dst_order);
+                varlen.insert(vo.dst_off, VarData::Bytes(out));
+            }
+            (VarConv::Elem { .. }, Some(VarSlice::Str(_))) => {
+                unreachable!("element conversion only compiles for array slots")
+            }
+        }
+    }
+
+    // Pass 4: length fields agree with the payloads actually present.
+    for lf in &plan.len_fixes {
+        let count = match varlen.get(&lf.arr_off) {
+            Some(VarData::Bytes(b)) => b.len() / lf.elem_size,
+            _ => 0,
+        };
+        write_uint(&mut fixed[lf.len_off..lf.len_off + lf.len_size], plan.dst_order, count as u64);
+    }
+
+    Ok(RawRecord::from_parts(target.clone(), fixed, varlen))
+}
+
+// ---------------------------------------------------------------------------
+// Encoder: plan + buffer reuse for hot send paths.
+// ---------------------------------------------------------------------------
+
+/// A reusable encode handle: caches compiled [`EncodePlan`]s per descriptor
+/// (by pointer identity) and reuses its output and scratch buffers, so a
+/// steady-state sender does no per-message allocation beyond buffer growth.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    plans: Vec<(Arc<FormatDescriptor>, Arc<EncodePlan>)>,
+    placements: Vec<(usize, usize)>,
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// A fresh encoder with no cached plans.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    fn plan_for(&mut self, desc: &Arc<FormatDescriptor>) -> Result<Arc<EncodePlan>, PbioError> {
+        // Senders use a handful of formats; a pointer-identity scan beats
+        // hashing the descriptor.
+        if let Some((_, plan)) = self.plans.iter().find(|(d, _)| Arc::ptr_eq(d, desc)) {
+            return Ok(plan.clone());
+        }
+        let plan = Arc::new(EncodePlan::compile(desc)?);
+        self.plans.push((desc.clone(), plan.clone()));
+        Ok(plan)
+    }
+
+    /// Encode into the encoder's internal buffer and borrow the result.
+    pub fn encode(&mut self, rec: &RawRecord) -> Result<&[u8], PbioError> {
+        let plan = self.plan_for(rec.format())?;
+        self.buf.clear();
+        execute_encode(&plan, rec, &mut self.buf, &mut self.placements)?;
+        Ok(&self.buf)
+    }
+
+    /// Encode appending to a caller buffer; returns the bytes written.
+    pub fn encode_into(&mut self, rec: &RawRecord, out: &mut Vec<u8>) -> Result<usize, PbioError> {
+        let plan = self.plan_for(rec.format())?;
+        execute_encode(&plan, rec, out, &mut self.placements)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::IOField;
+    use crate::format::FormatSpec;
+    use crate::machine::MachineModel;
+    use crate::marshal::{encode, encode_into_interpreted, HEADER_SIZE};
+    use crate::registry::FormatRegistry;
+
+    fn mixed_fmt(reg: &FormatRegistry) -> Arc<FormatDescriptor> {
+        reg.register(FormatSpec::new(
+            "Mixed",
+            vec![
+                IOField::auto("id", "integer", 4),
+                IOField::auto("x", "float", 8),
+                IOField::auto("who", "string", 0),
+                IOField::auto("n", "integer", 4),
+                IOField::auto("vals", "float[n]", 8),
+                IOField::auto("grid", "integer[4]", 2),
+            ],
+        ))
+        .unwrap()
+    }
+
+    fn mixed_rec(fmt: Arc<FormatDescriptor>) -> RawRecord {
+        let mut rec = RawRecord::new(fmt);
+        rec.set_i64("id", -7).unwrap();
+        rec.set_f64("x", 6.5).unwrap();
+        rec.set_string("who", "vis5d").unwrap();
+        rec.set_f64_array("vals", &[1.0, -2.5]).unwrap();
+        for i in 0..4 {
+            rec.set_elem_i64("grid", i, i as i64 - 2).unwrap();
+        }
+        rec
+    }
+
+    #[test]
+    fn compiled_encode_matches_interpreted() {
+        for machine in [MachineModel::SPARC32, MachineModel::X86_64] {
+            let reg = FormatRegistry::new(machine);
+            let rec = mixed_rec(mixed_fmt(&reg));
+            let mut interp = Vec::new();
+            encode_into_interpreted(&rec, &mut interp).unwrap();
+            let plan = EncodePlan::compile(rec.format()).unwrap();
+            let mut compiled = Vec::new();
+            execute_encode(&plan, &rec, &mut compiled, &mut Vec::new()).unwrap();
+            assert_eq!(compiled, interp);
+        }
+    }
+
+    #[test]
+    fn compiled_extract_matches_interpreted() {
+        let reg = FormatRegistry::new(MachineModel::SPARC32);
+        let rec = mixed_rec(mixed_fmt(&reg));
+        let wire = encode(&rec).unwrap();
+        let data = &wire[HEADER_SIZE..];
+        let plan = EncodePlan::compile(rec.format()).unwrap();
+        let (fixed, varlen) = execute_extract(&plan, data).unwrap();
+        let (ifixed, ivarlen) = crate::convert::extract(data, rec.format()).unwrap();
+        assert_eq!(fixed, ifixed);
+        assert_eq!(varlen, ivarlen);
+    }
+
+    #[test]
+    fn borrowed_extract_sees_payloads_without_copying() {
+        let reg = FormatRegistry::new(MachineModel::native());
+        let rec = mixed_rec(mixed_fmt(&reg));
+        let wire = encode(&rec).unwrap();
+        let data = &wire[HEADER_SIZE..];
+        let plan = EncodePlan::compile(rec.format()).unwrap();
+        let view = plan.extract_borrowed(data).unwrap();
+        assert_eq!(view.fixed.len(), rec.format().record_size);
+        // Two present payloads: the string and the dynamic array.
+        assert_eq!(view.vars.len(), 2);
+        assert!(view.vars.iter().any(|(_, v)| matches!(v, VarSlice::Str(s) if *s == "vis5d")));
+        assert!(view.vars.iter().any(|(_, v)| matches!(v, VarSlice::Bytes(b) if b.len() == 16)));
+        // Borrowed data points into the wire buffer.
+        let wire_range = wire.as_ptr() as usize..wire.as_ptr() as usize + wire.len();
+        for (_, v) in &view.vars {
+            let p = match v {
+                VarSlice::Str(s) => s.as_ptr() as usize,
+                VarSlice::Bytes(b) => b.as_ptr() as usize,
+            };
+            assert!(wire_range.contains(&p));
+        }
+    }
+
+    #[test]
+    fn convert_plan_matches_interpreted_cross_machine() {
+        let sender = FormatRegistry::new(MachineModel::SPARC32);
+        let receiver = FormatRegistry::new(MachineModel::X86_64);
+        let spec = |long: usize| {
+            FormatSpec::new(
+                "M",
+                vec![
+                    IOField::auto("a", "integer", 4),
+                    IOField::auto("big", "unsigned integer", long),
+                    IOField::auto("s", "string", 0),
+                    IOField::auto("n", "integer", 4),
+                    IOField::auto("xs", "float[n]", 4),
+                    IOField::auto("grid", "integer[3]", 4),
+                ],
+            )
+        };
+        let sfmt = sender.register(spec(4)).unwrap();
+        let tfmt = receiver.register(spec(8)).unwrap();
+        let mut rec = RawRecord::new(sfmt.clone());
+        rec.set_i64("a", -9).unwrap();
+        rec.set_u64("big", 0xDEAD_BEEF).unwrap();
+        rec.set_string("s", "plan").unwrap();
+        rec.set_f64_array("xs", &[0.5, 1.5, 2.5]).unwrap();
+        for i in 0..3 {
+            rec.set_elem_i64("grid", i, -(i as i64)).unwrap();
+        }
+        let wire = encode(&rec).unwrap();
+        let data = &wire[HEADER_SIZE..];
+        let plan = ConvertPlan::compile(&sfmt, &tfmt).unwrap();
+        let compiled = execute_convert(&plan, data, &tfmt).unwrap();
+        let (fixed, varlen) = crate::convert::extract(data, &sfmt).unwrap();
+        let interp = crate::convert::convert_record(&fixed, &varlen, &sfmt, &tfmt).unwrap();
+        assert_eq!(compiled, interp);
+        assert_eq!(compiled.get_u64("big").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(compiled.get_f64_array("xs").unwrap(), vec![0.5, 1.5, 2.5]);
+    }
+
+    #[test]
+    fn type_mismatch_detected_at_compile_time() {
+        let reg = FormatRegistry::new(MachineModel::native());
+        let as_int =
+            reg.register(FormatSpec::new("T", vec![IOField::auto("x", "integer", 4)])).unwrap();
+        let as_str = Arc::new(
+            FormatDescriptor::resolve(
+                &FormatSpec::new("T", vec![IOField::auto("x", "string", 0)]),
+                MachineModel::native(),
+                &|_| None,
+            )
+            .unwrap(),
+        );
+        assert!(matches!(
+            ConvertPlan::compile(&as_int, &as_str),
+            Err(PbioError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn adjacent_same_kind_fields_coalesce() {
+        // Four consecutive BE u32s converted to LE coalesce into one Swap
+        // op of count 4; identical machines coalesce into a single Copy.
+        let be = FormatRegistry::new(MachineModel::SPARC32);
+        let le = FormatRegistry::new(MachineModel::X86_64);
+        let spec = FormatSpec::new(
+            "Run",
+            vec![
+                IOField::auto("a", "integer", 4),
+                IOField::auto("b", "integer", 4),
+                IOField::auto("c", "integer", 4),
+                IOField::auto("d", "integer", 4),
+            ],
+        );
+        let bfmt = be.register(spec.clone()).unwrap();
+        let lfmt = le.register(spec.clone()).unwrap();
+        let cross = ConvertPlan::compile(&bfmt, &lfmt).unwrap();
+        assert_eq!(cross.ops.len(), 1);
+        assert!(matches!(cross.ops[0], FixedOp::Swap { count: 4, width: 4, .. }));
+        let same = ConvertPlan::compile(&bfmt, &bfmt).unwrap();
+        assert_eq!(same.ops.len(), 1);
+        assert!(matches!(same.ops[0], FixedOp::Copy { len: 16, .. }));
+    }
+
+    #[test]
+    fn encoder_reuses_buffer_and_plans() {
+        let reg = FormatRegistry::new(MachineModel::native());
+        let fmt = mixed_fmt(&reg);
+        let mut enc = Encoder::new();
+        let rec = mixed_rec(fmt.clone());
+        let reference = encode(&rec).unwrap();
+        for _ in 0..3 {
+            let wire = enc.encode(&rec).unwrap();
+            assert_eq!(wire, &reference[..]);
+        }
+        assert_eq!(enc.plans.len(), 1, "one plan per distinct descriptor");
+        let mut out = Vec::new();
+        let n = enc.encode_into(&rec, &mut out).unwrap();
+        assert_eq!(n, reference.len());
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn corrupt_pointer_rejected_with_same_error_text() {
+        let reg = FormatRegistry::new(MachineModel::native());
+        let fmt =
+            reg.register(FormatSpec::new("S", vec![IOField::auto("s", "string", 0)])).unwrap();
+        let mut rec = RawRecord::new(fmt.clone());
+        rec.set_string("s", "ok").unwrap();
+        let mut wire = encode(&rec).unwrap();
+        for b in &mut wire[HEADER_SIZE..HEADER_SIZE + 4] {
+            *b = 0xff;
+        }
+        let data = &wire[HEADER_SIZE..];
+        let plan = EncodePlan::compile(&fmt).unwrap();
+        let compiled_err = execute_extract(&plan, data).unwrap_err();
+        let interp_err = crate::convert::extract(data, &fmt).unwrap_err();
+        assert_eq!(format!("{compiled_err}"), format!("{interp_err}"));
+    }
+}

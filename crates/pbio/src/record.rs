@@ -144,13 +144,9 @@ impl RawRecord {
 
     /// Resolve `path` or produce a [`PbioError::NoSuchField`].
     fn resolve(&self, path: &str) -> Result<(usize, &FieldLayout), PbioError> {
-        self.format
-            .field_path(path)
-            .map(|(off, f, _)| (off, f))
-            .ok_or_else(|| PbioError::NoSuchField {
-                format: self.format.name.clone(),
-                field: path.to_string(),
-            })
+        self.format.field_path(path).map(|(off, f, _)| (off, f)).ok_or_else(|| {
+            PbioError::NoSuchField { format: self.format.name.clone(), field: path.to_string() }
+        })
     }
 
     fn type_mismatch(&self, path: &str, expected: &str, f: &FieldLayout) -> PbioError {
@@ -297,8 +293,7 @@ impl RawRecord {
     pub fn set_f64_array(&mut self, path: &str, values: &[f64]) -> Result<(), PbioError> {
         let order = self.order();
         let (off, f) = self.resolve(path)?;
-        let FieldKind::DynamicArray { elem: BaseType::Float, elem_size, ref length_field } =
-            f.kind
+        let FieldKind::DynamicArray { elem: BaseType::Float, elem_size, ref length_field } = f.kind
         else {
             return Err(self.type_mismatch(path, "a dynamic float array", f));
         };
@@ -319,10 +314,9 @@ impl RawRecord {
         };
         Ok(match self.varlen.get(&off) {
             None => Vec::new(),
-            Some(VarData::Bytes(b)) => b
-                .chunks_exact(elem_size)
-                .map(|c| read_float(c, self.order()))
-                .collect(),
+            Some(VarData::Bytes(b)) => {
+                b.chunks_exact(elem_size).map(|c| read_float(c, self.order())).collect()
+            }
             Some(VarData::Str(_)) => unreachable!("array slots only ever hold VarData::Bytes"),
         })
     }
@@ -357,10 +351,9 @@ impl RawRecord {
         }
         Ok(match self.varlen.get(&off) {
             None => Vec::new(),
-            Some(VarData::Bytes(b)) => b
-                .chunks_exact(elem_size)
-                .map(|c| read_int(c, self.order()))
-                .collect(),
+            Some(VarData::Bytes(b)) => {
+                b.chunks_exact(elem_size).map(|c| read_int(c, self.order())).collect()
+            }
             Some(VarData::Str(_)) => unreachable!("array slots only ever hold VarData::Bytes"),
         })
     }

@@ -7,6 +7,7 @@
 //! [`FormatDescriptor`]s addressable by name or by [`FormatId`].
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -14,12 +15,19 @@ use parking_lot::RwLock;
 use crate::error::PbioError;
 use crate::format::{FormatDescriptor, FormatId, FormatSpec};
 use crate::machine::MachineModel;
+use crate::plan::{ConvertPlan, EncodePlan};
 
 /// A registry of formats resolved for one machine model.
 #[derive(Debug)]
 pub struct FormatRegistry {
     machine: MachineModel,
     inner: RwLock<Inner>,
+    /// Compiled marshal/convert plans, keyed by format id (pairs of ids
+    /// for conversion).  Read-mostly: steady-state messaging only takes
+    /// the read lock.
+    plans: RwLock<PlanCache>,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -28,13 +36,71 @@ struct Inner {
     /// formats evolve; ids keep every version addressable).
     by_name: HashMap<String, Arc<FormatDescriptor>>,
     /// Every version ever registered, by content id.
-    by_id: HashMap<FormatId, Arc<FormatDescriptor>>,
+    by_id: HashMap<FormatId, Arc<FormatDescriptor>, IdHashState>,
+}
+
+#[derive(Debug, Default)]
+struct PlanCache {
+    encode: HashMap<FormatId, Arc<EncodePlan>, IdHashState>,
+    convert: HashMap<(FormatId, FormatId), Arc<ConvertPlan>, IdHashState>,
+}
+
+/// [`FormatId`]s are already FNV-1a hashes of descriptor content, so
+/// running them through SipHash again only adds latency to the cache
+/// lookups every decoded message performs.  This hasher passes the id
+/// bits straight through, folding pair keys with a rotate-xor so both
+/// halves of a (sender, receiver) key contribute to the bucket index.
+#[derive(Debug, Default, Clone, Copy)]
+struct IdHashState;
+
+impl std::hash::BuildHasher for IdHashState {
+    type Hasher = IdHasher;
+
+    fn build_hasher(&self) -> IdHasher {
+        IdHasher(0)
+    }
+}
+
+#[derive(Debug, Default)]
+struct IdHasher(u64);
+
+impl std::hash::Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Id keys hash via `write_u64`; keep a correct (FNV-1a) fallback
+        // in case a future key type routes through here.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        self.0 = self.0.rotate_left(32) ^ x;
+    }
+}
+
+/// Cumulative plan-cache counters, for ablation reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to compile a plan.
+    pub misses: u64,
 }
 
 impl FormatRegistry {
     /// A registry whose layouts follow `machine`.
     pub fn new(machine: MachineModel) -> Self {
-        FormatRegistry { machine, inner: RwLock::new(Inner::default()) }
+        FormatRegistry {
+            machine,
+            inner: RwLock::new(Inner::default()),
+            plans: RwLock::new(PlanCache::default()),
+            plan_hits: AtomicU64::new(0),
+            plan_misses: AtomicU64::new(0),
+        }
     }
 
     /// The machine model formats are laid out for.
@@ -66,25 +132,47 @@ impl FormatRegistry {
 
     fn insert(&self, descriptor: FormatDescriptor, bind_name: bool) -> Arc<FormatDescriptor> {
         let id = descriptor.id();
-        let mut inner = self.inner.write();
-        if let Some(existing) = inner.by_id.get(&id) {
-            if **existing == descriptor {
-                let existing = existing.clone();
-                if bind_name {
-                    inner.by_name.insert(descriptor.name.clone(), existing.clone());
+        // Read-lock fast path: re-registering known content is the common
+        // case (every sender re-announces its formats), and it should not
+        // serialize against concurrent lookups.
+        {
+            let inner = self.inner.read();
+            if let Some(existing) = inner.by_id.get(&id) {
+                if **existing == descriptor {
+                    let existing = existing.clone();
+                    let name_current = !bind_name
+                        || inner
+                            .by_name
+                            .get(&existing.name)
+                            .is_some_and(|bound| Arc::ptr_eq(bound, &existing));
+                    drop(inner);
+                    if !name_current {
+                        self.inner.write().by_name.insert(existing.name.clone(), existing.clone());
+                    }
+                    return existing;
                 }
-                return existing;
+                // A 64-bit content hash collision between *different*
+                // descriptors: astronomically unlikely; fall through and
+                // let the newer content win rather than corrupt lookups
+                // silently.
             }
-            // A 64-bit content hash collision between *different*
-            // descriptors: astronomically unlikely; fall through and let
-            // the newer content win rather than corrupt lookups silently.
         }
+        // Allocate outside the write lock; re-check under it (another
+        // thread may have inserted the same content meanwhile) so racing
+        // registrations share one Arc.
         let arc = Arc::new(descriptor);
-        inner.by_id.insert(id, arc.clone());
+        let mut inner = self.inner.write();
+        let entry = match inner.by_id.get(&id) {
+            Some(existing) if **existing == *arc => existing.clone(),
+            _ => {
+                inner.by_id.insert(id, arc.clone());
+                arc
+            }
+        };
         if bind_name {
-            inner.by_name.insert(arc.name.clone(), arc.clone());
+            inner.by_name.insert(entry.name.clone(), entry.clone());
         }
-        arc
+        entry
     }
 
     /// Latest format registered under `name`.
@@ -112,6 +200,60 @@ impl FormatRegistry {
         let mut v: Vec<String> = self.inner.read().by_name.keys().cloned().collect();
         v.sort();
         v
+    }
+
+    /// The compiled encode/extract plan for `desc`, cached by content id.
+    pub fn encode_plan(&self, desc: &Arc<FormatDescriptor>) -> Result<Arc<EncodePlan>, PbioError> {
+        self.encode_plan_keyed(desc, desc.id())
+    }
+
+    /// Like [`Self::encode_plan`] with the id already known (decoders read
+    /// it from the wire header for free).
+    pub(crate) fn encode_plan_keyed(
+        &self,
+        desc: &Arc<FormatDescriptor>,
+        id: FormatId,
+    ) -> Result<Arc<EncodePlan>, PbioError> {
+        if let Some(plan) = self.plans.read().encode.get(&id) {
+            self.plan_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(plan.clone());
+        }
+        self.plan_misses.fetch_add(1, Ordering::Relaxed);
+        // Compile outside the write lock; double-checked insert keeps one
+        // shared plan if another thread raced us here.
+        let plan = Arc::new(EncodePlan::compile(desc)?);
+        Ok(self.plans.write().encode.entry(id).or_insert(plan).clone())
+    }
+
+    /// The compiled conversion plan for a (sender, receiver) pair, cached
+    /// by the pair of content ids.
+    pub fn convert_plan(
+        &self,
+        sender: &Arc<FormatDescriptor>,
+        target: &Arc<FormatDescriptor>,
+    ) -> Result<Arc<ConvertPlan>, PbioError> {
+        let key = (sender.id(), target.id());
+        if let Some(plan) = self.plans.read().convert.get(&key) {
+            self.plan_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(plan.clone());
+        }
+        self.plan_misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(ConvertPlan::compile(sender, target)?);
+        Ok(self.plans.write().convert.entry(key).or_insert(plan).clone())
+    }
+
+    /// Cumulative plan-cache hit/miss counters.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.plan_hits.load(Ordering::Relaxed),
+            misses: self.plan_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero the plan-cache counters (the cache itself is kept).
+    pub fn reset_plan_cache_stats(&self) {
+        self.plan_hits.store(0, Ordering::Relaxed);
+        self.plan_misses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -174,9 +316,8 @@ mod tests {
             .unwrap();
         assert_eq!(d.record_size, 32);
         // Nesting an unknown name fails.
-        let err = r
-            .register(FormatSpec::new("Bad", vec![IOField::auto("q", "Mystery", 0)]))
-            .unwrap_err();
+        let err =
+            r.register(FormatSpec::new("Bad", vec![IOField::auto("q", "Mystery", 0)])).unwrap_err();
         assert!(matches!(err, PbioError::UnknownFormat(_)));
     }
 
@@ -207,11 +348,8 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for i in 0..50 {
                     let name = format!("F{}", (t + i) % 20);
-                    r.register(FormatSpec::new(
-                        name,
-                        vec![IOField::auto("x", "integer", 4)],
-                    ))
-                    .unwrap();
+                    r.register(FormatSpec::new(name, vec![IOField::auto("x", "integer", 4)]))
+                        .unwrap();
                 }
             }));
         }

@@ -173,8 +173,9 @@ mod tests {
         }
         .is_varlen());
         assert!(!FieldKind::Scalar(BaseType::Integer).is_varlen());
-        assert!(!FieldKind::StaticArray { elem: BaseType::Char, elem_size: 1, count: 4 }
-            .is_varlen());
+        assert!(
+            !FieldKind::StaticArray { elem: BaseType::Char, elem_size: 1, count: 4 }.is_varlen()
+        );
     }
 
     #[test]

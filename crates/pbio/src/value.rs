@@ -99,9 +99,7 @@ fn read_record(
                 Value::FloatArray(rec.get_f64_array(&path)?)
             }
             FieldKind::DynamicArray { .. } => Value::IntArray(rec.get_i64_array(&path)?),
-            FieldKind::Nested(sub) => {
-                Value::Record(read_record(rec, sub, &format!("{path}."))?)
-            }
+            FieldKind::Nested(sub) => Value::Record(read_record(rec, sub, &format!("{path}."))?),
         };
         fields.push((f.name.clone(), v));
     }
@@ -130,9 +128,7 @@ fn fill_record(
         };
         match (&f.kind, v) {
             (FieldKind::Scalar(BaseType::Float), Value::Float(x)) => rec.set_f64(&path, *x)?,
-            (FieldKind::Scalar(BaseType::Float), Value::Int(x)) => {
-                rec.set_f64(&path, *x as f64)?
-            }
+            (FieldKind::Scalar(BaseType::Float), Value::Int(x)) => rec.set_f64(&path, *x as f64)?,
             (FieldKind::Scalar(BaseType::Boolean), Value::Bool(b)) => rec.set_bool(&path, *b)?,
             (FieldKind::Scalar(BaseType::Float | BaseType::Boolean), _) => {
                 return Err(err(f.kind.describe().as_str()))
@@ -146,7 +142,10 @@ fn fill_record(
             (FieldKind::StaticArray { elem: BaseType::Char, .. }, Value::Str(s)) => {
                 rec.set_char_array(&path, s)?
             }
-            (FieldKind::StaticArray { elem: BaseType::Float, count, .. }, Value::FloatArray(xs)) => {
+            (
+                FieldKind::StaticArray { elem: BaseType::Float, count, .. },
+                Value::FloatArray(xs),
+            ) => {
                 if xs.len() != *count {
                     return Err(err(&format!("exactly {count} floats")));
                 }
@@ -296,10 +295,7 @@ mod tests {
     #[test]
     fn non_record_top_level_rejected() {
         let (_reg, fmt) = setup();
-        assert!(matches!(
-            Value::Int(1).into_record(fmt),
-            Err(PbioError::ValueMismatch(_))
-        ));
+        assert!(matches!(Value::Int(1).into_record(fmt), Err(PbioError::ValueMismatch(_))));
     }
 
     #[test]

@@ -52,7 +52,10 @@ fn data() -> impl Strategy<Value = Data> {
         .prop_map(|(ints, floats, strings, arrays)| Data { ints, floats, strings, arrays })
 }
 
-fn build_formats(shape: &Shape, machine: MachineModel) -> (FormatRegistry, std::sync::Arc<openmeta_pbio::FormatDescriptor>) {
+fn build_formats(
+    shape: &Shape,
+    machine: MachineModel,
+) -> (FormatRegistry, std::sync::Arc<openmeta_pbio::FormatDescriptor>) {
     let reg = FormatRegistry::new(machine);
     let mut inner_fields = Vec::new();
     for (i, f) in shape.inner.iter().enumerate() {
@@ -131,12 +134,8 @@ fn check(got: &RawRecord, want: &RawRecord, shape: &Shape) {
     }
 }
 
-const MACHINES: [MachineModel; 4] = [
-    MachineModel::SPARC32,
-    MachineModel::SPARC64,
-    MachineModel::X86,
-    MachineModel::X86_64,
-];
+const MACHINES: [MachineModel; 4] =
+    [MachineModel::SPARC32, MachineModel::SPARC64, MachineModel::X86, MachineModel::X86_64];
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]

@@ -14,19 +14,19 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use openmeta_pbio::prelude::*;
 use openmeta_pbio::layout::align_up;
+use openmeta_pbio::prelude::*;
 
 /// A generated field: name is assigned by position.
 #[derive(Debug, Clone)]
 enum GenField {
-    Int(usize),       // size
-    Uint(usize),      // size
-    Float(usize),     // 4 or 8
+    Int(usize),   // size
+    Uint(usize),  // size
+    Float(usize), // 4 or 8
     Bool,
     Str,
     CharArray(usize),
-    FloatDyn(usize),  // elem size; brings its own length field
+    FloatDyn(usize),          // elem size; brings its own length field
     StaticInts(usize, usize), // elem size, count
 }
 
@@ -57,9 +57,7 @@ fn spec_from(fields: &[GenField], name: &str) -> FormatSpec {
     for (i, f) in fields.iter().enumerate() {
         match f {
             GenField::Int(s) => io.push(IOField::auto(format!("f{i}"), "integer", *s)),
-            GenField::Uint(s) => {
-                io.push(IOField::auto(format!("f{i}"), "unsigned integer", *s))
-            }
+            GenField::Uint(s) => io.push(IOField::auto(format!("f{i}"), "unsigned integer", *s)),
             GenField::Float(s) => io.push(IOField::auto(format!("f{i}"), "float", *s)),
             GenField::Bool => io.push(IOField::auto(format!("f{i}"), "boolean", 4)),
             GenField::Str => io.push(IOField::auto(format!("f{i}"), "string", 0)),
@@ -179,12 +177,8 @@ fn check(got: &RawRecord, want: &RawRecord, fields: &[GenField], chararray_cap: 
     }
 }
 
-const MACHINES: [MachineModel; 4] = [
-    MachineModel::SPARC32,
-    MachineModel::SPARC64,
-    MachineModel::X86,
-    MachineModel::X86_64,
-];
+const MACHINES: [MachineModel; 4] =
+    [MachineModel::SPARC32, MachineModel::SPARC64, MachineModel::X86, MachineModel::X86_64];
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -286,12 +280,7 @@ proptest! {
 /// still match (conversion composes).
 #[test]
 fn conversion_composes() {
-    let fields = vec![
-        GenField::Int(4),
-        GenField::Str,
-        GenField::FloatDyn(8),
-        GenField::Uint(8),
-    ];
+    let fields = vec![GenField::Int(4), GenField::Str, GenField::FloatDyn(8), GenField::Uint(8)];
     let v = GenValue {
         ints: vec![-5, 0, 0, 7],
         floats: vec![0.0; 4],

@@ -8,9 +8,7 @@
 use openmeta_xml::{Document, NodeId, Position, XMLNS_NS};
 
 use crate::error::SchemaError;
-use crate::model::{
-    ComplexType, DimensionPlacement, ElementDecl, Occurs, SchemaDocument, TypeRef,
-};
+use crate::model::{ComplexType, DimensionPlacement, ElementDecl, Occurs, SchemaDocument, TypeRef};
 use crate::xsd::{XsdCategory, XsdPrimitive, XSD_NAMESPACES};
 
 /// Parse schema metadata from XML text.
@@ -77,12 +75,9 @@ fn parse_enum(doc: &Document, st: NodeId) -> Result<crate::model::EnumType, Sche
         .attribute(st, "name")
         .ok_or_else(|| SchemaError::invalid("simpleType lacks a name attribute", at))?
         .to_string();
-    let restriction = doc
-        .children_named(st, "restriction")
-        .next()
-        .ok_or_else(|| {
-            SchemaError::invalid(format!("simpleType '{name}' has no restriction"), at)
-        })?;
+    let restriction = doc.children_named(st, "restriction").next().ok_or_else(|| {
+        SchemaError::invalid(format!("simpleType '{name}' has no restriction"), at)
+    })?;
     let mut values = Vec::new();
     for facet in doc.children_named(restriction, "enumeration") {
         let v = doc.attribute(facet, "value").ok_or_else(|| {
@@ -269,14 +264,14 @@ fn resolve_type_ref(
         }
     };
     match ns {
-        Some(uri) if XSD_NAMESPACES.contains(&uri.as_str()) => XsdPrimitive::from_local(local)
-            .map(TypeRef::Primitive)
-            .ok_or_else(|| {
+        Some(uri) if XSD_NAMESPACES.contains(&uri.as_str()) => {
+            XsdPrimitive::from_local(local).map(TypeRef::Primitive).ok_or_else(|| {
                 SchemaError::invalid(
                     format!("'xsd:{local}' is not a supported XML Schema datatype"),
                     at,
                 )
-            }),
+            })
+        }
         _ => Ok(TypeRef::Named(local.to_string())),
     }
 }
@@ -286,8 +281,8 @@ fn lookup_prefix(doc: &Document, from: NodeId, prefix: &str) -> Option<String> {
     let mut cur = Some(from);
     while let Some(n) = cur {
         for attr in doc.attributes(n) {
-            let is_decl = attr.name.namespace.as_deref() == Some(XMLNS_NS)
-                || attr.name.prefix == "xmlns";
+            let is_decl =
+                attr.name.namespace.as_deref() == Some(XMLNS_NS) || attr.name.prefix == "xmlns";
             if is_decl && attr.name.local == prefix {
                 return Some(attr.value.clone());
             }
@@ -322,10 +317,7 @@ fn validate_dimensions(
         };
         if !ok {
             return Err(SchemaError::invalid(
-                format!(
-                    "element '{}': dimension '{dim}' must be a scalar integer element",
-                    e.name
-                ),
+                format!("element '{}': dimension '{dim}' must be a scalar integer element", e.name),
                 at,
             ));
         }
@@ -473,16 +465,19 @@ mod tests {
 
     #[test]
     fn missing_name_rejected() {
-        let err = parse_str(&wrap(r#"<xsd:complexType><xsd:element name="x" type="xsd:int"/></xsd:complexType>"#))
-            .unwrap_err();
+        let err = parse_str(&wrap(
+            r#"<xsd:complexType><xsd:element name="x" type="xsd:int"/></xsd:complexType>"#,
+        ))
+        .unwrap_err();
         assert!(err.to_string().contains("lacks a name"));
     }
 
     #[test]
     fn missing_type_rejected() {
-        let err =
-            parse_str(&wrap(r#"<xsd:complexType name="T"><xsd:element name="x"/></xsd:complexType>"#))
-                .unwrap_err();
+        let err = parse_str(&wrap(
+            r#"<xsd:complexType name="T"><xsd:element name="x"/></xsd:complexType>"#,
+        ))
+        .unwrap_err();
         assert!(err.to_string().contains("lacks a type"));
     }
 

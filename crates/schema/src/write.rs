@@ -114,10 +114,7 @@ mod tests {
                 ComplexType::new(
                     "SimpleData",
                     vec![
-                        ElementDecl::scalar(
-                            "timestep",
-                            TypeRef::Primitive(XsdPrimitive::Integer),
-                        ),
+                        ElementDecl::scalar("timestep", TypeRef::Primitive(XsdPrimitive::Integer)),
                         ElementDecl::scalar("size", TypeRef::Primitive(XsdPrimitive::Integer)),
                         ElementDecl::dynamic(
                             "data",

@@ -8,9 +8,8 @@ use openmeta_schema::{
 };
 
 fn ident() -> impl Strategy<Value = String> {
-    "[a-zA-Z_][a-zA-Z0-9_]{0,10}".prop_filter("avoid reserved", |s| {
-        !s.to_ascii_lowercase().starts_with("xml")
-    })
+    "[a-zA-Z_][a-zA-Z0-9_]{0,10}"
+        .prop_filter("avoid reserved", |s| !s.to_ascii_lowercase().starts_with("xml"))
 }
 
 fn primitive() -> impl Strategy<Value = XsdPrimitive> {
@@ -66,10 +65,8 @@ fn complex_type() -> impl Strategy<Value = ComplexType> {
             for (i, (n, p, dim_type)) in dynamics.into_iter().enumerate() {
                 let dim_name = format!("dim_{i}_{n}");
                 if used.insert(n.clone()) && used.insert(dim_name.clone()) {
-                    elements.push(ElementDecl::scalar(
-                        dim_name.clone(),
-                        TypeRef::Primitive(dim_type),
-                    ));
+                    elements
+                        .push(ElementDecl::scalar(dim_name.clone(), TypeRef::Primitive(dim_type)));
                     elements.push(ElementDecl::dynamic(n, TypeRef::Primitive(p), dim_name));
                 }
             }

@@ -29,9 +29,7 @@ fn main() -> ExitCode {
     let result: Result<(), String> = match args.split_first() {
         Some((cmd, rest)) => match (cmd.as_str(), rest) {
             ("validate", [spec]) => openmeta_tools::validate(spec).map(|o| print!("{o}")),
-            ("layout", [spec, ty]) => {
-                openmeta_tools::layout(spec, ty, None).map(|o| print!("{o}"))
-            }
+            ("layout", [spec, ty]) => openmeta_tools::layout(spec, ty, None).map(|o| print!("{o}")),
             ("layout", [spec, ty, machine]) => {
                 openmeta_tools::layout(spec, ty, Some(machine)).map(|o| print!("{o}"))
             }

@@ -85,18 +85,15 @@ pub fn layout(spec: &str, type_name: &str, machine: Option<&str>) -> Result<Stri
     let _ = writeln!(
         out,
         "{} ({} bytes, align {}, format id {}):",
-        type_name, token.format.record_size, token.format.align, token.id()
+        type_name,
+        token.format.record_size,
+        token.format.align,
+        token.id()
     );
     let _ = writeln!(out, "  {:<18} {:>6} {:>5}  kind", "field", "offset", "size");
     for f in &token.format.fields {
-        let _ = writeln!(
-            out,
-            "  {:<18} {:>6} {:>5}  {}",
-            f.name,
-            f.offset,
-            f.size,
-            f.kind.describe()
-        );
+        let _ =
+            writeln!(out, "  {:<18} {:>6} {:>5}  {}", f.name, f.offset, f.size, f.kind.describe());
     }
     Ok(out)
 }
@@ -128,8 +125,8 @@ pub fn codegen(
             Ok(vec![(format!("{type_name}.hpp"), src.into_bytes())])
         }
         "class" => {
-            let bytes = xmit::codegen::jvm::generate_classfile(&ct, package)
-                .map_err(|e| e.to_string())?;
+            let bytes =
+                xmit::codegen::jvm::generate_classfile(&ct, package).map_err(|e| e.to_string())?;
             Ok(vec![(format!("{type_name}.class"), bytes)])
         }
         other => Err(format!("unknown codegen target '{other}' (java|c|cpp|class)")),
@@ -138,14 +135,11 @@ pub fn codegen(
 
 /// `openmeta match <message-file> <url>`
 pub fn match_msg(message_path: &str, spec: &str) -> Result<String, ToolError> {
-    let message = std::fs::read_to_string(message_path)
-        .map_err(|e| format!("read {message_path}: {e}"))?;
+    let message =
+        std::fs::read_to_string(message_path).map_err(|e| format!("read {message_path}: {e}"))?;
     let toolkit = load(spec, MachineModel::native())?;
-    let candidates: Vec<xmit::ComplexType> = toolkit
-        .loaded_types()
-        .into_iter()
-        .filter_map(|n| toolkit.definition(&n))
-        .collect();
+    let candidates: Vec<xmit::ComplexType> =
+        toolkit.loaded_types().into_iter().filter_map(|n| toolkit.definition(&n)).collect();
     let reports = xmit::match_message(&message, &candidates).map_err(|e| e.to_string())?;
     let mut out = String::new();
     let _ = writeln!(out, "candidates for {message_path}, best first:");
@@ -276,8 +270,8 @@ mod tests {
     const XSD: &str = "http://www.w3.org/2001/XMLSchema";
 
     fn fixture_dir(test: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir()
-            .join(format!("openmeta-tools-{}-{test}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("openmeta-tools-{}-{test}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(
             dir.join("simple.xsd"),
@@ -348,8 +342,8 @@ mod tests {
             "<SimpleData><timestep>4</timestep><size>1</size><data>0.5</data></SimpleData>",
         )
         .unwrap();
-        let out = match_msg(msg.to_str().unwrap(), dir.join("simple.xsd").to_str().unwrap())
-            .unwrap();
+        let out =
+            match_msg(msg.to_str().unwrap(), dir.join("simple.xsd").to_str().unwrap()).unwrap();
         assert!(out.contains("SimpleData"));
         assert!(out.contains("score 1.00"), "{out}");
     }
@@ -359,9 +353,7 @@ mod tests {
         use openmeta_pbio::file::FileWriter;
         let dir = fixture_dir("inspect");
         let toolkit = Xmit::new(MachineModel::native());
-        toolkit
-            .load_url(&to_url(dir.join("simple.xsd").to_str().unwrap()))
-            .unwrap();
+        toolkit.load_url(&to_url(dir.join("simple.xsd").to_str().unwrap())).unwrap();
         let token = toolkit.bind("SimpleData").unwrap();
         let mut w = FileWriter::new(Vec::new()).unwrap();
         let mut rec = token.new_record();

@@ -61,11 +61,7 @@ impl WireFormat for CdrWire {
         Ok(out.len() - start)
     }
 
-    fn decode(
-        &self,
-        bytes: &[u8],
-        format: &Arc<FormatDescriptor>,
-    ) -> Result<RawRecord, WireError> {
+    fn decode(&self, bytes: &[u8], format: &Arc<FormatDescriptor>) -> Result<RawRecord, WireError> {
         let mut cur = Cursor::new(bytes);
         let flag = cur.take(1).map_err(|_| err("empty message"))?[0];
         let order = match flag {
@@ -87,8 +83,7 @@ fn encode_struct(
 ) -> Result<(), WireError> {
     let order = Order::native();
     for f in &desc.fields {
-        let path =
-            if prefix.is_empty() { f.name.clone() } else { format!("{prefix}.{}", f.name) };
+        let path = if prefix.is_empty() { f.name.clone() } else { format!("{prefix}.{}", f.name) };
         match &f.kind {
             FieldKind::Scalar(b) => {
                 pad_to(out, cdr_align(f.size));
@@ -164,8 +159,7 @@ fn decode_struct(
     rec: &mut RawRecord,
 ) -> Result<(), WireError> {
     for f in &desc.fields {
-        let path =
-            if prefix.is_empty() { f.name.clone() } else { format!("{prefix}.{}", f.name) };
+        let path = if prefix.is_empty() { f.name.clone() } else { format!("{prefix}.{}", f.name) };
         let trunc = || err(format!("truncated at field '{path}'"));
         match &f.kind {
             FieldKind::Scalar(b) => {
@@ -307,9 +301,8 @@ mod tests {
     fn reader_makes_right_foreign_order() {
         // Craft a big-endian message by hand and decode on any host.
         let reg = FormatRegistry::new(MachineModel::native());
-        let fmt = reg
-            .register(FormatSpec::new("I", vec![IOField::auto("x", "integer", 4)]))
-            .unwrap();
+        let fmt =
+            reg.register(FormatSpec::new("I", vec![IOField::auto("x", "integer", 4)])).unwrap();
         let msg = [0u8, 0, 0, 0, /* pad to 4 */ 0, 0, 0, 42];
         let back = CdrWire::new().decode(&msg, &fmt).unwrap();
         assert_eq!(back.get_i64("x").unwrap(), 42);

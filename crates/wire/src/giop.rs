@@ -75,11 +75,7 @@ fn err(message: impl Into<String>) -> WireError {
     WireError::new("giop", message)
 }
 
-fn encode_message(
-    mt: MessageType,
-    request_id: u32,
-    rec: &RawRecord,
-) -> Result<Vec<u8>, WireError> {
+fn encode_message(mt: MessageType, request_id: u32, rec: &RawRecord) -> Result<Vec<u8>, WireError> {
     let order = Order::native();
     let operation = format!("deliver_{}", rec.format().name);
     // Build the body first (header carries its length).
@@ -92,7 +88,7 @@ fn encode_message(
     match mt {
         MessageType::Request => {
             body.push(1); // response_expected
-            // CDR aligns the next u32 to 4.
+                          // CDR aligns the next u32 to 4.
             while body.len() % 4 != 0 {
                 body.push(0);
             }
@@ -242,9 +238,7 @@ pub fn read_from(
     }
     let mut frame = header.to_vec();
     frame.resize(12 + body_len, 0);
-    stream
-        .read_exact(&mut frame[12..])
-        .map_err(|e| err(format!("read body: {e}")))?;
+    stream.read_exact(&mut frame[12..]).map_err(|e| err(format!("read body: {e}")))?;
     // Peek the operation to find the target format name.
     let name = peek_format_name(&frame)?;
     let format = registry
@@ -346,9 +340,8 @@ mod tests {
     #[test]
     fn wrong_operation_rejected() {
         let reg = FormatRegistry::new(MachineModel::native());
-        let other = reg
-            .register(FormatSpec::new("Other", vec![IOField::auto("x", "integer", 4)]))
-            .unwrap();
+        let other =
+            reg.register(FormatSpec::new("Other", vec![IOField::auto("x", "integer", 4)])).unwrap();
         let (_, rec) = fixture();
         let wire = encode_request(1, &rec).unwrap();
         assert!(decode_message(&wire, &other).is_err());
@@ -364,15 +357,16 @@ mod tests {
 
         let server = std::thread::spawn(move || {
             let registry = FormatRegistry::new(MachineModel::native());
-            registry.register(FormatSpec::new(
-                "SimpleData",
-                vec![
-                    IOField::auto("timestep", "integer", 4),
-                    IOField::auto("size", "integer", 4),
-                    IOField::auto("data", "float[size]", 4),
-                ],
-            ))
-            .unwrap();
+            registry
+                .register(FormatSpec::new(
+                    "SimpleData",
+                    vec![
+                        IOField::auto("timestep", "integer", 4),
+                        IOField::auto("size", "integer", 4),
+                        IOField::auto("data", "float[size]", 4),
+                    ],
+                ))
+                .unwrap();
             let (mut stream, _) = listener.accept().unwrap();
             let mut seen = Vec::new();
             while let Some(msg) = read_from(&mut stream, &registry).unwrap() {

@@ -22,14 +22,14 @@
 //! benchmarks and differential tests.
 
 pub mod cdr;
-pub mod giop;
 pub mod error;
+pub mod giop;
 pub mod mpipack;
 pub mod pbiowire;
 pub mod soap;
 pub mod traits;
-pub mod xdr;
 pub mod util;
+pub mod xdr;
 pub mod xmlrpc;
 pub mod xmlwire;
 
@@ -37,8 +37,8 @@ pub use cdr::CdrWire;
 pub use error::WireError;
 pub use mpipack::MpiPackWire;
 pub use pbiowire::PbioWire;
-pub use traits::WireFormat;
 pub use soap::SoapWire;
+pub use traits::WireFormat;
 pub use xdr::XdrWire;
 pub use xmlrpc::XmlRpcWire;
 pub use xmlwire::XmlWire;

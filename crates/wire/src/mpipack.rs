@@ -64,11 +64,7 @@ impl WireFormat for MpiPackWire {
         Ok(out.len() - start)
     }
 
-    fn decode(
-        &self,
-        bytes: &[u8],
-        format: &Arc<FormatDescriptor>,
-    ) -> Result<RawRecord, WireError> {
+    fn decode(&self, bytes: &[u8], format: &Arc<FormatDescriptor>) -> Result<RawRecord, WireError> {
         let mut cur = Cursor::new(bytes);
         let mut rec = RawRecord::new(format.clone());
         unpack_struct(&mut cur, format, "", &mut rec)?;
@@ -86,8 +82,7 @@ fn pack_struct(
     out: &mut Vec<u8>,
 ) -> Result<(), WireError> {
     for f in &desc.fields {
-        let path =
-            if prefix.is_empty() { f.name.clone() } else { format!("{prefix}.{}", f.name) };
+        let path = if prefix.is_empty() { f.name.clone() } else { format!("{prefix}.{}", f.name) };
         match &f.kind {
             FieldKind::Scalar(b) => {
                 let raw = match b {
@@ -162,8 +157,7 @@ fn unpack_struct(
 ) -> Result<(), WireError> {
     let order = Order::native();
     for f in &desc.fields {
-        let path =
-            if prefix.is_empty() { f.name.clone() } else { format!("{prefix}.{}", f.name) };
+        let path = if prefix.is_empty() { f.name.clone() } else { format!("{prefix}.{}", f.name) };
         let trunc = || err(format!("truncated at field '{path}'"));
         match &f.kind {
             FieldKind::Scalar(b) => {

@@ -1,8 +1,8 @@
 //! PBIO as a `WireFormat` — the system under test in Figure 8.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use openmeta_pbio::{decode_with, encode_into, FormatDescriptor, FormatRegistry, RawRecord};
+use openmeta_pbio::{decode_with, Encoder, FormatDescriptor, FormatRegistry, RawRecord};
 
 use crate::error::WireError;
 use crate::traits::WireFormat;
@@ -10,12 +10,15 @@ use crate::traits::WireFormat;
 /// Adapter exposing PBIO's marshaler through the comparator interface.
 pub struct PbioWire {
     registry: Arc<FormatRegistry>,
+    /// Cached encode plans (the `WireFormat` trait takes `&self`, so the
+    /// reusable encoder sits behind a mutex).
+    encoder: Mutex<Encoder>,
 }
 
 impl PbioWire {
     /// The registry used to resolve format ids during decode.
     pub fn new(registry: Arc<FormatRegistry>) -> Self {
-        PbioWire { registry }
+        PbioWire { registry, encoder: Mutex::new(Encoder::new()) }
     }
 }
 
@@ -25,14 +28,11 @@ impl WireFormat for PbioWire {
     }
 
     fn encode(&self, rec: &RawRecord, out: &mut Vec<u8>) -> Result<usize, WireError> {
-        Ok(encode_into(rec, out)?)
+        let mut enc = self.encoder.lock().expect("encoder mutex poisoned");
+        Ok(enc.encode_into(rec, out)?)
     }
 
-    fn decode(
-        &self,
-        bytes: &[u8],
-        format: &Arc<FormatDescriptor>,
-    ) -> Result<RawRecord, WireError> {
+    fn decode(&self, bytes: &[u8], format: &Arc<FormatDescriptor>) -> Result<RawRecord, WireError> {
         // The sender's descriptor must be resolvable; register it if the
         // caller's registry has never seen this format id.
         self.registry.register_descriptor((**format).clone());

@@ -66,11 +66,7 @@ impl WireFormat for SoapWire {
         Ok(out.len() - start)
     }
 
-    fn decode(
-        &self,
-        bytes: &[u8],
-        format: &Arc<FormatDescriptor>,
-    ) -> Result<RawRecord, WireError> {
+    fn decode(&self, bytes: &[u8], format: &Arc<FormatDescriptor>) -> Result<RawRecord, WireError> {
         let text = std::str::from_utf8(bytes).map_err(|_| err("message is not UTF-8"))?;
         let doc = openmeta_xml::parse(text).map_err(|e| err(format!("bad XML: {e}")))?;
         let root = doc.root_element().ok_or_else(|| err("no envelope"))?;
@@ -156,8 +152,7 @@ mod tests {
         assert!(wire.decode(b"<SimpleData/>", &fmt).is_err());
         assert!(wire
             .decode(
-                format!("<x:Envelope xmlns:x=\"{SOAP_ENV_NS}\"><x:Other/></x:Envelope>")
-                    .as_bytes(),
+                format!("<x:Envelope xmlns:x=\"{SOAP_ENV_NS}\"><x:Other/></x:Envelope>").as_bytes(),
                 &fmt
             )
             .is_err());

@@ -2,8 +2,8 @@
 
 use std::sync::Arc;
 
-use openmeta_pbio::{FormatDescriptor, RawRecord};
 use openmeta_pbio::layout::FieldLayout;
+use openmeta_pbio::{FormatDescriptor, RawRecord};
 
 use crate::error::WireError;
 
@@ -20,11 +20,7 @@ pub trait WireFormat: Send + Sync {
     fn encode(&self, rec: &RawRecord, out: &mut Vec<u8>) -> Result<usize, WireError>;
 
     /// Unmarshal one record of `format` from `bytes`.
-    fn decode(
-        &self,
-        bytes: &[u8],
-        format: &Arc<FormatDescriptor>,
-    ) -> Result<RawRecord, WireError>;
+    fn decode(&self, bytes: &[u8], format: &Arc<FormatDescriptor>) -> Result<RawRecord, WireError>;
 
     /// Convenience: encode into a fresh buffer.
     fn encode_vec(&self, rec: &RawRecord) -> Result<Vec<u8>, WireError> {
@@ -42,8 +38,7 @@ pub fn visit_fields<'d>(
     visit: &mut impl FnMut(&str, &'d FieldLayout) -> Result<(), WireError>,
 ) -> Result<(), WireError> {
     for f in &desc.fields {
-        let path =
-            if prefix.is_empty() { f.name.clone() } else { format!("{prefix}.{}", f.name) };
+        let path = if prefix.is_empty() { f.name.clone() } else { format!("{prefix}.{}", f.name) };
         if let openmeta_pbio::FieldKind::Nested(sub) = &f.kind {
             visit_fields(sub, &path, visit)?;
         } else {

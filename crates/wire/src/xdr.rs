@@ -50,11 +50,7 @@ impl WireFormat for XdrWire {
         Ok(out.len() - start)
     }
 
-    fn decode(
-        &self,
-        bytes: &[u8],
-        format: &Arc<FormatDescriptor>,
-    ) -> Result<RawRecord, WireError> {
+    fn decode(&self, bytes: &[u8], format: &Arc<FormatDescriptor>) -> Result<RawRecord, WireError> {
         let mut cur = Cursor::new(bytes);
         let mut rec = RawRecord::new(format.clone());
         decode_struct(&mut cur, format, "", &mut rec)?;
@@ -69,8 +65,7 @@ fn encode_struct(
     out: &mut Vec<u8>,
 ) -> Result<(), WireError> {
     for f in &desc.fields {
-        let path =
-            if prefix.is_empty() { f.name.clone() } else { format!("{prefix}.{}", f.name) };
+        let path = if prefix.is_empty() { f.name.clone() } else { format!("{prefix}.{}", f.name) };
         match &f.kind {
             FieldKind::Scalar(b) => {
                 let width = xdr_width(f.size);
@@ -160,8 +155,7 @@ fn decode_struct(
     rec: &mut RawRecord,
 ) -> Result<(), WireError> {
     for f in &desc.fields {
-        let path =
-            if prefix.is_empty() { f.name.clone() } else { format!("{prefix}.{}", f.name) };
+        let path = if prefix.is_empty() { f.name.clone() } else { format!("{prefix}.{}", f.name) };
         let trunc = || err(format!("truncated at field '{path}'"));
         match &f.kind {
             FieldKind::Scalar(b) => {
@@ -307,9 +301,8 @@ mod tests {
     #[test]
     fn small_ints_widen() {
         let reg = FormatRegistry::new(MachineModel::native());
-        let fmt = reg
-            .register(FormatSpec::new("B", vec![IOField::auto("b", "integer", 1)]))
-            .unwrap();
+        let fmt =
+            reg.register(FormatSpec::new("B", vec![IOField::auto("b", "integer", 1)])).unwrap();
         let mut rec = RawRecord::new(fmt);
         rec.set_i64("b", 5).unwrap();
         let bytes = XdrWire::new().encode_vec(&rec).unwrap();
@@ -329,9 +322,8 @@ mod tests {
     #[test]
     fn hostile_lengths_rejected() {
         let reg = FormatRegistry::new(MachineModel::native());
-        let fmt = reg
-            .register(FormatSpec::new("S", vec![IOField::auto("s", "string", 0)]))
-            .unwrap();
+        let fmt =
+            reg.register(FormatSpec::new("S", vec![IOField::auto("s", "string", 0)])).unwrap();
         let msg = [0xffu8, 0xff, 0xff, 0xff];
         assert!(XdrWire::new().decode(&msg, &fmt).is_err());
     }

@@ -69,11 +69,7 @@ impl WireFormat for XmlRpcWire {
         Ok(out.len() - start)
     }
 
-    fn decode(
-        &self,
-        bytes: &[u8],
-        format: &Arc<FormatDescriptor>,
-    ) -> Result<RawRecord, WireError> {
+    fn decode(&self, bytes: &[u8], format: &Arc<FormatDescriptor>) -> Result<RawRecord, WireError> {
         let text = std::str::from_utf8(bytes).map_err(|_| err("message is not UTF-8"))?;
         let doc = openmeta_xml::parse(text).map_err(|e| err(format!("bad XML: {e}")))?;
         let root = doc.root_element().ok_or_else(|| err("empty document"))?;
@@ -86,10 +82,7 @@ impl WireFormat for XmlRpcWire {
             .map(|n| doc.text_content(n))
             .ok_or_else(|| err("missing methodName"))?;
         if method != Self::method_name(format) {
-            return Err(err(format!(
-                "method '{method}' does not deliver '{}'",
-                format.name
-            )));
+            return Err(err(format!("method '{method}' does not deliver '{}'", format.name)));
         }
         let value = doc
             .children_named(root, "params")
@@ -138,8 +131,7 @@ fn encode_struct(
 ) -> Result<(), WireError> {
     out.push_str("<struct>");
     for f in &desc.fields {
-        let path =
-            if prefix.is_empty() { f.name.clone() } else { format!("{prefix}.{}", f.name) };
+        let path = if prefix.is_empty() { f.name.clone() } else { format!("{prefix}.{}", f.name) };
         let _ = write!(out, "<member><name>{}</name><value>", f.name);
         match &f.kind {
             FieldKind::Scalar(b) => {
@@ -150,15 +142,11 @@ fn encode_struct(
                 write_scalar_value(out, b, f.size, int, float);
             }
             FieldKind::String => {
-                let _ =
-                    write!(out, "<string>{}</string>", escape_text(rec.get_string(&path)?));
+                let _ = write!(out, "<string>{}</string>", escape_text(rec.get_string(&path)?));
             }
             FieldKind::StaticArray { elem: BaseType::Char, .. } => {
-                let _ = write!(
-                    out,
-                    "<string>{}</string>",
-                    escape_text(&rec.get_char_array(&path)?)
-                );
+                let _ =
+                    write!(out, "<string>{}</string>", escape_text(&rec.get_char_array(&path)?));
             }
             FieldKind::StaticArray { elem, elem_size, count } => {
                 out.push_str("<array><data>");
@@ -276,11 +264,9 @@ fn decode_struct(
         members.insert(name, value);
     }
     for f in &desc.fields {
-        let path =
-            if prefix.is_empty() { f.name.clone() } else { format!("{prefix}.{}", f.name) };
-        let value = *members
-            .get(&f.name)
-            .ok_or_else(|| err(format!("missing member '{}'", f.name)))?;
+        let path = if prefix.is_empty() { f.name.clone() } else { format!("{prefix}.{}", f.name) };
+        let value =
+            *members.get(&f.name).ok_or_else(|| err(format!("missing member '{}'", f.name)))?;
         match &f.kind {
             FieldKind::Scalar(b) => {
                 let (ty, text) = scalar_from_value(doc, value, &f.name)?;
@@ -289,10 +275,7 @@ fn decode_struct(
             FieldKind::String | FieldKind::StaticArray { elem: BaseType::Char, .. } => {
                 let (ty, text) = scalar_from_value(doc, value, &f.name)?;
                 if ty != "string" {
-                    return Err(err(format!(
-                        "member '{}': expected <string>, got <{ty}>",
-                        f.name
-                    )));
+                    return Err(err(format!("member '{}': expected <string>, got <{ty}>", f.name)));
                 }
                 if matches!(f.kind, FieldKind::String) {
                     rec.set_string(&path, text)?;
@@ -333,18 +316,22 @@ fn decode_struct(
                     let mut xs = Vec::with_capacity(values.len());
                     for v in values {
                         let (_, text) = scalar_from_value(doc, v, &f.name)?;
-                        xs.push(text.trim().parse::<f64>().map_err(|_| {
-                            err(format!("member '{}': bad double", f.name))
-                        })?);
+                        xs.push(
+                            text.trim()
+                                .parse::<f64>()
+                                .map_err(|_| err(format!("member '{}': bad double", f.name)))?,
+                        );
                     }
                     rec.set_f64_array(&path, &xs)?;
                 } else {
                     let mut xs = Vec::with_capacity(values.len());
                     for v in values {
                         let (_, text) = scalar_from_value(doc, v, &f.name)?;
-                        xs.push(text.trim().parse::<i64>().map_err(|_| {
-                            err(format!("member '{}': bad integer", f.name))
-                        })?);
+                        xs.push(
+                            text.trim()
+                                .parse::<i64>()
+                                .map_err(|_| err(format!("member '{}': bad integer", f.name)))?,
+                        );
                     }
                     rec.set_i64_array(&path, &xs)?;
                 }
@@ -467,10 +454,9 @@ mod tests {
     fn missing_member_rejected() {
         let (fmt, rec) = fixture();
         let wire = XmlRpcWire::new();
-        let text = String::from_utf8(wire.encode_vec(&rec).unwrap()).unwrap().replace(
-            "<member><name>ok</name><value><boolean>1</boolean></value></member>",
-            "",
-        );
+        let text = String::from_utf8(wire.encode_vec(&rec).unwrap())
+            .unwrap()
+            .replace("<member><name>ok</name><value><boolean>1</boolean></value></member>", "");
         let e = wire.decode(text.as_bytes(), &fmt).unwrap_err();
         assert!(e.message.contains("missing member 'ok'"), "{e}");
     }
@@ -478,9 +464,8 @@ mod tests {
     #[test]
     fn untyped_value_defaults_to_string() {
         let reg = FormatRegistry::new(MachineModel::native());
-        let fmt = reg
-            .register(FormatSpec::new("S", vec![IOField::auto("s", "string", 0)]))
-            .unwrap();
+        let fmt =
+            reg.register(FormatSpec::new("S", vec![IOField::auto("s", "string", 0)])).unwrap();
         let msg = "<methodCall><methodName>xmit.deliver.S</methodName><params><param>\
                    <value><struct><member><name>s</name><value>plain text</value></member>\
                    </struct></value></param></params></methodCall>";

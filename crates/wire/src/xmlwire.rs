@@ -56,13 +56,8 @@ impl WireFormat for XmlWire {
         Ok(out.len() - start)
     }
 
-    fn decode(
-        &self,
-        bytes: &[u8],
-        format: &Arc<FormatDescriptor>,
-    ) -> Result<RawRecord, WireError> {
-        let text =
-            std::str::from_utf8(bytes).map_err(|_| err("message is not UTF-8 text"))?;
+    fn decode(&self, bytes: &[u8], format: &Arc<FormatDescriptor>) -> Result<RawRecord, WireError> {
+        let text = std::str::from_utf8(bytes).map_err(|_| err("message is not UTF-8 text"))?;
         let doc = openmeta_xml::parse(text).map_err(|e| err(format!("bad XML: {e}")))?;
         let root = doc.root_element().ok_or_else(|| err("no root element"))?;
         if doc.name(root).local != format.name {
@@ -85,8 +80,7 @@ pub(crate) fn encode_record(
     out: &mut String,
 ) -> Result<(), WireError> {
     for f in &desc.fields {
-        let path =
-            if prefix.is_empty() { f.name.clone() } else { format!("{prefix}.{}", f.name) };
+        let path = if prefix.is_empty() { f.name.clone() } else { format!("{prefix}.{}", f.name) };
         match &f.kind {
             FieldKind::Scalar(BaseType::Float) => {
                 // Print at the field's own precision: a 4-byte float's
@@ -169,8 +163,7 @@ pub(crate) fn decode_record(
     rec: &mut RawRecord,
 ) -> Result<(), WireError> {
     for f in &desc.fields {
-        let path =
-            if prefix.is_empty() { f.name.clone() } else { format!("{prefix}.{}", f.name) };
+        let path = if prefix.is_empty() { f.name.clone() } else { format!("{prefix}.{}", f.name) };
         let nodes = children_named(doc, parent, &f.name);
         let one = || -> Result<NodeId, WireError> {
             match nodes.as_slice() {
@@ -182,8 +175,10 @@ pub(crate) fn decode_record(
         match &f.kind {
             FieldKind::Scalar(BaseType::Float) => {
                 let t = text_of(doc, one()?);
-                let v: f64 =
-                    t.trim().parse().map_err(|_| err(format!("bad float '{t}' in <{}>", f.name)))?;
+                let v: f64 = t
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(format!("bad float '{t}' in <{}>", f.name)))?;
                 rec.set_f64(&path, v)?;
             }
             FieldKind::Scalar(BaseType::Boolean) => {
@@ -247,18 +242,22 @@ pub(crate) fn decode_record(
                     let mut vals = Vec::with_capacity(nodes.len());
                     for n in &nodes {
                         let t = text_of(doc, *n);
-                        vals.push(t.trim().parse::<f64>().map_err(|_| {
-                            err(format!("bad float '{t}' in <{}>", f.name))
-                        })?);
+                        vals.push(
+                            t.trim()
+                                .parse::<f64>()
+                                .map_err(|_| err(format!("bad float '{t}' in <{}>", f.name)))?,
+                        );
                     }
                     rec.set_f64_array(&path, &vals)?;
                 } else {
                     let mut vals = Vec::with_capacity(nodes.len());
                     for n in &nodes {
                         let t = text_of(doc, *n);
-                        vals.push(t.trim().parse::<i64>().map_err(|_| {
-                            err(format!("bad integer '{t}' in <{}>", f.name))
-                        })?);
+                        vals.push(
+                            t.trim()
+                                .parse::<i64>()
+                                .map_err(|_| err(format!("bad integer '{t}' in <{}>", f.name)))?,
+                        );
                     }
                     rec.set_i64_array(&path, &vals)?;
                 }
@@ -321,18 +320,14 @@ mod tests {
         let (_, rec) = simple_data();
         let xml_len = XmlWire::new().encode_vec(&rec).unwrap().len();
         let binary_len = openmeta_pbio::encode(&rec).unwrap().len();
-        assert!(
-            xml_len as f64 / binary_len as f64 > 2.0,
-            "xml {xml_len} vs binary {binary_len}"
-        );
+        assert!(xml_len as f64 / binary_len as f64 > 2.0, "xml {xml_len} vs binary {binary_len}");
     }
 
     #[test]
     fn strings_escaped() {
         let reg = FormatRegistry::new(MachineModel::native());
-        let fmt = reg
-            .register(FormatSpec::new("S", vec![IOField::auto("s", "string", 0)]))
-            .unwrap();
+        let fmt =
+            reg.register(FormatSpec::new("S", vec![IOField::auto("s", "string", 0)])).unwrap();
         let mut rec = RawRecord::new(fmt.clone());
         rec.set_string("s", "a < b & c").unwrap();
         let wire = XmlWire::new();

@@ -148,10 +148,7 @@ fn xml_is_largest_pbio_among_smallest() {
     let xml = sizes["xml"];
     for (name, size) in &sizes {
         if *name != "xml" {
-            assert!(
-                xml > 2 * size,
-                "xml ({xml}) should dwarf {name} ({size}); sizes: {sizes:?}"
-            );
+            assert!(xml > 2 * size, "xml ({xml}) should dwarf {name} ({size}); sizes: {sizes:?}");
         }
     }
 }

@@ -19,8 +19,8 @@
 
 use std::collections::HashMap;
 
-use openmeta_schema::{ComplexType, Occurs, TypeRef};
 use openmeta_schema::xsd::XsdPrimitive;
+use openmeta_schema::{ComplexType, Occurs, TypeRef};
 
 use crate::error::XmitError;
 
@@ -202,7 +202,7 @@ pub fn generate_classfile(ct: &ComplexType, package: Option<&str>) -> Result<Vec
     out.extend_from_slice(&bytecode);
     out.extend_from_slice(&0u16.to_be_bytes()); // exception table
     out.extend_from_slice(&0u16.to_be_bytes()); // code attributes
-    // class attributes
+                                                // class attributes
     out.extend_from_slice(&0u16.to_be_bytes());
     Ok(out)
 }
@@ -213,9 +213,28 @@ fn is_java_identifier(s: &str) -> bool {
         && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$')
         && !matches!(
             s,
-            "class" | "int" | "long" | "float" | "double" | "boolean" | "byte" | "short"
-                | "char" | "void" | "public" | "private" | "static" | "final" | "new"
-                | "this" | "super" | "return" | "if" | "else" | "while" | "for"
+            "class"
+                | "int"
+                | "long"
+                | "float"
+                | "double"
+                | "boolean"
+                | "byte"
+                | "short"
+                | "char"
+                | "void"
+                | "public"
+                | "private"
+                | "static"
+                | "final"
+                | "new"
+                | "this"
+                | "super"
+                | "return"
+                | "if"
+                | "else"
+                | "while"
+                | "for"
         )
 }
 
@@ -465,9 +484,7 @@ mod tests {
         let bytes = generate_classfile(&simple_data(), None).unwrap();
         // The 5-byte constructor body must appear verbatim: aload_0,
         // invokespecial #k, return.
-        let found = bytes
-            .windows(5)
-            .any(|w| w[0] == 0x2a && w[1] == 0xb7 && w[4] == 0xb1);
+        let found = bytes.windows(5).any(|w| w[0] == 0x2a && w[1] == 0xb7 && w[4] == 0xb1);
         assert!(found, "canonical <init> bytecode missing");
     }
 

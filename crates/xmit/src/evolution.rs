@@ -102,9 +102,9 @@ pub fn diff_types(
             Some(of) => {
                 let (ob, os) = kind_of(of);
                 let (nb, ns) = kind_of(nf);
-                let compatible_kind =
-                    category(&ob) == category(&nb) && arrayness(of) == arrayness(nf)
-                        && (category(&ob) != 3 || ob == nb);
+                let compatible_kind = category(&ob) == category(&nb)
+                    && arrayness(of) == arrayness(nf)
+                    && (category(&ob) != 3 || ob == nb);
                 if !compatible_kind {
                     any_breaking = true;
                     changes.push(FieldChange::Retyped {
@@ -175,10 +175,7 @@ mod tests {
         assert_eq!(r.compatibility, Compatibility::Compatible);
         assert_eq!(
             r.changes,
-            vec![
-                FieldChange::Added("fresh".to_string()),
-                FieldChange::Removed("gone".to_string()),
-            ]
+            vec![FieldChange::Added("fresh".to_string()), FieldChange::Removed("gone".to_string()),]
         );
     }
 

@@ -62,7 +62,7 @@ pub use watcher::{FormatChange, FormatWatcher};
 // Re-exports so applications only need the `xmit` crate.
 pub use openmeta_ohttp::{DocumentSource, HttpServer, StandardSource, Url};
 pub use openmeta_pbio::{
-    decode, decode_with, encode, encode_into, FormatDescriptor, FormatId, FormatRegistry,
+    decode, decode_with, encode, encode_into, Encoder, FormatDescriptor, FormatId, FormatRegistry,
     FormatSpec, IOField, MachineModel, RawRecord, Value,
 };
 pub use openmeta_schema::{ComplexType, SchemaDocument};

@@ -14,8 +14,8 @@
 //! "the need to consider … structure padding".
 
 use openmeta_pbio::{FormatSpec, IOField, MachineModel};
-use openmeta_schema::{ComplexType, Occurs, SchemaDocument, TypeRef};
 use openmeta_schema::xsd::XsdPrimitive;
+use openmeta_schema::{ComplexType, Occurs, SchemaDocument, TypeRef};
 
 use crate::error::XmitError;
 
@@ -99,10 +99,9 @@ pub fn map_type_with_enums(
                                 e.name
                             ))
                         })?;
-                        let needs_synthetic = ct.element(dim).is_none()
-                            && !fields.iter().any(|f| f.name == dim);
-                        let array =
-                            IOField::auto(e.name.clone(), format!("{base}[{dim}]"), size);
+                        let needs_synthetic =
+                            ct.element(dim).is_none() && !fields.iter().any(|f| f.name == dim);
+                        let array = IOField::auto(e.name.clone(), format!("{base}[{dim}]"), size);
                         if needs_synthetic {
                             use openmeta_schema::model::DimensionPlacement;
                             let length = IOField::auto(dim, "integer", 4);
@@ -256,10 +255,9 @@ mod tests {
                 p.local_name()
             ));
         }
-        let doc = parse_str(&wrap(&format!(
-            "<xsd:complexType name=\"All\">{fields}</xsd:complexType>"
-        )))
-        .unwrap();
+        let doc =
+            parse_str(&wrap(&format!("<xsd:complexType name=\"All\">{fields}</xsd:complexType>")))
+                .unwrap();
         let spec = map_type(doc.get("All").unwrap(), &MachineModel::native()).unwrap();
         let desc = reg.register(spec).unwrap();
         assert_eq!(desc.total_field_count(), XsdPrimitive::all().len());

@@ -7,8 +7,8 @@
 //! that tool: give it the text of an XML-wire message and a set of loaded
 //! `complexType`s, and it scores each candidate.
 
-use openmeta_schema::{ComplexType, Occurs, TypeRef};
 use openmeta_schema::xsd::{XsdCategory, XsdPrimitive};
+use openmeta_schema::{ComplexType, Occurs, TypeRef};
 use openmeta_xml::{Document, NodeId};
 
 use crate::error::XmitError;
@@ -105,9 +105,9 @@ fn score_candidate(doc: &Document, root: NodeId, ct: &ComplexType) -> MatchRepor
         }
         let values_ok = match &e.type_ref {
             TypeRef::Primitive(p) => nodes.iter().all(|&n| value_parses(*p, &doc.text_content(n))),
-            TypeRef::Named(_) => nodes
-                .iter()
-                .all(|&n| doc.child_elements(n).next().is_some() || doc.text_content(n).trim().is_empty()),
+            TypeRef::Named(_) => nodes.iter().all(|&n| {
+                doc.child_elements(n).next().is_some() || doc.text_content(n).trim().is_empty()
+            }),
         };
         if values_ok {
             matched += 1;
@@ -131,9 +131,8 @@ fn score_candidate(doc: &Document, root: NodeId, ct: &ComplexType) -> MatchRepor
     };
 
     let declared = ct.elements.len().max(1) as f64;
-    let child_names: std::collections::HashSet<String> = {
-        doc.child_elements(root).map(|c| doc.name(c).local.clone()).collect()
-    };
+    let child_names: std::collections::HashSet<String> =
+        { doc.child_elements(root).map(|c| doc.name(c).local.clone()).collect() };
     let present_kinds = child_names.len().max(1) as f64;
     let mut score = matched as f64 / declared;
     score *= 1.0 - (unexplained.len() as f64 / present_kinds).min(1.0) * 0.5;

@@ -18,7 +18,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 
 use openmeta_pbio::codec::{decode_descriptor, encode_descriptor};
-use openmeta_pbio::{decode, encode, FormatId, FormatRegistry, PbioError, RawRecord};
+use openmeta_pbio::{decode, Encoder, FormatId, FormatRegistry, PbioError, RawRecord};
 
 use crate::error::XmitError;
 
@@ -39,6 +39,9 @@ fn write_frame(stream: &mut TcpStream, kind: u8, payload: &[u8]) -> Result<(), X
 pub struct XmitSender {
     stream: TcpStream,
     announced: HashSet<FormatId>,
+    /// Cached encode plans + reusable wire buffer: steady-state sends do
+    /// no per-message descriptor walking and no allocation.
+    enc: Encoder,
 }
 
 impl XmitSender {
@@ -50,7 +53,7 @@ impl XmitSender {
 
     /// Wrap an accepted stream.
     pub fn from_stream(stream: TcpStream) -> XmitSender {
-        XmitSender { stream, announced: HashSet::new() }
+        XmitSender { stream, announced: HashSet::new(), enc: Encoder::new() }
     }
 
     /// Send one record.  The format descriptor precedes the first record
@@ -61,8 +64,8 @@ impl XmitSender {
             let desc = encode_descriptor(rec.format());
             write_frame(&mut self.stream, FRAME_FORMAT, &desc)?;
         }
-        let wire = encode(rec)?;
-        write_frame(&mut self.stream, FRAME_RECORD, &wire)?;
+        let wire = self.enc.encode(rec)?;
+        write_frame(&mut self.stream, FRAME_RECORD, wire)?;
         self.stream.flush().map_err(PbioError::from)?;
         Ok(())
     }
@@ -160,10 +163,7 @@ mod tests {
             let mut rx = XmitReceiver::new(stream, registry);
             let mut seen = Vec::new();
             while let Some(rec) = rx.recv().unwrap() {
-                seen.push((
-                    rec.get_i64("timestep").unwrap(),
-                    rec.get_f64_array("data").unwrap(),
-                ));
+                seen.push((rec.get_i64("timestep").unwrap(), rec.get_f64_array("data").unwrap()));
             }
             seen
         });
@@ -304,10 +304,7 @@ mod tests {
         s.write_all(&wire).unwrap();
         drop(s);
         let err = rx_thread.join().unwrap().unwrap_err();
-        assert!(matches!(
-            err,
-            crate::XmitError::Bcm(openmeta_pbio::PbioError::UnknownFormatId(_))
-        ));
+        assert!(matches!(err, crate::XmitError::Bcm(openmeta_pbio::PbioError::UnknownFormatId(_))));
     }
 
     #[test]

@@ -10,8 +10,8 @@
 //! are skipped, doubles are narrowed at the receiver, and the sender
 //! never knows.
 
-use openmeta_schema::{ComplexType, Occurs, TypeRef};
 use openmeta_schema::xsd::XsdPrimitive;
+use openmeta_schema::{ComplexType, Occurs, TypeRef};
 
 use crate::error::XmitError;
 
@@ -32,10 +32,7 @@ pub struct Projection {
 impl Projection {
     /// Keep the given fields, nothing else changed.
     pub fn keeping<S: Into<String>>(fields: impl IntoIterator<Item = S>) -> Projection {
-        Projection {
-            keep: fields.into_iter().map(Into::into).collect(),
-            ..Projection::default()
-        }
+        Projection { keep: fields.into_iter().map(Into::into).collect(), ..Projection::default() }
     }
 
     /// Also narrow doubles to floats.
@@ -90,11 +87,8 @@ pub fn project_type(ct: &ComplexType, projection: &Projection) -> Result<Complex
         }
         elements.push(out);
     }
-    let suffix = if projection.rename_suffix.is_empty() {
-        "Projected"
-    } else {
-        &projection.rename_suffix
-    };
+    let suffix =
+        if projection.rename_suffix.is_empty() { "Projected" } else { &projection.rename_suffix };
     Ok(ComplexType::new(format!("{}{suffix}", ct.name), elements))
 }
 
@@ -135,15 +129,9 @@ mod tests {
 
     #[test]
     fn narrows_doubles() {
-        let p = project_type(
-            &flow_type(),
-            &Projection::keeping(["quality"]).with_narrowing(),
-        )
-        .unwrap();
-        assert_eq!(
-            p.element("quality").unwrap().type_ref,
-            TypeRef::Primitive(XsdPrimitive::Float)
-        );
+        let p =
+            project_type(&flow_type(), &Projection::keeping(["quality"]).with_narrowing()).unwrap();
+        assert_eq!(p.element("quality").unwrap().type_ref, TypeRef::Primitive(XsdPrimitive::Float));
     }
 
     #[test]
@@ -158,8 +146,12 @@ mod tests {
     #[test]
     fn handheld_decodes_full_message_through_projection() {
         let server = Xmit::new(MachineModel::native());
-        server.load_str(&openmeta_schema::to_xml(&openmeta_schema::SchemaDocument { types: vec![flow_type()], enums: vec![] }))
-        .unwrap();
+        server
+            .load_str(&openmeta_schema::to_xml(&openmeta_schema::SchemaDocument {
+                types: vec![flow_type()],
+                enums: vec![],
+            }))
+            .unwrap();
         let full = server.bind("Flow").unwrap();
         let mut rec = full.new_record();
         rec.set_i64("timestep", 12).unwrap();
@@ -178,7 +170,10 @@ mod tests {
         )
         .unwrap();
         handheld
-            .load_str(&openmeta_schema::to_xml(&openmeta_schema::SchemaDocument { types: vec![projected], enums: vec![] }))
+            .load_str(&openmeta_schema::to_xml(&openmeta_schema::SchemaDocument {
+                types: vec![projected],
+                enums: vec![],
+            }))
             .unwrap();
         let small = handheld.bind("FlowProjected").unwrap();
         assert!(small.format.record_size < full.format.record_size);
@@ -210,11 +205,13 @@ mod tests {
         let wire = crate::encode(&rec).unwrap();
 
         let ct = server.definition("D").unwrap();
-        let projected =
-            project_type(&ct, &Projection::keeping(["x"]).with_narrowing()).unwrap();
+        let projected = project_type(&ct, &Projection::keeping(["x"]).with_narrowing()).unwrap();
         let handheld = Xmit::new(MachineModel::native());
         handheld
-            .load_str(&openmeta_schema::to_xml(&openmeta_schema::SchemaDocument { types: vec![projected], enums: vec![] }))
+            .load_str(&openmeta_schema::to_xml(&openmeta_schema::SchemaDocument {
+                types: vec![projected],
+                enums: vec![],
+            }))
             .unwrap();
         let small = handheld.bind("DProjected").unwrap();
         handheld.registry().register_descriptor((*full.format).clone());

@@ -212,8 +212,7 @@ impl Xmit {
         }
         visiting.pop();
         let enums = self.enums.read();
-        let spec =
-            map_type_with_enums(&ct, &self.registry.machine(), &|n| enums.contains_key(n))?;
+        let spec = map_type_with_enums(&ct, &self.registry.machine(), &|n| enums.contains_key(n))?;
         drop(enums);
         Ok(self.registry.register(spec)?)
     }

@@ -103,11 +103,7 @@ fn fetch_text(toolkit: &Xmit, url: &str) -> Result<String, XmitError> {
     toolkit.fetch_document(&parsed)
 }
 
-fn publish(
-    toolkit: &Xmit,
-    url: &str,
-    tx: &Sender<FormatChange>,
-) -> Result<(), XmitError> {
+fn publish(toolkit: &Xmit, url: &str, tx: &Sender<FormatChange>) -> Result<(), XmitError> {
     let names = toolkit.load_url(url)?;
     let tokens: Result<Vec<BindingToken>, XmitError> =
         names.iter().map(|n| toolkit.bind(n)).collect();
@@ -175,12 +171,9 @@ mod tests {
         let http = HttpServer::start().unwrap();
         http.put_xml("/evt.xsd", doc(""));
         let toolkit = Arc::new(Xmit::new(MachineModel::native()));
-        let watcher = FormatWatcher::start(
-            toolkit,
-            http.url_for("/evt.xsd"),
-            Duration::from_millis(2),
-        )
-        .unwrap();
+        let watcher =
+            FormatWatcher::start(toolkit, http.url_for("/evt.xsd"), Duration::from_millis(2))
+                .unwrap();
         let _initial = watcher.changes().recv_timeout(Duration::from_secs(5)).unwrap();
         std::thread::sleep(Duration::from_millis(50));
         assert_eq!(watcher.versions_seen(), 1, "no change, no notification");

@@ -2,7 +2,7 @@
 //! C struct definition, a PBIO `IOField` table, and XMIT XML metadata —
 //! and all three views agree.
 
-use xmit::{encode, decode, FormatSpec, IOField, MachineModel, Xmit};
+use xmit::{decode, encode, FormatSpec, IOField, MachineModel, Xmit};
 
 const XSD: &str = "http://www.w3.org/2001/XMLSchema";
 
@@ -33,9 +33,8 @@ fn asdoff_compiled_fields() -> Vec<IOField> {
 fn xmit_metadata_reproduces_compiled_metadata() {
     // Path A: compiled-in PBIO metadata (the paper's "before").
     let compiled = xmit::FormatRegistry::new(MachineModel::SPARC32);
-    let native = compiled
-        .register(FormatSpec::new("ASDOffEvent", asdoff_compiled_fields()))
-        .unwrap();
+    let native =
+        compiled.register(FormatSpec::new("ASDOffEvent", asdoff_compiled_fields())).unwrap();
 
     // Path B: XMIT remote metadata (the paper's "after").
     let toolkit = Xmit::new(MachineModel::SPARC32);

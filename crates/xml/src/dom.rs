@@ -134,10 +134,7 @@ impl Document {
 
     /// Look up an attribute by namespace URI + local name.
     pub fn attribute_ns(&self, id: NodeId, ns: Option<&str>, local: &str) -> Option<&str> {
-        self.attributes(id)
-            .iter()
-            .find(|a| a.name.is(ns, local))
-            .map(|a| a.value.as_str())
+        self.attributes(id).iter().find(|a| a.name.is(ns, local)).map(|a| a.value.as_str())
     }
 
     /// Iterate over the direct children of `id`.
@@ -147,8 +144,7 @@ impl Document {
 
     /// Iterate over the direct *element* children of `id`.
     pub fn child_elements(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.children(id)
-            .filter(|&c| matches!(self.node(c).kind, NodeKind::Element { .. }))
+        self.children(id).filter(|&c| matches!(self.node(c).kind, NodeKind::Element { .. }))
     }
 
     /// Find direct element children whose local name is `local`.

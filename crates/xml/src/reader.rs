@@ -271,9 +271,10 @@ impl<'a> Reader<'a> {
             })?;
             let key = rest[..eq].trim();
             let after = rest[eq + 1..].trim_start();
-            let quote = after.chars().next().filter(|&q| q == '"' || q == '\'').ok_or_else(
-                || self.err(ErrorKind::Syntax, "XML declaration value must be quoted"),
-            )?;
+            let quote =
+                after.chars().next().filter(|&q| q == '"' || q == '\'').ok_or_else(|| {
+                    self.err(ErrorKind::Syntax, "XML declaration value must be quoted")
+                })?;
             let val_end = after[1..]
                 .find(quote)
                 .ok_or_else(|| self.err(ErrorKind::Syntax, "unterminated declaration value"))?;
@@ -294,8 +295,9 @@ impl<'a> Reader<'a> {
                     })
                 }
                 other => {
-                    return Err(self
-                        .err(ErrorKind::Syntax, format!("unknown declaration item '{other}'")))
+                    return Err(
+                        self.err(ErrorKind::Syntax, format!("unknown declaration item '{other}'"))
+                    )
                 }
             }
             rest = after[1 + val_end + 1..].trim_start();
@@ -395,9 +397,7 @@ impl<'a> Reader<'a> {
                     }
                     attributes.push(attr);
                 }
-                None => {
-                    return Err(self.err(ErrorKind::UnexpectedEof, "unterminated start tag"))
-                }
+                None => return Err(self.err(ErrorKind::UnexpectedEof, "unterminated start tag")),
             }
         }
     }
@@ -432,17 +432,16 @@ impl<'a> Reader<'a> {
                             .chars()
                             .map(|c| if matches!(c, '\t' | '\n' | '\r') { ' ' } else { c })
                             .collect();
-                        std::borrow::Cow::Owned(
-                            unescape_at(&normalized, at)?.into_owned(),
-                        )
+                        std::borrow::Cow::Owned(unescape_at(&normalized, at)?.into_owned())
                     } else {
                         unescape_at(raw, at)?
                     };
                     return Ok(RawAttribute { name, value });
                 }
                 Some(c) if !is_xml_char(c) => {
-                    return Err(self
-                        .err(ErrorKind::Syntax, format!("illegal character U+{:X}", c as u32)))
+                    return Err(
+                        self.err(ErrorKind::Syntax, format!("illegal character U+{:X}", c as u32))
+                    )
                 }
                 Some(_) => {
                     self.bump();
@@ -534,9 +533,7 @@ mod tests {
     }
 
     fn parse_err(src: &str) -> XmlError {
-        Reader::new(src)
-            .collect::<Result<Vec<_>, _>>()
-            .expect_err("expected a parse error")
+        Reader::new(src).collect::<Result<Vec<_>, _>>().expect_err("expected a parse error")
     }
 
     #[test]

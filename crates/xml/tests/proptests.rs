@@ -18,9 +18,8 @@ enum Tree {
 }
 
 fn name_strategy() -> impl Strategy<Value = String> {
-    "[A-Za-z_][A-Za-z0-9_.-]{0,11}".prop_filter("xml-reserved names", |s| {
-        !s.to_ascii_lowercase().starts_with("xml")
-    })
+    "[A-Za-z_][A-Za-z0-9_.-]{0,11}"
+        .prop_filter("xml-reserved names", |s| !s.to_ascii_lowercase().starts_with("xml"))
 }
 
 /// Attribute/text payload: printable, no control chars (those require
@@ -65,9 +64,7 @@ fn tree_strategy() -> impl Strategy<Value = Tree> {
                 // Adjacent text children would merge on reparse; keep one.
                 let mut out: Vec<Tree> = Vec::new();
                 for c in children {
-                    if matches!(c, Tree::Text(_))
-                        && matches!(out.last(), Some(Tree::Text(_)))
-                    {
+                    if matches!(c, Tree::Text(_)) && matches!(out.last(), Some(Tree::Text(_))) {
                         continue;
                     }
                     out.push(c);

@@ -12,8 +12,8 @@
 //! cargo run --example handheld_projection
 //! ```
 
-use openmeta_hydrology::{hydrology_schema_xml, FlowDataset};
 use openmeta_hydrology::components::build_flow_record;
+use openmeta_hydrology::{hydrology_schema_xml, FlowDataset};
 use xmit::{project_type, HttpServer, MachineModel, Projection, Xmit};
 
 fn main() {

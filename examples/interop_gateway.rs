@@ -94,11 +94,8 @@ fn payload_of(message: &str) -> String {
 fn main() {
     let toolkit = Xmit::new(MachineModel::native());
     toolkit.load_str(&metadata()).expect("metadata loads");
-    let candidates: Vec<xmit::ComplexType> = toolkit
-        .loaded_types()
-        .into_iter()
-        .filter_map(|n| toolkit.definition(&n))
-        .collect();
+    let candidates: Vec<xmit::ComplexType> =
+        toolkit.loaded_types().into_iter().filter_map(|n| toolkit.definition(&n)).collect();
 
     println!("gateway formats loaded: {:?}\n", toolkit.loaded_types());
     for (dialect, message) in edge_traffic() {

@@ -28,8 +28,13 @@ fn main() {
     println!("bound '{}' -> format id {}", token.type_name, token.id());
     println!("native struct layout: {} bytes", token.format.record_size);
     for f in &token.format.fields {
-        println!("  .{:<10} offset {:>3}, {} bytes ({})",
-                 f.name, f.offset, f.size, f.kind.describe());
+        println!(
+            "  .{:<10} offset {:>3}, {} bytes ({})",
+            f.name,
+            f.offset,
+            f.size,
+            f.kind.describe()
+        );
     }
 
     // 3. Marshal a record to the binary wire format.

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-dfa907fd7b2e6ffd.d: crates/bench/benches/ablation.rs
+
+/root/repo/target/debug/deps/ablation-dfa907fd7b2e6ffd: crates/bench/benches/ablation.rs
+
+crates/bench/benches/ablation.rs:

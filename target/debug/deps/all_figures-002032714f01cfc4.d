@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-002032714f01cfc4.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/all_figures-002032714f01cfc4: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-b098d67e71411d7b.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/all_figures-b098d67e71411d7b: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/asdoff-3ff1c6e7f93c2449.d: crates/xmit/tests/asdoff.rs Cargo.toml
+
+/root/repo/target/debug/deps/libasdoff-3ff1c6e7f93c2449.rmeta: crates/xmit/tests/asdoff.rs Cargo.toml
+
+crates/xmit/tests/asdoff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/asdoff-b6d750fc1c00b17a.d: crates/xmit/tests/asdoff.rs
+
+/root/repo/target/debug/deps/asdoff-b6d750fc1c00b17a: crates/xmit/tests/asdoff.rs
+
+crates/xmit/tests/asdoff.rs:

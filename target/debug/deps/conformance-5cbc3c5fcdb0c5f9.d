@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/conformance-5cbc3c5fcdb0c5f9.d: crates/xml/tests/conformance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconformance-5cbc3c5fcdb0c5f9.rmeta: crates/xml/tests/conformance.rs Cargo.toml
+
+crates/xml/tests/conformance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conformance-c92059de9f08ce5d.d: crates/xml/tests/conformance.rs
+
+/root/repo/target/debug/deps/conformance-c92059de9f08ce5d: crates/xml/tests/conformance.rs
+
+crates/xml/tests/conformance.rs:

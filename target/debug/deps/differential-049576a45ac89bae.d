@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential-049576a45ac89bae.d: crates/wire/tests/differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential-049576a45ac89bae.rmeta: crates/wire/tests/differential.rs Cargo.toml
+
+crates/wire/tests/differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

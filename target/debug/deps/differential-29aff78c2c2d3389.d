@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-29aff78c2c2d3389.d: crates/wire/tests/differential.rs
+
+/root/repo/target/debug/deps/differential-29aff78c2c2d3389: crates/wire/tests/differential.rs
+
+crates/wire/tests/differential.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/enumerations-0eab644304916dab.d: crates/xmit/tests/enumerations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenumerations-0eab644304916dab.rmeta: crates/xmit/tests/enumerations.rs Cargo.toml
+
+crates/xmit/tests/enumerations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

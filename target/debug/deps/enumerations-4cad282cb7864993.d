@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/enumerations-4cad282cb7864993.d: crates/xmit/tests/enumerations.rs
+
+/root/repo/target/debug/deps/enumerations-4cad282cb7864993: crates/xmit/tests/enumerations.rs
+
+crates/xmit/tests/enumerations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-834b37bb5e268df8.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-834b37bb5e268df8: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-b200bad50a622619.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-b200bad50a622619: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-5a50dedbd7744094.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-5a50dedbd7744094: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

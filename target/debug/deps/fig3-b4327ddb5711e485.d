@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-b4327ddb5711e485.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-b4327ddb5711e485: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_registration-0c4905eb2ffaecdb.d: crates/bench/benches/fig3_registration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_registration-0c4905eb2ffaecdb.rmeta: crates/bench/benches/fig3_registration.rs Cargo.toml
+
+crates/bench/benches/fig3_registration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

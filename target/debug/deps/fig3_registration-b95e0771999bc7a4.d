@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_registration-b95e0771999bc7a4.d: crates/bench/benches/fig3_registration.rs
+
+/root/repo/target/debug/deps/fig3_registration-b95e0771999bc7a4: crates/bench/benches/fig3_registration.rs
+
+crates/bench/benches/fig3_registration.rs:

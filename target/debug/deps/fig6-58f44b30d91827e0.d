@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-58f44b30d91827e0.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-58f44b30d91827e0: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

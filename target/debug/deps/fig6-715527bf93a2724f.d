@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-715527bf93a2724f.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-715527bf93a2724f: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

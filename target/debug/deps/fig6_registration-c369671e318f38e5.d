@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_registration-c369671e318f38e5.d: crates/bench/benches/fig6_registration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_registration-c369671e318f38e5.rmeta: crates/bench/benches/fig6_registration.rs Cargo.toml
+
+crates/bench/benches/fig6_registration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

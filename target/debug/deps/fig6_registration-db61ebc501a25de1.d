@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_registration-db61ebc501a25de1.d: crates/bench/benches/fig6_registration.rs
+
+/root/repo/target/debug/deps/fig6_registration-db61ebc501a25de1: crates/bench/benches/fig6_registration.rs
+
+crates/bench/benches/fig6_registration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-1d6c98a5ad814955.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-1d6c98a5ad814955: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-2b1949fa4f51dc2c.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-2b1949fa4f51dc2c: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7-cd59280b29c848bd.d: crates/bench/src/bin/fig7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7-cd59280b29c848bd.rmeta: crates/bench/src/bin/fig7.rs Cargo.toml
+
+crates/bench/src/bin/fig7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_encode-1640159860425631.d: crates/bench/benches/fig7_encode.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_encode-1640159860425631.rmeta: crates/bench/benches/fig7_encode.rs Cargo.toml
+
+crates/bench/benches/fig7_encode.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_encode-d18b60111a8b86f7.d: crates/bench/benches/fig7_encode.rs
+
+/root/repo/target/debug/deps/fig7_encode-d18b60111a8b86f7: crates/bench/benches/fig7_encode.rs
+
+crates/bench/benches/fig7_encode.rs:

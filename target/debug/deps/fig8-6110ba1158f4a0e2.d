@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-6110ba1158f4a0e2.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-6110ba1158f4a0e2: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

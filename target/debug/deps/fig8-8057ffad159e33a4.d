@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-8057ffad159e33a4.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-8057ffad159e33a4: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

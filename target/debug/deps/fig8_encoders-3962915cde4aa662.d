@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_encoders-3962915cde4aa662.d: crates/bench/benches/fig8_encoders.rs
+
+/root/repo/target/debug/deps/fig8_encoders-3962915cde4aa662: crates/bench/benches/fig8_encoders.rs
+
+crates/bench/benches/fig8_encoders.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_encoders-87214db4f8d78088.d: crates/bench/benches/fig8_encoders.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_encoders-87214db4f8d78088.rmeta: crates/bench/benches/fig8_encoders.rs Cargo.toml
+
+crates/bench/benches/fig8_encoders.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

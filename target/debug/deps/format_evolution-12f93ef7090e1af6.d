@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/format_evolution-12f93ef7090e1af6.d: tests/format_evolution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libformat_evolution-12f93ef7090e1af6.rmeta: tests/format_evolution.rs Cargo.toml
+
+tests/format_evolution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

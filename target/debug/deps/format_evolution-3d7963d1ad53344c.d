@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/format_evolution-3d7963d1ad53344c.d: tests/format_evolution.rs
+
+/root/repo/target/debug/deps/format_evolution-3d7963d1ad53344c: tests/format_evolution.rs
+
+tests/format_evolution.rs:

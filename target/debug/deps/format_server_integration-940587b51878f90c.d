@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/format_server_integration-940587b51878f90c.d: crates/xmit/tests/format_server_integration.rs
+
+/root/repo/target/debug/deps/format_server_integration-940587b51878f90c: crates/xmit/tests/format_server_integration.rs
+
+crates/xmit/tests/format_server_integration.rs:

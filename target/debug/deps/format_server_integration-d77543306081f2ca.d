@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/format_server_integration-d77543306081f2ca.d: crates/xmit/tests/format_server_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libformat_server_integration-d77543306081f2ca.rmeta: crates/xmit/tests/format_server_integration.rs Cargo.toml
+
+crates/xmit/tests/format_server_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

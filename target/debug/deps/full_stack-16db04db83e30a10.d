@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-16db04db83e30a10.d: tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-16db04db83e30a10: tests/full_stack.rs
+
+tests/full_stack.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_stack-7aa235b56376a268.d: tests/full_stack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_stack-7aa235b56376a268.rmeta: tests/full_stack.rs Cargo.toml
+
+tests/full_stack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hydrology_end_to_end-001ed5d665da1000.d: tests/hydrology_end_to_end.rs
+
+/root/repo/target/debug/deps/hydrology_end_to_end-001ed5d665da1000: tests/hydrology_end_to_end.rs
+
+tests/hydrology_end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hydrology_end_to_end-ed1e762419d9225a.d: tests/hydrology_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhydrology_end_to_end-ed1e762419d9225a.rmeta: tests/hydrology_end_to_end.rs Cargo.toml
+
+tests/hydrology_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/matching_wire-621c6f96a3c7a51b.d: tests/matching_wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmatching_wire-621c6f96a3c7a51b.rmeta: tests/matching_wire.rs Cargo.toml
+
+tests/matching_wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

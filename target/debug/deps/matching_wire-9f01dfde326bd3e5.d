@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/matching_wire-9f01dfde326bd3e5.d: tests/matching_wire.rs
+
+/root/repo/target/debug/deps/matching_wire-9f01dfde326bd3e5: tests/matching_wire.rs
+
+tests/matching_wire.rs:

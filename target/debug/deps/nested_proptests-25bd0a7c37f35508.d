@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nested_proptests-25bd0a7c37f35508.d: crates/pbio/tests/nested_proptests.rs
+
+/root/repo/target/debug/deps/nested_proptests-25bd0a7c37f35508: crates/pbio/tests/nested_proptests.rs
+
+crates/pbio/tests/nested_proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nested_proptests-ca768bb397dcf6ca.d: crates/pbio/tests/nested_proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnested_proptests-ca768bb397dcf6ca.rmeta: crates/pbio/tests/nested_proptests.rs Cargo.toml
+
+crates/pbio/tests/nested_proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

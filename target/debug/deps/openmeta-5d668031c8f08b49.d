@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/openmeta-5d668031c8f08b49.d: crates/tools/src/bin/openmeta.rs Cargo.toml
+
+/root/repo/target/debug/deps/libopenmeta-5d668031c8f08b49.rmeta: crates/tools/src/bin/openmeta.rs Cargo.toml
+
+crates/tools/src/bin/openmeta.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/openmeta-5e7fac9db6cac25a.d: crates/tools/src/bin/openmeta.rs
+
+/root/repo/target/debug/deps/openmeta-5e7fac9db6cac25a: crates/tools/src/bin/openmeta.rs
+
+crates/tools/src/bin/openmeta.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/openmeta-ec3715b6f36c71af.d: crates/tools/src/bin/openmeta.rs
+
+/root/repo/target/debug/deps/openmeta-ec3715b6f36c71af: crates/tools/src/bin/openmeta.rs
+
+crates/tools/src/bin/openmeta.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/openmeta-fb01476eeae40f8c.d: crates/tools/src/bin/openmeta.rs Cargo.toml
+
+/root/repo/target/debug/deps/libopenmeta-fb01476eeae40f8c.rmeta: crates/tools/src/bin/openmeta.rs Cargo.toml
+
+crates/tools/src/bin/openmeta.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/openmeta_bench-35caa21ee6aa7746.d: crates/bench/src/lib.rs crates/bench/src/reports.rs crates/bench/src/workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libopenmeta_bench-35caa21ee6aa7746.rmeta: crates/bench/src/lib.rs crates/bench/src/reports.rs crates/bench/src/workloads.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/reports.rs:
+crates/bench/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/openmeta_bench-7284537c92f5ac95.d: crates/bench/src/lib.rs crates/bench/src/reports.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/openmeta_bench-7284537c92f5ac95: crates/bench/src/lib.rs crates/bench/src/reports.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/reports.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/openmeta_bench-99a4a4020e0fe89a.d: crates/bench/src/lib.rs crates/bench/src/reports.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libopenmeta_bench-99a4a4020e0fe89a.rlib: crates/bench/src/lib.rs crates/bench/src/reports.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libopenmeta_bench-99a4a4020e0fe89a.rmeta: crates/bench/src/lib.rs crates/bench/src/reports.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/reports.rs:
+crates/bench/src/workloads.rs:

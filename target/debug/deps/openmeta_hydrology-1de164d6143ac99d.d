@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/openmeta_hydrology-1de164d6143ac99d.d: crates/hydrology/src/lib.rs crates/hydrology/src/components.rs crates/hydrology/src/dataset.rs crates/hydrology/src/messages.rs crates/hydrology/src/pipeline.rs
+
+/root/repo/target/debug/deps/openmeta_hydrology-1de164d6143ac99d: crates/hydrology/src/lib.rs crates/hydrology/src/components.rs crates/hydrology/src/dataset.rs crates/hydrology/src/messages.rs crates/hydrology/src/pipeline.rs
+
+crates/hydrology/src/lib.rs:
+crates/hydrology/src/components.rs:
+crates/hydrology/src/dataset.rs:
+crates/hydrology/src/messages.rs:
+crates/hydrology/src/pipeline.rs:

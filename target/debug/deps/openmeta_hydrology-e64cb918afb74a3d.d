@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/openmeta_hydrology-e64cb918afb74a3d.d: crates/hydrology/src/lib.rs crates/hydrology/src/components.rs crates/hydrology/src/dataset.rs crates/hydrology/src/messages.rs crates/hydrology/src/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libopenmeta_hydrology-e64cb918afb74a3d.rmeta: crates/hydrology/src/lib.rs crates/hydrology/src/components.rs crates/hydrology/src/dataset.rs crates/hydrology/src/messages.rs crates/hydrology/src/pipeline.rs Cargo.toml
+
+crates/hydrology/src/lib.rs:
+crates/hydrology/src/components.rs:
+crates/hydrology/src/dataset.rs:
+crates/hydrology/src/messages.rs:
+crates/hydrology/src/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

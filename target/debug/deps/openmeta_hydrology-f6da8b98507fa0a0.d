@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/openmeta_hydrology-f6da8b98507fa0a0.d: crates/hydrology/src/lib.rs crates/hydrology/src/components.rs crates/hydrology/src/dataset.rs crates/hydrology/src/messages.rs crates/hydrology/src/pipeline.rs
+
+/root/repo/target/debug/deps/libopenmeta_hydrology-f6da8b98507fa0a0.rlib: crates/hydrology/src/lib.rs crates/hydrology/src/components.rs crates/hydrology/src/dataset.rs crates/hydrology/src/messages.rs crates/hydrology/src/pipeline.rs
+
+/root/repo/target/debug/deps/libopenmeta_hydrology-f6da8b98507fa0a0.rmeta: crates/hydrology/src/lib.rs crates/hydrology/src/components.rs crates/hydrology/src/dataset.rs crates/hydrology/src/messages.rs crates/hydrology/src/pipeline.rs
+
+crates/hydrology/src/lib.rs:
+crates/hydrology/src/components.rs:
+crates/hydrology/src/dataset.rs:
+crates/hydrology/src/messages.rs:
+crates/hydrology/src/pipeline.rs:

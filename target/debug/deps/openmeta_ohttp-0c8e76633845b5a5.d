@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/openmeta_ohttp-0c8e76633845b5a5.d: crates/ohttp/src/lib.rs crates/ohttp/src/client.rs crates/ohttp/src/error.rs crates/ohttp/src/server.rs crates/ohttp/src/source.rs crates/ohttp/src/url.rs
+
+/root/repo/target/debug/deps/openmeta_ohttp-0c8e76633845b5a5: crates/ohttp/src/lib.rs crates/ohttp/src/client.rs crates/ohttp/src/error.rs crates/ohttp/src/server.rs crates/ohttp/src/source.rs crates/ohttp/src/url.rs
+
+crates/ohttp/src/lib.rs:
+crates/ohttp/src/client.rs:
+crates/ohttp/src/error.rs:
+crates/ohttp/src/server.rs:
+crates/ohttp/src/source.rs:
+crates/ohttp/src/url.rs:

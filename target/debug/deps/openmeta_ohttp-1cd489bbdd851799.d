@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/openmeta_ohttp-1cd489bbdd851799.d: crates/ohttp/src/lib.rs crates/ohttp/src/client.rs crates/ohttp/src/error.rs crates/ohttp/src/server.rs crates/ohttp/src/source.rs crates/ohttp/src/url.rs
+
+/root/repo/target/debug/deps/libopenmeta_ohttp-1cd489bbdd851799.rlib: crates/ohttp/src/lib.rs crates/ohttp/src/client.rs crates/ohttp/src/error.rs crates/ohttp/src/server.rs crates/ohttp/src/source.rs crates/ohttp/src/url.rs
+
+/root/repo/target/debug/deps/libopenmeta_ohttp-1cd489bbdd851799.rmeta: crates/ohttp/src/lib.rs crates/ohttp/src/client.rs crates/ohttp/src/error.rs crates/ohttp/src/server.rs crates/ohttp/src/source.rs crates/ohttp/src/url.rs
+
+crates/ohttp/src/lib.rs:
+crates/ohttp/src/client.rs:
+crates/ohttp/src/error.rs:
+crates/ohttp/src/server.rs:
+crates/ohttp/src/source.rs:
+crates/ohttp/src/url.rs:

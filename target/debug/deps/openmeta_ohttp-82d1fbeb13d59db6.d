@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/openmeta_ohttp-82d1fbeb13d59db6.d: crates/ohttp/src/lib.rs crates/ohttp/src/client.rs crates/ohttp/src/error.rs crates/ohttp/src/server.rs crates/ohttp/src/source.rs crates/ohttp/src/url.rs Cargo.toml
+
+/root/repo/target/debug/deps/libopenmeta_ohttp-82d1fbeb13d59db6.rmeta: crates/ohttp/src/lib.rs crates/ohttp/src/client.rs crates/ohttp/src/error.rs crates/ohttp/src/server.rs crates/ohttp/src/source.rs crates/ohttp/src/url.rs Cargo.toml
+
+crates/ohttp/src/lib.rs:
+crates/ohttp/src/client.rs:
+crates/ohttp/src/error.rs:
+crates/ohttp/src/server.rs:
+crates/ohttp/src/source.rs:
+crates/ohttp/src/url.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

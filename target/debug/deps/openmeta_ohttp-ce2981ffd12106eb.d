@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/openmeta_ohttp-ce2981ffd12106eb.d: crates/ohttp/src/lib.rs crates/ohttp/src/client.rs crates/ohttp/src/error.rs crates/ohttp/src/server.rs crates/ohttp/src/source.rs crates/ohttp/src/url.rs Cargo.toml
+
+/root/repo/target/debug/deps/libopenmeta_ohttp-ce2981ffd12106eb.rmeta: crates/ohttp/src/lib.rs crates/ohttp/src/client.rs crates/ohttp/src/error.rs crates/ohttp/src/server.rs crates/ohttp/src/source.rs crates/ohttp/src/url.rs Cargo.toml
+
+crates/ohttp/src/lib.rs:
+crates/ohttp/src/client.rs:
+crates/ohttp/src/error.rs:
+crates/ohttp/src/server.rs:
+crates/ohttp/src/source.rs:
+crates/ohttp/src/url.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/openmeta_pbio-cc7aaf0e790de093.d: crates/pbio/src/lib.rs crates/pbio/src/codec.rs crates/pbio/src/convert.rs crates/pbio/src/error.rs crates/pbio/src/field.rs crates/pbio/src/file.rs crates/pbio/src/format.rs crates/pbio/src/layout.rs crates/pbio/src/machine.rs crates/pbio/src/marshal.rs crates/pbio/src/plan.rs crates/pbio/src/record.rs crates/pbio/src/registry.rs crates/pbio/src/server.rs crates/pbio/src/types.rs crates/pbio/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libopenmeta_pbio-cc7aaf0e790de093.rmeta: crates/pbio/src/lib.rs crates/pbio/src/codec.rs crates/pbio/src/convert.rs crates/pbio/src/error.rs crates/pbio/src/field.rs crates/pbio/src/file.rs crates/pbio/src/format.rs crates/pbio/src/layout.rs crates/pbio/src/machine.rs crates/pbio/src/marshal.rs crates/pbio/src/plan.rs crates/pbio/src/record.rs crates/pbio/src/registry.rs crates/pbio/src/server.rs crates/pbio/src/types.rs crates/pbio/src/value.rs Cargo.toml
+
+crates/pbio/src/lib.rs:
+crates/pbio/src/codec.rs:
+crates/pbio/src/convert.rs:
+crates/pbio/src/error.rs:
+crates/pbio/src/field.rs:
+crates/pbio/src/file.rs:
+crates/pbio/src/format.rs:
+crates/pbio/src/layout.rs:
+crates/pbio/src/machine.rs:
+crates/pbio/src/marshal.rs:
+crates/pbio/src/plan.rs:
+crates/pbio/src/record.rs:
+crates/pbio/src/registry.rs:
+crates/pbio/src/server.rs:
+crates/pbio/src/types.rs:
+crates/pbio/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

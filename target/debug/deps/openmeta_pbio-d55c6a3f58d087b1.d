@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/openmeta_pbio-d55c6a3f58d087b1.d: crates/pbio/src/lib.rs crates/pbio/src/codec.rs crates/pbio/src/convert.rs crates/pbio/src/error.rs crates/pbio/src/field.rs crates/pbio/src/file.rs crates/pbio/src/format.rs crates/pbio/src/layout.rs crates/pbio/src/machine.rs crates/pbio/src/marshal.rs crates/pbio/src/plan.rs crates/pbio/src/record.rs crates/pbio/src/registry.rs crates/pbio/src/server.rs crates/pbio/src/types.rs crates/pbio/src/value.rs
+
+/root/repo/target/debug/deps/openmeta_pbio-d55c6a3f58d087b1: crates/pbio/src/lib.rs crates/pbio/src/codec.rs crates/pbio/src/convert.rs crates/pbio/src/error.rs crates/pbio/src/field.rs crates/pbio/src/file.rs crates/pbio/src/format.rs crates/pbio/src/layout.rs crates/pbio/src/machine.rs crates/pbio/src/marshal.rs crates/pbio/src/plan.rs crates/pbio/src/record.rs crates/pbio/src/registry.rs crates/pbio/src/server.rs crates/pbio/src/types.rs crates/pbio/src/value.rs
+
+crates/pbio/src/lib.rs:
+crates/pbio/src/codec.rs:
+crates/pbio/src/convert.rs:
+crates/pbio/src/error.rs:
+crates/pbio/src/field.rs:
+crates/pbio/src/file.rs:
+crates/pbio/src/format.rs:
+crates/pbio/src/layout.rs:
+crates/pbio/src/machine.rs:
+crates/pbio/src/marshal.rs:
+crates/pbio/src/plan.rs:
+crates/pbio/src/record.rs:
+crates/pbio/src/registry.rs:
+crates/pbio/src/server.rs:
+crates/pbio/src/types.rs:
+crates/pbio/src/value.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/openmeta_repro-12bc1b5492a6076c.d: src/lib.rs
+
+/root/repo/target/debug/deps/openmeta_repro-12bc1b5492a6076c: src/lib.rs
+
+src/lib.rs:

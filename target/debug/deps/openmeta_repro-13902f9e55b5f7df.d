@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/openmeta_repro-13902f9e55b5f7df.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libopenmeta_repro-13902f9e55b5f7df.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/openmeta_repro-b81ae0d82f92a1c3.d: src/lib.rs
+
+/root/repo/target/debug/deps/libopenmeta_repro-b81ae0d82f92a1c3.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libopenmeta_repro-b81ae0d82f92a1c3.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/openmeta_repro-c8a6199afd5fd328.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libopenmeta_repro-c8a6199afd5fd328.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/openmeta_schema-67776a710247af9d.d: crates/schema/src/lib.rs crates/schema/src/error.rs crates/schema/src/model.rs crates/schema/src/parse.rs crates/schema/src/write.rs crates/schema/src/xsd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libopenmeta_schema-67776a710247af9d.rmeta: crates/schema/src/lib.rs crates/schema/src/error.rs crates/schema/src/model.rs crates/schema/src/parse.rs crates/schema/src/write.rs crates/schema/src/xsd.rs Cargo.toml
+
+crates/schema/src/lib.rs:
+crates/schema/src/error.rs:
+crates/schema/src/model.rs:
+crates/schema/src/parse.rs:
+crates/schema/src/write.rs:
+crates/schema/src/xsd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/openmeta_schema-7af71836476eba8e.d: crates/schema/src/lib.rs crates/schema/src/error.rs crates/schema/src/model.rs crates/schema/src/parse.rs crates/schema/src/write.rs crates/schema/src/xsd.rs
+
+/root/repo/target/debug/deps/openmeta_schema-7af71836476eba8e: crates/schema/src/lib.rs crates/schema/src/error.rs crates/schema/src/model.rs crates/schema/src/parse.rs crates/schema/src/write.rs crates/schema/src/xsd.rs
+
+crates/schema/src/lib.rs:
+crates/schema/src/error.rs:
+crates/schema/src/model.rs:
+crates/schema/src/parse.rs:
+crates/schema/src/write.rs:
+crates/schema/src/xsd.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/openmeta_schema-96f6d1ca5b9d6b40.d: crates/schema/src/lib.rs crates/schema/src/error.rs crates/schema/src/model.rs crates/schema/src/parse.rs crates/schema/src/write.rs crates/schema/src/xsd.rs
+
+/root/repo/target/debug/deps/libopenmeta_schema-96f6d1ca5b9d6b40.rlib: crates/schema/src/lib.rs crates/schema/src/error.rs crates/schema/src/model.rs crates/schema/src/parse.rs crates/schema/src/write.rs crates/schema/src/xsd.rs
+
+/root/repo/target/debug/deps/libopenmeta_schema-96f6d1ca5b9d6b40.rmeta: crates/schema/src/lib.rs crates/schema/src/error.rs crates/schema/src/model.rs crates/schema/src/parse.rs crates/schema/src/write.rs crates/schema/src/xsd.rs
+
+crates/schema/src/lib.rs:
+crates/schema/src/error.rs:
+crates/schema/src/model.rs:
+crates/schema/src/parse.rs:
+crates/schema/src/write.rs:
+crates/schema/src/xsd.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/openmeta_tools-c13d48f37c0e0b5f.d: crates/tools/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libopenmeta_tools-c13d48f37c0e0b5f.rmeta: crates/tools/src/lib.rs Cargo.toml
+
+crates/tools/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/openmeta_tools-e7e99f57910831d2.d: crates/tools/src/lib.rs
+
+/root/repo/target/debug/deps/openmeta_tools-e7e99f57910831d2: crates/tools/src/lib.rs
+
+crates/tools/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/openmeta_tools-e88e5180e8b96890.d: crates/tools/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libopenmeta_tools-e88e5180e8b96890.rmeta: crates/tools/src/lib.rs Cargo.toml
+
+crates/tools/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

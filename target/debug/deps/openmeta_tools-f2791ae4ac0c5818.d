@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/openmeta_tools-f2791ae4ac0c5818.d: crates/tools/src/lib.rs
+
+/root/repo/target/debug/deps/libopenmeta_tools-f2791ae4ac0c5818.rlib: crates/tools/src/lib.rs
+
+/root/repo/target/debug/deps/libopenmeta_tools-f2791ae4ac0c5818.rmeta: crates/tools/src/lib.rs
+
+crates/tools/src/lib.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/openmeta_wire-00c95a8232896900.d: crates/wire/src/lib.rs crates/wire/src/cdr.rs crates/wire/src/error.rs crates/wire/src/giop.rs crates/wire/src/mpipack.rs crates/wire/src/pbiowire.rs crates/wire/src/soap.rs crates/wire/src/traits.rs crates/wire/src/util.rs crates/wire/src/xdr.rs crates/wire/src/xmlrpc.rs crates/wire/src/xmlwire.rs
+
+/root/repo/target/debug/deps/libopenmeta_wire-00c95a8232896900.rlib: crates/wire/src/lib.rs crates/wire/src/cdr.rs crates/wire/src/error.rs crates/wire/src/giop.rs crates/wire/src/mpipack.rs crates/wire/src/pbiowire.rs crates/wire/src/soap.rs crates/wire/src/traits.rs crates/wire/src/util.rs crates/wire/src/xdr.rs crates/wire/src/xmlrpc.rs crates/wire/src/xmlwire.rs
+
+/root/repo/target/debug/deps/libopenmeta_wire-00c95a8232896900.rmeta: crates/wire/src/lib.rs crates/wire/src/cdr.rs crates/wire/src/error.rs crates/wire/src/giop.rs crates/wire/src/mpipack.rs crates/wire/src/pbiowire.rs crates/wire/src/soap.rs crates/wire/src/traits.rs crates/wire/src/util.rs crates/wire/src/xdr.rs crates/wire/src/xmlrpc.rs crates/wire/src/xmlwire.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/cdr.rs:
+crates/wire/src/error.rs:
+crates/wire/src/giop.rs:
+crates/wire/src/mpipack.rs:
+crates/wire/src/pbiowire.rs:
+crates/wire/src/soap.rs:
+crates/wire/src/traits.rs:
+crates/wire/src/util.rs:
+crates/wire/src/xdr.rs:
+crates/wire/src/xmlrpc.rs:
+crates/wire/src/xmlwire.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/openmeta_wire-3e122e50892ccfa8.d: crates/wire/src/lib.rs crates/wire/src/cdr.rs crates/wire/src/error.rs crates/wire/src/giop.rs crates/wire/src/mpipack.rs crates/wire/src/pbiowire.rs crates/wire/src/soap.rs crates/wire/src/traits.rs crates/wire/src/util.rs crates/wire/src/xdr.rs crates/wire/src/xmlrpc.rs crates/wire/src/xmlwire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libopenmeta_wire-3e122e50892ccfa8.rmeta: crates/wire/src/lib.rs crates/wire/src/cdr.rs crates/wire/src/error.rs crates/wire/src/giop.rs crates/wire/src/mpipack.rs crates/wire/src/pbiowire.rs crates/wire/src/soap.rs crates/wire/src/traits.rs crates/wire/src/util.rs crates/wire/src/xdr.rs crates/wire/src/xmlrpc.rs crates/wire/src/xmlwire.rs Cargo.toml
+
+crates/wire/src/lib.rs:
+crates/wire/src/cdr.rs:
+crates/wire/src/error.rs:
+crates/wire/src/giop.rs:
+crates/wire/src/mpipack.rs:
+crates/wire/src/pbiowire.rs:
+crates/wire/src/soap.rs:
+crates/wire/src/traits.rs:
+crates/wire/src/util.rs:
+crates/wire/src/xdr.rs:
+crates/wire/src/xmlrpc.rs:
+crates/wire/src/xmlwire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

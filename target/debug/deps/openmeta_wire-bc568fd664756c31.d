@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/openmeta_wire-bc568fd664756c31.d: crates/wire/src/lib.rs crates/wire/src/cdr.rs crates/wire/src/error.rs crates/wire/src/giop.rs crates/wire/src/mpipack.rs crates/wire/src/pbiowire.rs crates/wire/src/soap.rs crates/wire/src/traits.rs crates/wire/src/util.rs crates/wire/src/xdr.rs crates/wire/src/xmlrpc.rs crates/wire/src/xmlwire.rs
+
+/root/repo/target/debug/deps/openmeta_wire-bc568fd664756c31: crates/wire/src/lib.rs crates/wire/src/cdr.rs crates/wire/src/error.rs crates/wire/src/giop.rs crates/wire/src/mpipack.rs crates/wire/src/pbiowire.rs crates/wire/src/soap.rs crates/wire/src/traits.rs crates/wire/src/util.rs crates/wire/src/xdr.rs crates/wire/src/xmlrpc.rs crates/wire/src/xmlwire.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/cdr.rs:
+crates/wire/src/error.rs:
+crates/wire/src/giop.rs:
+crates/wire/src/mpipack.rs:
+crates/wire/src/pbiowire.rs:
+crates/wire/src/soap.rs:
+crates/wire/src/traits.rs:
+crates/wire/src/util.rs:
+crates/wire/src/xdr.rs:
+crates/wire/src/xmlrpc.rs:
+crates/wire/src/xmlwire.rs:

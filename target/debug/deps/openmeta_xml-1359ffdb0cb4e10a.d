@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/openmeta_xml-1359ffdb0cb4e10a.d: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/name.rs crates/xml/src/reader.rs crates/xml/src/writer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libopenmeta_xml-1359ffdb0cb4e10a.rmeta: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/name.rs crates/xml/src/reader.rs crates/xml/src/writer.rs Cargo.toml
+
+crates/xml/src/lib.rs:
+crates/xml/src/dom.rs:
+crates/xml/src/error.rs:
+crates/xml/src/escape.rs:
+crates/xml/src/name.rs:
+crates/xml/src/reader.rs:
+crates/xml/src/writer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/openmeta_xml-1a8bb71cb75306e5.d: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/name.rs crates/xml/src/reader.rs crates/xml/src/writer.rs
+
+/root/repo/target/debug/deps/openmeta_xml-1a8bb71cb75306e5: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/name.rs crates/xml/src/reader.rs crates/xml/src/writer.rs
+
+crates/xml/src/lib.rs:
+crates/xml/src/dom.rs:
+crates/xml/src/error.rs:
+crates/xml/src/escape.rs:
+crates/xml/src/name.rs:
+crates/xml/src/reader.rs:
+crates/xml/src/writer.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/openmeta_xml-c8b3e5b33691fe8d.d: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/name.rs crates/xml/src/reader.rs crates/xml/src/writer.rs
+
+/root/repo/target/debug/deps/libopenmeta_xml-c8b3e5b33691fe8d.rlib: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/name.rs crates/xml/src/reader.rs crates/xml/src/writer.rs
+
+/root/repo/target/debug/deps/libopenmeta_xml-c8b3e5b33691fe8d.rmeta: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/name.rs crates/xml/src/reader.rs crates/xml/src/writer.rs
+
+crates/xml/src/lib.rs:
+crates/xml/src/dom.rs:
+crates/xml/src/error.rs:
+crates/xml/src/escape.rs:
+crates/xml/src/name.rs:
+crates/xml/src/reader.rs:
+crates/xml/src/writer.rs:

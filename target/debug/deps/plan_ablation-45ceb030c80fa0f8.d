@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plan_ablation-45ceb030c80fa0f8.d: crates/bench/src/bin/plan_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplan_ablation-45ceb030c80fa0f8.rmeta: crates/bench/src/bin/plan_ablation.rs Cargo.toml
+
+crates/bench/src/bin/plan_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

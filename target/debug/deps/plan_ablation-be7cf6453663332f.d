@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plan_ablation-be7cf6453663332f.d: crates/bench/src/bin/plan_ablation.rs
+
+/root/repo/target/debug/deps/plan_ablation-be7cf6453663332f: crates/bench/src/bin/plan_ablation.rs
+
+crates/bench/src/bin/plan_ablation.rs:

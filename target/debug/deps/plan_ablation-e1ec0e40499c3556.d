@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plan_ablation-e1ec0e40499c3556.d: crates/bench/src/bin/plan_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplan_ablation-e1ec0e40499c3556.rmeta: crates/bench/src/bin/plan_ablation.rs Cargo.toml
+
+crates/bench/src/bin/plan_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

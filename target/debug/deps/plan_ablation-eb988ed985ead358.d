@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plan_ablation-eb988ed985ead358.d: crates/bench/src/bin/plan_ablation.rs
+
+/root/repo/target/debug/deps/plan_ablation-eb988ed985ead358: crates/bench/src/bin/plan_ablation.rs
+
+crates/bench/src/bin/plan_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plan_differential-0518c1e29cdddbdc.d: crates/pbio/tests/plan_differential.rs
+
+/root/repo/target/debug/deps/plan_differential-0518c1e29cdddbdc: crates/pbio/tests/plan_differential.rs
+
+crates/pbio/tests/plan_differential.rs:

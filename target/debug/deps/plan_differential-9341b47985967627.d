@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plan_differential-9341b47985967627.d: crates/pbio/tests/plan_differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplan_differential-9341b47985967627.rmeta: crates/pbio/tests/plan_differential.rs Cargo.toml
+
+crates/pbio/tests/plan_differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-2f66be474c01255d.d: crates/xml/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-2f66be474c01255d: crates/xml/tests/proptests.rs
+
+crates/xml/tests/proptests.rs:

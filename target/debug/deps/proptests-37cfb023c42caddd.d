@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-37cfb023c42caddd.d: crates/pbio/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-37cfb023c42caddd: crates/pbio/tests/proptests.rs
+
+crates/pbio/tests/proptests.rs:

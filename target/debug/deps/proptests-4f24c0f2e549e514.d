@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-4f24c0f2e549e514.d: crates/schema/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-4f24c0f2e549e514: crates/schema/tests/proptests.rs
+
+crates/schema/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-b47c8114f243dcbc.d: crates/schema/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-b47c8114f243dcbc.rmeta: crates/schema/tests/proptests.rs Cargo.toml
+
+crates/schema/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-da40fc2d7e23c718.d: crates/xml/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-da40fc2d7e23c718.rmeta: crates/xml/tests/proptests.rs Cargo.toml
+
+crates/xml/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

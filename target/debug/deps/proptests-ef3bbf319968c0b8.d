@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-ef3bbf319968c0b8.d: crates/pbio/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-ef3bbf319968c0b8.rmeta: crates/pbio/tests/proptests.rs Cargo.toml
+
+crates/pbio/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/remote_discovery-914475f389e1ea00.d: tests/remote_discovery.rs
+
+/root/repo/target/debug/deps/remote_discovery-914475f389e1ea00: tests/remote_discovery.rs
+
+tests/remote_discovery.rs:

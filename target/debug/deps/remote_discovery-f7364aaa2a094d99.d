@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/remote_discovery-f7364aaa2a094d99.d: tests/remote_discovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libremote_discovery-f7364aaa2a094d99.rmeta: tests/remote_discovery.rs Cargo.toml
+
+tests/remote_discovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/view_nested-dc8fa24cb7b15aaa.d: crates/pbio/tests/view_nested.rs Cargo.toml
+
+/root/repo/target/debug/deps/libview_nested-dc8fa24cb7b15aaa.rmeta: crates/pbio/tests/view_nested.rs Cargo.toml
+
+crates/pbio/tests/view_nested.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

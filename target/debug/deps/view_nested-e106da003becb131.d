@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/view_nested-e106da003becb131.d: crates/pbio/tests/view_nested.rs
+
+/root/repo/target/debug/deps/view_nested-e106da003becb131: crates/pbio/tests/view_nested.rs
+
+crates/pbio/tests/view_nested.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/xmit-6bb3300fe2609109.d: crates/xmit/src/lib.rs crates/xmit/src/codegen/mod.rs crates/xmit/src/codegen/c.rs crates/xmit/src/codegen/cpp.rs crates/xmit/src/codegen/java.rs crates/xmit/src/codegen/jvm.rs crates/xmit/src/error.rs crates/xmit/src/evolution.rs crates/xmit/src/mapping.rs crates/xmit/src/matching.rs crates/xmit/src/messaging.rs crates/xmit/src/projection.rs crates/xmit/src/toolkit.rs crates/xmit/src/watcher.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxmit-6bb3300fe2609109.rmeta: crates/xmit/src/lib.rs crates/xmit/src/codegen/mod.rs crates/xmit/src/codegen/c.rs crates/xmit/src/codegen/cpp.rs crates/xmit/src/codegen/java.rs crates/xmit/src/codegen/jvm.rs crates/xmit/src/error.rs crates/xmit/src/evolution.rs crates/xmit/src/mapping.rs crates/xmit/src/matching.rs crates/xmit/src/messaging.rs crates/xmit/src/projection.rs crates/xmit/src/toolkit.rs crates/xmit/src/watcher.rs Cargo.toml
+
+crates/xmit/src/lib.rs:
+crates/xmit/src/codegen/mod.rs:
+crates/xmit/src/codegen/c.rs:
+crates/xmit/src/codegen/cpp.rs:
+crates/xmit/src/codegen/java.rs:
+crates/xmit/src/codegen/jvm.rs:
+crates/xmit/src/error.rs:
+crates/xmit/src/evolution.rs:
+crates/xmit/src/mapping.rs:
+crates/xmit/src/matching.rs:
+crates/xmit/src/messaging.rs:
+crates/xmit/src/projection.rs:
+crates/xmit/src/toolkit.rs:
+crates/xmit/src/watcher.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/handheld_projection-45929b974229b223.d: examples/handheld_projection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhandheld_projection-45929b974229b223.rmeta: examples/handheld_projection.rs Cargo.toml
+
+examples/handheld_projection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

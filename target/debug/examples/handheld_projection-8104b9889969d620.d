@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/handheld_projection-8104b9889969d620.d: examples/handheld_projection.rs
+
+/root/repo/target/debug/examples/handheld_projection-8104b9889969d620: examples/handheld_projection.rs
+
+examples/handheld_projection.rs:

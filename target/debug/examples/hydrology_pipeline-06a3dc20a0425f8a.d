@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hydrology_pipeline-06a3dc20a0425f8a.d: examples/hydrology_pipeline.rs
+
+/root/repo/target/debug/examples/hydrology_pipeline-06a3dc20a0425f8a: examples/hydrology_pipeline.rs
+
+examples/hydrology_pipeline.rs:

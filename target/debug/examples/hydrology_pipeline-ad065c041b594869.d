@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hydrology_pipeline-ad065c041b594869.d: examples/hydrology_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhydrology_pipeline-ad065c041b594869.rmeta: examples/hydrology_pipeline.rs Cargo.toml
+
+examples/hydrology_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/interop_gateway-902bd366ea5ab262.d: examples/interop_gateway.rs
+
+/root/repo/target/debug/examples/interop_gateway-902bd366ea5ab262: examples/interop_gateway.rs
+
+examples/interop_gateway.rs:

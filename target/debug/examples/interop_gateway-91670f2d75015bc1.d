@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/interop_gateway-91670f2d75015bc1.d: examples/interop_gateway.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinterop_gateway-91670f2d75015bc1.rmeta: examples/interop_gateway.rs Cargo.toml
+
+examples/interop_gateway.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-dd2d906f72598311.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-dd2d906f72598311: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/remote_discovery-4fdbb8ae53d58cf1.d: examples/remote_discovery.rs Cargo.toml
+
+/root/repo/target/debug/examples/libremote_discovery-4fdbb8ae53d58cf1.rmeta: examples/remote_discovery.rs Cargo.toml
+
+examples/remote_discovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

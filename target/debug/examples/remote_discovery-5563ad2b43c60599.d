@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/remote_discovery-5563ad2b43c60599.d: examples/remote_discovery.rs
+
+/root/repo/target/debug/examples/remote_discovery-5563ad2b43c60599: examples/remote_discovery.rs
+
+examples/remote_discovery.rs:

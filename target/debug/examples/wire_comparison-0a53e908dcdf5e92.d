@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/wire_comparison-0a53e908dcdf5e92.d: examples/wire_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwire_comparison-0a53e908dcdf5e92.rmeta: examples/wire_comparison.rs Cargo.toml
+
+examples/wire_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

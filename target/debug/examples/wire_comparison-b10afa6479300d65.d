@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wire_comparison-b10afa6479300d65.d: examples/wire_comparison.rs
+
+/root/repo/target/debug/examples/wire_comparison-b10afa6479300d65: examples/wire_comparison.rs
+
+examples/wire_comparison.rs:

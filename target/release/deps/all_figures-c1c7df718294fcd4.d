@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_figures-c1c7df718294fcd4.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/release/deps/all_figures-c1c7df718294fcd4: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-0f03bd829ccc9a6d.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-0f03bd829ccc9a6d: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

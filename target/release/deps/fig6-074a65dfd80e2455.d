@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-074a65dfd80e2455.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-074a65dfd80e2455: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-e4ddcf2f969d1c14.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-e4ddcf2f969d1c14: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

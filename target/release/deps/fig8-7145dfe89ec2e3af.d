@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-7145dfe89ec2e3af.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-7145dfe89ec2e3af: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

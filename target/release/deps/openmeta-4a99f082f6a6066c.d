@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/openmeta-4a99f082f6a6066c.d: crates/tools/src/bin/openmeta.rs
+
+/root/repo/target/release/deps/openmeta-4a99f082f6a6066c: crates/tools/src/bin/openmeta.rs
+
+crates/tools/src/bin/openmeta.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/openmeta_bench-df0198a88d0a13f7.d: crates/bench/src/lib.rs crates/bench/src/reports.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libopenmeta_bench-df0198a88d0a13f7.rlib: crates/bench/src/lib.rs crates/bench/src/reports.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libopenmeta_bench-df0198a88d0a13f7.rmeta: crates/bench/src/lib.rs crates/bench/src/reports.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/reports.rs:
+crates/bench/src/workloads.rs:

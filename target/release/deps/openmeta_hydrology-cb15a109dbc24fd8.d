@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/openmeta_hydrology-cb15a109dbc24fd8.d: crates/hydrology/src/lib.rs crates/hydrology/src/components.rs crates/hydrology/src/dataset.rs crates/hydrology/src/messages.rs crates/hydrology/src/pipeline.rs
+
+/root/repo/target/release/deps/libopenmeta_hydrology-cb15a109dbc24fd8.rlib: crates/hydrology/src/lib.rs crates/hydrology/src/components.rs crates/hydrology/src/dataset.rs crates/hydrology/src/messages.rs crates/hydrology/src/pipeline.rs
+
+/root/repo/target/release/deps/libopenmeta_hydrology-cb15a109dbc24fd8.rmeta: crates/hydrology/src/lib.rs crates/hydrology/src/components.rs crates/hydrology/src/dataset.rs crates/hydrology/src/messages.rs crates/hydrology/src/pipeline.rs
+
+crates/hydrology/src/lib.rs:
+crates/hydrology/src/components.rs:
+crates/hydrology/src/dataset.rs:
+crates/hydrology/src/messages.rs:
+crates/hydrology/src/pipeline.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/openmeta_ohttp-30d087a7bb3fb084.d: crates/ohttp/src/lib.rs crates/ohttp/src/client.rs crates/ohttp/src/error.rs crates/ohttp/src/server.rs crates/ohttp/src/source.rs crates/ohttp/src/url.rs
+
+/root/repo/target/release/deps/libopenmeta_ohttp-30d087a7bb3fb084.rlib: crates/ohttp/src/lib.rs crates/ohttp/src/client.rs crates/ohttp/src/error.rs crates/ohttp/src/server.rs crates/ohttp/src/source.rs crates/ohttp/src/url.rs
+
+/root/repo/target/release/deps/libopenmeta_ohttp-30d087a7bb3fb084.rmeta: crates/ohttp/src/lib.rs crates/ohttp/src/client.rs crates/ohttp/src/error.rs crates/ohttp/src/server.rs crates/ohttp/src/source.rs crates/ohttp/src/url.rs
+
+crates/ohttp/src/lib.rs:
+crates/ohttp/src/client.rs:
+crates/ohttp/src/error.rs:
+crates/ohttp/src/server.rs:
+crates/ohttp/src/source.rs:
+crates/ohttp/src/url.rs:

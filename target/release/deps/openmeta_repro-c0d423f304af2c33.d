@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/openmeta_repro-c0d423f304af2c33.d: src/lib.rs
+
+/root/repo/target/release/deps/libopenmeta_repro-c0d423f304af2c33.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libopenmeta_repro-c0d423f304af2c33.rmeta: src/lib.rs
+
+src/lib.rs:

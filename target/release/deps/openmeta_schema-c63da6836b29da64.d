@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/openmeta_schema-c63da6836b29da64.d: crates/schema/src/lib.rs crates/schema/src/error.rs crates/schema/src/model.rs crates/schema/src/parse.rs crates/schema/src/write.rs crates/schema/src/xsd.rs
+
+/root/repo/target/release/deps/libopenmeta_schema-c63da6836b29da64.rlib: crates/schema/src/lib.rs crates/schema/src/error.rs crates/schema/src/model.rs crates/schema/src/parse.rs crates/schema/src/write.rs crates/schema/src/xsd.rs
+
+/root/repo/target/release/deps/libopenmeta_schema-c63da6836b29da64.rmeta: crates/schema/src/lib.rs crates/schema/src/error.rs crates/schema/src/model.rs crates/schema/src/parse.rs crates/schema/src/write.rs crates/schema/src/xsd.rs
+
+crates/schema/src/lib.rs:
+crates/schema/src/error.rs:
+crates/schema/src/model.rs:
+crates/schema/src/parse.rs:
+crates/schema/src/write.rs:
+crates/schema/src/xsd.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/openmeta_tools-3b1b93b8f1a17023.d: crates/tools/src/lib.rs
+
+/root/repo/target/release/deps/libopenmeta_tools-3b1b93b8f1a17023.rlib: crates/tools/src/lib.rs
+
+/root/repo/target/release/deps/libopenmeta_tools-3b1b93b8f1a17023.rmeta: crates/tools/src/lib.rs
+
+crates/tools/src/lib.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/openmeta_wire-9042c8cc02be97d3.d: crates/wire/src/lib.rs crates/wire/src/cdr.rs crates/wire/src/error.rs crates/wire/src/giop.rs crates/wire/src/mpipack.rs crates/wire/src/pbiowire.rs crates/wire/src/soap.rs crates/wire/src/traits.rs crates/wire/src/util.rs crates/wire/src/xdr.rs crates/wire/src/xmlrpc.rs crates/wire/src/xmlwire.rs
+
+/root/repo/target/release/deps/libopenmeta_wire-9042c8cc02be97d3.rlib: crates/wire/src/lib.rs crates/wire/src/cdr.rs crates/wire/src/error.rs crates/wire/src/giop.rs crates/wire/src/mpipack.rs crates/wire/src/pbiowire.rs crates/wire/src/soap.rs crates/wire/src/traits.rs crates/wire/src/util.rs crates/wire/src/xdr.rs crates/wire/src/xmlrpc.rs crates/wire/src/xmlwire.rs
+
+/root/repo/target/release/deps/libopenmeta_wire-9042c8cc02be97d3.rmeta: crates/wire/src/lib.rs crates/wire/src/cdr.rs crates/wire/src/error.rs crates/wire/src/giop.rs crates/wire/src/mpipack.rs crates/wire/src/pbiowire.rs crates/wire/src/soap.rs crates/wire/src/traits.rs crates/wire/src/util.rs crates/wire/src/xdr.rs crates/wire/src/xmlrpc.rs crates/wire/src/xmlwire.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/cdr.rs:
+crates/wire/src/error.rs:
+crates/wire/src/giop.rs:
+crates/wire/src/mpipack.rs:
+crates/wire/src/pbiowire.rs:
+crates/wire/src/soap.rs:
+crates/wire/src/traits.rs:
+crates/wire/src/util.rs:
+crates/wire/src/xdr.rs:
+crates/wire/src/xmlrpc.rs:
+crates/wire/src/xmlwire.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/openmeta_xml-2b6c04af002f52e0.d: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/name.rs crates/xml/src/reader.rs crates/xml/src/writer.rs
+
+/root/repo/target/release/deps/libopenmeta_xml-2b6c04af002f52e0.rlib: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/name.rs crates/xml/src/reader.rs crates/xml/src/writer.rs
+
+/root/repo/target/release/deps/libopenmeta_xml-2b6c04af002f52e0.rmeta: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/name.rs crates/xml/src/reader.rs crates/xml/src/writer.rs
+
+crates/xml/src/lib.rs:
+crates/xml/src/dom.rs:
+crates/xml/src/error.rs:
+crates/xml/src/escape.rs:
+crates/xml/src/name.rs:
+crates/xml/src/reader.rs:
+crates/xml/src/writer.rs:

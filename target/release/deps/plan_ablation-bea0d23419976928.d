@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/plan_ablation-bea0d23419976928.d: crates/bench/src/bin/plan_ablation.rs
+
+/root/repo/target/release/deps/plan_ablation-bea0d23419976928: crates/bench/src/bin/plan_ablation.rs
+
+crates/bench/src/bin/plan_ablation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-b774234bb46940ff.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-b774234bb46940ff.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-b774234bb46940ff.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

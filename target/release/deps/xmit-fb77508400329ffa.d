@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/xmit-fb77508400329ffa.d: crates/xmit/src/lib.rs crates/xmit/src/codegen/mod.rs crates/xmit/src/codegen/c.rs crates/xmit/src/codegen/cpp.rs crates/xmit/src/codegen/java.rs crates/xmit/src/codegen/jvm.rs crates/xmit/src/error.rs crates/xmit/src/evolution.rs crates/xmit/src/mapping.rs crates/xmit/src/matching.rs crates/xmit/src/messaging.rs crates/xmit/src/projection.rs crates/xmit/src/toolkit.rs crates/xmit/src/watcher.rs
+
+/root/repo/target/release/deps/libxmit-fb77508400329ffa.rlib: crates/xmit/src/lib.rs crates/xmit/src/codegen/mod.rs crates/xmit/src/codegen/c.rs crates/xmit/src/codegen/cpp.rs crates/xmit/src/codegen/java.rs crates/xmit/src/codegen/jvm.rs crates/xmit/src/error.rs crates/xmit/src/evolution.rs crates/xmit/src/mapping.rs crates/xmit/src/matching.rs crates/xmit/src/messaging.rs crates/xmit/src/projection.rs crates/xmit/src/toolkit.rs crates/xmit/src/watcher.rs
+
+/root/repo/target/release/deps/libxmit-fb77508400329ffa.rmeta: crates/xmit/src/lib.rs crates/xmit/src/codegen/mod.rs crates/xmit/src/codegen/c.rs crates/xmit/src/codegen/cpp.rs crates/xmit/src/codegen/java.rs crates/xmit/src/codegen/jvm.rs crates/xmit/src/error.rs crates/xmit/src/evolution.rs crates/xmit/src/mapping.rs crates/xmit/src/matching.rs crates/xmit/src/messaging.rs crates/xmit/src/projection.rs crates/xmit/src/toolkit.rs crates/xmit/src/watcher.rs
+
+crates/xmit/src/lib.rs:
+crates/xmit/src/codegen/mod.rs:
+crates/xmit/src/codegen/c.rs:
+crates/xmit/src/codegen/cpp.rs:
+crates/xmit/src/codegen/java.rs:
+crates/xmit/src/codegen/jvm.rs:
+crates/xmit/src/error.rs:
+crates/xmit/src/evolution.rs:
+crates/xmit/src/mapping.rs:
+crates/xmit/src/matching.rs:
+crates/xmit/src/messaging.rs:
+crates/xmit/src/projection.rs:
+crates/xmit/src/toolkit.rs:
+crates/xmit/src/watcher.rs:

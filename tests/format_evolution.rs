@@ -27,10 +27,8 @@ fn v2_sender_to_v1_receiver_and_back() {
     // Sender binds v2 with two added fields.
     let sender = Xmit::new(MachineModel::native());
     sender
-        .load_str(&doc(
-            r#"<xsd:element name="turbidity" type="xsd:double" />
-               <xsd:element name="operator" type="xsd:string" />"#,
-        ))
+        .load_str(&doc(r#"<xsd:element name="turbidity" type="xsd:double" />
+               <xsd:element name="operator" type="xsd:string" />"#))
         .unwrap();
     let v2 = sender.bind("Sample").unwrap();
     assert_ne!(v1.id(), v2.id());
@@ -106,14 +104,12 @@ fn renamed_field_is_a_clean_default_not_corruption() {
     let ta = a.bind("Sample").unwrap();
 
     let b = Xmit::new(MachineModel::native());
-    b.load_str(
-        &format!(
-            r#"<xsd:complexType name="Sample" xmlns:xsd="{XSD}">
+    b.load_str(&format!(
+        r#"<xsd:complexType name="Sample" xmlns:xsd="{XSD}">
                  <xsd:element name="station" type="xsd:string" />
                  <xsd:element name="depth_m" type="xsd:double" />
                </xsd:complexType>"#
-        ),
-    )
+    ))
     .unwrap();
     let tb = b.bind("Sample").unwrap();
 

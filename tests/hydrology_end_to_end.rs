@@ -2,8 +2,8 @@
 //! end — five components in threads, TCP data plane, HTTP metadata
 //! discovery, Vis5D feedback control.
 
-use openmeta_hydrology::{FlowDataset, Pipeline, PipelineConfig};
 use openmeta_hydrology::components::{build_flow_record, extract_frame, flow2d_transform};
+use openmeta_hydrology::{FlowDataset, Pipeline, PipelineConfig};
 use xmit::{MachineModel, Xmit};
 
 #[test]

@@ -85,19 +85,15 @@ fn no_format_confuses_the_matcher() {
         let mut r = t.new_record();
         r.set_i64("timestep", 1).unwrap();
         r.set_f64_array("data", &[1.0]).unwrap();
-        messages.push((
-            "SimpleData".into(),
-            String::from_utf8(wire.encode_vec(&r).unwrap()).unwrap(),
-        ));
+        messages
+            .push(("SimpleData".into(), String::from_utf8(wire.encode_vec(&r).unwrap()).unwrap()));
     }
     {
         let t = toolkit.bind("JoinRequest").unwrap();
         let mut r = t.new_record();
         r.set_string("name", "x").unwrap();
-        messages.push((
-            "JoinRequest".into(),
-            String::from_utf8(wire.encode_vec(&r).unwrap()).unwrap(),
-        ));
+        messages
+            .push(("JoinRequest".into(), String::from_utf8(wire.encode_vec(&r).unwrap()).unwrap()));
     }
     {
         let t = toolkit.bind("GridMetadata").unwrap();

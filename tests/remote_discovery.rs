@@ -6,9 +6,7 @@ use std::net::TcpListener;
 use std::sync::Arc;
 
 use openmeta_pbio::server::{FormatServer, FormatServerClient};
-use xmit::{
-    FormatRegistry, HttpServer, MachineModel, Xmit, XmitReceiver, XmitSender,
-};
+use xmit::{FormatRegistry, HttpServer, MachineModel, Xmit, XmitReceiver, XmitSender};
 
 const XSD: &str = "http://www.w3.org/2001/XMLSchema";
 

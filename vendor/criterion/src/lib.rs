@@ -1,0 +1,234 @@
+//! Offline shim for `criterion`: same macro/builder surface, simple
+//! wall-clock measurement loop instead of statistical analysis.
+//!
+//! Each benchmark is auto-calibrated to a ~20 ms measurement window and
+//! reports the mean per-iteration time (plus throughput when set).
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value, mirroring
+/// `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Throughput annotation for a group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Per-iteration timing harness handed to benchmark closures.
+pub struct Bencher {
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Time `f`, auto-calibrating the iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: find an iteration count that runs ~20 ms.
+        let mut n: u64 = 1;
+        let per_iter_ns = loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(20) || n >= 1 << 30 {
+                break elapsed.as_nanos() as f64 / n as f64;
+            }
+            // Aim straight for the window, with headroom against noise.
+            let per = (elapsed.as_nanos() as f64 / n as f64).max(0.5);
+            n = ((20_000_000.0 / per) as u64).clamp(n * 2, n.saturating_mul(1 << 10));
+        };
+        self.mean_ns = per_iter_ns;
+    }
+
+    /// Time `f` only, re-running `setup` (untimed) before each iteration.
+    pub fn iter_with_setup<S, O, Setup: FnMut() -> S, F: FnMut(S) -> O>(
+        &mut self,
+        mut setup: Setup,
+        mut f: F,
+    ) {
+        // Calibrate on total timed work, excluding setup cost.
+        let mut n: u64 = 1;
+        let per_iter_ns = loop {
+            let mut timed = Duration::ZERO;
+            for _ in 0..n {
+                let input = setup();
+                let start = Instant::now();
+                black_box(f(input));
+                timed += start.elapsed();
+            }
+            if timed >= Duration::from_millis(20) || n >= 1 << 20 {
+                break timed.as_nanos() as f64 / n as f64;
+            }
+            let per = (timed.as_nanos() as f64 / n as f64).max(0.5);
+            n = ((20_000_000.0 / per) as u64).clamp(n * 2, n.saturating_mul(1 << 10));
+        };
+        self.mean_ns = per_iter_ns;
+    }
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(label: &str, mean_ns: f64, throughput: Option<Throughput>) {
+    let mut line = format!("{label:<48} time: {:>10}", fmt_time(mean_ns));
+    match throughput {
+        Some(Throughput::Bytes(bytes)) if mean_ns > 0.0 => {
+            let gib_s = bytes as f64 / mean_ns; // bytes/ns == GB/s
+            line.push_str(&format!("   thrpt: {gib_s:.3} GB/s"));
+        }
+        Some(Throughput::Elements(elems)) if mean_ns > 0.0 => {
+            let melem_s = elems as f64 * 1_000.0 / mean_ns;
+            line.push_str(&format!("   thrpt: {melem_s:.1} Melem/s"));
+        }
+        _ => {}
+    }
+    println!("{line}");
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher { mean_ns: 0.0 };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.label), b.mean_ns, self.throughput);
+        self
+    }
+
+    /// Run a benchmark with a borrowed input value.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher { mean_ns: 0.0 };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.label), b.mean_ns, self.throughput);
+        self
+    }
+
+    /// Finish the group (no-op beyond dropping it).
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _criterion: self }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { mean_ns: 0.0 };
+        f(&mut b);
+        report(name, b.mean_ns, None);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("group");
+        group.throughput(Throughput::Bytes(8));
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        trivial(&mut c);
+    }
+}

@@ -1,0 +1,898 @@
+//! Offline shim for `proptest`: same strategy/macro surface, a plain
+//! seeded random-generation engine underneath.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! the subset of proptest it actually uses.  Differences from the real
+//! crate: no shrinking (failures report the raw inputs), no regression
+//! persistence, and uniform (unweighted) `prop_oneof!` arms.  Case
+//! generation is deterministic per test name, so CI runs reproduce.
+
+pub mod test_runner {
+    //! Config and the deterministic RNG driving generation.
+
+    /// Runner configuration; only `cases` matters for this shim.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Run each property `cases` times.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Failure type carried out of a property body; `?` converts any
+    /// `std::error::Error` into it, mirroring `TestCaseError`.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl<E: std::error::Error> From<E> for TestCaseError {
+        fn from(e: E) -> Self {
+            TestCaseError(e.to_string())
+        }
+    }
+
+    /// FNV-1a over a test name, used to seed its case stream.
+    pub fn fnv1a(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// SplitMix64 — deterministic and uniform enough for generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeded construction.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `0..n`; `n` must be non-zero.
+        pub fn below(&mut self, n: usize) -> usize {
+            debug_assert!(n > 0);
+            (self.next_u64() % n as u64) as usize
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and its combinators.
+
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+
+        /// Reject values failing `f`; regenerates until one passes.
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            reason: impl Into<String>,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter { source: self, reason: reason.into(), f }
+        }
+
+        /// Generate a value, then generate from the strategy it selects.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { source: self, f }
+        }
+
+        /// Build recursive structures: `self` is the leaf case, `f` wraps
+        /// an inner strategy into the branch case.  `depth` bounds
+        /// nesting; the size hints are accepted for API compatibility.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                let deeper = f(strat).boxed();
+                let shallow = leaf.clone();
+                strat = BoxedStrategy::from_fn(move |rng| {
+                    // Bias toward branches so depth is actually exercised;
+                    // branch arms terminate through their own leaf children.
+                    if rng.below(4) == 0 {
+                        shallow.generate(rng)
+                    } else {
+                        deeper.generate(rng)
+                    }
+                });
+            }
+            strat
+        }
+
+        /// Type-erase this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy::from_fn(move |rng| self.generate(rng))
+        }
+    }
+
+    /// A clonable, type-erased strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> BoxedStrategy<T> {
+        /// Wrap a generation closure.
+        pub fn from_fn(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+            BoxedStrategy(Rc::new(f))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Result of [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        source: S,
+        reason: String,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..2_000 {
+                let candidate = self.source.generate(rng);
+                if (self.f)(&candidate) {
+                    return candidate;
+                }
+            }
+            panic!("prop_filter rejected 2000 candidates in a row: {}", self.reason);
+        }
+    }
+
+    /// Result of [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.source.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Uniform choice among type-erased arms; built by `prop_oneof!`.
+    pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+    impl<T> Union<T> {
+        /// Build from boxed arms; must be non-empty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union(arms)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let arm = rng.below(self.0.len());
+            self.0[arm].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            (self.start as f64 + rng.unit_f64() * (self.end - self.start) as f64) as f32
+        }
+    }
+
+    /// String-typed regex-pattern strategies (`"[a-z]{0,8}"` etc.).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($S:ident . $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A.0);
+    tuple_strategy!(A.0, B.1);
+    tuple_strategy!(A.0, B.1, C.2);
+    tuple_strategy!(A.0, B.1, C.2, D.3);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+
+    impl<S: Strategy, const N: usize> Strategy for [S; N] {
+        type Value = [S::Value; N];
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            std::array::from_fn(|i| self[i].generate(rng))
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Element count for a collection: exact or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max_inclusive: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max_inclusive: *r.end() }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate vectors of `element` values.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.max_inclusive - self.size.min + 1;
+            let len = self.size.min + rng.below(span);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod char {
+    //! Character strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform character in `[lo, hi]`, skipping invalid scalar values.
+    pub fn range(lo: ::core::primitive::char, hi: ::core::primitive::char) -> CharRange {
+        assert!(lo <= hi);
+        CharRange { lo, hi }
+    }
+
+    /// Strategy returned by [`range`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct CharRange {
+        lo: ::core::primitive::char,
+        hi: ::core::primitive::char,
+    }
+
+    impl Strategy for CharRange {
+        type Value = ::core::primitive::char;
+        fn generate(&self, rng: &mut TestRng) -> ::core::primitive::char {
+            let (lo, hi) = (self.lo as u32, self.hi as u32);
+            loop {
+                let v = lo + rng.below((hi - lo + 1) as usize) as u32;
+                if let Some(c) = ::core::primitive::char::from_u32(v) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling helpers: `select` and `Index`.
+
+    use crate::arbitrary::Arbitrary;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform choice from an owned list.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select over an empty list");
+        Select(items)
+    }
+
+    /// Strategy returned by [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len())].clone()
+        }
+    }
+
+    /// An index into a collection of yet-unknown length; resolve with
+    /// [`Index::index`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// Map onto `0..len`; `len` must be non-zero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64() as usize)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` and the `Arbitrary` trait backing it.
+
+    use std::marker::PhantomData;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Produce one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for ::core::primitive::char {
+        fn arbitrary(rng: &mut TestRng) -> ::core::primitive::char {
+            loop {
+                if let Some(c) =
+                    ::core::primitive::char::from_u32(rng.next_u64() as u32 % 0x11_0000)
+                {
+                    return c;
+                }
+            }
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            loop {
+                let v = f64::from_bits(rng.next_u64());
+                if v.is_finite() {
+                    return v;
+                }
+            }
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            loop {
+                let v = f32::from_bits(rng.next_u64() as u32);
+                if v.is_finite() {
+                    return v;
+                }
+            }
+        }
+    }
+
+    /// Strategy producing arbitrary values of `A`.
+    pub struct Any<A>(PhantomData<A>);
+
+    /// The canonical strategy for `A`.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn generate(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+}
+
+pub(crate) mod string {
+    //! Tiny regex-subset generator backing `&str` strategies.
+    //!
+    //! Supports: literal characters, `[...]` classes with ranges and a
+    //! literal leading/trailing `-`, the `\PC` printable-character class,
+    //! and `{n}` / `{n,m}` quantifiers on the preceding atom.
+
+    use crate::test_runner::TestRng;
+
+    type CharRanges = Vec<(u32, u32)>;
+
+    enum Atom {
+        Class(CharRanges),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    /// Printable, non-control characters for `\PC` — ASCII plus a slice
+    /// of Latin-1/Greek and one astral-adjacent symbol for coverage.
+    fn printable_ranges() -> CharRanges {
+        vec![(0x20, 0x7E), (0xA0, 0x2FF), (0x370, 0x3FF), (0x2603, 0x2603)]
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<::core::primitive::char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    i += 1;
+                    let mut ranges: CharRanges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = chars[i];
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            let hi = chars[i + 2];
+                            assert!(lo <= hi, "bad class range in {pattern}");
+                            ranges.push((lo as u32, hi as u32));
+                            i += 3;
+                        } else {
+                            ranges.push((lo as u32, lo as u32));
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated class in {pattern}");
+                    i += 1; // consume ']'
+                    Atom::Class(ranges)
+                }
+                '\\' => {
+                    assert!(i + 1 < chars.len(), "trailing backslash in {pattern}");
+                    let esc = chars[i + 1];
+                    if esc == 'P' && i + 2 < chars.len() && chars[i + 2] == 'C' {
+                        i += 3;
+                        Atom::Class(printable_ranges())
+                    } else {
+                        i += 2;
+                        Atom::Class(vec![(esc as u32, esc as u32)])
+                    }
+                }
+                c => {
+                    i += 1;
+                    Atom::Class(vec![(c as u32, c as u32)])
+                }
+            };
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..].iter().position(|&c| c == '}').expect("unterminated {") + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((a, b)) => (a.parse().unwrap(), b.parse().unwrap()),
+                    None => {
+                        let n: usize = body.parse().unwrap();
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    fn pick(ranges: &CharRanges, rng: &mut TestRng) -> ::core::primitive::char {
+        let total: u32 = ranges.iter().map(|&(lo, hi)| hi - lo + 1).sum();
+        loop {
+            let mut v = rng.below(total as usize) as u32;
+            for &(lo, hi) in ranges {
+                let width = hi - lo + 1;
+                if v < width {
+                    if let Some(c) = ::core::primitive::char::from_u32(lo + v) {
+                        return c;
+                    }
+                    break; // invalid scalar (shouldn't happen for our sets); redraw
+                }
+                v -= width;
+            }
+        }
+    }
+
+    /// Generate one string matching `pattern`.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let count = piece.min + rng.below(piece.max - piece.min + 1);
+            let Atom::Class(ranges) = &piece.atom;
+            for _ in 0..count {
+                out.push(pick(ranges, rng));
+            }
+        }
+        out
+    }
+}
+
+/// Glob import giving tests the usual proptest vocabulary.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` path alias (`prop::sample::Index` etc.).
+    pub mod prop {
+        pub use crate::char;
+        pub use crate::{collection, sample};
+    }
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Assert inside a property body; failures report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(
+                ::std::format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), left, right,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(
+                ::std::format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    ::std::format!($($fmt)+), left, right,
+                ),
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(::std::format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+            )));
+        }
+    }};
+}
+
+/// Define property tests.  Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let strategies = ($($strat,)+);
+            let name_seed = $crate::test_runner::fnv1a(stringify!($name));
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::new(
+                    name_seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1),
+                );
+                let values =
+                    $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                let shown = ::std::format!("{:?}", values);
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || {
+                        let run = move || ->
+                            ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            let ($($pat,)+) = values;
+                            $body
+                            ::std::result::Result::Ok(())
+                        };
+                        run()
+                    }),
+                );
+                match outcome {
+                    ::std::result::Result::Ok(::std::result::Result::Ok(())) => {}
+                    ::std::result::Result::Ok(::std::result::Result::Err(err)) => {
+                        ::std::panic!(
+                            "property {} failed at case {}/{}: {}\n  inputs: {}",
+                            stringify!($name), case, config.cases, err.0, shown,
+                        );
+                    }
+                    ::std::result::Result::Err(payload) => {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| ::std::string::ToString::to_string(s))
+                            .or_else(|| payload.downcast_ref::<::std::string::String>().cloned())
+                            .unwrap_or_else(|| ::std::string::String::from("<non-string panic>"));
+                        ::std::panic!(
+                            "property {} panicked at case {}/{}: {}\n  inputs: {}",
+                            stringify!($name), case, config.cases, msg, shown,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = TestRng::new(42);
+        for _ in 0..200 {
+            let s = crate::string::generate("[A-Za-z_][A-Za-z0-9_.-]{0,11}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 12);
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_alphabetic() || first == '_');
+        }
+        for _ in 0..50 {
+            let s = crate::string::generate("\\PC{0,100}", &mut rng);
+            assert!(s.chars().count() <= 100);
+            assert!(!s.chars().any(::core::primitive::char::is_control));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = TestRng::new(7);
+        let strat = prop_oneof![Just(1usize), Just(2), 3usize..10]
+            .prop_map(|n| n * 2)
+            .prop_filter("even only", |n| n % 2 == 0);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!(v % 2 == 0 && v < 20);
+        }
+        let flat =
+            crate::collection::vec(0u8..5, 1..4).prop_flat_map(|v| (Just(v.len()), 0usize..9));
+        for _ in 0..100 {
+            let (len, x) = flat.generate(&mut rng);
+            assert!((1..4).contains(&len) && x < 9);
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum T {
+            Leaf,
+            Node(Vec<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf => 1,
+                T::Node(cs) => 1 + cs.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = Just(T::Leaf).prop_recursive(4, 32, 5, |inner| {
+            crate::collection::vec(inner, 0..4).prop_map(T::Node)
+        });
+        let mut rng = TestRng::new(3);
+        for _ in 0..100 {
+            assert!(depth(&strat.generate(&mut rng)) <= 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        fn macro_binds_patterns((a, b) in (0i64..10, 0i64..10), s in "[a-z]{1,3}") {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert_eq!(s.len(), s.chars().count());
+            prop_assert_ne!(s.len(), 0);
+        }
+    }
+}

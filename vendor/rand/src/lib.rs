@@ -1,0 +1,162 @@
+//! Offline shim for `rand` 0.9: a seedable xoshiro256** generator with
+//! the `Rng::random_range` surface the workspace uses.
+//!
+//! Statistical quality is more than sufficient for synthetic benchmark
+//! datasets; this is not a cryptographic generator.
+
+use std::ops::Range;
+
+/// Core entropy source.
+pub trait RngCore {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a range, mirroring
+/// `rand::distr::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut dyn RngCore) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample(self, rng: &mut dyn RngCore) -> f32 {
+        let r = (self.start as f64)..(self.end as f64);
+        r.sample(rng) as f32
+    }
+}
+
+/// User-facing generator methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform value from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// A uniformly random bool.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.random_range(0.0..1.0) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** seeded via SplitMix64 — deterministic, fast, and
+    /// plenty uniform for synthetic workloads.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0u64..1_000_000), b.random_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f = rng.random_range(0.5..2.0);
+            assert!((0.5..2.0).contains(&f));
+            let i = rng.random_range(-3i64..3);
+            assert!((-3..3).contains(&i));
+            let u = rng.random_range(0usize..7);
+            assert!(u < 7);
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.random_range(0u64..u64::MAX)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.random_range(0u64..u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+}
