@@ -4,9 +4,10 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use openmeta_pbio::{FormatRegistry, MachineModel, RawRecord, Value};
+use openmeta_ohttp::{DocumentSource, HttpServer, PoolStats, StandardSource, Url};
+use openmeta_pbio::{FormatRegistry, MachineModel, PlanCacheStats, RawRecord, Value};
 use openmeta_wire::{all_formats, WireFormat, XmlWire};
-use xmit::Xmit;
+use xmit::{SchemaCacheStats, Xmit};
 
 use crate::workloads::{
     figure1_record, figure3_cases, figure6_cases, figure7_cases, figure8_record, RegistrationCase,
@@ -129,6 +130,346 @@ pub fn figure6_report_from(rows: &[RegistrationRow]) -> String {
          field-heavy 152-byte GridMetadata)\n\n{}",
         registration_table(rows).render()
     )
+}
+
+/// One row of the discovery fast-path comparison: the Figure 3/6
+/// registration measurement repeated over real HTTP with the discovery
+/// cache in cold, warm (TTL-fresh), and revalidated (`304`) states, plus
+/// a per-stage breakdown of where the cold cost goes.
+pub struct DiscoveryRow {
+    /// Format name.
+    pub name: String,
+    /// SPARC32 structure size (the paper's x-axis).
+    pub sparc_size: usize,
+    /// Native (compiled-in) registration time, the RDM denominator.
+    pub pbio: Duration,
+    /// Cold discovery: fresh toolkit, TCP connect + GET + parse + bind.
+    pub cold: Duration,
+    /// Warm discovery: cache entry inside the TTL, no network at all.
+    pub warm: Duration,
+    /// Revalidated discovery: conditional GET answered `304`, cached
+    /// parse re-applied.
+    pub revalidated: Duration,
+    /// Stage: first fetch on a fresh connection (connect + transfer).
+    pub connect_fetch: Duration,
+    /// Stage: fetch over an already-pooled connection (transfer only).
+    pub fetch: Duration,
+    /// Stage: schema parse of the document text (streaming parser).
+    pub parse: Duration,
+    /// Stage: the same parse through the retained DOM path (the
+    /// pre-fast-path implementation, kept for the generic document API).
+    pub parse_dom: Duration,
+    /// Stage: binding + registry insertion of the parsed types.
+    pub register: Duration,
+}
+
+impl DiscoveryRow {
+    /// RDM with a cold cache (comparable to Figures 3/6 plus transport).
+    pub fn rdm_cold(&self) -> f64 {
+        self.cold.as_secs_f64() / self.pbio.as_secs_f64()
+    }
+
+    /// RDM with a TTL-fresh cache.
+    pub fn rdm_warm(&self) -> f64 {
+        self.warm.as_secs_f64() / self.pbio.as_secs_f64()
+    }
+
+    /// RDM through a `304 Not Modified` revalidation.
+    pub fn rdm_revalidated(&self) -> f64 {
+        self.revalidated.as_secs_f64() / self.pbio.as_secs_f64()
+    }
+
+    /// Connect-only share of the first fetch.
+    pub fn connect(&self) -> Duration {
+        self.connect_fetch.saturating_sub(self.fetch)
+    }
+}
+
+/// The discovery benchmark's rows plus the cache/pool counters the run
+/// accumulated (cache-hit counts are part of the acceptance criteria:
+/// warm loads must actually skip fetch + parse).
+pub struct DiscoveryBench {
+    /// Per-format measurements.
+    pub rows: Vec<DiscoveryRow>,
+    /// Schema-cache counters over the warm + revalidated loops.
+    pub schema_cache: SchemaCacheStats,
+    /// Connection-pool counters for the HTTP legs.
+    pub pool: PoolStats,
+}
+
+/// Measure discovery cost over real HTTP for a set of cases, in all
+/// three cache states.
+pub fn discovery_rows(cases: &[RegistrationCase], iters: usize) -> DiscoveryBench {
+    let server = HttpServer::start().expect("benchmark HTTP server");
+    for case in cases {
+        server.put_xml(&format!("/{}.xsd", case.name), case.xml.clone());
+    }
+
+    // Shared toolkits accumulate the counters the report quotes.
+    let warm_toolkit = Xmit::new(MachineModel::native());
+    warm_toolkit.set_cache_ttl(Some(Duration::from_secs(3600)));
+    let reval_toolkit = Xmit::new(MachineModel::native());
+
+    let rows = cases
+        .iter()
+        .map(|case| {
+            let url = server.url_for(&format!("/{}.xsd", case.name));
+
+            let pbio = time_mean(
+                iters,
+                || FormatRegistry::new(MachineModel::native()),
+                |reg| {
+                    for spec in &case.compiled {
+                        reg.register(spec.clone()).expect("registers");
+                    }
+                    reg
+                },
+            );
+
+            // Cold: a fresh toolkit per iteration — new pool, empty
+            // cache — so every load pays connect + fetch + parse + bind.
+            let cold = time_mean(
+                iters,
+                || Xmit::new(MachineModel::native()),
+                |toolkit| {
+                    toolkit.load_url(&url).expect("loads");
+                    toolkit.bind(case.name).expect("binds");
+                    toolkit
+                },
+            );
+
+            // Warm: the shared toolkit's entry stays inside the TTL, so
+            // the load is answered from cache with zero network traffic.
+            warm_toolkit.load_url(&url).expect("preload");
+            let warm = time_mean(
+                iters,
+                || (),
+                |()| {
+                    let out = warm_toolkit.load_url_cached(&url).expect("loads");
+                    assert!(out.was_cache_hit(), "warm load must not re-parse");
+                    warm_toolkit.bind(case.name).expect("binds")
+                },
+            );
+
+            // Revalidated: no TTL, so every load is a conditional GET the
+            // server answers with `304 Not Modified`.
+            reval_toolkit.load_url(&url).expect("preload");
+            let revalidated = time_mean(
+                iters,
+                || (),
+                |()| {
+                    reval_toolkit.revalidate(&url).expect("revalidates");
+                    reval_toolkit.bind(case.name).expect("binds")
+                },
+            );
+
+            // Stage breakdown.  A fresh source pays connect + transfer; a
+            // pooled source pays transfer only; their difference is the
+            // connect share reported by [`DiscoveryRow::connect`].
+            let parsed_url = Url::parse(&url).expect("url");
+            let connect_fetch = time_mean(iters, StandardSource::new, |src| {
+                src.fetch(&parsed_url).expect("fetches")
+            });
+            let pooled_src = StandardSource::new();
+            let fetch =
+                time_mean(iters, || (), |()| pooled_src.fetch(&parsed_url).expect("fetches"));
+            let parse = time_mean(
+                iters,
+                || (),
+                |()| openmeta_schema::parse_str(&case.xml).expect("parses"),
+            );
+            let parse_dom = time_mean(
+                iters,
+                || (),
+                |()| openmeta_schema::parse_str_dom(&case.xml).expect("parses"),
+            );
+            let register = time_mean(
+                iters,
+                || {
+                    let t = Xmit::new(MachineModel::native());
+                    t.load_str(&case.xml).expect("loads");
+                    t
+                },
+                |t| {
+                    t.bind(case.name).expect("binds");
+                    t
+                },
+            );
+
+            DiscoveryRow {
+                name: case.name.to_string(),
+                sparc_size: case.sparc_size,
+                pbio,
+                cold,
+                warm,
+                revalidated,
+                connect_fetch,
+                fetch,
+                parse,
+                parse_dom,
+                register,
+            }
+        })
+        .collect();
+
+    let mut schema_cache = warm_toolkit.schema_cache_stats();
+    let reval_stats = reval_toolkit.schema_cache_stats();
+    schema_cache.fresh_hits += reval_stats.fresh_hits;
+    schema_cache.revalidated += reval_stats.revalidated;
+    schema_cache.content_hits += reval_stats.content_hits;
+    schema_cache.misses += reval_stats.misses;
+
+    let mut pool = reval_toolkit.source().pool_stats();
+    let warm_pool = warm_toolkit.source().pool_stats();
+    pool.requests += warm_pool.requests;
+    pool.connects += warm_pool.connects;
+    pool.reuses += warm_pool.reuses;
+    pool.stale_retries += warm_pool.stale_retries;
+
+    DiscoveryBench { rows, schema_cache, pool }
+}
+
+/// Render the discovery fast-path comparison from pre-measured rows.
+pub fn discovery_report_from(bench: &DiscoveryBench) -> String {
+    let mut t = Table::new(&[
+        "format",
+        "struct size",
+        "PBIO reg (ms)",
+        "cold (ms) / RDM",
+        "warm (ms) / RDM",
+        "reval (ms) / RDM",
+    ]);
+    for r in &bench.rows {
+        t.row(vec![
+            r.name.clone(),
+            r.sparc_size.to_string(),
+            ms(r.pbio),
+            format!("{} / {:.2}", ms(r.cold), r.rdm_cold()),
+            format!("{} / {:.2}", ms(r.warm), r.rdm_warm()),
+            format!("{} / {:.2}", ms(r.revalidated), r.rdm_revalidated()),
+        ]);
+    }
+    let mut stages = Table::new(&[
+        "format",
+        "connect",
+        "fetch",
+        "parse (stream)",
+        "parse (DOM)",
+        "speedup",
+        "register",
+    ]);
+    for r in &bench.rows {
+        stages.row(vec![
+            r.name.clone(),
+            pretty(r.connect()),
+            pretty(r.fetch),
+            pretty(r.parse),
+            pretty(r.parse_dom),
+            format!("{:.2}x", r.parse_dom.as_secs_f64() / r.parse.as_secs_f64()),
+            pretty(r.register),
+        ]);
+    }
+    let c = &bench.schema_cache;
+    let p = &bench.pool;
+    format!(
+        "Discovery fast path — registration over HTTP with the schema cache\n\
+         cold (fresh toolkit), warm (TTL-fresh, no network), and\n\
+         revalidated (conditional GET, 304)\n\n{}\n\n\
+         cold-path stage breakdown\n\n{}\n\n\
+         schema cache: {} fresh hits, {} revalidated, {} content hits, {} misses\n\
+         connection pool: {} requests, {} connects, {} reuses, {} stale retries",
+        t.render(),
+        stages.render(),
+        c.fresh_hits,
+        c.revalidated,
+        c.content_hits,
+        c.misses,
+        p.requests,
+        p.connects,
+        p.reuses,
+        p.stale_retries,
+    )
+}
+
+/// Serialize discovery rows + counters as a JSON object (times in ns).
+pub fn discovery_to_json(bench: &DiscoveryBench) -> String {
+    let mut out = String::from("{\n  \"rows\": [\n");
+    for (i, r) in bench.rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "    {{\"format\": \"{}\", \"sparc_size\": {}, \"pbio_ns\": {}, \
+             \"cold_ns\": {}, \"warm_ns\": {}, \"revalidated_ns\": {}, \
+             \"rdm_cold\": {:.4}, \"rdm_warm\": {:.4}, \"rdm_revalidated\": {:.4}, \
+             \"connect_ns\": {}, \"fetch_ns\": {}, \"parse_ns\": {}, \"parse_dom_ns\": {}, \
+             \"register_ns\": {}}}",
+            json_escape(&r.name),
+            r.sparc_size,
+            r.pbio.as_nanos(),
+            r.cold.as_nanos(),
+            r.warm.as_nanos(),
+            r.revalidated.as_nanos(),
+            r.rdm_cold(),
+            r.rdm_warm(),
+            r.rdm_revalidated(),
+            r.connect().as_nanos(),
+            r.fetch.as_nanos(),
+            r.parse.as_nanos(),
+            r.parse_dom.as_nanos(),
+            r.register.as_nanos(),
+        ));
+    }
+    let c = &bench.schema_cache;
+    let p = &bench.pool;
+    out.push_str(&format!(
+        "\n  ],\n  \"counters\": {{\n    \"schema_cache\": {{\"fresh_hits\": {}, \
+         \"revalidated\": {}, \"content_hits\": {}, \"misses\": {}}},\n    \
+         \"pool\": {{\"requests\": {}, \"connects\": {}, \"reuses\": {}, \
+         \"stale_retries\": {}}}\n  }}\n}}\n",
+        c.fresh_hits,
+        c.revalidated,
+        c.content_hits,
+        c.misses,
+        p.requests,
+        p.connects,
+        p.reuses,
+        p.stale_retries,
+    ));
+    out
+}
+
+/// Combined per-figure JSON artifact: the classic registration rows, the
+/// discovery fast-path measurements, and the BCM plan-cache counters the
+/// run accumulated.
+pub fn figure_json(
+    registration: &[RegistrationRow],
+    discovery: &DiscoveryBench,
+    plan_cache: PlanCacheStats,
+) -> String {
+    format!(
+        "{{\n\"registration\": {},\n\"discovery\": {},\n\
+         \"plan_cache\": {{\"hits\": {}, \"misses\": {}}}\n}}\n",
+        registration_rows_to_json(registration).trim_end(),
+        discovery_to_json(discovery).trim_end(),
+        plan_cache.hits,
+        plan_cache.misses,
+    )
+}
+
+/// Exercise the marshal path enough to populate the plan cache, then
+/// report its counters (the PR-1 ablation counters, surfaced in the
+/// figure artifacts).
+pub fn plan_cache_burst(iters: usize) -> PlanCacheStats {
+    let registry = Arc::new(FormatRegistry::new(MachineModel::native()));
+    let (rec, _) = figure8_record(&registry, 1_000);
+    let fmt = rec.format().clone();
+    registry.reset_plan_cache_stats();
+    let wire = xmit::encode(&rec).expect("encode");
+    for _ in 0..iters.max(1) {
+        openmeta_pbio::decode_with(&wire, &registry, &fmt).expect("decode");
+    }
+    registry.plan_cache_stats()
 }
 
 /// One row of the Figure 7 encode comparison.
@@ -702,6 +1043,30 @@ mod tests {
             plan_ablation_report(FAST),
         ] {
             assert!(report.contains('|'), "table missing:\n{report}");
+        }
+    }
+
+    #[test]
+    fn discovery_bench_hits_cache_and_serializes() {
+        let cases = figure3_cases();
+        let bench = discovery_rows(&cases[..1], FAST);
+        assert_eq!(bench.rows.len(), 1);
+        let r = &bench.rows[0];
+        assert!(r.rdm_cold() > 0.0 && r.rdm_warm() > 0.0 && r.rdm_revalidated() > 0.0);
+        assert!(bench.schema_cache.fresh_hits > 0, "warm loop must hit the TTL cache");
+        assert!(bench.schema_cache.revalidated > 0, "reval loop must see 304s");
+        assert!(bench.pool.reuses > 0, "HTTP legs must reuse pooled connections");
+
+        let report = discovery_report_from(&bench);
+        assert!(report.contains("RDM") && report.contains("schema cache"), "{report}");
+
+        let j = discovery_to_json(&bench);
+        assert!(j.contains("\"rdm_warm\":") && j.contains("\"schema_cache\""), "{j}");
+
+        let combined =
+            figure_json(&registration_rows(&cases[..1], FAST), &bench, plan_cache_burst(10));
+        for key in ["\"registration\":", "\"discovery\":", "\"plan_cache\":", "\"rdm\":"] {
+            assert!(combined.contains(key), "missing {key} in:\n{combined}");
         }
     }
 

@@ -1,7 +1,12 @@
 //! A small HTTP/1.1 GET client.
+//!
+//! The response-framing logic ([`read_response`]) is shared with the
+//! keep-alive connection pool ([`crate::pool`]): it understands
+//! `Content-Length`, `Transfer-Encoding: chunked` and read-to-EOF bodies,
+//! and reports whether the connection may be reused for another request.
 
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::error::HttpError;
@@ -14,6 +19,8 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` header, if present.
     pub content_type: Option<String>,
+    /// `ETag` header, if present (used for conditional re-fetches).
+    pub etag: Option<String>,
     /// Response body.
     pub body: Vec<u8>,
 }
@@ -26,33 +33,103 @@ impl Response {
     }
 }
 
-/// Fetch `url` with a GET request.  Non-2xx statuses become
-/// [`HttpError::Status`].
-pub fn http_get(url: &Url) -> Result<Response, HttpError> {
-    if url.scheme != "http" {
-        return Err(HttpError::UnsupportedScheme(url.scheme.clone()));
+/// Outcome of a conditional GET.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fetch {
+    /// A full response (2xx with a body).
+    Full(Response),
+    /// The server answered `304 Not Modified`: the cached copy is current.
+    NotModified {
+        /// The (possibly refreshed) validator the server returned.
+        etag: Option<String>,
+    },
+}
+
+/// One fully framed HTTP/1.1 response, before status interpretation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawResponse {
+    /// Status code.
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: String,
+    /// `Content-Type` header, if present.
+    pub content_type: Option<String>,
+    /// `ETag` header, if present.
+    pub etag: Option<String>,
+    /// Response body (empty for bodiless statuses such as 304).
+    pub body: Vec<u8>,
+    /// `true` if HTTP/1.1 persistence rules allow reusing the connection:
+    /// the body was delimited (Content-Length, chunked, or bodiless) and
+    /// neither side demanded `Connection: close`.
+    pub reusable: bool,
+}
+
+/// Resolve `host:port` and connect with a per-address timeout.
+///
+/// Unlike `TcpStream::connect`, a black-holed host fails after `timeout`
+/// rather than the OS default (which can be minutes).  Every resolved
+/// address is tried in order; the last error is returned if all fail.
+pub fn connect_with_timeout(
+    host: &str,
+    port: u16,
+    timeout: Duration,
+) -> Result<TcpStream, HttpError> {
+    let addrs: Vec<SocketAddr> = (host, port)
+        .to_socket_addrs()
+        .map_err(|e| HttpError::Io(format!("resolving {host}:{port}: {e}")))?
+        .collect();
+    let mut last: Option<std::io::Error> = None;
+    for addr in addrs {
+        match TcpStream::connect_timeout(&addr, timeout) {
+            Ok(s) => return Ok(s),
+            Err(e) => last = Some(e),
+        }
     }
-    let stream = TcpStream::connect(url.authority())?;
-    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
-    let mut writer = stream.try_clone()?;
-    let request = format!(
+    Err(match last {
+        Some(e) => HttpError::Io(e.to_string()),
+        None => HttpError::Io(format!("{host}:{port} resolved to no addresses")),
+    })
+}
+
+/// Write a GET request.  `conditional` adds `If-None-Match`; `keep_alive`
+/// selects the `Connection` header.
+pub(crate) fn write_get_request(
+    w: &mut impl Write,
+    url: &Url,
+    etag: Option<&str>,
+    keep_alive: bool,
+) -> Result<(), HttpError> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let mut request = format!(
         "GET {} HTTP/1.1\r\nHost: {}\r\nUser-Agent: openmeta-xmit/0.1\r\n\
-         Accept: text/xml, */*\r\nConnection: close\r\n\r\n",
+         Accept: text/xml, */*\r\nConnection: {connection}\r\n",
         url.path, url.host
     );
-    writer.write_all(request.as_bytes())?;
-    writer.flush()?;
+    if let Some(tag) = etag {
+        request.push_str(&format!("If-None-Match: {tag}\r\n"));
+    }
+    request.push_str("\r\n");
+    w.write_all(request.as_bytes())?;
+    w.flush()?;
+    Ok(())
+}
 
-    let mut reader = BufReader::new(stream);
+/// Read and frame one HTTP/1.1 response from `reader`.
+///
+/// Handles `Content-Length`, `Transfer-Encoding: chunked`, bodiless
+/// statuses (1xx/204/304), and read-to-EOF (`Connection: close`) framing.
+pub fn read_response<R: BufRead>(reader: &mut R) -> Result<RawResponse, HttpError> {
     let mut status_line = String::new();
-    reader.read_line(&mut status_line)?;
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(HttpError::BadResponse("connection closed before status line".to_string()));
+    }
     let status_line = status_line.trim_end();
     let mut parts = status_line.splitn(3, ' ');
     let version = parts.next().unwrap_or("");
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError::BadResponse(format!("bad status line '{status_line}'")));
     }
+    let http11 = version != "HTTP/1.0";
     let code: u16 = parts
         .next()
         .and_then(|c| c.parse().ok())
@@ -61,7 +138,10 @@ pub fn http_get(url: &Url) -> Result<Response, HttpError> {
 
     let mut content_length: Option<usize> = None;
     let mut content_type: Option<String> = None;
+    let mut etag: Option<String> = None;
     let mut chunked = false;
+    let mut close = false;
+    let mut keep_alive = false;
     loop {
         let mut line = String::new();
         if reader.read_line(&mut line)? == 0 {
@@ -83,31 +163,105 @@ pub fn http_get(url: &Url) -> Result<Response, HttpError> {
                     })?)
             }
             "content-type" => content_type = Some(value.to_string()),
+            "etag" => etag = Some(value.to_string()),
             "transfer-encoding" if value.eq_ignore_ascii_case("chunked") => chunked = true,
+            "connection" => {
+                for token in value.split(',') {
+                    let token = token.trim();
+                    if token.eq_ignore_ascii_case("close") {
+                        close = true;
+                    } else if token.eq_ignore_ascii_case("keep-alive") {
+                        keep_alive = true;
+                    }
+                }
+            }
             _ => {}
         }
     }
 
-    let body = if chunked {
-        read_chunked(&mut reader)?
+    // 1xx, 204 and 304 responses never carry a body, whatever the headers
+    // claim (RFC 9112 §6.3).
+    let bodiless = code < 200 || code == 204 || code == 304;
+    let (body, delimited) = if bodiless {
+        (Vec::new(), true)
+    } else if chunked {
+        (read_chunked(reader)?, true)
     } else if let Some(len) = content_length {
         let mut body = vec![0u8; len];
         reader.read_exact(&mut body)?;
-        body
+        (body, true)
     } else {
-        // Connection: close framing.
+        // Connection: close framing — the connection is spent.
         let mut body = Vec::new();
         reader.read_to_end(&mut body)?;
-        body
+        (body, false)
     };
 
-    if !(200..300).contains(&code) {
-        return Err(HttpError::Status { code, reason });
-    }
-    Ok(Response { status: code, content_type, body })
+    // HTTP/1.1 defaults to persistent connections; HTTP/1.0 only keeps
+    // the connection when the server opts in explicitly.
+    let reusable = delimited && !close && (http11 || keep_alive);
+    Ok(RawResponse { status: code, reason, content_type, etag, body, reusable })
 }
 
-fn read_chunked<R: BufRead>(reader: &mut R) -> Result<Vec<u8>, HttpError> {
+/// Interpret a framed response: 2xx becomes [`Fetch::Full`], 304 becomes
+/// [`Fetch::NotModified`], anything else an [`HttpError::Status`].
+pub(crate) fn interpret(raw: RawResponse) -> Result<Fetch, HttpError> {
+    if raw.status == 304 {
+        return Ok(Fetch::NotModified { etag: raw.etag });
+    }
+    if !(200..300).contains(&raw.status) {
+        return Err(HttpError::Status { code: raw.status, reason: raw.reason });
+    }
+    Ok(Fetch::Full(Response {
+        status: raw.status,
+        content_type: raw.content_type,
+        etag: raw.etag,
+        body: raw.body,
+    }))
+}
+
+/// Default connect timeout for the one-shot client and the pool.
+pub(crate) const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+/// Default read/write timeout.
+pub(crate) const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn one_shot(url: &Url, etag: Option<&str>) -> Result<Fetch, HttpError> {
+    if url.scheme != "http" {
+        return Err(HttpError::UnsupportedScheme(url.scheme.clone()));
+    }
+    let stream = connect_with_timeout(&url.host, url.port, CONNECT_TIMEOUT)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_nodelay(true)?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut writer = stream.try_clone()?;
+    write_get_request(&mut writer, url, etag, false)?;
+    let mut reader = BufReader::new(stream);
+    interpret(read_response(&mut reader)?)
+}
+
+/// Fetch `url` with a one-shot GET request (`Connection: close`).
+/// Non-2xx statuses become [`HttpError::Status`].
+///
+/// For repeated fetches against the same server, prefer
+/// [`crate::pool::ConnectionPool`], which reuses connections.
+pub fn http_get(url: &Url) -> Result<Response, HttpError> {
+    match one_shot(url, None)? {
+        Fetch::Full(r) => Ok(r),
+        // A 304 without If-None-Match is a protocol violation.
+        Fetch::NotModified { .. } => {
+            Err(HttpError::BadResponse("unsolicited 304 Not Modified".to_string()))
+        }
+    }
+}
+
+/// Fetch `url` with a conditional GET: `If-None-Match: etag` is sent when
+/// a validator is given, and a `304 Not Modified` answer becomes
+/// [`Fetch::NotModified`] instead of an error.
+pub fn http_get_conditional(url: &Url, etag: Option<&str>) -> Result<Fetch, HttpError> {
+    one_shot(url, etag)
+}
+
+pub(crate) fn read_chunked<R: BufRead>(reader: &mut R) -> Result<Vec<u8>, HttpError> {
     let mut body = Vec::new();
     loop {
         let mut size_line = String::new();
@@ -189,6 +343,21 @@ mod tests {
     }
 
     #[test]
+    fn captures_etag_header() {
+        let addr = canned(b"HTTP/1.1 200 OK\r\nETag: \"abc123\"\r\nContent-Length: 2\r\n\r\nok");
+        let url = Url::parse(&format!("http://{addr}/x")).unwrap();
+        assert_eq!(http_get(&url).unwrap().etag.as_deref(), Some("\"abc123\""));
+    }
+
+    #[test]
+    fn conditional_get_returns_not_modified() {
+        let addr = canned(b"HTTP/1.1 304 Not Modified\r\nETag: \"abc123\"\r\n\r\n");
+        let url = Url::parse(&format!("http://{addr}/x")).unwrap();
+        let fetch = http_get_conditional(&url, Some("\"abc123\"")).unwrap();
+        assert_eq!(fetch, Fetch::NotModified { etag: Some("\"abc123\"".to_string()) });
+    }
+
+    #[test]
     fn error_statuses_surface() {
         let addr = canned(b"HTTP/1.1 500 Internal Server Error\r\nContent-Length: 0\r\n\r\n");
         let url = Url::parse(&format!("http://{addr}/x")).unwrap();
@@ -216,5 +385,40 @@ mod tests {
         // Port 1 on localhost is essentially never listening.
         let url = Url::parse("http://127.0.0.1:1/x").unwrap();
         assert!(matches!(http_get(&url), Err(HttpError::Io(_))));
+    }
+
+    #[test]
+    fn framing_reports_reusability() {
+        let mut r =
+            std::io::Cursor::new(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok".to_vec());
+        assert!(read_response(&mut r).unwrap().reusable);
+
+        let mut r = std::io::Cursor::new(
+            b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: close\r\n\r\nok".to_vec(),
+        );
+        assert!(!read_response(&mut r).unwrap().reusable);
+
+        // Read-to-EOF framing spends the connection.
+        let mut r = std::io::Cursor::new(b"HTTP/1.1 200 OK\r\n\r\nok".to_vec());
+        assert!(!read_response(&mut r).unwrap().reusable);
+
+        // HTTP/1.0 keeps the connection only with an explicit opt-in.
+        let mut r =
+            std::io::Cursor::new(b"HTTP/1.0 200 OK\r\nContent-Length: 2\r\n\r\nok".to_vec());
+        assert!(!read_response(&mut r).unwrap().reusable);
+        let mut r = std::io::Cursor::new(
+            b"HTTP/1.0 200 OK\r\nContent-Length: 2\r\nConnection: keep-alive\r\n\r\nok".to_vec(),
+        );
+        assert!(read_response(&mut r).unwrap().reusable);
+    }
+
+    #[test]
+    fn bodiless_statuses_ignore_content_length() {
+        let mut r = std::io::Cursor::new(
+            b"HTTP/1.1 304 Not Modified\r\nContent-Length: 999\r\n\r\n".to_vec(),
+        );
+        let raw = read_response(&mut r).unwrap();
+        assert!(raw.body.is_empty());
+        assert!(raw.reusable);
     }
 }

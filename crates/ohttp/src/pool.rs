@@ -1,0 +1,297 @@
+//! A keep-alive HTTP/1.1 connection pool.
+//!
+//! Discovery hammers the same metadata server with many small GETs; the
+//! one-shot [`crate::client::http_get`] pays a TCP handshake per fetch.
+//! The pool keeps idle connections per authority (`host:port`) and reuses
+//! them whenever the previous response left the connection in a framed,
+//! persistent state.  A pooled connection may have been closed by the
+//! server in the meantime, so the first request on a reused connection is
+//! retried once on a fresh connection.
+
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::client::{
+    connect_with_timeout, interpret, read_response, write_get_request, Fetch, Response,
+    CONNECT_TIMEOUT, IO_TIMEOUT,
+};
+use crate::error::HttpError;
+use crate::url::Url;
+
+/// Counters describing pool behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Total requests issued through the pool.
+    pub requests: u64,
+    /// Fresh TCP connections established.
+    pub connects: u64,
+    /// Requests served over a reused (pooled) connection.
+    pub reuses: u64,
+    /// Reused connections that had gone stale and were retried fresh.
+    pub stale_retries: u64,
+}
+
+/// Pool configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Maximum idle connections kept per authority.
+    pub max_idle_per_authority: usize,
+    /// TCP connect timeout (per resolved address).
+    pub connect_timeout: Duration,
+    /// Read/write timeout on established connections.
+    pub io_timeout: Duration,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            max_idle_per_authority: 4,
+            connect_timeout: CONNECT_TIMEOUT,
+            io_timeout: IO_TIMEOUT,
+        }
+    }
+}
+
+/// A keep-alive connection pool for HTTP/1.1 GETs.
+pub struct ConnectionPool {
+    cfg: PoolConfig,
+    idle: Mutex<HashMap<String, Vec<TcpStream>>>,
+    requests: AtomicU64,
+    connects: AtomicU64,
+    reuses: AtomicU64,
+    stale_retries: AtomicU64,
+}
+
+impl Default for ConnectionPool {
+    fn default() -> Self {
+        ConnectionPool::new(PoolConfig::default())
+    }
+}
+
+impl ConnectionPool {
+    /// A pool with the given configuration.
+    pub fn new(cfg: PoolConfig) -> ConnectionPool {
+        ConnectionPool {
+            cfg,
+            idle: Mutex::new(HashMap::new()),
+            requests: AtomicU64::new(0),
+            connects: AtomicU64::new(0),
+            reuses: AtomicU64::new(0),
+            stale_retries: AtomicU64::new(0),
+        }
+    }
+
+    /// Fetch `url`, reusing a pooled connection when possible.
+    /// Non-2xx statuses become [`HttpError::Status`].
+    pub fn get(&self, url: &Url) -> Result<Response, HttpError> {
+        match self.get_conditional(url, None)? {
+            Fetch::Full(r) => Ok(r),
+            Fetch::NotModified { .. } => {
+                Err(HttpError::BadResponse("unsolicited 304 Not Modified".to_string()))
+            }
+        }
+    }
+
+    /// Conditional GET with `If-None-Match: etag` when a validator is
+    /// given; a `304 Not Modified` becomes [`Fetch::NotModified`].
+    pub fn get_conditional(&self, url: &Url, etag: Option<&str>) -> Result<Fetch, HttpError> {
+        if url.scheme != "http" {
+            return Err(HttpError::UnsupportedScheme(url.scheme.clone()));
+        }
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let authority = url.authority();
+
+        // First attempt on a pooled connection, if one is idle.  The
+        // server may have closed it since check-in, so any failure here
+        // falls through to one fresh-connection retry.
+        if let Some(stream) = self.check_out(&authority) {
+            match self.request_on(stream, url, etag) {
+                Ok(outcome) => {
+                    self.reuses.fetch_add(1, Ordering::Relaxed);
+                    return Ok(outcome);
+                }
+                Err(_) => {
+                    self.stale_retries.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+
+        let stream = connect_with_timeout(&url.host, url.port, self.cfg.connect_timeout)?;
+        self.connects.fetch_add(1, Ordering::Relaxed);
+        stream.set_read_timeout(Some(self.cfg.io_timeout))?;
+        stream.set_write_timeout(Some(self.cfg.io_timeout))?;
+        // Requests are single small writes; Nagle would queue them behind
+        // the previous exchange's delayed ACK on a reused connection.
+        stream.set_nodelay(true)?;
+        self.request_on(stream, url, etag)
+    }
+
+    /// Issue one request on `stream`; on success the connection is
+    /// checked back in when the response allows reuse.
+    fn request_on(
+        &self,
+        stream: TcpStream,
+        url: &Url,
+        etag: Option<&str>,
+    ) -> Result<Fetch, HttpError> {
+        let mut writer = stream.try_clone()?;
+        write_get_request(&mut writer, url, etag, true)?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let raw = read_response(&mut reader)?;
+        // Check the connection back in even when the status is an error:
+        // a framed 404 leaves the connection perfectly reusable.
+        if raw.reusable {
+            self.check_in(&url.authority(), stream);
+        }
+        interpret(raw)
+    }
+
+    fn check_out(&self, authority: &str) -> Option<TcpStream> {
+        self.idle.lock().get_mut(authority)?.pop()
+    }
+
+    fn check_in(&self, authority: &str, stream: TcpStream) {
+        let mut idle = self.idle.lock();
+        let conns = idle.entry(authority.to_string()).or_default();
+        if conns.len() < self.cfg.max_idle_per_authority {
+            conns.push(stream);
+        }
+    }
+
+    /// Snapshot of the pool counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            connects: self.connects.load(Ordering::Relaxed),
+            reuses: self.reuses.load(Ordering::Relaxed),
+            stale_retries: self.stale_retries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of idle connections currently held.
+    pub fn idle_count(&self) -> usize {
+        self.idle.lock().values().map(Vec::len).sum()
+    }
+
+    /// Drop all idle connections (counters are kept).
+    pub fn clear(&self) {
+        self.idle.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::HttpServer;
+
+    #[test]
+    fn reuses_connections_across_requests() {
+        let server = HttpServer::start().unwrap();
+        server.put_xml("/a.xsd", "<a/>");
+        let pool = ConnectionPool::default();
+        let url = Url::parse(&server.url_for("/a.xsd")).unwrap();
+        for _ in 0..5 {
+            assert_eq!(pool.get(&url).unwrap().body, b"<a/>");
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.requests, 5);
+        assert_eq!(stats.connects, 1, "keep-alive should reuse one connection");
+        assert_eq!(stats.reuses, 4);
+        assert_eq!(stats.stale_retries, 0);
+        assert_eq!(pool.idle_count(), 1);
+    }
+
+    #[test]
+    fn non_success_statuses_keep_connection_alive() {
+        let server = HttpServer::start().unwrap();
+        server.put_xml("/a.xsd", "<a/>");
+        let pool = ConnectionPool::default();
+        let missing = Url::parse(&server.url_for("/nope")).unwrap();
+        let present = Url::parse(&server.url_for("/a.xsd")).unwrap();
+        assert!(matches!(pool.get(&missing), Err(HttpError::Status { code: 404, .. })));
+        assert_eq!(pool.get(&present).unwrap().body, b"<a/>");
+        assert_eq!(pool.stats().connects, 1);
+    }
+
+    #[test]
+    fn stale_pooled_connection_is_retried() {
+        let server = HttpServer::start().unwrap();
+        server.put_xml("/a.xsd", "<a/>");
+        let url = Url::parse(&server.url_for("/a.xsd")).unwrap();
+        let pool = ConnectionPool::default();
+        assert_eq!(pool.get(&url).unwrap().body, b"<a/>");
+        assert_eq!(pool.idle_count(), 1);
+        // Kill the server and restart on the same port: the pooled
+        // connection is now dead and must be replaced transparently.
+        let addr = server.addr();
+        drop(server);
+        let server = HttpServer::start_on(addr.port()).unwrap();
+        server.put_xml("/a.xsd", "<a/>");
+        let resp = pool.get(&url).unwrap();
+        assert_eq!(resp.body, b"<a/>");
+        let stats = pool.stats();
+        assert_eq!(stats.stale_retries, 1);
+        assert_eq!(stats.connects, 2);
+    }
+
+    #[test]
+    fn conditional_get_through_pool() {
+        let server = HttpServer::start().unwrap();
+        server.put_xml("/a.xsd", "<a/>");
+        let pool = ConnectionPool::default();
+        let url = Url::parse(&server.url_for("/a.xsd")).unwrap();
+        let Fetch::Full(first) = pool.get_conditional(&url, None).unwrap() else {
+            panic!("expected full response")
+        };
+        let etag = first.etag.expect("server should send an ETag");
+        let second = pool.get_conditional(&url, Some(&etag)).unwrap();
+        assert_eq!(second, Fetch::NotModified { etag: Some(etag) });
+        // Both requests over the same connection.
+        assert_eq!(pool.stats().connects, 1);
+    }
+
+    #[test]
+    fn idle_cap_is_enforced() {
+        let server = HttpServer::start().unwrap();
+        server.put_xml("/a.xsd", "<a/>");
+        let cfg = PoolConfig { max_idle_per_authority: 1, ..PoolConfig::default() };
+        let pool = ConnectionPool::new(cfg);
+        let url = Url::parse(&server.url_for("/a.xsd")).unwrap();
+        // Run several concurrent fetches: each claims its own connection,
+        // but only one may be retained.
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    pool.get(&url).unwrap();
+                });
+            }
+        });
+        assert!(pool.idle_count() <= 1);
+    }
+
+    #[test]
+    fn connect_timeout_fails_fast() {
+        // RFC 5737 TEST-NET-1 address: guaranteed unroutable, so connect
+        // either times out or is rejected — never hangs for minutes.
+        let cfg = PoolConfig { connect_timeout: Duration::from_millis(200), ..Default::default() };
+        let pool = ConnectionPool::new(cfg);
+        let url = Url::parse("http://192.0.2.1:9/x").unwrap();
+        let start = std::time::Instant::now();
+        assert!(matches!(pool.get(&url), Err(HttpError::Io(_))));
+        // Generous bound: the point is "not the OS default of minutes",
+        // and a loaded CI machine can stretch a 200 ms timeout a lot.
+        assert!(start.elapsed() < Duration::from_secs(30));
+    }
+
+    #[test]
+    fn non_http_scheme_rejected() {
+        let pool = ConnectionPool::default();
+        let url = Url::parse("mem://doc").unwrap();
+        assert!(matches!(pool.get(&url), Err(HttpError::UnsupportedScheme(_))));
+    }
+}

@@ -5,6 +5,13 @@
 //! an in-memory path → document map, mutable while the server runs (which
 //! is exactly how "changes to the message formats used by distributed
 //! programs can be centralized" in §3).
+//!
+//! Connections are persistent (HTTP/1.1 keep-alive): a worker serves
+//! requests on its connection until the client closes it, asks for
+//! `Connection: close`, or goes idle.  Every response carries a strong
+//! `ETag` derived from the body, and `If-None-Match` revalidation answers
+//! `304 Not Modified` — the substrate the discovery fast path's schema
+//! cache revalidates against.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
@@ -12,19 +19,26 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use parking_lot::RwLock;
 
+use crate::content_hash64;
 use crate::error::HttpError;
 
 /// Hosted content: path → (content type, body).
 type ContentMap = HashMap<String, (String, Vec<u8>)>;
+
+/// How long a worker waits for the next request on an idle keep-alive
+/// connection before hanging up.
+const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(10);
 
 /// A running HTTP server; dropping it shuts it down.
 pub struct HttpServer {
     addr: SocketAddr,
     content: Arc<RwLock<ContentMap>>,
     hits: Arc<AtomicU64>,
+    not_modified: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
 }
@@ -41,25 +55,33 @@ impl HttpServer {
         let addr = listener.local_addr()?;
         let content: Arc<RwLock<ContentMap>> = Arc::new(RwLock::new(HashMap::new()));
         let hits = Arc::new(AtomicU64::new(0));
+        let not_modified = Arc::new(AtomicU64::new(0));
         let stop = Arc::new(AtomicBool::new(false));
-        let (c, h, s) = (content.clone(), hits.clone(), stop.clone());
+        let (c, h, nm, s) = (content.clone(), hits.clone(), not_modified.clone(), stop.clone());
         let accept_thread = std::thread::spawn(move || {
             for conn in listener.incoming() {
                 if s.load(Ordering::Acquire) {
                     break;
                 }
                 let Ok(stream) = conn else { continue };
-                let (c, h) = (c.clone(), h.clone());
-                // Workers are detached: each serves one request and
+                let (c, h, nm, s) = (c.clone(), h.clone(), nm.clone(), s.clone());
+                // Workers are detached: each serves one connection and
                 // exits, releasing its stack immediately.  Keeping the
                 // JoinHandles would pin every exited worker's stack until
                 // shutdown and exhaust memory under sustained load.
                 std::thread::spawn(move || {
-                    let _ = serve(stream, &c, &h);
+                    let _ = serve(stream, &c, &h, &nm, &s);
                 });
             }
         });
-        Ok(HttpServer { addr, content, hits, stop, accept_thread: Some(accept_thread) })
+        Ok(HttpServer {
+            addr,
+            content,
+            hits,
+            not_modified,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
     }
 
     /// Address for clients.
@@ -94,6 +116,12 @@ impl HttpServer {
     pub fn hit_count(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
+
+    /// Number of requests answered `304 Not Modified` (successful
+    /// `If-None-Match` revalidations).
+    pub fn not_modified_count(&self) -> u64 {
+        self.not_modified.load(Ordering::Relaxed)
+    }
 }
 
 impl Drop for HttpServer {
@@ -106,55 +134,143 @@ impl Drop for HttpServer {
     }
 }
 
-fn serve(stream: TcpStream, content: &RwLock<ContentMap>, hits: &AtomicU64) -> std::io::Result<()> {
+/// Strong ETag for a body: quoted 16-hex-digit FNV-1a 64 content hash.
+fn etag_for(body: &[u8]) -> String {
+    format!("\"{:016x}\"", content_hash64(body))
+}
+
+/// Does an `If-None-Match` header value match `etag`?
+fn if_none_match_matches(header: &str, etag: &str) -> bool {
+    header.split(',').map(str::trim).any(|candidate| candidate == "*" || candidate == etag)
+}
+
+fn serve(
+    stream: TcpStream,
+    content: &RwLock<ContentMap>,
+    hits: &AtomicU64,
+    not_modified: &AtomicU64,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    // Bound idle time so keep-alive workers do not linger forever.
+    stream.set_read_timeout(Some(KEEP_ALIVE_IDLE))?;
+    // Responses are written in one piece; without TCP_NODELAY a reused
+    // connection can stall ~40 ms per exchange (Nagle vs delayed ACK).
+    stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
-    let mut request_line = String::new();
-    if reader.read_line(&mut request_line)? == 0 {
-        return Ok(());
-    }
-    // Drain headers (we serve statelessly and close after one response).
     loop {
-        let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
-            break;
+        let mut request_line = String::new();
+        match reader.read_line(&mut request_line) {
+            Ok(0) => return Ok(()), // client closed
+            Ok(_) => {}
+            Err(_) => return Ok(()), // idle timeout or reset
         }
-    }
-    hits.fetch_add(1, Ordering::Relaxed);
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("/");
-    if method != "GET" {
-        return respond(&mut writer, 405, "Method Not Allowed", "text/plain", b"GET only\n");
-    }
-    let body = content.read().get(path).cloned();
-    match body {
-        Some((ctype, bytes)) => respond(&mut writer, 200, "OK", &ctype, &bytes),
-        None => respond(&mut writer, 404, "Not Found", "text/plain", b"no such document\n"),
+        // A stopped server must not answer from its now-stale content
+        // map; closing mid-request makes pooled clients reconnect.
+        if stop.load(Ordering::Acquire) || request_line.trim().is_empty() {
+            return Ok(());
+        }
+
+        let mut if_none_match: Option<String> = None;
+        let mut close_requested = false;
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line)? == 0 {
+                return Ok(());
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                let value = value.trim();
+                match name.to_ascii_lowercase().as_str() {
+                    "if-none-match" => if_none_match = Some(value.to_string()),
+                    "connection" => {
+                        close_requested =
+                            value.split(',').any(|t| t.trim().eq_ignore_ascii_case("close"));
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        hits.fetch_add(1, Ordering::Relaxed);
+        let mut parts = request_line.split_whitespace();
+        let method = parts.next().unwrap_or("");
+        let path = parts.next().unwrap_or("/");
+        if method != "GET" {
+            respond(
+                &mut writer,
+                405,
+                "Method Not Allowed",
+                "text/plain",
+                None,
+                Some(b"GET only\n"),
+            )?;
+        } else {
+            let body = content.read().get(path).cloned();
+            match body {
+                Some((ctype, bytes)) => {
+                    let etag = etag_for(&bytes);
+                    let fresh = if_none_match
+                        .as_deref()
+                        .is_some_and(|inm| if_none_match_matches(inm, &etag));
+                    if fresh {
+                        not_modified.fetch_add(1, Ordering::Relaxed);
+                        respond(&mut writer, 304, "Not Modified", &ctype, Some(&etag), None)?;
+                    } else {
+                        respond(&mut writer, 200, "OK", &ctype, Some(&etag), Some(&bytes))?;
+                    }
+                }
+                None => respond(
+                    &mut writer,
+                    404,
+                    "Not Found",
+                    "text/plain",
+                    None,
+                    Some(b"no such document\n"),
+                )?,
+            }
+        }
+        if close_requested {
+            return Ok(());
+        }
     }
 }
 
+/// Write one response.  `body: None` means a bodiless status (304): no
+/// `Content-Length` and no payload bytes.
 fn respond(
     w: &mut TcpStream,
     code: u16,
     reason: &str,
     content_type: &str,
-    body: &[u8],
+    etag: Option<&str>,
+    body: Option<&[u8]>,
 ) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    w.write_all(head.as_bytes())?;
-    w.write_all(body)?;
+    let mut head = format!("HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\n");
+    if let Some(tag) = etag {
+        head.push_str(&format!("ETag: {tag}\r\n"));
+    }
+    if let Some(body) = body {
+        head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    }
+    head.push_str("Connection: keep-alive\r\n\r\n");
+    // One write per response: head and body in separate segments would
+    // hand Nagle a reason to park the body behind a delayed ACK.
+    let mut out = head.into_bytes();
+    if let Some(body) = body {
+        out.extend_from_slice(body);
+    }
+    w.write_all(&out)?;
     w.flush()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::client::http_get;
+    use crate::client::{http_get, http_get_conditional, Fetch};
     use crate::url::Url;
 
     #[test]
@@ -210,5 +326,48 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(server.hit_count(), 80);
+    }
+
+    #[test]
+    fn responses_carry_stable_etags() {
+        let server = HttpServer::start().unwrap();
+        server.put_xml("/f.xsd", "<v1/>");
+        let url = Url::parse(&server.url_for("/f.xsd")).unwrap();
+        let first = http_get(&url).unwrap().etag.expect("etag");
+        let second = http_get(&url).unwrap().etag.expect("etag");
+        assert_eq!(first, second);
+        server.put_xml("/f.xsd", "<v2/>");
+        let third = http_get(&url).unwrap().etag.expect("etag");
+        assert_ne!(first, third, "changed content must change the ETag");
+    }
+
+    #[test]
+    fn if_none_match_revalidation() {
+        let server = HttpServer::start().unwrap();
+        server.put_xml("/f.xsd", "<v1/>");
+        let url = Url::parse(&server.url_for("/f.xsd")).unwrap();
+        let etag = http_get(&url).unwrap().etag.unwrap();
+
+        // Matching validator: 304 with the ETag, counted.
+        let fetch = http_get_conditional(&url, Some(&etag)).unwrap();
+        assert_eq!(fetch, Fetch::NotModified { etag: Some(etag.clone()) });
+        assert_eq!(server.not_modified_count(), 1);
+
+        // Stale validator after a content change: full 200 again.
+        server.put_xml("/f.xsd", "<v2/>");
+        match http_get_conditional(&url, Some(&etag)).unwrap() {
+            Fetch::Full(resp) => assert_eq!(resp.body, b"<v2/>"),
+            other => panic!("expected full response, got {other:?}"),
+        }
+        assert_eq!(server.not_modified_count(), 1);
+    }
+
+    #[test]
+    fn if_none_match_list_and_wildcard() {
+        let etag = "\"00000000deadbeef\"";
+        assert!(if_none_match_matches(etag, etag));
+        assert!(if_none_match_matches("\"x\", \"00000000deadbeef\"", etag));
+        assert!(if_none_match_matches("*", etag));
+        assert!(!if_none_match_matches("\"y\"", etag));
     }
 }

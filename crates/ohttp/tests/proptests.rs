@@ -1,0 +1,148 @@
+//! Property tests for HTTP/1.1 response framing: arbitrary bodies
+//! round-trip through Content-Length and chunked framing, header
+//! parsing tolerates case and whitespace, and pipelined keep-alive
+//! responses are consumed one at a time off a single stream.
+
+use std::io::BufReader;
+
+use proptest::prelude::*;
+
+use openmeta_ohttp::read_response;
+
+fn body_bytes() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..2048)
+}
+
+/// Split `body` into the given chunk sizes (the tail goes in one final
+/// chunk) and frame it as a chunked transfer coding.
+fn chunked_frame(body: &[u8], splits: &[usize]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut rest = body;
+    for s in splits {
+        let n = (*s % 64).min(rest.len());
+        if n == 0 {
+            continue;
+        }
+        out.extend_from_slice(format!("{n:x}\r\n").as_bytes());
+        out.extend_from_slice(&rest[..n]);
+        out.extend_from_slice(b"\r\n");
+        rest = &rest[n..];
+    }
+    if !rest.is_empty() {
+        out.extend_from_slice(format!("{:x}\r\n", rest.len()).as_bytes());
+        out.extend_from_slice(rest);
+        out.extend_from_slice(b"\r\n");
+    }
+    out.extend_from_slice(b"0\r\n\r\n");
+    out
+}
+
+fn response_with_length(status: u16, reason: &str, etag: Option<&str>, body: &[u8]) -> Vec<u8> {
+    let mut out = format!("HTTP/1.1 {status} {reason}\r\n").into_bytes();
+    out.extend_from_slice(format!("Content-Length: {}\r\n", body.len()).as_bytes());
+    out.extend_from_slice(b"Content-Type: text/xml\r\n");
+    if let Some(e) = etag {
+        out.extend_from_slice(format!("ETag: {e}\r\n").as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn content_length_framing_round_trips(body in body_bytes()) {
+        let wire = response_with_length(200, "OK", Some("\"v1\""), &body);
+        let mut r = BufReader::new(wire.as_slice());
+        let resp = read_response(&mut r).expect("parses");
+        prop_assert_eq!(resp.status, 200);
+        prop_assert_eq!(resp.body, body);
+        prop_assert_eq!(resp.etag.as_deref(), Some("\"v1\""));
+        prop_assert!(resp.reusable, "delimited 1.1 responses keep the connection");
+    }
+
+    #[test]
+    fn chunked_framing_round_trips_any_split(
+        body in body_bytes(),
+        splits in proptest::collection::vec(1usize..64, 0..32),
+    ) {
+        let mut wire = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
+        wire.extend_from_slice(&chunked_frame(&body, &splits));
+        let mut r = BufReader::new(wire.as_slice());
+        let resp = read_response(&mut r).expect("parses");
+        prop_assert_eq!(resp.body, body);
+        prop_assert!(resp.reusable);
+    }
+
+    #[test]
+    fn header_names_are_case_insensitive(
+        body in body_bytes(),
+        upper in any::<bool>(),
+    ) {
+        let cl = if upper { "CONTENT-LENGTH" } else { "content-length" };
+        let mut wire = format!("HTTP/1.1 200 OK\r\n{cl}: {}\r\n\r\n", body.len()).into_bytes();
+        wire.extend_from_slice(&body);
+        let mut r = BufReader::new(wire.as_slice());
+        prop_assert_eq!(read_response(&mut r).expect("parses").body, body);
+    }
+
+    /// Keep-alive pipelining: N responses concatenated on one stream are
+    /// consumed one at a time, each ending exactly at its framing
+    /// boundary so the next read starts at the next status line.
+    #[test]
+    fn pipelined_responses_split_cleanly(
+        bodies in proptest::collection::vec(body_bytes(), 1..5),
+        splits in proptest::collection::vec(1usize..64, 0..16),
+    ) {
+        let mut wire = Vec::new();
+        for (i, b) in bodies.iter().enumerate() {
+            if i % 2 == 0 {
+                wire.extend_from_slice(&response_with_length(200, "OK", None, b));
+            } else {
+                wire.extend_from_slice(b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n");
+                wire.extend_from_slice(&chunked_frame(b, &splits));
+            }
+        }
+        let mut r = BufReader::new(wire.as_slice());
+        for b in &bodies {
+            let resp = read_response(&mut r).expect("parses");
+            prop_assert_eq!(&resp.body, b);
+            prop_assert!(resp.reusable);
+        }
+        // The stream must be exhausted: nothing was over- or under-read.
+        let mut leftover = Vec::new();
+        std::io::Read::read_to_end(&mut r, &mut leftover).expect("reads");
+        prop_assert!(leftover.is_empty());
+    }
+
+    #[test]
+    fn connection_close_disables_reuse(body in body_bytes()) {
+        let mut wire = format!(
+            "HTTP/1.1 200 OK\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        wire.extend_from_slice(&body);
+        let mut r = BufReader::new(wire.as_slice());
+        let resp = read_response(&mut r).expect("parses");
+        prop_assert_eq!(resp.body, body);
+        prop_assert!(!resp.reusable);
+    }
+
+    #[test]
+    fn truncated_responses_error_not_panic(
+        wire in proptest::collection::vec(any::<u8>(), 0..256),
+        cut in 0usize..256,
+    ) {
+        // Arbitrary bytes, and valid prefixes cut short: never a panic.
+        let mut r = BufReader::new(wire.as_slice());
+        let _ = read_response(&mut r);
+
+        let full = response_with_length(200, "OK", None, &wire);
+        let cut = cut.min(full.len());
+        let mut r = BufReader::new(&full[..cut]);
+        let _ = read_response(&mut r);
+    }
+}

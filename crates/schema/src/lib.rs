@@ -18,11 +18,12 @@
 pub mod error;
 pub mod model;
 pub mod parse;
+pub mod stream;
 pub mod write;
 pub mod xsd;
 
 pub use error::SchemaError;
 pub use model::{ComplexType, ElementDecl, Occurs, SchemaDocument, TypeRef};
-pub use parse::{parse_document, parse_str};
+pub use parse::{parse_document, parse_str, parse_str_dom};
 pub use write::to_xml;
 pub use xsd::{XsdPrimitive, XSD_NAMESPACES};

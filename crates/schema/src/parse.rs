@@ -4,6 +4,12 @@
 //! subtree, then walk its `element` children.  Everything else in the
 //! document (annotations, comments, unknown attributes) is ignored, as a
 //! metadata reader should tolerate.
+//!
+//! Two parse paths share the semantic lowering in this module:
+//! [`parse_str`] streams `xml::Reader` pull events straight into the
+//! schema model (no DOM allocation — the discovery hot path), while
+//! [`parse_str_dom`]/[`parse_document`] go through the generic DOM (kept
+//! for the document API and as the differential-testing reference).
 
 use openmeta_xml::{Document, NodeId, Position, XMLNS_NS};
 
@@ -11,8 +17,16 @@ use crate::error::SchemaError;
 use crate::model::{ComplexType, DimensionPlacement, ElementDecl, Occurs, SchemaDocument, TypeRef};
 use crate::xsd::{XsdCategory, XsdPrimitive, XSD_NAMESPACES};
 
-/// Parse schema metadata from XML text.
+/// Parse schema metadata from XML text (streaming, DOM-free).
 pub fn parse_str(text: &str) -> Result<SchemaDocument, SchemaError> {
+    crate::stream::parse_str_streaming(text)
+}
+
+/// Parse schema metadata from XML text via the DOM builder.
+///
+/// Semantically equivalent to [`parse_str`]; retained as the reference
+/// implementation the streaming path is differentially tested against.
+pub fn parse_str_dom(text: &str) -> Result<SchemaDocument, SchemaError> {
     let doc = openmeta_xml::parse(text)?;
     parse_document(&doc)
 }
@@ -71,25 +85,42 @@ pub fn parse_document(doc: &Document) -> Result<SchemaDocument, SchemaError> {
 
 fn parse_enum(doc: &Document, st: NodeId) -> Result<crate::model::EnumType, SchemaError> {
     let at = doc.node(st).position;
-    let name = doc
-        .attribute(st, "name")
-        .ok_or_else(|| SchemaError::invalid("simpleType lacks a name attribute", at))?
-        .to_string();
-    let restriction = doc.children_named(st, "restriction").next().ok_or_else(|| {
-        SchemaError::invalid(format!("simpleType '{name}' has no restriction"), at)
-    })?;
-    let mut values = Vec::new();
-    for facet in doc.children_named(restriction, "enumeration") {
-        let v = doc.attribute(facet, "value").ok_or_else(|| {
-            SchemaError::invalid(
-                format!("enumeration facet in '{name}' lacks a value"),
-                doc.node(facet).position,
-            )
+    let name = doc.attribute(st, "name");
+    let restriction = doc.children_named(st, "restriction").next();
+    let facets: Vec<(Option<String>, Position)> = match restriction {
+        Some(r) => doc
+            .children_named(r, "enumeration")
+            .map(|facet| {
+                (doc.attribute(facet, "value").map(str::to_string), doc.node(facet).position)
+            })
+            .collect(),
+        None => Vec::new(),
+    };
+    enum_from_facets(name, at, restriction.is_some(), &facets)
+}
+
+/// Validate a collected `simpleType` (shared by the DOM and streaming
+/// paths): `name` and `facets` come from whichever traversal ran;
+/// `had_restriction` says whether a direct `restriction` child existed.
+pub(crate) fn enum_from_facets(
+    name: Option<&str>,
+    at: Position,
+    had_restriction: bool,
+    facets: &[(Option<String>, Position)],
+) -> Result<crate::model::EnumType, SchemaError> {
+    let name = name.ok_or_else(|| SchemaError::invalid("simpleType lacks a name attribute", at))?;
+    if !had_restriction {
+        return Err(SchemaError::invalid(format!("simpleType '{name}' has no restriction"), at));
+    }
+    let mut values: Vec<String> = Vec::new();
+    for (value, facet_at) in facets {
+        let v = value.as_deref().ok_or_else(|| {
+            SchemaError::invalid(format!("enumeration facet in '{name}' lacks a value"), *facet_at)
         })?;
-        if values.iter().any(|x: &String| x == v) {
+        if values.iter().any(|x| x == v) {
             return Err(SchemaError::invalid(
                 format!("simpleType '{name}' repeats enumeration value '{v}'"),
-                doc.node(facet).position,
+                *facet_at,
             ));
         }
         values.push(v.to_string());
@@ -100,7 +131,7 @@ fn parse_enum(doc: &Document, st: NodeId) -> Result<crate::model::EnumType, Sche
             at,
         ));
     }
-    Ok(crate::model::EnumType { name, values })
+    Ok(crate::model::EnumType { name: name.to_string(), values })
 }
 
 fn parse_complex_type(doc: &Document, ct: NodeId) -> Result<ComplexType, SchemaError> {
@@ -127,7 +158,7 @@ fn parse_complex_type(doc: &Document, ct: NodeId) -> Result<ComplexType, SchemaE
         }
     }
     let ct_model = ComplexType { name, elements };
-    validate_dimensions(doc, ct, &ct_model)?;
+    validate_dimensions(&ct_model, at)?;
     Ok(ct_model)
 }
 
@@ -150,16 +181,46 @@ fn push_element(
 
 fn parse_element(doc: &Document, el: NodeId) -> Result<ElementDecl, SchemaError> {
     let at = doc.node(el).position;
-    let name = doc
-        .attribute(el, "name")
+    let attrs = ElementAttrs {
+        name: doc.attribute(el, "name"),
+        ty: doc.attribute(el, "type"),
+        min_occurs: doc.attribute(el, "minOccurs"),
+        max_occurs: doc.attribute(el, "maxOccurs"),
+        dimension_name: doc.attribute(el, "dimensionName"),
+        dimension_placement: doc.attribute(el, "dimensionPlacement"),
+    };
+    element_decl_from_attrs(attrs, at, |p| lookup_prefix(doc, el, p))
+}
+
+/// The schema-relevant attributes of an `element` declaration, extracted
+/// by whichever traversal (DOM or streaming) found it.
+pub(crate) struct ElementAttrs<'a> {
+    pub name: Option<&'a str>,
+    pub ty: Option<&'a str>,
+    pub min_occurs: Option<&'a str>,
+    pub max_occurs: Option<&'a str>,
+    pub dimension_name: Option<&'a str>,
+    pub dimension_placement: Option<&'a str>,
+}
+
+/// Lower an `element` declaration to the model (shared by the DOM and
+/// streaming paths).  `lookup` resolves a namespace prefix to its URI as
+/// bound at the element — the only context-dependent piece.
+pub(crate) fn element_decl_from_attrs(
+    attrs: ElementAttrs<'_>,
+    at: Position,
+    lookup: impl FnMut(&str) -> Option<String>,
+) -> Result<ElementDecl, SchemaError> {
+    let name = attrs
+        .name
         .ok_or_else(|| SchemaError::invalid("element lacks a name attribute", at))?
         .to_string();
-    let type_attr = doc.attribute(el, "type").ok_or_else(|| {
+    let type_attr = attrs.ty.ok_or_else(|| {
         SchemaError::invalid(format!("element '{name}' lacks a type attribute"), at)
     })?;
-    let type_ref = resolve_type_ref(doc, el, type_attr, at)?;
+    let type_ref = resolve_type_ref_with(type_attr, at, lookup)?;
 
-    if let Some(min) = doc.attribute(el, "minOccurs") {
+    if let Some(min) = attrs.min_occurs {
         if !matches!(min, "0" | "1") {
             return Err(SchemaError::invalid(
                 format!("element '{name}': minOccurs must be 0 or 1, got '{min}'"),
@@ -168,8 +229,8 @@ fn parse_element(doc: &Document, el: NodeId) -> Result<ElementDecl, SchemaError>
         }
     }
 
-    let mut dimension_name = doc.attribute(el, "dimensionName").map(str::to_string);
-    let occurs = match doc.attribute(el, "maxOccurs") {
+    let mut dimension_name = attrs.dimension_name.map(str::to_string);
+    let occurs = match attrs.max_occurs {
         None | Some("1") => Occurs::One,
         Some("*") | Some("unbounded") => Occurs::Unbounded,
         Some(v) if v.chars().all(|c| c.is_ascii_digit()) => {
@@ -195,7 +256,7 @@ fn parse_element(doc: &Document, el: NodeId) -> Result<ElementDecl, SchemaError>
         }
     };
 
-    let dimension_placement = match doc.attribute(el, "dimensionPlacement") {
+    let dimension_placement = match attrs.dimension_placement {
         None | Some("before") => DimensionPlacement::Before,
         Some("after") => DimensionPlacement::After,
         Some(other) => {
@@ -237,12 +298,11 @@ fn parse_element(doc: &Document, el: NodeId) -> Result<ElementDecl, SchemaError>
 
 /// Resolve a `type="pfx:local"` attribute value against in-scope
 /// namespace declarations (attribute values are QNames by convention, not
-/// by XML rule, so the DOM does not resolve them for us).
-fn resolve_type_ref(
-    doc: &Document,
-    el: NodeId,
+/// by XML rule, so the XML layer does not resolve them for us).
+pub(crate) fn resolve_type_ref_with(
     value: &str,
     at: Position,
+    mut lookup: impl FnMut(&str) -> Option<String>,
 ) -> Result<TypeRef, SchemaError> {
     let (prefix, local) = match value.split_once(':') {
         Some((p, l)) => (Some(p), l),
@@ -254,7 +314,7 @@ fn resolve_type_ref(
     let ns = match prefix {
         None => None,
         Some(p) => {
-            let uri = lookup_prefix(doc, el, p).ok_or_else(|| {
+            let uri = lookup(p).ok_or_else(|| {
                 SchemaError::invalid(
                     format!("type reference '{value}' uses undeclared prefix '{p}'"),
                     at,
@@ -292,13 +352,9 @@ fn lookup_prefix(doc: &Document, from: NodeId, prefix: &str) -> Option<String> {
     None
 }
 
-/// Dynamic arrays must be governed by an integer-typed sibling.
-fn validate_dimensions(
-    doc: &Document,
-    ct_node: NodeId,
-    ct: &ComplexType,
-) -> Result<(), SchemaError> {
-    let at = doc.node(ct_node).position;
+/// Dynamic arrays must be governed by an integer-typed sibling (shared by
+/// the DOM and streaming paths; `at` is the complexType's position).
+pub(crate) fn validate_dimensions(ct: &ComplexType, at: Position) -> Result<(), SchemaError> {
     for e in &ct.elements {
         if e.occurs != Occurs::Unbounded {
             continue;

@@ -1,0 +1,470 @@
+//! DOM-free streaming XSD parsing.
+//!
+//! Lowers `xml::Reader` pull events directly into the schema model,
+//! skipping the DOM arena the generic document API builds.  This is the
+//! registration hot path of the discovery benchmarks: per-element node
+//! allocation disappears and the document text is traversed exactly once.
+//!
+//! The traversal semantics deliberately mirror [`crate::parse::parse_document`]
+//! (every descendant `complexType`/`simpleType` by local name, `element`
+//! children direct or one `sequence`/`all` level down, type QNames
+//! resolved against raw in-scope `xmlns` attributes), and the two paths
+//! are differentially tested against each other: identical documents on
+//! valid input, errors on both for invalid input.
+
+use openmeta_xml::{
+    split_prefix, ErrorKind, Event, Position, RawAttribute, Reader, XmlError, XMLNS_NS, XML_NS,
+};
+
+use crate::error::SchemaError;
+use crate::model::{ComplexType, ElementDecl, SchemaDocument};
+use crate::parse::{element_decl_from_attrs, enum_from_facets, validate_dimensions, ElementAttrs};
+
+/// A `complexType` currently being collected.
+struct TypeCollector {
+    /// Nesting depth of the complexType element itself.
+    depth: usize,
+    at: Position,
+    name: String,
+    elements: Vec<ElementDecl>,
+    /// A `sequence`/`all` direct child is currently open.
+    seq_open: bool,
+}
+
+/// A `simpleType` currently being collected (validated at end of input).
+struct EnumCollector {
+    depth: usize,
+    at: Position,
+    name: Option<String>,
+    had_restriction: bool,
+    /// The *first* direct `restriction` child is currently open; only its
+    /// direct `enumeration` facets count (matches the DOM traversal).
+    first_restriction_open: bool,
+    facets: Vec<(Option<String>, Position)>,
+}
+
+/// Namespace machinery replicating what the DOM builder tracks, without
+/// building nodes:
+/// * `bindings`/`defaults` validate QName well-formedness exactly like
+///   `dom::build` (undeclared prefixes are errors anywhere in the doc);
+/// * `raw` answers type-QName lookups the way `parse::lookup_prefix`
+///   walks raw `xmlns` attributes on ancestor nodes — no built-in
+///   bindings, no empty-URI filtering.
+struct Scopes {
+    bindings: Vec<(String, String, usize)>,
+    defaults: Vec<(String, usize)>,
+    raw: Vec<(String, String, usize)>,
+}
+
+impl Scopes {
+    fn new() -> Self {
+        Scopes {
+            bindings: vec![
+                ("xml".to_string(), XML_NS.to_string(), 0),
+                ("xmlns".to_string(), XMLNS_NS.to_string(), 0),
+            ],
+            defaults: Vec::new(),
+            raw: Vec::new(),
+        }
+    }
+
+    fn resolve(&self, prefix: &str) -> Option<&str> {
+        self.bindings
+            .iter()
+            .rev()
+            .find(|(p, _, _)| p == prefix)
+            .map(|(_, u, _)| u.as_str())
+            .filter(|u| !u.is_empty())
+    }
+
+    fn raw_lookup(&self, prefix: &str) -> Option<String> {
+        self.raw.iter().rev().find(|(p, _, _)| p == prefix).map(|(_, u, _)| u.clone())
+    }
+
+    fn pop_to(&mut self, depth: usize) {
+        while matches!(self.bindings.last(), Some(&(_, _, d)) if d >= depth) {
+            self.bindings.pop();
+        }
+        while matches!(self.defaults.last(), Some(&(_, d)) if d >= depth) {
+            self.defaults.pop();
+        }
+        while matches!(self.raw.last(), Some(&(_, _, d)) if d >= depth) {
+            self.raw.pop();
+        }
+    }
+}
+
+/// Unprefixed-attribute lookup, matching `Document::attribute` (schema
+/// attributes are unprefixed by convention; prefixed ones never match).
+fn attr<'e>(attributes: &'e [RawAttribute<'_>], local: &str) -> Option<&'e str> {
+    attributes.iter().find(|a| a.name == local).map(|a| a.value.as_ref())
+}
+
+/// Parse schema metadata from XML text without building a DOM.
+pub(crate) fn parse_str_streaming(text: &str) -> Result<SchemaDocument, SchemaError> {
+    let mut reader = Reader::new(text);
+    let mut scopes = Scopes::new();
+    let mut depth = 0usize;
+    let mut root_at = Position::start();
+    let mut seen_root = false;
+
+    // All collectors in document (start-tag) order; `active_*` index the
+    // currently open ones, innermost last.
+    let mut types: Vec<TypeCollector> = Vec::new();
+    let mut active_types: Vec<usize> = Vec::new();
+    let mut enums: Vec<EnumCollector> = Vec::new();
+    let mut active_enums: Vec<usize> = Vec::new();
+
+    loop {
+        let at = reader.source_position();
+        let event = reader.next_event()?;
+        match event {
+            Event::Eof => break,
+            Event::StartElement { name, attributes, .. } => {
+                depth += 1;
+                if !seen_root {
+                    seen_root = true;
+                    root_at = at;
+                }
+                // Namespace declarations on this element come into scope
+                // before its own names are resolved (as in `dom::build`).
+                for a in &attributes {
+                    if a.name == "xmlns" {
+                        scopes.defaults.push((a.value.to_string(), depth));
+                    } else if let Some(p) = a.name.strip_prefix("xmlns:") {
+                        if p.is_empty() {
+                            return Err(XmlError::new(
+                                ErrorKind::InvalidName,
+                                "empty prefix in xmlns declaration",
+                                at,
+                            )
+                            .into());
+                        }
+                        scopes.bindings.push((p.to_string(), a.value.to_string(), depth));
+                    }
+                }
+                // Well-formedness parity with the DOM path: every element
+                // and attribute QName in the document must resolve.
+                let (eprefix, elocal) = split_prefix(name).ok_or_else(|| {
+                    XmlError::new(ErrorKind::InvalidName, format!("bad QName '{name}'"), at)
+                })?;
+                if !eprefix.is_empty() && scopes.resolve(eprefix).is_none() {
+                    return Err(XmlError::new(
+                        ErrorKind::UndeclaredPrefix,
+                        format!("undeclared namespace prefix '{eprefix}'"),
+                        at,
+                    )
+                    .into());
+                }
+                for a in &attributes {
+                    let (ap, al) = split_prefix(a.name).ok_or_else(|| {
+                        XmlError::new(
+                            ErrorKind::InvalidName,
+                            format!("bad attribute QName '{}'", a.name),
+                            at,
+                        )
+                    })?;
+                    let is_decl = if a.name == "xmlns" {
+                        true
+                    } else if ap.is_empty() {
+                        false
+                    } else {
+                        let uri = scopes.resolve(ap).ok_or_else(|| {
+                            XmlError::new(
+                                ErrorKind::UndeclaredPrefix,
+                                format!("undeclared namespace prefix '{ap}'"),
+                                at,
+                            )
+                        })?;
+                        ap == "xmlns" || uri == XMLNS_NS
+                    };
+                    if is_decl {
+                        scopes.raw.push((al.to_string(), a.value.to_string(), depth));
+                    }
+                }
+
+                match elocal {
+                    "complexType" => {
+                        let ct_name = attr(&attributes, "name")
+                            .ok_or_else(|| {
+                                SchemaError::invalid("complexType lacks a name attribute", at)
+                            })?
+                            .to_string();
+                        active_types.push(types.len());
+                        types.push(TypeCollector {
+                            depth,
+                            at,
+                            name: ct_name,
+                            elements: Vec::new(),
+                            seq_open: false,
+                        });
+                    }
+                    "simpleType" => {
+                        active_enums.push(enums.len());
+                        enums.push(EnumCollector {
+                            depth,
+                            at,
+                            name: attr(&attributes, "name").map(str::to_string),
+                            had_restriction: false,
+                            first_restriction_open: false,
+                            facets: Vec::new(),
+                        });
+                    }
+                    "sequence" | "all" => {
+                        if let Some(&i) = active_types.last() {
+                            if depth == types[i].depth + 1 {
+                                types[i].seq_open = true;
+                            }
+                        }
+                    }
+                    "element" => {
+                        let target = active_types.last().copied().filter(|&i| {
+                            let c = &types[i];
+                            depth == c.depth + 1 || (depth == c.depth + 2 && c.seq_open)
+                        });
+                        if let Some(i) = target {
+                            let decl = element_decl_from_attrs(
+                                ElementAttrs {
+                                    name: attr(&attributes, "name"),
+                                    ty: attr(&attributes, "type"),
+                                    min_occurs: attr(&attributes, "minOccurs"),
+                                    max_occurs: attr(&attributes, "maxOccurs"),
+                                    dimension_name: attr(&attributes, "dimensionName"),
+                                    dimension_placement: attr(&attributes, "dimensionPlacement"),
+                                },
+                                at,
+                                |p| scopes.raw_lookup(p),
+                            )?;
+                            let c = &mut types[i];
+                            if c.elements.iter().any(|e| e.name == decl.name) {
+                                return Err(SchemaError::invalid(
+                                    format!(
+                                        "duplicate element '{}' in complexType '{}'",
+                                        decl.name, c.name
+                                    ),
+                                    at,
+                                ));
+                            }
+                            c.elements.push(decl);
+                        }
+                    }
+                    "restriction" => {
+                        if let Some(&i) = active_enums.last() {
+                            let e = &mut enums[i];
+                            if depth == e.depth + 1 && !e.had_restriction {
+                                e.had_restriction = true;
+                                e.first_restriction_open = true;
+                            }
+                        }
+                    }
+                    "enumeration" => {
+                        if let Some(&i) = active_enums.last() {
+                            let e = &mut enums[i];
+                            if depth == e.depth + 2 && e.first_restriction_open {
+                                e.facets.push((attr(&attributes, "value").map(str::to_string), at));
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            Event::EndElement { .. } => {
+                // `depth` is the depth of the element now closing.
+                if let Some(&i) = active_types.last() {
+                    if types[i].depth == depth {
+                        active_types.pop();
+                    } else if types[i].depth + 1 == depth {
+                        // A direct child of the innermost open complexType
+                        // closed; any open sequence/all wrapper is done.
+                        types[i].seq_open = false;
+                    }
+                }
+                if let Some(&i) = active_enums.last() {
+                    if enums[i].depth == depth {
+                        active_enums.pop();
+                    } else if enums[i].depth + 1 == depth {
+                        enums[i].first_restriction_open = false;
+                    }
+                }
+                scopes.pop_to(depth);
+                depth -= 1;
+            }
+            // Character data, comments, PIs and DOCTYPE carry no schema
+            // meaning; the reader has already validated them.
+            _ => {}
+        }
+    }
+
+    // Assemble in the DOM path's order: all complexTypes (document
+    // order), then all enumeration simpleTypes.
+    let mut out = SchemaDocument::default();
+    for c in types {
+        let ct = ComplexType { name: c.name, elements: c.elements };
+        validate_dimensions(&ct, c.at)?;
+        if out.get(&ct.name).is_some() {
+            return Err(SchemaError::invalid(format!("duplicate complexType '{}'", ct.name), c.at));
+        }
+        out.types.push(ct);
+    }
+    for e in enums {
+        let en = enum_from_facets(e.name.as_deref(), e.at, e.had_restriction, &e.facets)?;
+        if out.get(&en.name).is_some() || out.get_enum(&en.name).is_some() {
+            return Err(SchemaError::invalid(format!("duplicate type name '{}'", en.name), e.at));
+        }
+        out.enums.push(en);
+    }
+    if out.types.is_empty() && out.enums.is_empty() {
+        return Err(SchemaError::invalid(
+            "document defines no complexType or enumeration simpleType",
+            root_at,
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse::{parse_str, parse_str_dom};
+
+    const XSD: &str = "http://www.w3.org/2001/XMLSchema";
+
+    fn wrap(body: &str) -> String {
+        format!("<xsd:schema xmlns:xsd=\"{XSD}\">{body}</xsd:schema>")
+    }
+
+    /// Both paths must agree: equal documents on success, errors on both
+    /// otherwise.
+    fn differential(text: &str) {
+        match (parse_str(text), parse_str_dom(text)) {
+            (Ok(s), Ok(d)) => assert_eq!(s, d, "streaming and DOM disagree on:\n{text}"),
+            (Err(_), Err(_)) => {}
+            (s, d) => {
+                panic!("paths disagree on validity of:\n{text}\nstreaming: {s:?}\nDOM: {d:?}")
+            }
+        }
+    }
+
+    #[test]
+    fn differential_on_representative_documents() {
+        let cases = [
+            // Valid shapes.
+            wrap(
+                r#"<xsd:complexType name="A"><xsd:element name="x" type="xsd:int"/></xsd:complexType>"#,
+            ),
+            wrap(
+                r#"<xsd:complexType name="A">
+                     <xsd:sequence>
+                       <xsd:element name="x" type="xsd:int"/>
+                       <xsd:element name="y" type="xsd:double" maxOccurs="4"/>
+                     </xsd:sequence>
+                   </xsd:complexType>
+                   <xsd:complexType name="B">
+                     <xsd:element name="a" type="A"/>
+                     <xsd:element name="n" type="xsd:int"/>
+                     <xsd:element name="vs" type="xsd:float" maxOccurs="*" dimensionName="n"/>
+                   </xsd:complexType>"#,
+            ),
+            wrap(
+                r#"<xsd:simpleType name="Color">
+                     <xsd:restriction base="xsd:string">
+                       <xsd:enumeration value="red"/>
+                       <xsd:enumeration value="green"/>
+                     </xsd:restriction>
+                   </xsd:simpleType>
+                   <xsd:complexType name="Pixel">
+                     <xsd:element name="c" type="Color"/>
+                   </xsd:complexType>"#,
+            ),
+            // Namespace scoping: prefix rebinding and a non-XSD namespace.
+            format!(
+                r#"<s:schema xmlns:s="{XSD}" xmlns:o="urn:other">
+                     <s:complexType name="T">
+                       <s:element name="x" type="s:int" xmlns:s="urn:shadow"/>
+                       <s:element name="y" type="o:thing"/>
+                     </s:complexType>
+                   </s:schema>"#
+            ),
+            // complexType as the document root.
+            format!(
+                r#"<xsd:complexType name="Solo" xmlns:xsd="{XSD}">
+                     <xsd:element name="x" type="xsd:int"/>
+                   </xsd:complexType>"#
+            ),
+            // Nested complexType (both are collected, inner not an element
+            // of the outer).
+            wrap(
+                r#"<xsd:complexType name="Outer">
+                     <xsd:element name="x" type="xsd:int"/>
+                     <xsd:complexType name="Inner">
+                       <xsd:element name="y" type="xsd:int"/>
+                     </xsd:complexType>
+                   </xsd:complexType>"#,
+            ),
+            // Nested sequence: inner level is NOT scanned.
+            wrap(
+                r#"<xsd:complexType name="T">
+                     <xsd:sequence>
+                       <xsd:element name="x" type="xsd:int"/>
+                       <xsd:sequence>
+                         <xsd:element name="hidden" type="xsd:int"/>
+                       </xsd:sequence>
+                     </xsd:sequence>
+                   </xsd:complexType>"#,
+            ),
+            // Invalid shapes — both paths must reject.
+            wrap(r#"<xsd:complexType><xsd:element name="x" type="xsd:int"/></xsd:complexType>"#),
+            wrap(r#"<xsd:complexType name="T"><xsd:element name="x"/></xsd:complexType>"#),
+            wrap(
+                r#"<xsd:complexType name="T"><xsd:element name="x" type="zz:int"/></xsd:complexType>"#,
+            ),
+            wrap(
+                r#"<xsd:complexType name="T"><xsd:element name="x" type="xsd:hexBinary"/></xsd:complexType>"#,
+            ),
+            wrap(
+                r#"<xsd:complexType name="T"><xsd:element name="x" type="xsd:int"/></xsd:complexType>
+                   <xsd:complexType name="T"><xsd:element name="y" type="xsd:int"/></xsd:complexType>"#,
+            ),
+            wrap(r#"<xsd:simpleType name="E"/>"#),
+            wrap(
+                r#"<xsd:simpleType name="E"><xsd:restriction base="xsd:string"/></xsd:simpleType>"#,
+            ),
+            "<a/>".to_string(),
+            "<a>".to_string(),
+        ];
+        for case in &cases {
+            differential(case);
+        }
+    }
+
+    #[test]
+    fn streaming_handles_multiple_sequences() {
+        let doc = parse_str(&wrap(
+            r#"<xsd:complexType name="T">
+                 <xsd:sequence><xsd:element name="x" type="xsd:int"/></xsd:sequence>
+                 <xsd:sequence><xsd:element name="y" type="xsd:int"/></xsd:sequence>
+               </xsd:complexType>"#,
+        ))
+        .unwrap();
+        assert_eq!(doc.get("T").unwrap().elements.len(), 2);
+        differential(&wrap(
+            r#"<xsd:complexType name="T">
+                 <xsd:sequence><xsd:element name="x" type="xsd:int"/></xsd:sequence>
+                 <xsd:sequence><xsd:element name="y" type="xsd:int"/></xsd:sequence>
+               </xsd:complexType>"#,
+        ));
+    }
+
+    #[test]
+    fn streaming_resolves_default_xmlns_edge_case() {
+        // `type="xmlns:foo"` resolves through a bare xmlns declaration in
+        // the DOM's lookup; the streaming path must agree.
+        let text = format!(
+            r#"<xsd:schema xmlns:xsd="{XSD}" xmlns="urn:default">
+                 <xsd:complexType name="T">
+                   <xsd:element name="x" type="xmlns:foo"/>
+                 </xsd:complexType>
+               </xsd:schema>"#
+        );
+        differential(&text);
+    }
+}

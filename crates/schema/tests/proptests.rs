@@ -4,7 +4,8 @@
 use proptest::prelude::*;
 
 use openmeta_schema::{
-    parse_str, to_xml, ComplexType, ElementDecl, Occurs, SchemaDocument, TypeRef, XsdPrimitive,
+    parse_str, parse_str_dom, to_xml, ComplexType, ElementDecl, Occurs, SchemaDocument, TypeRef,
+    XsdPrimitive,
 };
 
 fn ident() -> impl Strategy<Value = String> {
@@ -115,6 +116,49 @@ proptest! {
         )
     ) {
         let _ = parse_str(&parts.concat());
+    }
+
+    /// The streaming parser is a drop-in replacement for the DOM path:
+    /// identical documents on valid input.
+    #[test]
+    fn streaming_matches_dom_on_valid_documents(doc in document()) {
+        let xml = to_xml(&doc);
+        let streamed = parse_str(&xml).expect("streaming parse");
+        let dommed = parse_str_dom(&xml).expect("DOM parse");
+        prop_assert_eq!(streamed, dommed);
+    }
+
+    /// On arbitrary soup the two paths must agree about validity (equal
+    /// results or errors on both; messages may differ).
+    #[test]
+    fn streaming_matches_dom_on_soup(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("<xsd:complexType name=\"T\" xmlns:xsd=\"http://www.w3.org/2001/XMLSchema\">".to_string()),
+                Just("</xsd:complexType>".to_string()),
+                Just("<xsd:element name=\"x\" type=\"xsd:int\" xmlns:xsd=\"http://www.w3.org/2001/XMLSchema\"/>".to_string()),
+                Just("<element name=\"y\" type=\"T\"/>".to_string()),
+                Just("<sequence>".to_string()),
+                Just("</sequence>".to_string()),
+                Just("<simpleType name=\"E\">".to_string()),
+                Just("</simpleType>".to_string()),
+                Just("<restriction base=\"s\">".to_string()),
+                Just("</restriction>".to_string()),
+                Just("<enumeration value=\"a\"/>".to_string()),
+                Just("<enumeration value=\"b\"/>".to_string()),
+                Just("<complexType name=\"U\">".to_string()),
+                Just("</complexType>".to_string()),
+                ident(),
+            ],
+            0..14,
+        )
+    ) {
+        let text = parts.concat();
+        match (parse_str(&text), parse_str_dom(&text)) {
+            (Ok(s), Ok(d)) => prop_assert_eq!(s, d),
+            (Err(_), Err(_)) => {}
+            (s, d) => prop_assert!(false, "paths disagree on:\n{}\nstreaming: {:?}\nDOM: {:?}", text, s, d),
+        }
     }
 
     #[test]

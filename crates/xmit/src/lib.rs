@@ -56,7 +56,7 @@ pub use mapping::{map_document, map_type};
 pub use matching::{best_match, match_message, MatchReport};
 pub use messaging::{XmitReceiver, XmitSender};
 pub use projection::{project_type, Projection};
-pub use toolkit::{BindingToken, Xmit};
+pub use toolkit::{BindingToken, LoadOutcome, SchemaCacheStats, Xmit};
 pub use watcher::{FormatChange, FormatWatcher};
 
 // Re-exports so applications only need the `xmit` crate.

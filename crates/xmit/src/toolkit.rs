@@ -1,11 +1,13 @@
 //! The toolkit facade: load documents, bind types, mint records.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
 
-use openmeta_ohttp::{DocumentSource, StandardSource, Url};
+use openmeta_ohttp::{content_hash64, DocumentSource, Fetched, StandardSource, Url};
 use openmeta_pbio::server::FormatServerClient;
 use openmeta_pbio::{FormatDescriptor, FormatId, FormatRegistry, MachineModel, RawRecord};
 use openmeta_schema::model::EnumType;
@@ -37,6 +39,97 @@ impl BindingToken {
     }
 }
 
+/// How a cached discovery request was satisfied.
+///
+/// Each variant carries the names of the complex types the document
+/// defines; only [`LoadOutcome::Loaded`] paid for a parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadOutcome {
+    /// Cache miss: the document was fetched, parsed, and its definitions
+    /// (re)applied.
+    Loaded(Vec<String>),
+    /// The server answered a conditional GET with `304 Not Modified`;
+    /// the cached parse was re-applied without transferring the body.
+    Revalidated(Vec<String>),
+    /// A full body arrived but its content hash matched a cached parse
+    /// (same URL or any other), so parsing was skipped.
+    Unchanged(Vec<String>),
+    /// The cached entry was inside the freshness TTL; no network traffic
+    /// at all.
+    Fresh(Vec<String>),
+}
+
+impl LoadOutcome {
+    /// The type names the document defines, whichever way we got them.
+    pub fn names(&self) -> &[String] {
+        match self {
+            LoadOutcome::Loaded(n)
+            | LoadOutcome::Revalidated(n)
+            | LoadOutcome::Unchanged(n)
+            | LoadOutcome::Fresh(n) => n,
+        }
+    }
+
+    /// Consume the outcome, keeping only the type names.
+    pub fn into_names(self) -> Vec<String> {
+        match self {
+            LoadOutcome::Loaded(n)
+            | LoadOutcome::Revalidated(n)
+            | LoadOutcome::Unchanged(n)
+            | LoadOutcome::Fresh(n) => n,
+        }
+    }
+
+    /// Did this request skip the schema parse?
+    pub fn was_cache_hit(&self) -> bool {
+        !matches!(self, LoadOutcome::Loaded(_))
+    }
+}
+
+/// Snapshot of the discovery cache's effectiveness counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchemaCacheStats {
+    /// Loads satisfied inside the TTL without touching the network.
+    pub fresh_hits: u64,
+    /// Conditional GETs answered `304 Not Modified`.
+    pub revalidated: u64,
+    /// Full bodies whose content hash matched a cached parse.
+    pub content_hits: u64,
+    /// Documents that had to be fetched and parsed.
+    pub misses: u64,
+}
+
+impl SchemaCacheStats {
+    /// Total cached-path loads (everything that skipped a parse).
+    pub fn hits(&self) -> u64 {
+        self.fresh_hits + self.revalidated + self.content_hits
+    }
+}
+
+/// A parsed schema document, shared between the URL cache and the
+/// content-hash index.
+struct ParsedDoc {
+    types: Vec<ComplexType>,
+    enums: Vec<EnumType>,
+    names: Vec<String>,
+}
+
+/// Per-URL cache entry: validator, content hash, and the parse itself.
+struct SchemaCacheEntry {
+    etag: Option<String>,
+    hash: u64,
+    doc: Arc<ParsedDoc>,
+    fetched_at: Instant,
+}
+
+#[derive(Default)]
+struct CacheCounters {
+    fresh_hits: AtomicU64,
+    revalidated: AtomicU64,
+    content_hits: AtomicU64,
+    misses: AtomicU64,
+}
+
 /// The XMIT toolkit instance.
 ///
 /// Holds loaded (but not yet bound) complex types, a PBIO format registry
@@ -52,6 +145,20 @@ pub struct Xmit {
     enums: RwLock<HashMap<String, EnumType>>,
     /// URL → type names it defined at last load (for refresh bookkeeping).
     documents: RwLock<HashMap<String, Vec<String>>>,
+    /// URL → cached parse with its HTTP validator and content hash.
+    schema_cache: RwLock<HashMap<String, SchemaCacheEntry>>,
+    /// Content hash → cached parse, deduplicating identical documents
+    /// served from different URLs.
+    content_index: RwLock<HashMap<u64, Arc<ParsedDoc>>>,
+    /// Successfully bound formats by type name, so repeat binds are a
+    /// lookup instead of a re-map + re-register.  Cleared whenever any
+    /// type or enum definition actually changes (a changed dependency
+    /// must invalidate every composition that embeds it).
+    bound: RwLock<HashMap<String, Arc<FormatDescriptor>>>,
+    /// Freshness window within which cached entries skip the network
+    /// entirely.  `None` (the default) always revalidates.
+    cache_ttl: RwLock<Option<Duration>>,
+    cache_counters: CacheCounters,
     /// Optional format server for resolving unknown format ids on decode.
     format_server: RwLock<Option<FormatServerClient>>,
 }
@@ -67,6 +174,11 @@ impl Xmit {
             types: RwLock::new(HashMap::new()),
             enums: RwLock::new(HashMap::new()),
             documents: RwLock::new(HashMap::new()),
+            schema_cache: RwLock::new(HashMap::new()),
+            content_index: RwLock::new(HashMap::new()),
+            bound: RwLock::new(HashMap::new()),
+            cache_ttl: RwLock::new(None),
+            cache_counters: CacheCounters::default(),
             format_server: RwLock::new(None),
         }
     }
@@ -93,6 +205,13 @@ impl Xmit {
         }
     }
 
+    fn fetch_conditional(&self, url: &Url, etag: Option<&str>) -> Result<Fetched, XmitError> {
+        match &self.custom {
+            Some(s) => Ok(s.fetch_conditional(url, etag)?),
+            None => Ok(self.standard.fetch_conditional(url, etag)?),
+        }
+    }
+
     /// Fetch a document's text through the toolkit's source without
     /// loading it (used by [`crate::watcher::FormatWatcher`] to detect
     /// changes).
@@ -100,33 +219,181 @@ impl Xmit {
         self.fetch(url)
     }
 
+    /// Set the freshness window for the discovery cache.  Within `ttl` of
+    /// the last successful fetch, [`Xmit::load_url`] answers from cache
+    /// without any network traffic; `None` (the default) revalidates on
+    /// every load.
+    pub fn set_cache_ttl(&self, ttl: Option<Duration>) {
+        *self.cache_ttl.write() = ttl;
+    }
+
+    /// Discovery-cache counters since construction (or the last reset).
+    pub fn schema_cache_stats(&self) -> SchemaCacheStats {
+        SchemaCacheStats {
+            fresh_hits: self.cache_counters.fresh_hits.load(Ordering::Relaxed),
+            revalidated: self.cache_counters.revalidated.load(Ordering::Relaxed),
+            content_hits: self.cache_counters.content_hits.load(Ordering::Relaxed),
+            misses: self.cache_counters.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero the discovery-cache counters (the cache itself is kept).
+    pub fn reset_schema_cache_stats(&self) {
+        self.cache_counters.fresh_hits.store(0, Ordering::Relaxed);
+        self.cache_counters.revalidated.store(0, Ordering::Relaxed);
+        self.cache_counters.content_hits.store(0, Ordering::Relaxed);
+        self.cache_counters.misses.store(0, Ordering::Relaxed);
+    }
+
     /// "Load the toolkit with message definitions (contained in XML
     /// documents) from one or more URLs."  Returns the names of the
     /// complex types the document defined.
     pub fn load_url(&self, url: &str) -> Result<Vec<String>, XmitError> {
+        Ok(self.load_url_cached(url)?.into_names())
+    }
+
+    /// Like [`Xmit::load_url`], but reports how the request was satisfied:
+    /// full parse, `304` revalidation, content-hash dedupe, or TTL-fresh.
+    pub fn load_url_cached(&self, url: &str) -> Result<LoadOutcome, XmitError> {
+        self.load_url_inner(url, true)
+    }
+
+    /// Force revalidation of a previously loaded URL, ignoring the TTL.
+    /// Used by [`crate::watcher::FormatWatcher`] so polling stays a
+    /// conditional GET even when a freshness window is configured.
+    pub fn revalidate(&self, url: &str) -> Result<LoadOutcome, XmitError> {
+        self.load_url_inner(url, false)
+    }
+
+    fn load_url_inner(&self, url: &str, allow_fresh: bool) -> Result<LoadOutcome, XmitError> {
         let parsed = Url::parse(url)?;
-        let text = self.fetch(&parsed)?;
-        let names = self.load_str(&text)?;
-        self.documents.write().insert(url.to_string(), names.clone());
-        Ok(names)
+
+        // TTL-fresh: answer from cache with no network traffic at all.
+        if allow_fresh {
+            if let Some(ttl) = *self.cache_ttl.read() {
+                if let Some(doc) = self.schema_cache.read().get(url).and_then(|entry| {
+                    (entry.fetched_at.elapsed() <= ttl).then(|| entry.doc.clone())
+                }) {
+                    self.apply_doc(&doc, url);
+                    self.cache_counters.fresh_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(LoadOutcome::Fresh(doc.names.clone()));
+                }
+            }
+        }
+
+        let etag = self.schema_cache.read().get(url).and_then(|e| e.etag.clone());
+        match self.fetch_conditional(&parsed, etag.as_deref())? {
+            Fetched::NotModified => {
+                let doc = {
+                    let mut cache = self.schema_cache.write();
+                    let entry = cache.get_mut(url).ok_or_else(|| {
+                        XmitError::Discovery(openmeta_ohttp::HttpError::BadResponse(
+                            "304 Not Modified for a URL never cached".to_string(),
+                        ))
+                    })?;
+                    entry.fetched_at = Instant::now();
+                    entry.doc.clone()
+                };
+                self.apply_doc(&doc, url);
+                self.cache_counters.revalidated.fetch_add(1, Ordering::Relaxed);
+                Ok(LoadOutcome::Revalidated(doc.names.clone()))
+            }
+            Fetched::New { text, etag: new_etag } => {
+                let hash = content_hash64(text.as_bytes());
+                // Dedupe against this URL's previous body or any other
+                // URL that served identical bytes.
+                let cached = self
+                    .schema_cache
+                    .read()
+                    .get(url)
+                    .filter(|e| e.hash == hash)
+                    .map(|e| e.doc.clone())
+                    .or_else(|| self.content_index.read().get(&hash).cloned());
+                if let Some(doc) = cached {
+                    self.store_entry(url, new_etag, hash, doc.clone());
+                    self.apply_doc(&doc, url);
+                    self.cache_counters.content_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(LoadOutcome::Unchanged(doc.names.clone()));
+                }
+                let doc = Arc::new(Self::parse_doc(&text)?);
+                self.store_entry(url, new_etag, hash, doc.clone());
+                self.content_index.write().insert(hash, doc.clone());
+                self.apply_doc(&doc, url);
+                self.cache_counters.misses.fetch_add(1, Ordering::Relaxed);
+                Ok(LoadOutcome::Loaded(doc.names.clone()))
+            }
+        }
+    }
+
+    fn parse_doc(text: &str) -> Result<ParsedDoc, XmitError> {
+        let doc = parse_str(text)?;
+        let names = doc.types.iter().map(|ct| ct.name.clone()).collect();
+        Ok(ParsedDoc { types: doc.types, enums: doc.enums, names })
+    }
+
+    /// (Re-)apply a parsed document's definitions.  Cache hits go through
+    /// here too: the `types`/`enums` maps hold the *latest* definition per
+    /// name, and a cached load must win over whatever another document
+    /// installed since.
+    fn apply_doc(&self, doc: &ParsedDoc, url: &str) {
+        let mut changed = false;
+        {
+            let mut types = self.types.write();
+            for ct in &doc.types {
+                if types.get(&ct.name) != Some(ct) {
+                    types.insert(ct.name.clone(), ct.clone());
+                    changed = true;
+                }
+            }
+        }
+        {
+            let mut enums = self.enums.write();
+            for en in &doc.enums {
+                if enums.get(&en.name) != Some(en) {
+                    enums.insert(en.name.clone(), en.clone());
+                    changed = true;
+                }
+            }
+        }
+        if changed {
+            self.bound.write().clear();
+        }
+        self.documents.write().insert(url.to_string(), doc.names.clone());
+    }
+
+    fn store_entry(&self, url: &str, etag: Option<String>, hash: u64, doc: Arc<ParsedDoc>) {
+        self.schema_cache.write().insert(
+            url.to_string(),
+            SchemaCacheEntry { etag, hash, doc, fetched_at: Instant::now() },
+        );
     }
 
     /// Load definitions from already-fetched XML text.
     pub fn load_str(&self, text: &str) -> Result<Vec<String>, XmitError> {
+        let mut changed = false;
         let doc = parse_str(text)?;
         let mut names = Vec::with_capacity(doc.types.len());
         {
             let mut types = self.types.write();
             for ct in doc.types {
                 names.push(ct.name.clone());
-                types.insert(ct.name.clone(), ct);
+                if types.get(&ct.name) != Some(&ct) {
+                    types.insert(ct.name.clone(), ct);
+                    changed = true;
+                }
             }
         }
         {
             let mut enums = self.enums.write();
             for en in doc.enums {
-                enums.insert(en.name.clone(), en);
+                if enums.get(&en.name) != Some(&en) {
+                    enums.insert(en.name.clone(), en);
+                    changed = true;
+                }
             }
+        }
+        if changed {
+            self.bound.write().clear();
         }
         Ok(names)
     }
@@ -134,7 +401,7 @@ impl Xmit {
     /// Re-fetch a previously loaded URL, picking up centralized format
     /// changes.  Returns the (possibly changed) type names.
     pub fn refresh(&self, url: &str) -> Result<Vec<String>, XmitError> {
-        self.load_url(url)
+        Ok(self.revalidate(url)?.into_names())
     }
 
     /// Names of all loaded complex types, sorted.
@@ -187,6 +454,9 @@ impl Xmit {
         name: &str,
         visiting: &mut Vec<String>,
     ) -> Result<Arc<FormatDescriptor>, XmitError> {
+        if let Some(fmt) = self.bound.read().get(name).cloned() {
+            return Ok(fmt);
+        }
         if visiting.iter().any(|v| v == name) {
             return Err(XmitError::Binding(format!(
                 "circular composition: {} -> {name}",
@@ -214,7 +484,9 @@ impl Xmit {
         let enums = self.enums.read();
         let spec = map_type_with_enums(&ct, &self.registry.machine(), &|n| enums.contains_key(n))?;
         drop(enums);
-        Ok(self.registry.register(spec)?)
+        let format = self.registry.register(spec)?;
+        self.bound.write().insert(name.to_string(), format.clone());
+        Ok(format)
     }
 
     /// Bind every loaded type; returns tokens sorted by type name.
@@ -396,6 +668,31 @@ mod tests {
         ))
         .unwrap();
         assert!(matches!(xmit.bind("A"), Err(XmitError::UnknownType(_))));
+    }
+
+    #[test]
+    fn dependency_change_invalidates_composed_binding() {
+        let xmit = Xmit::new(MachineModel::native());
+        let doc = |hdr_fields: &str| {
+            format!(
+                r#"<xsd:schema xmlns:xsd="{XSD}">
+                     <xsd:complexType name="Msg">
+                       <xsd:element name="hdr" type="Hdr" />
+                     </xsd:complexType>
+                     <xsd:complexType name="Hdr">
+                       <xsd:element name="seq" type="xsd:int" />{hdr_fields}
+                     </xsd:complexType>
+                   </xsd:schema>"#
+            )
+        };
+        xmit.load_str(&doc("")).unwrap();
+        let t1 = xmit.bind("Msg").unwrap();
+        // Msg's own definition is untouched, but its dependency grows; the
+        // bound-token cache must not serve the stale composition.
+        xmit.load_str(&doc(r#"<xsd:element name="flags" type="xsd:int" />"#)).unwrap();
+        let t2 = xmit.bind("Msg").unwrap();
+        assert_ne!(t1.id(), t2.id(), "changed dependency must re-bind the composition");
+        assert!(t2.format.field_path("hdr.flags").is_some());
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::time::Duration;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use crate::error::XmitError;
-use crate::toolkit::{BindingToken, Xmit};
+use crate::toolkit::{BindingToken, LoadOutcome, Xmit};
 
 /// A format-change notification.
 #[derive(Debug, Clone)]
@@ -40,9 +40,9 @@ impl FormatWatcher {
     /// Start watching `url` through `toolkit`, polling every `interval`.
     ///
     /// The document is fetched and bound once immediately (so the first
-    /// notification is the initial state), then re-fetched on the
-    /// interval; a notification fires only when the text actually
-    /// changes.
+    /// notification is the initial state), then revalidated on the
+    /// interval with a conditional GET; a notification fires only when
+    /// the content actually changes.
     pub fn start(
         toolkit: Arc<Xmit>,
         url: impl Into<String>,
@@ -54,8 +54,8 @@ impl FormatWatcher {
         let (tx, rx): (Sender<FormatChange>, Receiver<FormatChange>) = unbounded();
 
         // Initial load happens on the caller's thread so errors surface.
-        let mut last_text = fetch_text(&toolkit, &url)?;
-        publish(&toolkit, &url, &tx)?;
+        let initial = toolkit.load_url_cached(&url)?;
+        publish(&toolkit, &url, initial.into_names(), &tx)?;
         versions_seen.store(1, Ordering::Release);
 
         let (stop2, seen2) = (stop.clone(), versions_seen.clone());
@@ -65,10 +65,11 @@ impl FormatWatcher {
                 if stop2.load(Ordering::Acquire) {
                     break;
                 }
-                let Ok(text) = fetch_text(&toolkit, &url) else { continue };
-                if text != last_text {
-                    last_text = text;
-                    if publish(&toolkit, &url, &tx).is_ok() {
+                // A conditional GET (or a content-hash match) classifies
+                // unchanged documents without re-parsing; only a genuine
+                // change comes back as `Loaded`.
+                if let Ok(LoadOutcome::Loaded(names)) = toolkit.revalidate(&url) {
+                    if publish(&toolkit, &url, names, &tx).is_ok() {
                         seen2.fetch_add(1, Ordering::AcqRel);
                     }
                 }
@@ -98,13 +99,12 @@ impl Drop for FormatWatcher {
     }
 }
 
-fn fetch_text(toolkit: &Xmit, url: &str) -> Result<String, XmitError> {
-    let parsed = openmeta_ohttp::Url::parse(url)?;
-    toolkit.fetch_document(&parsed)
-}
-
-fn publish(toolkit: &Xmit, url: &str, tx: &Sender<FormatChange>) -> Result<(), XmitError> {
-    let names = toolkit.load_url(url)?;
+fn publish(
+    toolkit: &Xmit,
+    url: &str,
+    names: Vec<String>,
+    tx: &Sender<FormatChange>,
+) -> Result<(), XmitError> {
     let tokens: Result<Vec<BindingToken>, XmitError> =
         names.iter().map(|n| toolkit.bind(n)).collect();
     let _ = tx.send(FormatChange { url: url.to_string(), tokens: tokens? });

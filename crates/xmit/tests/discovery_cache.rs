@@ -1,0 +1,146 @@
+//! Integration tests for the discovery fast path: ETag revalidation,
+//! content-hash dedupe, TTL freshness, and the watcher riding on top.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use openmeta_pbio::MachineModel;
+use xmit::{FormatWatcher, HttpServer, LoadOutcome, Xmit};
+
+const XSD: &str = "http://www.w3.org/2001/XMLSchema";
+
+fn schema(name: &str, fields: &str) -> String {
+    format!(
+        r#"<xsd:complexType name="{name}" xmlns:xsd="{XSD}">
+             <xsd:element name="a" type="xsd:int" />{fields}
+           </xsd:complexType>"#
+    )
+}
+
+#[test]
+fn etag_revalidation_skips_body_and_parse() {
+    let server = HttpServer::start().unwrap();
+    server.put_xml("/evt.xsd", schema("Evt", ""));
+    let xmit = Xmit::new(MachineModel::native());
+    let url = server.url_for("/evt.xsd");
+
+    let first = xmit.load_url_cached(&url).unwrap();
+    assert_eq!(first, LoadOutcome::Loaded(vec!["Evt".to_string()]));
+
+    let second = xmit.load_url_cached(&url).unwrap();
+    assert_eq!(second, LoadOutcome::Revalidated(vec!["Evt".to_string()]));
+    assert!(second.was_cache_hit());
+
+    let stats = xmit.schema_cache_stats();
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.revalidated, 1);
+    assert_eq!(server.not_modified_count(), 1, "server answered the revisit with a 304");
+    // Both requests rode one pooled connection.
+    assert_eq!(xmit.source().pool_stats().connects, 1);
+}
+
+#[test]
+fn identical_content_from_another_url_skips_parse() {
+    let server = HttpServer::start().unwrap();
+    let text = schema("Evt", "");
+    server.put_xml("/a.xsd", text.clone());
+    server.put_xml("/b.xsd", text);
+    let xmit = Xmit::new(MachineModel::native());
+
+    assert!(matches!(
+        xmit.load_url_cached(&server.url_for("/a.xsd")).unwrap(),
+        LoadOutcome::Loaded(_)
+    ));
+    // Different URL, different ETag namespace is irrelevant — the bytes
+    // hash the same, so the cached parse is reused.
+    let out = xmit.load_url_cached(&server.url_for("/b.xsd")).unwrap();
+    assert_eq!(out, LoadOutcome::Unchanged(vec!["Evt".to_string()]));
+    assert_eq!(xmit.schema_cache_stats().content_hits, 1);
+    assert_eq!(xmit.schema_cache_stats().misses, 1);
+}
+
+#[test]
+fn ttl_fresh_loads_touch_no_network() {
+    let server = HttpServer::start().unwrap();
+    server.put_xml("/evt.xsd", schema("Evt", ""));
+    let xmit = Xmit::new(MachineModel::native());
+    xmit.set_cache_ttl(Some(Duration::from_secs(3600)));
+    let url = server.url_for("/evt.xsd");
+
+    xmit.load_url(&url).unwrap();
+    let hits_after_load = server.hit_count();
+    for _ in 0..5 {
+        let out = xmit.load_url_cached(&url).unwrap();
+        assert!(matches!(out, LoadOutcome::Fresh(_)));
+    }
+    assert_eq!(server.hit_count(), hits_after_load, "fresh hits never hit the wire");
+    assert_eq!(xmit.schema_cache_stats().fresh_hits, 5);
+
+    // revalidate() bypasses the TTL and goes back to the server.
+    let out = xmit.revalidate(&url).unwrap();
+    assert!(matches!(out, LoadOutcome::Revalidated(_)));
+    assert_eq!(server.hit_count(), hits_after_load + 1);
+}
+
+#[test]
+fn cache_hits_reapply_definitions() {
+    // A cached load must restore this URL's definition even if another
+    // document overwrote the same type name in between.
+    let server = HttpServer::start().unwrap();
+    server.put_xml("/v1.xsd", schema("Evt", ""));
+    let xmit = Xmit::new(MachineModel::native());
+    let url = server.url_for("/v1.xsd");
+    xmit.load_url(&url).unwrap();
+    assert_eq!(xmit.definition("Evt").unwrap().elements.len(), 1);
+
+    // Someone else installs a two-field Evt…
+    xmit.load_str(&schema("Evt", r#"<xsd:element name="b" type="xsd:double" />"#)).unwrap();
+    assert_eq!(xmit.definition("Evt").unwrap().elements.len(), 2);
+
+    // …and a revalidated (304) reload of the URL restores its version.
+    let out = xmit.revalidate(&url).unwrap();
+    assert!(matches!(out, LoadOutcome::Revalidated(_)));
+    assert_eq!(xmit.definition("Evt").unwrap().elements.len(), 1);
+}
+
+#[test]
+fn changed_schema_is_still_a_miss() {
+    let server = HttpServer::start().unwrap();
+    server.put_xml("/evt.xsd", schema("Evt", ""));
+    let xmit = Xmit::new(MachineModel::native());
+    let url = server.url_for("/evt.xsd");
+    xmit.load_url(&url).unwrap();
+    let t1 = xmit.bind("Evt").unwrap();
+
+    server.put_xml("/evt.xsd", schema("Evt", r#"<xsd:element name="b" type="xsd:double" />"#));
+    let out = xmit.load_url_cached(&url).unwrap();
+    assert!(matches!(out, LoadOutcome::Loaded(_)), "changed content must re-parse");
+    let t2 = xmit.bind("Evt").unwrap();
+    assert_ne!(t1.id(), t2.id());
+    assert_eq!(t2.format.fields.len(), 2);
+    assert_eq!(xmit.schema_cache_stats().misses, 2);
+}
+
+#[test]
+fn watcher_revalidates_but_still_sees_changes() {
+    let server = HttpServer::start().unwrap();
+    server.put_xml("/evt.xsd", schema("Evt", ""));
+    let toolkit = Arc::new(Xmit::new(MachineModel::native()));
+    let watcher =
+        FormatWatcher::start(toolkit.clone(), server.url_for("/evt.xsd"), Duration::from_millis(5))
+            .unwrap();
+    let v1 = watcher.changes().recv_timeout(Duration::from_secs(5)).unwrap();
+
+    // Let it poll a few times against unchanged content.
+    std::thread::sleep(Duration::from_millis(60));
+    assert_eq!(watcher.versions_seen(), 1);
+    let polled = toolkit.schema_cache_stats();
+    assert!(polled.revalidated >= 2, "polls were conditional GETs: {polled:?}");
+    assert!(server.not_modified_count() >= 2);
+
+    // A genuine change still propagates.
+    server.put_xml("/evt.xsd", schema("Evt", r#"<xsd:element name="b" type="xsd:double" />"#));
+    let v2 = watcher.changes().recv_timeout(Duration::from_secs(5)).unwrap();
+    assert_ne!(v1.tokens[0].id(), v2.tokens[0].id());
+    assert_eq!(v2.tokens[0].format.fields.len(), 2);
+}

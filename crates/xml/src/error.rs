@@ -59,7 +59,9 @@ pub enum ErrorKind {
 }
 
 impl XmlError {
-    pub(crate) fn new(kind: ErrorKind, message: impl Into<String>, position: Position) -> Self {
+    /// Construct an error (public so event consumers layering their own
+    /// resolution on [`crate::Reader`] can report matching diagnostics).
+    pub fn new(kind: ErrorKind, message: impl Into<String>, position: Position) -> Self {
         XmlError { kind, message: message.into(), position }
     }
 }

@@ -39,10 +39,10 @@ pub mod reader;
 pub mod writer;
 
 pub use dom::{Attribute, Document, Node, NodeId, NodeKind};
-pub use error::{Position, XmlError};
+pub use error::{ErrorKind, Position, XmlError};
 pub use escape::{escape_attr, escape_text, unescape};
-pub use name::{QName, XMLNS_NS, XML_NS};
-pub use reader::{Event, Reader};
+pub use name::{split_prefix, QName, XMLNS_NS, XML_NS};
+pub use reader::{Event, RawAttribute, Reader};
 pub use writer::{WriteStyle, Writer};
 
 /// Parse a complete XML document into a [`Document`] DOM tree.

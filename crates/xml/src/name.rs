@@ -85,7 +85,7 @@ pub(crate) fn is_name_char(c: char) -> bool {
 ///
 /// Returns `("", name)` when unprefixed.  A name with more than one colon or
 /// an empty prefix/local part is reported as `None`.
-pub(crate) fn split_prefix(name: &str) -> Option<(&str, &str)> {
+pub fn split_prefix(name: &str) -> Option<(&str, &str)> {
     match name.find(':') {
         None => Some(("", name)),
         Some(i) => {
