@@ -4,7 +4,9 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use openmeta_ohttp::{DocumentSource, HttpServer, PoolStats, StandardSource, Url};
+use openmeta_ohttp::{
+    DocumentSource, HttpServer, PoolStats, StandardSource, TransportCounters, Url,
+};
 use openmeta_pbio::{FormatRegistry, MachineModel, PlanCacheStats, RawRecord, Value};
 use openmeta_wire::{all_formats, WireFormat, XmlWire};
 use xmit::{SchemaCacheStats, Xmit};
@@ -195,6 +197,9 @@ pub struct DiscoveryBench {
     pub schema_cache: SchemaCacheStats,
     /// Connection-pool counters for the HTTP legs.
     pub pool: PoolStats,
+    /// The benchmark HTTP server's transport counters (accepted/rejected
+    /// connections, timeouts, requests served).
+    pub transport: TransportCounters,
 }
 
 /// Measure discovery cost over real HTTP for a set of cases, in all
@@ -326,7 +331,8 @@ pub fn discovery_rows(cases: &[RegistrationCase], iters: usize) -> DiscoveryBenc
     pool.reuses += warm_pool.reuses;
     pool.stale_retries += warm_pool.stale_retries;
 
-    DiscoveryBench { rows, schema_cache, pool }
+    let transport = server.transport_counters();
+    DiscoveryBench { rows, schema_cache, pool, transport }
 }
 
 /// Render the discovery fast-path comparison from pre-measured rows.
@@ -377,7 +383,8 @@ pub fn discovery_report_from(bench: &DiscoveryBench) -> String {
          revalidated (conditional GET, 304)\n\n{}\n\n\
          cold-path stage breakdown\n\n{}\n\n\
          schema cache: {} fresh hits, {} revalidated, {} content hits, {} misses\n\
-         connection pool: {} requests, {} connects, {} reuses, {} stale retries",
+         connection pool: {} requests, {} connects, {} reuses, {} stale retries\n\
+         server transport: {} accepted, {} rejected, {} timed out, {} requests in, {} responses out",
         t.render(),
         stages.render(),
         c.fresh_hits,
@@ -388,6 +395,11 @@ pub fn discovery_report_from(bench: &DiscoveryBench) -> String {
         p.connects,
         p.reuses,
         p.stale_retries,
+        bench.transport.accepted,
+        bench.transport.rejected,
+        bench.transport.timed_out,
+        bench.transport.frames_in,
+        bench.transport.frames_out,
     )
 }
 
@@ -426,7 +438,7 @@ pub fn discovery_to_json(bench: &DiscoveryBench) -> String {
         "\n  ],\n  \"counters\": {{\n    \"schema_cache\": {{\"fresh_hits\": {}, \
          \"revalidated\": {}, \"content_hits\": {}, \"misses\": {}}},\n    \
          \"pool\": {{\"requests\": {}, \"connects\": {}, \"reuses\": {}, \
-         \"stale_retries\": {}}}\n  }}\n}}\n",
+         \"stale_retries\": {}}},\n    \"transport\": {}\n  }}\n}}\n",
         c.fresh_hits,
         c.revalidated,
         c.content_hits,
@@ -435,6 +447,7 @@ pub fn discovery_to_json(bench: &DiscoveryBench) -> String {
         p.connects,
         p.reuses,
         p.stale_retries,
+        bench.transport.to_json(),
     ));
     out
 }
@@ -1057,11 +1070,16 @@ mod tests {
         assert!(bench.schema_cache.revalidated > 0, "reval loop must see 304s");
         assert!(bench.pool.reuses > 0, "HTTP legs must reuse pooled connections");
 
+        assert!(bench.transport.accepted > 0, "server must have seen the bench connections");
+        assert!(bench.transport.frames_in >= bench.transport.frames_out);
+
         let report = discovery_report_from(&bench);
         assert!(report.contains("RDM") && report.contains("schema cache"), "{report}");
+        assert!(report.contains("server transport:"), "{report}");
 
         let j = discovery_to_json(&bench);
         assert!(j.contains("\"rdm_warm\":") && j.contains("\"schema_cache\""), "{j}");
+        assert!(j.contains("\"transport\": {\"accepted\":"), "{j}");
 
         let combined =
             figure_json(&registration_rows(&cases[..1], FAST), &bench, plan_cache_burst(10));

@@ -1,0 +1,255 @@
+//! A fault-injecting TCP proxy for transport tests.
+//!
+//! Sits between a client and an upstream server and forwards bytes until
+//! a configured fault fires: a stall (bytes stop flowing but the
+//! connection stays open — the case deadlines exist for), an abrupt
+//! mid-frame reset, a clean truncation, or byte-dribbling partial writes.
+//! Faults apply to each direction independently with its own byte
+//! budget, so the same fixture exercises both stalled servers (receiver
+//! side) and stalled readers (sender side).
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::framing::is_timeout;
+
+/// The fault a [`FaultProxy`] injects into each direction of a proxied
+/// connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Forward everything unchanged (a plain TCP relay).
+    None,
+    /// Forward `after` bytes, then stop forwarding while holding the
+    /// connection open: the peer blocks until its deadline fires.
+    Stall {
+        /// Bytes forwarded before the stall.
+        after: usize,
+    },
+    /// Forward `after` bytes, then kill both directions abruptly
+    /// (mid-frame connection death).
+    Reset {
+        /// Bytes forwarded before the reset.
+        after: usize,
+    },
+    /// Forward `after` bytes, then close this direction cleanly (the
+    /// peer sees EOF mid-frame).
+    Truncate {
+        /// Bytes forwarded before the truncation.
+        after: usize,
+    },
+    /// Forward everything, but in `chunk`-byte writes separated by
+    /// `delay` (partial-write torture for frame reassembly).
+    Chop {
+        /// Bytes per write.
+        chunk: usize,
+        /// Pause between writes.
+        delay: Duration,
+    },
+}
+
+/// A running fault proxy; dropping it shuts it down.
+pub struct FaultProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+/// How often pumps wake to check the stop flag while idle or stalled.
+const POLL: Duration = Duration::from_millis(25);
+
+impl FaultProxy {
+    /// Start a proxy on an ephemeral localhost port, relaying every
+    /// accepted connection to `upstream` with `fault` injected.
+    pub fn start(upstream: SocketAddr, fault: Fault) -> std::io::Result<FaultProxy> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let accept_thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop2.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(client) = conn else { continue };
+                let Ok(server) = TcpStream::connect(upstream) else { continue };
+                let (Ok(client2), Ok(server2)) = (client.try_clone(), server.try_clone()) else {
+                    continue;
+                };
+                let (s_a, s_b) = (stop2.clone(), stop2.clone());
+                std::thread::spawn(move || pump(client, server, fault, &s_a));
+                std::thread::spawn(move || pump(server2, client2, fault, &s_b));
+            }
+        });
+        Ok(FaultProxy { addr, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// Address clients should connect to instead of the upstream.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock accept(); pump threads notice the flag within POLL.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Relay `from` → `to`, applying `fault` with a per-direction budget.
+fn pump(mut from: TcpStream, mut to: TcpStream, fault: Fault, stop: &AtomicBool) {
+    // A short read timeout keeps the pump responsive to shutdown.
+    let _ = from.set_read_timeout(Some(POLL));
+    let mut remaining: Option<usize> = match fault {
+        Fault::Stall { after } | Fault::Reset { after } | Fault::Truncate { after } => Some(after),
+        Fault::None | Fault::Chop { .. } => None,
+    };
+    let mut buf = [0u8; 4096];
+    while !stop.load(Ordering::Acquire) {
+        let n = match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if is_timeout(&e) => continue,
+            Err(_) => break,
+        };
+        let mut data = &buf[..n];
+        if let Some(budget) = remaining.as_mut() {
+            let pass = (*budget).min(data.len());
+            data = &data[..pass];
+            *budget -= pass;
+        }
+        let forwarded = match fault {
+            Fault::Chop { chunk, delay } => forward_chopped(&mut to, data, chunk.max(1), delay),
+            _ => to.write_all(data).and_then(|()| to.flush()),
+        };
+        if forwarded.is_err() {
+            break;
+        }
+        if remaining == Some(0) {
+            match fault {
+                Fault::Stall { .. } => {
+                    // Hold both ends open, forwarding nothing: the peer's
+                    // only way out is its own deadline.
+                    while !stop.load(Ordering::Acquire) {
+                        std::thread::sleep(POLL);
+                    }
+                }
+                Fault::Reset { .. } => {
+                    let _ = from.shutdown(Shutdown::Both);
+                    let _ = to.shutdown(Shutdown::Both);
+                }
+                _ => {
+                    let _ = to.shutdown(Shutdown::Write);
+                }
+            }
+            break;
+        }
+    }
+}
+
+fn forward_chopped(
+    to: &mut TcpStream,
+    data: &[u8],
+    chunk: usize,
+    delay: Duration,
+) -> std::io::Result<()> {
+    for piece in data.chunks(chunk) {
+        to.write_all(piece)?;
+        to.flush()?;
+        std::thread::sleep(delay);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    /// An echo server: reads until EOF, writing every byte back.
+    fn echo_upstream() -> SocketAddr {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            while let Ok((mut s, _)) = listener.accept() {
+                std::thread::spawn(move || {
+                    let mut buf = [0u8; 1024];
+                    while let Ok(n) = s.read(&mut buf) {
+                        if n == 0 || s.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn relays_unchanged_without_fault() {
+        let proxy = FaultProxy::start(echo_upstream(), Fault::None).unwrap();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        c.write_all(b"hello fault proxy").unwrap();
+        let mut back = [0u8; 17];
+        c.read_exact(&mut back).unwrap();
+        assert_eq!(&back, b"hello fault proxy");
+    }
+
+    #[test]
+    fn chop_preserves_content() {
+        let fault = Fault::Chop { chunk: 3, delay: Duration::from_millis(1) };
+        let proxy = FaultProxy::start(echo_upstream(), fault).unwrap();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        let payload: Vec<u8> = (0..200u8).collect();
+        c.write_all(&payload).unwrap();
+        let mut back = vec![0u8; payload.len()];
+        c.read_exact(&mut back).unwrap();
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn stall_blocks_until_reader_deadline() {
+        let proxy = FaultProxy::start(echo_upstream(), Fault::Stall { after: 4 }).unwrap();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        c.set_read_timeout(Some(Duration::from_millis(150))).unwrap();
+        c.write_all(b"0123456789").unwrap();
+        let mut first = [0u8; 4];
+        c.read_exact(&mut first).unwrap();
+        assert_eq!(&first, b"0123");
+        let start = Instant::now();
+        let err = c.read_exact(&mut first).unwrap_err();
+        assert!(is_timeout(&err), "stall must surface as a timeout, got {err:?}");
+        assert!(start.elapsed() >= Duration::from_millis(100));
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn truncate_surfaces_as_eof() {
+        let proxy = FaultProxy::start(echo_upstream(), Fault::Truncate { after: 4 }).unwrap();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        c.write_all(b"0123456789").unwrap();
+        let mut buf = Vec::new();
+        c.read_to_end(&mut buf).unwrap();
+        assert_eq!(buf, b"0123");
+    }
+
+    #[test]
+    fn reset_kills_the_connection() {
+        let proxy = FaultProxy::start(echo_upstream(), Fault::Reset { after: 2 }).unwrap();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        c.write_all(b"0123456789").unwrap();
+        // At most the budgeted bytes come back before the connection dies.
+        let mut buf = Vec::new();
+        let _ = c.read_to_end(&mut buf);
+        assert!(buf.len() <= 2, "reset must cut the stream, got {} bytes", buf.len());
+    }
+}

@@ -1,0 +1,63 @@
+//! Hardened frame-payload reads.
+
+use std::io::{self, Read};
+
+/// Growth step for [`read_exact_capped`]: the largest allocation made
+/// before any payload byte has arrived.
+pub const READ_CHUNK: usize = 64 * 1024;
+
+/// Read exactly `len` bytes, growing the buffer in [`READ_CHUNK`] steps
+/// as bytes actually arrive.
+///
+/// Frame protocols carry an untrusted `len` prefix; `vec![0u8; len]`
+/// before reading lets a malicious 4-byte header force a near-max-frame
+/// allocation from a peer that never sends a payload byte.  Here the
+/// buffer only ever grows ahead of data already received, so the memory
+/// a peer can pin is proportional to the bytes it actually transmitted.
+pub fn read_exact_capped<R: Read + ?Sized>(reader: &mut R, len: usize) -> io::Result<Vec<u8>> {
+    let mut buf = Vec::with_capacity(len.min(READ_CHUNK));
+    while buf.len() < len {
+        let step = (len - buf.len()).min(READ_CHUNK);
+        let start = buf.len();
+        buf.resize(start + step, 0);
+        reader.read_exact(&mut buf[start..])?;
+    }
+    Ok(buf)
+}
+
+/// Is this error a socket deadline expiry?  (Unix surfaces read/write
+/// timeouts as `WouldBlock`, other platforms as `TimedOut`.)
+pub fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn reads_exact_payloads_of_any_size() {
+        for len in [0usize, 1, READ_CHUNK - 1, READ_CHUNK, READ_CHUNK + 1, 3 * READ_CHUNK + 7] {
+            let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let mut cursor = Cursor::new(data.clone());
+            assert_eq!(read_exact_capped(&mut cursor, len).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn truncated_input_errors_without_full_allocation() {
+        // A header claiming 64 MiB backed by 10 bytes of payload: the read
+        // fails at the first short chunk, having allocated only one step.
+        let mut cursor = Cursor::new(vec![0u8; 10]);
+        let err = read_exact_capped(&mut cursor, 64 << 20).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn timeout_kinds_recognised() {
+        assert!(is_timeout(&io::Error::from(io::ErrorKind::WouldBlock)));
+        assert!(is_timeout(&io::Error::from(io::ErrorKind::TimedOut)));
+        assert!(!is_timeout(&io::Error::from(io::ErrorKind::UnexpectedEof)));
+    }
+}

@@ -1,0 +1,41 @@
+//! Shared transport hardening for the metadata and record planes.
+//!
+//! The paper's Figure 2 architecture splits communication into a metadata
+//! plane (format servers, HTTP schema hosts) and a data plane (PBIO
+//! record streams).  Both planes must stay correct when a peer misbehaves:
+//! a stalled socket must not hang a client forever, a slow reader must
+//! not wedge a sender, and connection handling must not spawn unbounded
+//! threads.  This crate supplies the pieces the `pbio`, `ohttp` and
+//! `xmit` transports share:
+//!
+//! * [`TransportConfig`] — client-side connect/read/write deadlines and a
+//!   [`RetryPolicy`] for connect-with-backoff;
+//! * [`ServerConfig`] — worker count, accept-queue cap, max-connections
+//!   bound and per-connection deadlines for servers;
+//! * [`WorkerPool`] — a bounded worker pool replacing detached
+//!   thread-per-connection spawns, with graceful shutdown that drains
+//!   in-flight connections;
+//! * [`ServerStats`] / [`TransportCounters`] — per-server counters
+//!   (accepted, active, rejected, timed out, frames in/out) surfaced
+//!   through the bench `--json` reports;
+//! * [`read_exact_capped`] — frame-payload reads that grow the buffer as
+//!   bytes actually arrive, so an untrusted length prefix cannot force a
+//!   large up-front allocation;
+//! * [`FaultProxy`] — a TCP proxy test fixture injecting stalls,
+//!   mid-frame resets, truncation and partial writes.
+
+pub mod config;
+pub mod faults;
+pub mod framing;
+pub mod retry;
+pub mod stats;
+pub mod workers;
+
+pub use config::{
+    connect_retrying, connect_with_deadline, harden_stream, ServerConfig, TransportConfig,
+};
+pub use faults::{Fault, FaultProxy};
+pub use framing::{is_timeout, read_exact_capped, READ_CHUNK};
+pub use retry::RetryPolicy;
+pub use stats::{ServerStats, TransportCounters};
+pub use workers::{ConnTracker, WorkerPool};

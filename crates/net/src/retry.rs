@@ -1,0 +1,107 @@
+//! Retry with exponential backoff.
+
+use std::time::Duration;
+
+/// A bounded exponential-backoff schedule.
+///
+/// Attempt `n` (1-based) is preceded by a delay of
+/// `base_delay * 2^(n-2)` capped at `max_delay`; the first attempt runs
+/// immediately.  `attempts` counts total tries, so `attempts: 1` means
+/// "no retry".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (>= 1).
+    pub attempts: u32,
+    /// Delay before the first retry.
+    pub base_delay: Duration,
+    /// Ceiling applied to the doubled delays.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base_delay: Duration::from_millis(25),
+            max_delay: Duration::from_millis(500),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that tries exactly once.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { attempts: 1, ..RetryPolicy::default() }
+    }
+
+    /// The delay inserted before attempt `attempt` (1-based; zero for the
+    /// first attempt).
+    pub fn delay_before(&self, attempt: u32) -> Duration {
+        if attempt <= 1 {
+            return Duration::ZERO;
+        }
+        let doublings = attempt.saturating_sub(2).min(20);
+        self.base_delay.saturating_mul(1u32 << doublings).min(self.max_delay)
+    }
+
+    /// Run `op` under this schedule, returning the first success or the
+    /// last error.
+    pub fn run<T, E>(&self, mut op: impl FnMut() -> Result<T, E>) -> Result<T, E> {
+        let attempts = self.attempts.max(1);
+        let mut last_err = None;
+        for attempt in 1..=attempts {
+            std::thread::sleep(self.delay_before(attempt));
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("at least one attempt ran"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_double_and_cap() {
+        let p = RetryPolicy {
+            attempts: 6,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(35),
+        };
+        assert_eq!(p.delay_before(1), Duration::ZERO);
+        assert_eq!(p.delay_before(2), Duration::from_millis(10));
+        assert_eq!(p.delay_before(3), Duration::from_millis(20));
+        assert_eq!(p.delay_before(4), Duration::from_millis(35));
+        assert_eq!(p.delay_before(5), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn run_stops_on_first_success() {
+        let mut calls = 0;
+        let p = RetryPolicy { base_delay: Duration::ZERO, ..RetryPolicy::default() };
+        let out: Result<u32, &str> = p.run(|| {
+            calls += 1;
+            if calls < 3 {
+                Err("nope")
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(out, Ok(3));
+    }
+
+    #[test]
+    fn run_returns_last_error_when_exhausted() {
+        let mut calls = 0;
+        let p = RetryPolicy { attempts: 4, base_delay: Duration::ZERO, max_delay: Duration::ZERO };
+        let out: Result<(), u32> = p.run(|| {
+            calls += 1;
+            Err(calls)
+        });
+        assert_eq!(out, Err(4));
+        assert_eq!(calls, 4);
+    }
+}

@@ -1,0 +1,142 @@
+//! Per-server transport counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, cheaply clonable counter block; every accept loop, worker and
+/// frame codec updates the same instance, and [`ServerStats::snapshot`]
+/// reads it out for reports.
+#[derive(Clone, Default)]
+pub struct ServerStats {
+    inner: Arc<Counters>,
+}
+
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    active: AtomicU64,
+    rejected: AtomicU64,
+    timed_out: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+}
+
+impl ServerStats {
+    /// A fresh counter block.
+    pub fn new() -> ServerStats {
+        ServerStats::default()
+    }
+
+    /// A connection was accepted (before admission control).
+    pub fn accepted(&self) {
+        self.inner.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection was rejected by the accept-queue / max-connections
+    /// bound (or dropped undrained at shutdown).
+    pub fn rejected(&self) {
+        self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection hit a read or write deadline.
+    pub fn timed_out(&self) {
+        self.inner.timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request/frame was read from a connection.
+    pub fn frame_in(&self) {
+        self.inner.frames_in.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A response/frame was written to a connection.
+    pub fn frame_out(&self) {
+        self.inner.frames_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker started serving a connection.
+    pub fn conn_started(&self) {
+        self.inner.active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker finished serving a connection.
+    pub fn conn_finished(&self) {
+        self.inner.active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Connections currently being served.
+    pub fn active_now(&self) -> u64 {
+        self.inner.active.load(Ordering::Relaxed)
+    }
+
+    /// Read all counters at once.
+    pub fn snapshot(&self) -> TransportCounters {
+        TransportCounters {
+            accepted: self.inner.accepted.load(Ordering::Relaxed),
+            active: self.inner.active.load(Ordering::Relaxed),
+            rejected: self.inner.rejected.load(Ordering::Relaxed),
+            timed_out: self.inner.timed_out.load(Ordering::Relaxed),
+            frames_in: self.inner.frames_in.load(Ordering::Relaxed),
+            frames_out: self.inner.frames_out.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a server's transport counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportCounters {
+    /// Connections accepted by the listener.
+    pub accepted: u64,
+    /// Connections being served when the snapshot was taken.
+    pub active: u64,
+    /// Connections rejected by the admission bounds.
+    pub rejected: u64,
+    /// Connections that hit a read/write deadline.
+    pub timed_out: u64,
+    /// Requests/frames read.
+    pub frames_in: u64,
+    /// Responses/frames written.
+    pub frames_out: u64,
+}
+
+impl TransportCounters {
+    /// Render as a JSON object (for the bench `--json` artifacts).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"accepted\": {}, \"active\": {}, \"rejected\": {}, \
+             \"timed_out\": {}, \"frames_in\": {}, \"frames_out\": {}}}",
+            self.accepted,
+            self.active,
+            self.rejected,
+            self.timed_out,
+            self.frames_in,
+            self.frames_out
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let stats = ServerStats::new();
+        stats.accepted();
+        stats.accepted();
+        stats.conn_started();
+        stats.frame_in();
+        stats.frame_out();
+        stats.rejected();
+        stats.timed_out();
+        let snap = stats.snapshot();
+        assert_eq!(snap.accepted, 2);
+        assert_eq!(snap.active, 1);
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.timed_out, 1);
+        assert_eq!(snap.frames_in, 1);
+        assert_eq!(snap.frames_out, 1);
+        stats.conn_finished();
+        assert_eq!(stats.snapshot().active, 0);
+        assert!(snap.to_json().contains("\"accepted\": 2"));
+    }
+}

@@ -1,0 +1,328 @@
+//! A bounded worker pool for connection serving.
+//!
+//! Replaces detached thread-per-connection spawns: a fixed set of worker
+//! threads pulls accepted connections off a capped queue, so a connection
+//! flood costs rejected connects, not unbounded thread stacks.  Shutdown
+//! is graceful — in-flight connections are drained (workers finish what
+//! they are serving) within a configurable budget before any straggler is
+//! detached.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::config::ServerConfig;
+use crate::stats::ServerStats;
+
+struct Shared {
+    queue: Mutex<State>,
+    /// Signals workers that work (or shutdown) is available.
+    work: Condvar,
+    /// Signals the shutdown waiter that the pool may have drained.
+    drained: Condvar,
+    accept_queue: usize,
+    max_connections: usize,
+    stats: ServerStats,
+}
+
+struct State {
+    pending: VecDeque<TcpStream>,
+    active: usize,
+    shutting_down: bool,
+}
+
+/// A fixed-size pool of connection-serving workers with a bounded intake
+/// queue.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    /// Spawn `cfg.workers` threads, each running `handler` on streams
+    /// submitted via [`WorkerPool::submit`].  `stats` receives the
+    /// active-connection gauge updates.
+    pub fn new(
+        name: &str,
+        cfg: &ServerConfig,
+        stats: ServerStats,
+        handler: impl Fn(TcpStream) + Send + Sync + 'static,
+    ) -> WorkerPool {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State { pending: VecDeque::new(), active: 0, shutting_down: false }),
+            work: Condvar::new(),
+            drained: Condvar::new(),
+            accept_queue: cfg.accept_queue,
+            max_connections: cfg.max_connections.max(1),
+            stats,
+        });
+        let handler = Arc::new(handler);
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                let handler = handler.clone();
+                std::thread::Builder::new()
+                    .name(format!("{name}-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &*handler))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool { shared, workers: Mutex::new(workers) }
+    }
+
+    /// Hand an accepted connection to the pool.  Returns `false` (and
+    /// counts a rejection) when the accept queue or the max-connections
+    /// bound is full, or the pool is shutting down; the caller should
+    /// drop the stream.
+    pub fn submit(&self, stream: TcpStream) -> bool {
+        let mut state = self.shared.queue.lock().unwrap();
+        let in_flight = state.pending.len() + state.active;
+        if state.shutting_down
+            || state.pending.len() >= self.shared.accept_queue
+            || in_flight >= self.shared.max_connections
+        {
+            self.shared.stats.rejected();
+            return false;
+        }
+        state.pending.push_back(stream);
+        drop(state);
+        self.shared.work.notify_one();
+        true
+    }
+
+    /// Connections queued but not yet picked up by a worker.
+    pub fn queued_now(&self) -> usize {
+        self.shared.queue.lock().unwrap().pending.len()
+    }
+
+    /// Graceful shutdown: stop admitting work, let workers finish their
+    /// in-flight connections, and drop anything still queued.  Returns
+    /// `true` if everything drained inside `budget`; on `false` the
+    /// stragglers are detached (their threads keep running to completion,
+    /// but the pool no longer waits for them).
+    pub fn shutdown(&self, budget: Duration) -> bool {
+        let deadline = Instant::now() + budget;
+        {
+            let mut state = self.shared.queue.lock().unwrap();
+            state.shutting_down = true;
+            // Queued-but-unserved connections are dropped, not served: the
+            // server is going away and its state may already be stale.
+            for _ in state.pending.drain(..) {
+                self.shared.stats.rejected();
+            }
+            self.shared.work.notify_all();
+            while state.active > 0 {
+                let now = Instant::now();
+                if now >= deadline {
+                    return false;
+                }
+                let (next, timeout) =
+                    self.shared.drained.wait_timeout(state, deadline - now).unwrap();
+                state = next;
+                if timeout.timed_out() && state.active > 0 {
+                    return false;
+                }
+            }
+        }
+        for w in self.workers.lock().unwrap().drain(..) {
+            let _ = w.join();
+        }
+        true
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        if !self.workers.get_mut().unwrap().is_empty() {
+            self.shutdown(Duration::from_secs(5));
+        }
+    }
+}
+
+/// Tracks the connections workers are currently serving so graceful
+/// shutdown can abort their *reads* without clobbering in-flight writes.
+///
+/// A worker blocked waiting for a peer's next request is "idle in-flight":
+/// draining must not wait a full read-deadline for it.  Shutting down the
+/// read half makes that blocked read return EOF immediately, while a
+/// worker mid-reply keeps its write half and finishes cleanly.
+#[derive(Default)]
+pub struct ConnTracker {
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_id: AtomicU64,
+}
+
+impl ConnTracker {
+    /// A fresh tracker.
+    pub fn new() -> ConnTracker {
+        ConnTracker::default()
+    }
+
+    /// Register a connection a worker is about to serve; returns a token
+    /// for [`ConnTracker::unregister`].  Streams that cannot be cloned
+    /// are simply not tracked.
+    pub fn register(&self, stream: &TcpStream) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            self.conns.lock().unwrap().insert(id, clone);
+        }
+        id
+    }
+
+    /// Drop the tracking handle for a finished connection.
+    pub fn unregister(&self, id: u64) {
+        self.conns.lock().unwrap().remove(&id);
+    }
+
+    /// Shut down the read half of every tracked connection, unblocking
+    /// workers parked in a read while leaving replies writable.
+    pub fn shutdown_reads(&self) {
+        for stream in self.conns.lock().unwrap().values() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, handler: &(dyn Fn(TcpStream) + Send + Sync)) {
+    loop {
+        let stream = {
+            let mut state = shared.queue.lock().unwrap();
+            loop {
+                if let Some(stream) = state.pending.pop_front() {
+                    state.active += 1;
+                    break stream;
+                }
+                if state.shutting_down {
+                    return;
+                }
+                state = shared.work.wait(state).unwrap();
+            }
+        };
+        shared.stats.conn_started();
+        handler(stream);
+        shared.stats.conn_finished();
+        let mut state = shared.queue.lock().unwrap();
+        state.active -= 1;
+        let drained = state.active == 0 && state.pending.is_empty();
+        drop(state);
+        if drained {
+            shared.drained.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    fn cfg(workers: usize, queue: usize, max: usize) -> ServerConfig {
+        ServerConfig {
+            workers,
+            accept_queue: queue,
+            max_connections: max,
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn handles_submitted_connections() {
+        let served = Arc::new(AtomicUsize::new(0));
+        let served2 = served.clone();
+        let pool = WorkerPool::new("t", &cfg(2, 8, 16), ServerStats::new(), move |mut s| {
+            let mut b = [0u8; 1];
+            let _ = s.read_exact(&mut b);
+            served2.fetch_add(1, Ordering::SeqCst);
+        });
+        let mut clients = Vec::new();
+        for _ in 0..4 {
+            let (mut client, server) = pair();
+            assert!(pool.submit(server));
+            client.write_all(b"x").unwrap();
+            clients.push(client);
+        }
+        // Shutdown drops queued-but-unserved connections by design, so
+        // wait for the pool to work through the queue first.
+        let start = Instant::now();
+        while served.load(Ordering::SeqCst) < 4 && start.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(pool.shutdown(Duration::from_secs(5)));
+        assert_eq!(served.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn rejects_beyond_bounds() {
+        let stats = ServerStats::new();
+        // One worker that blocks until its client writes; queue of one.
+        let pool = WorkerPool::new("t", &cfg(1, 1, 2), stats.clone(), |mut s| {
+            let mut b = [0u8; 1];
+            let _ = s.read_exact(&mut b);
+        });
+        let (busy_client, busy_server) = pair();
+        assert!(pool.submit(busy_server));
+        // Wait for the worker to pick it up so the queue is empty again.
+        let start = Instant::now();
+        while stats.active_now() == 0 && start.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let (_q_client, q_server) = pair();
+        assert!(pool.submit(q_server), "queue slot should admit one more");
+        let (_r_client, r_server) = pair();
+        assert!(!pool.submit(r_server), "bound exceeded must reject");
+        assert_eq!(stats.snapshot().rejected, 1);
+        drop(busy_client);
+        drop(pool);
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight() {
+        let pool = WorkerPool::new("t", &cfg(1, 4, 8), ServerStats::new(), |mut s| {
+            // Simulate a request in flight: finish after the client's byte.
+            let mut b = [0u8; 1];
+            let _ = s.read_exact(&mut b);
+            let _ = s.write_all(b"done");
+        });
+        let (mut client, server) = pair();
+        assert!(pool.submit(server));
+        let waiter = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(100));
+            client.write_all(b"x").unwrap();
+            let mut out = Vec::new();
+            client.read_to_end(&mut out).unwrap();
+            out
+        });
+        assert!(pool.shutdown(Duration::from_secs(5)), "in-flight work must drain");
+        assert_eq!(waiter.join().unwrap(), b"done");
+    }
+
+    #[test]
+    fn shutdown_gives_up_on_stuck_workers() {
+        let hold = Arc::new(Mutex::new(()));
+        let guard = hold.lock().unwrap();
+        let hold2 = hold.clone();
+        let pool = WorkerPool::new("t", &cfg(1, 4, 8), ServerStats::new(), move |_s| {
+            let _g = hold2.lock().unwrap();
+        });
+        let (_client, server) = pair();
+        assert!(pool.submit(server));
+        std::thread::sleep(Duration::from_millis(50));
+        let start = Instant::now();
+        assert!(!pool.shutdown(Duration::from_millis(200)), "stuck worker cannot drain");
+        assert!(start.elapsed() < Duration::from_secs(2), "budget must bound the wait");
+        drop(guard);
+    }
+}

@@ -27,7 +27,12 @@ pub mod url;
 pub use client::{http_get, http_get_conditional, read_response, Fetch, RawResponse, Response};
 pub use error::HttpError;
 pub use pool::{ConnectionPool, PoolConfig, PoolStats};
-pub use server::HttpServer;
+pub use server::{default_http_config, HttpServer};
+
+// The transport-hardening knobs and counters servers and clients share,
+// re-exported so consumers configure [`HttpServer`] without a direct
+// `openmeta-net` dependency.
+pub use openmeta_net::{ServerConfig, TransportConfig, TransportCounters};
 pub use source::{DocumentSource, Fetched, StandardSource};
 pub use url::Url;
 

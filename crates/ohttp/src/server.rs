@@ -12,6 +12,12 @@
 //! `ETag` derived from the body, and `If-None-Match` revalidation answers
 //! `304 Not Modified` — the substrate the discovery fast path's schema
 //! cache revalidates against.
+//!
+//! The transport is hardened (see `openmeta_net`): a bounded worker pool
+//! with an accept-queue cap serves connections instead of detached
+//! thread-per-connection spawns, every connection carries read/write
+//! deadlines, excess connects are rejected rather than queued without
+//! bound, and dropping the server drains in-flight requests.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
@@ -21,6 +27,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use openmeta_net::{
+    is_timeout, ConnTracker, ServerConfig, ServerStats, TransportCounters, WorkerPool,
+};
 use parking_lot::RwLock;
 
 use crate::content_hash64;
@@ -30,10 +39,17 @@ use crate::error::HttpError;
 type ContentMap = HashMap<String, (String, Vec<u8>)>;
 
 /// How long a worker waits for the next request on an idle keep-alive
-/// connection before hanging up.
+/// connection before hanging up (the default read deadline).
 const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(10);
 
-/// A running HTTP server; dropping it shuts it down.
+/// The default bounds for [`HttpServer`]: the generic [`ServerConfig`]
+/// with the keep-alive idle deadline this server has always used.
+pub fn default_http_config() -> ServerConfig {
+    ServerConfig { read_timeout: Some(KEEP_ALIVE_IDLE), ..ServerConfig::default() }
+}
+
+/// A running HTTP server; dropping it shuts it down gracefully,
+/// draining in-flight requests.
 pub struct HttpServer {
     addr: SocketAddr,
     content: Arc<RwLock<ContentMap>>,
@@ -41,6 +57,10 @@ pub struct HttpServer {
     not_modified: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    pool: Arc<WorkerPool>,
+    tracker: Arc<ConnTracker>,
+    stats: ServerStats,
+    drain_timeout: Duration,
 }
 
 impl HttpServer {
@@ -51,27 +71,39 @@ impl HttpServer {
 
     /// Start a server on a specific localhost port (0 = ephemeral).
     pub fn start_on(port: u16) -> Result<HttpServer, HttpError> {
+        HttpServer::start_with(port, default_http_config())
+    }
+
+    /// Start a server with explicit worker/queue/deadline bounds.
+    pub fn start_with(port: u16, cfg: ServerConfig) -> Result<HttpServer, HttpError> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         let content: Arc<RwLock<ContentMap>> = Arc::new(RwLock::new(HashMap::new()));
         let hits = Arc::new(AtomicU64::new(0));
         let not_modified = Arc::new(AtomicU64::new(0));
         let stop = Arc::new(AtomicBool::new(false));
+        let stats = ServerStats::new();
+        let tracker = Arc::new(ConnTracker::new());
+
         let (c, h, nm, s) = (content.clone(), hits.clone(), not_modified.clone(), stop.clone());
+        let (stats_w, tracker_w) = (stats.clone(), tracker.clone());
+        let pool = Arc::new(WorkerPool::new("http-server", &cfg, stats.clone(), move |stream| {
+            let id = tracker_w.register(&stream);
+            let _ = serve(stream, &cfg, &c, &h, &nm, &s, &stats_w);
+            tracker_w.unregister(id);
+        }));
+
+        let (stop_a, stats_a, pool_a) = (stop.clone(), stats.clone(), pool.clone());
         let accept_thread = std::thread::spawn(move || {
             for conn in listener.incoming() {
-                if s.load(Ordering::Acquire) {
+                if stop_a.load(Ordering::Acquire) {
                     break;
                 }
                 let Ok(stream) = conn else { continue };
-                let (c, h, nm, s) = (c.clone(), h.clone(), nm.clone(), s.clone());
-                // Workers are detached: each serves one connection and
-                // exits, releasing its stack immediately.  Keeping the
-                // JoinHandles would pin every exited worker's stack until
-                // shutdown and exhaust memory under sustained load.
-                std::thread::spawn(move || {
-                    let _ = serve(stream, &c, &h, &nm, &s);
-                });
+                stats_a.accepted();
+                // submit() counts rejections; the dropped stream closes,
+                // so a flood is bounded by the queue, not thread count.
+                let _ = pool_a.submit(stream);
             }
         });
         Ok(HttpServer {
@@ -81,6 +113,10 @@ impl HttpServer {
             not_modified,
             stop,
             accept_thread: Some(accept_thread),
+            pool,
+            tracker,
+            stats,
+            drain_timeout: cfg.drain_timeout,
         })
     }
 
@@ -122,6 +158,12 @@ impl HttpServer {
     pub fn not_modified_count(&self) -> u64 {
         self.not_modified.load(Ordering::Relaxed)
     }
+
+    /// Transport counters: accepted/active/rejected/timed-out connections
+    /// and requests/responses (frames) in/out.
+    pub fn transport_counters(&self) -> TransportCounters {
+        self.stats.snapshot()
+    }
 }
 
 impl Drop for HttpServer {
@@ -131,6 +173,10 @@ impl Drop for HttpServer {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        // Workers parked waiting for a peer's next request get EOF and
+        // exit; a worker mid-reply keeps its write half and finishes.
+        self.tracker.shutdown_reads();
+        self.pool.shutdown(self.drain_timeout);
     }
 }
 
@@ -146,13 +192,16 @@ fn if_none_match_matches(header: &str, etag: &str) -> bool {
 
 fn serve(
     stream: TcpStream,
+    cfg: &ServerConfig,
     content: &RwLock<ContentMap>,
     hits: &AtomicU64,
     not_modified: &AtomicU64,
     stop: &AtomicBool,
+    stats: &ServerStats,
 ) -> std::io::Result<()> {
     // Bound idle time so keep-alive workers do not linger forever.
-    stream.set_read_timeout(Some(KEEP_ALIVE_IDLE))?;
+    stream.set_read_timeout(cfg.read_timeout)?;
+    stream.set_write_timeout(cfg.write_timeout)?;
     // Responses are written in one piece; without TCP_NODELAY a reused
     // connection can stall ~40 ms per exchange (Nagle vs delayed ACK).
     stream.set_nodelay(true)?;
@@ -175,8 +224,19 @@ fn serve(
         let mut close_requested = false;
         loop {
             let mut line = String::new();
-            if reader.read_line(&mut line)? == 0 {
-                return Ok(());
+            match reader.read_line(&mut line) {
+                Ok(0) => return Ok(()),
+                Ok(_) => {}
+                Err(e) => {
+                    // A peer that stalls mid-request (between the request
+                    // line and the blank line) hits the read deadline and
+                    // loses the connection.
+                    if is_timeout(&e) {
+                        stats.timed_out();
+                        return Ok(());
+                    }
+                    return Err(e);
+                }
             }
             let line = line.trim_end();
             if line.is_empty() {
@@ -196,6 +256,7 @@ fn serve(
         }
 
         hits.fetch_add(1, Ordering::Relaxed);
+        stats.frame_in();
         let mut parts = request_line.split_whitespace();
         let method = parts.next().unwrap_or("");
         let path = parts.next().unwrap_or("/");
@@ -233,6 +294,7 @@ fn serve(
                 )?,
             }
         }
+        stats.frame_out();
         if close_requested {
             return Ok(());
         }
@@ -283,6 +345,10 @@ mod tests {
         assert_eq!(resp.body, b"<a/>");
         assert_eq!(resp.content_type.as_deref(), Some("text/xml"));
         assert_eq!(server.hit_count(), 1);
+        let counters = server.transport_counters();
+        assert_eq!(counters.accepted, 1);
+        assert_eq!(counters.frames_in, 1);
+        assert_eq!(counters.frames_out, 1);
     }
 
     #[test]
@@ -369,5 +435,51 @@ mod tests {
         assert!(if_none_match_matches("\"x\", \"00000000deadbeef\"", etag));
         assert!(if_none_match_matches("*", etag));
         assert!(!if_none_match_matches("\"y\"", etag));
+    }
+
+    #[test]
+    fn connection_bound_rejects_excess_connects() {
+        use std::io::Read as _;
+        // One worker, no queue slack: the held connection occupies the
+        // only worker and the second connect is rejected (closed).
+        let cfg = ServerConfig {
+            workers: 1,
+            accept_queue: 0,
+            max_connections: 1,
+            read_timeout: Some(Duration::from_secs(2)),
+            ..ServerConfig::default()
+        };
+        let server = HttpServer::start_with(0, cfg).unwrap();
+        server.put_xml("/f.xsd", "<v1/>");
+        let holder = TcpStream::connect(server.addr()).unwrap();
+        // Wait until the worker picks the holder up.
+        let start = std::time::Instant::now();
+        while server.transport_counters().active == 0 && start.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let mut second = TcpStream::connect(server.addr()).unwrap();
+        second.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut buf = Vec::new();
+        // The rejected connection is closed without a byte of response.
+        assert_eq!(second.read_to_end(&mut buf).unwrap_or(0), 0);
+        let counters = server.transport_counters();
+        assert!(counters.rejected >= 1, "{counters:?}");
+        drop(holder);
+    }
+
+    #[test]
+    fn graceful_drop_is_prompt_with_idle_keepalive_clients() {
+        let server = HttpServer::start().unwrap();
+        server.put_xml("/f.xsd", "<v1/>");
+        // An idle keep-alive connection pins a worker in a blocked read.
+        let url = Url::parse(&server.url_for("/f.xsd")).unwrap();
+        let pool = crate::pool::ConnectionPool::default();
+        assert_eq!(pool.get(&url).unwrap().body, b"<v1/>");
+        let start = std::time::Instant::now();
+        drop(server);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "drop must not wait out the keep-alive idle deadline"
+        );
     }
 }

@@ -11,12 +11,26 @@
 //!           | 0x02 id:u64be                  (fetch, reply: descriptor)
 //! response := 0x00 body | 0x01 (not found) | 0x02 message (error)
 //! ```
+//!
+//! The transport is hardened (see `openmeta_net`): connections are served
+//! by a bounded worker pool with an accept-queue cap instead of detached
+//! thread-per-connection spawns, every socket carries read/write
+//! deadlines, shutdown drains in-flight requests, and the client holds
+//! one persistent connection with retry-with-backoff connects and a
+//! single transparent reconnect when the held connection has gone stale.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+use openmeta_net::{
+    connect_retrying, is_timeout, read_exact_capped, ConnTracker, ServerConfig, ServerStats,
+    TransportConfig, TransportCounters, WorkerPool,
+};
+use parking_lot::Mutex;
 
 use crate::codec::{decode_descriptor, encode_descriptor};
 use crate::error::PbioError;
@@ -33,64 +47,122 @@ const ST_ERROR: u8 = 2;
 /// Maximum frame size accepted by either side (defensive bound).
 const MAX_FRAME: usize = 16 << 20;
 
+/// Write one frame as a single buffered write (length prefix and payload
+/// in one segment, so Nagle never parks the payload behind a delayed ACK).
 pub(crate) fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> Result<(), PbioError> {
     let len = u32::try_from(payload.len())
         .map_err(|_| PbioError::Server("frame too large".to_string()))?;
-    stream.write_all(&len.to_be_bytes())?;
-    stream.write_all(payload)?;
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&len.to_be_bytes());
+    out.extend_from_slice(payload);
+    stream.write_all(&out)?;
     Ok(())
 }
 
+/// Read one frame.  The payload buffer grows in capped chunks as bytes
+/// arrive, so a malicious length prefix cannot force a 16 MiB allocation
+/// from a 4-byte header.
 pub(crate) fn read_frame(stream: &mut TcpStream) -> Result<Vec<u8>, PbioError> {
+    read_frame_io(stream).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::InvalidData {
+            PbioError::Server(e.to_string())
+        } else {
+            PbioError::from(e)
+        }
+    })
+}
+
+/// [`read_frame`] with the raw `io::Error` preserved, so callers can
+/// distinguish deadline expiry from disconnects.
+fn read_frame_io(stream: &mut TcpStream) -> Result<Vec<u8>, std::io::Error> {
     let mut len_buf = [0u8; 4];
     stream.read_exact(&mut len_buf)?;
     let len = u32::from_be_bytes(len_buf) as usize;
     if len > MAX_FRAME {
-        return Err(PbioError::Server(format!("frame of {len} bytes exceeds limit")));
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds limit"),
+        ));
     }
-    let mut buf = vec![0u8; len];
-    stream.read_exact(&mut buf)?;
-    Ok(buf)
+    read_exact_capped(stream, len)
 }
 
-/// A running format server.  Dropping it shuts the server down.
+/// A running format server.  Dropping it shuts the server down
+/// gracefully: in-flight requests finish, idle keep-alive connections
+/// are closed, and the worker pool is drained.
 pub struct FormatServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    pool: Arc<WorkerPool>,
+    tracker: Arc<ConnTracker>,
+    stats: ServerStats,
+    drain_timeout: Duration,
 }
 
 impl FormatServer {
-    /// Start a server on an ephemeral localhost port.
+    /// Start a server on an ephemeral localhost port with default bounds.
     pub fn start() -> Result<FormatServer, PbioError> {
+        FormatServer::start_with(ServerConfig::default())
+    }
+
+    /// Start a server with explicit worker/queue/deadline bounds.
+    pub fn start_with(cfg: ServerConfig) -> Result<FormatServer, PbioError> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         // The store's machine model is irrelevant: it only warehouses
         // descriptors that carry their own models.
         let store = Arc::new(FormatRegistry::new(MachineModel::native()));
-        let stop2 = stop.clone();
+        let stats = ServerStats::new();
+        let tracker = Arc::new(ConnTracker::new());
+
+        let (stop_w, stats_w, tracker_w) = (stop.clone(), stats.clone(), tracker.clone());
+        let pool = WorkerPool::new("format-server", &cfg, stats.clone(), move |stream| {
+            let _ = stream.set_read_timeout(cfg.read_timeout);
+            let _ = stream.set_write_timeout(cfg.write_timeout);
+            let _ = stream.set_nodelay(true);
+            let id = tracker_w.register(&stream);
+            let _ = serve_connection(stream, &store, &stop_w, &stats_w);
+            tracker_w.unregister(id);
+        });
+
+        let (stop_a, stats_a) = (stop.clone(), stats.clone());
+        let pool = Arc::new(pool);
+        let pool_a = pool.clone();
         let accept_thread = std::thread::spawn(move || {
             for conn in listener.incoming() {
-                if stop2.load(Ordering::Acquire) {
+                if stop_a.load(Ordering::Acquire) {
                     break;
                 }
                 let Ok(stream) = conn else { continue };
-                let store = store.clone();
-                // Detached: a connection handler's stack is released the
-                // moment the client hangs up; un-joined handles would pin
-                // every exited worker's stack until server shutdown.
-                std::thread::spawn(move || {
-                    let _ = serve_connection(stream, &store);
-                });
+                stats_a.accepted();
+                // submit() counts the rejection and we drop the stream,
+                // so a connection flood costs a closed socket, never an
+                // unbounded thread.
+                let _ = pool_a.submit(stream);
             }
         });
-        Ok(FormatServer { addr, stop, accept_thread: Some(accept_thread) })
+        Ok(FormatServer {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            pool,
+            tracker,
+            stats,
+            drain_timeout: cfg.drain_timeout,
+        })
     }
 
     /// Address clients should connect to.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Transport counters: accepted/active/rejected/timed-out connections
+    /// and frames in/out.
+    pub fn transport_counters(&self) -> TransportCounters {
+        self.stats.snapshot()
     }
 }
 
@@ -102,17 +174,39 @@ impl Drop for FormatServer {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        // Unblock workers parked in a read (idle keep-alive clients);
+        // a worker mid-reply keeps its write half and finishes.
+        self.tracker.shutdown_reads();
+        self.pool.shutdown(self.drain_timeout);
     }
 }
 
-fn serve_connection(mut stream: TcpStream, store: &FormatRegistry) -> Result<(), PbioError> {
+fn serve_connection(
+    mut stream: TcpStream,
+    store: &FormatRegistry,
+    stop: &AtomicBool,
+    stats: &ServerStats,
+) -> Result<(), PbioError> {
     loop {
-        let req = match read_frame(&mut stream) {
+        if stop.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let req = match read_frame_io(&mut stream) {
             Ok(r) => r,
-            Err(_) => return Ok(()), // client hung up
+            Err(e) => {
+                if is_timeout(&e) {
+                    // A peer that stalled mid-frame (or idled past the
+                    // keep-alive deadline) loses the connection; the
+                    // worker moves on.
+                    stats.timed_out();
+                }
+                return Ok(()); // timeout, hang-up, or garbage: close
+            }
         };
+        stats.frame_in();
         let reply = handle_request(&req, store);
         write_frame(&mut stream, &reply)?;
+        stats.frame_out();
     }
 }
 
@@ -151,20 +245,57 @@ fn handle_request(req: &[u8], store: &FormatRegistry) -> Vec<u8> {
 }
 
 /// Client handle for a [`FormatServer`].
+///
+/// Holds one persistent connection and reuses it across requests (the
+/// server's `serve_connection` loops for exactly this reason).  When the
+/// held connection has gone stale — the server idle-closed it or
+/// restarted — the next request transparently reconnects once and
+/// retries; both operations are idempotent (register is content-addressed
+/// and fetch is read-only), so the retry is safe.  Fresh connects run
+/// under the configured retry-with-backoff schedule and every socket
+/// carries connect/read/write deadlines.
 pub struct FormatServerClient {
     addr: SocketAddr,
+    config: TransportConfig,
+    conn: Mutex<Option<TcpStream>>,
 }
 
 impl FormatServerClient {
-    /// A client for the server at `addr`.
+    /// A client for the server at `addr` with default deadlines.
     pub fn connect(addr: SocketAddr) -> FormatServerClient {
-        FormatServerClient { addr }
+        FormatServerClient::connect_with(addr, TransportConfig::default())
+    }
+
+    /// A client with explicit deadlines and retry schedule.
+    pub fn connect_with(addr: SocketAddr, config: TransportConfig) -> FormatServerClient {
+        FormatServerClient { addr, config, conn: Mutex::new(None) }
+    }
+
+    fn fresh_stream(&self) -> Result<TcpStream, PbioError> {
+        connect_retrying(self.addr, &self.config)
+            .map_err(|e| PbioError::Io(format!("connecting to format server: {e}")))
+    }
+
+    fn exchange(stream: &mut TcpStream, request: &[u8]) -> Result<Vec<u8>, PbioError> {
+        write_frame(stream, request)?;
+        read_frame(stream)
     }
 
     fn round_trip(&self, request: &[u8]) -> Result<Vec<u8>, PbioError> {
-        let mut stream = TcpStream::connect(self.addr)?;
-        write_frame(&mut stream, request)?;
-        read_frame(&mut stream)
+        let mut guard = self.conn.lock();
+        if let Some(mut stream) = guard.take() {
+            // On failure the connection was stale (idle-closed, server
+            // restarted, or a deadline fired): reconnect once below and
+            // retry the exchange.
+            if let Ok(reply) = Self::exchange(&mut stream, request) {
+                *guard = Some(stream);
+                return Ok(reply);
+            }
+        }
+        let mut stream = self.fresh_stream()?;
+        let reply = Self::exchange(&mut stream, request)?;
+        *guard = Some(stream);
+        Ok(reply)
     }
 
     /// Publish a descriptor; returns its content-addressed id.
@@ -220,6 +351,7 @@ mod tests {
     use super::*;
     use crate::field::IOField;
     use crate::format::FormatSpec;
+    use openmeta_net::RetryPolicy;
 
     fn descriptor(name: &str) -> FormatDescriptor {
         FormatDescriptor::resolve(
@@ -233,6 +365,21 @@ mod tests {
         .unwrap()
     }
 
+    /// A client config whose failures resolve quickly in tests.
+    fn fast_config() -> TransportConfig {
+        TransportConfig {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Some(Duration::from_secs(2)),
+            write_timeout: Some(Duration::from_secs(2)),
+            retry: RetryPolicy {
+                attempts: 2,
+                base_delay: Duration::from_millis(10),
+                max_delay: Duration::from_millis(50),
+            },
+            ..TransportConfig::default()
+        }
+    }
+
     #[test]
     fn register_then_fetch() {
         let server = FormatServer::start().unwrap();
@@ -242,6 +389,11 @@ mod tests {
         assert_eq!(id, desc.id());
         let fetched = client.fetch(id).unwrap().unwrap();
         assert_eq!(fetched, desc);
+        // The persistent client made both requests over one connection.
+        let counters = server.transport_counters();
+        assert_eq!(counters.accepted, 1);
+        assert_eq!(counters.frames_in, 2);
+        assert_eq!(counters.frames_out, 2);
     }
 
     #[test]
@@ -293,7 +445,24 @@ mod tests {
         };
         // After drop, new connections are refused (or accepted-and-closed
         // by the OS backlog, in which case the request fails).
-        let client = FormatServerClient::connect(addr);
+        let client = FormatServerClient::connect_with(addr, fast_config());
         assert!(client.fetch(FormatId(1)).is_err());
+    }
+
+    #[test]
+    fn client_survives_idle_close_with_one_reconnect() {
+        // The server idle-closes the held connection almost immediately;
+        // the client's next request must transparently reconnect.
+        let server = FormatServer::start_with(ServerConfig {
+            read_timeout: Some(Duration::from_millis(50)),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let client = FormatServerClient::connect_with(server.addr(), fast_config());
+        let desc = descriptor("Sticky");
+        let id = client.register(&desc).unwrap();
+        std::thread::sleep(Duration::from_millis(200));
+        assert_eq!(client.fetch(id).unwrap().unwrap(), desc);
+        assert_eq!(server.transport_counters().accepted, 2, "one reconnect after idle close");
     }
 }

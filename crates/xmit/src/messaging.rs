@@ -17,6 +17,7 @@ use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 
+use openmeta_net::{connect_retrying, harden_stream, read_exact_capped, TransportConfig};
 use openmeta_pbio::codec::{decode_descriptor, encode_descriptor};
 use openmeta_pbio::{decode, Encoder, FormatId, FormatRegistry, PbioError, RawRecord};
 
@@ -26,12 +27,23 @@ const FRAME_FORMAT: u8 = 1;
 const FRAME_RECORD: u8 = 2;
 const MAX_FRAME: usize = 64 << 20;
 
-fn write_frame(stream: &mut TcpStream, kind: u8, payload: &[u8]) -> Result<(), XmitError> {
+fn write_frame(
+    stream: &mut TcpStream,
+    scratch: &mut Vec<u8>,
+    kind: u8,
+    payload: &[u8],
+) -> Result<(), XmitError> {
     let len = u32::try_from(payload.len())
         .map_err(|_| XmitError::Bcm(PbioError::Io("frame too large".to_string())))?;
-    stream.write_all(&len.to_be_bytes()).map_err(PbioError::from)?;
-    stream.write_all(&[kind]).map_err(PbioError::from)?;
-    stream.write_all(payload).map_err(PbioError::from)?;
+    // One coalesced write per frame: pushing the header and payload in
+    // separate syscalls hands Nagle + delayed ACK a ~40 ms stall per
+    // message on a keep-alive connection.
+    scratch.clear();
+    scratch.reserve(5 + payload.len());
+    scratch.extend_from_slice(&len.to_be_bytes());
+    scratch.push(kind);
+    scratch.extend_from_slice(payload);
+    stream.write_all(scratch).map_err(PbioError::from)?;
     Ok(())
 }
 
@@ -42,18 +54,35 @@ pub struct XmitSender {
     /// Cached encode plans + reusable wire buffer: steady-state sends do
     /// no per-message descriptor walking and no allocation.
     enc: Encoder,
+    /// Reusable frame buffer: each send is one `write_all`, reusing the
+    /// same backing allocation.
+    scratch: Vec<u8>,
 }
 
 impl XmitSender {
-    /// Connect to a receiver.
-    pub fn connect(addr: impl ToSocketAddrs) -> Result<XmitSender, XmitError> {
-        let stream = TcpStream::connect(addr).map_err(PbioError::from)?;
+    /// Connect to a receiver with default deadlines and retry backoff.
+    pub fn connect(addr: impl ToSocketAddrs + Copy) -> Result<XmitSender, XmitError> {
+        XmitSender::connect_with(addr, &TransportConfig::default())
+    }
+
+    /// Connect with explicit connect/read/write deadlines and a
+    /// retry-with-backoff schedule for the connect itself, so a receiver
+    /// that is still starting up (or restarting) does not fail the sender.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs + Copy,
+        cfg: &TransportConfig,
+    ) -> Result<XmitSender, XmitError> {
+        let stream = connect_retrying(addr, cfg).map_err(PbioError::from)?;
         Ok(XmitSender::from_stream(stream))
     }
 
     /// Wrap an accepted stream.
     pub fn from_stream(stream: TcpStream) -> XmitSender {
-        XmitSender { stream, announced: HashSet::new(), enc: Encoder::new() }
+        // Frames are written whole; Nagle would park small records behind
+        // delayed ACKs.  Best effort: a stream that cannot take options
+        // still transmits.
+        let _ = stream.set_nodelay(true);
+        XmitSender { stream, announced: HashSet::new(), enc: Encoder::new(), scratch: Vec::new() }
     }
 
     /// Send one record.  The format descriptor precedes the first record
@@ -62,10 +91,10 @@ impl XmitSender {
         let id = rec.format().id();
         if self.announced.insert(id) {
             let desc = encode_descriptor(rec.format());
-            write_frame(&mut self.stream, FRAME_FORMAT, &desc)?;
+            write_frame(&mut self.stream, &mut self.scratch, FRAME_FORMAT, &desc)?;
         }
         let wire = self.enc.encode(rec)?;
-        write_frame(&mut self.stream, FRAME_RECORD, wire)?;
+        write_frame(&mut self.stream, &mut self.scratch, FRAME_RECORD, wire)?;
         self.stream.flush().map_err(PbioError::from)?;
         Ok(())
     }
@@ -83,6 +112,18 @@ impl XmitReceiver {
     /// `registry`'s formats when it holds a same-named registration.
     pub fn new(stream: TcpStream, registry: Arc<FormatRegistry>) -> XmitReceiver {
         XmitReceiver { stream, registry }
+    }
+
+    /// Wrap an accepted stream with `cfg`'s read/write deadlines applied,
+    /// so a stalled sender surfaces as a timeout error from `recv` rather
+    /// than blocking forever.
+    pub fn new_with(
+        stream: TcpStream,
+        registry: Arc<FormatRegistry>,
+        cfg: &TransportConfig,
+    ) -> Result<XmitReceiver, XmitError> {
+        harden_stream(&stream, cfg).map_err(PbioError::from)?;
+        Ok(XmitReceiver::new(stream, registry))
     }
 
     /// The registry formats are resolved against.
@@ -105,8 +146,10 @@ impl XmitReceiver {
         }
         let mut kind = [0u8; 1];
         self.stream.read_exact(&mut kind).map_err(PbioError::from)?;
-        let mut payload = vec![0u8; len];
-        self.stream.read_exact(&mut payload).map_err(PbioError::from)?;
+        // The length prefix is untrusted: grow the buffer in capped
+        // chunks as bytes actually arrive instead of allocating up to
+        // MAX_FRAME up front on a peer's say-so.
+        let payload = read_exact_capped(&mut self.stream, len).map_err(PbioError::from)?;
         Ok(Some((kind[0], payload)))
     }
 

@@ -7,12 +7,12 @@
 //! polls a metadata URL and re-binds through a shared [`Xmit`] whenever
 //! the document changes, notifying subscribers with the fresh tokens.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
 use crate::error::XmitError;
 use crate::toolkit::{BindingToken, LoadOutcome, Xmit};
@@ -28,10 +28,13 @@ pub struct FormatChange {
 
 /// Watches one metadata URL for changes.
 ///
-/// Dropping the watcher stops the polling thread.
+/// Dropping the watcher stops the polling thread promptly: the poll wait
+/// is a channel receive with a timeout, so a stop signal wakes it
+/// immediately instead of letting drop block for up to a full interval.
 pub struct FormatWatcher {
-    stop: Arc<AtomicBool>,
+    stop_tx: Sender<()>,
     versions_seen: Arc<AtomicU64>,
+    poll_errors: Arc<AtomicU64>,
     thread: Option<JoinHandle<()>>,
     receiver: Receiver<FormatChange>,
 }
@@ -49,33 +52,51 @@ impl FormatWatcher {
         interval: Duration,
     ) -> Result<FormatWatcher, XmitError> {
         let url = url.into();
-        let stop = Arc::new(AtomicBool::new(false));
         let versions_seen = Arc::new(AtomicU64::new(0));
+        let poll_errors = Arc::new(AtomicU64::new(0));
         let (tx, rx): (Sender<FormatChange>, Receiver<FormatChange>) = unbounded();
+        let (stop_tx, stop_rx): (Sender<()>, Receiver<()>) = unbounded();
 
         // Initial load happens on the caller's thread so errors surface.
         let initial = toolkit.load_url_cached(&url)?;
         publish(&toolkit, &url, initial.into_names(), &tx)?;
         versions_seen.store(1, Ordering::Release);
 
-        let (stop2, seen2) = (stop.clone(), versions_seen.clone());
-        let thread = std::thread::spawn(move || {
-            while !stop2.load(Ordering::Acquire) {
-                std::thread::sleep(interval);
-                if stop2.load(Ordering::Acquire) {
-                    break;
-                }
-                // A conditional GET (or a content-hash match) classifies
-                // unchanged documents without re-parsing; only a genuine
-                // change comes back as `Loaded`.
-                if let Ok(LoadOutcome::Loaded(names)) = toolkit.revalidate(&url) {
+        let (seen2, errors2) = (versions_seen.clone(), poll_errors.clone());
+        let thread = std::thread::spawn(move || loop {
+            // The interval wait doubles as the stop signal: a message (or
+            // the watcher's sender going away) wakes the thread at once.
+            match stop_rx.recv_timeout(interval) {
+                Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
+                Err(RecvTimeoutError::Timeout) => {}
+            }
+            // A conditional GET (or a content-hash match) classifies
+            // unchanged documents without re-parsing; only a genuine
+            // change comes back as `Loaded`.
+            match toolkit.revalidate(&url) {
+                Ok(LoadOutcome::Loaded(names)) => {
                     if publish(&toolkit, &url, names, &tx).is_ok() {
                         seen2.fetch_add(1, Ordering::AcqRel);
+                    } else {
+                        errors2.fetch_add(1, Ordering::AcqRel);
                     }
+                }
+                Ok(_) => {}
+                // A failed poll (server down, document withdrawn, parse
+                // error) is not silent: the component keeps its last good
+                // binding and the failure is visible on the counter.
+                Err(_) => {
+                    errors2.fetch_add(1, Ordering::AcqRel);
                 }
             }
         });
-        Ok(FormatWatcher { stop, versions_seen, thread: Some(thread), receiver: rx })
+        Ok(FormatWatcher {
+            stop_tx,
+            versions_seen,
+            poll_errors,
+            thread: Some(thread),
+            receiver: rx,
+        })
     }
 
     /// The channel change notifications arrive on.
@@ -88,11 +109,20 @@ impl FormatWatcher {
     pub fn versions_seen(&self) -> u64 {
         self.versions_seen.load(Ordering::Acquire)
     }
+
+    /// How many polls failed (fetch error, withdrawn document, bad
+    /// content).  The watcher keeps polling — and keeps the last good
+    /// binding — but failures are counted, not discarded.
+    pub fn poll_errors(&self) -> u64 {
+        self.poll_errors.load(Ordering::Acquire)
+    }
 }
 
 impl Drop for FormatWatcher {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Release);
+        // Wake the poll thread out of its interval wait immediately;
+        // drop must not block for up to a full poll interval.
+        let _ = self.stop_tx.send(());
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
@@ -178,6 +208,48 @@ mod tests {
         std::thread::sleep(Duration::from_millis(50));
         assert_eq!(watcher.versions_seen(), 1, "no change, no notification");
         assert!(watcher.changes().try_recv().is_err());
+    }
+
+    #[test]
+    fn drop_is_prompt_even_with_long_poll_interval() {
+        let http = HttpServer::start().unwrap();
+        http.put_xml("/evt.xsd", doc(""));
+        let toolkit = Arc::new(Xmit::new(MachineModel::native()));
+        let watcher =
+            FormatWatcher::start(toolkit, http.url_for("/evt.xsd"), Duration::from_secs(60))
+                .unwrap();
+        let _ = watcher.changes().recv_timeout(Duration::from_secs(5)).unwrap();
+        let start = std::time::Instant::now();
+        drop(watcher);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "drop must wake the poll thread, not wait out the interval"
+        );
+    }
+
+    #[test]
+    fn failed_polls_are_counted_not_discarded() {
+        let http = HttpServer::start().unwrap();
+        http.put_xml("/evt.xsd", doc(""));
+        let toolkit = Arc::new(Xmit::new(MachineModel::native()));
+        let watcher = FormatWatcher::start(
+            toolkit.clone(),
+            http.url_for("/evt.xsd"),
+            Duration::from_millis(5),
+        )
+        .unwrap();
+        let _ = watcher.changes().recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(watcher.poll_errors(), 0);
+
+        // The metadata host goes away; subsequent polls fail.
+        drop(http);
+        let start = std::time::Instant::now();
+        while watcher.poll_errors() == 0 && start.elapsed() < Duration::from_secs(10) {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(watcher.poll_errors() > 0, "poll failures must surface on the counter");
+        // The last good binding survives the outage.
+        assert!(toolkit.bind("Evt").is_ok());
     }
 
     #[test]
