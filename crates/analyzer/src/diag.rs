@@ -1,0 +1,211 @@
+//! Machine-readable diagnostics for the analysis pipeline.
+//!
+//! The verifier core ([`openmeta_pbio::verify`]) reports [`Violation`]s
+//! against one plan; the pipeline runs many plans (every format, every
+//! machine pair) and needs to say *which* artifact each violation belongs
+//! to.  A [`Diagnostic`] is a violation plus that provenance; a [`Report`]
+//! aggregates them and renders to the stable JSON shape `planlint --json`
+//! emits (hand-rolled like the bench reports — the workspace carries no
+//! serde).
+
+use std::fmt;
+
+use openmeta_pbio::verify::{Severity, Violation};
+
+/// Which analysis stage produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Parsing or mapping the schema document.
+    Schema,
+    /// Descriptor layout self-consistency.
+    Layout,
+    /// Encode-plan verification.
+    EncodePlan,
+    /// Convert-plan verification for a machine pair.
+    ConvertPlan,
+}
+
+impl Stage {
+    /// Stable lowercase name used in JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Schema => "schema",
+            Stage::Layout => "layout",
+            Stage::EncodePlan => "encode-plan",
+            Stage::ConvertPlan => "convert-plan",
+        }
+    }
+}
+
+/// One violation with its provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Analysis stage.
+    pub stage: Stage,
+    /// Format name, or `"Sender→Receiver"` style pair label.
+    pub subject: String,
+    /// Machine model(s) the artifact was compiled for (display form).
+    pub machines: String,
+    /// The underlying violation.
+    pub violation: Violation,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{} {} on {}] {}",
+            self.violation.severity,
+            self.stage.name(),
+            self.subject,
+            self.machines,
+            self.violation.detail
+        )
+    }
+}
+
+/// The aggregated outcome of one analysis run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Every diagnostic, in discovery order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Formats analyzed (per machine model).
+    pub formats_checked: usize,
+    /// Encode plans verified.
+    pub encode_plans_checked: usize,
+    /// Convert plans verified (machine pairs × formats).
+    pub convert_plans_checked: usize,
+}
+
+impl Report {
+    /// True when no error-severity diagnostic was recorded.
+    pub fn passed(&self) -> bool {
+        !self.diagnostics.iter().any(|d| d.violation.severity == Severity::Error)
+    }
+
+    /// Count of error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.violation.severity == Severity::Error).count()
+    }
+
+    /// Count of warning-severity diagnostics.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.violation.severity == Severity::Warning).count()
+    }
+
+    /// Fold `verdict` violations into the report under one provenance.
+    pub fn absorb(
+        &mut self,
+        stage: Stage,
+        subject: impl Into<String>,
+        machines: impl Into<String>,
+        verdict: openmeta_pbio::verify::Verdict,
+    ) {
+        let subject = subject.into();
+        let machines = machines.into();
+        for violation in verdict.into_violations() {
+            self.diagnostics.push(Diagnostic {
+                stage,
+                subject: subject.clone(),
+                machines: machines.clone(),
+                violation,
+            });
+        }
+    }
+
+    /// Render the stable machine-readable JSON shape.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"passed\": {},\n  \"formats_checked\": {},\n  \"encode_plans_checked\": {},\n  \"convert_plans_checked\": {},\n  \"errors\": {},\n  \"warnings\": {},\n  \"diagnostics\": [",
+            self.passed(),
+            self.formats_checked,
+            self.encode_plans_checked,
+            self.convert_plans_checked,
+            self.error_count(),
+            self.warning_count()
+        ));
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"severity\": \"{}\", \"stage\": \"{}\", \"check\": \"{}\", \"subject\": \"{}\", \"machines\": \"{}\", \"detail\": \"{}\"}}",
+                d.violation.severity,
+                d.stage.name(),
+                json_escape(d.violation.check),
+                json_escape(&d.subject),
+                json_escape(&d.machines),
+                json_escape(&d.violation.detail)
+            ));
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violation(severity: Severity) -> Violation {
+        Violation { check: "op-bounds", severity, detail: "a \"quoted\" detail".to_string() }
+    }
+
+    #[test]
+    fn report_counts_and_passed() {
+        let mut r = Report::default();
+        assert!(r.passed());
+        r.diagnostics.push(Diagnostic {
+            stage: Stage::ConvertPlan,
+            subject: "A→B".into(),
+            machines: "SPARC32→X86_64".into(),
+            violation: violation(Severity::Warning),
+        });
+        assert!(r.passed());
+        r.diagnostics.push(Diagnostic {
+            stage: Stage::Layout,
+            subject: "A".into(),
+            machines: "X86".into(),
+            violation: violation(Severity::Error),
+        });
+        assert!(!r.passed());
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 1);
+    }
+
+    #[test]
+    fn json_is_escaped_and_shaped() {
+        let mut r = Report { formats_checked: 2, ..Report::default() };
+        r.diagnostics.push(Diagnostic {
+            stage: Stage::EncodePlan,
+            subject: "F".into(),
+            machines: "SPARC32".into(),
+            violation: violation(Severity::Error),
+        });
+        let j = r.to_json();
+        assert!(j.contains("\"passed\": false"));
+        assert!(j.contains("\\\"quoted\\\""));
+        assert!(j.contains("\"stage\": \"encode-plan\""));
+        assert!(j.contains("\"formats_checked\": 2"));
+    }
+}

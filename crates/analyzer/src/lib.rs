@@ -1,0 +1,41 @@
+//! Static analysis for XMIT metadata: prove format layouts and compiled
+//! marshal plans safe *before* they run.
+//!
+//! The paper's architecture trusts metadata to drive raw binary
+//! marshaling — XMIT binding tokens lower XML Schema definitions into
+//! PBIO wire programs ([`openmeta_pbio::plan`]).  Since those programs
+//! execute with no per-record checks, this crate closes the loop the way
+//! binding-schema systems (BSML) and ahead-of-time XML binding analyses
+//! do: every plan the toolkit can produce is verified statically.
+//!
+//! Three layers:
+//!
+//! * the verifier core lives in [`openmeta_pbio::verify`] (so the
+//!   registry's plan cache can gate insertions without a dependency
+//!   cycle) — re-exported here as [`verify`];
+//! * [`pipeline`] runs it end to end: schema text → mapped descriptors →
+//!   compiled plans → verdicts, across a 4-model machine matrix and all
+//!   ordered machine pairs;
+//! * [`diag`] aggregates results into machine-readable reports (the
+//!   `planlint` CLI in `openmeta-tools` prints them as text or JSON).
+//!
+//! ```
+//! let report = openmeta_analyzer::analyze_xml(
+//!     r#"<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+//!          <xsd:complexType name="Point">
+//!            <xsd:element name="x" type="xsd:double" />
+//!            <xsd:element name="y" type="xsd:double" />
+//!          </xsd:complexType>
+//!        </xsd:schema>"#,
+//! );
+//! assert!(report.passed());
+//! ```
+
+#![deny(unsafe_code)]
+
+pub mod diag;
+pub mod pipeline;
+
+pub use diag::{Diagnostic, Report, Stage};
+pub use openmeta_pbio::verify;
+pub use pipeline::{analyze_registry, analyze_xmit, analyze_xml, machine_name, MACHINE_MATRIX};

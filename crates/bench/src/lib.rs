@@ -15,6 +15,8 @@
 //! * **Figure 1 (+ §4.1/§5 claims)** — XML expansion factor and the ~2×
 //!   latency of XML-wire vs XMIT for the `SimpleData` exchange.
 
+#![deny(unsafe_code)]
+
 pub mod reports;
 pub mod workloads;
 

@@ -22,6 +22,8 @@
 //!   over TCP with [`xmit::XmitSender`]/[`xmit::XmitReceiver`], control
 //!   plane over crossbeam channels.
 
+#![deny(unsafe_code)]
+
 pub mod components;
 pub mod dataset;
 pub mod messages;

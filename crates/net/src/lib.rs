@@ -24,11 +24,14 @@
 //! * [`FaultProxy`] — a TCP proxy test fixture injecting stalls,
 //!   mid-frame resets, truncation and partial writes.
 
+#![deny(unsafe_code)]
+
 pub mod config;
 pub mod faults;
 pub mod framing;
 pub mod retry;
 pub mod stats;
+pub(crate) mod sync;
 pub mod workers;
 
 pub use config::{

@@ -6,19 +6,28 @@
 //! is graceful — in-flight connections are drained (workers finish what
 //! they are serving) within a configurable budget before any straggler is
 //! detached.
+//!
+//! The pool is generic over its work item (servers submit accepted
+//! [`TcpStream`]s, the default; model tests submit plain values), and all
+//! locking goes through [`crate::sync`] so `cargo xtask loom` can explore
+//! the admission/drain interleavings under loom's primitives.
 
 use std::collections::{HashMap, VecDeque};
 use std::net::{Shutdown, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::config::ServerConfig;
 use crate::stats::ServerStats;
+use crate::sync::{self, Condvar, Mutex};
 
-struct Shared {
-    queue: Mutex<State>,
+#[cfg(loom)]
+use loom::sync::{atomic::AtomicU64, atomic::Ordering, Arc};
+#[cfg(not(loom))]
+use std::sync::{atomic::AtomicU64, atomic::Ordering, Arc};
+
+struct Shared<T> {
+    queue: Mutex<State<T>>,
     /// Signals workers that work (or shutdown) is available.
     work: Condvar,
     /// Signals the shutdown waiter that the pool may have drained.
@@ -28,29 +37,45 @@ struct Shared {
     stats: ServerStats,
 }
 
-struct State {
-    pending: VecDeque<TcpStream>,
+struct State<T> {
+    pending: VecDeque<T>,
     active: usize,
     shutting_down: bool,
 }
 
-/// A fixed-size pool of connection-serving workers with a bounded intake
-/// queue.
-pub struct WorkerPool {
-    shared: Arc<Shared>,
+/// A fixed-size pool of workers with a bounded intake queue, serving
+/// items of type `T` (accepted connections, by default).
+pub struct WorkerPool<T: Send + 'static = TcpStream> {
+    shared: Arc<Shared<T>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
-impl WorkerPool {
-    /// Spawn `cfg.workers` threads, each running `handler` on streams
+/// Spawn one worker thread; named outside loom, anonymous under it
+/// (loom's spawn API carries no thread builder).
+fn spawn_worker(label: String, body: impl FnOnce() + Send + 'static) -> JoinHandle<()> {
+    #[cfg(loom)]
+    {
+        let _ = label;
+        loom::thread::spawn(body)
+    }
+    #[cfg(not(loom))]
+    {
+        // OS thread spawn only fails on resource exhaustion at startup;
+        // a pool that cannot staff itself cannot serve at all.
+        std::thread::Builder::new().name(label).spawn(body).expect("spawn worker thread")
+    }
+}
+
+impl<T: Send + 'static> WorkerPool<T> {
+    /// Spawn `cfg.workers` threads, each running `handler` on items
     /// submitted via [`WorkerPool::submit`].  `stats` receives the
     /// active-connection gauge updates.
     pub fn new(
         name: &str,
         cfg: &ServerConfig,
         stats: ServerStats,
-        handler: impl Fn(TcpStream) + Send + Sync + 'static,
-    ) -> WorkerPool {
+        handler: impl Fn(T) + Send + Sync + 'static,
+    ) -> WorkerPool<T> {
         let shared = Arc::new(Shared {
             queue: Mutex::new(State { pending: VecDeque::new(), active: 0, shutting_down: false }),
             work: Condvar::new(),
@@ -64,21 +89,18 @@ impl WorkerPool {
             .map(|i| {
                 let shared = shared.clone();
                 let handler = handler.clone();
-                std::thread::Builder::new()
-                    .name(format!("{name}-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, &*handler))
-                    .expect("spawn worker thread")
+                spawn_worker(format!("{name}-worker-{i}"), move || worker_loop(&shared, &*handler))
             })
             .collect();
         WorkerPool { shared, workers: Mutex::new(workers) }
     }
 
-    /// Hand an accepted connection to the pool.  Returns `false` (and
-    /// counts a rejection) when the accept queue or the max-connections
-    /// bound is full, or the pool is shutting down; the caller should
-    /// drop the stream.
-    pub fn submit(&self, stream: TcpStream) -> bool {
-        let mut state = self.shared.queue.lock().unwrap();
+    /// Hand a work item to the pool.  Returns `false` (and counts a
+    /// rejection) when the accept queue or the max-connections bound is
+    /// full, or the pool is shutting down; the caller should drop the
+    /// item.
+    pub fn submit(&self, item: T) -> bool {
+        let mut state = sync::lock(&self.shared.queue);
         let in_flight = state.pending.len() + state.active;
         if state.shutting_down
             || state.pending.len() >= self.shared.accept_queue
@@ -87,28 +109,28 @@ impl WorkerPool {
             self.shared.stats.rejected();
             return false;
         }
-        state.pending.push_back(stream);
+        state.pending.push_back(item);
         drop(state);
         self.shared.work.notify_one();
         true
     }
 
-    /// Connections queued but not yet picked up by a worker.
+    /// Items queued but not yet picked up by a worker.
     pub fn queued_now(&self) -> usize {
-        self.shared.queue.lock().unwrap().pending.len()
+        sync::lock(&self.shared.queue).pending.len()
     }
 
     /// Graceful shutdown: stop admitting work, let workers finish their
-    /// in-flight connections, and drop anything still queued.  Returns
-    /// `true` if everything drained inside `budget`; on `false` the
-    /// stragglers are detached (their threads keep running to completion,
-    /// but the pool no longer waits for them).
+    /// in-flight items, and drop anything still queued.  Returns `true`
+    /// if everything drained inside `budget`; on `false` the stragglers
+    /// are detached (their threads keep running to completion, but the
+    /// pool no longer waits for them).
     pub fn shutdown(&self, budget: Duration) -> bool {
         let deadline = Instant::now() + budget;
         {
-            let mut state = self.shared.queue.lock().unwrap();
+            let mut state = sync::lock(&self.shared.queue);
             state.shutting_down = true;
-            // Queued-but-unserved connections are dropped, not served: the
+            // Queued-but-unserved items are dropped, not served: the
             // server is going away and its state may already be stale.
             for _ in state.pending.drain(..) {
                 self.shared.stats.rejected();
@@ -119,24 +141,24 @@ impl WorkerPool {
                 if now >= deadline {
                     return false;
                 }
-                let (next, timeout) =
-                    self.shared.drained.wait_timeout(state, deadline - now).unwrap();
+                let (next, timed_out) =
+                    sync::wait_timeout(&self.shared.drained, state, deadline - now);
                 state = next;
-                if timeout.timed_out() && state.active > 0 {
+                if timed_out && state.active > 0 {
                     return false;
                 }
             }
         }
-        for w in self.workers.lock().unwrap().drain(..) {
+        for w in sync::lock(&self.workers).drain(..) {
             let _ = w.join();
         }
         true
     }
 }
 
-impl Drop for WorkerPool {
+impl<T: Send + 'static> Drop for WorkerPool<T> {
     fn drop(&mut self) {
-        if !self.workers.get_mut().unwrap().is_empty() {
+        if !sync::get_mut(&mut self.workers).is_empty() {
             self.shutdown(Duration::from_secs(5));
         }
     }
@@ -167,44 +189,44 @@ impl ConnTracker {
     pub fn register(&self, stream: &TcpStream) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         if let Ok(clone) = stream.try_clone() {
-            self.conns.lock().unwrap().insert(id, clone);
+            sync::lock(&self.conns).insert(id, clone);
         }
         id
     }
 
     /// Drop the tracking handle for a finished connection.
     pub fn unregister(&self, id: u64) {
-        self.conns.lock().unwrap().remove(&id);
+        sync::lock(&self.conns).remove(&id);
     }
 
     /// Shut down the read half of every tracked connection, unblocking
     /// workers parked in a read while leaving replies writable.
     pub fn shutdown_reads(&self) {
-        for stream in self.conns.lock().unwrap().values() {
+        for stream in sync::lock(&self.conns).values() {
             let _ = stream.shutdown(Shutdown::Read);
         }
     }
 }
 
-fn worker_loop(shared: &Shared, handler: &(dyn Fn(TcpStream) + Send + Sync)) {
+fn worker_loop<T>(shared: &Shared<T>, handler: &(dyn Fn(T) + Send + Sync)) {
     loop {
-        let stream = {
-            let mut state = shared.queue.lock().unwrap();
+        let item = {
+            let mut state = sync::lock(&shared.queue);
             loop {
-                if let Some(stream) = state.pending.pop_front() {
+                if let Some(item) = state.pending.pop_front() {
                     state.active += 1;
-                    break stream;
+                    break item;
                 }
                 if state.shutting_down {
                     return;
                 }
-                state = shared.work.wait(state).unwrap();
+                state = sync::wait(&shared.work, state);
             }
         };
         shared.stats.conn_started();
-        handler(stream);
+        handler(item);
         shared.stats.conn_finished();
-        let mut state = shared.queue.lock().unwrap();
+        let mut state = sync::lock(&shared.queue);
         state.active -= 1;
         let drained = state.active == 0 && state.pending.is_empty();
         drop(state);
@@ -242,11 +264,12 @@ mod tests {
     fn handles_submitted_connections() {
         let served = Arc::new(AtomicUsize::new(0));
         let served2 = served.clone();
-        let pool = WorkerPool::new("t", &cfg(2, 8, 16), ServerStats::new(), move |mut s| {
-            let mut b = [0u8; 1];
-            let _ = s.read_exact(&mut b);
-            served2.fetch_add(1, Ordering::SeqCst);
-        });
+        let pool =
+            WorkerPool::new("t", &cfg(2, 8, 16), ServerStats::new(), move |mut s: TcpStream| {
+                let mut b = [0u8; 1];
+                let _ = s.read_exact(&mut b);
+                served2.fetch_add(1, Ordering::SeqCst);
+            });
         let mut clients = Vec::new();
         for _ in 0..4 {
             let (mut client, server) = pair();
@@ -268,7 +291,7 @@ mod tests {
     fn rejects_beyond_bounds() {
         let stats = ServerStats::new();
         // One worker that blocks until its client writes; queue of one.
-        let pool = WorkerPool::new("t", &cfg(1, 1, 2), stats.clone(), |mut s| {
+        let pool = WorkerPool::new("t", &cfg(1, 1, 2), stats.clone(), |mut s: TcpStream| {
             let mut b = [0u8; 1];
             let _ = s.read_exact(&mut b);
         });
@@ -289,8 +312,26 @@ mod tests {
     }
 
     #[test]
+    fn generic_work_items_are_served() {
+        let sum = Arc::new(AtomicUsize::new(0));
+        let sum2 = sum.clone();
+        let pool = WorkerPool::new("t", &cfg(2, 16, 32), ServerStats::new(), move |n: usize| {
+            sum2.fetch_add(n, Ordering::SeqCst);
+        });
+        for n in 1..=10 {
+            assert!(pool.submit(n));
+        }
+        let start = Instant::now();
+        while sum.load(Ordering::SeqCst) < 55 && start.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(pool.shutdown(Duration::from_secs(5)));
+        assert_eq!(sum.load(Ordering::SeqCst), 55);
+    }
+
+    #[test]
     fn shutdown_drains_in_flight() {
-        let pool = WorkerPool::new("t", &cfg(1, 4, 8), ServerStats::new(), |mut s| {
+        let pool = WorkerPool::new("t", &cfg(1, 4, 8), ServerStats::new(), |mut s: TcpStream| {
             // Simulate a request in flight: finish after the client's byte.
             let mut b = [0u8; 1];
             let _ = s.read_exact(&mut b);
@@ -311,10 +352,10 @@ mod tests {
 
     #[test]
     fn shutdown_gives_up_on_stuck_workers() {
-        let hold = Arc::new(Mutex::new(()));
+        let hold = Arc::new(std::sync::Mutex::new(()));
         let guard = hold.lock().unwrap();
         let hold2 = hold.clone();
-        let pool = WorkerPool::new("t", &cfg(1, 4, 8), ServerStats::new(), move |_s| {
+        let pool = WorkerPool::new("t", &cfg(1, 4, 8), ServerStats::new(), move |_s: TcpStream| {
             let _g = hold2.lock().unwrap();
         });
         let (_client, server) = pair();
@@ -324,5 +365,84 @@ mod tests {
         assert!(!pool.shutdown(Duration::from_millis(200)), "stuck worker cannot drain");
         assert!(start.elapsed() < Duration::from_secs(2), "budget must bound the wait");
         drop(guard);
+    }
+}
+
+/// Model tests: `RUSTFLAGS="--cfg loom" cargo test -p openmeta-net`
+/// (driven by `cargo xtask loom`).  Each closure runs under
+/// `loom::model`, which explores thread interleavings around the pool's
+/// admission, drain and tracker-shutdown edges.
+#[cfg(all(test, loom))]
+mod loom_tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn cfg(workers: usize, queue: usize, max: usize) -> ServerConfig {
+        ServerConfig {
+            workers,
+            accept_queue: queue,
+            max_connections: max,
+            ..ServerConfig::default()
+        }
+    }
+
+    /// Admission and drain: every admitted item is either served or
+    /// rejected-on-drain, never lost, and shutdown always drains.
+    #[test]
+    fn loom_pool_admission_and_drain() {
+        loom::model(|| {
+            let stats = ServerStats::new();
+            let served = std::sync::Arc::new(AtomicUsize::new(0));
+            let served2 = served.clone();
+            let pool = WorkerPool::new("model", &cfg(2, 8, 16), stats.clone(), move |_n: u8| {
+                served2.fetch_add(1, Ordering::SeqCst);
+            });
+            let mut admitted = 0usize;
+            for n in 0..3u8 {
+                if pool.submit(n) {
+                    admitted += 1;
+                }
+            }
+            assert_eq!(admitted, 3, "bounds are wide enough to admit all");
+            assert!(pool.shutdown(Duration::from_secs(30)), "drain must complete");
+            let dropped = stats.snapshot().rejected as usize;
+            assert_eq!(served.load(Ordering::SeqCst) + dropped, admitted);
+        });
+    }
+
+    /// After shutdown wins the race, submissions are refused — a
+    /// submitter can never sneak an item into a drained pool.
+    #[test]
+    fn loom_pool_rejects_after_shutdown() {
+        loom::model(|| {
+            let pool = WorkerPool::new("model", &cfg(1, 4, 8), ServerStats::new(), |_n: u8| {});
+            assert!(pool.submit(1));
+            assert!(pool.shutdown(Duration::from_secs(30)));
+            assert!(!pool.submit(2), "post-shutdown submit must reject");
+            assert_eq!(pool.queued_now(), 0);
+        });
+    }
+
+    /// Concurrent register/unregister racing shutdown_reads never
+    /// deadlocks or double-frees a tracked connection.
+    #[test]
+    fn loom_conn_tracker_shutdown_race() {
+        loom::model(|| {
+            let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+            let addr = listener.local_addr().expect("addr");
+            let client = TcpStream::connect(addr).expect("connect");
+            let (server, _) = listener.accept().expect("accept");
+            let tracker = std::sync::Arc::new(ConnTracker::new());
+            let t2 = tracker.clone();
+            let worker = loom::thread::spawn(move || {
+                let id = t2.register(&server);
+                t2.unregister(id);
+            });
+            tracker.shutdown_reads();
+            worker.join().expect("join");
+            tracker.shutdown_reads();
+            drop(client);
+        });
     }
 }

@@ -14,14 +14,65 @@ use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use parking_lot::Mutex;
-
 use crate::client::{
     connect_with_timeout, interpret, read_response, write_get_request, Fetch, Response,
     CONNECT_TIMEOUT, IO_TIMEOUT,
 };
 use crate::error::HttpError;
+use crate::sync;
 use crate::url::Url;
+
+/// A capped, per-key store of idle reusable resources — the pool's
+/// retention policy, extracted so its check-in/check-out races can be
+/// model-tested in isolation (`cargo xtask loom`).
+///
+/// Keys are authorities (`host:port`); at most `cap` items are retained
+/// per key, and a check-in beyond the cap reports `false` and drops the
+/// item on the caller's side.
+pub struct IdleSet<T> {
+    cap: usize,
+    idle: sync::Mutex<HashMap<String, Vec<T>>>,
+}
+
+impl<T> IdleSet<T> {
+    /// An empty set retaining at most `cap` items per key.
+    pub fn new(cap: usize) -> IdleSet<T> {
+        IdleSet { cap, idle: sync::Mutex::new(HashMap::new()) }
+    }
+
+    /// Take one idle item for `key`, most recently checked in first.
+    pub fn check_out(&self, key: &str) -> Option<T> {
+        sync::lock(&self.idle).get_mut(key)?.pop()
+    }
+
+    /// Return an item for `key`; `false` means the per-key cap was
+    /// already met and the item was not retained.
+    pub fn check_in(&self, key: &str, item: T) -> bool {
+        let mut idle = sync::lock(&self.idle);
+        let items = idle.entry(key.to_string()).or_default();
+        if items.len() < self.cap {
+            items.push(item);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Total idle items across all keys.
+    pub fn count(&self) -> usize {
+        sync::lock(&self.idle).values().map(Vec::len).sum()
+    }
+
+    /// Largest idle count held by any single key.
+    pub fn max_per_key(&self) -> usize {
+        sync::lock(&self.idle).values().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Drop every idle item.
+    pub fn clear(&self) {
+        sync::lock(&self.idle).clear();
+    }
+}
 
 /// Counters describing pool behaviour.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -60,7 +111,7 @@ impl Default for PoolConfig {
 /// A keep-alive connection pool for HTTP/1.1 GETs.
 pub struct ConnectionPool {
     cfg: PoolConfig,
-    idle: Mutex<HashMap<String, Vec<TcpStream>>>,
+    idle: IdleSet<TcpStream>,
     requests: AtomicU64,
     connects: AtomicU64,
     reuses: AtomicU64,
@@ -78,7 +129,7 @@ impl ConnectionPool {
     pub fn new(cfg: PoolConfig) -> ConnectionPool {
         ConnectionPool {
             cfg,
-            idle: Mutex::new(HashMap::new()),
+            idle: IdleSet::new(cfg.max_idle_per_authority),
             requests: AtomicU64::new(0),
             connects: AtomicU64::new(0),
             reuses: AtomicU64::new(0),
@@ -152,15 +203,11 @@ impl ConnectionPool {
     }
 
     fn check_out(&self, authority: &str) -> Option<TcpStream> {
-        self.idle.lock().get_mut(authority)?.pop()
+        self.idle.check_out(authority)
     }
 
     fn check_in(&self, authority: &str, stream: TcpStream) {
-        let mut idle = self.idle.lock();
-        let conns = idle.entry(authority.to_string()).or_default();
-        if conns.len() < self.cfg.max_idle_per_authority {
-            conns.push(stream);
-        }
+        self.idle.check_in(authority, stream);
     }
 
     /// Snapshot of the pool counters.
@@ -175,12 +222,102 @@ impl ConnectionPool {
 
     /// Number of idle connections currently held.
     pub fn idle_count(&self) -> usize {
-        self.idle.lock().values().map(Vec::len).sum()
+        self.idle.count()
     }
 
     /// Drop all idle connections (counters are kept).
     pub fn clear(&self) {
-        self.idle.lock().clear();
+        self.idle.clear();
+    }
+}
+
+#[cfg(test)]
+mod idle_set_tests {
+    use super::*;
+
+    #[test]
+    fn caps_per_key_not_globally() {
+        let set = IdleSet::new(2);
+        assert!(set.check_in("a:80", 1));
+        assert!(set.check_in("a:80", 2));
+        assert!(!set.check_in("a:80", 3), "per-key cap reached");
+        assert!(set.check_in("b:80", 4), "other keys unaffected");
+        assert_eq!(set.count(), 3);
+        assert_eq!(set.max_per_key(), 2);
+    }
+
+    #[test]
+    fn check_out_is_lifo_and_empties() {
+        let set = IdleSet::new(4);
+        set.check_in("a:80", 1);
+        set.check_in("a:80", 2);
+        assert_eq!(set.check_out("a:80"), Some(2));
+        assert_eq!(set.check_out("a:80"), Some(1));
+        assert_eq!(set.check_out("a:80"), None);
+        assert_eq!(set.check_out("missing:80"), None);
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        let set = IdleSet::new(4);
+        set.check_in("a:80", 1);
+        set.check_in("b:80", 2);
+        set.clear();
+        assert_eq!(set.count(), 0);
+        assert_eq!(set.max_per_key(), 0);
+    }
+}
+
+/// Model tests: `RUSTFLAGS="--cfg loom" cargo test -p openmeta-ohttp`
+/// (driven by `cargo xtask loom`).
+#[cfg(all(test, loom))]
+mod loom_tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// Concurrent check-ins never exceed the per-key cap, and every item
+    /// is either retained or reported dropped — none lost.
+    #[test]
+    fn loom_idle_set_cap_under_contention() {
+        loom::model(|| {
+            let set = Arc::new(IdleSet::new(1));
+            let handles: Vec<_> = (0..2)
+                .map(|n| {
+                    let set = set.clone();
+                    loom::thread::spawn(move || set.check_in("a:80", n))
+                })
+                .collect();
+            let retained =
+                handles.into_iter().map(|h| h.join().expect("join")).filter(|&kept| kept).count();
+            assert_eq!(retained, 1, "exactly one concurrent check-in may win");
+            assert!(set.max_per_key() <= 1, "cap must hold");
+            assert!(set.check_out("a:80").is_some());
+            assert!(set.check_out("a:80").is_none(), "cap 1 retains at most one");
+        });
+    }
+
+    /// A checker-out racing a checker-in sees each item at most once.
+    #[test]
+    fn loom_check_out_races_check_in() {
+        loom::model(|| {
+            let set = Arc::new(IdleSet::new(4));
+            let set2 = set.clone();
+            let producer = loom::thread::spawn(move || {
+                set2.check_in("a:80", 7);
+            });
+            let set3 = set.clone();
+            let consumer = loom::thread::spawn(move || set3.check_out("a:80"));
+            producer.join().expect("join");
+            let taken = consumer.join().expect("join");
+            let remaining = set.check_out("a:80");
+            match taken {
+                Some(v) => {
+                    assert_eq!(v, 7);
+                    assert_eq!(remaining, None, "item must not be duplicated");
+                }
+                None => assert_eq!(remaining, Some(7), "item must not be lost"),
+            }
+        });
     }
 }
 

@@ -87,11 +87,16 @@ impl HttpServer {
 
         let (c, h, nm, s) = (content.clone(), hits.clone(), not_modified.clone(), stop.clone());
         let (stats_w, tracker_w) = (stats.clone(), tracker.clone());
-        let pool = Arc::new(WorkerPool::new("http-server", &cfg, stats.clone(), move |stream| {
-            let id = tracker_w.register(&stream);
-            let _ = serve(stream, &cfg, &c, &h, &nm, &s, &stats_w);
-            tracker_w.unregister(id);
-        }));
+        let pool = Arc::new(WorkerPool::new(
+            "http-server",
+            &cfg,
+            stats.clone(),
+            move |stream: TcpStream| {
+                let id = tracker_w.register(&stream);
+                let _ = serve(stream, &cfg, &c, &h, &nm, &s, &stats_w);
+                tracker_w.unregister(id);
+            },
+        ));
 
         let (stop_a, stats_a, pool_a) = (stop.clone(), stats.clone(), pool.clone());
         let accept_thread = std::thread::spawn(move || {
@@ -169,7 +174,9 @@ impl HttpServer {
 impl Drop for HttpServer {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Release);
-        let _ = TcpStream::connect(self.addr);
+        // Unblock accept() with a throwaway connection — bounded, so a
+        // filtered loopback can never wedge the drop.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }

@@ -50,6 +50,13 @@ pub enum PbioError {
     },
     /// A value tree did not match the target format.
     ValueMismatch(String),
+    /// Static verification rejected a compiled plan before it could run.
+    PlanRejected {
+        /// Format name (or "sender→receiver" pair) the plan was compiled for.
+        format: String,
+        /// The first error-severity violation, rendered.
+        violation: String,
+    },
     /// Failure in the format-server protocol or transport.
     Server(String),
     /// An I/O error (socket or file), stringified to keep the error `Clone`.
@@ -78,6 +85,9 @@ impl fmt::Display for PbioError {
                 write!(f, "dynamic array '{field}': {reason}")
             }
             PbioError::ValueMismatch(msg) => write!(f, "value does not match format: {msg}"),
+            PbioError::PlanRejected { format, violation } => {
+                write!(f, "plan for '{format}' rejected by static verification: {violation}")
+            }
             PbioError::Server(msg) => write!(f, "format server: {msg}"),
             PbioError::Io(msg) => write!(f, "I/O error: {msg}"),
         }

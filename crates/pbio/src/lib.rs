@@ -56,6 +56,8 @@
 //! assert_eq!(back.get_string("label").unwrap(), "origin-ish");
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod codec;
 pub mod convert;
 pub mod error;
@@ -71,6 +73,7 @@ pub mod registry;
 pub mod server;
 pub mod types;
 pub mod value;
+pub mod verify;
 
 pub use error::PbioError;
 pub use field::IOField;
@@ -82,6 +85,7 @@ pub use record::RawRecord;
 pub use registry::{FormatRegistry, PlanCacheStats};
 pub use types::{BaseType, FieldKind};
 pub use value::Value;
+pub use verify::{Severity, Verdict, Violation};
 
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {

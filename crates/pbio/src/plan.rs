@@ -106,6 +106,210 @@ fn compile_slots(desc: &FormatDescriptor) -> Result<Vec<SlotSpec>, PbioError> {
 }
 
 // ---------------------------------------------------------------------------
+// Public plan introspection (the analyzer/planlint IR).
+// ---------------------------------------------------------------------------
+//
+// Compiled plans are opaque on the hot path, but static verification
+// (`crate::verify`, `openmeta-analyzer`, the `planlint` tool) needs to see
+// the instruction programs without executing them — and mutation tests
+// need to corrupt copies of them.  These mirror types are the public,
+// owned projection of a plan's internals; `EncodePlan::program` and
+// `ConvertPlan::program` produce them.
+
+/// Public mirror of one fixed-image instruction (see `FixedOp`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanOp {
+    /// Bitwise copy of `len` bytes.
+    Copy {
+        /// Source offset in the sender's fixed image.
+        src: u32,
+        /// Destination offset in the receiver's fixed image.
+        dst: u32,
+        /// Bytes copied.
+        len: u32,
+    },
+    /// Per-element byte reversal: same width, opposite byte order.
+    Swap {
+        /// Source offset.
+        src: u32,
+        /// Destination offset.
+        dst: u32,
+        /// Element width in bytes.
+        width: u8,
+        /// Element count.
+        count: u32,
+    },
+    /// Integer width change (sign-extending iff the source is signed).
+    Int {
+        /// Source offset.
+        src: u32,
+        /// Destination offset.
+        dst: u32,
+        /// Source element width.
+        src_w: u8,
+        /// Destination element width.
+        dst_w: u8,
+        /// Sign-extend on widening.
+        signed: bool,
+        /// Element count.
+        count: u32,
+    },
+    /// Float width change via f64.
+    Float {
+        /// Source offset.
+        src: u32,
+        /// Destination offset.
+        dst: u32,
+        /// Source element width.
+        src_w: u8,
+        /// Destination element width.
+        dst_w: u8,
+        /// Element count.
+        count: u32,
+    },
+}
+
+/// Public mirror of a var-length slot's payload kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlotPayloadProgram {
+    /// NUL-terminated string, align 1.
+    Str,
+    /// Dynamic-array run governed by a sibling length field.
+    Array {
+        /// Bytes per element.
+        elem_size: usize,
+        /// Absolute offset of the length field in the fixed image.
+        len_off: usize,
+        /// Length-field width in bytes.
+        len_size: usize,
+        /// Length-field name (diagnostics).
+        len_name: String,
+    },
+}
+
+/// Public mirror of one var-length pointer slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotProgram {
+    /// Field name (diagnostics).
+    pub name: String,
+    /// Absolute offset of the pointer slot in the fixed image.
+    pub off: usize,
+    /// Pointer-slot size in bytes.
+    pub size: usize,
+    /// What the slot points at.
+    pub payload: SlotPayloadProgram,
+}
+
+/// Public mirror of a per-element conversion kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElemKind {
+    /// Representation-identical copy.
+    Copy,
+    /// Byte reversal per element.
+    Swap,
+    /// Integer width change.
+    Int {
+        /// Sign-extend on widening.
+        signed: bool,
+    },
+    /// Float width change via f64.
+    Float,
+}
+
+/// Public mirror of how a var-length payload crosses a format pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarConvProgram {
+    /// Representation matches: payload cloned as-is.
+    Move,
+    /// Per-element conversion.
+    Elem {
+        /// Conversion kind.
+        conv: ElemKind,
+        /// Source element width.
+        src_w: usize,
+        /// Destination element width.
+        dst_w: usize,
+    },
+}
+
+/// Public mirror of one var-length move/convert instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VarOpProgram {
+    /// Index into the source slot table.
+    pub src_idx: usize,
+    /// Destination slot offset (the receiver-side `varlen` key).
+    pub dst_off: usize,
+    /// How the payload is converted.
+    pub conv: VarConvProgram,
+}
+
+/// Public mirror of a destination length-field fix-up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LenFixProgram {
+    /// Absolute offset of the length field in the destination image.
+    pub len_off: usize,
+    /// Length-field width.
+    pub len_size: usize,
+    /// Absolute offset of the governed array's pointer slot.
+    pub arr_off: usize,
+    /// Bytes per array element.
+    pub elem_size: usize,
+}
+
+/// The complete public projection of an [`EncodePlan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodeProgram {
+    /// Header template (`HEADER_SIZE` bytes, data-size word zero).
+    pub header: Vec<u8>,
+    /// Fixed-image size the plan was compiled for.
+    pub record_size: usize,
+    /// Byte order of the format's machine model.
+    pub order: ByteOrder,
+    /// Var-length slot table, in placement order.
+    pub slots: Vec<SlotProgram>,
+}
+
+/// The complete public projection of a [`ConvertPlan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvertProgram {
+    /// Sender byte order.
+    pub src_order: ByteOrder,
+    /// Receiver byte order.
+    pub dst_order: ByteOrder,
+    /// Sender fixed-image size.
+    pub src_record_size: usize,
+    /// Receiver fixed-image size.
+    pub dst_record_size: usize,
+    /// Sender slot table (every slot, even receiver-ignored ones).
+    pub src_slots: Vec<SlotProgram>,
+    /// Fixed-image instructions.
+    pub ops: Vec<PlanOp>,
+    /// Var-length payload moves.
+    pub var_ops: Vec<VarOpProgram>,
+    /// Destination length-field fix-ups.
+    pub len_fixes: Vec<LenFixProgram>,
+}
+
+fn slot_program(s: &SlotSpec) -> SlotProgram {
+    SlotProgram {
+        name: s.name.clone(),
+        off: s.off,
+        size: s.size,
+        payload: match &s.payload {
+            PayloadKind::Str => SlotPayloadProgram::Str,
+            PayloadKind::Arr { elem_size, len_off, len_size, len_name } => {
+                SlotPayloadProgram::Array {
+                    elem_size: *elem_size,
+                    len_off: *len_off,
+                    len_size: *len_size,
+                    len_name: len_name.clone(),
+                }
+            }
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Encode plans (also the extract program for same-format decode).
 // ---------------------------------------------------------------------------
 
@@ -155,6 +359,16 @@ impl EncodePlan {
             }
         }
         Ok(ExtractedRecord { fixed: &data[..self.record_size], vars })
+    }
+
+    /// The public projection of this plan, for static verification.
+    pub fn program(&self) -> EncodeProgram {
+        EncodeProgram {
+            header: self.header.to_vec(),
+            record_size: self.record_size,
+            order: self.order,
+            slots: self.slots.iter().map(slot_program).collect(),
+        }
     }
 }
 
@@ -537,6 +751,64 @@ impl ConvertPlan {
             len_fixes,
         })
     }
+
+    /// The public projection of this plan, for static verification.
+    pub fn program(&self) -> ConvertProgram {
+        ConvertProgram {
+            src_order: self.src_order,
+            dst_order: self.dst_order,
+            src_record_size: self.src_record_size,
+            dst_record_size: self.dst_record_size,
+            src_slots: self.src_slots.iter().map(slot_program).collect(),
+            ops: self
+                .ops
+                .iter()
+                .map(|op| match *op {
+                    FixedOp::Copy { src, dst, len } => PlanOp::Copy { src, dst, len },
+                    FixedOp::Swap { src, dst, width, count } => {
+                        PlanOp::Swap { src, dst, width, count }
+                    }
+                    FixedOp::Int { src, dst, src_w, dst_w, signed, count } => {
+                        PlanOp::Int { src, dst, src_w, dst_w, signed, count }
+                    }
+                    FixedOp::Float { src, dst, src_w, dst_w, count } => {
+                        PlanOp::Float { src, dst, src_w, dst_w, count }
+                    }
+                })
+                .collect(),
+            var_ops: self
+                .var_ops
+                .iter()
+                .map(|vo| VarOpProgram {
+                    src_idx: vo.src_idx,
+                    dst_off: vo.dst_off,
+                    conv: match vo.conv {
+                        VarConv::Move => VarConvProgram::Move,
+                        VarConv::Elem { conv, src_w, dst_w } => VarConvProgram::Elem {
+                            conv: match conv {
+                                ElemConv::Copy => ElemKind::Copy,
+                                ElemConv::Swap => ElemKind::Swap,
+                                ElemConv::Int { signed } => ElemKind::Int { signed },
+                                ElemConv::Float => ElemKind::Float,
+                            },
+                            src_w,
+                            dst_w,
+                        },
+                    },
+                })
+                .collect(),
+            len_fixes: self
+                .len_fixes
+                .iter()
+                .map(|lf| LenFixProgram {
+                    len_off: lf.len_off,
+                    len_size: lf.len_size,
+                    arr_off: lf.arr_off,
+                    elem_size: lf.elem_size,
+                })
+                .collect(),
+        }
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -633,19 +905,20 @@ fn swap_elems(src: &[u8], dst: &mut [u8], width: usize) {
         1 => dst.copy_from_slice(src),
         2 => {
             for (s, d) in src.chunks_exact(2).zip(dst.chunks_exact_mut(2)) {
-                let v = u16::from_ne_bytes(s.try_into().unwrap()).swap_bytes();
+                let v = u16::from_ne_bytes([s[0], s[1]]).swap_bytes();
                 d.copy_from_slice(&v.to_ne_bytes());
             }
         }
         4 => {
             for (s, d) in src.chunks_exact(4).zip(dst.chunks_exact_mut(4)) {
-                let v = u32::from_ne_bytes(s.try_into().unwrap()).swap_bytes();
+                let v = u32::from_ne_bytes([s[0], s[1], s[2], s[3]]).swap_bytes();
                 d.copy_from_slice(&v.to_ne_bytes());
             }
         }
         8 => {
             for (s, d) in src.chunks_exact(8).zip(dst.chunks_exact_mut(8)) {
-                let v = u64::from_ne_bytes(s.try_into().unwrap()).swap_bytes();
+                let v = u64::from_ne_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]])
+                    .swap_bytes();
                 d.copy_from_slice(&v.to_ne_bytes());
             }
         }

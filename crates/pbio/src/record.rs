@@ -7,6 +7,12 @@
 //! paper's "region in the address space of a process".  Var-length data
 //! (strings, dynamic arrays) — `char*` / `float*` fields in the C original
 //! — live out of line, keyed by the absolute offset of their pointer slot.
+//!
+//! Audited: this module (and the whole crate) contains no `unsafe` blocks;
+//! the crate root carries `#![deny(unsafe_code)]` so none can creep in.
+//! Raw-byte access is all safe slice indexing against offsets that the
+//! layout engine computed and [`crate::verify`] independently proves
+//! in-bounds before any compiled plan is admitted to the registry cache.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;

@@ -222,6 +222,16 @@ impl FormatRegistry {
         // Compile outside the write lock; double-checked insert keeps one
         // shared plan if another thread raced us here.
         let plan = Arc::new(EncodePlan::compile(desc)?);
+        #[cfg(any(debug_assertions, feature = "verify-plans"))]
+        {
+            let verdict = crate::verify::verify_encode_plan(desc, &plan);
+            if let Some(violation) = verdict.first_error() {
+                return Err(PbioError::PlanRejected {
+                    format: desc.name.clone(),
+                    violation: violation.to_string(),
+                });
+            }
+        }
         Ok(self.plans.write().encode.entry(id).or_insert(plan).clone())
     }
 
@@ -239,6 +249,16 @@ impl FormatRegistry {
         }
         self.plan_misses.fetch_add(1, Ordering::Relaxed);
         let plan = Arc::new(ConvertPlan::compile(sender, target)?);
+        #[cfg(any(debug_assertions, feature = "verify-plans"))]
+        {
+            let verdict = crate::verify::verify_convert_plan(sender, target, &plan);
+            if let Some(violation) = verdict.first_error() {
+                return Err(PbioError::PlanRejected {
+                    format: format!("{}\u{2192}{}", sender.name, target.name),
+                    violation: violation.to_string(),
+                });
+            }
+        }
         Ok(self.plans.write().convert.entry(key).or_insert(plan).clone())
     }
 

@@ -118,14 +118,15 @@ impl FormatServer {
         let tracker = Arc::new(ConnTracker::new());
 
         let (stop_w, stats_w, tracker_w) = (stop.clone(), stats.clone(), tracker.clone());
-        let pool = WorkerPool::new("format-server", &cfg, stats.clone(), move |stream| {
-            let _ = stream.set_read_timeout(cfg.read_timeout);
-            let _ = stream.set_write_timeout(cfg.write_timeout);
-            let _ = stream.set_nodelay(true);
-            let id = tracker_w.register(&stream);
-            let _ = serve_connection(stream, &store, &stop_w, &stats_w);
-            tracker_w.unregister(id);
-        });
+        let pool =
+            WorkerPool::new("format-server", &cfg, stats.clone(), move |stream: TcpStream| {
+                let _ = stream.set_read_timeout(cfg.read_timeout);
+                let _ = stream.set_write_timeout(cfg.write_timeout);
+                let _ = stream.set_nodelay(true);
+                let id = tracker_w.register(&stream);
+                let _ = serve_connection(stream, &store, &stop_w, &stats_w);
+                tracker_w.unregister(id);
+            });
 
         let (stop_a, stats_a) = (stop.clone(), stats.clone());
         let pool = Arc::new(pool);
@@ -169,8 +170,9 @@ impl FormatServer {
 impl Drop for FormatServer {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Release);
-        // Unblock accept() with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
+        // Unblock accept() with a throwaway connection — bounded, so a
+        // filtered loopback can never wedge the drop.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }

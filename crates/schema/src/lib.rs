@@ -15,6 +15,8 @@
 //! generator).  It knows nothing about PBIO: mapping schema types onto
 //! native metadata is XMIT's job.
 
+#![deny(unsafe_code)]
+
 pub mod error;
 pub mod model;
 pub mod parse;

@@ -7,6 +7,7 @@
 //! openmeta match    <message-file> <url-or-file>
 //! openmeta inspect  <pbio-file>
 //! openmeta serve    <dir> [port]
+//! openmeta planlint [--json] <xsd-file>...
 //! ```
 
 use std::process::ExitCode;
@@ -19,7 +20,8 @@ fn usage() -> ExitCode {
          openmeta diff <old-url> <new-url> <type> [machine]\n  \
          openmeta match <message-file> <url-or-file>\n  \
          openmeta inspect <pbio-file>\n  \
-         openmeta serve <dir> [port]"
+         openmeta serve <dir> [port]\n  \
+         openmeta planlint [--json] <xsd-file>..."
     );
     ExitCode::from(2)
 }
@@ -76,6 +78,24 @@ fn main() -> ExitCode {
                 openmeta_tools::match_msg(message, spec).map(|o| print!("{o}"))
             }
             ("inspect", [path]) => openmeta_tools::inspect(path).map(|o| print!("{o}")),
+            ("planlint", rest) => {
+                let json = rest.first().map(String::as_str) == Some("--json");
+                let files: Vec<&str> =
+                    rest.iter().skip(usize::from(json)).map(String::as_str).collect();
+                if files.is_empty() {
+                    return usage();
+                }
+                match openmeta_tools::planlint(&files, json) {
+                    Ok((out, passed)) => {
+                        print!("{out}");
+                        if !passed {
+                            return ExitCode::FAILURE;
+                        }
+                        Ok(())
+                    }
+                    Err(e) => Err(e),
+                }
+            }
             ("serve", [dir, rest @ ..]) => {
                 let port = match rest {
                     [] => 0u16,

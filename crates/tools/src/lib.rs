@@ -11,9 +11,12 @@
 //! | `match <message-file> <url>` | [`match_msg`] | schema-check a live message (§3) |
 //! | `inspect <pbio-file>` | [`inspect`] | dump a self-describing PBIO data file |
 //! | `serve <dir> [port]` | [`serve`] | host a directory of metadata documents |
+//! | `planlint [--json] <xsd-file>...` | [`planlint`] | statically verify every marshal plan a schema produces |
 //!
 //! The `url` arguments accept `http://`, `file://` and bare paths (which
 //! are treated as `file://`).
+
+#![deny(unsafe_code)]
 
 use std::fmt::Write as _;
 use std::path::Path;
@@ -238,6 +241,61 @@ pub fn inspect(path: &str) -> Result<String, ToolError> {
     Ok(out)
 }
 
+/// `openmeta planlint [--json] <xsd-file>...` — run the static plan
+/// verifier over every schema file: each `complexType` is mapped,
+/// registered and plan-compiled across the analyzer's machine matrix
+/// (layouts, encode plans, and convert plans for every ordered machine
+/// pair), and every verdict is collected.
+///
+/// Returns the rendered report and whether it passed (no error-severity
+/// diagnostics); the binary exits non-zero on failure.  With `json`,
+/// output is the stable machine-readable shape from
+/// [`openmeta_analyzer::Report::to_json`].
+pub fn planlint(paths: &[&str], json: bool) -> Result<(String, bool), ToolError> {
+    if paths.is_empty() {
+        return Err("planlint needs at least one schema file".to_string());
+    }
+    let mut combined = openmeta_analyzer::Report::default();
+    let mut text = String::new();
+    for path in paths {
+        let xml = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        let report = openmeta_analyzer::analyze_xml(&xml);
+        let _ = writeln!(
+            text,
+            "{path}: {} format(s), {} encode plan(s), {} convert plan(s) — {}",
+            report.formats_checked,
+            report.encode_plans_checked,
+            report.convert_plans_checked,
+            if report.passed() {
+                if report.warning_count() > 0 {
+                    "PASS (with warnings)"
+                } else {
+                    "PASS"
+                }
+            } else {
+                "FAIL"
+            }
+        );
+        for d in &report.diagnostics {
+            let _ = writeln!(text, "  {d}");
+        }
+        combined.formats_checked += report.formats_checked;
+        combined.encode_plans_checked += report.encode_plans_checked;
+        combined.convert_plans_checked += report.convert_plans_checked;
+        combined.diagnostics.extend(report.diagnostics);
+    }
+    let passed = combined.passed();
+    let _ = writeln!(
+        text,
+        "{} error(s), {} warning(s) across {} file(s)",
+        combined.error_count(),
+        combined.warning_count(),
+        paths.len()
+    );
+    let out = if json { combined.to_json() } else { text };
+    Ok((out, passed))
+}
+
 /// `openmeta serve <dir> [port]` — returns the running server and the
 /// list of hosted paths; the binary keeps it alive.
 pub fn serve(dir: &str, port: u16) -> Result<(openmeta_ohttp::HttpServer, Vec<String>), ToolError> {
@@ -368,6 +426,49 @@ mod tests {
         assert!(out.contains("timestep = Int(8)"));
         assert!(out.contains("[20 floats]"));
         assert!(out.contains("1 record(s), 1 format(s)"));
+    }
+
+    #[test]
+    fn planlint_passes_fixture_corpus() {
+        let dir = fixture_dir("planlint");
+        let local = dir.join("simple.xsd");
+        let schemas =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../fixtures/schemas");
+        let corpus = [
+            local.to_str().unwrap().to_string(),
+            schemas.join("simple_data.xsd").display().to_string(),
+            schemas.join("region.xsd").display().to_string(),
+            schemas.join("hydrology.xsd").display().to_string(),
+        ];
+        let refs: Vec<&str> = corpus.iter().map(String::as_str).collect();
+        let (out, passed) = planlint(&refs, false).unwrap();
+        assert!(passed, "{out}");
+        assert!(out.contains("0 error(s)"), "{out}");
+        assert!(out.contains("PASS"), "{out}");
+        // The hydrology schema defines 5 types × 4 machine models.
+        assert!(out.contains("20 format(s)"), "{out}");
+    }
+
+    #[test]
+    fn planlint_json_is_machine_readable() {
+        let dir = fixture_dir("planlintjson");
+        let spec = dir.join("simple.xsd");
+        let (out, passed) = planlint(&[spec.to_str().unwrap()], true).unwrap();
+        assert!(passed);
+        assert!(out.contains("\"passed\": true"), "{out}");
+        assert!(out.contains("\"diagnostics\": ["), "{out}");
+    }
+
+    #[test]
+    fn planlint_fails_on_bad_schema_and_missing_file() {
+        let dir = fixture_dir("planlintbad");
+        let bad = dir.join("broken.xsd");
+        std::fs::write(&bad, "<xsd:schema").unwrap();
+        let (out, passed) = planlint(&[bad.to_str().unwrap()], false).unwrap();
+        assert!(!passed, "{out}");
+        assert!(out.contains("FAIL"), "{out}");
+        assert!(planlint(&[dir.join("nope.xsd").to_str().unwrap()], false).is_err());
+        assert!(planlint(&[], false).is_err());
     }
 
     #[test]

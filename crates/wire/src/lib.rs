@@ -21,6 +21,8 @@
 //! All five implement [`WireFormat`], so they are interchangeable in
 //! benchmarks and differential tests.
 
+#![deny(unsafe_code)]
+
 pub mod cdr;
 pub mod error;
 pub mod giop;

@@ -40,6 +40,8 @@
 //! assert_eq!(back.get_i64("timestep").unwrap(), 9999);
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod codegen;
 pub mod error;
 pub mod evolution;

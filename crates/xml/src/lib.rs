@@ -31,6 +31,8 @@
 //! assert_eq!(doc.children(root).count(), 1);
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod dom;
 pub mod error;
 pub mod escape;

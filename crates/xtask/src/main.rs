@@ -1,0 +1,381 @@
+//! `cargo xtask` — repo automation for the static-analysis gate.
+//!
+//! ```text
+//! cargo xtask analyze   # source lints + curated clippy + planlint over fixtures
+//! cargo xtask loom      # model tests: RUSTFLAGS="--cfg loom" worker-pool/pool suites
+//! cargo xtask miri      # Miri over the pbio codec/plan unit tests (skips if unavailable)
+//! ```
+//!
+//! `analyze` is the CI entry point: it fails on any repo-local lint
+//! violation (`.unwrap()` in non-test library code, raw
+//! `TcpStream::connect` without a deadline outside `crates/net`, a crate
+//! missing `#![deny(unsafe_code)]`), on any curated clippy lint, and on
+//! any error-severity `planlint` diagnostic over `fixtures/schemas/`.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+/// Crates whose library code may call `.unwrap()`: workload/demo crates
+/// whose "library" is test-fixture construction, plus this tool.
+const UNWRAP_EXEMPT: &[&str] = &["bench", "hydrology", "xtask"];
+
+/// Crates allowed to call `TcpStream::connect` without a deadline —
+/// only the transport crate itself (its fault proxy connects to
+/// loopback listeners it owns).
+const CONNECT_EXEMPT: &[&str] = &["net", "xtask"];
+
+/// Library crates that must carry `#![deny(unsafe_code)]` at the root.
+/// The whole workspace is unsafe-free; this keeps it that way.
+const DENY_UNSAFE: &[&str] = &[
+    "analyzer",
+    "bench",
+    "hydrology",
+    "net",
+    "ohttp",
+    "pbio",
+    "schema",
+    "tools",
+    "wire",
+    "xmit",
+    "xml",
+];
+
+/// Curated clippy deny set layered on top of `-D warnings`.
+const CLIPPY_DENY: &[&str] =
+    &["clippy::dbg_macro", "clippy::todo", "clippy::unimplemented", "clippy::mem_forget"];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("analyze") => analyze(),
+        Some("loom") => loom(),
+        Some("miri") => miri(),
+        _ => {
+            eprintln!("usage: cargo xtask <analyze|loom|miri>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn repo_root() -> PathBuf {
+    // crates/xtask -> crates -> repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn run(step: &str, cmd: &mut Command) -> bool {
+    eprintln!("xtask: {step}: {cmd:?}");
+    match cmd.status() {
+        Ok(status) if status.success() => true,
+        Ok(status) => {
+            eprintln!("xtask: {step} failed ({status})");
+            false
+        }
+        Err(e) => {
+            eprintln!("xtask: {step} failed to launch: {e}");
+            false
+        }
+    }
+}
+
+// ---------------------------------------------------------------- analyze
+
+fn analyze() -> ExitCode {
+    let root = repo_root();
+    let mut ok = true;
+
+    // 1. Repo-local source lints.
+    let violations = lint_tree(&root);
+    if violations.is_empty() {
+        eprintln!("xtask: source lints: clean");
+    } else {
+        for v in &violations {
+            eprintln!("{v}");
+        }
+        eprintln!("xtask: source lints: {} violation(s)", violations.len());
+        ok = false;
+    }
+
+    // 2. Curated clippy gate (all targets, tests included).
+    let mut clippy = Command::new("cargo");
+    clippy.current_dir(&root).args(["clippy", "--workspace", "--all-targets", "-q", "--"]);
+    clippy.args(["-D", "warnings"]);
+    for lint in CLIPPY_DENY {
+        clippy.args(["-D", lint]);
+    }
+    ok &= run("clippy", &mut clippy);
+
+    // 3. planlint over the schema fixture corpus, end to end through the
+    // CLI (schema -> descriptor -> plan -> verdict).
+    let fixtures = root.join("fixtures/schemas");
+    let mut schemas: Vec<PathBuf> = match std::fs::read_dir(&fixtures) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "xsd"))
+            .collect(),
+        Err(e) => {
+            eprintln!("xtask: cannot read {}: {e}", fixtures.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    schemas.sort();
+    if schemas.is_empty() {
+        eprintln!("xtask: no .xsd fixtures under {}", fixtures.display());
+        ok = false;
+    } else {
+        let mut planlint = Command::new("cargo");
+        planlint.current_dir(&root).args([
+            "run",
+            "-q",
+            "-p",
+            "openmeta-tools",
+            "--bin",
+            "openmeta",
+            "--",
+            "planlint",
+        ]);
+        planlint.args(schemas.iter().map(|p| p.as_os_str()));
+        ok &= run("planlint", &mut planlint);
+    }
+
+    if ok {
+        eprintln!("xtask: analyze passed");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Walk `crates/*/src` and apply the source lints; returns violations as
+/// `path:line: message` strings.
+fn lint_tree(root: &Path) -> Vec<String> {
+    let mut violations = Vec::new();
+    let crates_dir = root.join("crates");
+    let Ok(entries) = std::fs::read_dir(&crates_dir) else {
+        return vec![format!("cannot read {}", crates_dir.display())];
+    };
+    let mut crate_dirs: Vec<PathBuf> =
+        entries.filter_map(|e| e.ok().map(|e| e.path())).filter(|p| p.is_dir()).collect();
+    crate_dirs.sort();
+    for dir in &crate_dirs {
+        let name = dir.file_name().and_then(|n| n.to_str()).unwrap_or_default().to_string();
+        let src = dir.join("src");
+        let mut files = Vec::new();
+        collect_rs(&src, &mut files);
+        files.sort();
+        let opts = LintOpts {
+            allow_unwrap: UNWRAP_EXEMPT.contains(&name.as_str()),
+            allow_raw_connect: CONNECT_EXEMPT.contains(&name.as_str()),
+        };
+        for file in &files {
+            if let Ok(text) = std::fs::read_to_string(file) {
+                let rel = file.strip_prefix(root).unwrap_or(file);
+                violations.extend(lint_source(&rel.display().to_string(), &text, opts));
+            }
+        }
+        if DENY_UNSAFE.contains(&name.as_str()) {
+            let lib = src.join("lib.rs");
+            let has = std::fs::read_to_string(&lib)
+                .map(|t| t.contains("#![deny(unsafe_code)]"))
+                .unwrap_or(false);
+            if !has {
+                violations.push(format!(
+                    "{}: missing `#![deny(unsafe_code)]` at the crate root",
+                    lib.strip_prefix(root).unwrap_or(&lib).display()
+                ));
+            }
+        }
+    }
+    violations
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.filter_map(Result::ok) {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct LintOpts {
+    allow_unwrap: bool,
+    allow_raw_connect: bool,
+}
+
+/// Lint one source file.  Test modules (`#[cfg(test)]` /
+/// `#[cfg(all(test, ...))]`) are skipped by brace tracking, and
+/// comment-only lines are ignored.
+fn lint_source(rel: &str, text: &str, opts: LintOpts) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut in_test = false;
+    let mut depth: i64 = 0;
+    let mut entered_body = false;
+    for (idx, line) in text.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if in_test {
+            let opens = line.matches('{').count() as i64;
+            let closes = line.matches('}').count() as i64;
+            depth += opens - closes;
+            if opens > 0 {
+                entered_body = true;
+            }
+            if entered_body && depth <= 0 {
+                in_test = false;
+            }
+            continue;
+        }
+        if trimmed.starts_with("#[cfg(test)]") || trimmed.starts_with("#[cfg(all(test") {
+            in_test = true;
+            depth = 0;
+            entered_body = false;
+            continue;
+        }
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        let lineno = idx + 1;
+        if !opts.allow_unwrap && line.contains(".unwrap()") {
+            violations.push(format!(
+                "{rel}:{lineno}: `.unwrap()` in library code — use `?`, a typed error, \
+                 or `.expect(\"documented invariant\")`"
+            ));
+        }
+        if !opts.allow_raw_connect && line.contains("TcpStream::connect(") {
+            violations.push(format!(
+                "{rel}:{lineno}: raw `TcpStream::connect` without a deadline — use \
+                 `connect_timeout` (see net::TransportConfig)"
+            ));
+        }
+    }
+    violations
+}
+
+// ------------------------------------------------------------- loom/miri
+
+fn loom() -> ExitCode {
+    let root = repo_root();
+    let mut rustflags = std::env::var("RUSTFLAGS").unwrap_or_default();
+    if !rustflags.contains("--cfg loom") {
+        if !rustflags.is_empty() {
+            rustflags.push(' ');
+        }
+        rustflags.push_str("--cfg loom");
+    }
+    let mut cmd = Command::new("cargo");
+    cmd.current_dir(&root).env("RUSTFLAGS", rustflags).args([
+        "test",
+        "-q",
+        "-p",
+        "openmeta-net",
+        "-p",
+        "openmeta-ohttp",
+        "loom_",
+    ]);
+    if run("loom model tests", &mut cmd) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn miri() -> ExitCode {
+    let root = repo_root();
+    // Miri ships only with nightly toolchains; skip gracefully where the
+    // component is absent so `cargo xtask miri` is safe to call anywhere.
+    let available = Command::new("cargo")
+        .current_dir(&root)
+        .args(["miri", "--version"])
+        .output()
+        .map(|o| o.status.success())
+        .unwrap_or(false);
+    if !available {
+        eprintln!("xtask: miri unavailable on this toolchain; skipping (not a failure)");
+        return ExitCode::SUCCESS;
+    }
+    // The whole workspace is #![deny(unsafe_code)], so Miri's value here
+    // is checking the codec/plan arithmetic for UB-adjacent issues
+    // (overflow in layout math surfaces as panics under Miri too).
+    let mut cmd = Command::new("cargo");
+    cmd.current_dir(&root).env("MIRIFLAGS", "-Zmiri-disable-isolation").args([
+        "miri",
+        "test",
+        "-p",
+        "openmeta-pbio",
+        "--lib",
+        "plan",
+        "codec",
+    ]);
+    if run("miri", &mut cmd) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OPTS: LintOpts = LintOpts { allow_unwrap: false, allow_raw_connect: false };
+
+    #[test]
+    fn seeded_unwrap_in_library_code_is_flagged() {
+        let src = "pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
+        let v = lint_source("crates/demo/src/lib.rs", src, OPTS);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("crates/demo/src/lib.rs:2"), "{v:?}");
+    }
+
+    #[test]
+    fn unwrap_in_test_module_is_ignored() {
+        let src = "pub fn f() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        Some(1).unwrap();\n    }\n}\n";
+        assert!(lint_source("lib.rs", src, OPTS).is_empty());
+    }
+
+    #[test]
+    fn unwrap_after_test_module_is_still_flagged() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { Some(1).unwrap(); }\n}\n\npub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let v = lint_source("lib.rs", src, OPTS);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("lib.rs:6"), "{v:?}");
+    }
+
+    #[test]
+    fn loom_test_module_is_ignored() {
+        let src =
+            "#[cfg(all(test, loom))]\nmod loom_tests {\n    fn t() { Some(1).unwrap(); }\n}\n";
+        assert!(lint_source("lib.rs", src, OPTS).is_empty());
+    }
+
+    #[test]
+    fn raw_connect_is_flagged_but_connect_timeout_is_not() {
+        let src = "fn f() {\n    let _ = TcpStream::connect(addr);\n    let _ = TcpStream::connect_timeout(&addr, t);\n}\n";
+        let v = lint_source("lib.rs", src, OPTS);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("lib.rs:2"), "{v:?}");
+        let exempt = LintOpts { allow_unwrap: false, allow_raw_connect: true };
+        assert!(lint_source("lib.rs", src, exempt).is_empty());
+    }
+
+    #[test]
+    fn comments_and_exemptions_are_respected() {
+        let src = "// .unwrap() in a comment\npub fn f() {}\n";
+        assert!(lint_source("lib.rs", src, OPTS).is_empty());
+        let exempt = LintOpts { allow_unwrap: true, allow_raw_connect: false };
+        assert!(lint_source("lib.rs", "fn f() { x.unwrap() }\n", exempt).is_empty());
+    }
+
+    #[test]
+    fn repo_tree_is_lint_clean() {
+        let violations = lint_tree(&repo_root());
+        assert!(violations.is_empty(), "{violations:#?}");
+    }
+}
