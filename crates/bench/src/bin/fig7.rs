@@ -1,7 +1,10 @@
 //! Regenerate Figure 7: encode times, native vs XMIT metadata.
-//! `--json` additionally writes the rows to `BENCH_fig7.json`.
+//! `--json` additionally writes the rows and a metrics-registry
+//! snapshot to `BENCH_fig7.json`.
 
-use openmeta_bench::reports::{figure7_report_from, figure7_rows, figure7_rows_to_json};
+use openmeta_bench::reports::{
+    figure7_report_from, figure7_rows, figure7_rows_to_json, rows_with_metrics,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -9,7 +12,7 @@ fn main() {
     let rows = figure7_rows(iters);
     println!("{}", figure7_report_from(&rows));
     if args.iter().any(|a| a == "--json") {
-        std::fs::write("BENCH_fig7.json", figure7_rows_to_json(&rows))
+        std::fs::write("BENCH_fig7.json", rows_with_metrics(&figure7_rows_to_json(&rows)))
             .expect("write BENCH_fig7.json");
         eprintln!("wrote BENCH_fig7.json");
     }

@@ -453,8 +453,9 @@ pub fn discovery_to_json(bench: &DiscoveryBench) -> String {
 }
 
 /// Combined per-figure JSON artifact: the classic registration rows, the
-/// discovery fast-path measurements, and the BCM plan-cache counters the
-/// run accumulated.
+/// discovery fast-path measurements, the BCM plan-cache counters the run
+/// accumulated, and a full metrics-registry snapshot (every counter,
+/// gauge, and stage-duration histogram the run touched).
 pub fn figure_json(
     registration: &[RegistrationRow],
     discovery: &DiscoveryBench,
@@ -462,11 +463,25 @@ pub fn figure_json(
 ) -> String {
     format!(
         "{{\n\"registration\": {},\n\"discovery\": {},\n\
-         \"plan_cache\": {{\"hits\": {}, \"misses\": {}}}\n}}\n",
+         \"plan_cache\": {{\"hits\": {}, \"misses\": {}}},\n\
+         \"metrics\": {}}}\n",
         registration_rows_to_json(registration).trim_end(),
         discovery_to_json(discovery).trim_end(),
         plan_cache.hits,
         plan_cache.misses,
+        openmeta_obs::MetricsRegistry::global().snapshot().to_json().trim_end(),
+    )
+}
+
+/// Wrap a figure's serialized rows with a metrics-registry snapshot:
+/// `{"rows": <rows>, "metrics": <snapshot>}`.  The fig7/fig8 `--json`
+/// artifacts use this so each run records the stage histograms and cache
+/// counters it accumulated alongside its measurements.
+pub fn rows_with_metrics(rows_json: &str) -> String {
+    format!(
+        "{{\n\"rows\": {},\n\"metrics\": {}}}\n",
+        rows_json.trim_end(),
+        openmeta_obs::MetricsRegistry::global().snapshot().to_json().trim_end(),
     )
 }
 
@@ -632,6 +647,10 @@ pub struct Figure8Row {
 
 /// Measure Figure 8: send-side encode times per wire format and size.
 pub fn figure8_rows(iters: usize) -> Vec<Figure8Row> {
+    // PBIO's encoder records marshal.encode spans; the XML/CDR/MPI
+    // comparators are uninstrumented.  Pause span timing so the
+    // comparison doesn't charge PBIO two clock reads per encode.
+    let _pause = openmeta_obs::TimingPause::new();
     let registry = Arc::new(FormatRegistry::new(MachineModel::native()));
     let formats = all_formats(registry.clone());
     let mut rows = Vec::new();
@@ -688,6 +707,8 @@ pub fn figure8_report_from(rows: &[Figure8Row]) -> String {
 /// measured the send side; PBIO's story is even stronger on receive,
 /// where matching formats need no conversion at all.
 pub fn figure8_decode_report(iters: usize) -> String {
+    // As in figure8_rows: only PBIO's decode path records spans.
+    let _pause = openmeta_obs::TimingPause::new();
     let registry = Arc::new(FormatRegistry::new(MachineModel::native()));
     let formats = all_formats(registry.clone());
     let mut t = Table::new(&["binary size", "format", "decode time", "vs PBIO"]);
@@ -722,6 +743,9 @@ pub fn figure8_decode_report(iters: usize) -> String {
 /// Figure 1 + §4.1/§4 claims: XML wire expansion and round-trip latency
 /// versus the XMIT/PBIO binary path for the `SimpleData` exchange.
 pub fn figure1_report(iters: usize) -> String {
+    // The binary decode path records marshal.decode spans; the XML side
+    // is uninstrumented.  Pause timing for a fair latency comparison.
+    let _pause = openmeta_obs::TimingPause::new();
     let (toolkit, rec) = figure1_record();
     let registry = toolkit.registry().clone();
     let xml = XmlWire::new();
@@ -1083,9 +1107,14 @@ mod tests {
 
         let combined =
             figure_json(&registration_rows(&cases[..1], FAST), &bench, plan_cache_burst(10));
-        for key in ["\"registration\":", "\"discovery\":", "\"plan_cache\":", "\"rdm\":"] {
+        for key in
+            ["\"registration\":", "\"discovery\":", "\"plan_cache\":", "\"rdm\":", "\"metrics\":"]
+        {
             assert!(combined.contains(key), "missing {key} in:\n{combined}");
         }
+        // The run above exercised discovery and marshaling, so the
+        // embedded snapshot carries real series.
+        assert!(combined.contains("openmeta_plan_cache_hits_total"), "{combined}");
     }
 
     #[test]
@@ -1100,6 +1129,8 @@ mod tests {
 
         let f8 = figure8_rows_to_json(&figure8_rows(FAST));
         assert!(f8.contains("\"format\": \"pbio\""), "{f8}");
+        let wrapped = rows_with_metrics(&f8);
+        assert!(wrapped.contains("\"rows\":") && wrapped.contains("\"metrics\":"), "{wrapped}");
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
 

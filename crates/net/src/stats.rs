@@ -1,82 +1,108 @@
-//! Per-server transport counters.
+//! Per-server transport counters, backed by the process-wide metrics
+//! registry.
+//!
+//! Each server owns a [`ServerStats`] block whose instruments are
+//! registered with [`MetricsRegistry::global`] under the
+//! `openmeta_transport_*` names: a `/metrics` scrape (or a bench
+//! snapshot) sums every live server's counters, while
+//! [`ServerStats::snapshot`] keeps reading this instance's values exactly
+//! — the pre-registry accessor contract (`transport_counters()`)
+//! is unchanged.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use openmeta_obs::{Counter, Gauge, MetricsRegistry};
 
 /// Shared, cheaply clonable counter block; every accept loop, worker and
 /// frame codec updates the same instance, and [`ServerStats::snapshot`]
 /// reads it out for reports.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct ServerStats {
     inner: Arc<Counters>,
 }
 
-#[derive(Default)]
 struct Counters {
-    accepted: AtomicU64,
-    active: AtomicU64,
-    rejected: AtomicU64,
-    timed_out: AtomicU64,
-    frames_in: AtomicU64,
-    frames_out: AtomicU64,
+    accepted: Arc<Counter>,
+    active: Arc<Gauge>,
+    rejected: Arc<Counter>,
+    timed_out: Arc<Counter>,
+    frames_in: Arc<Counter>,
+    frames_out: Arc<Counter>,
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        ServerStats::new()
+    }
 }
 
 impl ServerStats {
-    /// A fresh counter block.
+    /// A fresh counter block, registered with the global metrics
+    /// registry under the `openmeta_transport_*` series.
     pub fn new() -> ServerStats {
-        ServerStats::default()
+        let m = MetricsRegistry::global();
+        ServerStats {
+            inner: Arc::new(Counters {
+                accepted: m.counter("openmeta_transport_accepted_total"),
+                active: m.gauge("openmeta_transport_active_connections"),
+                rejected: m.counter("openmeta_transport_rejected_total"),
+                timed_out: m.counter("openmeta_transport_timed_out_total"),
+                frames_in: m.counter("openmeta_transport_frames_in_total"),
+                frames_out: m.counter("openmeta_transport_frames_out_total"),
+            }),
+        }
     }
 
     /// A connection was accepted (before admission control).
     pub fn accepted(&self) {
-        self.inner.accepted.fetch_add(1, Ordering::Relaxed);
+        self.inner.accepted.inc();
     }
 
     /// A connection was rejected by the accept-queue / max-connections
     /// bound (or dropped undrained at shutdown).
     pub fn rejected(&self) {
-        self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+        self.inner.rejected.inc();
     }
 
     /// A connection hit a read or write deadline.
     pub fn timed_out(&self) {
-        self.inner.timed_out.fetch_add(1, Ordering::Relaxed);
+        self.inner.timed_out.inc();
     }
 
     /// A request/frame was read from a connection.
     pub fn frame_in(&self) {
-        self.inner.frames_in.fetch_add(1, Ordering::Relaxed);
+        self.inner.frames_in.inc();
     }
 
     /// A response/frame was written to a connection.
     pub fn frame_out(&self) {
-        self.inner.frames_out.fetch_add(1, Ordering::Relaxed);
+        self.inner.frames_out.inc();
     }
 
     /// A worker started serving a connection.
     pub fn conn_started(&self) {
-        self.inner.active.fetch_add(1, Ordering::Relaxed);
+        self.inner.active.inc();
     }
 
     /// A worker finished serving a connection.
     pub fn conn_finished(&self) {
-        self.inner.active.fetch_sub(1, Ordering::Relaxed);
+        self.inner.active.dec();
     }
 
     /// Connections currently being served.
     pub fn active_now(&self) -> u64 {
-        self.inner.active.load(Ordering::Relaxed)
+        self.inner.active.get().max(0) as u64
     }
 
     /// Read all counters at once.
     pub fn snapshot(&self) -> TransportCounters {
         TransportCounters {
-            accepted: self.inner.accepted.load(Ordering::Relaxed),
-            active: self.inner.active.load(Ordering::Relaxed),
-            rejected: self.inner.rejected.load(Ordering::Relaxed),
-            timed_out: self.inner.timed_out.load(Ordering::Relaxed),
-            frames_in: self.inner.frames_in.load(Ordering::Relaxed),
-            frames_out: self.inner.frames_out.load(Ordering::Relaxed),
+            accepted: self.inner.accepted.get(),
+            active: self.active_now(),
+            rejected: self.inner.rejected.get(),
+            timed_out: self.inner.timed_out.get(),
+            frames_in: self.inner.frames_in.get(),
+            frames_out: self.inner.frames_out.get(),
         }
     }
 }
@@ -138,5 +164,17 @@ mod tests {
         stats.conn_finished();
         assert_eq!(stats.snapshot().active, 0);
         assert!(snap.to_json().contains("\"accepted\": 2"));
+    }
+
+    #[test]
+    fn instances_feed_the_global_registry() {
+        let stats = ServerStats::new();
+        stats.accepted();
+        stats.frame_in();
+        let snap = MetricsRegistry::global().snapshot();
+        // Other instances in this test process may have contributed; the
+        // registry must hold at least this instance's increments.
+        assert!(snap.counter_value("openmeta_transport_accepted_total").unwrap() >= 1);
+        assert!(snap.counter_value("openmeta_transport_frames_in_total").unwrap() >= 1);
     }
 }

@@ -15,7 +15,9 @@
 use std::collections::{HashMap, VecDeque};
 use std::net::{Shutdown, TcpStream};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use openmeta_obs::clock;
 
 use crate::config::ServerConfig;
 use crate::stats::ServerStats;
@@ -126,7 +128,7 @@ impl<T: Send + 'static> WorkerPool<T> {
     /// are detached (their threads keep running to completion, but the
     /// pool no longer waits for them).
     pub fn shutdown(&self, budget: Duration) -> bool {
-        let deadline = Instant::now() + budget;
+        let deadline = clock::now() + budget;
         {
             let mut state = sync::lock(&self.shared.queue);
             state.shutting_down = true;
@@ -137,7 +139,7 @@ impl<T: Send + 'static> WorkerPool<T> {
             }
             self.shared.work.notify_all();
             while state.active > 0 {
-                let now = Instant::now();
+                let now = clock::now();
                 if now >= deadline {
                     return false;
                 }
@@ -242,6 +244,7 @@ mod tests {
     use std::io::{Read, Write};
     use std::net::TcpListener;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Instant;
 
     fn pair() -> (TcpStream, TcpStream) {
         let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();

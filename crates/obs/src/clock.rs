@@ -1,0 +1,38 @@
+//! The sanctioned timing entry point.
+//!
+//! Library code in this workspace does not call `Instant::now()` directly
+//! (`cargo xtask analyze` rejects it outside `crates/obs` and
+//! `crates/bench`): deadlines and stage timing route through here, so
+//! every clock read is greppable and a future virtual/test clock has one
+//! seam to hook.
+
+use std::time::{Duration, Instant};
+
+/// The current instant (monotonic clock).
+pub fn now() -> Instant {
+    Instant::now()
+}
+
+/// A duration as whole nanoseconds, saturating at `u64::MAX` (≈ 584
+/// years) instead of silently truncating the `u128`.
+pub fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_ns_converts_and_saturates() {
+        assert_eq!(duration_ns(Duration::from_nanos(1500)), 1500);
+        assert_eq!(duration_ns(Duration::from_secs(u64::MAX)), u64::MAX);
+    }
+
+    #[test]
+    fn now_is_monotone() {
+        let a = now();
+        let b = now();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,224 @@
+//! Exporters: a stable-schema JSON snapshot and Prometheus text
+//! exposition (format 0.0.4), both rendered from a [`Snapshot`] so a
+//! scrape and a bench artifact see the same numbers.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{Histogram, SeriesKey, Snapshot, HISTOGRAM_BUCKETS};
+
+/// Escape a label value for the Prometheus exposition format.
+pub(crate) fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Escape a string for embedding in JSON.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_labels(key: &SeriesKey) -> String {
+    let body = key
+        .labels
+        .iter()
+        .map(|(k, v)| format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("{{{body}}}")
+}
+
+/// Cumulative bucket points worth emitting: every bucket that received
+/// observations (as `(upper_bound, cumulative)`), then `+Inf`
+/// (`upper_bound: None`).  Sparse but loss-free: empty buckets add no
+/// information to a cumulative distribution.
+fn cumulative_points(buckets: &[u64]) -> Vec<(Option<u64>, u64)> {
+    let mut points = Vec::new();
+    let mut cumulative = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        cumulative += n;
+        if n > 0 && i + 1 < HISTOGRAM_BUCKETS {
+            points.push((Histogram::bucket_upper_bound(i), cumulative));
+        }
+    }
+    points.push((None, cumulative));
+    points
+}
+
+fn le_text(bound: Option<u64>) -> String {
+    match bound {
+        Some(b) => b.to_string(),
+        None => "+Inf".to_string(),
+    }
+}
+
+impl Snapshot {
+    /// Render as a stable-schema JSON object:
+    ///
+    /// ```json
+    /// {
+    ///   "counters":   [{"name": "...", "labels": {...}, "value": 0}],
+    ///   "gauges":     [{"name": "...", "labels": {...}, "value": 0}],
+    ///   "histograms": [{"name": "...", "labels": {...}, "count": 0,
+    ///                   "sum": 0, "buckets": [{"le": "+Inf", "count": 0}]}]
+    /// }
+    /// ```
+    ///
+    /// Series are sorted by name then labels; histogram buckets are
+    /// cumulative and sparse (only buckets that saw observations, plus
+    /// `+Inf`).  Histogram values are nanoseconds by convention.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": [");
+        for (i, (key, value)) in self.counters.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"name\": \"{}\", \"labels\": {}, \"value\": {value}}}",
+                if i > 0 { "," } else { "" },
+                json_escape(&key.name),
+                json_labels(key),
+            );
+        }
+        out.push_str("\n  ],\n  \"gauges\": [");
+        for (i, (key, value)) in self.gauges.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"name\": \"{}\", \"labels\": {}, \"value\": {value}}}",
+                if i > 0 { "," } else { "" },
+                json_escape(&key.name),
+                json_labels(key),
+            );
+        }
+        out.push_str("\n  ],\n  \"histograms\": [");
+        for (i, (key, h)) in self.histograms.iter().enumerate() {
+            let buckets = cumulative_points(&h.buckets)
+                .into_iter()
+                .map(|(le, c)| format!("{{\"le\": \"{}\", \"count\": {c}}}", le_text(le)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = write!(
+                out,
+                "{}\n    {{\"name\": \"{}\", \"labels\": {}, \"count\": {}, \"sum\": {}, \
+                 \"buckets\": [{buckets}]}}",
+                if i > 0 { "," } else { "" },
+                json_escape(&key.name),
+                json_labels(key),
+                h.count,
+                h.sum,
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Render as Prometheus text exposition (content type
+    /// `text/plain; version=0.0.4`).  One `# TYPE` line per family, then
+    /// one sample line per series; histograms emit cumulative
+    /// `_bucket{le=...}` samples (sparse, `+Inf` always present) plus
+    /// `_sum` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_family = "";
+        for (key, value) in &self.counters {
+            if key.name != last_family {
+                let _ = writeln!(out, "# TYPE {} counter", key.name);
+                last_family = &key.name;
+            }
+            let _ = writeln!(out, "{key} {value}");
+        }
+        last_family = "";
+        for (key, value) in &self.gauges {
+            if key.name != last_family {
+                let _ = writeln!(out, "# TYPE {} gauge", key.name);
+                last_family = &key.name;
+            }
+            let _ = writeln!(out, "{key} {value}");
+        }
+        last_family = "";
+        for (key, h) in &self.histograms {
+            if key.name != last_family {
+                let _ = writeln!(out, "# TYPE {} histogram", key.name);
+                last_family = &key.name;
+            }
+            for (le, cumulative) in cumulative_points(&h.buckets) {
+                let mut series = key.labels.clone();
+                series.push(("le".to_string(), le_text(le)));
+                let rendered = SeriesKey { name: format!("{}_bucket", key.name), labels: series };
+                let _ = writeln!(out, "{rendered} {cumulative}");
+            }
+            let sum_key =
+                SeriesKey { name: format!("{}_sum", key.name), labels: key.labels.clone() };
+            let count_key =
+                SeriesKey { name: format!("{}_count", key.name), labels: key.labels.clone() };
+            let _ = writeln!(out, "{sum_key} {}", h.sum);
+            let _ = writeln!(out, "{count_key} {}", h.count);
+        }
+        out
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn sample() -> Snapshot {
+        let reg = MetricsRegistry::new();
+        // Instances must stay alive until the snapshot (weak-pruned).
+        let c = reg.counter("openmeta_a_total");
+        let g = reg.gauge("openmeta_b_active");
+        let h = reg.histogram_with("openmeta_c_ns", &[("stage", "x")]);
+        c.add(3);
+        g.set(-2);
+        h.record(5);
+        h.record(300);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn json_is_stable_and_well_formed() {
+        let j = sample().to_json();
+        assert!(j.contains("\"name\": \"openmeta_a_total\", \"labels\": {}, \"value\": 3"), "{j}");
+        assert!(j.contains("\"value\": -2"), "{j}");
+        assert!(j.contains("\"count\": 2, \"sum\": 305"), "{j}");
+        // Cumulative sparse buckets: 5 -> le 7, 300 -> le 511, then +Inf.
+        assert!(j.contains("{\"le\": \"7\", \"count\": 1}"), "{j}");
+        assert!(j.contains("{\"le\": \"511\", \"count\": 2}"), "{j}");
+        assert!(j.contains("{\"le\": \"+Inf\", \"count\": 2}"), "{j}");
+        // Rendering twice is byte-identical (stable schema).
+        assert_eq!(j, sample().to_json());
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let p = sample().to_prometheus();
+        assert!(p.contains("# TYPE openmeta_a_total counter\nopenmeta_a_total 3\n"), "{p}");
+        assert!(p.contains("# TYPE openmeta_b_active gauge\nopenmeta_b_active -2\n"), "{p}");
+        assert!(p.contains("# TYPE openmeta_c_ns histogram"), "{p}");
+        assert!(p.contains("openmeta_c_ns_bucket{stage=\"x\",le=\"7\"} 1"), "{p}");
+        assert!(p.contains("openmeta_c_ns_bucket{stage=\"x\",le=\"+Inf\"} 2"), "{p}");
+        assert!(p.contains("openmeta_c_ns_sum{stage=\"x\"} 305"), "{p}");
+        assert!(p.contains("openmeta_c_ns_count{stage=\"x\"} 2"), "{p}");
+    }
+
+    #[test]
+    fn label_escaping() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        let reg = MetricsRegistry::new();
+        let c = reg.counter_with("openmeta_esc_total", &[("k", "v\"w")]);
+        c.inc();
+        let p = reg.snapshot().to_prometheus();
+        assert!(p.contains("openmeta_esc_total{k=\"v\\\"w\"} 1"), "{p}");
+    }
+}

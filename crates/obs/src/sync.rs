@@ -1,0 +1,18 @@
+//! Mutex swap point for the metrics registry.
+//!
+//! Normal builds use `std::sync::Mutex`; under `RUSTFLAGS="--cfg loom"`
+//! the same name resolves to loom's model-checked mutex so concurrent
+//! registration races run inside `loom::model` (`cargo xtask loom`).
+//! The [`lock`] helper also centralizes poison recovery: registry state
+//! is a map of instrument handles that is consistent between any two
+//! operations, so continuing past a panicked holder is sound.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::{Mutex, MutexGuard};
+#[cfg(not(loom))]
+pub(crate) use std::sync::{Mutex, MutexGuard};
+
+/// Acquire `m`, recovering the guard if a previous holder panicked.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -1,0 +1,64 @@
+//! Property tests for the histogram bucket math: the bucket function is
+//! a total partition of `u64` (every duration lands in exactly one
+//! bucket) and the bucket bounds are strictly monotone.
+
+use openmeta_obs::{Histogram, HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every u64 duration lands in exactly one bucket, and that bucket's
+    /// bounds actually contain it.
+    #[test]
+    fn every_value_lands_in_exactly_one_bucket(v in any::<u64>()) {
+        let idx = Histogram::bucket_index(v);
+        prop_assert!(idx < HISTOGRAM_BUCKETS);
+
+        // Containment: above the previous bucket's bound, within ours.
+        if idx > 0 {
+            let prev_ub = Histogram::bucket_upper_bound(idx - 1).expect("finite below top");
+            prop_assert!(v > prev_ub, "{v} <= bucket {}'s bound {prev_ub}", idx - 1);
+        }
+        if let Some(ub) = Histogram::bucket_upper_bound(idx) {
+            prop_assert!(v <= ub, "{v} > its own bucket {idx} bound {ub}");
+        }
+
+        // Exactly one: no other bucket's (prev, ub] range contains v.
+        let holders = (0..HISTOGRAM_BUCKETS).filter(|&i| {
+            let above_prev = i == 0
+                || Histogram::bucket_upper_bound(i - 1).is_none_or(|p| v > p);
+            let within = Histogram::bucket_upper_bound(i).is_none_or(|ub| v <= ub);
+            above_prev && within
+        });
+        prop_assert_eq!(holders.count(), 1);
+    }
+
+    /// Recording any batch of values keeps count/sum/buckets consistent.
+    #[test]
+    fn record_totals_are_consistent(values in proptest::collection::vec(any::<u64>(), 0..200)) {
+        let h = Histogram::new();
+        let mut sum = 0u64;
+        for &v in &values {
+            h.record(v);
+            sum = sum.wrapping_add(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.sum, sum);
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), values.len() as u64);
+    }
+}
+
+/// Bucket bounds are strictly monotone, finishing at +Inf.
+#[test]
+fn bucket_bounds_strictly_monotone() {
+    let mut prev = None;
+    for i in 0..HISTOGRAM_BUCKETS {
+        let ub = Histogram::bucket_upper_bound(i);
+        match (prev, ub) {
+            (Some(p), Some(u)) => assert!(u > p, "bucket {i}: {u} <= {p}"),
+            (_, None) => assert_eq!(i, HISTOGRAM_BUCKETS - 1, "only the top bucket is +Inf"),
+            (None, Some(_)) => assert_eq!(i, 0),
+        }
+        prev = ub;
+    }
+}

@@ -11,8 +11,10 @@
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
+
+use openmeta_obs::{Counter, Gauge, MetricsRegistry};
 
 use crate::client::{
     connect_with_timeout, interpret, read_response, write_get_request, Fetch, Response,
@@ -68,9 +70,12 @@ impl<T> IdleSet<T> {
         sync::lock(&self.idle).values().map(Vec::len).max().unwrap_or(0)
     }
 
-    /// Drop every idle item.
-    pub fn clear(&self) {
-        sync::lock(&self.idle).clear();
+    /// Drop every idle item, returning how many were dropped.
+    pub fn clear(&self) -> usize {
+        let mut idle = sync::lock(&self.idle);
+        let dropped = idle.values().map(Vec::len).sum();
+        idle.clear();
+        dropped
     }
 }
 
@@ -112,10 +117,14 @@ impl Default for PoolConfig {
 pub struct ConnectionPool {
     cfg: PoolConfig,
     idle: IdleSet<TcpStream>,
-    requests: AtomicU64,
-    connects: AtomicU64,
-    reuses: AtomicU64,
-    stale_retries: AtomicU64,
+    /// Global-registry-backed instruments (`openmeta_pool_*`): this
+    /// pool's exact numbers via [`ConnectionPool::stats`], process-wide
+    /// sums via a `/metrics` scrape.
+    requests: Arc<Counter>,
+    connects: Arc<Counter>,
+    reuses: Arc<Counter>,
+    stale_retries: Arc<Counter>,
+    idle_gauge: Arc<Gauge>,
 }
 
 impl Default for ConnectionPool {
@@ -127,13 +136,15 @@ impl Default for ConnectionPool {
 impl ConnectionPool {
     /// A pool with the given configuration.
     pub fn new(cfg: PoolConfig) -> ConnectionPool {
+        let m = MetricsRegistry::global();
         ConnectionPool {
             cfg,
             idle: IdleSet::new(cfg.max_idle_per_authority),
-            requests: AtomicU64::new(0),
-            connects: AtomicU64::new(0),
-            reuses: AtomicU64::new(0),
-            stale_retries: AtomicU64::new(0),
+            requests: m.counter("openmeta_pool_requests_total"),
+            connects: m.counter("openmeta_pool_connects_total"),
+            reuses: m.counter("openmeta_pool_reuses_total"),
+            stale_retries: m.counter("openmeta_pool_stale_retries_total"),
+            idle_gauge: m.gauge("openmeta_pool_idle_connections"),
         }
     }
 
@@ -154,7 +165,7 @@ impl ConnectionPool {
         if url.scheme != "http" {
             return Err(HttpError::UnsupportedScheme(url.scheme.clone()));
         }
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.requests.inc();
         let authority = url.authority();
 
         // First attempt on a pooled connection, if one is idle.  The
@@ -163,17 +174,17 @@ impl ConnectionPool {
         if let Some(stream) = self.check_out(&authority) {
             match self.request_on(stream, url, etag) {
                 Ok(outcome) => {
-                    self.reuses.fetch_add(1, Ordering::Relaxed);
+                    self.reuses.inc();
                     return Ok(outcome);
                 }
                 Err(_) => {
-                    self.stale_retries.fetch_add(1, Ordering::Relaxed);
+                    self.stale_retries.inc();
                 }
             }
         }
 
         let stream = connect_with_timeout(&url.host, url.port, self.cfg.connect_timeout)?;
-        self.connects.fetch_add(1, Ordering::Relaxed);
+        self.connects.inc();
         stream.set_read_timeout(Some(self.cfg.io_timeout))?;
         stream.set_write_timeout(Some(self.cfg.io_timeout))?;
         // Requests are single small writes; Nagle would queue them behind
@@ -203,20 +214,26 @@ impl ConnectionPool {
     }
 
     fn check_out(&self, authority: &str) -> Option<TcpStream> {
-        self.idle.check_out(authority)
+        let stream = self.idle.check_out(authority);
+        if stream.is_some() {
+            self.idle_gauge.dec();
+        }
+        stream
     }
 
     fn check_in(&self, authority: &str, stream: TcpStream) {
-        self.idle.check_in(authority, stream);
+        if self.idle.check_in(authority, stream) {
+            self.idle_gauge.inc();
+        }
     }
 
     /// Snapshot of the pool counters.
     pub fn stats(&self) -> PoolStats {
         PoolStats {
-            requests: self.requests.load(Ordering::Relaxed),
-            connects: self.connects.load(Ordering::Relaxed),
-            reuses: self.reuses.load(Ordering::Relaxed),
-            stale_retries: self.stale_retries.load(Ordering::Relaxed),
+            requests: self.requests.get(),
+            connects: self.connects.get(),
+            reuses: self.reuses.get(),
+            stale_retries: self.stale_retries.get(),
         }
     }
 
@@ -227,7 +244,8 @@ impl ConnectionPool {
 
     /// Drop all idle connections (counters are kept).
     pub fn clear(&self) {
-        self.idle.clear();
+        let dropped = self.idle.clear();
+        self.idle_gauge.add(-(dropped as i64));
     }
 }
 

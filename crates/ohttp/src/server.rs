@@ -18,14 +18,21 @@
 //! thread-per-connection spawns, every connection carries read/write
 //! deadlines, excess connects are rejected rather than queued without
 //! bound, and dropping the server drains in-flight requests.
+//!
+//! Two built-in routes expose the process-wide metrics registry:
+//! `GET /metrics` answers Prometheus text exposition and
+//! `GET /metrics.json` the stable-schema JSON snapshot (see
+//! `openmeta_obs`).  They shadow any published document at those paths.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+use openmeta_obs::{Counter, MetricsRegistry};
 
 use openmeta_net::{
     is_timeout, ConnTracker, ServerConfig, ServerStats, TransportCounters, WorkerPool,
@@ -53,8 +60,8 @@ pub fn default_http_config() -> ServerConfig {
 pub struct HttpServer {
     addr: SocketAddr,
     content: Arc<RwLock<ContentMap>>,
-    hits: Arc<AtomicU64>,
-    not_modified: Arc<AtomicU64>,
+    hits: Arc<Counter>,
+    not_modified: Arc<Counter>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     pool: Arc<WorkerPool>,
@@ -79,8 +86,9 @@ impl HttpServer {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         let content: Arc<RwLock<ContentMap>> = Arc::new(RwLock::new(HashMap::new()));
-        let hits = Arc::new(AtomicU64::new(0));
-        let not_modified = Arc::new(AtomicU64::new(0));
+        let m = MetricsRegistry::global();
+        let hits = m.counter("openmeta_http_requests_total");
+        let not_modified = m.counter("openmeta_http_not_modified_total");
         let stop = Arc::new(AtomicBool::new(false));
         let stats = ServerStats::new();
         let tracker = Arc::new(ConnTracker::new());
@@ -155,13 +163,13 @@ impl HttpServer {
 
     /// Number of requests served (for amortization experiments).
     pub fn hit_count(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Number of requests answered `304 Not Modified` (successful
     /// `If-None-Match` revalidations).
     pub fn not_modified_count(&self) -> u64 {
-        self.not_modified.load(Ordering::Relaxed)
+        self.not_modified.get()
     }
 
     /// Transport counters: accepted/active/rejected/timed-out connections
@@ -201,8 +209,8 @@ fn serve(
     stream: TcpStream,
     cfg: &ServerConfig,
     content: &RwLock<ContentMap>,
-    hits: &AtomicU64,
-    not_modified: &AtomicU64,
+    hits: &Counter,
+    not_modified: &Counter,
     stop: &AtomicBool,
     stats: &ServerStats,
 ) -> std::io::Result<()> {
@@ -262,7 +270,7 @@ fn serve(
             }
         }
 
-        hits.fetch_add(1, Ordering::Relaxed);
+        hits.inc();
         stats.frame_in();
         let mut parts = request_line.split_whitespace();
         let method = parts.next().unwrap_or("");
@@ -276,6 +284,20 @@ fn serve(
                 None,
                 Some(b"GET only\n"),
             )?;
+        } else if path == "/metrics" {
+            // Built-in registry scrape (shadows any published document).
+            let body = MetricsRegistry::global().snapshot().to_prometheus();
+            respond(
+                &mut writer,
+                200,
+                "OK",
+                "text/plain; version=0.0.4",
+                None,
+                Some(body.as_bytes()),
+            )?;
+        } else if path == "/metrics.json" {
+            let body = MetricsRegistry::global().snapshot().to_json();
+            respond(&mut writer, 200, "OK", "application/json", None, Some(body.as_bytes()))?;
         } else {
             let body = content.read().get(path).cloned();
             match body {
@@ -285,7 +307,7 @@ fn serve(
                         .as_deref()
                         .is_some_and(|inm| if_none_match_matches(inm, &etag));
                     if fresh {
-                        not_modified.fetch_add(1, Ordering::Relaxed);
+                        not_modified.inc();
                         respond(&mut writer, 304, "Not Modified", &ctype, Some(&etag), None)?;
                     } else {
                         respond(&mut writer, 200, "OK", &ctype, Some(&etag), Some(&bytes))?;

@@ -227,6 +227,7 @@ pub fn decode_with(
     registry: &FormatRegistry,
     target: &Arc<FormatDescriptor>,
 ) -> Result<RawRecord, PbioError> {
+    let _span = openmeta_obs::span!("marshal.decode");
     let header = parse_header(wire)?;
     let sender = registry
         .lookup_id(header.format_id)

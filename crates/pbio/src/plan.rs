@@ -1084,6 +1084,7 @@ impl Encoder {
 
     /// Encode into the encoder's internal buffer and borrow the result.
     pub fn encode(&mut self, rec: &RawRecord) -> Result<&[u8], PbioError> {
+        let _span = openmeta_obs::span!("marshal.encode");
         let plan = self.plan_for(rec.format())?;
         self.buf.clear();
         execute_encode(&plan, rec, &mut self.buf, &mut self.placements)?;
@@ -1092,6 +1093,7 @@ impl Encoder {
 
     /// Encode appending to a caller buffer; returns the bytes written.
     pub fn encode_into(&mut self, rec: &RawRecord, out: &mut Vec<u8>) -> Result<usize, PbioError> {
+        let _span = openmeta_obs::span!("marshal.encode");
         let plan = self.plan_for(rec.format())?;
         execute_encode(&plan, rec, out, &mut self.placements)
     }

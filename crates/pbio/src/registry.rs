@@ -7,9 +7,9 @@
 //! [`FormatDescriptor`]s addressable by name or by [`FormatId`].
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use openmeta_obs::{Counter, MetricsRegistry};
 use parking_lot::RwLock;
 
 use crate::error::PbioError;
@@ -26,8 +26,11 @@ pub struct FormatRegistry {
     /// for conversion).  Read-mostly: steady-state messaging only takes
     /// the read lock.
     plans: RwLock<PlanCache>,
-    plan_hits: AtomicU64,
-    plan_misses: AtomicU64,
+    /// Global-registry-backed counters (`openmeta_plan_cache_*_total`):
+    /// this registry's exact numbers via [`FormatRegistry::plan_cache_stats`],
+    /// process-wide sums via a `/metrics` scrape.
+    plan_hits: Arc<Counter>,
+    plan_misses: Arc<Counter>,
 }
 
 #[derive(Debug, Default)]
@@ -98,8 +101,8 @@ impl FormatRegistry {
             machine,
             inner: RwLock::new(Inner::default()),
             plans: RwLock::new(PlanCache::default()),
-            plan_hits: AtomicU64::new(0),
-            plan_misses: AtomicU64::new(0),
+            plan_hits: MetricsRegistry::global().counter("openmeta_plan_cache_hits_total"),
+            plan_misses: MetricsRegistry::global().counter("openmeta_plan_cache_misses_total"),
         }
     }
 
@@ -215,10 +218,10 @@ impl FormatRegistry {
         id: FormatId,
     ) -> Result<Arc<EncodePlan>, PbioError> {
         if let Some(plan) = self.plans.read().encode.get(&id) {
-            self.plan_hits.fetch_add(1, Ordering::Relaxed);
+            self.plan_hits.inc();
             return Ok(plan.clone());
         }
-        self.plan_misses.fetch_add(1, Ordering::Relaxed);
+        self.plan_misses.inc();
         // Compile outside the write lock; double-checked insert keeps one
         // shared plan if another thread raced us here.
         let plan = Arc::new(EncodePlan::compile(desc)?);
@@ -244,10 +247,10 @@ impl FormatRegistry {
     ) -> Result<Arc<ConvertPlan>, PbioError> {
         let key = (sender.id(), target.id());
         if let Some(plan) = self.plans.read().convert.get(&key) {
-            self.plan_hits.fetch_add(1, Ordering::Relaxed);
+            self.plan_hits.inc();
             return Ok(plan.clone());
         }
-        self.plan_misses.fetch_add(1, Ordering::Relaxed);
+        self.plan_misses.inc();
         let plan = Arc::new(ConvertPlan::compile(sender, target)?);
         #[cfg(any(debug_assertions, feature = "verify-plans"))]
         {
@@ -264,16 +267,13 @@ impl FormatRegistry {
 
     /// Cumulative plan-cache hit/miss counters.
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
-        PlanCacheStats {
-            hits: self.plan_hits.load(Ordering::Relaxed),
-            misses: self.plan_misses.load(Ordering::Relaxed),
-        }
+        PlanCacheStats { hits: self.plan_hits.get(), misses: self.plan_misses.get() }
     }
 
     /// Zero the plan-cache counters (the cache itself is kept).
     pub fn reset_plan_cache_stats(&self) {
-        self.plan_hits.store(0, Ordering::Relaxed);
-        self.plan_misses.store(0, Ordering::Relaxed);
+        self.plan_hits.reset();
+        self.plan_misses.reset();
     }
 }
 

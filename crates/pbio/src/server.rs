@@ -206,7 +206,10 @@ fn serve_connection(
             }
         };
         stats.frame_in();
-        let reply = handle_request(&req, store);
+        let reply = {
+            let _span = openmeta_obs::span!("server.request");
+            handle_request(&req, store)
+        };
         write_frame(&mut stream, &reply)?;
         stats.frame_out();
     }

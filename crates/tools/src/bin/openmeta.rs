@@ -8,6 +8,7 @@
 //! openmeta inspect  <pbio-file>
 //! openmeta serve    <dir> [port]
 //! openmeta planlint [--json] <xsd-file>...
+//! openmeta stats    [--json|--prom] [url]
 //! ```
 
 use std::process::ExitCode;
@@ -21,7 +22,8 @@ fn usage() -> ExitCode {
          openmeta match <message-file> <url-or-file>\n  \
          openmeta inspect <pbio-file>\n  \
          openmeta serve <dir> [port]\n  \
-         openmeta planlint [--json] <xsd-file>..."
+         openmeta planlint [--json] <xsd-file>...\n  \
+         openmeta stats [--json|--prom] [url]"
     );
     ExitCode::from(2)
 }
@@ -79,12 +81,17 @@ fn main() -> ExitCode {
             }
             ("inspect", [path]) => openmeta_tools::inspect(path).map(|o| print!("{o}")),
             ("planlint", rest) => {
-                let json = rest.first().map(String::as_str) == Some("--json");
-                let files: Vec<&str> =
-                    rest.iter().skip(usize::from(json)).map(String::as_str).collect();
-                if files.is_empty() {
+                let (format, files) = match openmeta_tools::output::parse_args(rest) {
+                    Ok(parsed) => parsed,
+                    Err(e) => {
+                        eprintln!("openmeta: {e}");
+                        return usage();
+                    }
+                };
+                if files.is_empty() || format == openmeta_tools::output::Format::Prometheus {
                     return usage();
                 }
+                let json = format == openmeta_tools::output::Format::Json;
                 match openmeta_tools::planlint(&files, json) {
                     Ok((out, passed)) => {
                         print!("{out}");
@@ -95,6 +102,21 @@ fn main() -> ExitCode {
                     }
                     Err(e) => Err(e),
                 }
+            }
+            ("stats", rest) => {
+                let (format, positional) = match openmeta_tools::output::parse_args(rest) {
+                    Ok(parsed) => parsed,
+                    Err(e) => {
+                        eprintln!("openmeta: {e}");
+                        return usage();
+                    }
+                };
+                let url = match positional.as_slice() {
+                    [] => None,
+                    [url] => Some(*url),
+                    _ => return usage(),
+                };
+                openmeta_tools::stats(format, url).map(|o| print!("{o}"))
             }
             ("serve", [dir, rest @ ..]) => {
                 let port = match rest {

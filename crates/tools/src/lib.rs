@@ -12,11 +12,14 @@
 //! | `inspect <pbio-file>` | [`inspect`] | dump a self-describing PBIO data file |
 //! | `serve <dir> [port]` | [`serve`] | host a directory of metadata documents |
 //! | `planlint [--json] <xsd-file>...` | [`planlint`] | statically verify every marshal plan a schema produces |
+//! | `stats [--json\|--prom] [url]` | [`stats`] | render this process's metrics registry, or scrape a server's `/metrics` |
 //!
 //! The `url` arguments accept `http://`, `file://` and bare paths (which
 //! are treated as `file://`).
 
 #![deny(unsafe_code)]
+
+pub mod output;
 
 use std::fmt::Write as _;
 use std::path::Path;
@@ -296,6 +299,48 @@ pub fn planlint(paths: &[&str], json: bool) -> Result<(String, bool), ToolError>
     Ok((out, passed))
 }
 
+/// `openmeta stats [--json|--prom] [url]` — observability snapshot.
+///
+/// Without a URL, renders this process's [`openmeta_obs::MetricsRegistry`]
+/// in the requested format (the text form is a compact human summary).
+/// With a URL, scrapes a running server's built-in `/metrics` (or
+/// `/metrics.json`) route and returns the body verbatim.
+pub fn stats(format: output::Format, url: Option<&str>) -> Result<String, ToolError> {
+    match url {
+        Some(base) => {
+            let path = match format {
+                output::Format::Json => "/metrics.json",
+                _ => "/metrics",
+            };
+            let full = format!("{}{path}", base.trim_end_matches('/'));
+            let parsed = openmeta_ohttp::Url::parse(&full).map_err(|e| e.to_string())?;
+            let resp = openmeta_ohttp::http_get(&parsed).map_err(|e| e.to_string())?;
+            String::from_utf8(resp.body).map_err(|_| format!("{full}: response is not UTF-8"))
+        }
+        None => {
+            let snap = openmeta_obs::MetricsRegistry::global().snapshot();
+            Ok(match format {
+                output::Format::Json => snap.to_json(),
+                output::Format::Prometheus => snap.to_prometheus(),
+                output::Format::Text => {
+                    let mut out = String::new();
+                    for (key, value) in &snap.counters {
+                        let _ = writeln!(out, "{key} = {value}");
+                    }
+                    for (key, value) in &snap.gauges {
+                        let _ = writeln!(out, "{key} = {value}");
+                    }
+                    for (key, h) in &snap.histograms {
+                        let _ =
+                            writeln!(out, "{key} = count {} / mean {:.0} ns", h.count, h.mean());
+                    }
+                    out
+                }
+            })
+        }
+    }
+}
+
 /// `openmeta serve <dir> [port]` — returns the running server and the
 /// list of hosted paths; the binary keeps it alive.
 pub fn serve(dir: &str, port: u16) -> Result<(openmeta_ohttp::HttpServer, Vec<String>), ToolError> {
@@ -523,5 +568,29 @@ mod diff_tests {
         assert!(out.contains("+ fresh"));
         assert!(out.contains("- gone"));
         assert!(diff(old.to_str().unwrap(), new.to_str().unwrap(), "U", None).is_err());
+    }
+
+    #[test]
+    fn stats_renders_local_registry_in_every_format() {
+        let c = openmeta_obs::MetricsRegistry::global().counter("openmeta_tools_stats_test_total");
+        c.add(2);
+        let text = stats(output::Format::Text, None).unwrap();
+        assert!(text.contains("openmeta_tools_stats_test_total = 2"), "{text}");
+        let prom = stats(output::Format::Prometheus, None).unwrap();
+        assert!(prom.contains("openmeta_tools_stats_test_total 2"), "{prom}");
+        let json = stats(output::Format::Json, None).unwrap();
+        assert!(json.contains("\"openmeta_tools_stats_test_total\""), "{json}");
+    }
+
+    #[test]
+    fn stats_scrapes_a_running_server() {
+        let server = openmeta_ohttp::HttpServer::start().unwrap();
+        let base = format!("http://{}", server.addr());
+        let prom = stats(output::Format::Prometheus, Some(&base)).unwrap();
+        // The serving process is this one, so its transport counters are
+        // registered and exposed.
+        assert!(prom.contains("# TYPE openmeta_transport_accepted_total counter"), "{prom}");
+        let json = stats(output::Format::Json, Some(&base)).unwrap();
+        assert!(json.contains("\"counters\""), "{json}");
     }
 }

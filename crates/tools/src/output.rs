@@ -1,0 +1,72 @@
+//! Shared output-format plumbing for `openmeta` subcommands.
+//!
+//! Several subcommands take a leading format flag (`planlint --json`,
+//! `stats --json|--prom`); this module centralizes flag parsing so they
+//! all accept the same spellings and report unknown flags the same way.
+
+/// Output format selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Format {
+    /// Human-readable text (the default).
+    #[default]
+    Text,
+    /// Stable machine-readable JSON (`--json`).
+    Json,
+    /// Prometheus text exposition (`--prom`).
+    Prometheus,
+}
+
+/// Split format flags from positional arguments.
+///
+/// Recognizes `--json` and `--prom` anywhere among `args` (last one
+/// wins); everything else is returned as positionals in order.  Other
+/// `--flags` are rejected so typos fail loudly instead of being treated
+/// as file names.
+pub fn parse_args(args: &[String]) -> Result<(Format, Vec<&str>), String> {
+    let mut format = Format::Text;
+    let mut rest = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--json" => format = Format::Json,
+            "--prom" => format = Format::Prometheus,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag '{other}'"));
+            }
+            other => rest.push(other),
+        }
+    }
+    Ok((format, rest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn owned(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn default_is_text() {
+        let args = owned(&["a.xsd", "b.xsd"]);
+        let (fmt, rest) = parse_args(&args).unwrap();
+        assert_eq!(fmt, Format::Text);
+        assert_eq!(rest, vec!["a.xsd", "b.xsd"]);
+    }
+
+    #[test]
+    fn flags_parse_in_any_position() {
+        let args = owned(&["--json", "a.xsd"]);
+        assert_eq!(parse_args(&args).unwrap().0, Format::Json);
+        let args = owned(&["http://h:1", "--prom"]);
+        let (fmt, rest) = parse_args(&args).unwrap();
+        assert_eq!(fmt, Format::Prometheus);
+        assert_eq!(rest, vec!["http://h:1"]);
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let args = owned(&["--jsonn", "a.xsd"]);
+        assert!(parse_args(&args).unwrap_err().contains("--jsonn"));
+    }
+}

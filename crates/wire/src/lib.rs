@@ -40,7 +40,7 @@ pub use error::WireError;
 pub use mpipack::MpiPackWire;
 pub use pbiowire::PbioWire;
 pub use soap::SoapWire;
-pub use traits::WireFormat;
+pub use traits::{Instrumented, WireFormat};
 pub use xdr::XdrWire;
 pub use xmlrpc::XmlRpcWire;
 pub use xmlwire::XmlWire;

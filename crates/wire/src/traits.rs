@@ -30,6 +30,62 @@ pub trait WireFormat: Send + Sync {
     }
 }
 
+/// Wraps any [`WireFormat`] so its encode/decode calls record
+/// `marshal.encode` / `marshal.decode` stage spans, labeled by the
+/// wrapped format's name (`{"stage": "marshal.encode", "format": ...}`).
+///
+/// The Figure 8 comparison loops deliberately do *not* use this wrapper
+/// (and pause span timing around the one instrumented format, PBIO's
+/// `Encoder`): per-call timing would bias sub-microsecond comparisons.
+/// It exists for production-shaped paths that want per-format stage
+/// histograms without touching each comparator.
+pub struct Instrumented<W: WireFormat> {
+    inner: W,
+    encode_hist: Arc<openmeta_obs::Histogram>,
+    decode_hist: Arc<openmeta_obs::Histogram>,
+}
+
+impl<W: WireFormat> Instrumented<W> {
+    /// Wrap `inner`, registering its stage series with the global
+    /// metrics registry.
+    pub fn new(inner: W) -> Instrumented<W> {
+        let m = openmeta_obs::MetricsRegistry::global();
+        let name = inner.name();
+        Instrumented {
+            encode_hist: m.histogram_with(
+                openmeta_obs::STAGE_HISTOGRAM,
+                &[("stage", "marshal.encode"), ("format", name)],
+            ),
+            decode_hist: m.histogram_with(
+                openmeta_obs::STAGE_HISTOGRAM,
+                &[("stage", "marshal.decode"), ("format", name)],
+            ),
+            inner,
+        }
+    }
+
+    /// The wrapped format.
+    pub fn inner(&self) -> &W {
+        &self.inner
+    }
+}
+
+impl<W: WireFormat> WireFormat for Instrumented<W> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn encode(&self, rec: &RawRecord, out: &mut Vec<u8>) -> Result<usize, WireError> {
+        let _span = openmeta_obs::Span::enter(&self.encode_hist);
+        self.inner.encode(rec, out)
+    }
+
+    fn decode(&self, bytes: &[u8], format: &Arc<FormatDescriptor>) -> Result<RawRecord, WireError> {
+        let _span = openmeta_obs::Span::enter(&self.decode_hist);
+        self.inner.decode(bytes, format)
+    }
+}
+
 /// Walk a format's fields in declaration order, recursing into nested
 /// records; the callback receives the dotted path and the field.
 pub fn visit_fields<'d>(
@@ -74,5 +130,30 @@ mod tests {
         })
         .unwrap();
         assert_eq!(seen, vec!["hdr.seq", "hdr.src", "v"]);
+    }
+
+    #[test]
+    fn instrumented_round_trips_and_records_per_format_series() {
+        let reg = Arc::new(FormatRegistry::new(MachineModel::native()));
+        let fmt =
+            reg.register(FormatSpec::new("Point", vec![IOField::auto("x", "integer", 4)])).unwrap();
+        let wire = Instrumented::new(crate::pbiowire::PbioWire::new(reg));
+        assert_eq!(wire.name(), wire.inner().name());
+        let mut rec = RawRecord::new(fmt.clone());
+        rec.set_i64("x", 7).unwrap();
+        let bytes = wire.encode_vec(&rec).unwrap();
+        let back = wire.decode(&bytes, &fmt).unwrap();
+        assert_eq!(back.get_i64("x").unwrap(), 7);
+        let snap = openmeta_obs::MetricsRegistry::global().snapshot();
+        let name = wire.name();
+        for stage in ["marshal.encode", "marshal.decode"] {
+            let h = snap
+                .histogram_value(
+                    openmeta_obs::STAGE_HISTOGRAM,
+                    &[("format", name), ("stage", stage)],
+                )
+                .expect("per-format stage series registered");
+            assert!(h.count >= 1, "{stage} count = {}", h.count);
+        }
     }
 }

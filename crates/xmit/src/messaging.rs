@@ -88,6 +88,7 @@ impl XmitSender {
     /// Send one record.  The format descriptor precedes the first record
     /// of each format on this connection.
     pub fn send(&mut self, rec: &RawRecord) -> Result<(), XmitError> {
+        let _span = openmeta_obs::span!("transport.send");
         let id = rec.format().id();
         if self.announced.insert(id) {
             let desc = encode_descriptor(rec.format());
@@ -158,6 +159,9 @@ impl XmitReceiver {
     pub fn recv(&mut self) -> Result<Option<RawRecord>, XmitError> {
         loop {
             let Some((kind, payload)) = self.read_frame()? else { return Ok(None) };
+            // Scoped to frame *processing*: the blocking wait for the
+            // peer's next frame would otherwise dominate the histogram.
+            let _span = openmeta_obs::span!("transport.recv");
             match kind {
                 FRAME_FORMAT => {
                     let desc = decode_descriptor(&payload)?;

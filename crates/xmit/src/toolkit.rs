@@ -1,9 +1,10 @@
 //! The toolkit facade: load documents, bind types, mint records.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use openmeta_obs::{clock, Counter, MetricsRegistry};
 
 use parking_lot::RwLock;
 
@@ -122,12 +123,26 @@ struct SchemaCacheEntry {
     fetched_at: Instant,
 }
 
-#[derive(Default)]
+/// Global-registry-backed cache counters (`openmeta_schema_cache_*_total`):
+/// this toolkit's exact numbers via [`Xmit::schema_cache_stats`],
+/// process-wide sums via a `/metrics` scrape.
 struct CacheCounters {
-    fresh_hits: AtomicU64,
-    revalidated: AtomicU64,
-    content_hits: AtomicU64,
-    misses: AtomicU64,
+    fresh_hits: Arc<Counter>,
+    revalidated: Arc<Counter>,
+    content_hits: Arc<Counter>,
+    misses: Arc<Counter>,
+}
+
+impl Default for CacheCounters {
+    fn default() -> CacheCounters {
+        let m = MetricsRegistry::global();
+        CacheCounters {
+            fresh_hits: m.counter("openmeta_schema_cache_fresh_hits_total"),
+            revalidated: m.counter("openmeta_schema_cache_revalidated_total"),
+            content_hits: m.counter("openmeta_schema_cache_content_hits_total"),
+            misses: m.counter("openmeta_schema_cache_misses_total"),
+        }
+    }
 }
 
 /// The XMIT toolkit instance.
@@ -230,19 +245,19 @@ impl Xmit {
     /// Discovery-cache counters since construction (or the last reset).
     pub fn schema_cache_stats(&self) -> SchemaCacheStats {
         SchemaCacheStats {
-            fresh_hits: self.cache_counters.fresh_hits.load(Ordering::Relaxed),
-            revalidated: self.cache_counters.revalidated.load(Ordering::Relaxed),
-            content_hits: self.cache_counters.content_hits.load(Ordering::Relaxed),
-            misses: self.cache_counters.misses.load(Ordering::Relaxed),
+            fresh_hits: self.cache_counters.fresh_hits.get(),
+            revalidated: self.cache_counters.revalidated.get(),
+            content_hits: self.cache_counters.content_hits.get(),
+            misses: self.cache_counters.misses.get(),
         }
     }
 
     /// Zero the discovery-cache counters (the cache itself is kept).
     pub fn reset_schema_cache_stats(&self) {
-        self.cache_counters.fresh_hits.store(0, Ordering::Relaxed);
-        self.cache_counters.revalidated.store(0, Ordering::Relaxed);
-        self.cache_counters.content_hits.store(0, Ordering::Relaxed);
-        self.cache_counters.misses.store(0, Ordering::Relaxed);
+        self.cache_counters.fresh_hits.reset();
+        self.cache_counters.revalidated.reset();
+        self.cache_counters.content_hits.reset();
+        self.cache_counters.misses.reset();
     }
 
     /// "Load the toolkit with message definitions (contained in XML
@@ -266,6 +281,7 @@ impl Xmit {
     }
 
     fn load_url_inner(&self, url: &str, allow_fresh: bool) -> Result<LoadOutcome, XmitError> {
+        let _span = openmeta_obs::span!("discovery.load");
         let parsed = Url::parse(url)?;
 
         // TTL-fresh: answer from cache with no network traffic at all.
@@ -275,14 +291,18 @@ impl Xmit {
                     (entry.fetched_at.elapsed() <= ttl).then(|| entry.doc.clone())
                 }) {
                     self.apply_doc(&doc, url);
-                    self.cache_counters.fresh_hits.fetch_add(1, Ordering::Relaxed);
+                    self.cache_counters.fresh_hits.inc();
                     return Ok(LoadOutcome::Fresh(doc.names.clone()));
                 }
             }
         }
 
         let etag = self.schema_cache.read().get(url).and_then(|e| e.etag.clone());
-        match self.fetch_conditional(&parsed, etag.as_deref())? {
+        let fetched = {
+            let _span = openmeta_obs::span!("discovery.fetch");
+            self.fetch_conditional(&parsed, etag.as_deref())?
+        };
+        match fetched {
             Fetched::NotModified => {
                 let doc = {
                     let mut cache = self.schema_cache.write();
@@ -291,11 +311,11 @@ impl Xmit {
                             "304 Not Modified for a URL never cached".to_string(),
                         ))
                     })?;
-                    entry.fetched_at = Instant::now();
+                    entry.fetched_at = clock::now();
                     entry.doc.clone()
                 };
                 self.apply_doc(&doc, url);
-                self.cache_counters.revalidated.fetch_add(1, Ordering::Relaxed);
+                self.cache_counters.revalidated.inc();
                 Ok(LoadOutcome::Revalidated(doc.names.clone()))
             }
             Fetched::New { text, etag: new_etag } => {
@@ -312,20 +332,21 @@ impl Xmit {
                 if let Some(doc) = cached {
                     self.store_entry(url, new_etag, hash, doc.clone());
                     self.apply_doc(&doc, url);
-                    self.cache_counters.content_hits.fetch_add(1, Ordering::Relaxed);
+                    self.cache_counters.content_hits.inc();
                     return Ok(LoadOutcome::Unchanged(doc.names.clone()));
                 }
                 let doc = Arc::new(Self::parse_doc(&text)?);
                 self.store_entry(url, new_etag, hash, doc.clone());
                 self.content_index.write().insert(hash, doc.clone());
                 self.apply_doc(&doc, url);
-                self.cache_counters.misses.fetch_add(1, Ordering::Relaxed);
+                self.cache_counters.misses.inc();
                 Ok(LoadOutcome::Loaded(doc.names.clone()))
             }
         }
     }
 
     fn parse_doc(text: &str) -> Result<ParsedDoc, XmitError> {
+        let _span = openmeta_obs::span!("discovery.parse");
         let doc = parse_str(text)?;
         let names = doc.types.iter().map(|ct| ct.name.clone()).collect();
         Ok(ParsedDoc { types: doc.types, enums: doc.enums, names })
@@ -364,7 +385,7 @@ impl Xmit {
     fn store_entry(&self, url: &str, etag: Option<String>, hash: u64, doc: Arc<ParsedDoc>) {
         self.schema_cache.write().insert(
             url.to_string(),
-            SchemaCacheEntry { etag, hash, doc, fetched_at: Instant::now() },
+            SchemaCacheEntry { etag, hash, doc, fetched_at: clock::now() },
         );
     }
 
@@ -444,6 +465,7 @@ impl Xmit {
     /// Bind a loaded complex type: generate PBIO metadata (recursively
     /// binding composed types first) and register it.
     pub fn bind(&self, name: &str) -> Result<BindingToken, XmitError> {
+        let _span = openmeta_obs::span!("binding.bind");
         let mut visiting = Vec::new();
         let format = self.bind_inner(name, &mut visiting)?;
         Ok(BindingToken { type_name: name.to_string(), format })

@@ -8,7 +8,8 @@
 //!
 //! `analyze` is the CI entry point: it fails on any repo-local lint
 //! violation (`.unwrap()` in non-test library code, raw
-//! `TcpStream::connect` without a deadline outside `crates/net`, a crate
+//! `TcpStream::connect` without a deadline outside `crates/net`, direct
+//! `Instant::now()` timing outside `crates/obs`/`crates/bench`, a crate
 //! missing `#![deny(unsafe_code)]`), on any curated clippy lint, and on
 //! any error-severity `planlint` diagnostic over `fixtures/schemas/`.
 
@@ -24,6 +25,13 @@ const UNWRAP_EXEMPT: &[&str] = &["bench", "hydrology", "xtask"];
 /// loopback listeners it owns).
 const CONNECT_EXEMPT: &[&str] = &["net", "xtask"];
 
+/// Crates whose library code may call `Instant::now()` directly.  All
+/// other library timing goes through `openmeta_obs::clock` (or a span),
+/// so stage durations land in the metrics registry instead of ad-hoc
+/// stopwatches: the clock shim itself, the benchmark harness (whose
+/// entire job is timing), and this tool.
+const INSTANT_EXEMPT: &[&str] = &["obs", "bench", "xtask"];
+
 /// Library crates that must carry `#![deny(unsafe_code)]` at the root.
 /// The whole workspace is unsafe-free; this keeps it that way.
 const DENY_UNSAFE: &[&str] = &[
@@ -31,6 +39,7 @@ const DENY_UNSAFE: &[&str] = &[
     "bench",
     "hydrology",
     "net",
+    "obs",
     "ohttp",
     "pbio",
     "schema",
@@ -169,6 +178,7 @@ fn lint_tree(root: &Path) -> Vec<String> {
         let opts = LintOpts {
             allow_unwrap: UNWRAP_EXEMPT.contains(&name.as_str()),
             allow_raw_connect: CONNECT_EXEMPT.contains(&name.as_str()),
+            allow_raw_instant: INSTANT_EXEMPT.contains(&name.as_str()),
         };
         for file in &files {
             if let Ok(text) = std::fs::read_to_string(file) {
@@ -208,6 +218,7 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
 struct LintOpts {
     allow_unwrap: bool,
     allow_raw_connect: bool,
+    allow_raw_instant: bool,
 }
 
 /// Lint one source file.  Test modules (`#[cfg(test)]` /
@@ -254,6 +265,12 @@ fn lint_source(rel: &str, text: &str, opts: LintOpts) -> Vec<String> {
                  `connect_timeout` (see net::TransportConfig)"
             ));
         }
+        if !opts.allow_raw_instant && line.contains("Instant::now()") {
+            violations.push(format!(
+                "{rel}:{lineno}: direct `Instant::now()` timing in library code — use \
+                 `openmeta_obs::clock::now()` or a stage span (`openmeta_obs::span!`)"
+            ));
+        }
     }
     violations
 }
@@ -277,6 +294,8 @@ fn loom() -> ExitCode {
         "openmeta-net",
         "-p",
         "openmeta-ohttp",
+        "-p",
+        "openmeta-obs",
         "loom_",
     ]);
     if run("loom model tests", &mut cmd) {
@@ -324,7 +343,8 @@ fn miri() -> ExitCode {
 mod tests {
     use super::*;
 
-    const OPTS: LintOpts = LintOpts { allow_unwrap: false, allow_raw_connect: false };
+    const OPTS: LintOpts =
+        LintOpts { allow_unwrap: false, allow_raw_connect: false, allow_raw_instant: false };
 
     #[test]
     fn seeded_unwrap_in_library_code_is_flagged() {
@@ -361,7 +381,19 @@ mod tests {
         let v = lint_source("lib.rs", src, OPTS);
         assert_eq!(v.len(), 1, "{v:?}");
         assert!(v[0].contains("lib.rs:2"), "{v:?}");
-        let exempt = LintOpts { allow_unwrap: false, allow_raw_connect: true };
+        let exempt =
+            LintOpts { allow_unwrap: false, allow_raw_connect: true, allow_raw_instant: false };
+        assert!(lint_source("lib.rs", src, exempt).is_empty());
+    }
+
+    #[test]
+    fn raw_instant_timing_is_flagged_outside_the_clock_shim() {
+        let src = "fn f() {\n    let t = Instant::now();\n    let c = clock::now();\n}\n";
+        let v = lint_source("lib.rs", src, OPTS);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("lib.rs:2") && v[0].contains("clock::now"), "{v:?}");
+        let exempt =
+            LintOpts { allow_unwrap: false, allow_raw_connect: false, allow_raw_instant: true };
         assert!(lint_source("lib.rs", src, exempt).is_empty());
     }
 
@@ -369,7 +401,8 @@ mod tests {
     fn comments_and_exemptions_are_respected() {
         let src = "// .unwrap() in a comment\npub fn f() {}\n";
         assert!(lint_source("lib.rs", src, OPTS).is_empty());
-        let exempt = LintOpts { allow_unwrap: true, allow_raw_connect: false };
+        let exempt =
+            LintOpts { allow_unwrap: true, allow_raw_connect: false, allow_raw_instant: false };
         assert!(lint_source("lib.rs", "fn f() { x.unwrap() }\n", exempt).is_empty());
     }
 
