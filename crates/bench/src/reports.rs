@@ -510,12 +510,29 @@ pub struct Figure7Row {
     pub native: Duration,
     /// Encode time with XMIT-generated metadata.
     pub xmit: Duration,
+    /// Same-layout decode via the borrowed `RecordView` path
+    /// (header parse + view-plan lookup + pointer validation).
+    pub view_decode: Duration,
+    /// Raw `copy_from_slice` of the encoded message into a preallocated
+    /// buffer — the hardware floor a zero-copy decode competes against.
+    pub memcpy: Duration,
+    /// Encode-buffer growth events per steady-state encode.  Zero once
+    /// the pooled buffer has reached the working-set size.
+    pub alloc_per_op: f64,
+    /// Bytes the encoder wrote per encode (one marshal copy of the
+    /// record; the vectored send adds no second copy).
+    pub bytes_copied_per_op: f64,
 }
 
 impl Figure7Row {
     /// XMIT-metadata encode time relative to native metadata.
     pub fn ratio(&self) -> f64 {
         self.xmit.as_secs_f64() / self.native.as_secs_f64()
+    }
+
+    /// Borrowed-view decode time relative to the memcpy floor.
+    pub fn view_ratio(&self) -> f64 {
+        self.view_decode.as_secs_f64() / self.memcpy.as_secs_f64()
     }
 }
 
@@ -536,33 +553,106 @@ pub fn figure7_rows(iters: usize) -> Vec<Figure7Row> {
                 .into_record(native_fmt)
                 .expect("rebind");
 
-            let mut buf = Vec::with_capacity(case.encoded_size + 64);
-            let t_native = time_mean(
+            // Pooled encoder: after the first pass the buffer is at
+            // working-set size and steady-state encodes allocate nothing.
+            let mut enc = xmit::Encoder::new();
+            let t_native =
+                time_mean(iters, || (), |()| enc.encode(&native_rec).expect("encode").len());
+            let t_xmit =
+                time_mean(iters, || (), |()| enc.encode(&case.record).expect("encode").len());
+
+            // Steady-state allocation accounting: the timing loops above
+            // warmed the buffer, so any growth now is a real leak.
+            let before = enc.marshal_stats();
+            let probes = iters.max(1);
+            for _ in 0..probes {
+                enc.encode(&case.record).expect("encode");
+            }
+            let after = enc.marshal_stats();
+            let alloc_per_op = (after.allocs - before.allocs) as f64 / probes as f64;
+            let bytes_copied_per_op =
+                (after.bytes_copied - before.bytes_copied) as f64 / probes as f64;
+
+            // Borrowed-view decode vs the memcpy floor.  Sender and
+            // receiver share a layout here, so decode_borrowed takes the
+            // RecordView path — assert that once, outside the timed loop.
+            let wire = xmit::encode(&case.record).expect("encode");
+            let registry = toolkit.registry();
+            let target = case.record.format().clone();
+            let first = openmeta_pbio::decode_borrowed(&wire, registry, &target).expect("decode");
+            assert!(
+                matches!(first, openmeta_pbio::Decoded::View(_)),
+                "same-layout decode must select the view path"
+            );
+            let t_view = time_mean(
                 iters,
                 || (),
                 |()| {
-                    buf.clear();
-                    xmit::encode_into(&native_rec, &mut buf).expect("encode")
+                    let decoded =
+                        openmeta_pbio::decode_borrowed(&wire, registry, &target).expect("decode");
+                    match decoded {
+                        openmeta_pbio::Decoded::View(v) => {
+                            v.validate().expect("valid pointers");
+                            v.fixed_bytes().len()
+                        }
+                        openmeta_pbio::Decoded::Owned(_) => 0,
+                    }
                 },
             );
-            let t_xmit = time_mean(
+            let mut dst = vec![0u8; wire.len()];
+            let t_memcpy = time_mean(
                 iters,
                 || (),
                 |()| {
-                    buf.clear();
-                    xmit::encode_into(&case.record, &mut buf).expect("encode")
+                    dst.copy_from_slice(&wire);
+                    dst[dst.len() - 1]
                 },
             );
+
             Figure7Row {
                 name: case.name.clone(),
                 encoded_size: case.encoded_size,
                 native: t_native,
                 xmit: t_xmit,
+                view_decode: t_view,
+                memcpy: t_memcpy,
+                alloc_per_op,
+                bytes_copied_per_op,
             }
         })
         .collect();
     drop(toolkit);
     rows
+}
+
+/// Smallest encoded size on which the 2×-memcpy bound is asserted:
+/// below this the decode is dominated by fixed per-call cost (header
+/// parse, plan lookup, pointer validation), not copy bandwidth, so the
+/// ratio is not a meaningful zero-copy gate.
+pub const VIEW_RATIO_MIN_BYTES: usize = 4096;
+
+/// The zero-copy acceptance gates over measured Figure 7 rows:
+/// steady-state encode must not allocate on any row, and the borrowed
+/// view decode must stay within 2× of raw memcpy on bulk rows.
+pub fn check_figure7_rows(rows: &[Figure7Row]) -> Result<(), String> {
+    for r in rows {
+        if r.alloc_per_op != 0.0 {
+            return Err(format!(
+                "{}: steady-state encode allocated {:.2} times/op (want 0)",
+                r.name, r.alloc_per_op
+            ));
+        }
+        if r.encoded_size >= VIEW_RATIO_MIN_BYTES && r.view_ratio() > 2.0 {
+            return Err(format!(
+                "{}: view decode {:.2}x memcpy floor ({} vs {}) exceeds 2x",
+                r.name,
+                r.view_ratio(),
+                pretty(r.view_decode),
+                pretty(r.memcpy)
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Figure 7: encoding times with native vs XMIT-generated metadata.
@@ -578,6 +668,10 @@ pub fn figure7_report_from(rows: &[Figure7Row]) -> String {
         "native metadata encode",
         "XMIT metadata encode",
         "ratio",
+        "view decode",
+        "memcpy floor",
+        "allocs/op",
+        "bytes copied/op",
     ]);
     for r in rows {
         t.row(vec![
@@ -586,11 +680,17 @@ pub fn figure7_report_from(rows: &[Figure7Row]) -> String {
             pretty(r.native),
             pretty(r.xmit),
             format!("{:.2}", r.ratio()),
+            pretty(r.view_decode),
+            pretty(r.memcpy),
+            format!("{:.2}", r.alloc_per_op),
+            format!("{:.0}", r.bytes_copied_per_op),
         ]);
     }
     format!(
         "Figure 7 — structure encoding times using PBIO-native and\n\
-         XMIT-generated metadata (paper: indistinguishable)\n\n{}",
+         XMIT-generated metadata (paper: indistinguishable), with the\n\
+         zero-copy columns: borrowed-view decode vs the raw memcpy floor\n\
+         and steady-state encode allocations (0 = pooled buffer reused)\n\n{}",
         t.render()
     )
 }
@@ -1023,12 +1123,19 @@ pub fn figure7_rows_to_json(rows: &[Figure7Row]) -> String {
         }
         out.push_str(&format!(
             "  {{\"record\": \"{}\", \"encoded_size\": {}, \"native_ns\": {}, \
-             \"xmit_ns\": {}, \"ratio\": {:.4}}}",
+             \"xmit_ns\": {}, \"ratio\": {:.4}, \"view_decode_ns\": {}, \
+             \"memcpy_ns\": {}, \"view_ratio\": {:.4}, \"alloc_per_op\": {:.4}, \
+             \"bytes_copied_per_op\": {:.1}}}",
             json_escape(&r.name),
             r.encoded_size,
             r.native.as_nanos(),
             r.xmit.as_nanos(),
-            r.ratio()
+            r.ratio(),
+            r.view_decode.as_nanos(),
+            r.memcpy.as_nanos(),
+            r.view_ratio(),
+            r.alloc_per_op,
+            r.bytes_copied_per_op
         ));
     }
     out.push_str("\n]\n");
@@ -1126,12 +1233,40 @@ mod tests {
 
         let f7 = figure7_rows_to_json(&figure7_rows(FAST));
         assert!(f7.contains("\"native_ns\":") && f7.contains("\"ratio\":"), "{f7}");
+        assert!(
+            f7.contains("\"alloc_per_op\":") && f7.contains("\"bytes_copied_per_op\":"),
+            "{f7}"
+        );
+        assert!(f7.contains("\"view_decode_ns\":") && f7.contains("\"memcpy_ns\":"), "{f7}");
 
         let f8 = figure8_rows_to_json(&figure8_rows(FAST));
         assert!(f8.contains("\"format\": \"pbio\""), "{f8}");
         let wrapped = rows_with_metrics(&f8);
         assert!(wrapped.contains("\"rows\":") && wrapped.contains("\"metrics\":"), "{wrapped}");
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn figure7_steady_state_encode_never_allocates() {
+        // The allocation gate is deterministic — it counts encode-buffer
+        // growth events, not time — so it holds even at test iteration
+        // counts.  (The 2×-memcpy timing gate is only asserted by the
+        // fig7 binary's --check flag, at real iteration counts.)
+        let rows = figure7_rows(FAST);
+        for r in &rows {
+            assert_eq!(
+                r.alloc_per_op, 0.0,
+                "{}: steady-state encode must reuse the pooled buffer",
+                r.name
+            );
+            assert!(
+                r.bytes_copied_per_op >= r.encoded_size as f64,
+                "{}: encoder must account the marshal copy ({} < {})",
+                r.name,
+                r.bytes_copied_per_op,
+                r.encoded_size
+            );
+        }
     }
 
     #[test]

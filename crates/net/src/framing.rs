@@ -1,6 +1,6 @@
-//! Hardened frame-payload reads.
+//! Hardened frame-payload reads and gather-writes.
 
-use std::io::{self, Read};
+use std::io::{self, IoSlice, Read, Write};
 
 /// Growth step for [`read_exact_capped`]: the largest allocation made
 /// before any payload byte has arrived.
@@ -31,6 +31,64 @@ pub fn is_timeout(e: &io::Error) -> bool {
     matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
 }
 
+/// Most parts a single gather-write handles before falling back to
+/// sequential writes.  Frames here are header+payload (2) or a pair of
+/// frames (4); 8 leaves headroom without growing the stack array.
+const MAX_VECTORED_PARTS: usize = 8;
+
+/// Write every byte of every part, preferring one `write_vectored` call.
+///
+/// This is the frame-send primitive: header and payload leave in a
+/// single syscall — so Nagle/delayed-ACK never see a bare header, the
+/// kernel sees one contiguous send, and nothing is coalesced into a
+/// scratch buffer first.  `std`'s `write_all_vectored` is unstable, so
+/// this hand-rolls the partial-write loop: after a short write the
+/// remaining byte ranges are recomputed from the original slices (an
+/// `IoSlice` cannot be advanced in place on stable).
+///
+/// Writers whose `write_vectored` only consumes the first buffer (the
+/// `dyn Write` default) still terminate: each loop iteration makes
+/// progress or errors.  A zero-length write reports `WriteZero`, like
+/// `write_all`.
+pub fn write_all_vectored<W: Write + ?Sized>(w: &mut W, parts: &[&[u8]]) -> io::Result<()> {
+    if parts.len() > MAX_VECTORED_PARTS {
+        for p in parts {
+            w.write_all(p)?;
+        }
+        return Ok(());
+    }
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    let mut written = 0usize;
+    while written < total {
+        // Rebuild the IoSlice list for the bytes still outstanding.
+        const EMPTY: &[u8] = &[];
+        let mut bufs = [IoSlice::new(EMPTY); MAX_VECTORED_PARTS];
+        let mut n = 0;
+        let mut skip = written;
+        for p in parts {
+            if skip >= p.len() {
+                skip -= p.len();
+                continue;
+            }
+            bufs[n] = IoSlice::new(&p[skip..]);
+            skip = 0;
+            n += 1;
+        }
+        match w.write_vectored(&bufs[..n]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "failed to write whole buffer",
+                ));
+            }
+            Ok(k) => written += k,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -59,5 +117,90 @@ mod tests {
         assert!(is_timeout(&io::Error::from(io::ErrorKind::WouldBlock)));
         assert!(is_timeout(&io::Error::from(io::ErrorKind::TimedOut)));
         assert!(!is_timeout(&io::Error::from(io::ErrorKind::UnexpectedEof)));
+    }
+
+    /// A writer that accepts at most `cap` bytes per call, so every
+    /// vectored write is partial and the rebuild loop is exercised.
+    struct Dribble {
+        out: Vec<u8>,
+        cap: usize,
+        calls: usize,
+    }
+
+    impl Write for Dribble {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.calls += 1;
+            let n = buf.len().min(self.cap);
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+
+        fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+            self.calls += 1;
+            let mut room = self.cap;
+            let mut n = 0;
+            for b in bufs {
+                if room == 0 {
+                    break;
+                }
+                let take = b.len().min(room);
+                self.out.extend_from_slice(&b[..take]);
+                room -= take;
+                n += take;
+            }
+            Ok(n)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn vectored_write_completes_across_partial_writes() {
+        let header = [1u8, 2, 3, 4, 5];
+        let payload: Vec<u8> = (0..1000).map(|i| (i % 253) as u8).collect();
+        for cap in [1usize, 3, 7, 128, 4096] {
+            let mut w = Dribble { out: Vec::new(), cap, calls: 0 };
+            write_all_vectored(&mut w, &[&header, &payload]).unwrap();
+            let mut want = header.to_vec();
+            want.extend_from_slice(&payload);
+            assert_eq!(w.out, want, "cap={cap}");
+        }
+    }
+
+    #[test]
+    fn unsplit_writer_sends_frame_in_one_call() {
+        let mut w = Dribble { out: Vec::new(), cap: usize::MAX, calls: 0 };
+        write_all_vectored(&mut w, &[b"head", b"body", b"tail"]).unwrap();
+        assert_eq!(w.calls, 1, "whole frame should leave in one gather-write");
+        assert_eq!(w.out, b"headbodytail");
+    }
+
+    #[test]
+    fn empty_parts_are_skipped() {
+        let mut w = Dribble { out: Vec::new(), cap: 2, calls: 0 };
+        write_all_vectored(&mut w, &[b"", b"ab", b"", b"cd", b""]).unwrap();
+        assert_eq!(w.out, b"abcd");
+        let mut none = Dribble { out: Vec::new(), cap: 2, calls: 0 };
+        write_all_vectored(&mut none, &[]).unwrap();
+        assert!(none.out.is_empty());
+    }
+
+    #[test]
+    fn many_parts_fall_back_to_sequential_writes() {
+        let parts: Vec<Vec<u8>> = (0..20u8).map(|i| vec![i; 3]).collect();
+        let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+        let mut w = Dribble { out: Vec::new(), cap: usize::MAX, calls: 0 };
+        write_all_vectored(&mut w, &refs).unwrap();
+        let want: Vec<u8> = parts.concat();
+        assert_eq!(w.out, want);
+    }
+
+    #[test]
+    fn stalled_writer_reports_write_zero() {
+        let mut w = Dribble { out: Vec::new(), cap: 0, calls: 0 };
+        let err = write_all_vectored(&mut w, &[b"data"]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
     }
 }

@@ -38,7 +38,7 @@ pub use config::{
     connect_retrying, connect_with_deadline, harden_stream, ServerConfig, TransportConfig,
 };
 pub use faults::{Fault, FaultProxy};
-pub use framing::{is_timeout, read_exact_capped, READ_CHUNK};
+pub use framing::{is_timeout, read_exact_capped, write_all_vectored, READ_CHUNK};
 pub use retry::RetryPolicy;
 pub use stats::{ServerStats, TransportCounters};
 pub use workers::{ConnTracker, WorkerPool};

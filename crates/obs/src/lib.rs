@@ -34,10 +34,15 @@
 
 pub mod clock;
 mod export;
+pub mod marshal;
 mod metrics;
 mod span;
 pub(crate) mod sync;
 
+pub use marshal::{
+    marshal_counters, MarshalCounters, MARSHAL_ALLOC_TOTAL, MARSHAL_BYTES_COPIED_TOTAL,
+    MARSHAL_POOL_MISS_TOTAL, MARSHAL_POOL_REUSE_TOTAL,
+};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, SeriesKey, Snapshot,
     HISTOGRAM_BUCKETS,

@@ -377,7 +377,24 @@ mod tests {
         let counters = server.transport_counters();
         assert_eq!(counters.accepted, 1);
         assert_eq!(counters.frames_in, 1);
-        assert_eq!(counters.frames_out, 1);
+        // frame_out is counted after the response is flushed, so the
+        // client can observe the reply before the worker's increment —
+        // wait for the accounting to land.
+        assert_eq!(wait_for_frames_out(&server, 1), 1);
+    }
+
+    /// Poll until the server's `frames_out` reaches `want` (bounded):
+    /// the counter is incremented after the response bytes are flushed,
+    /// so a client-side assert races the worker without this.
+    fn wait_for_frames_out(server: &HttpServer, want: u64) -> u64 {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        loop {
+            let got = server.transport_counters().frames_out;
+            if got >= want || std::time::Instant::now() >= deadline {
+                return got;
+            }
+            std::thread::yield_now();
+        }
     }
 
     #[test]

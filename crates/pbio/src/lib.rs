@@ -68,24 +68,30 @@ pub mod layout;
 pub mod machine;
 pub mod marshal;
 pub mod plan;
+pub mod pool;
 pub mod record;
 pub mod registry;
 pub mod server;
 pub mod types;
 pub mod value;
 pub mod verify;
+pub mod view;
 
 pub use error::PbioError;
 pub use field::IOField;
 pub use format::{FormatDescriptor, FormatId, FormatSpec};
 pub use machine::{ByteOrder, MachineModel};
-pub use marshal::{decode, decode_with, encode, encode_into, EncodedView};
-pub use plan::{ConvertPlan, EncodePlan, Encoder};
+pub use marshal::{
+    decode, decode_borrowed, decode_with, encode, encode_into, Decoded, EncodedView,
+};
+pub use plan::{layouts_match, ConvertPlan, EncodePlan, Encoder, MarshalStats, ViewPlan};
+pub use pool::{BufferPool, PoolStats, PooledBuf};
 pub use record::RawRecord;
 pub use registry::{FormatRegistry, PlanCacheStats};
 pub use types::{BaseType, FieldKind};
 pub use value::Value;
 pub use verify::{Severity, Verdict, Violation};
+pub use view::RecordView;
 
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {

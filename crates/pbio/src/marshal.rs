@@ -243,6 +243,64 @@ pub fn decode_with(
     crate::plan::execute_convert(&plan, data, target)
 }
 
+/// Result of [`decode_borrowed`]: either a zero-copy view over the wire
+/// buffer (sender and receiver layouts match — the PBIO best case) or an
+/// owned record from the convert-plan fallback.
+#[derive(Debug)]
+pub enum Decoded<'a> {
+    /// Borrowed view; field accessors read the wire bytes in place.
+    View(crate::view::RecordView<'a>),
+    /// Owned record produced by the extract/convert fallback.
+    Owned(RawRecord),
+}
+
+impl Decoded<'_> {
+    /// Did the zero-copy path apply?
+    pub fn is_view(&self) -> bool {
+        matches!(self, Decoded::View(_))
+    }
+
+    /// Materialize an owned record either way (copies iff `View`).
+    pub fn into_owned(self) -> Result<RawRecord, PbioError> {
+        match self {
+            Decoded::View(v) => v.to_owned(),
+            Decoded::Owned(r) => Ok(r),
+        }
+    }
+}
+
+/// Decode into a caller-chosen target format, borrowing from the wire
+/// buffer when the sender's layout matches the receiver's.
+///
+/// This is the allocation-free decode entry point: when the registry's
+/// cached (and, in debug/`verify-plans` builds, independently verified)
+/// [`crate::plan::ViewPlan`] certifies that the wire data section *is*
+/// the receiver's native image, the returned [`Decoded::View`] performs
+/// no copy and no allocation.  Otherwise this falls back to exactly what
+/// [`decode_with`] does and returns [`Decoded::Owned`].
+pub fn decode_borrowed<'a>(
+    wire: &'a [u8],
+    registry: &FormatRegistry,
+    target: &Arc<FormatDescriptor>,
+) -> Result<Decoded<'a>, PbioError> {
+    let _span = openmeta_obs::span!("marshal.decode");
+    let header = parse_header(wire)?;
+    let sender = registry
+        .lookup_id(header.format_id)
+        .ok_or(PbioError::UnknownFormatId(header.format_id.0))?;
+    let data = &wire[HEADER_SIZE..HEADER_SIZE + header.data_size];
+    if let Some(plan) = registry.view_plan(&sender, target)? {
+        return Ok(Decoded::View(crate::view::RecordView::new(data, plan)?));
+    }
+    if Arc::ptr_eq(&sender, target) || header.format_id == target.id() {
+        let plan = registry.encode_plan_keyed(&sender, header.format_id)?;
+        let (fixed, varlen) = crate::plan::execute_extract(&plan, data)?;
+        return Ok(Decoded::Owned(RawRecord::from_parts(target.clone(), fixed, varlen)));
+    }
+    let plan = registry.convert_plan(&sender, target)?;
+    Ok(Decoded::Owned(crate::plan::execute_convert(&plan, data, target)?))
+}
+
 /// Reference field-at-a-time decoder, kept for differential testing of the
 /// compiled plans.  Produces records identical to [`decode_with`].
 #[doc(hidden)]

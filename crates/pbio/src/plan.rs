@@ -56,7 +56,7 @@ use crate::types::{BaseType, FieldKind};
 
 /// What a var-length pointer slot points at.
 #[derive(Debug, Clone)]
-enum PayloadKind {
+pub(crate) enum PayloadKind {
     /// NUL-terminated string, align 1.
     Str,
     /// Dynamic-array run governed by a sibling length field.
@@ -65,18 +65,18 @@ enum PayloadKind {
 
 /// One var-length pointer slot, with every name lookup already resolved.
 #[derive(Debug, Clone)]
-struct SlotSpec {
+pub(crate) struct SlotSpec {
     /// Field name (for error messages only).
-    name: String,
+    pub(crate) name: String,
     /// Absolute offset of the pointer slot in the fixed image.
-    off: usize,
+    pub(crate) off: usize,
     /// Pointer-slot size in bytes.
-    size: usize,
-    payload: PayloadKind,
+    pub(crate) size: usize,
+    pub(crate) payload: PayloadKind,
 }
 
 /// Flatten a descriptor's var-length slots, resolving length fields once.
-fn compile_slots(desc: &FormatDescriptor) -> Result<Vec<SlotSpec>, PbioError> {
+pub(crate) fn compile_slots(desc: &FormatDescriptor) -> Result<Vec<SlotSpec>, PbioError> {
     let mut out = Vec::new();
     for s in desc.varlen_slots() {
         let payload = match &s.field.kind {
@@ -390,7 +390,7 @@ pub enum VarSlice<'a> {
     Bytes(&'a [u8]),
 }
 
-fn check_record_size(data: &[u8], record_size: usize) -> Result<(), PbioError> {
+pub(crate) fn check_record_size(data: &[u8], record_size: usize) -> Result<(), PbioError> {
     if data.len() < record_size {
         return Err(PbioError::BadWireData(format!(
             "data section of {} bytes is smaller than the {}-byte record",
@@ -403,7 +403,7 @@ fn check_record_size(data: &[u8], record_size: usize) -> Result<(), PbioError> {
 
 /// Chase one pointer slot, validating exactly as the interpreted extract
 /// does.  `None` means the payload is absent (null pointer).
-fn locate_payload<'a>(
+pub(crate) fn locate_payload<'a>(
     data: &'a [u8],
     slot: &SlotSpec,
     order: ByteOrder,
@@ -536,7 +536,9 @@ pub(crate) fn execute_encode(
         }
     }
     debug_assert_eq!(out.len() - data_start, data_size);
-    Ok(out.len() - start)
+    let written = out.len() - start;
+    openmeta_obs::marshal_counters().bytes_copied_total.add(written as u64);
+    Ok(written)
 }
 
 /// Owned extraction via a compiled plan: the same-format decode path.
@@ -548,21 +550,151 @@ pub(crate) fn execute_extract(
 ) -> Result<(Vec<u8>, BTreeMap<usize, VarData>), PbioError> {
     check_record_size(data, plan.record_size)?;
     let mut fixed = data[..plan.record_size].to_vec();
+    let mut allocs = 1u64; // the fixed image itself
+    let mut copied = fixed.len() as u64;
     let mut varlen = BTreeMap::new();
     for slot in &plan.slots {
         let payload = locate_payload(data, slot, plan.order)?;
         fixed[slot.off..slot.off + slot.size].fill(0);
         match payload {
             Some(VarSlice::Str(s)) => {
+                allocs += 1;
+                copied += s.len() as u64;
                 varlen.insert(slot.off, VarData::Str(s.to_string()));
             }
             Some(VarSlice::Bytes(b)) => {
+                allocs += 1;
+                copied += b.len() as u64;
                 varlen.insert(slot.off, VarData::Bytes(b.to_vec()));
             }
             None => {}
         }
     }
+    let counters = openmeta_obs::marshal_counters();
+    counters.alloc_total.add(allocs);
+    counters.bytes_copied_total.add(copied);
     Ok((fixed, varlen))
+}
+
+// ---------------------------------------------------------------------------
+// View plans: the PBIO best case, decoded in place.
+// ---------------------------------------------------------------------------
+
+/// Structural layout equality: would records of `a` land byte-for-byte in
+/// the native image of `b`?
+///
+/// This is the gate for the borrowed [`RecordView`](crate::view::RecordView)
+/// decode path, so it is deliberately strict: byte order, record size,
+/// alignment, and every field's name, offset, slot size, and kind must
+/// agree, recursing into nested records.  Field *names* matter even though
+/// they don't affect bytes — the owned fallback path matches fields by
+/// name, and a view must never disagree with what that path would produce.
+/// Only the outer format *name* is ignored (two differently-named formats
+/// can share a layout; [`FormatId`](crate::format::FormatId) would still
+/// differ because it hashes the name).
+pub fn layouts_match(a: &FormatDescriptor, b: &FormatDescriptor) -> bool {
+    a.machine.byte_order == b.machine.byte_order
+        && a.record_size == b.record_size
+        && a.align == b.align
+        && fields_match(a, b)
+}
+
+fn fields_match(a: &FormatDescriptor, b: &FormatDescriptor) -> bool {
+    a.fields.len() == b.fields.len()
+        && a.fields.iter().zip(&b.fields).all(|(fa, fb)| {
+            fa.name == fb.name
+                && fa.offset == fb.offset
+                && fa.size == fb.size
+                && kinds_match(&fa.kind, &fb.kind)
+        })
+}
+
+fn kinds_match(a: &FieldKind, b: &FieldKind) -> bool {
+    match (a, b) {
+        // Nested descriptors are compared structurally, ignoring their
+        // (sub)format names, exactly like the outer comparison.
+        (FieldKind::Nested(x), FieldKind::Nested(y)) => {
+            x.machine.byte_order == y.machine.byte_order
+                && x.record_size == y.record_size
+                && x.align == y.align
+                && fields_match(x, y)
+        }
+        (x, y) => x == y,
+    }
+}
+
+/// The complete public projection of a [`ViewPlan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewProgram {
+    /// Fixed-image size the plan was compiled for.
+    pub record_size: usize,
+    /// Byte order of the (shared) machine model.
+    pub order: ByteOrder,
+    /// Var-length slot table, in placement order.
+    pub slots: Vec<SlotProgram>,
+}
+
+/// Compiled program for the borrowed same-layout decode path: enough to
+/// validate a wire data section and chase its var-length slots without
+/// materializing anything.
+///
+/// A view plan only exists for a (sender, receiver) pair whose layouts
+/// are structurally identical ([`layouts_match`]); [`ViewPlan::compile`]
+/// returns `Ok(None)` otherwise and the caller falls back to the
+/// [`ConvertPlan`] path.  Before a view plan is cached, `crate::verify`
+/// re-derives the same-layout claim independently
+/// ([`crate::verify::verify_view_plan`]).
+#[derive(Debug)]
+pub struct ViewPlan {
+    record_size: usize,
+    order: ByteOrder,
+    slots: Vec<SlotSpec>,
+    target: Arc<FormatDescriptor>,
+}
+
+impl ViewPlan {
+    /// Lower a same-layout (sender, receiver) pair into a view program.
+    /// `Ok(None)` means the layouts differ and a view is not possible.
+    pub fn compile(
+        sender: &FormatDescriptor,
+        target: &Arc<FormatDescriptor>,
+    ) -> Result<Option<ViewPlan>, PbioError> {
+        if !layouts_match(sender, target) {
+            return Ok(None);
+        }
+        Ok(Some(ViewPlan {
+            record_size: target.record_size,
+            order: target.machine.byte_order,
+            slots: compile_slots(target)?,
+            target: target.clone(),
+        }))
+    }
+
+    /// The receiver descriptor the view resolves field names against.
+    pub fn target(&self) -> &Arc<FormatDescriptor> {
+        &self.target
+    }
+
+    pub(crate) fn record_size(&self) -> usize {
+        self.record_size
+    }
+
+    pub(crate) fn order(&self) -> ByteOrder {
+        self.order
+    }
+
+    pub(crate) fn slots(&self) -> &[SlotSpec] {
+        &self.slots
+    }
+
+    /// The public projection of this plan, for static verification.
+    pub fn program(&self) -> ViewProgram {
+        ViewProgram {
+            record_size: self.record_size,
+            order: self.order,
+            slots: self.slots.iter().map(slot_program).collect(),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1017,20 +1149,28 @@ pub(crate) fn execute_convert(
     }
 
     // Pass 3: var-length payloads, borrowed source → converted destination.
+    let mut allocs = 1u64; // the destination fixed image
+    let mut copied = fixed.len() as u64;
     let mut varlen = BTreeMap::new();
     for vo in &plan.var_ops {
         match (vo.conv, vars[vo.src_idx]) {
             (_, None) => {}
             (VarConv::Move, Some(VarSlice::Str(s))) => {
+                allocs += 1;
+                copied += s.len() as u64;
                 varlen.insert(vo.dst_off, VarData::Str(s.to_string()));
             }
             (VarConv::Move, Some(VarSlice::Bytes(b))) => {
+                allocs += 1;
+                copied += b.len() as u64;
                 varlen.insert(vo.dst_off, VarData::Bytes(b.to_vec()));
             }
             (VarConv::Elem { conv, src_w, dst_w }, Some(VarSlice::Bytes(b))) => {
                 let count = b.len() / src_w;
                 let mut out = vec![0u8; count * dst_w];
                 convert_elems(conv, b, src_w, plan.src_order, &mut out, dst_w, plan.dst_order);
+                allocs += 1;
+                copied += out.len() as u64;
                 varlen.insert(vo.dst_off, VarData::Bytes(out));
             }
             (VarConv::Elem { .. }, Some(VarSlice::Str(_))) => {
@@ -1038,6 +1178,9 @@ pub(crate) fn execute_convert(
             }
         }
     }
+    let counters = openmeta_obs::marshal_counters();
+    counters.alloc_total.add(allocs);
+    counters.bytes_copied_total.add(copied);
 
     // Pass 4: length fields agree with the payloads actually present.
     for lf in &plan.len_fixes {
@@ -1055,20 +1198,73 @@ pub(crate) fn execute_convert(
 // Encoder: plan + buffer reuse for hot send paths.
 // ---------------------------------------------------------------------------
 
+/// Per-encoder marshal statistics, exact and race-free (unlike the
+/// process-global `openmeta_marshal_*` counters, which sum every
+/// encoder/decoder in the process).  The fig7 `alloc_per_op` column and
+/// the zero-allocation CI assertion read these.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MarshalStats {
+    /// Heap allocations this encoder caused (output-buffer growth).
+    pub allocs: u64,
+    /// Bytes this encoder wrote into output buffers.
+    pub bytes_copied: u64,
+}
+
+/// Encodes per window before the output buffer is considered for
+/// shrinking back toward the window's peak message size.
+const TRIM_WINDOW: u32 = 64;
+
+/// Never shrink the output buffer below this capacity.
+const TRIM_MIN_CAPACITY: usize = 4 * 1024;
+
 /// A reusable encode handle: caches compiled [`EncodePlan`]s per descriptor
-/// (by pointer identity) and reuses its output and scratch buffers, so a
-/// steady-state sender does no per-message allocation beyond buffer growth.
-#[derive(Debug, Default)]
+/// (by pointer identity) and keeps a pooled output buffer, so a
+/// steady-state sender does zero per-message heap allocations.
+///
+/// The output buffer comes from a [`BufferPool`](crate::pool::BufferPool)
+/// (the global one by default) and returns to it when the encoder drops.
+/// Two policies keep a burst of outsized records from pinning peak-sized
+/// memory: the pool refuses to shelve buffers over its retain cap, and
+/// the encoder itself shrinks its buffer once per [`TRIM_WINDOW`] encodes
+/// when capacity has grown to more than 4× the window's peak message.
+#[derive(Debug)]
 pub struct Encoder {
     plans: Vec<(Arc<FormatDescriptor>, Arc<EncodePlan>)>,
     placements: Vec<(usize, usize)>,
-    buf: Vec<u8>,
+    buf: crate::pool::PooledBuf,
+    stats: MarshalStats,
+    window_peak: usize,
+    window_len: u32,
+}
+
+impl Default for Encoder {
+    fn default() -> Self {
+        Encoder::new()
+    }
 }
 
 impl Encoder {
-    /// A fresh encoder with no cached plans.
+    /// A fresh encoder with no cached plans, drawing its output buffer
+    /// from the global [`BufferPool`](crate::pool::BufferPool).
     pub fn new() -> Self {
-        Encoder::default()
+        Encoder::with_pool(crate::pool::BufferPool::global())
+    }
+
+    /// A fresh encoder drawing its output buffer from `pool`.
+    pub fn with_pool(pool: &Arc<crate::pool::BufferPool>) -> Self {
+        Encoder {
+            plans: Vec::new(),
+            placements: Vec::new(),
+            buf: pool.get(),
+            stats: MarshalStats::default(),
+            window_peak: 0,
+            window_len: 0,
+        }
+    }
+
+    /// Cumulative allocation/copy counters for this encoder instance.
+    pub fn marshal_stats(&self) -> MarshalStats {
+        self.stats
     }
 
     fn plan_for(&mut self, desc: &Arc<FormatDescriptor>) -> Result<Arc<EncodePlan>, PbioError> {
@@ -1082,12 +1278,41 @@ impl Encoder {
         Ok(plan)
     }
 
-    /// Encode into the encoder's internal buffer and borrow the result.
+    /// Record one encode's cost against the instance stats, and bump the
+    /// global allocation counter if `cap_before` shows the buffer grew.
+    fn account(&mut self, cap_before: usize, cap_after: usize, written: usize) {
+        if cap_after > cap_before {
+            self.stats.allocs += 1;
+            openmeta_obs::marshal_counters().alloc_total.inc();
+        }
+        self.stats.bytes_copied += written as u64;
+    }
+
+    /// Shrink the internal buffer once per window if it has ballooned
+    /// well past the window's peak message size.
+    fn maybe_trim(&mut self, written: usize) {
+        self.window_peak = self.window_peak.max(written);
+        self.window_len += 1;
+        if self.window_len >= TRIM_WINDOW {
+            let keep = self.window_peak.max(TRIM_MIN_CAPACITY);
+            if self.buf.capacity() / 4 > keep {
+                self.buf.shrink_to(keep);
+            }
+            self.window_peak = 0;
+            self.window_len = 0;
+        }
+    }
+
+    /// Encode into the encoder's internal pooled buffer and borrow the
+    /// result.
     pub fn encode(&mut self, rec: &RawRecord) -> Result<&[u8], PbioError> {
         let _span = openmeta_obs::span!("marshal.encode");
         let plan = self.plan_for(rec.format())?;
         self.buf.clear();
-        execute_encode(&plan, rec, &mut self.buf, &mut self.placements)?;
+        let cap_before = self.buf.capacity();
+        let n = execute_encode(&plan, rec, &mut self.buf, &mut self.placements)?;
+        self.account(cap_before, self.buf.capacity(), n);
+        self.maybe_trim(n);
         Ok(&self.buf)
     }
 
@@ -1095,7 +1320,10 @@ impl Encoder {
     pub fn encode_into(&mut self, rec: &RawRecord, out: &mut Vec<u8>) -> Result<usize, PbioError> {
         let _span = openmeta_obs::span!("marshal.encode");
         let plan = self.plan_for(rec.format())?;
-        execute_encode(&plan, rec, out, &mut self.placements)
+        let cap_before = out.capacity();
+        let n = execute_encode(&plan, rec, out, &mut self.placements)?;
+        self.account(cap_before, out.capacity(), n);
+        Ok(n)
     }
 }
 

@@ -1,0 +1,271 @@
+//! Pooled encode buffers: reuse marshal scratch instead of reallocating.
+//!
+//! Steady-state encode should cost the paper's "little more than memcpy"
+//! — but a fresh `Vec<u8>` per message puts the allocator on the hot
+//! path.  [`BufferPool`] keeps returned buffers on a small set of
+//! striped free shelves and hands them out through the RAII
+//! [`PooledBuf`] handle, which gives the buffer back on drop (the
+//! ZeroTier `Buffer`/`PoolFactory` idiom, adapted to safe Rust).
+//!
+//! The hot path never blocks: each shelf is a `std::sync::Mutex` probed
+//! with `try_lock` only, so a contended (or poisoned) shelf degrades to
+//! the allocator rather than making an encoder wait.  Two policies keep
+//! a burst of outsized records from pinning peak-sized memory forever:
+//!
+//! * **`max_retain`** — a returned buffer whose capacity exceeds the cap
+//!   is dropped instead of shelved, so the shelves only ever hold
+//!   buffers of "ordinary" size.
+//! * **`max_idle`** — each shelf holds at most this many buffers; extras
+//!   returned while the shelf is full are dropped.
+//!
+//! Per-pool [`PoolStats`] stay exact for deterministic tests; the
+//! process-global `openmeta_marshal_pool_{reuse,miss}_total` counters
+//! (crate `openmeta-obs`) are bumped alongside for `/metrics`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of free shelves.  Striping keeps unrelated encoder threads
+/// off each other's mutex; the count is small because each shelf also
+/// bounds idle memory (`max_idle` buffers apiece).
+const SHELVES: usize = 4;
+
+/// Default per-shelf idle capacity.
+const DEFAULT_MAX_IDLE: usize = 8;
+
+/// Default retain cap: buffers that grew beyond this capacity are
+/// dropped on return rather than shelved.  Large enough for every fig7
+/// workload (FlowField2D encodes to ~256 KiB), small enough that a
+/// one-off multi-megabyte record does not pin its buffer forever.
+const DEFAULT_MAX_RETAIN: usize = 1 << 20;
+
+/// Cumulative statistics for one [`BufferPool`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffers handed out, total.
+    pub gets: u64,
+    /// Gets served from a shelf (no allocation).
+    pub reuses: u64,
+    /// Gets that fell through to a fresh (empty) buffer.
+    pub misses: u64,
+    /// Buffers accepted back onto a shelf.
+    pub returned: u64,
+    /// Buffers dropped on return (over `max_retain`, shelf full, or
+    /// shelf contended).
+    pub dropped: u64,
+}
+
+/// A striped free-list of `Vec<u8>` encode buffers.
+///
+/// See the module docs for the retention policy.  All operations are
+/// non-blocking; the pool is shared via `Arc` so [`PooledBuf`] handles
+/// can outlive the binding that created them.
+#[derive(Debug)]
+pub struct BufferPool {
+    shelves: [Mutex<Vec<Vec<u8>>>; SHELVES],
+    /// Round-robin cursor so successive gets probe different shelves.
+    cursor: AtomicU64,
+    max_idle: usize,
+    max_retain: usize,
+    gets: AtomicU64,
+    reuses: AtomicU64,
+    returned: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl BufferPool {
+    /// A pool with the default retention policy.
+    pub fn new() -> Arc<BufferPool> {
+        BufferPool::with_limits(DEFAULT_MAX_IDLE, DEFAULT_MAX_RETAIN)
+    }
+
+    /// A pool holding at most `max_idle` buffers per shelf and dropping
+    /// returned buffers whose capacity exceeds `max_retain`.
+    pub fn with_limits(max_idle: usize, max_retain: usize) -> Arc<BufferPool> {
+        Arc::new(BufferPool {
+            shelves: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            cursor: AtomicU64::new(0),
+            max_idle: max_idle.max(1),
+            max_retain,
+            gets: AtomicU64::new(0),
+            reuses: AtomicU64::new(0),
+            returned: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// The process-wide pool backing [`Encoder`](crate::plan::Encoder)
+    /// and the transport senders.
+    pub fn global() -> &'static Arc<BufferPool> {
+        static GLOBAL: OnceLock<Arc<BufferPool>> = OnceLock::new();
+        GLOBAL.get_or_init(BufferPool::new)
+    }
+
+    /// Take a cleared buffer from the pool (or a fresh empty one on a
+    /// miss).  Never blocks: a contended shelf counts as a miss.
+    pub fn get(self: &Arc<BufferPool>) -> PooledBuf {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed) as usize;
+        for probe in 0..SHELVES {
+            let shelf = &self.shelves[(start + probe) % SHELVES];
+            if let Ok(mut held) = shelf.try_lock() {
+                if let Some(mut buf) = held.pop() {
+                    drop(held);
+                    buf.clear();
+                    self.reuses.fetch_add(1, Ordering::Relaxed);
+                    openmeta_obs::marshal_counters().pool_reuse_total.inc();
+                    return PooledBuf { pool: Arc::clone(self), buf };
+                }
+            }
+        }
+        openmeta_obs::marshal_counters().pool_miss_total.inc();
+        // A fresh `Vec::new()` holds no heap memory yet; the allocation
+        // (if any) is observed by the encoder when the buffer grows.
+        PooledBuf { pool: Arc::clone(self), buf: Vec::new() }
+    }
+
+    /// Return a buffer to a shelf, or drop it per the retention policy.
+    fn put(&self, buf: Vec<u8>) {
+        if buf.capacity() == 0 || buf.capacity() > self.max_retain {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed) as usize;
+        for probe in 0..SHELVES {
+            let shelf = &self.shelves[(start + probe) % SHELVES];
+            if let Ok(mut held) = shelf.try_lock() {
+                if held.len() < self.max_idle {
+                    held.push(buf);
+                    self.returned.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Buffers currently idle on the shelves (approximate under
+    /// contention: a locked shelf is counted as empty).
+    pub fn idle(&self) -> usize {
+        self.shelves.iter().filter_map(|s| s.try_lock().ok().map(|v| v.len())).sum()
+    }
+
+    /// Cumulative counters for this pool instance.
+    pub fn stats(&self) -> PoolStats {
+        let gets = self.gets.load(Ordering::Relaxed);
+        let reuses = self.reuses.load(Ordering::Relaxed);
+        PoolStats {
+            gets,
+            reuses,
+            misses: gets - reuses,
+            returned: self.returned.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// RAII handle to a pooled buffer; derefs to `Vec<u8>` and returns the
+/// buffer to its pool on drop.
+#[derive(Debug)]
+pub struct PooledBuf {
+    pool: Arc<BufferPool>,
+    buf: Vec<u8>,
+}
+
+impl PooledBuf {
+    /// Detach the buffer from the pool (it will not be returned).
+    pub fn into_inner(mut self) -> Vec<u8> {
+        std::mem::take(&mut self.buf)
+    }
+}
+
+impl std::ops::Deref for PooledBuf {
+    type Target = Vec<u8>;
+    fn deref(&self) -> &Vec<u8> {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for PooledBuf {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        self.pool.put(std::mem::take(&mut self.buf));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_reuses_capacity() {
+        let pool = BufferPool::new();
+        {
+            let mut b = pool.get();
+            b.extend_from_slice(&[1, 2, 3, 4]);
+        }
+        let b = pool.get();
+        assert!(b.capacity() >= 4, "returned buffer should be reused");
+        assert!(b.is_empty(), "reused buffer must come back cleared");
+        let stats = pool.stats();
+        assert_eq!(stats.gets, 2);
+        assert_eq!(stats.reuses, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.returned, 1);
+    }
+
+    #[test]
+    fn oversized_buffers_are_dropped_on_return() {
+        let pool = BufferPool::with_limits(8, 64);
+        {
+            let mut b = pool.get();
+            b.resize(4096, 0); // capacity far above max_retain
+        }
+        assert_eq!(pool.idle(), 0, "oversized buffer must not be shelved");
+        assert_eq!(pool.stats().dropped, 1);
+        {
+            let mut b = pool.get();
+            b.resize(32, 0);
+        }
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn shelves_bound_idle_buffers() {
+        let pool = BufferPool::with_limits(1, 1 << 20);
+        let handles: Vec<PooledBuf> = (0..16)
+            .map(|_| {
+                let mut b = pool.get();
+                b.push(0);
+                b
+            })
+            .collect();
+        drop(handles);
+        assert!(pool.idle() <= SHELVES, "idle buffers must respect per-shelf cap");
+        assert!(pool.stats().dropped >= 16 - SHELVES as u64);
+    }
+
+    #[test]
+    fn into_inner_detaches_from_pool() {
+        let pool = BufferPool::new();
+        let mut b = pool.get();
+        b.extend_from_slice(b"abc");
+        let v = b.into_inner();
+        assert_eq!(v, b"abc");
+        assert_eq!(pool.idle(), 0);
+        // The detached handle's drop must not shelve an empty vec.
+        assert_eq!(pool.stats().returned, 0);
+    }
+
+    #[test]
+    fn global_pool_is_shared() {
+        let a = Arc::clone(BufferPool::global());
+        let b = Arc::clone(BufferPool::global());
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

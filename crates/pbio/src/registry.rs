@@ -15,7 +15,7 @@ use parking_lot::RwLock;
 use crate::error::PbioError;
 use crate::format::{FormatDescriptor, FormatId, FormatSpec};
 use crate::machine::MachineModel;
-use crate::plan::{ConvertPlan, EncodePlan};
+use crate::plan::{ConvertPlan, EncodePlan, ViewPlan};
 
 /// A registry of formats resolved for one machine model.
 #[derive(Debug)]
@@ -46,6 +46,10 @@ struct Inner {
 struct PlanCache {
     encode: HashMap<FormatId, Arc<EncodePlan>, IdHashState>,
     convert: HashMap<(FormatId, FormatId), Arc<ConvertPlan>, IdHashState>,
+    /// Borrowed-decode plans.  `None` is a cached *negative*: the pair's
+    /// layouts differ, so callers fall straight through to the convert
+    /// path without re-running the structural comparison per message.
+    view: HashMap<(FormatId, FormatId), Option<Arc<ViewPlan>>, IdHashState>,
 }
 
 /// [`FormatId`]s are already FNV-1a hashes of descriptor content, so
@@ -263,6 +267,45 @@ impl FormatRegistry {
             }
         }
         Ok(self.plans.write().convert.entry(key).or_insert(plan).clone())
+    }
+
+    /// The borrowed-decode plan for a (sender, receiver) pair, or `None`
+    /// when their layouts differ (also cached, so the structural check
+    /// runs once per pair, not per message).
+    ///
+    /// A compiled view plan passes through
+    /// [`crate::verify::verify_view_plan`] in debug/`verify-plans` builds
+    /// before it is cached: the same-layout claim is re-derived
+    /// independently of the plan compiler, since a wrong view silently
+    /// misreads every field.
+    pub fn view_plan(
+        &self,
+        sender: &Arc<FormatDescriptor>,
+        target: &Arc<FormatDescriptor>,
+    ) -> Result<Option<Arc<ViewPlan>>, PbioError> {
+        let key = (sender.id(), target.id());
+        if let Some(cached) = self.plans.read().view.get(&key) {
+            self.plan_hits.inc();
+            return Ok(cached.clone());
+        }
+        self.plan_misses.inc();
+        let entry = match ViewPlan::compile(sender, target)? {
+            Some(plan) => {
+                #[cfg(any(debug_assertions, feature = "verify-plans"))]
+                {
+                    let verdict = crate::verify::verify_view_plan(sender, target, &plan);
+                    if let Some(violation) = verdict.first_error() {
+                        return Err(PbioError::PlanRejected {
+                            format: format!("{}\u{2192}{}", sender.name, target.name),
+                            violation: violation.to_string(),
+                        });
+                    }
+                }
+                Some(Arc::new(plan))
+            }
+            None => None,
+        };
+        Ok(self.plans.write().view.entry(key).or_insert(entry).clone())
     }
 
     /// Cumulative plan-cache hit/miss counters.

@@ -398,7 +398,13 @@ mod tests {
         let counters = server.transport_counters();
         assert_eq!(counters.accepted, 1);
         assert_eq!(counters.frames_in, 2);
-        assert_eq!(counters.frames_out, 2);
+        // frame_out lands after the reply is flushed; wait out the race
+        // between this assert and the worker's accounting.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        while server.transport_counters().frames_out < 2 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(server.transport_counters().frames_out, 2);
     }
 
     #[test]

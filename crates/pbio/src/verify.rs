@@ -50,7 +50,7 @@ use crate::machine::ByteOrder;
 use crate::marshal::{HEADER_SIZE, MAGIC, VERSION};
 use crate::plan::{
     ConvertPlan, ConvertProgram, ElemKind, EncodePlan, EncodeProgram, PlanOp, SlotPayloadProgram,
-    SlotProgram, VarConvProgram,
+    SlotProgram, VarConvProgram, ViewPlan, ViewProgram,
 };
 use crate::types::{BaseType, FieldKind};
 
@@ -1087,6 +1087,142 @@ pub fn verify_convert_plan(
     plan: &ConvertPlan,
 ) -> Verdict {
     verify_convert_program(from, to, &plan.program())
+}
+
+// ---------------------------------------------------------------------------
+// View-program verification.
+// ---------------------------------------------------------------------------
+
+/// One leaf of a descriptor's fixed image, flattened for the structural
+/// same-layout comparison.  Field names carry their full dotted path so
+/// nesting structure cannot alias (`a.b` vs `ab`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ViewLeaf {
+    /// A scalar slot.
+    Scalar { path: String, off: usize, base: BaseType, size: usize },
+    /// An inline array run.
+    Static { path: String, off: usize, elem: BaseType, elem_size: usize, count: usize },
+    /// A string pointer slot.
+    Str { path: String, off: usize, size: usize },
+    /// A dynamic-array pointer slot, with its governing length field.
+    Dyn { path: String, off: usize, size: usize, elem: BaseType, elem_size: usize, len: String },
+}
+
+/// Flatten a descriptor into leaf slots, independent of the plan
+/// compiler's slot derivation.
+fn view_leaves(desc: &FormatDescriptor, base: usize, prefix: &str, out: &mut Vec<ViewLeaf>) {
+    for f in &desc.fields {
+        let path = if prefix.is_empty() { f.name.clone() } else { format!("{prefix}.{}", f.name) };
+        let off = base + f.offset;
+        match &f.kind {
+            FieldKind::Scalar(b) => {
+                out.push(ViewLeaf::Scalar { path, off, base: *b, size: f.size });
+            }
+            FieldKind::StaticArray { elem, elem_size, count } => {
+                out.push(ViewLeaf::Static {
+                    path,
+                    off,
+                    elem: *elem,
+                    elem_size: *elem_size,
+                    count: *count,
+                });
+            }
+            FieldKind::String => out.push(ViewLeaf::Str { path, off, size: f.size }),
+            FieldKind::DynamicArray { elem, elem_size, length_field } => {
+                out.push(ViewLeaf::Dyn {
+                    path,
+                    off,
+                    size: f.size,
+                    elem: *elem,
+                    elem_size: *elem_size,
+                    len: length_field.clone(),
+                });
+            }
+            FieldKind::Nested(sub) => view_leaves(sub, off, &path, out),
+        }
+    }
+}
+
+/// Prove a view program safe for a (sender, receiver) pair: the borrowed
+/// fast path reads sender bytes *as if* they were receiver bytes, so the
+/// two layouts must be provably identical — byte order, record size,
+/// alignment, and a leaf-by-leaf structural walk of both descriptors
+/// (re-derived here, not taken from [`crate::plan::layouts_match`]) — and
+/// the plan's slot table must equal an independent derivation from the
+/// receiver descriptor with every slot in-bounds and monotone.
+pub fn verify_view_program(
+    sender: &FormatDescriptor,
+    target: &FormatDescriptor,
+    prog: &ViewProgram,
+) -> Verdict {
+    let mut v = verify_layout(sender);
+    v.merge(verify_layout(target));
+
+    if sender.machine.byte_order != target.machine.byte_order {
+        v.error(
+            "view-order",
+            "sender and receiver byte orders differ; a view would misread every scalar".to_string(),
+        );
+    }
+    if sender.record_size != target.record_size {
+        v.error(
+            "view-size",
+            format!(
+                "sender record is {} bytes, receiver record is {}",
+                sender.record_size, target.record_size
+            ),
+        );
+    }
+    if sender.align != target.align {
+        v.error(
+            "view-align",
+            format!("sender align {} != receiver align {}", sender.align, target.align),
+        );
+    }
+
+    let mut sl = Vec::new();
+    let mut tl = Vec::new();
+    view_leaves(sender, 0, "", &mut sl);
+    view_leaves(target, 0, "", &mut tl);
+    if sl.len() != tl.len() {
+        v.error(
+            "view-fields",
+            format!("sender flattens to {} leaves, receiver to {}", sl.len(), tl.len()),
+        );
+    } else {
+        for (s, t) in sl.iter().zip(&tl) {
+            if s != t {
+                v.error("view-fields", format!("leaf disagreement: sender {s:?}, receiver {t:?}"));
+            }
+        }
+    }
+
+    if prog.record_size != target.record_size {
+        v.error(
+            "record-size",
+            format!(
+                "plan compiled for a {}-byte record, receiver descriptor is {} bytes",
+                prog.record_size, target.record_size
+            ),
+        );
+    }
+    if prog.order != target.machine.byte_order {
+        v.error("byte-order", "plan byte order disagrees with the machine model".to_string());
+    }
+
+    let want = expected_slots(target, &mut v);
+    compare_slot_tables(&prog.slots, &want, "view", &mut v);
+    check_slot_table(&prog.slots, prog.record_size, &mut v);
+    v
+}
+
+/// [`verify_view_program`] on a plan's own projection.
+pub fn verify_view_plan(
+    sender: &FormatDescriptor,
+    target: &FormatDescriptor,
+    plan: &ViewPlan,
+) -> Verdict {
+    verify_view_program(sender, target, &plan.program())
 }
 
 #[cfg(test)]

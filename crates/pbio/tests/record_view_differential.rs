@@ -1,0 +1,351 @@
+//! Differential tests: borrowed `RecordView` decode vs the owned path.
+//!
+//! Every case generates a random format (scalars of every width, strings,
+//! static and dynamic arrays, one level of nesting) and a random record,
+//! then checks, for both sender byte orders:
+//!
+//! * same-layout decode selects the view path, and every `RecordView`
+//!   accessor agrees with the owned record from `decode_with` on every
+//!   field, by dotted path;
+//! * `RecordView::to_owned` equals the owned decode exactly;
+//! * a layout-mismatched receiver (opposite-endian machine model) makes
+//!   `decode_borrowed` fall back to the owned convert path, whose result
+//!   equals `decode_with` exactly.
+//!
+//! Floats are generated finite and in range, so `f64` equality is exact
+//! (both paths move bit patterns, never rounding).
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use openmeta_pbio::prelude::*;
+use openmeta_pbio::{decode_borrowed, Decoded, RecordView};
+
+const INT_WIDTHS: [usize; 4] = [1, 2, 4, 8];
+const FLOAT_WIDTHS: [usize; 2] = [4, 8];
+
+#[derive(Debug, Clone)]
+enum FKind {
+    Int,
+    Uint,
+    Bool,
+    Enum,
+    Char,
+    Float,
+    Str,
+    StaticInt(usize),
+    StaticFloat(usize),
+    DynInt(String),
+    DynFloat(String),
+    Nested(String),
+}
+
+#[derive(Debug, Clone)]
+struct FSpec {
+    name: String,
+    kind: FKind,
+    size: usize,
+}
+
+impl FSpec {
+    fn to_iofield(&self) -> IOField {
+        let ty = match &self.kind {
+            FKind::Int => "integer".to_string(),
+            FKind::Uint => "unsigned integer".to_string(),
+            FKind::Bool => "boolean".to_string(),
+            FKind::Enum => "enumeration".to_string(),
+            FKind::Char => "char".to_string(),
+            FKind::Float => "float".to_string(),
+            FKind::Str => "string".to_string(),
+            FKind::StaticInt(n) => format!("integer[{n}]"),
+            FKind::StaticFloat(n) => format!("float[{n}]"),
+            FKind::DynInt(len) => format!("integer[{len}]"),
+            FKind::DynFloat(len) => format!("float[{len}]"),
+            FKind::Nested(name) => name.clone(),
+        };
+        IOField::auto(self.name.clone(), ty, self.size)
+    }
+}
+
+fn pick<T: Copy>(rng: &mut StdRng, xs: &[T]) -> T {
+    xs[rng.random_range(0..xs.len())]
+}
+
+/// Generate one field list; at most one nested reference at top level.
+fn gen_fields(rng: &mut StdRng, allow_nested: Option<&str>) -> Vec<FSpec> {
+    let nf = rng.random_range(3usize..9);
+    let mut out: Vec<FSpec> = Vec::new();
+    let mut used_nested = false;
+    for i in 0..nf {
+        let name = format!("f{i}");
+        match rng.random_range(0u32..12) {
+            0 | 1 => out.push(FSpec { name, kind: FKind::Int, size: pick(rng, &INT_WIDTHS) }),
+            2 => out.push(FSpec { name, kind: FKind::Uint, size: pick(rng, &INT_WIDTHS) }),
+            3 => out.push(FSpec { name, kind: FKind::Bool, size: pick(rng, &INT_WIDTHS) }),
+            4 => out.push(FSpec { name, kind: FKind::Enum, size: pick(rng, &INT_WIDTHS) }),
+            5 => out.push(FSpec { name, kind: FKind::Char, size: 1 }),
+            6 => out.push(FSpec { name, kind: FKind::Float, size: pick(rng, &FLOAT_WIDTHS) }),
+            7 => out.push(FSpec { name, kind: FKind::Str, size: 0 }),
+            8 => out.push(FSpec {
+                name,
+                kind: FKind::StaticInt(rng.random_range(1usize..5)),
+                size: pick(rng, &[2usize, 4, 8]),
+            }),
+            9 => out.push(FSpec {
+                name,
+                kind: FKind::StaticFloat(rng.random_range(1usize..4)),
+                size: pick(rng, &FLOAT_WIDTHS),
+            }),
+            10 => {
+                let len = format!("len{i}");
+                out.push(FSpec { name: len.clone(), kind: FKind::Int, size: 4 });
+                let (kind, size) = if rng.random_bool(0.5) {
+                    (FKind::DynFloat(len), pick(rng, &FLOAT_WIDTHS))
+                } else {
+                    (FKind::DynInt(len), pick(rng, &INT_WIDTHS))
+                };
+                out.push(FSpec { name, kind, size });
+            }
+            _ => match allow_nested {
+                Some(inner) if !used_nested => {
+                    used_nested = true;
+                    out.push(FSpec { name, kind: FKind::Nested(inner.to_string()), size: 0 });
+                }
+                _ => out.push(FSpec { name, kind: FKind::Int, size: pick(rng, &INT_WIDTHS) }),
+            },
+        }
+    }
+    out
+}
+
+/// Fill every field with random values (length fields maintained by the
+/// array setters).
+fn fill(rng: &mut StdRng, rec: &mut RawRecord, desc: &FormatDescriptor, prefix: &str) {
+    let len_names: Vec<String> = desc
+        .fields
+        .iter()
+        .filter_map(|f| match &f.kind {
+            FieldKind::DynamicArray { length_field, .. } => Some(length_field.clone()),
+            _ => None,
+        })
+        .collect();
+    let int_val = |rng: &mut StdRng, w: usize| -> i64 {
+        let v = rng.next_u64();
+        let v = if w == 8 { v } else { v & ((1u64 << (8 * w)) - 1) };
+        v as i64
+    };
+    for f in desc.fields.clone() {
+        let path = format!("{prefix}{}", f.name);
+        if len_names.contains(&f.name) {
+            continue;
+        }
+        match &f.kind {
+            FieldKind::Scalar(BaseType::Float) => {
+                rec.set_f64(&path, rng.random_range(-1.0e6..1.0e6)).unwrap();
+            }
+            FieldKind::Scalar(BaseType::Char) => {
+                rec.set_i64(&path, rng.random_range(32i64..127)).unwrap();
+            }
+            FieldKind::Scalar(_) => {
+                rec.set_i64(&path, int_val(rng, f.size)).unwrap();
+            }
+            FieldKind::String => {
+                // Sometimes left unset: a null pointer slot must read as
+                // "" through both paths.
+                if rng.random_bool(0.8) {
+                    let n = rng.random_range(0usize..12);
+                    let s: String =
+                        (0..n).map(|_| (b'a' + rng.random_range(0u8..26)) as char).collect();
+                    rec.set_string(&path, s).unwrap();
+                }
+            }
+            FieldKind::StaticArray { elem: BaseType::Float, count, .. } => {
+                for i in 0..*count {
+                    rec.set_elem_f64(&path, i, rng.random_range(-1.0e6..1.0e6)).unwrap();
+                }
+            }
+            FieldKind::StaticArray { elem_size, count, .. } => {
+                for i in 0..*count {
+                    rec.set_elem_i64(&path, i, int_val(rng, *elem_size)).unwrap();
+                }
+            }
+            FieldKind::DynamicArray { elem: BaseType::Float, .. } => {
+                let n = rng.random_range(0usize..7);
+                let vals: Vec<f64> = (0..n).map(|_| rng.random_range(-1.0e6..1.0e6)).collect();
+                rec.set_f64_array(&path, &vals).unwrap();
+            }
+            FieldKind::DynamicArray { elem_size, .. } => {
+                let n = rng.random_range(0usize..7);
+                let vals: Vec<i64> = (0..n).map(|_| int_val(rng, *elem_size)).collect();
+                rec.set_i64_array(&path, &vals).unwrap();
+            }
+            FieldKind::Nested(sub) => {
+                let sub = sub.clone();
+                fill(rng, rec, &sub, &format!("{path}."));
+            }
+        }
+    }
+}
+
+/// Compare every accessor on the view against the owned record, walking
+/// nested formats by dotted path.
+fn compare(
+    seed: u64,
+    view: &RecordView<'_>,
+    owned: &RawRecord,
+    desc: &FormatDescriptor,
+    prefix: &str,
+) {
+    for f in &desc.fields {
+        let path = format!("{prefix}{}", f.name);
+        match &f.kind {
+            FieldKind::Scalar(BaseType::Float) => {
+                assert_eq!(
+                    view.get_f64(&path).unwrap(),
+                    owned.get_f64(&path).unwrap(),
+                    "seed {seed}: float {path}"
+                );
+            }
+            FieldKind::Scalar(BaseType::Unsigned) => {
+                assert_eq!(
+                    view.get_u64(&path).unwrap(),
+                    owned.get_u64(&path).unwrap(),
+                    "seed {seed}: unsigned {path}"
+                );
+            }
+            FieldKind::Scalar(BaseType::Boolean) => {
+                assert_eq!(
+                    view.get_bool(&path).unwrap(),
+                    owned.get_bool(&path).unwrap(),
+                    "seed {seed}: bool {path}"
+                );
+            }
+            FieldKind::Scalar(_) => {
+                assert_eq!(
+                    view.get_i64(&path).unwrap(),
+                    owned.get_i64(&path).unwrap(),
+                    "seed {seed}: int {path}"
+                );
+            }
+            FieldKind::String => {
+                assert_eq!(
+                    view.get_str(&path).unwrap(),
+                    owned.get_string(&path).unwrap(),
+                    "seed {seed}: string {path}"
+                );
+            }
+            FieldKind::StaticArray { elem: BaseType::Float, count, .. } => {
+                for i in 0..*count {
+                    assert_eq!(
+                        view.get_elem_f64(&path, i).unwrap(),
+                        owned.get_elem_f64(&path, i).unwrap(),
+                        "seed {seed}: static float {path}[{i}]"
+                    );
+                }
+            }
+            FieldKind::StaticArray { count, .. } => {
+                for i in 0..*count {
+                    assert_eq!(
+                        view.get_elem_i64(&path, i).unwrap(),
+                        owned.get_elem_i64(&path, i).unwrap(),
+                        "seed {seed}: static int {path}[{i}]"
+                    );
+                }
+            }
+            FieldKind::DynamicArray { elem: BaseType::Float, .. } => {
+                assert_eq!(
+                    view.dyn_len(&path).unwrap(),
+                    owned.dyn_len(&path).unwrap(),
+                    "seed {seed}: dyn len {path}"
+                );
+                assert_eq!(
+                    view.get_f64_array(&path).unwrap(),
+                    owned.get_f64_array(&path).unwrap(),
+                    "seed {seed}: dyn float {path}"
+                );
+            }
+            FieldKind::DynamicArray { .. } => {
+                assert_eq!(
+                    view.get_i64_array(&path).unwrap(),
+                    owned.get_i64_array(&path).unwrap(),
+                    "seed {seed}: dyn int {path}"
+                );
+            }
+            FieldKind::Nested(sub) => {
+                compare(seed, view, owned, sub, &format!("{path}."));
+            }
+        }
+    }
+}
+
+fn opposite(machine: MachineModel) -> MachineModel {
+    if machine == MachineModel::SPARC32 {
+        MachineModel::X86_64
+    } else {
+        MachineModel::SPARC32
+    }
+}
+
+fn run_case(seed: u64, machine: MachineModel) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let inner = gen_fields(&mut rng, None);
+    let outer = gen_fields(&mut rng, Some("Inner"));
+
+    let reg = FormatRegistry::new(machine);
+    reg.register(FormatSpec::new("Inner", inner.iter().map(FSpec::to_iofield).collect())).unwrap();
+    let fmt: Arc<FormatDescriptor> = reg
+        .register(FormatSpec::new("Outer", outer.iter().map(FSpec::to_iofield).collect()))
+        .unwrap();
+
+    let mut rec = RawRecord::new(fmt.clone());
+    fill(&mut rng, &mut rec, &fmt, "");
+    let wire = encode(&rec).unwrap();
+
+    // Same layout: the borrowed view path must be selected, and every
+    // accessor must agree with the owned decode.
+    let owned = decode_with(&wire, &reg, &fmt).unwrap();
+    let decoded = decode_borrowed(&wire, &reg, &fmt).unwrap();
+    let view = match decoded {
+        Decoded::View(v) => v,
+        Decoded::Owned(_) => panic!("seed {seed}: same-layout decode must select the view path"),
+    };
+    view.validate().unwrap();
+    compare(seed, &view, &owned, &fmt, "");
+    assert_eq!(view.to_owned().unwrap(), owned, "seed {seed}: to_owned differs from decode");
+
+    // Layout mismatch (opposite-endian receiver registration of the same
+    // fields): decode_borrowed must fall back to the owned convert path
+    // and agree with decode_with exactly.
+    let rreg = FormatRegistry::new(opposite(machine));
+    rreg.register(FormatSpec::new("Inner", inner.iter().map(FSpec::to_iofield).collect())).unwrap();
+    let rfmt = rreg
+        .register(FormatSpec::new("Outer", outer.iter().map(FSpec::to_iofield).collect()))
+        .unwrap();
+    rreg.register_descriptor((*fmt).clone());
+    let converted = decode_with(&wire, &rreg, &rfmt).unwrap();
+    match decode_borrowed(&wire, &rreg, &rfmt).unwrap() {
+        Decoded::Owned(r) => {
+            assert_eq!(r, converted, "seed {seed}: fallback decode differs from decode_with")
+        }
+        Decoded::View(_) => {
+            panic!("seed {seed}: cross-endian layouts must not take the view path")
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn view_matches_owned_big_endian_sender(seed in any::<u64>()) {
+        run_case(seed, MachineModel::SPARC32);
+    }
+
+    #[test]
+    fn view_matches_owned_little_endian_sender(seed in any::<u64>()) {
+        run_case(seed, MachineModel::X86_64);
+    }
+}

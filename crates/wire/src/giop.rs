@@ -61,73 +61,146 @@ pub struct GiopMessage {
     pub record: RawRecord,
 }
 
-/// Frame a record as a GIOP Request.
-pub fn encode_request(request_id: u32, rec: &RawRecord) -> Result<Vec<u8>, WireError> {
-    encode_message(MessageType::Request, request_id, rec)
+/// A framed message as header + borrowed body: ready for one vectored
+/// write, without the body ever being copied behind a fresh header.
+///
+/// The 12-byte GIOP header lives inline; the body stays in whatever
+/// buffer [`encode_request_into`] filled — typically a pooled buffer
+/// reused across messages.
+#[derive(Debug)]
+pub struct GiopFrame<'a> {
+    header: [u8; 12],
+    body: &'a [u8],
 }
 
-/// Frame a record as a GIOP Reply.
+impl GiopFrame<'_> {
+    /// The 12-byte GIOP header.
+    pub fn header(&self) -> &[u8; 12] {
+        &self.header
+    }
+
+    /// The CDR-encoded message body (borrowed from the encode buffer).
+    pub fn body(&self) -> &[u8] {
+        self.body
+    }
+
+    /// Total framed size in bytes.
+    pub fn len(&self) -> usize {
+        12 + self.body.len()
+    }
+
+    /// Frames are never empty (the header alone is 12 bytes).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Coalesce into one contiguous message (compat path; copies).
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len());
+        out.extend_from_slice(&self.header);
+        out.extend_from_slice(self.body);
+        out
+    }
+}
+
+/// Frame a record as a GIOP Request into `body` (cleared first),
+/// returning the header + borrowed-body pair.  Steady-state senders
+/// reuse `body` so no per-message allocation occurs once it has grown
+/// to the working-set size.
+pub fn encode_request_into<'a>(
+    request_id: u32,
+    rec: &RawRecord,
+    body: &'a mut Vec<u8>,
+) -> Result<GiopFrame<'a>, WireError> {
+    encode_message_into(MessageType::Request, request_id, rec, body)
+}
+
+/// Frame a record as a GIOP Reply into `body` (cleared first).
+pub fn encode_reply_into<'a>(
+    request_id: u32,
+    rec: &RawRecord,
+    body: &'a mut Vec<u8>,
+) -> Result<GiopFrame<'a>, WireError> {
+    encode_message_into(MessageType::Reply, request_id, rec, body)
+}
+
+/// Frame a record as a GIOP Request (compat: allocates a fresh message).
+pub fn encode_request(request_id: u32, rec: &RawRecord) -> Result<Vec<u8>, WireError> {
+    let mut body = Vec::new();
+    Ok(encode_request_into(request_id, rec, &mut body)?.to_vec())
+}
+
+/// Frame a record as a GIOP Reply (compat: allocates a fresh message).
 pub fn encode_reply(request_id: u32, rec: &RawRecord) -> Result<Vec<u8>, WireError> {
-    encode_message(MessageType::Reply, request_id, rec)
+    let mut body = Vec::new();
+    Ok(encode_reply_into(request_id, rec, &mut body)?.to_vec())
 }
 
 fn err(message: impl Into<String>) -> WireError {
     WireError::new("giop", message)
 }
 
-fn encode_message(mt: MessageType, request_id: u32, rec: &RawRecord) -> Result<Vec<u8>, WireError> {
+fn encode_message_into<'a>(
+    mt: MessageType,
+    request_id: u32,
+    rec: &RawRecord,
+    body: &'a mut Vec<u8>,
+) -> Result<GiopFrame<'a>, WireError> {
     let order = Order::native();
     let operation = format!("deliver_{}", rec.format().name);
     // Build the body first (header carries its length).
     // Request header (GIOP 1.0, CDR-encoded relative to body start):
     //   service context count (0), request id, response_expected,
     //   object key (sequence<octet>), operation string, principal (0).
-    let mut body = Vec::with_capacity(rec.format().record_size * 2 + 64);
-    put_uint(&mut body, order, 4, 0); // service context: empty sequence
-    put_uint(&mut body, order, 4, u64::from(request_id));
+    body.clear();
+    put_uint(body, order, 4, 0); // service context: empty sequence
+    put_uint(body, order, 4, u64::from(request_id));
     match mt {
         MessageType::Request => {
             body.push(1); // response_expected
                           // CDR aligns the next u32 to 4.
-            while body.len() % 4 != 0 {
+            while !body.len().is_multiple_of(4) {
                 body.push(0);
             }
-            put_uint(&mut body, order, 4, 4); // object key length
+            put_uint(body, order, 4, 4); // object key length
             body.extend_from_slice(b"XMIT");
-            put_uint(&mut body, order, 4, (operation.len() + 1) as u64);
+            put_uint(body, order, 4, (operation.len() + 1) as u64);
             body.extend_from_slice(operation.as_bytes());
             body.push(0);
-            while body.len() % 4 != 0 {
+            while !body.len().is_multiple_of(4) {
                 body.push(0);
             }
-            put_uint(&mut body, order, 4, 0); // principal: empty
+            put_uint(body, order, 4, 0); // principal: empty
         }
         MessageType::Reply => {
-            put_uint(&mut body, order, 4, 0); // reply_status NO_EXCEPTION
-            put_uint(&mut body, order, 4, (operation.len() + 1) as u64);
+            put_uint(body, order, 4, 0); // reply_status NO_EXCEPTION
+            put_uint(body, order, 4, (operation.len() + 1) as u64);
             body.extend_from_slice(operation.as_bytes());
             body.push(0);
-            while body.len() % 4 != 0 {
+            while !body.len().is_multiple_of(4) {
                 body.push(0);
             }
         }
     }
     // The record body is a CDR encapsulation (own byte-order flag).
     let cdr = CdrWire::new();
-    cdr.encode(rec, &mut body)?;
+    cdr.encode(rec, body)?;
 
-    let mut out = Vec::with_capacity(12 + body.len());
-    out.extend_from_slice(GIOP_MAGIC);
-    out.push(GIOP_MAJOR);
-    out.push(GIOP_MINOR);
-    out.push(match order {
+    let mut header = [0u8; 12];
+    header[0..4].copy_from_slice(GIOP_MAGIC);
+    header[4] = GIOP_MAJOR;
+    header[5] = GIOP_MINOR;
+    header[6] = match order {
         Order::Be => 0,
         Order::Le => 1,
+    };
+    header[7] = mt.code();
+    let body_len = body.len() as u32;
+    header[8..12].copy_from_slice(&match order {
+        Order::Be => body_len.to_be_bytes(),
+        Order::Le => body_len.to_le_bytes(),
     });
-    out.push(mt.code());
-    put_uint(&mut out, order, 4, body.len() as u64);
-    out.extend_from_slice(&body);
-    Ok(out)
+    Ok(GiopFrame { header, body })
 }
 
 /// Parse a GIOP message, decoding the body into `format`.
@@ -210,6 +283,18 @@ fn read_cdr_string(cur: &mut Cursor<'_>, order: Order) -> Result<String, WireErr
 /// self-delimiting: the header carries the body length).
 pub fn write_to(stream: &mut dyn std::io::Write, message: &[u8]) -> Result<(), WireError> {
     stream.write_all(message).map_err(|e| err(format!("write: {e}")))?;
+    stream.flush().map_err(|e| err(format!("flush: {e}")))
+}
+
+/// Write a header + borrowed-body frame in one gather-write: the header
+/// and the encode buffer go out in a single syscall without first being
+/// coalesced into a contiguous message.
+pub fn write_message(
+    stream: &mut dyn std::io::Write,
+    frame: &GiopFrame<'_>,
+) -> Result<(), WireError> {
+    openmeta_net::write_all_vectored(stream, &[&frame.header[..], frame.body])
+        .map_err(|e| err(format!("write: {e}")))?;
     stream.flush().map_err(|e| err(format!("flush: {e}")))
 }
 
@@ -325,6 +410,37 @@ mod tests {
     }
 
     #[test]
+    fn frame_into_matches_owned_encoding_and_reuses_buffer() {
+        let (fmt, rec) = fixture();
+        let owned = encode_request(7, &rec).unwrap();
+        let mut body = Vec::new();
+        {
+            let frame = encode_request_into(7, &rec, &mut body).unwrap();
+            assert_eq!(frame.to_vec(), owned, "split frame must serialise identically");
+            assert_eq!(frame.len(), owned.len());
+        }
+        let cap = body.capacity();
+        // Re-encoding into the same buffer must not reallocate.
+        let frame = encode_request_into(8, &rec, &mut body).unwrap();
+        let msg = decode_message(&frame.to_vec(), &fmt).unwrap();
+        assert_eq!(msg.request_id, 8);
+        assert_eq!(body.capacity(), cap, "steady-state encode must reuse the body buffer");
+    }
+
+    #[test]
+    fn vectored_write_produces_canonical_bytes() {
+        let (fmt, rec) = fixture();
+        let mut body = Vec::new();
+        let frame = encode_reply_into(9, &rec, &mut body).unwrap();
+        let mut sink = Vec::new();
+        write_message(&mut sink, &frame).unwrap();
+        assert_eq!(sink, encode_reply(9, &rec).unwrap());
+        let msg = decode_message(&sink, &fmt).unwrap();
+        assert_eq!(msg.message_type, MessageType::Reply);
+        assert_eq!(msg.request_id, 9);
+    }
+
+    #[test]
     fn header_carries_byte_order_flag() {
         let (_, rec) = fixture();
         let wire = encode_request(1, &rec).unwrap();
@@ -369,12 +485,15 @@ mod tests {
                 .unwrap();
             let (mut stream, _) = listener.accept().unwrap();
             let mut seen = Vec::new();
+            // One body buffer reused across replies: after the first
+            // message no per-reply allocation happens.
+            let mut body = Vec::new();
             while let Some(msg) = read_from(&mut stream, &registry).unwrap() {
                 assert_eq!(msg.message_type, MessageType::Request);
                 seen.push(msg.record.get_i64("timestep").unwrap());
                 // Echo a reply carrying the same record.
-                let reply = encode_reply(msg.request_id, &msg.record).unwrap();
-                write_to(&mut stream, &reply).unwrap();
+                let reply = encode_reply_into(msg.request_id, &msg.record, &mut body).unwrap();
+                write_message(&mut stream, &reply).unwrap();
                 if seen.len() == 3 {
                     break;
                 }
@@ -394,11 +513,12 @@ mod tests {
                 ],
             ))
             .unwrap();
+        let mut body = Vec::new();
         for i in 0..3 {
             let mut r = rec.clone();
             r.set_i64("timestep", 100 + i).unwrap();
-            let req = encode_request(i as u32, &r).unwrap();
-            write_to(&mut client, &req).unwrap();
+            let req = encode_request_into(i as u32, &r, &mut body).unwrap();
+            write_message(&mut client, &req).unwrap();
             let reply = read_from(&mut client, &client_registry).unwrap().unwrap();
             assert_eq!(reply.message_type, MessageType::Reply);
             assert_eq!(reply.request_id, i as u32);

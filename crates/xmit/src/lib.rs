@@ -64,7 +64,8 @@ pub use watcher::{FormatChange, FormatWatcher};
 // Re-exports so applications only need the `xmit` crate.
 pub use openmeta_ohttp::{DocumentSource, HttpServer, StandardSource, Url};
 pub use openmeta_pbio::{
-    decode, decode_with, encode, encode_into, Encoder, FormatDescriptor, FormatId, FormatRegistry,
-    FormatSpec, IOField, MachineModel, RawRecord, Value,
+    decode, decode_borrowed, decode_with, encode, encode_into, Decoded, Encoder, FormatDescriptor,
+    FormatId, FormatRegistry, FormatSpec, IOField, MachineModel, MarshalStats, RawRecord,
+    RecordView, Value,
 };
 pub use openmeta_schema::{ComplexType, SchemaDocument};

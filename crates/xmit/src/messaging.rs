@@ -17,7 +17,9 @@ use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 
-use openmeta_net::{connect_retrying, harden_stream, read_exact_capped, TransportConfig};
+use openmeta_net::{
+    connect_retrying, harden_stream, read_exact_capped, write_all_vectored, TransportConfig,
+};
 use openmeta_pbio::codec::{decode_descriptor, encode_descriptor};
 use openmeta_pbio::{decode, Encoder, FormatId, FormatRegistry, PbioError, RawRecord};
 
@@ -27,23 +29,24 @@ const FRAME_FORMAT: u8 = 1;
 const FRAME_RECORD: u8 = 2;
 const MAX_FRAME: usize = 64 << 20;
 
-fn write_frame(
-    stream: &mut TcpStream,
-    scratch: &mut Vec<u8>,
-    kind: u8,
-    payload: &[u8],
-) -> Result<(), XmitError> {
+/// Frame header: `len:u32be kind:u8`, built on the stack.
+fn frame_header(kind: u8, payload: &[u8]) -> Result<[u8; 5], XmitError> {
     let len = u32::try_from(payload.len())
         .map_err(|_| XmitError::Bcm(PbioError::Io("frame too large".to_string())))?;
-    // One coalesced write per frame: pushing the header and payload in
+    let mut hdr = [0u8; 5];
+    hdr[0..4].copy_from_slice(&len.to_be_bytes());
+    hdr[4] = kind;
+    Ok(hdr)
+}
+
+fn write_frame(stream: &mut TcpStream, kind: u8, payload: &[u8]) -> Result<(), XmitError> {
+    // One gather-write per frame: pushing the header and payload in
     // separate syscalls hands Nagle + delayed ACK a ~40 ms stall per
-    // message on a keep-alive connection.
-    scratch.clear();
-    scratch.reserve(5 + payload.len());
-    scratch.extend_from_slice(&len.to_be_bytes());
-    scratch.push(kind);
-    scratch.extend_from_slice(payload);
-    stream.write_all(scratch).map_err(PbioError::from)?;
+    // message on a keep-alive connection.  The vectored write keeps the
+    // single-syscall property without coalescing into a scratch buffer,
+    // so a burst of large records never pins a peak-sized allocation.
+    let hdr = frame_header(kind, payload)?;
+    write_all_vectored(stream, &[&hdr, payload]).map_err(PbioError::from)?;
     Ok(())
 }
 
@@ -51,12 +54,11 @@ fn write_frame(
 pub struct XmitSender {
     stream: TcpStream,
     announced: HashSet<FormatId>,
-    /// Cached encode plans + reusable wire buffer: steady-state sends do
-    /// no per-message descriptor walking and no allocation.
+    /// Cached encode plans + pooled wire buffer: steady-state sends do
+    /// no per-message descriptor walking and no allocation.  Frames go
+    /// out as header+payload gather-writes, so no second copy of the
+    /// encoded record is ever held.
     enc: Encoder,
-    /// Reusable frame buffer: each send is one `write_all`, reusing the
-    /// same backing allocation.
-    scratch: Vec<u8>,
 }
 
 impl XmitSender {
@@ -82,7 +84,7 @@ impl XmitSender {
         // delayed ACKs.  Best effort: a stream that cannot take options
         // still transmits.
         let _ = stream.set_nodelay(true);
-        XmitSender { stream, announced: HashSet::new(), enc: Encoder::new(), scratch: Vec::new() }
+        XmitSender { stream, announced: HashSet::new(), enc: Encoder::new() }
     }
 
     /// Send one record.  The format descriptor precedes the first record
@@ -91,13 +93,27 @@ impl XmitSender {
         let _span = openmeta_obs::span!("transport.send");
         let id = rec.format().id();
         if self.announced.insert(id) {
+            // First record of this format: the descriptor frame and the
+            // record frame leave in one gather-write, so the announcement
+            // never rides a separate (Nagle-delayed) segment.
             let desc = encode_descriptor(rec.format());
-            write_frame(&mut self.stream, &mut self.scratch, FRAME_FORMAT, &desc)?;
+            let desc_hdr = frame_header(FRAME_FORMAT, &desc)?;
+            let wire = self.enc.encode(rec)?;
+            let rec_hdr = frame_header(FRAME_RECORD, wire)?;
+            write_all_vectored(&mut self.stream, &[&desc_hdr, &desc, &rec_hdr, wire])
+                .map_err(PbioError::from)?;
+        } else {
+            let wire = self.enc.encode(rec)?;
+            write_frame(&mut self.stream, FRAME_RECORD, wire)?;
         }
-        let wire = self.enc.encode(rec)?;
-        write_frame(&mut self.stream, &mut self.scratch, FRAME_RECORD, wire)?;
         self.stream.flush().map_err(PbioError::from)?;
         Ok(())
+    }
+
+    /// Marshal counters for this sender's encoder (allocations observed
+    /// and bytes copied), for steady-state zero-allocation assertions.
+    pub fn marshal_stats(&self) -> openmeta_pbio::MarshalStats {
+        self.enc.marshal_stats()
     }
 }
 
@@ -269,6 +285,46 @@ mod tests {
         }
         drop(tx);
         assert_eq!(counter.join().unwrap(), (1, 10));
+    }
+
+    #[test]
+    fn steady_state_send_does_not_allocate() {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let drain = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let registry = Arc::new(FormatRegistry::new(MachineModel::native()));
+            let mut rx = XmitReceiver::new(stream, registry);
+            let mut n = 0usize;
+            while rx.recv().unwrap().is_some() {
+                n += 1;
+            }
+            n
+        });
+
+        let xmit = Xmit::new(MachineModel::native());
+        xmit.load_str(&simple_data_xml()).unwrap();
+        let token = xmit.bind("SimpleData").unwrap();
+        let mut rec = token.new_record();
+        rec.set_i64("timestep", 1).unwrap();
+        rec.set_f64_array("data", &[0.25; 64]).unwrap();
+
+        let mut tx = XmitSender::connect(addr).unwrap();
+        // Warm-up: the encode buffer grows to the working-set size.
+        for _ in 0..4 {
+            tx.send(&rec).unwrap();
+        }
+        let warm = tx.marshal_stats().allocs;
+        for _ in 0..64 {
+            tx.send(&rec).unwrap();
+        }
+        assert_eq!(
+            tx.marshal_stats().allocs,
+            warm,
+            "steady-state sends must not grow the encode buffer"
+        );
+        drop(tx);
+        assert_eq!(drain.join().unwrap(), 68);
     }
 
     #[test]
