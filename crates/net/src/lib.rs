@@ -22,23 +22,34 @@
 //!   bytes actually arrive, so an untrusted length prefix cannot force a
 //!   large up-front allocation;
 //! * [`FaultProxy`] — a TCP proxy test fixture injecting stalls,
-//!   mid-frame resets, truncation and partial writes.
+//!   mid-frame resets, truncation and partial writes;
+//! * [`EventLoop`] — a readiness poll-loop backend ([`Backend`] selects
+//!   it per server) sweeping nonblocking sockets with per-connection
+//!   state machines, deadlines from a [`TimerWheel`], and sans-io
+//!   protocol cores ([`EventHandler`], [`LengthFramer`]).
 
 #![deny(unsafe_code)]
 
 pub mod config;
+pub mod event_loop;
 pub mod faults;
 pub mod framing;
+pub mod nio;
 pub mod retry;
+pub mod sansio;
 pub mod stats;
 pub(crate) mod sync;
+pub mod timer;
 pub mod workers;
 
 pub use config::{
-    connect_retrying, connect_with_deadline, harden_stream, ServerConfig, TransportConfig,
+    connect_retrying, connect_with_deadline, harden_stream, Backend, ServerConfig, TransportConfig,
 };
+pub use event_loop::{Dispatch, EventHandler, EventLoop, HandlerFactory};
 pub use faults::{Fault, FaultProxy};
 pub use framing::{is_timeout, read_exact_capped, write_all_vectored, READ_CHUNK};
 pub use retry::RetryPolicy;
+pub use sansio::{read_frame_blocking, LengthFramer};
 pub use stats::{ServerStats, TransportCounters};
+pub use timer::TimerWheel;
 pub use workers::{ConnTracker, WorkerPool};

@@ -1,0 +1,184 @@
+//! Hashed timer wheel for per-connection deadlines.
+//!
+//! The event loop tracks one deadline token per connection (the nearer
+//! of its read and write deadlines).  A sorted structure would pay
+//! `O(log n)` per keep-alive refresh at 10k+ connections; the wheel
+//! pays `O(1)` amortized: deadlines hash into coarse slots and the loop
+//! drains only the slots the clock has swept past.
+//!
+//! Deadlines move constantly (every byte of progress refreshes them),
+//! so the wheel is *lazy*: entries are never cancelled or moved.  When
+//! a slot fires, the stored deadline is checked — entries whose time
+//! has not actually come are re-inserted at their new slot, and the
+//! caller re-checks the connection's live deadline before acting on a
+//! delivered token (a token may be stale if the connection refreshed or
+//! closed after scheduling).  Slot granularity bounds how late a
+//! deadline can fire; staleness means it never fires early twice.
+
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct Entry {
+    token: u64,
+    deadline: Instant,
+}
+
+/// A fixed-slot hashed timer wheel.  Single-threaded by design: each
+/// event-loop shard owns one.
+#[derive(Debug)]
+pub struct TimerWheel {
+    slots: Vec<Vec<Entry>>,
+    slot_len: Duration,
+    epoch: Instant,
+    /// Last tick index processed by [`TimerWheel::expired`].
+    processed: u64,
+}
+
+impl TimerWheel {
+    /// A wheel of `slots` buckets, each `slot_len` wide.  The horizon is
+    /// `slots * slot_len`; farther deadlines park in the farthest slot
+    /// and lazily re-insert when it fires.
+    pub fn new(slot_len: Duration, slots: usize, now: Instant) -> TimerWheel {
+        assert!(slots >= 2 && !slot_len.is_zero());
+        TimerWheel {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            slot_len,
+            epoch: now,
+            processed: 0,
+        }
+    }
+
+    fn tick_of(&self, t: Instant) -> u64 {
+        let elapsed = t.saturating_duration_since(self.epoch);
+        (elapsed.as_nanos() / self.slot_len.as_nanos().max(1)) as u64
+    }
+
+    /// Schedule `token` to be delivered once `deadline` passes.
+    pub fn schedule(&mut self, token: u64, deadline: Instant) {
+        // Never place an entry at or behind the processed cursor: it
+        // would wait a full wheel revolution.  Already-due deadlines go
+        // in the next slot to fire.
+        let tick = self.tick_of(deadline).max(self.processed + 1);
+        let horizon = self.processed + self.slots.len() as u64 - 1;
+        let slot = (tick.min(horizon) as usize) % self.slots.len();
+        self.slots[slot].push(Entry { token, deadline });
+    }
+
+    /// Advance the wheel to `now`, appending every token whose stored
+    /// deadline has passed to `out`.  Not-yet-due entries in swept slots
+    /// are re-inserted (the lazy step for beyond-horizon deadlines).
+    pub fn expired(&mut self, now: Instant, out: &mut Vec<u64>) {
+        let current = self.tick_of(now);
+        if current <= self.processed {
+            return;
+        }
+        // A long stall can sweep past every slot; one revolution visits
+        // them all, so cap the walk at the slot count.
+        let steps = (current - self.processed).min(self.slots.len() as u64);
+        let mut requeue: Vec<Entry> = Vec::new();
+        for i in 1..=steps {
+            let slot = ((self.processed + i) as usize) % self.slots.len();
+            for entry in self.slots[slot].drain(..) {
+                if entry.deadline <= now {
+                    out.push(entry.token);
+                } else {
+                    requeue.push(entry);
+                }
+            }
+        }
+        self.processed = current;
+        for entry in requeue {
+            self.schedule(entry.token, entry.deadline);
+        }
+    }
+
+    /// Entries currently parked in the wheel (stale ones included).
+    pub fn len(&self) -> usize {
+        self.slots.iter().map(|s| s.len()).sum()
+    }
+
+    /// `true` when no entries are parked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn delivers_after_deadline_not_before() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(ms(10), 32, t0);
+        wheel.schedule(1, t0 + ms(35));
+        let mut out = Vec::new();
+        wheel.expired(t0 + ms(20), &mut out);
+        assert!(out.is_empty(), "fired {out:?} before deadline");
+        wheel.expired(t0 + ms(50), &mut out);
+        assert_eq!(out, vec![1]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn beyond_horizon_deadline_lazily_reinserts() {
+        let t0 = Instant::now();
+        // Horizon is 8 * 10ms = 80ms; schedule at 250ms.
+        let mut wheel = TimerWheel::new(ms(10), 8, t0);
+        wheel.schedule(7, t0 + ms(250));
+        let mut out = Vec::new();
+        for step in 1..=24 {
+            wheel.expired(t0 + ms(step * 10), &mut out);
+            assert!(out.is_empty(), "fired at {}ms", step * 10);
+        }
+        wheel.expired(t0 + ms(260), &mut out);
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn long_stall_sweeps_every_slot_once() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(ms(10), 16, t0);
+        for token in 0..16u64 {
+            wheel.schedule(token, t0 + ms(5 * (token + 1)));
+        }
+        let mut out = Vec::new();
+        // Jump far past the whole horizon in one call.
+        wheel.expired(t0 + ms(100_000), &mut out);
+        out.sort_unstable();
+        assert_eq!(out, (0..16u64).collect::<Vec<_>>());
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn already_due_deadline_fires_on_next_sweep() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(ms(10), 8, t0);
+        let mut out = Vec::new();
+        wheel.expired(t0 + ms(500), &mut out); // advance the cursor far in
+        wheel.schedule(3, t0 + ms(100)); // already in the past
+        wheel.expired(t0 + ms(520), &mut out);
+        assert_eq!(out, vec![3]);
+    }
+
+    #[test]
+    fn refreshed_connection_redelivers_at_new_slot() {
+        // The lazy-cancel contract: the caller re-schedules on refresh
+        // and ignores stale tokens, so both entries deliver but only the
+        // live one matters.  The wheel just has to deliver both.
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(ms(10), 32, t0);
+        wheel.schedule(9, t0 + ms(30));
+        wheel.schedule(9, t0 + ms(90)); // refresh: same token, later deadline
+        let mut out = Vec::new();
+        wheel.expired(t0 + ms(40), &mut out);
+        assert_eq!(out, vec![9], "stale entry should still deliver");
+        out.clear();
+        wheel.expired(t0 + ms(100), &mut out);
+        assert_eq!(out, vec![9]);
+    }
+}

@@ -53,8 +53,9 @@ pub struct WorkerPool<T: Send + 'static = TcpStream> {
 }
 
 /// Spawn one worker thread; named outside loom, anonymous under it
-/// (loom's spawn API carries no thread builder).
-fn spawn_worker(label: String, body: impl FnOnce() + Send + 'static) -> JoinHandle<()> {
+/// (loom's spawn API carries no thread builder).  Shared with the
+/// event-loop backend's shard threads.
+pub(crate) fn spawn_worker(label: String, body: impl FnOnce() + Send + 'static) -> JoinHandle<()> {
     #[cfg(loom)]
     {
         let _ = label;

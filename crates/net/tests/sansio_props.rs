@@ -1,0 +1,117 @@
+//! Property tests for the sans-io frame decoder: however the byte
+//! stream is fragmented — byte at a time, random splits, everything at
+//! once — [`LengthFramer`] must emit exactly the frames that were
+//! encoded, in order, with nothing left over.
+
+use proptest::prelude::*;
+
+use openmeta_net::LengthFramer;
+
+const MAX: usize = 1 << 20;
+
+fn frames() -> impl Strategy<Value = Vec<(u8, Vec<u8>)>> {
+    proptest::collection::vec((any::<u8>(), proptest::collection::vec(any::<u8>(), 0..512)), 1..8)
+}
+
+fn encode(frames: &[(u8, Vec<u8>)], kind_byte: bool) -> Vec<u8> {
+    let mut wire = Vec::new();
+    for (kind, payload) in frames {
+        wire.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        if kind_byte {
+            wire.push(*kind);
+        }
+        wire.extend_from_slice(payload);
+    }
+    wire
+}
+
+/// Feed `wire` to a framer in fragments cut at `splits` (positions taken
+/// modulo the remaining length), draining frames after every push.
+fn decode_split(wire: &[u8], splits: &[usize], kind_byte: bool) -> Vec<(u8, Vec<u8>)> {
+    let mut framer =
+        if kind_byte { LengthFramer::with_kind_byte(MAX) } else { LengthFramer::new(MAX) };
+    let mut out = Vec::new();
+    let mut rest = wire;
+    for s in splits {
+        if rest.is_empty() {
+            break;
+        }
+        let n = 1 + (s % rest.len());
+        framer.push(&rest[..n]);
+        rest = &rest[n..];
+        while let Some(frame) = framer.next_frame().expect("valid wire") {
+            out.push(frame);
+        }
+    }
+    framer.push(rest);
+    while let Some(frame) = framer.next_frame().expect("valid wire") {
+        out.push(frame);
+    }
+    assert!(framer.is_empty(), "bytes left after the last frame");
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_splits_reassemble_kind_frames(
+        frames in frames(),
+        splits in proptest::collection::vec(any::<usize>(), 0..64),
+    ) {
+        let wire = encode(&frames, true);
+        prop_assert_eq!(decode_split(&wire, &splits, true), frames);
+    }
+
+    #[test]
+    fn random_splits_reassemble_plain_frames(
+        frames in frames(),
+        splits in proptest::collection::vec(any::<usize>(), 0..64),
+    ) {
+        let wire = encode(&frames, false);
+        let got = decode_split(&wire, &splits, false);
+        let want: Vec<(u8, Vec<u8>)> =
+            frames.into_iter().map(|(_, p)| (0u8, p)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn byte_at_a_time_equals_one_push(frames in frames()) {
+        let wire = encode(&frames, true);
+        let mut whole = LengthFramer::with_kind_byte(MAX);
+        whole.push(&wire);
+        let mut want = Vec::new();
+        while let Some(f) = whole.next_frame().unwrap() {
+            want.push(f);
+        }
+
+        let mut trickle = LengthFramer::with_kind_byte(MAX);
+        let mut got = Vec::new();
+        for b in &wire {
+            trickle.push(&[*b]);
+            while let Some(f) = trickle.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn bytes_needed_never_overshoots(frames in frames(), cut in any::<usize>()) {
+        // At any truncation point, bytes_needed() must name exactly the
+        // count that completes the next frame — feeding precisely that
+        // many bytes yields a frame (or consumes the rest of the wire).
+        let wire = encode(&frames, true);
+        let cut = cut % wire.len();
+        let mut framer = LengthFramer::with_kind_byte(MAX);
+        framer.push(&wire[..cut]);
+        while framer.next_frame().unwrap().is_some() {}
+        let need = framer.bytes_needed();
+        prop_assert!(need > 0, "incomplete stream must need bytes");
+        if cut + need <= wire.len() {
+            framer.push(&wire[cut..cut + need]);
+            prop_assert!(framer.next_frame().unwrap().is_some()
+                || framer.bytes_needed() > 0);
+        }
+    }
+}

@@ -209,6 +209,28 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Upper bound on the `q`-quantile (`0.0 ≤ q ≤ 1.0`): the inclusive
+    /// upper edge of the log2 bucket holding the rank-`⌈q·count⌉`
+    /// observation, so the true quantile is never understated by more
+    /// than one bucket width (≤ 2× at these bucket boundaries).  Returns
+    /// 0 with no observations and `u64::MAX` when the rank lands in the
+    /// overflow bucket.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total: u64 = self.buckets.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return Histogram::bucket_upper_bound(i).unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
 }
 
 /// Identity of one time series: metric name plus sorted label pairs.
@@ -446,6 +468,35 @@ mod loom_tests {
 #[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
+
+    #[test]
+    fn quantile_walks_cumulative_buckets() {
+        let h = Histogram::new();
+        // 90 fast observations at 100ns, 10 slow at ~1ms.
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let snap = h.snapshot();
+        // p50/p90 land in the bucket holding 100 ([64, 127]).
+        assert_eq!(snap.quantile(0.5), 127);
+        assert_eq!(snap.quantile(0.9), 127);
+        // p99 and p100 land in the bucket holding 1e6 ([2^19, 2^20-1]).
+        assert_eq!(snap.quantile(0.99), (1 << 20) - 1);
+        assert_eq!(snap.quantile(1.0), (1 << 20) - 1);
+        // p0 clamps to rank 1 (the smallest observation's bucket).
+        assert_eq!(snap.quantile(0.0), 127);
+    }
+
+    #[test]
+    fn quantile_handles_empty_and_overflow() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().quantile(0.99), 0);
+        h.record(u64::MAX);
+        assert_eq!(h.snapshot().quantile(0.5), u64::MAX);
+    }
 
     #[test]
     fn counters_and_gauges_register_and_sum() {

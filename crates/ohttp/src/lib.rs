@@ -22,6 +22,7 @@
 pub mod client;
 pub mod error;
 pub mod pool;
+pub mod request;
 pub mod server;
 pub mod source;
 pub(crate) mod sync;
@@ -35,7 +36,8 @@ pub use server::{default_http_config, HttpServer};
 // The transport-hardening knobs and counters servers and clients share,
 // re-exported so consumers configure [`HttpServer`] without a direct
 // `openmeta-net` dependency.
-pub use openmeta_net::{ServerConfig, TransportConfig, TransportCounters};
+pub use openmeta_net::{Backend, ServerConfig, TransportConfig, TransportCounters};
+pub use request::{Request, RequestParser};
 pub use source::{DocumentSource, Fetched, StandardSource};
 pub use url::Url;
 

@@ -25,7 +25,7 @@
 //! `openmeta_obs`).  They shadow any published document at those paths.
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -35,12 +35,14 @@ use std::time::Duration;
 use openmeta_obs::{Counter, MetricsRegistry};
 
 use openmeta_net::{
-    is_timeout, ConnTracker, ServerConfig, ServerStats, TransportCounters, WorkerPool,
+    is_timeout, Backend, ConnTracker, Dispatch, EventHandler, EventLoop, ServerConfig, ServerStats,
+    TransportCounters, WorkerPool,
 };
 use parking_lot::RwLock;
 
 use crate::content_hash64;
 use crate::error::HttpError;
+use crate::request::{Request, RequestParser};
 
 /// Hosted content: path → (content type, body).
 type ContentMap = HashMap<String, (String, Vec<u8>)>;
@@ -55,6 +57,31 @@ pub fn default_http_config() -> ServerConfig {
     ServerConfig { read_timeout: Some(KEEP_ALIVE_IDLE), ..ServerConfig::default() }
 }
 
+/// Shared request-handling state: the content map and the request
+/// counters, used identically by both backends.
+struct HttpShared {
+    content: Arc<RwLock<ContentMap>>,
+    hits: Arc<Counter>,
+    not_modified: Arc<Counter>,
+}
+
+/// The connection-handling engine behind the server: a blocking worker
+/// pool or the readiness event loop, per [`ServerConfig::backend`].
+#[derive(Clone)]
+enum Engine {
+    Threaded { pool: Arc<WorkerPool>, tracker: Arc<ConnTracker> },
+    Event(Arc<EventLoop>),
+}
+
+impl Engine {
+    fn submit(&self, stream: TcpStream) -> bool {
+        match self {
+            Engine::Threaded { pool, .. } => pool.submit(stream),
+            Engine::Event(el) => el.register(stream),
+        }
+    }
+}
+
 /// A running HTTP server; dropping it shuts it down gracefully,
 /// draining in-flight requests.
 pub struct HttpServer {
@@ -64,8 +91,7 @@ pub struct HttpServer {
     not_modified: Arc<Counter>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
-    pool: Arc<WorkerPool>,
-    tracker: Arc<ConnTracker>,
+    engine: Engine,
     stats: ServerStats,
     drain_timeout: Duration,
 }
@@ -81,7 +107,9 @@ impl HttpServer {
         HttpServer::start_with(port, default_http_config())
     }
 
-    /// Start a server with explicit worker/queue/deadline bounds.
+    /// Start a server with explicit worker/queue/deadline bounds.  The
+    /// config's [`Backend`] selects threaded or event-loop serving; the
+    /// rest of the API is identical either way.
     pub fn start_with(port: u16, cfg: ServerConfig) -> Result<HttpServer, HttpError> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
@@ -91,22 +119,47 @@ impl HttpServer {
         let not_modified = m.counter("openmeta_http_not_modified_total");
         let stop = Arc::new(AtomicBool::new(false));
         let stats = ServerStats::new();
-        let tracker = Arc::new(ConnTracker::new());
+        let shared = Arc::new(HttpShared {
+            content: content.clone(),
+            hits: hits.clone(),
+            not_modified: not_modified.clone(),
+        });
 
-        let (c, h, nm, s) = (content.clone(), hits.clone(), not_modified.clone(), stop.clone());
-        let (stats_w, tracker_w) = (stats.clone(), tracker.clone());
-        let pool = Arc::new(WorkerPool::new(
-            "http-server",
-            &cfg,
-            stats.clone(),
-            move |stream: TcpStream| {
-                let id = tracker_w.register(&stream);
-                let _ = serve(stream, &cfg, &c, &h, &nm, &s, &stats_w);
-                tracker_w.unregister(id);
-            },
-        ));
+        let engine = match cfg.backend {
+            Backend::Threaded => {
+                let tracker = Arc::new(ConnTracker::new());
+                let (sh, st) = (shared.clone(), stop.clone());
+                let (stats_w, tracker_w) = (stats.clone(), tracker.clone());
+                let pool = Arc::new(WorkerPool::new(
+                    "http-server",
+                    &cfg,
+                    stats.clone(),
+                    move |stream: TcpStream| {
+                        let id = tracker_w.register(&stream);
+                        let _ = serve(stream, &cfg, &sh, &st, &stats_w);
+                        tracker_w.unregister(id);
+                    },
+                ));
+                Engine::Threaded { pool, tracker }
+            }
+            Backend::EventLoop => {
+                let sh = shared.clone();
+                let el = EventLoop::start(
+                    "http-server",
+                    &cfg,
+                    stats.clone(),
+                    Arc::new(move || {
+                        Box::new(HttpConnHandler {
+                            shared: sh.clone(),
+                            parser: RequestParser::new(),
+                        }) as Box<dyn EventHandler>
+                    }),
+                );
+                Engine::Event(Arc::new(el))
+            }
+        };
 
-        let (stop_a, stats_a, pool_a) = (stop.clone(), stats.clone(), pool.clone());
+        let (stop_a, stats_a, engine_a) = (stop.clone(), stats.clone(), engine.clone());
         let accept_thread = std::thread::spawn(move || {
             for conn in listener.incoming() {
                 if stop_a.load(Ordering::Acquire) {
@@ -116,7 +169,7 @@ impl HttpServer {
                 stats_a.accepted();
                 // submit() counts rejections; the dropped stream closes,
                 // so a flood is bounded by the queue, not thread count.
-                let _ = pool_a.submit(stream);
+                let _ = engine_a.submit(stream);
             }
         });
         Ok(HttpServer {
@@ -126,8 +179,7 @@ impl HttpServer {
             not_modified,
             stop,
             accept_thread: Some(accept_thread),
-            pool,
-            tracker,
+            engine,
             stats,
             drain_timeout: cfg.drain_timeout,
         })
@@ -188,10 +240,20 @@ impl Drop for HttpServer {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        // Workers parked waiting for a peer's next request get EOF and
-        // exit; a worker mid-reply keeps its write half and finishes.
-        self.tracker.shutdown_reads();
-        self.pool.shutdown(self.drain_timeout);
+        match &self.engine {
+            Engine::Threaded { pool, tracker } => {
+                // Workers parked waiting for a peer's next request get EOF
+                // and exit; a worker mid-reply keeps its write half and
+                // finishes.
+                tracker.shutdown_reads();
+                pool.shutdown(self.drain_timeout);
+            }
+            Engine::Event(el) => {
+                // The loop stops reading, flushes queued responses and
+                // closes connections as their output drains.
+                el.shutdown(self.drain_timeout);
+            }
+        }
     }
 }
 
@@ -205,12 +267,13 @@ fn if_none_match_matches(header: &str, etag: &str) -> bool {
     header.split(',').map(str::trim).any(|candidate| candidate == "*" || candidate == etag)
 }
 
+/// Serve a connection on the threaded backend: a thin blocking wrapper
+/// around the sans-io [`RequestParser`] — the event loop runs the same
+/// parser and the same [`render`] on its shard threads.
 fn serve(
     stream: TcpStream,
     cfg: &ServerConfig,
-    content: &RwLock<ContentMap>,
-    hits: &Counter,
-    not_modified: &Counter,
+    shared: &HttpShared,
     stop: &AtomicBool,
     stats: &ServerStats,
 ) -> std::io::Result<()> {
@@ -220,126 +283,138 @@ fn serve(
     // Responses are written in one piece; without TCP_NODELAY a reused
     // connection can stall ~40 ms per exchange (Nagle vs delayed ACK).
     stream.set_nodelay(true)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
+    let mut stream = stream;
+    let mut parser = RequestParser::new();
+    let mut scratch = [0u8; 8 * 1024];
     loop {
-        let mut request_line = String::new();
-        match reader.read_line(&mut request_line) {
+        let n = match stream.read(&mut scratch) {
             Ok(0) => return Ok(()), // client closed
-            Ok(_) => {}
-            Err(_) => return Ok(()), // idle timeout or reset
-        }
+            Ok(n) => n,
+            Err(e) => {
+                // A peer that stalls mid-request hits the read deadline
+                // and loses the connection; an *idle* keep-alive expiry
+                // (no partial request buffered) is a routine close.
+                if is_timeout(&e) && parser.has_partial() {
+                    stats.timed_out();
+                    return Ok(());
+                }
+                if is_timeout(&e) {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+        };
+        parser.push(&scratch[..n]);
         // A stopped server must not answer from its now-stale content
         // map; closing mid-request makes pooled clients reconnect.
-        if stop.load(Ordering::Acquire) || request_line.trim().is_empty() {
+        if stop.load(Ordering::Acquire) {
             return Ok(());
         }
-
-        let mut if_none_match: Option<String> = None;
-        let mut close_requested = false;
         loop {
-            let mut line = String::new();
-            match reader.read_line(&mut line) {
-                Ok(0) => return Ok(()),
-                Ok(_) => {}
-                Err(e) => {
-                    // A peer that stalls mid-request (between the request
-                    // line and the blank line) hits the read deadline and
-                    // loses the connection.
-                    if is_timeout(&e) {
-                        stats.timed_out();
-                        return Ok(());
-                    }
-                    return Err(e);
-                }
-            }
-            let line = line.trim_end();
-            if line.is_empty() {
-                break;
-            }
-            if let Some((name, value)) = line.split_once(':') {
-                let value = value.trim();
-                match name.to_ascii_lowercase().as_str() {
-                    "if-none-match" => if_none_match = Some(value.to_string()),
-                    "connection" => {
-                        close_requested =
-                            value.split(',').any(|t| t.trim().eq_ignore_ascii_case("close"));
-                    }
-                    _ => {}
-                }
+            let request = match parser.next_request() {
+                Ok(Some(r)) => r,
+                Ok(None) => break,
+                // Blank request line / oversized head: close, as the
+                // line-based loop always did.
+                Err(_) => return Ok(()),
+            };
+            stats.frame_in();
+            let out = render(shared, &request);
+            stream.write_all(&out)?;
+            stream.flush()?;
+            stats.frame_out();
+            if request.close_requested {
+                return Ok(());
             }
         }
+    }
+}
 
-        hits.inc();
-        stats.frame_in();
-        let mut parts = request_line.split_whitespace();
-        let method = parts.next().unwrap_or("");
-        let path = parts.next().unwrap_or("/");
-        if method != "GET" {
-            respond(
-                &mut writer,
-                405,
-                "Method Not Allowed",
-                "text/plain",
-                None,
-                Some(b"GET only\n"),
-            )?;
-        } else if path == "/metrics" {
-            // Built-in registry scrape (shadows any published document).
+/// The event-loop handler: the same parser and renderer, fed by the
+/// readiness sweep instead of blocking reads.
+struct HttpConnHandler {
+    shared: Arc<HttpShared>,
+    parser: RequestParser,
+}
+
+impl EventHandler for HttpConnHandler {
+    fn on_bytes(&mut self, bytes: &[u8], out: &mut Vec<u8>) -> std::io::Result<Dispatch> {
+        self.parser.push(bytes);
+        let mut dispatch = Dispatch::default();
+        while let Some(request) = self.parser.next_request()? {
+            out.extend_from_slice(&render(&self.shared, &request));
+            dispatch.requests += 1;
+            if request.close_requested {
+                dispatch.close = true;
+                break;
+            }
+        }
+        Ok(dispatch)
+    }
+
+    /// Only a mid-request stall counts as a timeout; an idle keep-alive
+    /// connection expiring is a routine close (threaded parity).
+    fn deadline_counts_as_timeout(&self) -> bool {
+        self.parser.has_partial()
+    }
+}
+
+/// Handle one parsed request, returning the complete response bytes.
+/// Shared verbatim by both backends.
+fn render(shared: &HttpShared, request: &Request) -> Vec<u8> {
+    shared.hits.inc();
+    if request.method != "GET" {
+        return response_bytes(405, "Method Not Allowed", "text/plain", None, Some(b"GET only\n"));
+    }
+    match request.path.as_str() {
+        // Built-in registry scrapes (shadow any published document).
+        "/metrics" => {
             let body = MetricsRegistry::global().snapshot().to_prometheus();
-            respond(
-                &mut writer,
-                200,
-                "OK",
-                "text/plain; version=0.0.4",
-                None,
-                Some(body.as_bytes()),
-            )?;
-        } else if path == "/metrics.json" {
+            response_bytes(200, "OK", "text/plain; version=0.0.4", None, Some(body.as_bytes()))
+        }
+        "/metrics.json" => {
             let body = MetricsRegistry::global().snapshot().to_json();
-            respond(&mut writer, 200, "OK", "application/json", None, Some(body.as_bytes()))?;
-        } else {
-            let body = content.read().get(path).cloned();
+            response_bytes(200, "OK", "application/json", None, Some(body.as_bytes()))
+        }
+        path => {
+            let body = shared.content.read().get(path).cloned();
             match body {
                 Some((ctype, bytes)) => {
                     let etag = etag_for(&bytes);
-                    let fresh = if_none_match
+                    let fresh = request
+                        .if_none_match
                         .as_deref()
                         .is_some_and(|inm| if_none_match_matches(inm, &etag));
                     if fresh {
-                        not_modified.inc();
-                        respond(&mut writer, 304, "Not Modified", &ctype, Some(&etag), None)?;
+                        shared.not_modified.inc();
+                        response_bytes(304, "Not Modified", &ctype, Some(&etag), None)
                     } else {
-                        respond(&mut writer, 200, "OK", &ctype, Some(&etag), Some(&bytes))?;
+                        response_bytes(200, "OK", &ctype, Some(&etag), Some(&bytes))
                     }
                 }
-                None => respond(
-                    &mut writer,
+                None => response_bytes(
                     404,
                     "Not Found",
                     "text/plain",
                     None,
                     Some(b"no such document\n"),
-                )?,
+                ),
             }
-        }
-        stats.frame_out();
-        if close_requested {
-            return Ok(());
         }
     }
 }
 
-/// Write one response.  `body: None` means a bodiless status (304): no
-/// `Content-Length` and no payload bytes.
-fn respond(
-    w: &mut TcpStream,
+/// Build one response as a single byte vector.  `body: None` means a
+/// bodiless status (304): no `Content-Length` and no payload bytes.
+/// One buffer per response: head and body in separate write segments
+/// would hand Nagle a reason to park the body behind a delayed ACK.
+fn response_bytes(
     code: u16,
     reason: &str,
     content_type: &str,
     etag: Option<&str>,
     body: Option<&[u8]>,
-) -> std::io::Result<()> {
+) -> Vec<u8> {
     let mut head = format!("HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\n");
     if let Some(tag) = etag {
         head.push_str(&format!("ETag: {tag}\r\n"));
@@ -348,14 +423,11 @@ fn respond(
         head.push_str(&format!("Content-Length: {}\r\n", body.len()));
     }
     head.push_str("Connection: keep-alive\r\n\r\n");
-    // One write per response: head and body in separate segments would
-    // hand Nagle a reason to park the body behind a delayed ACK.
     let mut out = head.into_bytes();
     if let Some(body) = body {
         out.extend_from_slice(body);
     }
-    w.write_all(&out)?;
-    w.flush()
+    out
 }
 
 #[cfg(test)]

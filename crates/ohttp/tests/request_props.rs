@@ -1,0 +1,97 @@
+//! Property tests for the sans-io request parser: however the request
+//! stream is fragmented, [`RequestParser`] must produce the same
+//! requests a single whole-buffer push does.
+
+use proptest::prelude::*;
+
+use openmeta_ohttp::{Request, RequestParser};
+
+fn token() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9/_.-]{1,24}"
+}
+
+fn request_head() -> impl Strategy<Value = (String, String, Option<String>, bool)> {
+    (
+        prop_oneof![Just("GET".to_string()), Just("POST".to_string()), token()],
+        token().prop_map(|p| format!("/{p}")),
+        (any::<bool>(), "[a-zA-Z0-9\"]{1,16}").prop_map(|(some, v)| some.then_some(v)),
+        any::<bool>(),
+    )
+}
+
+fn encode(heads: &[(String, String, Option<String>, bool)]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    for (method, path, inm, close) in heads {
+        wire.extend_from_slice(format!("{method} {path} HTTP/1.1\r\n").as_bytes());
+        wire.extend_from_slice(b"Host: prop\r\n");
+        if let Some(inm) = inm {
+            wire.extend_from_slice(format!("If-None-Match: {inm}\r\n").as_bytes());
+        }
+        if *close {
+            wire.extend_from_slice(b"Connection: close\r\n");
+        }
+        wire.extend_from_slice(b"\r\n");
+    }
+    wire
+}
+
+fn drain(parser: &mut RequestParser) -> Vec<Request> {
+    let mut out = Vec::new();
+    while let Some(r) = parser.next_request().expect("valid heads") {
+        out.push(r);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_splits_parse_identically(
+        heads in proptest::collection::vec(request_head(), 1..6),
+        splits in proptest::collection::vec(any::<usize>(), 0..48),
+    ) {
+        let wire = encode(&heads);
+
+        let mut whole = RequestParser::new();
+        whole.push(&wire);
+        let want = drain(&mut whole);
+        prop_assert_eq!(want.len(), heads.len());
+
+        let mut parser = RequestParser::new();
+        let mut got = Vec::new();
+        let mut rest = wire.as_slice();
+        for s in &splits {
+            if rest.is_empty() {
+                break;
+            }
+            let n = 1 + (s % rest.len());
+            parser.push(&rest[..n]);
+            rest = &rest[n..];
+            got.extend(drain(&mut parser));
+        }
+        parser.push(rest);
+        got.extend(drain(&mut parser));
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn byte_at_a_time_parses_every_head(
+        heads in proptest::collection::vec(request_head(), 1..4),
+    ) {
+        let wire = encode(&heads);
+        let mut parser = RequestParser::new();
+        let mut got = Vec::new();
+        for b in &wire {
+            parser.push(&[*b]);
+            got.extend(drain(&mut parser));
+        }
+        prop_assert_eq!(got.len(), heads.len());
+        for (req, (method, path, inm, close)) in got.iter().zip(&heads) {
+            prop_assert_eq!(&req.method, method);
+            prop_assert_eq!(&req.path, path);
+            prop_assert_eq!(&req.if_none_match, inm);
+            prop_assert_eq!(req.close_requested, *close);
+        }
+    }
+}

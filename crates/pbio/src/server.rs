@@ -19,7 +19,7 @@
 //! one persistent connection with retry-with-backoff connects and a
 //! single transparent reconnect when the held connection has gone stale.
 
-use std::io::{Read, Write};
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -27,8 +27,9 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use openmeta_net::{
-    connect_retrying, is_timeout, read_exact_capped, ConnTracker, ServerConfig, ServerStats,
-    TransportConfig, TransportCounters, WorkerPool,
+    connect_retrying, is_timeout, read_frame_blocking, Backend, ConnTracker, Dispatch,
+    EventHandler, EventLoop, LengthFramer, ServerConfig, ServerStats, TransportConfig,
+    TransportCounters, WorkerPool,
 };
 use parking_lot::Mutex;
 
@@ -59,43 +60,57 @@ pub(crate) fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> Result<(), 
     Ok(())
 }
 
-/// Read one frame.  The payload buffer grows in capped chunks as bytes
-/// arrive, so a malicious length prefix cannot force a 16 MiB allocation
-/// from a 4-byte header.
+/// Read one frame (client side).  Built on the sans-io [`LengthFramer`],
+/// which bounds the length prefix and grows the payload buffer only as
+/// bytes actually arrive.  A clean EOF before any byte means the peer
+/// hung up — for a client mid-request that is an error.
 pub(crate) fn read_frame(stream: &mut TcpStream) -> Result<Vec<u8>, PbioError> {
-    read_frame_io(stream).map_err(|e| {
-        if e.kind() == std::io::ErrorKind::InvalidData {
-            PbioError::Server(e.to_string())
-        } else {
-            PbioError::from(e)
+    let mut framer = LengthFramer::new(MAX_FRAME);
+    match read_frame_blocking(stream, &mut framer) {
+        Ok(Some((_, payload))) => Ok(payload),
+        Ok(None) => Err(PbioError::Io("connection closed by format server".to_string())),
+        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+            Err(PbioError::Server(e.to_string()))
         }
-    })
+        Err(e) => Err(PbioError::from(e)),
+    }
 }
 
-/// [`read_frame`] with the raw `io::Error` preserved, so callers can
-/// distinguish deadline expiry from disconnects.
-fn read_frame_io(stream: &mut TcpStream) -> Result<Vec<u8>, std::io::Error> {
-    let mut len_buf = [0u8; 4];
-    stream.read_exact(&mut len_buf)?;
-    let len = u32::from_be_bytes(len_buf) as usize;
-    if len > MAX_FRAME {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            format!("frame of {len} bytes exceeds limit"),
-        ));
+/// Build the wire payload of a fetch request (without the length
+/// prefix).  Exposed for load generators that drive the server with raw
+/// frames over nonblocking sockets.
+pub fn fetch_request_payload(id: FormatId) -> Vec<u8> {
+    let mut req = vec![OP_FETCH];
+    req.extend_from_slice(&id.0.to_be_bytes());
+    req
+}
+
+/// The connection-handling engine behind a [`FormatServer`]:
+/// blocking workers or the readiness poll loop, selected by
+/// [`ServerConfig::backend`] with no API difference.
+#[derive(Clone)]
+enum Engine {
+    Threaded { pool: Arc<WorkerPool>, tracker: Arc<ConnTracker> },
+    Event(Arc<EventLoop>),
+}
+
+impl Engine {
+    fn submit(&self, stream: TcpStream) -> bool {
+        match self {
+            Engine::Threaded { pool, .. } => pool.submit(stream),
+            Engine::Event(el) => el.register(stream),
+        }
     }
-    read_exact_capped(stream, len)
 }
 
 /// A running format server.  Dropping it shuts the server down
 /// gracefully: in-flight requests finish, idle keep-alive connections
-/// are closed, and the worker pool is drained.
+/// are closed, and the worker pool (or event loop) is drained.
 pub struct FormatServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
-    pool: Arc<WorkerPool>,
-    tracker: Arc<ConnTracker>,
+    engine: Engine,
     stats: ServerStats,
     drain_timeout: Duration,
 }
@@ -115,22 +130,45 @@ impl FormatServer {
         // descriptors that carry their own models.
         let store = Arc::new(FormatRegistry::new(MachineModel::native()));
         let stats = ServerStats::new();
-        let tracker = Arc::new(ConnTracker::new());
 
-        let (stop_w, stats_w, tracker_w) = (stop.clone(), stats.clone(), tracker.clone());
-        let pool =
-            WorkerPool::new("format-server", &cfg, stats.clone(), move |stream: TcpStream| {
-                let _ = stream.set_read_timeout(cfg.read_timeout);
-                let _ = stream.set_write_timeout(cfg.write_timeout);
-                let _ = stream.set_nodelay(true);
-                let id = tracker_w.register(&stream);
-                let _ = serve_connection(stream, &store, &stop_w, &stats_w);
-                tracker_w.unregister(id);
-            });
+        let engine = match cfg.backend {
+            Backend::Threaded => {
+                let tracker = Arc::new(ConnTracker::new());
+                let (stop_w, stats_w, tracker_w, store_w) =
+                    (stop.clone(), stats.clone(), tracker.clone(), store.clone());
+                let pool = WorkerPool::new(
+                    "format-server",
+                    &cfg,
+                    stats.clone(),
+                    move |stream: TcpStream| {
+                        let _ = stream.set_read_timeout(cfg.read_timeout);
+                        let _ = stream.set_write_timeout(cfg.write_timeout);
+                        let _ = stream.set_nodelay(true);
+                        let id = tracker_w.register(&stream);
+                        let _ = serve_connection(stream, &store_w, &stop_w, &stats_w);
+                        tracker_w.unregister(id);
+                    },
+                );
+                Engine::Threaded { pool: Arc::new(pool), tracker }
+            }
+            Backend::EventLoop => {
+                let store_e = store.clone();
+                let el = EventLoop::start(
+                    "format-server",
+                    &cfg,
+                    stats.clone(),
+                    Arc::new(move || {
+                        Box::new(FormatConn {
+                            store: store_e.clone(),
+                            framer: LengthFramer::new(MAX_FRAME),
+                        }) as Box<dyn EventHandler>
+                    }),
+                );
+                Engine::Event(Arc::new(el))
+            }
+        };
 
-        let (stop_a, stats_a) = (stop.clone(), stats.clone());
-        let pool = Arc::new(pool);
-        let pool_a = pool.clone();
+        let (stop_a, stats_a, engine_a) = (stop.clone(), stats.clone(), engine.clone());
         let accept_thread = std::thread::spawn(move || {
             for conn in listener.incoming() {
                 if stop_a.load(Ordering::Acquire) {
@@ -141,15 +179,14 @@ impl FormatServer {
                 // submit() counts the rejection and we drop the stream,
                 // so a connection flood costs a closed socket, never an
                 // unbounded thread.
-                let _ = pool_a.submit(stream);
+                let _ = engine_a.submit(stream);
             }
         });
         Ok(FormatServer {
             addr,
             stop,
             accept_thread: Some(accept_thread),
-            pool,
-            tracker,
+            engine,
             stats,
             drain_timeout: cfg.drain_timeout,
         })
@@ -176,25 +213,40 @@ impl Drop for FormatServer {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        // Unblock workers parked in a read (idle keep-alive clients);
-        // a worker mid-reply keeps its write half and finishes.
-        self.tracker.shutdown_reads();
-        self.pool.shutdown(self.drain_timeout);
+        match &self.engine {
+            Engine::Threaded { pool, tracker } => {
+                // Unblock workers parked in a read (idle keep-alive
+                // clients); a worker mid-reply keeps its write half and
+                // finishes.
+                tracker.shutdown_reads();
+                pool.shutdown(self.drain_timeout);
+            }
+            Engine::Event(el) => {
+                // The loop stops reading, flushes queued replies and
+                // closes connections as their output drains.
+                el.shutdown(self.drain_timeout);
+            }
+        }
     }
 }
 
+/// Threaded-backend connection loop: a thin blocking wrapper around the
+/// sans-io [`LengthFramer`] — the event loop runs the same framer and
+/// the same `handle_request` on its shard threads.
 fn serve_connection(
     mut stream: TcpStream,
     store: &FormatRegistry,
     stop: &AtomicBool,
     stats: &ServerStats,
 ) -> Result<(), PbioError> {
+    let mut framer = LengthFramer::new(MAX_FRAME);
     loop {
         if stop.load(Ordering::Acquire) {
             return Ok(());
         }
-        let req = match read_frame_io(&mut stream) {
-            Ok(r) => r,
+        let req = match read_frame_blocking(&mut stream, &mut framer) {
+            Ok(Some((_, payload))) => payload,
+            Ok(None) => return Ok(()), // clean hang-up between frames
             Err(e) => {
                 if is_timeout(&e) {
                     // A peer that stalled mid-frame (or idled past the
@@ -202,7 +254,7 @@ fn serve_connection(
                     // worker moves on.
                     stats.timed_out();
                 }
-                return Ok(()); // timeout, hang-up, or garbage: close
+                return Ok(()); // timeout, mid-frame EOF, or garbage: close
             }
         };
         stats.frame_in();
@@ -212,6 +264,35 @@ fn serve_connection(
         };
         write_frame(&mut stream, &reply)?;
         stats.frame_out();
+    }
+}
+
+/// The event-loop handler: the same framer and `handle_request`, fed by
+/// the readiness sweep instead of blocking reads.  Any read-deadline
+/// expiry counts as a timeout, matching [`serve_connection`], which
+/// counts idle keep-alive expiry too (the trait's default).
+struct FormatConn {
+    store: Arc<FormatRegistry>,
+    framer: LengthFramer,
+}
+
+impl EventHandler for FormatConn {
+    fn on_bytes(&mut self, bytes: &[u8], out: &mut Vec<u8>) -> std::io::Result<Dispatch> {
+        self.framer.push(bytes);
+        let mut dispatch = Dispatch::default();
+        while let Some((_, payload)) = self.framer.next_frame()? {
+            let reply = {
+                let _span = openmeta_obs::span!("server.request");
+                handle_request(&payload, &self.store)
+            };
+            let len = u32::try_from(reply.len()).map_err(|_| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "reply frame too large")
+            })?;
+            out.extend_from_slice(&len.to_be_bytes());
+            out.extend_from_slice(&reply);
+            dispatch.requests += 1;
+        }
+        Ok(dispatch)
     }
 }
 

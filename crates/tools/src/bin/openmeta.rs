@@ -9,6 +9,7 @@
 //! openmeta serve    <dir> [port]
 //! openmeta planlint [--json] <xsd-file>...
 //! openmeta stats    [--json|--prom] [url]
+//! openmeta loadgen  [--server http|pbio] [--backend threaded|eventloop] ...
 //! ```
 
 use std::process::ExitCode;
@@ -23,7 +24,10 @@ fn usage() -> ExitCode {
          openmeta inspect <pbio-file>\n  \
          openmeta serve <dir> [port]\n  \
          openmeta planlint [--json] <xsd-file>...\n  \
-         openmeta stats [--json|--prom] [url]"
+         openmeta stats [--json|--prom] [url]\n  \
+         openmeta loadgen [--server http|pbio] [--backend threaded|eventloop]\n           \
+         [--connections N] [--requests N] [--json] [--check] [--max-p99-ms MS]\n           \
+         [--serve-only] [--target host:port]"
     );
     ExitCode::from(2)
 }
@@ -117,6 +121,29 @@ fn main() -> ExitCode {
                     _ => return usage(),
                 };
                 openmeta_tools::stats(format, url).map(|o| print!("{o}"))
+            }
+            ("loadgen", rest) => {
+                let opts = match openmeta_tools::loadgen::LoadgenOptions::parse(rest) {
+                    Ok(opts) => opts,
+                    Err(e) => {
+                        eprintln!("openmeta: {e}");
+                        return usage();
+                    }
+                };
+                match openmeta_tools::loadgen::run(opts) {
+                    Ok(report) => {
+                        if report.opts.json {
+                            print!("{}", report.to_json());
+                        } else {
+                            print!("{}", report.to_text());
+                        }
+                        if report.opts.check && !report.passed() {
+                            return ExitCode::FAILURE;
+                        }
+                        Ok(())
+                    }
+                    Err(e) => Err(e),
+                }
             }
             ("serve", [dir, rest @ ..]) => {
                 let port = match rest {

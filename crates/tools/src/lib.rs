@@ -19,6 +19,7 @@
 
 #![deny(unsafe_code)]
 
+pub mod loadgen;
 pub mod output;
 
 use std::fmt::Write as _;

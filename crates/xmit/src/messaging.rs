@@ -13,12 +13,13 @@
 //! ```
 
 use std::collections::HashSet;
-use std::io::{Read, Write};
+use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 
 use openmeta_net::{
-    connect_retrying, harden_stream, read_exact_capped, write_all_vectored, TransportConfig,
+    connect_retrying, harden_stream, read_frame_blocking, write_all_vectored, LengthFramer,
+    TransportConfig,
 };
 use openmeta_pbio::codec::{decode_descriptor, encode_descriptor};
 use openmeta_pbio::{decode, Encoder, FormatId, FormatRegistry, PbioError, RawRecord};
@@ -122,13 +123,14 @@ impl XmitSender {
 pub struct XmitReceiver {
     stream: TcpStream,
     registry: Arc<FormatRegistry>,
+    framer: LengthFramer,
 }
 
 impl XmitReceiver {
     /// Wrap an accepted stream; decoded records are converted to
     /// `registry`'s formats when it holds a same-named registration.
     pub fn new(stream: TcpStream, registry: Arc<FormatRegistry>) -> XmitReceiver {
-        XmitReceiver { stream, registry }
+        XmitReceiver { stream, registry, framer: LengthFramer::with_kind_byte(MAX_FRAME) }
     }
 
     /// Wrap an accepted stream with `cfg`'s read/write deadlines applied,
@@ -148,26 +150,19 @@ impl XmitReceiver {
         &self.registry
     }
 
+    /// Read one frame through the sans-io [`LengthFramer`] — the same
+    /// decoder the event-loop backend feeds from its readiness sweep.
+    /// The untrusted-length discipline carries over: the framer only
+    /// buffers bytes that actually arrived, and an oversized length
+    /// prefix is rejected as soon as the header is complete.
     fn read_frame(&mut self) -> Result<Option<(u8, Vec<u8>)>, XmitError> {
-        let mut len_buf = [0u8; 4];
-        match self.stream.read_exact(&mut len_buf) {
-            Ok(()) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-            Err(e) => return Err(XmitError::Bcm(e.into())),
+        match read_frame_blocking(&mut self.stream, &mut self.framer) {
+            Ok(frame) => Ok(frame),
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                Err(XmitError::Bcm(PbioError::BadWireData(e.to_string())))
+            }
+            Err(e) => Err(XmitError::Bcm(PbioError::from(e))),
         }
-        let len = u32::from_be_bytes(len_buf) as usize;
-        if len > MAX_FRAME {
-            return Err(XmitError::Bcm(PbioError::BadWireData(format!(
-                "frame of {len} bytes exceeds limit"
-            ))));
-        }
-        let mut kind = [0u8; 1];
-        self.stream.read_exact(&mut kind).map_err(PbioError::from)?;
-        // The length prefix is untrusted: grow the buffer in capped
-        // chunks as bytes actually arrive instead of allocating up to
-        // MAX_FRAME up front on a peer's say-so.
-        let payload = read_exact_capped(&mut self.stream, len).map_err(PbioError::from)?;
-        Ok(Some((kind[0], payload)))
     }
 
     /// Receive the next record; `Ok(None)` when the sender hung up
@@ -199,6 +194,7 @@ mod tests {
     use super::*;
     use crate::toolkit::Xmit;
     use openmeta_pbio::MachineModel;
+    use std::io::Read;
     use std::net::TcpListener;
 
     const XSD: &str = "http://www.w3.org/2001/XMLSchema";

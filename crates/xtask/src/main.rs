@@ -10,8 +10,9 @@
 //! violation (`.unwrap()` in non-test library code, raw
 //! `TcpStream::connect` without a deadline outside `crates/net`, direct
 //! `Instant::now()` timing outside `crates/obs`/`crates/bench`, a crate
-//! missing `#![deny(unsafe_code)]`), on any curated clippy lint, and on
-//! any error-severity `planlint` diagnostic over `fixtures/schemas/`.
+//! missing `#![deny(unsafe_code)]`, blocking socket I/O inside an
+//! event-loop module), on any curated clippy lint, and on any
+//! error-severity `planlint` diagnostic over `fixtures/schemas/`.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
@@ -52,6 +53,25 @@ const DENY_UNSAFE: &[&str] = &[
 /// Curated clippy deny set layered on top of `-D warnings`.
 const CLIPPY_DENY: &[&str] =
     &["clippy::dbg_macro", "clippy::todo", "clippy::unimplemented", "clippy::mem_forget"];
+
+/// Blocking I/O spellings banned inside event-loop modules (files whose
+/// name contains `event_loop`).  The readiness sweep must never issue a
+/// blocking `read`/`write` on a connection socket — one stalled peer
+/// would stall every connection on that shard — so all socket I/O there
+/// routes through `nio::read_ready`/`nio::write_ready` (which live in a
+/// different file precisely so this check stays a plain substring scan).
+const EVENT_LOOP_BLOCKING: &[&str] = &[
+    ".read(",
+    ".read_exact(",
+    ".read_to_end(",
+    ".read_vectored(",
+    ".read_line(",
+    ".write(",
+    ".write_all(",
+    ".write_vectored(",
+    "BufReader",
+    "BufWriter",
+];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -175,14 +195,17 @@ fn lint_tree(root: &Path) -> Vec<String> {
         let mut files = Vec::new();
         collect_rs(&src, &mut files);
         files.sort();
-        let opts = LintOpts {
+        let base = LintOpts {
             allow_unwrap: UNWRAP_EXEMPT.contains(&name.as_str()),
             allow_raw_connect: CONNECT_EXEMPT.contains(&name.as_str()),
             allow_raw_instant: INSTANT_EXEMPT.contains(&name.as_str()),
+            event_loop_module: false,
         };
         for file in &files {
             if let Ok(text) = std::fs::read_to_string(file) {
                 let rel = file.strip_prefix(root).unwrap_or(file);
+                let file_name = file.file_name().and_then(|n| n.to_str()).unwrap_or_default();
+                let opts = LintOpts { event_loop_module: file_name.contains("event_loop"), ..base };
                 violations.extend(lint_source(&rel.display().to_string(), &text, opts));
             }
         }
@@ -219,6 +242,8 @@ struct LintOpts {
     allow_unwrap: bool,
     allow_raw_connect: bool,
     allow_raw_instant: bool,
+    /// File is an event-loop module: blocking I/O spellings are banned.
+    event_loop_module: bool,
 }
 
 /// Lint one source file.  Test modules (`#[cfg(test)]` /
@@ -270,6 +295,17 @@ fn lint_source(rel: &str, text: &str, opts: LintOpts) -> Vec<String> {
                 "{rel}:{lineno}: direct `Instant::now()` timing in library code — use \
                  `openmeta_obs::clock::now()` or a stage span (`openmeta_obs::span!`)"
             ));
+        }
+        if opts.event_loop_module {
+            for pat in EVENT_LOOP_BLOCKING {
+                if line.contains(pat) {
+                    violations.push(format!(
+                        "{rel}:{lineno}: blocking I/O call `{pat}` inside an event-loop \
+                         module — route socket I/O through `nio::read_ready` / \
+                         `nio::write_ready` so one stalled peer cannot stall the sweep"
+                    ));
+                }
+            }
         }
     }
     violations
@@ -343,8 +379,12 @@ fn miri() -> ExitCode {
 mod tests {
     use super::*;
 
-    const OPTS: LintOpts =
-        LintOpts { allow_unwrap: false, allow_raw_connect: false, allow_raw_instant: false };
+    const OPTS: LintOpts = LintOpts {
+        allow_unwrap: false,
+        allow_raw_connect: false,
+        allow_raw_instant: false,
+        event_loop_module: false,
+    };
 
     #[test]
     fn seeded_unwrap_in_library_code_is_flagged() {
@@ -381,8 +421,7 @@ mod tests {
         let v = lint_source("lib.rs", src, OPTS);
         assert_eq!(v.len(), 1, "{v:?}");
         assert!(v[0].contains("lib.rs:2"), "{v:?}");
-        let exempt =
-            LintOpts { allow_unwrap: false, allow_raw_connect: true, allow_raw_instant: false };
+        let exempt = LintOpts { allow_raw_connect: true, ..OPTS };
         assert!(lint_source("lib.rs", src, exempt).is_empty());
     }
 
@@ -392,17 +431,39 @@ mod tests {
         let v = lint_source("lib.rs", src, OPTS);
         assert_eq!(v.len(), 1, "{v:?}");
         assert!(v[0].contains("lib.rs:2") && v[0].contains("clock::now"), "{v:?}");
-        let exempt =
-            LintOpts { allow_unwrap: false, allow_raw_connect: false, allow_raw_instant: true };
+        let exempt = LintOpts { allow_raw_instant: true, ..OPTS };
         assert!(lint_source("lib.rs", src, exempt).is_empty());
+    }
+
+    #[test]
+    fn blocking_io_in_event_loop_module_is_flagged() {
+        let src = "fn f(s: &mut TcpStream) {\n    let mut b = [0u8; 4];\n    \
+                   let _ = s.read_exact(&mut b);\n    let _ = s.write_all(&b);\n    \
+                   let r = BufReader::new(s);\n}\n";
+        let opts = LintOpts { event_loop_module: true, ..OPTS };
+        let v = lint_source("crates/net/src/event_loop.rs", src, opts);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().all(|m| m.contains("blocking I/O")), "{v:?}");
+        // The same source in any other file passes.
+        assert!(lint_source("crates/net/src/framing.rs", src, OPTS).is_empty());
+    }
+
+    #[test]
+    fn event_loop_lint_skips_tests_and_allows_nonblocking_helpers() {
+        let opts = LintOpts { event_loop_module: true, ..OPTS };
+        // Test modules may use blocking I/O (they drive the loop from
+        // the outside); the nio helpers are the sanctioned spellings.
+        let src = "fn f() {\n    let _ = read_ready(&mut s, &mut buf);\n    \
+                   let _ = write_ready(&mut s, &out);\n}\n\n#[cfg(test)]\nmod tests {\n    \
+                   fn t(s: &mut TcpStream) { let _ = s.write_all(b\"x\"); }\n}\n";
+        assert!(lint_source("event_loop.rs", src, opts).is_empty());
     }
 
     #[test]
     fn comments_and_exemptions_are_respected() {
         let src = "// .unwrap() in a comment\npub fn f() {}\n";
         assert!(lint_source("lib.rs", src, OPTS).is_empty());
-        let exempt =
-            LintOpts { allow_unwrap: true, allow_raw_connect: false, allow_raw_instant: false };
+        let exempt = LintOpts { allow_unwrap: true, ..OPTS };
         assert!(lint_source("lib.rs", "fn f() { x.unwrap() }\n", exempt).is_empty());
     }
 
