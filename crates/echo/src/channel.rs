@@ -1,0 +1,510 @@
+//! Channel hosting: registry, subscription handshake, and the
+//! one-encode-per-group publish path.
+//!
+//! A [`ChannelHost`] owns a listening socket and a set of channels
+//! keyed by their format's content id.  Each channel keeps its
+//! subscribers partitioned into *groups* by normalized projection spec:
+//! group 0 is the identity (full-fat records); every distinct
+//! projection gets one group, built on first subscription.
+//!
+//! ## The derived-channel publish path
+//!
+//! `publish` encodes the record **once** into the full-format wire
+//! image (that frame is both the identity group's payload and the
+//! conversion source).  Each projected group then executes its
+//! conversion sub-plan — `decode_with` through the group's registry,
+//! which compiles, caches, and (in debug / `verify-plans` builds)
+//! certifies the plan via `pbio::verify` — and encodes the projected
+//! record once.  Frames are `Arc`-shared across a group's seats, so
+//! encodes per event equals the number of active groups, not the
+//! number of subscribers.
+//!
+//! Plans are additionally forced at *subscribe* time
+//! ([`FormatRegistry::convert_plan`]): a projection whose conversion
+//! plan is rejected refuses the subscription with `SUB_ERR` instead of
+//! shipping wrong bytes later.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use openmeta_net::{read_frame_blocking, Backend, LengthFramer};
+use openmeta_obs::span;
+use openmeta_pbio::codec::encode_descriptor;
+use openmeta_pbio::{
+    decode_with, BufferPool, Encoder, FormatDescriptor, FormatId, FormatRegistry, MachineModel,
+    RawRecord,
+};
+use openmeta_schema::{to_xml, ComplexType, SchemaDocument};
+use xmit::{project_type, Projection, Xmit};
+
+use crate::fanout::{Engine, Frame, Instruments, Offer, Seat, SlowPolicy};
+use crate::sync;
+use crate::wire::{
+    self, SubscribeRequest, FRAME_FORMAT, FRAME_RECORD, FRAME_SUBSCRIBE, FRAME_SUB_ERR,
+    FRAME_SUB_OK, MAX_FRAME,
+};
+use crate::EchoError;
+
+/// Host-wide channel configuration.
+#[derive(Debug, Clone)]
+pub struct ChannelConfig {
+    /// Delivery engine: writer thread per subscriber, or one readiness
+    /// sweep over nonblocking sockets.
+    pub backend: Backend,
+    /// Frames a subscriber may have queued before [`SlowPolicy`] kicks
+    /// in.
+    pub queue_cap: usize,
+    /// What the publisher does when a subscriber's queue is full.
+    pub policy: SlowPolicy,
+    /// Write deadline per queued burst (threaded: `SO_SNDTIMEO`;
+    /// event loop: anchored sweep deadline).
+    pub write_timeout: Option<Duration>,
+    /// Deadline for the subscription handshake.
+    pub handshake_timeout: Duration,
+    /// Machine model channel formats are bound against.
+    pub machine: MachineModel,
+}
+
+impl Default for ChannelConfig {
+    fn default() -> ChannelConfig {
+        ChannelConfig {
+            backend: Backend::Threaded,
+            queue_cap: 1024,
+            policy: SlowPolicy::Block,
+            write_timeout: Some(Duration::from_secs(5)),
+            handshake_timeout: Duration::from_secs(2),
+            machine: MachineModel::native(),
+        }
+    }
+}
+
+/// Per-channel counters, read from the channel's own instrument
+/// instances (process-global metrics see the same numbers summed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    pub events: u64,
+    pub encodes: u64,
+    pub delivered: u64,
+    pub dropped: u64,
+    pub disconnected: u64,
+    pub timed_out: u64,
+    pub subscribers: i64,
+    pub queue_depth: i64,
+}
+
+/// Outcome of one `publish` across every group and seat.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PublishReceipt {
+    /// Wire encodes performed (1 for the full format + 1 per active
+    /// projected group).
+    pub encodes: usize,
+    /// Seats the frame was enqueued to.
+    pub delivered: usize,
+    /// Seats that dropped the event (`SlowPolicy::DropNewest`).
+    pub dropped: usize,
+    /// Seats disconnected by this publish (`SlowPolicy::Disconnect`).
+    pub disconnected: usize,
+}
+
+/// A projected group's conversion + encode state.
+struct GroupCodec {
+    /// Knows the full descriptor (conversion source) and the projected
+    /// binding; `decode_with` compiles and caches the certified
+    /// sub-plan here.
+    registry: Arc<FormatRegistry>,
+    encoder: sync::Mutex<Encoder>,
+}
+
+/// Subscribers sharing one (normalized) projection — and therefore one
+/// encode per event.
+struct Group {
+    /// `""` for identity; otherwise the normalized projection spec.
+    key: String,
+    /// The format this group's subscribers receive.
+    format: Arc<FormatDescriptor>,
+    /// Prebuilt FORMAT announcement frame, seeded into every new seat.
+    format_frame: Frame,
+    /// `None` for the identity group (frames are the full encode).
+    codec: Option<GroupCodec>,
+    seats: sync::Mutex<Vec<Arc<Seat>>>,
+}
+
+struct ChannelInner {
+    definition: ComplexType,
+    format: Arc<FormatDescriptor>,
+    machine: MachineModel,
+    encoder: sync::Mutex<Encoder>,
+    groups: sync::Mutex<Vec<Arc<Group>>>,
+    obs: Arc<Instruments>,
+    queue_cap: usize,
+    policy: SlowPolicy,
+}
+
+struct HostInner {
+    cfg: ChannelConfig,
+    addr: SocketAddr,
+    channels: sync::Mutex<HashMap<u64, Arc<ChannelInner>>>,
+    engine: Engine,
+    stop: AtomicBool,
+}
+
+/// A running channel host: accepts subscribers and fans out events for
+/// every channel created on it.
+pub struct ChannelHost {
+    inner: Arc<HostInner>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ChannelHost {
+    /// Start on an ephemeral loopback port.
+    pub fn start(cfg: ChannelConfig) -> std::io::Result<ChannelHost> {
+        ChannelHost::start_on(("127.0.0.1", 0), cfg)
+    }
+
+    /// Start on an explicit address.
+    pub fn start_on(addr: impl ToSocketAddrs, cfg: ChannelConfig) -> std::io::Result<ChannelHost> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let engine = match cfg.backend {
+            Backend::Threaded => Engine::threaded(),
+            Backend::EventLoop => Engine::event_loop(cfg.write_timeout),
+        };
+        let inner = Arc::new(HostInner {
+            addr: listener.local_addr()?,
+            cfg,
+            channels: sync::Mutex::new(HashMap::new()),
+            engine,
+            stop: AtomicBool::new(false),
+        });
+        let acceptor = Arc::clone(&inner);
+        let accept = std::thread::Builder::new()
+            .name("echo-accept".to_string())
+            .spawn(move || accept_loop(&acceptor, listener))?;
+        Ok(ChannelHost { inner, accept: Some(accept) })
+    }
+
+    /// The address subscribers connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Create (and register) a channel for `definition`.  The channel
+    /// is addressed by the content id of the bound format — any party
+    /// holding the same definition computes the same id.
+    pub fn create_channel(&self, definition: &ComplexType) -> Result<Channel, EchoError> {
+        let cfg = &self.inner.cfg;
+        let xm = Xmit::new(cfg.machine);
+        xm.load_str(&to_xml(&SchemaDocument { types: vec![definition.clone()], enums: vec![] }))?;
+        let token = xm.bind(&definition.name)?;
+        let format_frame = descriptor_frame(&token.format)?;
+        let identity = Arc::new(Group {
+            key: String::new(),
+            format: Arc::clone(&token.format),
+            format_frame,
+            codec: None,
+            seats: sync::Mutex::new(Vec::new()),
+        });
+        let inner = Arc::new(ChannelInner {
+            definition: definition.clone(),
+            format: Arc::clone(&token.format),
+            machine: cfg.machine,
+            encoder: sync::Mutex::new(Encoder::new()),
+            groups: sync::Mutex::new(vec![identity]),
+            obs: Instruments::new(),
+            queue_cap: cfg.queue_cap,
+            policy: cfg.policy,
+        });
+        let id = inner.format.id();
+        sync::lock(&self.inner.channels).insert(id.0, Arc::clone(&inner));
+        Ok(Channel { inner, host: Arc::clone(&self.inner) })
+    }
+}
+
+impl Drop for ChannelHost {
+    fn drop(&mut self) {
+        self.inner.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let mut seats = Vec::new();
+        for chan in sync::lock(&self.inner.channels).values() {
+            for group in sync::lock(&chan.groups).iter() {
+                seats.extend(sync::lock(&group.seats).iter().cloned());
+            }
+        }
+        self.inner.engine.shutdown(&seats);
+    }
+}
+
+/// A publishing handle for one channel.  Clone freely; publishes from
+/// multiple threads serialize on the channel's encoder.
+#[derive(Clone)]
+pub struct Channel {
+    inner: Arc<ChannelInner>,
+    host: Arc<HostInner>,
+}
+
+impl Channel {
+    /// Content id subscribers address this channel by.
+    pub fn format_id(&self) -> FormatId {
+        self.inner.format.id()
+    }
+
+    /// The channel's (full) format descriptor.
+    pub fn format(&self) -> &Arc<FormatDescriptor> {
+        &self.inner.format
+    }
+
+    /// An empty record of the channel's format.
+    pub fn new_record(&self) -> RawRecord {
+        RawRecord::new(Arc::clone(&self.inner.format))
+    }
+
+    /// Live subscriber count across every group.
+    pub fn subscriber_count(&self) -> usize {
+        self.inner.obs.subscribers.get().max(0) as usize
+    }
+
+    /// Distinct active projections (groups with at least one live
+    /// subscriber; identity counts when subscribed to).
+    pub fn active_groups(&self) -> usize {
+        sync::lock(&self.inner.groups)
+            .iter()
+            .filter(|g| sync::lock(&g.seats).iter().any(|s| !s.is_dead()))
+            .count()
+    }
+
+    /// This channel's counters.
+    pub fn stats(&self) -> ChannelStats {
+        let o = &self.inner.obs;
+        ChannelStats {
+            events: o.events.get(),
+            encodes: o.encodes.get(),
+            delivered: o.delivered.get(),
+            dropped: o.dropped.get(),
+            disconnected: o.disconnected.get(),
+            timed_out: o.timed_out.get(),
+            subscribers: o.subscribers.get(),
+            queue_depth: o.queue_depth.get(),
+        }
+    }
+
+    /// Publish one event: one full encode (identity payload and
+    /// conversion source), one projected encode per active derived
+    /// group, `Arc`-shared frames onto every seat's bounded queue.
+    pub fn publish(&self, rec: &RawRecord) -> Result<PublishReceipt, EchoError> {
+        let inner = &self.inner;
+        if rec.format().id() != inner.format.id() {
+            return Err(EchoError::Schema(format!(
+                "record format '{}' ({:?}) does not match channel format '{}' ({:?})",
+                rec.format().name,
+                rec.format().id(),
+                inner.format.name,
+                inner.format.id(),
+            )));
+        }
+        let _publish_span = span!("channel.publish");
+        inner.obs.events.inc();
+
+        // One full-format encode per event, into a pooled shared frame.
+        let full_frame = {
+            let mut enc = sync::lock(&inner.encoder);
+            let payload = enc.encode(rec)?;
+            let mut buf = BufferPool::global().get();
+            wire::build_frame(&mut buf, FRAME_RECORD, &[payload])?;
+            Arc::new(buf)
+        };
+        inner.obs.encodes.inc();
+        let mut receipt = PublishReceipt { encodes: 1, ..PublishReceipt::default() };
+
+        let groups: Vec<Arc<Group>> = sync::lock(&inner.groups).clone();
+        {
+            let _fanout_span = span!("channel.fanout");
+            for group in &groups {
+                let seats: Vec<Arc<Seat>> = sync::lock(&group.seats).clone();
+                if group.codec.is_some() && seats.iter().all(|s| s.is_dead()) {
+                    // No live subscriber wants this projection: skip
+                    // its encode entirely.
+                    continue;
+                }
+                let frame = match &group.codec {
+                    None => Arc::clone(&full_frame),
+                    Some(codec) => {
+                        // Execute the certified sub-plan: full wire →
+                        // projected record → projected wire, once for
+                        // the whole group.
+                        let projected =
+                            decode_with(&full_frame[5..], &codec.registry, &group.format)?;
+                        let mut enc = sync::lock(&codec.encoder);
+                        let payload = enc.encode(&projected)?;
+                        let mut buf = BufferPool::global().get();
+                        wire::build_frame(&mut buf, FRAME_RECORD, &[payload])?;
+                        inner.obs.encodes.inc();
+                        receipt.encodes += 1;
+                        Arc::new(buf)
+                    }
+                };
+                for seat in &seats {
+                    match seat.offer(Arc::clone(&frame), inner.queue_cap, inner.policy) {
+                        Offer::Delivered => {
+                            inner.obs.delivered.inc();
+                            receipt.delivered += 1;
+                        }
+                        Offer::Dropped => {
+                            inner.obs.dropped.inc();
+                            receipt.dropped += 1;
+                        }
+                        Offer::Disconnected => {
+                            inner.obs.disconnected.inc();
+                            receipt.disconnected += 1;
+                        }
+                        Offer::Dead => {}
+                    }
+                }
+                sync::lock(&group.seats).retain(|s| !s.is_dead());
+            }
+        }
+        self.host.engine.kick();
+        Ok(receipt)
+    }
+}
+
+/// FORMAT announcement frame for a descriptor, pooled and shareable.
+fn descriptor_frame(format: &Arc<FormatDescriptor>) -> Result<Frame, EchoError> {
+    let desc = encode_descriptor(format);
+    let mut buf = BufferPool::global().get();
+    wire::build_frame(&mut buf, FRAME_FORMAT, &[&desc])?;
+    Ok(Arc::new(buf))
+}
+
+/// Normalized group key: keep-set order must not split groups.
+fn projection_key(p: &Projection) -> String {
+    let mut keep: Vec<&str> = p.keep.iter().map(String::as_str).collect();
+    keep.sort_unstable();
+    format!("{}|narrow={}|suffix={}", keep.join(","), p.narrow_doubles, p.rename_suffix)
+}
+
+impl ChannelInner {
+    /// Find or build the group for a projection spec.  Building binds
+    /// the projected type, registers the full descriptor as conversion
+    /// source, and forces the conversion plan through the registry's
+    /// cache — where `pbio::verify` certifies it (debug /
+    /// `verify-plans` builds) — before any subscriber is accepted.
+    fn group_for(&self, projection: &Option<Projection>) -> Result<Arc<Group>, EchoError> {
+        let Some(p) = projection else {
+            return sync::lock(&self.groups)
+                .first()
+                .cloned()
+                .ok_or_else(|| EchoError::Schema("channel has no identity group".to_string()));
+        };
+        let key = projection_key(p);
+        if let Some(found) = sync::lock(&self.groups).iter().find(|g| g.key == key) {
+            return Ok(Arc::clone(found));
+        }
+        let projected_ct = project_type(&self.definition, p)?;
+        let xm = Xmit::new(self.machine);
+        xm.load_str(&to_xml(&SchemaDocument { types: vec![projected_ct.clone()], enums: vec![] }))?;
+        let token = xm.bind(&projected_ct.name)?;
+        xm.registry().register_descriptor((*self.format).clone());
+        xm.registry().convert_plan(&self.format, &token.format)?;
+        let group = Arc::new(Group {
+            key,
+            format: Arc::clone(&token.format),
+            format_frame: descriptor_frame(&token.format)?,
+            codec: Some(GroupCodec {
+                registry: Arc::clone(xm.registry()),
+                encoder: sync::Mutex::new(Encoder::new()),
+            }),
+            seats: sync::Mutex::new(Vec::new()),
+        });
+        let mut groups = sync::lock(&self.groups);
+        // A racing handshake may have built the same group meanwhile.
+        if let Some(found) = groups.iter().find(|g| g.key == group.key) {
+            return Ok(Arc::clone(found));
+        }
+        groups.push(Arc::clone(&group));
+        Ok(group)
+    }
+}
+
+// ------------------------------------------------------ accept side
+
+fn accept_loop(host: &Arc<HostInner>, listener: TcpListener) {
+    while !host.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => handshake(host, stream),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Run one subscription handshake; errors answer with `SUB_ERR` where
+/// the socket still permits, then drop the connection.
+fn handshake(host: &Arc<HostInner>, mut stream: TcpStream) {
+    let deadline = Some(host.cfg.handshake_timeout);
+    if stream.set_nonblocking(false).is_err()
+        || stream.set_read_timeout(deadline).is_err()
+        || stream.set_write_timeout(deadline).is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    match subscribe(host, &mut stream) {
+        Ok((group, obs)) => {
+            let seat = Seat::new(stream, obs);
+            // Announce the group's format ahead of any record frame.
+            seat.offer(Arc::clone(&group.format_frame), usize::MAX, SlowPolicy::Block);
+            // Register the seat before SUB_OK goes out: the moment the
+            // subscriber's connect() returns, it is counted and sees
+            // every subsequent publish.  Queued frames stay put until
+            // the engine attaches, so SUB_OK still leads on the wire.
+            sync::lock(&group.seats).push(Arc::clone(&seat));
+            let mut ok = Vec::with_capacity(5 + 8);
+            if wire::build_frame(&mut ok, FRAME_SUB_OK, &[&group.format.id().0.to_be_bytes()])
+                .is_err()
+                || seat.write_direct(&ok).is_err()
+                || host.engine.attach(Arc::clone(&seat), host.cfg.write_timeout).is_err()
+            {
+                seat.kill();
+            }
+        }
+        Err(e) => {
+            let _ = reply(&mut stream, FRAME_SUB_ERR, e.to_string().as_bytes());
+        }
+    }
+}
+
+/// Parse and resolve one SUBSCRIBE frame.
+fn subscribe(
+    host: &Arc<HostInner>,
+    stream: &mut TcpStream,
+) -> Result<(Arc<Group>, Arc<Instruments>), EchoError> {
+    let mut framer = LengthFramer::with_kind_byte(MAX_FRAME);
+    let Some((kind, payload)) = read_frame_blocking(stream, &mut framer)? else {
+        return Err(EchoError::Closed);
+    };
+    if kind != FRAME_SUBSCRIBE {
+        return Err(EchoError::Rejected(format!("expected SUBSCRIBE frame, got kind {kind}")));
+    }
+    let req = SubscribeRequest::decode(&payload)?;
+    let channel = sync::lock(&host.channels).get(&req.channel.0).cloned().ok_or_else(|| {
+        EchoError::Rejected(format!("no channel with format id {}", req.channel.0))
+    })?;
+    let group = channel.group_for(&req.projection)?;
+    Ok((group, Arc::clone(&channel.obs)))
+}
+
+fn reply(stream: &mut TcpStream, kind: u8, payload: &[u8]) -> Result<(), EchoError> {
+    let mut frame = Vec::with_capacity(5 + payload.len());
+    wire::build_frame(&mut frame, kind, &[payload])?;
+    stream.write_all(&frame)?;
+    Ok(())
+}

@@ -1,0 +1,122 @@
+//! The subscribing side: handshake, then a plain XMIT receive loop.
+//!
+//! A subscriber connects, sends one `SUBSCRIBE` frame naming the
+//! channel's content id (optionally with a projection spec), and waits
+//! for `SUB_OK`/`SUB_ERR`.  After acceptance the connection carries
+//! ordinary XMIT FORMAT/RECORD frames: the host announces the group's
+//! format (full or projected) before the first record, so the
+//! subscriber's registry starts empty and learns everything from the
+//! wire — no prior agreement, exactly like [`xmit::XmitReceiver`].
+
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+use openmeta_net::{connect_retrying, read_frame_blocking, LengthFramer, TransportConfig};
+use openmeta_pbio::codec::decode_descriptor;
+use openmeta_pbio::{decode, FormatId, FormatRegistry, MachineModel, PbioError, RawRecord};
+use xmit::Projection;
+
+use crate::wire::{
+    self, SubscribeRequest, FRAME_FORMAT, FRAME_RECORD, FRAME_SUBSCRIBE, FRAME_SUB_ERR,
+    FRAME_SUB_OK, MAX_FRAME,
+};
+use crate::EchoError;
+
+/// A subscription to one channel (possibly a derived view of it).
+pub struct ChannelSubscriber {
+    stream: TcpStream,
+    registry: Arc<FormatRegistry>,
+    framer: LengthFramer,
+    delivered_format: FormatId,
+}
+
+impl ChannelSubscriber {
+    /// Subscribe with default transport deadlines.  `projection`
+    /// requests a derived channel: the *sender* projects each event
+    /// before transmission.
+    pub fn connect(
+        addr: impl ToSocketAddrs + Copy,
+        channel: FormatId,
+        projection: Option<&Projection>,
+    ) -> Result<ChannelSubscriber, EchoError> {
+        ChannelSubscriber::connect_with(addr, channel, projection, &TransportConfig::default())
+    }
+
+    /// Subscribe with explicit transport deadlines and connect retry.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs + Copy,
+        channel: FormatId,
+        projection: Option<&Projection>,
+        cfg: &TransportConfig,
+    ) -> Result<ChannelSubscriber, EchoError> {
+        let mut stream = connect_retrying(addr, cfg)?;
+        let request = SubscribeRequest { channel, projection: projection.cloned() };
+        let payload = request.encode();
+        let mut frame = Vec::with_capacity(5 + payload.len());
+        wire::build_frame(&mut frame, FRAME_SUBSCRIBE, &[&payload])?;
+        stream.write_all(&frame)?;
+
+        let mut framer = LengthFramer::with_kind_byte(MAX_FRAME);
+        let Some((kind, payload)) = read_frame_blocking(&mut stream, &mut framer)? else {
+            return Err(EchoError::Closed);
+        };
+        match kind {
+            FRAME_SUB_OK => {
+                let id: [u8; 8] = payload.as_slice().try_into().map_err(|_| {
+                    EchoError::Bcm(PbioError::BadWireData("malformed SUB_OK".to_string()))
+                })?;
+                Ok(ChannelSubscriber {
+                    stream,
+                    registry: Arc::new(FormatRegistry::new(MachineModel::native())),
+                    framer,
+                    delivered_format: FormatId(u64::from_be_bytes(id)),
+                })
+            }
+            FRAME_SUB_ERR => {
+                Err(EchoError::Rejected(String::from_utf8_lossy(&payload).into_owned()))
+            }
+            other => Err(EchoError::Bcm(PbioError::BadWireData(format!(
+                "unexpected handshake frame kind {other}"
+            )))),
+        }
+    }
+
+    /// Content id of the format this subscription delivers (the
+    /// projected format's id on a derived channel).
+    pub fn delivered_format(&self) -> FormatId {
+        self.delivered_format
+    }
+
+    /// The registry formats are learned into.
+    pub fn registry(&self) -> &Arc<FormatRegistry> {
+        &self.registry
+    }
+
+    /// Receive the next event; `Ok(None)` when the host closed the
+    /// channel cleanly.
+    pub fn recv(&mut self) -> Result<Option<RawRecord>, EchoError> {
+        loop {
+            let frame = read_frame_blocking(&mut self.stream, &mut self.framer).map_err(|e| {
+                if e.kind() == std::io::ErrorKind::InvalidData {
+                    EchoError::Bcm(PbioError::BadWireData(e.to_string()))
+                } else {
+                    EchoError::Io(e)
+                }
+            })?;
+            let Some((kind, payload)) = frame else { return Ok(None) };
+            let _span = openmeta_obs::span!("transport.recv");
+            match kind {
+                FRAME_FORMAT => {
+                    self.registry.register_descriptor(decode_descriptor(&payload)?);
+                }
+                FRAME_RECORD => return Ok(Some(decode(&payload, &self.registry)?)),
+                other => {
+                    return Err(EchoError::Bcm(PbioError::BadWireData(format!(
+                        "unknown frame kind {other}"
+                    ))))
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Channel wire protocol: XMIT framing plus a subscription handshake.
+//!
+//! Frames reuse XMIT's shape — `len:u32be kind:u8 payload` — and its
+//! FORMAT/RECORD kinds, so a subscribed connection *is* an XMIT stream.
+//! Three handshake kinds are added in front:
+//!
+//! ```text
+//! kind 1 FORMAT     descriptor (pbio::codec), host → subscriber
+//! kind 2 RECORD     one encoded record,       host → subscriber
+//! kind 3 SUBSCRIBE  subscription request,     subscriber → host
+//! kind 4 SUB_OK     payload = delivered format id (u64be)
+//! kind 5 SUB_ERR    payload = utf-8 reason
+//! ```
+//!
+//! A `SUBSCRIBE` payload addresses a channel by content id and may carry
+//! a projection spec:
+//!
+//! ```text
+//! channel_id: u64be
+//! has_projection: u8 (0|1)
+//! if 1: narrow_doubles: u8 (0|1)
+//!       keep_count: u16be, then keep_count × (len:u16be utf-8)
+//!       suffix: len:u16be utf-8
+//! ```
+
+use openmeta_pbio::{FormatId, PbioError};
+use xmit::Projection;
+
+use crate::EchoError;
+
+pub(crate) const FRAME_FORMAT: u8 = 1;
+pub(crate) const FRAME_RECORD: u8 = 2;
+pub(crate) const FRAME_SUBSCRIBE: u8 = 3;
+pub(crate) const FRAME_SUB_OK: u8 = 4;
+pub(crate) const FRAME_SUB_ERR: u8 = 5;
+
+/// Upper bound on any frame, matching `xmit::messaging`.
+pub(crate) const MAX_FRAME: usize = 64 << 20;
+
+/// Build one contiguous frame (`len kind payload…`) into `out`.  The
+/// payload may arrive in parts (descriptor + record on an announcing
+/// send); contiguity is what lets one buffer be shared, via `Arc`,
+/// across every subscriber of a group.
+pub(crate) fn build_frame(out: &mut Vec<u8>, kind: u8, parts: &[&[u8]]) -> Result<(), EchoError> {
+    let len: usize = parts.iter().map(|p| p.len()).sum();
+    if len > MAX_FRAME {
+        return Err(EchoError::Bcm(PbioError::Io(format!("frame too large: {len} bytes"))));
+    }
+    out.reserve(5 + len);
+    out.extend_from_slice(&(len as u32).to_be_bytes());
+    out.push(kind);
+    for part in parts {
+        out.extend_from_slice(part);
+    }
+    Ok(())
+}
+
+/// What a subscriber asks of a channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubscribeRequest {
+    /// Content id of the channel's (full) format.
+    pub channel: FormatId,
+    /// `None` subscribes to full-fat records; `Some` requests a derived
+    /// channel carrying only the projected fields.
+    pub projection: Option<Projection>,
+}
+
+impl SubscribeRequest {
+    /// Serialize into a `SUBSCRIBE` frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        out.extend_from_slice(&self.channel.0.to_be_bytes());
+        match &self.projection {
+            None => out.push(0),
+            Some(p) => {
+                out.push(1);
+                out.push(u8::from(p.narrow_doubles));
+                out.extend_from_slice(&(p.keep.len().min(u16::MAX as usize) as u16).to_be_bytes());
+                for name in &p.keep {
+                    push_str(&mut out, name);
+                }
+                push_str(&mut out, &p.rename_suffix);
+            }
+        }
+        out
+    }
+
+    /// Parse a `SUBSCRIBE` frame payload.
+    pub fn decode(payload: &[u8]) -> Result<SubscribeRequest, EchoError> {
+        let mut cur = Cursor { buf: payload, pos: 0 };
+        let channel = FormatId(u64::from_be_bytes(cur.take::<8>()?));
+        let projection = match cur.byte()? {
+            0 => None,
+            1 => {
+                let narrow_doubles = cur.byte()? != 0;
+                let n = u16::from_be_bytes(cur.take::<2>()?) as usize;
+                let mut keep = Vec::with_capacity(n.min(256));
+                for _ in 0..n {
+                    keep.push(cur.string()?);
+                }
+                let rename_suffix = cur.string()?;
+                Some(Projection { keep, narrow_doubles, rename_suffix })
+            }
+            other => {
+                return Err(EchoError::Bcm(PbioError::BadWireData(format!(
+                    "bad projection flag {other}"
+                ))))
+            }
+        };
+        if cur.pos != payload.len() {
+            return Err(EchoError::Bcm(PbioError::BadWireData(
+                "trailing bytes after subscribe request".to_string(),
+            )));
+        }
+        Ok(SubscribeRequest { channel, projection })
+    }
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = &s.as_bytes()[..s.len().min(u16::MAX as usize)];
+    out.extend_from_slice(&(bytes.len() as u16).to_be_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// Bounds-checked reader over an untrusted payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take<const N: usize>(&mut self) -> Result<[u8; N], EchoError> {
+        let end = self.pos.checked_add(N).filter(|&e| e <= self.buf.len()).ok_or_else(|| {
+            EchoError::Bcm(PbioError::BadWireData("truncated subscribe request".to_string()))
+        })?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.buf[self.pos..end]);
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn byte(&mut self) -> Result<u8, EchoError> {
+        Ok(self.take::<1>()?[0])
+    }
+
+    fn string(&mut self) -> Result<String, EchoError> {
+        let len = u16::from_be_bytes(self.take::<2>()?) as usize;
+        let end = self.pos.checked_add(len).filter(|&e| e <= self.buf.len()).ok_or_else(|| {
+            EchoError::Bcm(PbioError::BadWireData("truncated subscribe string".to_string()))
+        })?;
+        let s = std::str::from_utf8(&self.buf[self.pos..end])
+            .map_err(|e| EchoError::Bcm(PbioError::BadWireData(e.to_string())))?
+            .to_string();
+        self.pos = end;
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subscribe_roundtrips_identity() {
+        let req = SubscribeRequest { channel: FormatId(0xDEAD_BEEF_0123), projection: None };
+        assert_eq!(SubscribeRequest::decode(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn subscribe_roundtrips_projection() {
+        let req = SubscribeRequest {
+            channel: FormatId(7),
+            projection: Some(Projection {
+                keep: vec!["timestep".to_string(), "depth".to_string()],
+                narrow_doubles: true,
+                rename_suffix: "Handheld".to_string(),
+            }),
+        };
+        assert_eq!(SubscribeRequest::decode(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn truncated_and_trailing_payloads_rejected() {
+        let good =
+            SubscribeRequest { channel: FormatId(7), projection: Some(Projection::keeping(["x"])) }
+                .encode();
+        for cut in 0..good.len() {
+            assert!(SubscribeRequest::decode(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut trailing = good;
+        trailing.push(0);
+        assert!(SubscribeRequest::decode(&trailing).is_err());
+    }
+
+    #[test]
+    fn frame_layout_matches_xmit() {
+        let mut frame = Vec::new();
+        build_frame(&mut frame, FRAME_RECORD, &[b"abc", b"de"]).unwrap();
+        assert_eq!(frame, [0, 0, 0, 5, FRAME_RECORD, b'a', b'b', b'c', b'd', b'e']);
+    }
+}

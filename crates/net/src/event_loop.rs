@@ -16,7 +16,7 @@
 //!             +-> EOF / error / deadline ------------------> [closed]
 //!
 //!             +-> NotReady (kernel buffer full): write-interest stays on
-//!  [writing] -+-> partial progress: advance cursor, refresh deadline
+//!  [writing] -+-> partial progress: advance cursor (deadline anchored)
 //!             +-> flushed: back to [reading] (or [closed] after close)
 //! ```
 //!
@@ -38,6 +38,15 @@
 //! protocol deciding, via [`EventHandler::deadline_counts_as_timeout`],
 //! whether an idle keep-alive expiry counts (pbio: yes) or only a
 //! mid-request stall does (HTTP).
+//!
+//! The write deadline is *anchored*: it is armed (and parked in the
+//! wheel) when the output queue goes empty → non-empty, cleared when the
+//! queue fully drains, and — unlike the read deadline — **not** refreshed
+//! on partial progress.  Refreshing on progress would let a peer that
+//! drains one segment per timeout window hold a loadgen-size burst of
+//! queued responses forever; anchoring makes the deadline a bound on the
+//! total drain time of the queued buffer, and an expiry always counts as
+//! `timed_out`.
 //!
 //! ## Drain
 //!
@@ -259,6 +268,9 @@ struct Conn {
     /// Responses queued in `out`; counted as `frames_out` once flushed.
     pending_out: usize,
     read_deadline: Option<Instant>,
+    /// Anchored at the moment `out` went empty → non-empty; never
+    /// refreshed on partial progress (a slow-but-progressing drain must
+    /// still expire), cleared when `out` fully drains.
     write_deadline: Option<Instant>,
     /// Slot-reuse guard for lazy wheel tokens.
     gen: u64,
@@ -519,7 +531,7 @@ fn sweep_conn(
 ) -> SweepVerdict {
     // [writing]: flush queued output while the kernel accepts it.
     if !conn.flushed() {
-        match flush_out(conn, stats, write_timeout) {
+        match flush_out(conn, stats) {
             Ok(true) => *progressed = true,
             Ok(false) => {}
             Err(_) => return SweepVerdict::Close,
@@ -567,16 +579,20 @@ fn sweep_conn(
                             conn.close_after_flush = true;
                         }
                         if !had_out && !conn.flushed() {
+                            // The queue just went empty → non-empty: anchor
+                            // the write deadline here.  flush_out never
+                            // refreshes it, so it bounds the total drain
+                            // time of this burst of queued output.
                             conn.write_deadline = write_timeout.map(|t| now + t);
                             // Flush eagerly: the common case is a response
                             // that fits the socket's send buffer whole.
-                            if flush_out(conn, stats, write_timeout).is_err() {
+                            if flush_out(conn, stats).is_err() {
                                 return SweepVerdict::Close;
                             }
                             *progressed = true;
-                            // A stalled write needs its (possibly nearer)
-                            // deadline parked now — the entry from adopt
-                            // time may be scheduled much later.
+                            // Queued output survived the eager flush: park
+                            // the anchored deadline now — the entry from
+                            // adopt time may be scheduled much later.
                             if let Some(w) = conn.write_deadline {
                                 wheel.schedule(token, w);
                                 conn.scheduled = true;
@@ -599,11 +615,10 @@ fn sweep_conn(
 }
 
 /// Push queued output at the socket; returns whether bytes moved.
-fn flush_out(
-    conn: &mut Conn,
-    stats: &ServerStats,
-    write_timeout: Option<Duration>,
-) -> io::Result<bool> {
+/// Partial progress deliberately does NOT refresh the write deadline:
+/// it stays anchored where the queue went non-empty, so a peer draining
+/// one segment per timeout window still expires.
+fn flush_out(conn: &mut Conn, stats: &ServerStats) -> io::Result<bool> {
     let mut moved = false;
     while !conn.flushed() {
         match nio::write_ready(&mut conn.stream, &conn.out[conn.out_pos..])? {
@@ -613,7 +628,6 @@ fn flush_out(
             WriteOutcome::Wrote(n) => {
                 moved = true;
                 conn.out_pos += n;
-                conn.write_deadline = write_timeout.map(|t| clock::now() + t);
             }
             WriteOutcome::NotReady => break,
         }
@@ -760,6 +774,74 @@ mod tests {
         client.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
         let mut buf = [0u8; 1];
         assert_eq!(client.read(&mut buf).unwrap_or(0), 0);
+        drop(el);
+    }
+
+    #[test]
+    fn write_deadline_expires_while_queue_drains_slowly() {
+        // Regression: a reader that trickles one small read per sweep
+        // keeps the flush making *partial* progress.  The old refresh-on
+        // -progress deadline slid forever; the anchored deadline must
+        // expire and count `timed_out` even though bytes keep moving.
+        let stats = ServerStats::new();
+        let cfg = ServerConfig {
+            write_timeout: Some(Duration::from_millis(300)),
+            read_timeout: Some(Duration::from_secs(30)),
+            event_loop_shards: 1,
+            max_connections: 8,
+            ..ServerConfig::default()
+        };
+        let (el, listener) = echo_loop(&cfg, stats.clone());
+        let client = connect_registered(&el, &listener);
+
+        // Trickle reader: drains ~8 KiB every 25 ms, so the server's
+        // flush sees fresh socket-buffer space (partial progress) in
+        // every deadline window without ever catching up to 16 MiB.
+        let reader = client.try_clone().unwrap();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop_r = stop.clone();
+        let trickle = std::thread::spawn(move || {
+            let mut reader = reader;
+            let mut buf = vec![0u8; 8 * 1024];
+            reader.set_read_timeout(Some(Duration::from_millis(100))).unwrap();
+            let mut drained = 0usize;
+            while !stop_r.load(Ordering::Acquire) {
+                match std::io::Read::read(&mut reader, &mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => drained += n,
+                    Err(_) => {}
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            drained
+        });
+
+        // Queue ~16 MiB of echo responses: far beyond what the kernel's
+        // loopback buffers can absorb, so the userspace queue stays
+        // non-empty.  Writes may fail once the deadline kills the
+        // connection mid-burst; that is the success case.
+        let mut writer = client;
+        let payload = vec![0x5au8; 1 << 20];
+        let mut frame = (payload.len() as u32).to_be_bytes().to_vec();
+        frame.extend_from_slice(&payload);
+        for _ in 0..16 {
+            if writer.write_all(&frame).is_err() {
+                break;
+            }
+        }
+
+        let start = std::time::Instant::now();
+        while stats.snapshot().timed_out == 0 && start.elapsed() < Duration::from_secs(10) {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        stop.store(true, Ordering::Release);
+        let drained = trickle.join().unwrap();
+        assert_eq!(
+            stats.snapshot().timed_out,
+            1,
+            "anchored write deadline must expire despite partial progress \
+             (client drained {drained} bytes)"
+        );
         drop(el);
     }
 

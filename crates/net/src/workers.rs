@@ -335,7 +335,8 @@ mod tests {
 
     #[test]
     fn shutdown_drains_in_flight() {
-        let pool = WorkerPool::new("t", &cfg(1, 4, 8), ServerStats::new(), |mut s: TcpStream| {
+        let stats = ServerStats::new();
+        let pool = WorkerPool::new("t", &cfg(1, 4, 8), stats.clone(), |mut s: TcpStream| {
             // Simulate a request in flight: finish after the client's byte.
             let mut b = [0u8; 1];
             let _ = s.read_exact(&mut b);
@@ -343,6 +344,13 @@ mod tests {
         });
         let (mut client, server) = pair();
         assert!(pool.submit(server));
+        // Shutdown drops queued-but-unserved items by design, so wait for
+        // the worker to pick this one up before draining — otherwise it is
+        // merely queued, not in flight.
+        let start = Instant::now();
+        while stats.active_now() == 0 && start.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
         let waiter = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(100));
             client.write_all(b"x").unwrap();

@@ -5,8 +5,12 @@
 //! The pool keeps idle connections per authority (`host:port`) and reuses
 //! them whenever the previous response left the connection in a framed,
 //! persistent state.  A pooled connection may have been closed by the
-//! server in the meantime, so the first request on a reused connection is
-//! retried once on a fresh connection.
+//! server in the meantime (a drain closes every idle keep-alive socket),
+//! so checkout probes the socket with a zero-timeout `read_ready` first:
+//! a readable-or-EOF connection is discarded (counted as
+//! `dead_on_checkout`) instead of burning the request's single
+//! stale-conn retry.  The retry remains as a backstop for the
+//! unavoidable race where the server closes between probe and use.
 
 use std::collections::HashMap;
 use std::io::BufReader;
@@ -14,6 +18,7 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
+use openmeta_net::nio::{read_ready, ReadOutcome};
 use openmeta_obs::{Counter, Gauge, MetricsRegistry};
 
 use crate::client::{
@@ -90,6 +95,9 @@ pub struct PoolStats {
     pub reuses: u64,
     /// Reused connections that had gone stale and were retried fresh.
     pub stale_retries: u64,
+    /// Idle connections the checkout probe found dead (peer EOF or
+    /// stray bytes) and discarded before any request was spent on them.
+    pub dead_on_checkout: u64,
 }
 
 /// Pool configuration.
@@ -124,6 +132,7 @@ pub struct ConnectionPool {
     connects: Arc<Counter>,
     reuses: Arc<Counter>,
     stale_retries: Arc<Counter>,
+    dead_on_checkout: Arc<Counter>,
     idle_gauge: Arc<Gauge>,
 }
 
@@ -144,6 +153,7 @@ impl ConnectionPool {
             connects: m.counter("openmeta_pool_connects_total"),
             reuses: m.counter("openmeta_pool_reuses_total"),
             stale_retries: m.counter("openmeta_pool_stale_retries_total"),
+            dead_on_checkout: m.counter("openmeta_pool_dead_on_checkout_total"),
             idle_gauge: m.gauge("openmeta_pool_idle_connections"),
         }
     }
@@ -214,11 +224,14 @@ impl ConnectionPool {
     }
 
     fn check_out(&self, authority: &str) -> Option<TcpStream> {
-        let stream = self.idle.check_out(authority);
-        if stream.is_some() {
+        while let Some(stream) = self.idle.check_out(authority) {
             self.idle_gauge.dec();
+            if let Some(healthy) = probe_idle(stream) {
+                return Some(healthy);
+            }
+            self.dead_on_checkout.inc();
         }
-        stream
+        None
     }
 
     fn check_in(&self, authority: &str, stream: TcpStream) {
@@ -234,6 +247,7 @@ impl ConnectionPool {
             connects: self.connects.get(),
             reuses: self.reuses.get(),
             stale_retries: self.stale_retries.get(),
+            dead_on_checkout: self.dead_on_checkout.get(),
         }
     }
 
@@ -246,6 +260,25 @@ impl ConnectionPool {
     pub fn clear(&self) {
         let dropped = self.idle.clear();
         self.idle_gauge.add(-(dropped as i64));
+    }
+}
+
+/// Zero-timeout health probe on an idle keep-alive connection: between
+/// responses the peer owes us nothing, so a healthy socket reads as
+/// `WouldBlock`.  EOF means the server closed it; readable bytes mean a
+/// desynchronized connection (neither is usable).  The probe itself
+/// never blocks — the socket is flipped to nonblocking for one
+/// `read_ready` call and restored before it is handed out.
+fn probe_idle(mut stream: TcpStream) -> Option<TcpStream> {
+    if stream.set_nonblocking(true).is_err() {
+        return None;
+    }
+    let mut scratch = [0u8; 16];
+    let healthy = matches!(read_ready(&mut stream, &mut scratch), Ok(ReadOutcome::NotReady));
+    if healthy && stream.set_nonblocking(false).is_ok() {
+        Some(stream)
+    } else {
+        None
     }
 }
 
@@ -374,24 +407,30 @@ mod tests {
     }
 
     #[test]
-    fn stale_pooled_connection_is_retried() {
+    fn drained_pooled_connection_is_discarded_at_checkout() {
         let server = HttpServer::start().unwrap();
         server.put_xml("/a.xsd", "<a/>");
         let url = Url::parse(&server.url_for("/a.xsd")).unwrap();
         let pool = ConnectionPool::default();
         assert_eq!(pool.get(&url).unwrap().body, b"<a/>");
         assert_eq!(pool.idle_count(), 1);
-        // Kill the server and restart on the same port: the pooled
-        // connection is now dead and must be replaced transparently.
+        // Drain the server and restart on the same port: its shutdown
+        // closed the pooled keep-alive connection.  The checkout probe
+        // must catch the dead socket up front, so the first real request
+        // keeps its single stale-conn retry unspent.
         let addr = server.addr();
         drop(server);
         let server = HttpServer::start_on(addr.port()).unwrap();
         server.put_xml("/a.xsd", "<a/>");
+        // Dropping the old server joined its workers, so the FIN is
+        // already queued on the pooled socket when the probe runs.
         let resp = pool.get(&url).unwrap();
         assert_eq!(resp.body, b"<a/>");
         let stats = pool.stats();
-        assert_eq!(stats.stale_retries, 1);
+        assert_eq!(stats.dead_on_checkout, 1, "probe must discard the drained conn");
+        assert_eq!(stats.stale_retries, 0, "retry budget must stay unspent");
         assert_eq!(stats.connects, 2);
+        assert_eq!(pool.idle_count(), 1, "the fresh connection is pooled again");
     }
 
     #[test]

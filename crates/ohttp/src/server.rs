@@ -320,8 +320,16 @@ fn serve(
             };
             stats.frame_in();
             let out = render(shared, &request);
-            stream.write_all(&out)?;
-            stream.flush()?;
+            // A peer that stops draining its response hits the write
+            // deadline; count it like a read stall so both backends
+            // report write-side stalls under `timed_out`.
+            if let Err(e) = stream.write_all(&out).and_then(|_| stream.flush()) {
+                if is_timeout(&e) {
+                    stats.timed_out();
+                    return Ok(());
+                }
+                return Err(e);
+            }
             stats.frame_out();
             if request.close_requested {
                 return Ok(());

@@ -12,9 +12,11 @@
 //! the allocator rather than making an encoder wait.  Two policies keep
 //! a burst of outsized records from pinning peak-sized memory forever:
 //!
-//! * **`max_retain`** — a returned buffer whose capacity exceeds the cap
-//!   is dropped instead of shelved, so the shelves only ever hold
-//!   buffers of "ordinary" size.
+//! * **`max_retain`** — a cap on the *total* bytes idle across every
+//!   shelf, reserved atomically before a return is shelved so racing
+//!   returns on different stripes cannot overshoot it.  (A single buffer
+//!   whose capacity exceeds the cap can never reserve, so the old
+//!   per-buffer bound is subsumed.)
 //! * **`max_idle`** — each shelf holds at most this many buffers; extras
 //!   returned while the shelf is full are dropped.
 //!
@@ -33,10 +35,10 @@ const SHELVES: usize = 4;
 /// Default per-shelf idle capacity.
 const DEFAULT_MAX_IDLE: usize = 8;
 
-/// Default retain cap: buffers that grew beyond this capacity are
-/// dropped on return rather than shelved.  Large enough for every fig7
-/// workload (FlowField2D encodes to ~256 KiB), small enough that a
-/// one-off multi-megabyte record does not pin its buffer forever.
+/// Default retain cap: total bytes the shelves may hold idle.  Large
+/// enough for every fig7 workload (FlowField2D encodes to ~256 KiB),
+/// small enough that a burst of multi-megabyte records does not pin
+/// peak-sized memory forever.
 const DEFAULT_MAX_RETAIN: usize = 1 << 20;
 
 /// Cumulative statistics for one [`BufferPool`].
@@ -67,6 +69,10 @@ pub struct BufferPool {
     cursor: AtomicU64,
     max_idle: usize,
     max_retain: usize,
+    /// Bytes currently reserved by shelved buffers.  Returns reserve
+    /// against `max_retain` here *before* touching a shelf, so the cap
+    /// holds even when every stripe races on return.
+    idle_bytes: AtomicU64,
     gets: AtomicU64,
     reuses: AtomicU64,
     returned: AtomicU64,
@@ -79,14 +85,15 @@ impl BufferPool {
         BufferPool::with_limits(DEFAULT_MAX_IDLE, DEFAULT_MAX_RETAIN)
     }
 
-    /// A pool holding at most `max_idle` buffers per shelf and dropping
-    /// returned buffers whose capacity exceeds `max_retain`.
+    /// A pool holding at most `max_idle` buffers per shelf and at most
+    /// `max_retain` total idle bytes across every shelf.
     pub fn with_limits(max_idle: usize, max_retain: usize) -> Arc<BufferPool> {
         Arc::new(BufferPool {
             shelves: std::array::from_fn(|_| Mutex::new(Vec::new())),
             cursor: AtomicU64::new(0),
             max_idle: max_idle.max(1),
             max_retain,
+            idle_bytes: AtomicU64::new(0),
             gets: AtomicU64::new(0),
             reuses: AtomicU64::new(0),
             returned: AtomicU64::new(0),
@@ -111,6 +118,7 @@ impl BufferPool {
             if let Ok(mut held) = shelf.try_lock() {
                 if let Some(mut buf) = held.pop() {
                     drop(held);
+                    self.idle_bytes.fetch_sub(buf.capacity() as u64, Ordering::AcqRel);
                     buf.clear();
                     self.reuses.fetch_add(1, Ordering::Relaxed);
                     openmeta_obs::marshal_counters().pool_reuse_total.inc();
@@ -124,9 +132,33 @@ impl BufferPool {
         PooledBuf { pool: Arc::clone(self), buf: Vec::new() }
     }
 
+    /// Reserve `want` bytes of idle budget; `false` means the pool-wide
+    /// `max_retain` cap would be exceeded.  A CAS loop (not
+    /// `fetch_add`-then-check) so two racing returns can never both
+    /// observe headroom and jointly overshoot the cap.
+    fn reserve_idle(&self, want: usize) -> bool {
+        let want = want as u64;
+        let cap = self.max_retain as u64;
+        let mut current = self.idle_bytes.load(Ordering::Acquire);
+        loop {
+            let Some(next) = current.checked_add(want).filter(|&n| n <= cap) else {
+                return false;
+            };
+            match self.idle_bytes.compare_exchange_weak(
+                current,
+                next,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
     /// Return a buffer to a shelf, or drop it per the retention policy.
     fn put(&self, buf: Vec<u8>) {
-        if buf.capacity() == 0 || buf.capacity() > self.max_retain {
+        if buf.capacity() == 0 || !self.reserve_idle(buf.capacity()) {
             self.dropped.fetch_add(1, Ordering::Relaxed);
             return;
         }
@@ -141,6 +173,8 @@ impl BufferPool {
                 }
             }
         }
+        // No shelf accepted it: release the reservation with the buffer.
+        self.idle_bytes.fetch_sub(buf.capacity() as u64, Ordering::AcqRel);
         self.dropped.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -148,6 +182,12 @@ impl BufferPool {
     /// contention: a locked shelf is counted as empty).
     pub fn idle(&self) -> usize {
         self.shelves.iter().filter_map(|s| s.try_lock().ok().map(|v| v.len())).sum()
+    }
+
+    /// Total capacity (bytes) of the idle buffers; never exceeds the
+    /// pool's `max_retain` cap.
+    pub fn idle_bytes(&self) -> usize {
+        self.idle_bytes.load(Ordering::Acquire) as usize
     }
 
     /// Cumulative counters for this pool instance.
@@ -236,6 +276,30 @@ mod tests {
     }
 
     #[test]
+    fn max_retain_caps_total_bytes_across_shelves() {
+        // Three 48-byte buffers against a 100-byte cap: the shelves are
+        // empty and uncontended, so only the total-bytes cap can refuse
+        // the third return.
+        let pool = BufferPool::with_limits(8, 100);
+        let bufs: Vec<PooledBuf> = (0..3)
+            .map(|_| {
+                let mut b = pool.get();
+                b.reserve_exact(48);
+                b
+            })
+            .collect();
+        drop(bufs);
+        assert_eq!(pool.idle(), 2, "two 48-byte buffers fit under the 100-byte cap");
+        assert!(pool.idle_bytes() <= 100, "idle bytes {} exceed cap", pool.idle_bytes());
+        assert_eq!(pool.stats().dropped, 1);
+        // Taking one back releases its reservation.
+        let taken = pool.get();
+        assert_eq!(pool.idle_bytes(), 48);
+        drop(taken);
+        assert!(pool.idle_bytes() <= 100);
+    }
+
+    #[test]
     fn shelves_bound_idle_buffers() {
         let pool = BufferPool::with_limits(1, 1 << 20);
         let handles: Vec<PooledBuf> = (0..16)
@@ -267,5 +331,44 @@ mod tests {
         let a = Arc::clone(BufferPool::global());
         let b = Arc::clone(BufferPool::global());
         assert!(Arc::ptr_eq(&a, &b));
+    }
+}
+
+/// Model tests: `RUSTFLAGS="--cfg loom" cargo test -p openmeta-pbio`
+/// (driven by `cargo xtask loom`).
+#[cfg(all(test, loom))]
+mod loom_tests {
+    use super::*;
+
+    /// Racing returns on different stripes never overshoot the pool-wide
+    /// `max_retain` byte cap, and every buffer is either shelved or
+    /// counted dropped — none lost.
+    #[test]
+    fn loom_total_byte_cap_holds_under_racing_returns() {
+        loom::model(|| {
+            let pool = BufferPool::with_limits(8, 64);
+            // Take all three buffers up front so the returns (drops) are
+            // the only racing operations.
+            let bufs: Vec<PooledBuf> = (0..3)
+                .map(|_| {
+                    let mut b = pool.get();
+                    b.reserve_exact(48);
+                    b
+                })
+                .collect();
+            let handles: Vec<_> =
+                bufs.into_iter().map(|b| loom::thread::spawn(move || drop(b))).collect();
+            for h in handles {
+                h.join().expect("join");
+            }
+            assert!(
+                pool.idle_bytes() <= 64,
+                "idle bytes {} exceed max_retain under contention",
+                pool.idle_bytes()
+            );
+            let stats = pool.stats();
+            assert_eq!(stats.returned + stats.dropped, 3, "every return accounted for");
+            assert_eq!(stats.returned, 1, "only one 48-byte buffer fits a 64-byte cap");
+        });
     }
 }

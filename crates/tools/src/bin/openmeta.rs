@@ -10,6 +10,7 @@
 //! openmeta planlint [--json] <xsd-file>...
 //! openmeta stats    [--json|--prom] [url]
 //! openmeta loadgen  [--server http|pbio] [--backend threaded|eventloop] ...
+//! openmeta channel  <bench|publish|subscribe> ...
 //! ```
 
 use std::process::ExitCode;
@@ -27,7 +28,14 @@ fn usage() -> ExitCode {
          openmeta stats [--json|--prom] [url]\n  \
          openmeta loadgen [--server http|pbio] [--backend threaded|eventloop]\n           \
          [--connections N] [--requests N] [--json] [--check] [--max-p99-ms MS]\n           \
-         [--serve-only] [--target host:port]"
+         [--serve-only] [--target host:port]\n  \
+         openmeta channel bench [--backend threaded|eventloop|both] [--subs N]\n           \
+         [--projections K] [--events N] [--payload N] [--policy block|drop|disconnect]\n           \
+         [--queue-cap N] [--json] [--check]\n  \
+         openmeta channel publish [--backend threaded|eventloop] [--port P]\n           \
+         [--events N] [--interval-ms MS] [--payload N]\n  \
+         openmeta channel subscribe <host:port> [--keep f1,f2] [--narrow] [--id N]\n           \
+         [--count N]"
     );
     ExitCode::from(2)
 }
@@ -142,6 +150,30 @@ fn main() -> ExitCode {
                         }
                         Ok(())
                     }
+                    Err(e) => Err(e),
+                }
+            }
+            ("channel", rest) => {
+                let opts = match openmeta_tools::channel::ChannelOptions::parse(rest) {
+                    Ok(opts) => opts,
+                    Err(e) => {
+                        eprintln!("openmeta: {e}");
+                        return usage();
+                    }
+                };
+                match openmeta_tools::channel::run(opts) {
+                    Ok(Some(report)) => {
+                        if report.opts.json {
+                            print!("{}", report.to_json());
+                        } else {
+                            print!("{}", report.to_text());
+                        }
+                        if report.opts.check && !report.passed() {
+                            return ExitCode::FAILURE;
+                        }
+                        Ok(())
+                    }
+                    Ok(None) => Ok(()),
                     Err(e) => Err(e),
                 }
             }

@@ -19,6 +19,7 @@
 
 #![deny(unsafe_code)]
 
+pub mod channel;
 pub mod loadgen;
 pub mod output;
 

@@ -163,6 +163,29 @@ fn http_midrequest_stall_counts_timed_out_on_both_backends() {
 }
 
 #[test]
+fn http_write_stall_counts_timed_out_on_both_backends() {
+    for backend in BACKENDS {
+        let server = HttpServer::start_with(
+            0,
+            ServerConfig { write_timeout: Some(Duration::from_millis(300)), ..config(backend) },
+        )
+        .unwrap();
+        // A body far beyond any kernel socket buffer, so the response
+        // cannot be absorbed whole and the server must keep writing.
+        server.put("/big", "application/octet-stream", vec![0x42u8; 32 << 20]);
+        // The proxy forwards the whole request (well under the budget)
+        // but relays only 4 KiB of the response before it stops
+        // reading: the server's send buffer fills and its write stalls.
+        let proxy = FaultProxy::start(server.addr(), Fault::Stall { after: 4096 }).unwrap();
+        let mut stream = TcpStream::connect(proxy.addr()).unwrap();
+        stream.write_all(b"GET /big HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let c = wait_for(|| server.transport_counters(), |c| c.timed_out >= 1);
+        assert_eq!(c.timed_out, 1, "{backend:?}: {c:?}");
+        drop(stream);
+    }
+}
+
+#[test]
 fn http_idle_keepalive_expiry_is_not_a_timeout_on_both_backends() {
     for backend in BACKENDS {
         let server = HttpServer::start_with(

@@ -16,7 +16,7 @@ use openmeta_schema::{ComplexType, Occurs, TypeRef};
 use crate::error::XmitError;
 
 /// Options for deriving a client-side view of a format.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Projection {
     /// Elements to keep, in the original order.  Dimension elements of
     /// kept dynamic arrays are retained automatically.

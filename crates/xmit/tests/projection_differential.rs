@@ -1,0 +1,256 @@
+//! Differential property: sender-side projection (the ECho derived-
+//! channel path) is observably identical to receiver-side projection
+//! (the original §1 handheld path).
+//!
+//! For every `complexType` in every fixture schema, both sender byte
+//! orders, and a random projection of the type's primitive elements:
+//!
+//! * **sender-side**: encode the full record, convert it into the
+//!   projected format *at the sender*, re-encode the projected record,
+//!   and decode that small wire image at the receiver;
+//! * **receiver-side**: ship the full wire image and decode it straight
+//!   into the projected format at the receiver.
+//!
+//! Both paths must yield the same field values on the receiver —
+//! including when doubles are narrowed to floats, where the sender-side
+//! path quantizes before transmission and the receiver-side path after.
+//! Each case checks both receiver byte orders, so every conversion
+//! direction (swap on project, swap on decode, both, neither) is
+//! exercised.
+
+use std::path::Path;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use openmeta_schema::xsd::XsdPrimitive;
+use openmeta_schema::{ComplexType, Occurs, SchemaDocument, TypeRef};
+use xmit::{project_type, MachineModel, Projection, Value, Xmit};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../fixtures/schemas").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Every fixture schema, parsed once per case (cheap next to binding).
+fn fixtures() -> Vec<(String, SchemaDocument)> {
+    ["hydrology.xsd", "region.xsd", "simple_data.xsd"]
+        .into_iter()
+        .map(|name| {
+            let text = fixture(name);
+            let doc =
+                openmeta_schema::parse_str(&text).unwrap_or_else(|e| panic!("parse {name}: {e}"));
+            (text, doc)
+        })
+        .collect()
+}
+
+/// Names used as a dimension by some sibling element — maintained by the
+/// array setters, never filled directly.
+fn dimension_names(ct: &ComplexType) -> Vec<&str> {
+    ct.elements.iter().filter_map(|e| e.dimension_name.as_deref()).collect()
+}
+
+/// An f64 that survives an f32 round trip exactly, so narrowed values
+/// compare bit-for-bit on both paths.
+fn f32_exact(rng: &mut StdRng) -> f64 {
+    rng.random_range(-4000i64..4000) as f64 * 0.25
+}
+
+fn signed(rng: &mut StdRng) -> i64 {
+    rng.random_range(-100i64..100)
+}
+
+/// Fill every element of `ct` with random values, recursing into
+/// composed types by dotted path.
+fn fill(
+    rng: &mut StdRng,
+    rec: &mut xmit::RawRecord,
+    doc: &SchemaDocument,
+    ct: &ComplexType,
+    prefix: &str,
+) {
+    let dims = dimension_names(ct);
+    for e in &ct.elements {
+        let path = format!("{prefix}{}", e.name);
+        if dims.contains(&e.name.as_str()) {
+            continue;
+        }
+        let prim = match &e.type_ref {
+            TypeRef::Named(name) => {
+                let sub = doc
+                    .types
+                    .iter()
+                    .find(|t| &t.name == name)
+                    .unwrap_or_else(|| panic!("composed type {name} missing from fixture"));
+                fill(rng, rec, doc, sub, &format!("{path}."));
+                continue;
+            }
+            TypeRef::Primitive(p) => *p,
+        };
+        match e.occurs {
+            Occurs::One => match prim {
+                XsdPrimitive::String => {
+                    // Leave some strings unset: a null slot must read as
+                    // "" through both paths.
+                    if rng.random_bool(0.85) {
+                        let n = rng.random_range(0usize..10);
+                        let s: String =
+                            (0..n).map(|_| (b'a' + rng.random_range(0u8..26)) as char).collect();
+                        rec.set_string(&path, s).unwrap();
+                    }
+                }
+                XsdPrimitive::Boolean => rec.set_bool(&path, rng.random_bool(0.5)).unwrap(),
+                XsdPrimitive::Float => rec.set_f64(&path, f32_exact(rng)).unwrap(),
+                XsdPrimitive::Double => {
+                    rec.set_f64(&path, rng.random_range(-1.0e6..1.0e6)).unwrap()
+                }
+                XsdPrimitive::NonNegativeInteger
+                | XsdPrimitive::UnsignedLong
+                | XsdPrimitive::UnsignedInt
+                | XsdPrimitive::UnsignedShort
+                | XsdPrimitive::UnsignedByte => {
+                    rec.set_u64(&path, rng.random_range(0u64..200)).unwrap()
+                }
+                _ => rec.set_i64(&path, signed(rng)).unwrap(),
+            },
+            Occurs::Bounded(n) => {
+                for i in 0..n {
+                    match prim {
+                        XsdPrimitive::Float => rec.set_elem_f64(&path, i, f32_exact(rng)).unwrap(),
+                        XsdPrimitive::Double => {
+                            rec.set_elem_f64(&path, i, rng.random_range(-1.0e6..1.0e6)).unwrap()
+                        }
+                        _ => rec.set_elem_i64(&path, i, signed(rng)).unwrap(),
+                    }
+                }
+            }
+            Occurs::Unbounded => {
+                let n = rng.random_range(0usize..8);
+                match prim {
+                    XsdPrimitive::Float => {
+                        let vals: Vec<f64> = (0..n).map(|_| f32_exact(rng)).collect();
+                        rec.set_f64_array(&path, &vals).unwrap();
+                    }
+                    XsdPrimitive::Double => {
+                        let vals: Vec<f64> =
+                            (0..n).map(|_| rng.random_range(-1.0e6..1.0e6)).collect();
+                        rec.set_f64_array(&path, &vals).unwrap();
+                    }
+                    _ => {
+                        let vals: Vec<i64> = (0..n).map(|_| signed(rng)).collect();
+                        rec.set_i64_array(&path, &vals).unwrap();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A random nonempty subset of the type's projectable (primitive,
+/// non-dimension) elements, or `None` when the type has none.
+fn random_projection(rng: &mut StdRng, ct: &ComplexType) -> Option<Projection> {
+    let dims = dimension_names(ct);
+    let candidates: Vec<&str> = ct
+        .elements
+        .iter()
+        .filter(|e| matches!(e.type_ref, TypeRef::Primitive(_)) && !dims.contains(&e.name.as_str()))
+        .map(|e| e.name.as_str())
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    let mut keep: Vec<&str> = candidates.iter().copied().filter(|_| rng.random_bool(0.5)).collect();
+    if keep.is_empty() {
+        keep.push(candidates[rng.random_range(0..candidates.len())]);
+    }
+    let mut p = Projection::keeping(keep);
+    if rng.random_bool(0.5) {
+        p = p.with_narrowing();
+    }
+    Some(p)
+}
+
+fn schema_of(ct: &ComplexType) -> String {
+    openmeta_schema::to_xml(&SchemaDocument { types: vec![ct.clone()], enums: vec![] })
+}
+
+fn opposite(machine: MachineModel) -> MachineModel {
+    if machine == MachineModel::SPARC32 {
+        MachineModel::X86_64
+    } else {
+        MachineModel::SPARC32
+    }
+}
+
+fn run_case(seed: u64, sender_machine: MachineModel) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for (text, doc) in fixtures() {
+        let sender = Xmit::new(sender_machine);
+        sender.load_str(&text).unwrap();
+        for ct in &doc.types {
+            let Some(projection) = random_projection(&mut rng, ct) else { continue };
+            let projected_ct = project_type(ct, &projection)
+                .unwrap_or_else(|e| panic!("seed {seed}: project {}: {e}", ct.name));
+
+            let full = sender.bind(&ct.name).unwrap();
+            let mut rec = full.new_record();
+            fill(&mut rng, &mut rec, &doc, ct, "");
+            let full_wire = xmit::encode(&rec).unwrap();
+
+            // Sender-side derivation, exactly as an ECho derived channel
+            // does it: convert into the projected format on the sender's
+            // machine, then re-encode the small record.
+            let group = Xmit::new(sender_machine);
+            group.load_str(&schema_of(&projected_ct)).unwrap();
+            let proj_binding = group.bind(&projected_ct.name).unwrap();
+            group.registry().register_descriptor((*full.format).clone());
+            let proj_rec =
+                xmit::decode_with(&full_wire, group.registry(), &proj_binding.format).unwrap();
+            let proj_wire = xmit::encode(&proj_rec).unwrap();
+            assert!(
+                proj_wire.len() <= full_wire.len(),
+                "seed {seed}: projected wire for {} grew ({} > {})",
+                ct.name,
+                proj_wire.len(),
+                full_wire.len()
+            );
+
+            for receiver_machine in [sender_machine, opposite(sender_machine)] {
+                let receiver = Xmit::new(receiver_machine);
+                receiver.load_str(&schema_of(&projected_ct)).unwrap();
+                let target = receiver.bind(&projected_ct.name).unwrap();
+                receiver.registry().register_descriptor((*proj_binding.format).clone());
+                receiver.registry().register_descriptor((*full.format).clone());
+
+                let via_sender =
+                    xmit::decode_with(&proj_wire, receiver.registry(), &target.format).unwrap();
+                let via_receiver =
+                    xmit::decode_with(&full_wire, receiver.registry(), &target.format).unwrap();
+                assert_eq!(
+                    Value::from_record(&via_sender).unwrap(),
+                    Value::from_record(&via_receiver).unwrap(),
+                    "seed {seed}: {} projected {:?} sender={sender_machine:?} \
+                     receiver={receiver_machine:?}",
+                    ct.name,
+                    projection.keep,
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sender_side_projection_matches_receiver_side_big_endian(seed in any::<u64>()) {
+        run_case(seed, MachineModel::SPARC32);
+    }
+
+    #[test]
+    fn sender_side_projection_matches_receiver_side_little_endian(seed in any::<u64>()) {
+        run_case(seed, MachineModel::X86_64);
+    }
+}

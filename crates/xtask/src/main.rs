@@ -332,6 +332,8 @@ fn loom() -> ExitCode {
         "openmeta-ohttp",
         "-p",
         "openmeta-obs",
+        "-p",
+        "openmeta-pbio",
         "loom_",
     ]);
     if run("loom model tests", &mut cmd) {
