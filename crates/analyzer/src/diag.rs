@@ -23,6 +23,12 @@ pub enum Stage {
     EncodePlan,
     /// Convert-plan verification for a machine pair.
     ConvertPlan,
+    /// Exhaustive sans-io protocol exploration.
+    SansIo,
+    /// Lock-order (may-hold-while-acquiring) graph analysis.
+    LockOrder,
+    /// Wire-input taint lint.
+    Taint,
 }
 
 impl Stage {
@@ -33,6 +39,9 @@ impl Stage {
             Stage::Layout => "layout",
             Stage::EncodePlan => "encode-plan",
             Stage::ConvertPlan => "convert-plan",
+            Stage::SansIo => "sans-io",
+            Stage::LockOrder => "lock-order",
+            Stage::Taint => "taint",
         }
     }
 }
@@ -131,6 +140,100 @@ impl Report {
             }
             out.push_str(&format!(
                 "\n    {{\"severity\": \"{}\", \"stage\": \"{}\", \"check\": \"{}\", \"subject\": \"{}\", \"machines\": \"{}\", \"detail\": \"{}\"}}",
+                d.violation.severity,
+                d.stage.name(),
+                json_escape(d.violation.check),
+                json_escape(&d.subject),
+                json_escape(&d.machines),
+                json_escape(&d.violation.detail)
+            ));
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// The aggregated outcome of one protocol-analysis run (`protolint`).
+///
+/// Kept separate from [`Report`] so `planlint --json`'s shape stays
+/// byte-stable while the protocol engines report their own counters.
+#[derive(Debug, Clone, Default)]
+pub struct ProtoReport {
+    /// Every diagnostic, in discovery order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Sans-io machines explored.
+    pub machines_checked: usize,
+    /// Delivery schedules (chunkings × scenarios) executed.
+    pub schedules_run: usize,
+    /// Lock-acquisition sites extracted from source.
+    pub lock_sites: usize,
+    /// Wire-integer flows traced by the taint lint.
+    pub taint_flows_checked: usize,
+}
+
+impl ProtoReport {
+    /// True when no error-severity diagnostic was recorded.
+    pub fn passed(&self) -> bool {
+        !self.diagnostics.iter().any(|d| d.violation.severity == Severity::Error)
+    }
+
+    /// Count of error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.violation.severity == Severity::Error).count()
+    }
+
+    /// Count of warning-severity diagnostics.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.violation.severity == Severity::Warning).count()
+    }
+
+    /// Record one violation under its provenance.
+    pub fn push(
+        &mut self,
+        stage: Stage,
+        subject: impl Into<String>,
+        context: impl Into<String>,
+        violation: Violation,
+    ) {
+        self.diagnostics.push(Diagnostic {
+            stage,
+            subject: subject.into(),
+            machines: context.into(),
+            violation,
+        });
+    }
+
+    /// Merge another report (diagnostics and counters) into this one.
+    pub fn merge(&mut self, other: ProtoReport) {
+        self.diagnostics.extend(other.diagnostics);
+        self.machines_checked += other.machines_checked;
+        self.schedules_run += other.schedules_run;
+        self.lock_sites += other.lock_sites;
+        self.taint_flows_checked += other.taint_flows_checked;
+    }
+
+    /// Render the stable machine-readable JSON shape.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"passed\": {},\n  \"machines_checked\": {},\n  \"schedules_run\": {},\n  \"lock_sites\": {},\n  \"taint_flows_checked\": {},\n  \"errors\": {},\n  \"warnings\": {},\n  \"diagnostics\": [",
+            self.passed(),
+            self.machines_checked,
+            self.schedules_run,
+            self.lock_sites,
+            self.taint_flows_checked,
+            self.error_count(),
+            self.warning_count()
+        ));
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"severity\": \"{}\", \"stage\": \"{}\", \"check\": \"{}\", \"subject\": \"{}\", \"context\": \"{}\", \"detail\": \"{}\"}}",
                 d.violation.severity,
                 d.stage.name(),
                 json_escape(d.violation.check),

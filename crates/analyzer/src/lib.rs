@@ -34,8 +34,16 @@
 #![deny(unsafe_code)]
 
 pub mod diag;
+pub mod lockorder;
 pub mod pipeline;
+pub mod sansio;
+pub mod source;
+pub mod taint;
 
-pub use diag::{Diagnostic, Report, Stage};
+pub use diag::{Diagnostic, ProtoReport, Report, Stage};
+pub use lockorder::{analyze_lock_order, LockOrderConfig};
 pub use openmeta_pbio::verify;
 pub use pipeline::{analyze_registry, analyze_xmit, analyze_xml, machine_name, MACHINE_MATRIX};
+pub use sansio::{ExplorerConfig, MutantOutcome};
+pub use source::{collect_workspace_sources, SourceFile};
+pub use taint::analyze_taint;

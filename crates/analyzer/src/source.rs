@@ -1,0 +1,162 @@
+//! Workspace source collection for the source-level engines.
+//!
+//! The lock-order and taint engines analyze the repo's own `.rs` files
+//! (the sans-io explorer runs the compiled machines instead).  Both
+//! need the same inputs — every library source file under
+//! `crates/*/src`, tagged with its crate name — and the same two
+//! text-level services: skipping `#[cfg(test)]` modules (test code may
+//! lock and allocate however it likes) and counting brace depth without
+//! being fooled by braces inside string literals (`format!("{e}")` is
+//! everywhere in this codebase).
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One source file, tagged with the crate it belongs to.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Crate directory name (`net`, `echo`, …).
+    pub crate_name: String,
+    /// Path relative to the repo root, for diagnostics.
+    pub rel_path: String,
+    /// File contents.
+    pub text: String,
+}
+
+/// Collect every `crates/*/src/**/*.rs` under `root`, sorted for
+/// deterministic reports.
+pub fn collect_workspace_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    let mut out = Vec::new();
+    for dir in &crate_dirs {
+        let crate_name = dir.file_name().and_then(|n| n.to_str()).unwrap_or_default().to_string();
+        let mut files = Vec::new();
+        collect_rs(&dir.join("src"), &mut files);
+        files.sort();
+        for file in files {
+            let text = std::fs::read_to_string(&file)?;
+            let rel_path = file.strip_prefix(root).unwrap_or(&file).display().to_string();
+            out.push(SourceFile { crate_name: crate_name.clone(), rel_path, text });
+        }
+    }
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.filter_map(Result::ok) {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// The lines of `text` outside `#[cfg(test)]` / `#[cfg(all(test, ...))]`
+/// modules, as `(1-based line number, line)` pairs.  Test modules are
+/// brace-balanced, so depth tracking over the returned lines stays
+/// consistent.
+pub fn code_lines(text: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut in_test = false;
+    let mut depth: i64 = 0;
+    let mut entered_body = false;
+    for (idx, line) in text.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if in_test {
+            let (opens, closes) = brace_delta(line);
+            depth += opens - closes;
+            if opens > 0 {
+                entered_body = true;
+            }
+            if entered_body && depth <= 0 {
+                in_test = false;
+            }
+            continue;
+        }
+        if trimmed.starts_with("#[cfg(test)]") || trimmed.starts_with("#[cfg(all(test") {
+            in_test = true;
+            depth = 0;
+            entered_body = false;
+            continue;
+        }
+        out.push((idx + 1, line));
+    }
+    out
+}
+
+/// Count `{` and `}` outside string/char literals and `//` comments.
+pub fn brace_delta(line: &str) -> (i64, i64) {
+    let mut opens = 0i64;
+    let mut closes = 0i64;
+    let mut chars = line.chars().peekable();
+    let mut in_string = false;
+    let mut in_char = false;
+    while let Some(c) = chars.next() {
+        if in_string {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        if in_char {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '\'' => in_char = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            // A lone quote opens a char literal only when it closes
+            // within a couple of chars ('a', '\n'); lifetimes ('a) do
+            // not.  Checking for a closing quote nearby is enough here.
+            '\'' => {
+                let rest: String = chars.clone().take(3).collect();
+                if rest.len() >= 2 && (rest.as_bytes()[1] == b'\'' || rest.starts_with('\\')) {
+                    in_char = true;
+                }
+            }
+            '/' if chars.peek() == Some(&'/') => break,
+            '{' => opens += 1,
+            '}' => closes += 1,
+            _ => {}
+        }
+    }
+    (opens, closes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brace_counting_ignores_strings_and_comments() {
+        assert_eq!(brace_delta("fn f() {"), (1, 0));
+        assert_eq!(brace_delta("let s = format!(\"{e} {{literal}}\");"), (0, 0));
+        assert_eq!(brace_delta("} // closes { the fn"), (0, 1));
+        assert_eq!(brace_delta("let c = '{';"), (0, 0));
+        assert_eq!(brace_delta("let lt: &'a str = s; {"), (1, 0));
+    }
+
+    #[test]
+    fn test_modules_are_excluded() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn b() {}\n";
+        let lines: Vec<usize> = code_lines(src).into_iter().map(|(n, _)| n).collect();
+        assert_eq!(lines, vec![1, 6]);
+    }
+}

@@ -1,0 +1,251 @@
+//! Wire-input taint lint: untrusted sizes must be bounded before they
+//! size an allocation.
+//!
+//! A length prefix, header field, or chunk-size line is attacker data.
+//! `Vec::with_capacity(len)` (or `resize`/`reserve`) with such a value
+//! lets a peer pin near-arbitrary memory with a handful of header bytes
+//! — the classic amplification this workspace closes with
+//! [`openmeta_net::read_exact_capped`], which only grows the buffer as
+//! payload bytes actually arrive.
+//!
+//! The lint is a per-function textual dataflow over the same
+//! [`crate::source`] lines the lock-order engine uses:
+//!
+//! * **sources** taint a `let` binding whose initializer decodes an
+//!   integer from wire bytes — `u32::from_be_bytes(..)`,
+//!   `from_le_bytes`, `from_ne_bytes`, `usize::from_str_radix(..)`
+//!   (chunked transfer encoding), `.parse::<usize>()`;
+//! * **propagation** re-taints a binding whose initializer mentions a
+//!   tainted one;
+//! * **sanitizers** clear the taint: an explicit upper bound
+//!   (`.min(..)`, `.clamp(..)`, or an ordering comparison ` < `/` > `/
+//!   ` <= `/` >= ` against the value — equality tests like
+//!   `if size == 0` deliberately do *not* count) or handing the value
+//!   to `read_exact_capped`, whose growth discipline is audited once;
+//! * **sinks** report: `with_capacity`, `.reserve(`, `.resize(`, or
+//!   `vec![_; n]` sized by a still-tainted binding.
+//!
+//! Analysis is intra-procedural and line-oriented — deliberately so:
+//! every real flow in this codebase decodes and allocates within one
+//! function, and the narrow scope keeps the false-positive rate at
+//! zero, which is what lets `cargo xtask analyze` hard-fail on any hit.
+
+use openmeta_pbio::verify::{Severity, Violation};
+
+use crate::diag::{ProtoReport, Stage};
+use crate::source::{brace_delta, code_lines, SourceFile};
+
+/// Initializer patterns that make an integer wire-controlled.
+const SOURCES: &[&str] =
+    &["from_be_bytes", "from_le_bytes", "from_ne_bytes", "from_str_radix", "parse::<usize>"];
+
+/// Patterns that bound a tainted value on the line they appear.
+const BOUNDS: &[&str] = &[".min(", ".clamp(", " < ", " > ", " <= ", " >= "];
+
+/// The audited escape hatch: growth proportional to received bytes.
+const SANCTIONED: &str = "read_exact_capped";
+
+/// Allocation calls that take a size.
+const SINKS: &[&str] = &["with_capacity(", ".reserve(", ".resize(", "vec!["];
+
+/// Run the taint lint over the given sources.
+pub fn analyze_taint(files: &[SourceFile]) -> ProtoReport {
+    let mut report = ProtoReport::default();
+    for file in files {
+        lint_file(file, &mut report);
+    }
+    report
+}
+
+/// One tainted binding, live while brace depth stays at or above
+/// `min_depth` (its enclosing block).
+#[derive(Debug)]
+struct Tainted {
+    name: String,
+    min_depth: i64,
+    origin: String,
+}
+
+fn lint_file(file: &SourceFile, report: &mut ProtoReport) {
+    let mut depth: i64 = 0;
+    let mut tainted: Vec<Tainted> = Vec::new();
+    // Reset at `fn` boundaries so taint never crosses functions.
+    let mut fn_floor: i64 = 0;
+
+    for (lineno, line) in code_lines(&file.text) {
+        let at = format!("{}:{}", file.rel_path, lineno);
+        let (opens, closes) = brace_delta(line);
+        let depth_before = depth;
+        depth += opens - closes;
+
+        if line.contains("fn ") && line.contains('(') {
+            tainted.clear();
+            fn_floor = depth_before;
+        }
+
+        let names: Vec<String> = tainted.iter().map(|t| t.name.clone()).collect();
+        let mentioned: Vec<&str> =
+            names.iter().map(String::as_str).filter(|name| mentions_word(line, name)).collect();
+
+        // Sinks first: `let n = u32::from_be_bytes(..); v.resize(n, 0)`
+        // on one line must still report.
+        if !mentioned.is_empty() && SINKS.iter().any(|s| line.contains(s)) {
+            let bounded = BOUNDS.iter().any(|b| line.contains(b)) || line.contains(SANCTIONED);
+            if !bounded {
+                for name in &mentioned {
+                    report.taint_flows_checked += 1;
+                    let origin = tainted
+                        .iter()
+                        .find(|t| t.name == **name)
+                        .map(|t| t.origin.clone())
+                        .unwrap_or_default();
+                    report.push(
+                        Stage::Taint,
+                        format!("{}::{name}", file.crate_name),
+                        at.clone(),
+                        Violation {
+                            check: "unbounded-wire-alloc",
+                            severity: Severity::Error,
+                            detail: format!(
+                                "allocation sized by `{name}` (wire-derived at {origin}) \
+                                 without a bound: clamp it or use read_exact_capped"
+                            ),
+                        },
+                    );
+                }
+            } else {
+                report.taint_flows_checked += mentioned.len();
+            }
+        }
+
+        // Sanitizers: a bound or the sanctioned reader clears every
+        // binding they mention.
+        if BOUNDS.iter().any(|b| line.contains(b)) || line.contains(SANCTIONED) {
+            tainted.retain(|t| !mentions_word(line, &t.name));
+        }
+
+        // New bindings: source taints, tainted-mention propagates, and
+        // a clean re-binding shadows the old taint away.
+        if let Some(name) = let_binding_name(line) {
+            let rhs = line.split_once('=').map(|(_, r)| r).unwrap_or("");
+            let from_source = SOURCES.iter().any(|s| rhs.contains(s));
+            let from_tainted =
+                tainted.iter().any(|t| t.name != name && mentions_word(rhs, &t.name));
+            tainted.retain(|t| t.name != name);
+            if from_source || from_tainted {
+                tainted.push(Tainted {
+                    name,
+                    min_depth: depth_before.max(fn_floor),
+                    origin: at.clone(),
+                });
+            }
+        }
+
+        tainted.retain(|t| depth >= t.min_depth);
+    }
+}
+
+/// `let [mut] NAME` on this line, if any.
+fn let_binding_name(line: &str) -> Option<String> {
+    let trimmed = line.trim_start();
+    let rest = trimmed.strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name: String =
+        rest.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+    if name.is_empty() || !line.contains('=') {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// Does `text` contain `word` with identifier boundaries on both sides?
+fn mentions_word(text: &str, word: &str) -> bool {
+    let bytes = text.as_bytes();
+    let mut start = 0usize;
+    while let Some(idx) = text[start..].find(word) {
+        let abs = start + idx;
+        let before_ok = abs == 0 || {
+            let b = bytes[abs - 1];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        let end = abs + word.len();
+        let after_ok = end >= bytes.len() || {
+            let b = bytes[end];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        if before_ok && after_ok {
+            return true;
+        }
+        start = abs + 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(text: &str) -> ProtoReport {
+        analyze_taint(&[SourceFile {
+            crate_name: "demo".to_string(),
+            rel_path: "crates/demo/src/lib.rs".to_string(),
+            text: text.to_string(),
+        }])
+    }
+
+    #[test]
+    fn unbounded_wire_length_into_vec_is_flagged() {
+        let report = run(
+            "fn recv(&mut self) {\n    let len = u32::from_be_bytes(hdr) as usize;\n    let mut body = vec![0u8; len];\n}\n",
+        );
+        assert!(!report.passed());
+        assert_eq!(report.diagnostics[0].violation.check, "unbounded-wire-alloc");
+    }
+
+    #[test]
+    fn min_bound_on_the_sink_line_is_clean() {
+        let report = run(
+            "fn recv(&mut self) {\n    let n = u16::from_be_bytes(hdr) as usize;\n    let keep = Vec::with_capacity(n.min(256));\n}\n",
+        );
+        assert!(report.passed(), "{:?}", report.diagnostics);
+        assert_eq!(report.taint_flows_checked, 1);
+    }
+
+    #[test]
+    fn ordering_comparison_sanitizes_but_equality_does_not() {
+        let checked = run(
+            "fn recv(&mut self) {\n    let len = u32::from_be_bytes(hdr) as usize;\n    if len > MAX {\n        return;\n    }\n    let mut body = vec![0u8; len];\n}\n",
+        );
+        assert!(checked.passed(), "{:?}", checked.diagnostics);
+
+        let eq_only = run(
+            "fn recv(&mut self) {\n    let size = usize::from_str_radix(s, 16)?;\n    if size == 0 {\n        return;\n    }\n    body.resize(size, 0);\n}\n",
+        );
+        assert!(!eq_only.passed(), "== is not an upper bound");
+    }
+
+    #[test]
+    fn read_exact_capped_is_the_sanctioned_path() {
+        let report = run(
+            "fn recv(&mut self) {\n    let len = u32::from_be_bytes(hdr) as usize;\n    let payload = read_exact_capped(&mut src, len)?;\n}\n",
+        );
+        assert!(report.passed(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn propagation_through_rebinding_is_tracked() {
+        let report = run(
+            "fn recv(&mut self) {\n    let raw = u32::from_be_bytes(hdr);\n    let total = raw as usize + 8;\n    out.reserve(total);\n}\n",
+        );
+        assert!(!report.passed(), "taint must flow raw → total");
+    }
+
+    #[test]
+    fn taint_does_not_cross_functions() {
+        let report = run(
+            "fn decode(&mut self) {\n    let len = u32::from_be_bytes(hdr) as usize;\n}\nfn alloc(&mut self, len: usize) {\n    let v = vec![0u8; len];\n}\n",
+        );
+        assert!(report.passed(), "{:?}", report.diagnostics);
+    }
+}

@@ -199,7 +199,7 @@ impl Seat {
             }
             match policy {
                 SlowPolicy::Block => {
-                    st = sync::wait_timeout(&self.cv, st, Duration::from_millis(50));
+                    st = sync::wait_timeout(&self.cv, st, Duration::from_millis(50)).0;
                 }
                 SlowPolicy::DropNewest => return Offer::Dropped,
                 SlowPolicy::Disconnect => {
@@ -228,7 +228,7 @@ impl Seat {
             if self.closing.load(Ordering::Acquire) {
                 return None;
             }
-            st = sync::wait_timeout(&self.cv, st, Duration::from_millis(100));
+            st = sync::wait_timeout(&self.cv, st, Duration::from_millis(100)).0;
         }
     }
 
@@ -365,7 +365,7 @@ impl Sweep {
             if !progressed {
                 let park = if any_pending { 1 } else { 20 };
                 let guard = sync::lock(&self.parked);
-                drop(sync::wait_timeout(&self.cv, guard, Duration::from_millis(park)));
+                drop(sync::wait_timeout(&self.cv, guard, Duration::from_millis(park)).0);
             }
         }
         // Clean shutdown: bounded drain of what is already queued, then

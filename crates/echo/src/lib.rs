@@ -83,7 +83,7 @@ use std::fmt;
 pub use channel::{Channel, ChannelConfig, ChannelHost, ChannelStats, PublishReceipt};
 pub use fanout::SlowPolicy;
 pub use subscriber::ChannelSubscriber;
-pub use wire::SubscribeRequest;
+pub use wire::{HandshakeClient, HandshakeReply, HandshakeServer, SubscribeRequest};
 
 // Re-exports so channel applications only need this crate.
 pub use openmeta_net::Backend;

@@ -12,14 +12,16 @@ use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 
-use openmeta_net::{connect_retrying, read_frame_blocking, LengthFramer, TransportConfig};
+use openmeta_net::{
+    connect_retrying, read_frame_blocking, LengthFramer, TransportConfig, READ_CHUNK,
+};
 use openmeta_pbio::codec::decode_descriptor;
 use openmeta_pbio::{decode, FormatId, FormatRegistry, MachineModel, PbioError, RawRecord};
 use xmit::Projection;
 
 use crate::wire::{
-    self, SubscribeRequest, FRAME_FORMAT, FRAME_RECORD, FRAME_SUBSCRIBE, FRAME_SUB_ERR,
-    FRAME_SUB_OK, MAX_FRAME,
+    self, HandshakeClient, HandshakeReply, SubscribeRequest, FRAME_FORMAT, FRAME_RECORD,
+    FRAME_SUBSCRIBE,
 };
 use crate::EchoError;
 
@@ -50,6 +52,7 @@ impl ChannelSubscriber {
         projection: Option<&Projection>,
         cfg: &TransportConfig,
     ) -> Result<ChannelSubscriber, EchoError> {
+        use std::io::Read;
         let mut stream = connect_retrying(addr, cfg)?;
         let request = SubscribeRequest { channel, projection: projection.cloned() };
         let payload = request.encode();
@@ -57,28 +60,40 @@ impl ChannelSubscriber {
         wire::build_frame(&mut frame, FRAME_SUBSCRIBE, &[&payload])?;
         stream.write_all(&frame)?;
 
-        let mut framer = LengthFramer::with_kind_byte(MAX_FRAME);
-        let Some((kind, payload)) = read_frame_blocking(&mut stream, &mut framer)? else {
-            return Err(EchoError::Closed);
+        // Drive the sans-io client machine from the blocking socket:
+        // read exactly the bytes it still needs, so delivery frames
+        // pipelined behind SUB_OK stay in the machine's framer.
+        let mut hs = HandshakeClient::new();
+        let reply = loop {
+            if let Some(reply) = hs.poll()? {
+                break reply;
+            }
+            let need = hs.bytes_needed().clamp(1, READ_CHUNK);
+            let mut chunk = vec![0u8; need];
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(if hs.buffered() == 0 {
+                        EchoError::Closed
+                    } else {
+                        EchoError::Io(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "connection closed mid-handshake",
+                        ))
+                    })
+                }
+                Ok(n) => hs.push(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
         };
-        match kind {
-            FRAME_SUB_OK => {
-                let id: [u8; 8] = payload.as_slice().try_into().map_err(|_| {
-                    EchoError::Bcm(PbioError::BadWireData("malformed SUB_OK".to_string()))
-                })?;
-                Ok(ChannelSubscriber {
-                    stream,
-                    registry: Arc::new(FormatRegistry::new(MachineModel::native())),
-                    framer,
-                    delivered_format: FormatId(u64::from_be_bytes(id)),
-                })
-            }
-            FRAME_SUB_ERR => {
-                Err(EchoError::Rejected(String::from_utf8_lossy(&payload).into_owned()))
-            }
-            other => Err(EchoError::Bcm(PbioError::BadWireData(format!(
-                "unexpected handshake frame kind {other}"
-            )))),
+        match reply {
+            HandshakeReply::Accepted(delivered_format) => Ok(ChannelSubscriber {
+                stream,
+                registry: Arc::new(FormatRegistry::new(MachineModel::native())),
+                framer: hs.into_framer(),
+                delivered_format,
+            }),
+            HandshakeReply::Rejected(reason) => Err(EchoError::Rejected(reason)),
         }
     }
 

@@ -1,23 +1,9 @@
-//! Poison-recovering wrappers over `std::sync`, mirroring
-//! `openmeta_net::sync`: a publisher or writer that panics only ever
-//! holds a lock between two consistent single-step states, so continuing
-//! past a poisoned lock is sound — and the library stays `unwrap()`-free.
+//! Re-export of the workspace's shared lock helpers.
+//!
+//! The real module lives in [`openmeta_obs::sync`] (the workspace base
+//! crate) so every crate keys its locking on one set of acquisition
+//! entry points — which is what the lock-order analyzer in
+//! `openmeta-analyzer` builds its may-hold-while-acquiring graph from.
+//! See that module for the loom swap point and poison-recovery policy.
 
-pub(crate) use std::sync::{Condvar, Mutex, MutexGuard};
-
-use std::sync::PoisonError;
-use std::time::Duration;
-
-/// Acquire `m`, recovering the guard if a previous holder panicked.
-pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
-/// Wait with a timeout, recovering the guard if a notifier panicked.
-pub(crate) fn wait_timeout<'a, T>(
-    cv: &Condvar,
-    guard: MutexGuard<'a, T>,
-    timeout: Duration,
-) -> MutexGuard<'a, T> {
-    cv.wait_timeout(guard, timeout).unwrap_or_else(PoisonError::into_inner).0
-}
+pub(crate) use openmeta_obs::sync::{lock, wait_timeout, Condvar, Mutex};

@@ -23,16 +23,22 @@
 //!       suffix: len:u16be utf-8
 //! ```
 
+use openmeta_net::LengthFramer;
 use openmeta_pbio::{FormatId, PbioError};
 use xmit::Projection;
 
 use crate::EchoError;
 
-pub(crate) const FRAME_FORMAT: u8 = 1;
-pub(crate) const FRAME_RECORD: u8 = 2;
-pub(crate) const FRAME_SUBSCRIBE: u8 = 3;
-pub(crate) const FRAME_SUB_OK: u8 = 4;
-pub(crate) const FRAME_SUB_ERR: u8 = 5;
+/// Frame kind: format descriptor, host → subscriber.
+pub const FRAME_FORMAT: u8 = 1;
+/// Frame kind: one encoded record, host → subscriber.
+pub const FRAME_RECORD: u8 = 2;
+/// Frame kind: subscription request, subscriber → host.
+pub const FRAME_SUBSCRIBE: u8 = 3;
+/// Frame kind: subscription accepted (payload = delivered format id).
+pub const FRAME_SUB_OK: u8 = 4;
+/// Frame kind: subscription refused (payload = utf-8 reason).
+pub const FRAME_SUB_ERR: u8 = 5;
 
 /// Upper bound on any frame, matching `xmit::messaging`.
 pub(crate) const MAX_FRAME: usize = 64 << 20;
@@ -156,6 +162,201 @@ impl Cursor<'_> {
     }
 }
 
+// ------------------------------------------------- handshake machines
+
+/// Sans-io server side of the subscription handshake.
+///
+/// Push bytes as they arrive (in any fragmentation), poll for the
+/// decoded [`SubscribeRequest`].  The machine accepts exactly one
+/// `SUBSCRIBE` frame: any other leading frame kind, a malformed
+/// payload, or bytes trailing the frame are protocol errors (a
+/// subscriber sends nothing else before `SUB_OK`/`SUB_ERR`).  Both the
+/// threaded accept loop and the analyzer's exhaustive model checker
+/// drive this same type, so every byte-split schedule the checker
+/// proves safe is the code that runs in production.
+#[derive(Debug)]
+pub struct HandshakeServer {
+    framer: LengthFramer,
+    done: bool,
+}
+
+impl HandshakeServer {
+    /// A machine with the production frame cap ([`MAX_FRAME`]).
+    pub fn new() -> HandshakeServer {
+        HandshakeServer::with_max_frame(MAX_FRAME)
+    }
+
+    /// A machine with an explicit frame cap (the model checker uses a
+    /// tiny cap so oversized-length scenarios stay short).
+    pub fn with_max_frame(max_frame: usize) -> HandshakeServer {
+        HandshakeServer { framer: LengthFramer::with_kind_byte(max_frame), done: false }
+    }
+
+    /// Append newly received bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.framer.push(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a decision.
+    pub fn buffered(&self) -> usize {
+        self.framer.buffered()
+    }
+
+    /// How many more bytes are needed before [`HandshakeServer::poll`]
+    /// can decide; 0 once a decision is available (or the machine is
+    /// done).
+    pub fn bytes_needed(&self) -> usize {
+        if self.done {
+            0
+        } else {
+            self.framer.bytes_needed()
+        }
+    }
+
+    /// The handshake has produced its decision; the connection hands
+    /// over to the delivery engine.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Poll for the subscription request.  `Ok(None)` means more bytes
+    /// are needed; errors end the handshake (the host answers
+    /// `SUB_ERR` where the socket still permits, then drops).
+    pub fn poll(&mut self) -> Result<Option<SubscribeRequest>, EchoError> {
+        if self.done {
+            if self.framer.is_empty() {
+                return Ok(None);
+            }
+            return Err(EchoError::Rejected("unexpected bytes after SUBSCRIBE".to_string()));
+        }
+        let frame = self
+            .framer
+            .next_frame()
+            .map_err(|e| EchoError::Bcm(PbioError::BadWireData(e.to_string())))?;
+        match frame {
+            None => Ok(None),
+            Some((FRAME_SUBSCRIBE, payload)) => {
+                self.done = true;
+                SubscribeRequest::decode(&payload).map(Some)
+            }
+            Some((kind, _)) => {
+                self.done = true;
+                Err(EchoError::Rejected(format!("expected SUBSCRIBE frame, got kind {kind}")))
+            }
+        }
+    }
+}
+
+impl Default for HandshakeServer {
+    fn default() -> HandshakeServer {
+        HandshakeServer::new()
+    }
+}
+
+/// The host's answer to a subscription, as seen by the client machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HandshakeReply {
+    /// `SUB_OK`: the content id of the format this seat will receive
+    /// (the projected format's id on a derived channel).
+    Accepted(FormatId),
+    /// `SUB_ERR`: the host's reason for refusing.
+    Rejected(String),
+}
+
+/// Sans-io client side of the subscription handshake: awaits exactly
+/// one `SUB_OK`/`SUB_ERR` frame.
+///
+/// After `SUB_OK` the same connection carries ordinary FORMAT/RECORD
+/// frames, so bytes beyond the reply are *not* an error here — they
+/// stay buffered, and [`HandshakeClient::into_framer`] hands the framer
+/// (with any such delivery bytes intact) to the receive loop.
+#[derive(Debug)]
+pub struct HandshakeClient {
+    framer: LengthFramer,
+    done: bool,
+}
+
+impl HandshakeClient {
+    /// A machine with the production frame cap ([`MAX_FRAME`]).
+    pub fn new() -> HandshakeClient {
+        HandshakeClient::with_max_frame(MAX_FRAME)
+    }
+
+    /// A machine with an explicit frame cap (for the model checker).
+    pub fn with_max_frame(max_frame: usize) -> HandshakeClient {
+        HandshakeClient { framer: LengthFramer::with_kind_byte(max_frame), done: false }
+    }
+
+    /// Append newly received bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.framer.push(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a reply.
+    pub fn buffered(&self) -> usize {
+        self.framer.buffered()
+    }
+
+    /// How many more bytes are needed before [`HandshakeClient::poll`]
+    /// can decide; 0 once the reply is in (or the machine is done).
+    pub fn bytes_needed(&self) -> usize {
+        if self.done {
+            0
+        } else {
+            self.framer.bytes_needed()
+        }
+    }
+
+    /// The reply has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Poll for the host's reply.  `Ok(None)` means more bytes are
+    /// needed.
+    pub fn poll(&mut self) -> Result<Option<HandshakeReply>, EchoError> {
+        if self.done {
+            return Ok(None);
+        }
+        let frame = self
+            .framer
+            .next_frame()
+            .map_err(|e| EchoError::Bcm(PbioError::BadWireData(e.to_string())))?;
+        match frame {
+            None => Ok(None),
+            Some((FRAME_SUB_OK, payload)) => {
+                self.done = true;
+                let id: [u8; 8] = payload.as_slice().try_into().map_err(|_| {
+                    EchoError::Bcm(PbioError::BadWireData("malformed SUB_OK".to_string()))
+                })?;
+                Ok(Some(HandshakeReply::Accepted(FormatId(u64::from_be_bytes(id)))))
+            }
+            Some((FRAME_SUB_ERR, payload)) => {
+                self.done = true;
+                Ok(Some(HandshakeReply::Rejected(String::from_utf8_lossy(&payload).into_owned())))
+            }
+            Some((kind, _)) => {
+                self.done = true;
+                Err(EchoError::Bcm(PbioError::BadWireData(format!(
+                    "unexpected handshake frame kind {kind}"
+                ))))
+            }
+        }
+    }
+
+    /// Hand the framer — including any already-buffered delivery bytes
+    /// that arrived behind `SUB_OK` — to the receive loop.
+    pub fn into_framer(self) -> LengthFramer {
+        self.framer
+    }
+}
+
+impl Default for HandshakeClient {
+    fn default() -> HandshakeClient {
+        HandshakeClient::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,5 +398,77 @@ mod tests {
         let mut frame = Vec::new();
         build_frame(&mut frame, FRAME_RECORD, &[b"abc", b"de"]).unwrap();
         assert_eq!(frame, [0, 0, 0, 5, FRAME_RECORD, b'a', b'b', b'c', b'd', b'e']);
+    }
+
+    #[test]
+    fn server_machine_decodes_split_subscribe() {
+        let req = SubscribeRequest { channel: FormatId(11), projection: None };
+        let mut frame = Vec::new();
+        build_frame(&mut frame, FRAME_SUBSCRIBE, &[&req.encode()]).unwrap();
+        let mut hs = HandshakeServer::new();
+        for b in &frame {
+            assert!(hs.poll().unwrap().is_none());
+            assert!(hs.bytes_needed() > 0);
+            hs.push(&[*b]);
+        }
+        assert_eq!(hs.poll().unwrap(), Some(req));
+        assert!(hs.is_done());
+        assert!(hs.poll().unwrap().is_none());
+    }
+
+    #[test]
+    fn server_machine_rejects_wrong_kind_and_trailing_bytes() {
+        let mut frame = Vec::new();
+        build_frame(&mut frame, FRAME_RECORD, &[b"zz"]).unwrap();
+        let mut hs = HandshakeServer::new();
+        hs.push(&frame);
+        assert!(matches!(hs.poll(), Err(EchoError::Rejected(_))));
+
+        let req = SubscribeRequest { channel: FormatId(1), projection: None };
+        let mut frame = Vec::new();
+        build_frame(&mut frame, FRAME_SUBSCRIBE, &[&req.encode()]).unwrap();
+        frame.push(0xFF);
+        let mut hs = HandshakeServer::new();
+        hs.push(&frame);
+        assert!(hs.poll().unwrap().is_some());
+        assert!(matches!(hs.poll(), Err(EchoError::Rejected(_))));
+    }
+
+    #[test]
+    fn client_machine_consumes_reply_and_keeps_delivery_bytes() {
+        let mut wire = Vec::new();
+        build_frame(&mut wire, FRAME_SUB_OK, &[&7u64.to_be_bytes()]).unwrap();
+        build_frame(&mut wire, FRAME_FORMAT, &[b"descriptor-bytes"]).unwrap();
+        let mut hs = HandshakeClient::new();
+        hs.push(&wire);
+        assert_eq!(hs.poll().unwrap(), Some(HandshakeReply::Accepted(FormatId(7))));
+        let mut framer = hs.into_framer();
+        let (kind, payload) = framer.next_frame().unwrap().expect("delivery frame intact");
+        assert_eq!(kind, FRAME_FORMAT);
+        assert_eq!(payload, b"descriptor-bytes");
+    }
+
+    #[test]
+    fn client_machine_surfaces_rejection_and_bad_kinds() {
+        let mut wire = Vec::new();
+        build_frame(&mut wire, FRAME_SUB_ERR, &[b"no such channel"]).unwrap();
+        let mut hs = HandshakeClient::new();
+        hs.push(&wire);
+        assert_eq!(
+            hs.poll().unwrap(),
+            Some(HandshakeReply::Rejected("no such channel".to_string()))
+        );
+
+        let mut wire = Vec::new();
+        build_frame(&mut wire, FRAME_RECORD, &[b"x"]).unwrap();
+        let mut hs = HandshakeClient::new();
+        hs.push(&wire);
+        assert!(hs.poll().is_err());
+
+        let mut wire = Vec::new();
+        build_frame(&mut wire, FRAME_SUB_OK, &[b"short"]).unwrap();
+        let mut hs = HandshakeClient::new();
+        hs.push(&wire);
+        assert!(hs.poll().is_err(), "SUB_OK payload must be exactly 8 bytes");
     }
 }

@@ -1,0 +1,195 @@
+//! Property tests for the echo handshake wire frames: however the byte
+//! stream is fragmented, SUBSCRIBE / SUB_OK / SUB_ERR must decode to
+//! the same decision — the split-invariance the analyzer's exhaustive
+//! explorer proves for short streams, checked here over long random
+//! ones.
+
+use proptest::prelude::*;
+
+use openmeta_echo::wire::{FRAME_SUBSCRIBE, FRAME_SUB_ERR, FRAME_SUB_OK};
+use openmeta_echo::{HandshakeClient, HandshakeReply, HandshakeServer, SubscribeRequest};
+use openmeta_pbio::FormatId;
+use xmit::Projection;
+
+fn frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.push(kind);
+    out.extend_from_slice(payload);
+    out
+}
+
+fn requests() -> impl Strategy<Value = SubscribeRequest> {
+    let projection =
+        (proptest::collection::vec("[a-z]{0,8}", 0..6), any::<bool>(), "[A-Za-z]{0,6}").prop_map(
+            |(keep, narrow_doubles, rename_suffix)| Projection {
+                keep,
+                narrow_doubles,
+                rename_suffix,
+            },
+        );
+    (any::<u64>(), any::<bool>(), projection).prop_map(|(id, full_fat, projection)| {
+        SubscribeRequest {
+            channel: FormatId(id),
+            projection: if full_fat { None } else { Some(projection) },
+        }
+    })
+}
+
+/// Feed `wire` to `push` in fragments cut at `splits` (positions taken
+/// modulo the remaining length), invoking `poll` after every push.
+fn drive<M>(
+    wire: &[u8],
+    splits: &[usize],
+    machine: &mut M,
+    mut push: impl FnMut(&mut M, &[u8]),
+    mut poll: impl FnMut(&mut M) -> Option<()>,
+) {
+    let mut rest = wire;
+    for s in splits {
+        if rest.is_empty() {
+            break;
+        }
+        let n = 1 + (s % rest.len());
+        push(machine, &rest[..n]);
+        rest = &rest[n..];
+        if poll(machine).is_some() {
+            return;
+        }
+    }
+    push(machine, rest);
+    poll(machine);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn subscribe_decodes_identically_under_random_splits(
+        req in requests(),
+        splits in proptest::collection::vec(any::<usize>(), 0..64),
+    ) {
+        let wire = frame(FRAME_SUBSCRIBE, &req.encode());
+        let mut server = HandshakeServer::new();
+        let mut got = None;
+        drive(
+            &wire,
+            &splits,
+            &mut server,
+            HandshakeServer::push,
+            |m| {
+                got = m.poll().expect("valid subscribe frame");
+                got.as_ref().map(|_| ())
+            },
+        );
+        prop_assert_eq!(got, Some(req));
+        prop_assert!(server.is_done());
+        prop_assert_eq!(server.bytes_needed(), 0);
+    }
+
+    #[test]
+    fn sub_ok_and_trailing_delivery_bytes_survive_random_splits(
+        id in any::<u64>(),
+        delivery in proptest::collection::vec(any::<u8>(), 0..128),
+        splits in proptest::collection::vec(any::<usize>(), 0..64),
+    ) {
+        // Delivery frames queued behind SUB_OK must stay buffered for
+        // the receive loop, not be lost or treated as an error.
+        let mut wire = frame(FRAME_SUB_OK, &id.to_be_bytes());
+        wire.extend_from_slice(&frame(2, &delivery));
+        let mut client = HandshakeClient::new();
+        let mut got = None;
+        let mut rest = wire.as_slice();
+        for s in &splits {
+            if rest.is_empty() {
+                break;
+            }
+            let n = 1 + (s % rest.len());
+            client.push(&rest[..n]);
+            rest = &rest[n..];
+            if got.is_none() {
+                got = client.poll().expect("valid SUB_OK frame");
+            }
+        }
+        client.push(rest);
+        if got.is_none() {
+            got = client.poll().expect("valid SUB_OK frame");
+        }
+        prop_assert_eq!(got, Some(HandshakeReply::Accepted(FormatId(id))));
+        // Whatever arrived behind the reply is handed over intact.
+        let mut framer = client.into_framer();
+        let trailing = framer.next_frame().expect("valid delivery frame");
+        prop_assert_eq!(trailing, Some((2u8, delivery)));
+        prop_assert!(framer.is_empty());
+    }
+
+    #[test]
+    fn sub_err_message_is_split_invariant(
+        msg in proptest::collection::vec(any::<u8>(), 0..96),
+        splits in proptest::collection::vec(any::<usize>(), 0..64),
+    ) {
+        let wire = frame(FRAME_SUB_ERR, &msg);
+        let mut client = HandshakeClient::new();
+        let mut got = None;
+        drive(
+            &wire,
+            &splits,
+            &mut client,
+            HandshakeClient::push,
+            |m| {
+                got = m.poll().expect("valid SUB_ERR frame");
+                got.as_ref().map(|_| ())
+            },
+        );
+        let want = String::from_utf8_lossy(&msg).into_owned();
+        prop_assert_eq!(got, Some(HandshakeReply::Rejected(want)));
+    }
+
+    #[test]
+    fn byte_at_a_time_equals_one_push(req in requests()) {
+        let wire = frame(FRAME_SUBSCRIBE, &req.encode());
+
+        let mut whole = HandshakeServer::new();
+        whole.push(&wire);
+        let want = whole.poll().expect("valid frame");
+
+        let mut trickle = HandshakeServer::new();
+        let mut got = None;
+        for b in &wire {
+            trickle.push(&[*b]);
+            if got.is_none() {
+                got = trickle.poll().expect("valid frame");
+            }
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn wrong_kind_frame_is_rejected_under_every_split(
+        kind in 6u8..255u8,
+        payload in proptest::collection::vec(any::<u8>(), 0..32),
+        splits in proptest::collection::vec(any::<usize>(), 0..64),
+    ) {
+        let wire = frame(kind, &payload);
+        let mut server = HandshakeServer::new();
+        let mut rejected = false;
+        let mut rest = wire.as_slice();
+        for s in &splits {
+            if rest.is_empty() {
+                break;
+            }
+            let n = 1 + (s % rest.len());
+            server.push(&rest[..n]);
+            rest = &rest[n..];
+            if server.poll().is_err() {
+                rejected = true;
+                break;
+            }
+        }
+        if !rejected {
+            server.push(rest);
+            rejected = server.poll().is_err();
+        }
+        prop_assert!(rejected, "non-SUBSCRIBE frame must end the handshake");
+    }
+}

@@ -1,44 +1,9 @@
-//! Synchronization primitives behind a swap point.
+//! Re-export of the workspace's shared lock helpers.
 //!
-//! Normal builds use `std::sync`; under `RUSTFLAGS="--cfg loom"` the
-//! same names resolve to loom's model-checked versions, so the worker
-//! pool's locking runs unchanged inside `loom::model` schedule
-//! exploration (`cargo xtask loom`).
-//!
-//! The helpers also centralize poison recovery: a worker that panics
-//! mid-handler only ever holds the state lock between two consistent
-//! states (counters are adjusted in single steps), so continuing past a
-//! poisoned lock is sound — and the library stays free of `unwrap()`.
+//! The real module lives in [`openmeta_obs::sync`] (the workspace base
+//! crate) so every crate keys its locking on one set of acquisition
+//! entry points — which is what the lock-order analyzer in
+//! `openmeta-analyzer` builds its may-hold-while-acquiring graph from.
+//! See that module for the loom swap point and poison-recovery policy.
 
-#[cfg(loom)]
-pub(crate) use loom::sync::{Condvar, Mutex, MutexGuard};
-#[cfg(not(loom))]
-pub(crate) use std::sync::{Condvar, Mutex, MutexGuard};
-
-use std::sync::PoisonError;
-use std::time::Duration;
-
-/// Acquire `m`, recovering the guard if a previous holder panicked.
-pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
-/// Exclusive access through `&mut`, recovering from poisoning.
-pub(crate) fn get_mut<T>(m: &mut Mutex<T>) -> &mut T {
-    m.get_mut().unwrap_or_else(PoisonError::into_inner)
-}
-
-/// Wait on `cv`, recovering the guard if a notifier panicked.
-pub(crate) fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
-    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
-}
-
-/// Wait with a timeout, recovering the guard if a notifier panicked.
-pub(crate) fn wait_timeout<'a, T>(
-    cv: &Condvar,
-    guard: MutexGuard<'a, T>,
-    timeout: Duration,
-) -> (MutexGuard<'a, T>, bool) {
-    let (guard, result) = cv.wait_timeout(guard, timeout).unwrap_or_else(PoisonError::into_inner);
-    (guard, result.timed_out())
-}
+pub(crate) use openmeta_obs::sync::{get_mut, lock, wait, wait_timeout, Condvar, Mutex};

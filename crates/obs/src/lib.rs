@@ -37,7 +37,7 @@ mod export;
 pub mod marshal;
 mod metrics;
 mod span;
-pub(crate) mod sync;
+pub mod sync;
 
 pub use marshal::{
     marshal_counters, MarshalCounters, MARSHAL_ALLOC_TOTAL, MARSHAL_BYTES_COPIED_TOTAL,

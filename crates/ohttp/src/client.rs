@@ -187,8 +187,9 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> Result<RawResponse, HttpErro
     } else if chunked {
         (read_chunked(reader)?, true)
     } else if let Some(len) = content_length {
-        let mut body = vec![0u8; len];
-        reader.read_exact(&mut body)?;
+        // Content-Length is wire-controlled: grow the buffer only as
+        // bytes actually arrive, so a lying header cannot pin memory.
+        let body = openmeta_net::read_exact_capped(reader, len)?;
         (body, true)
     } else {
         // Connection: close framing — the connection is spent.
@@ -281,9 +282,10 @@ pub(crate) fn read_chunked<R: BufRead>(reader: &mut R) -> Result<Vec<u8>, HttpEr
             }
             return Ok(body);
         }
-        let start = body.len();
-        body.resize(start + size, 0);
-        reader.read_exact(&mut body[start..])?;
+        // The chunk size is wire-controlled, same as Content-Length:
+        // grow only as the bytes actually arrive.
+        let chunk = openmeta_net::read_exact_capped(reader, size)?;
+        body.extend_from_slice(&chunk);
         let mut crlf = [0u8; 2];
         reader.read_exact(&mut crlf)?;
         if &crlf != b"\r\n" {

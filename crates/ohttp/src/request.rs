@@ -41,16 +41,29 @@ const COMPACT_THRESHOLD: usize = 16 * 1024;
 
 /// Incremental request-head decoder: [`RequestParser::push`] bytes as
 /// they arrive, [`RequestParser::next_request`] complete heads.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct RequestParser {
     buf: Vec<u8>,
     pos: usize,
+    max_head: usize,
+}
+
+impl Default for RequestParser {
+    fn default() -> RequestParser {
+        RequestParser::new()
+    }
 }
 
 impl RequestParser {
-    /// A fresh parser.
+    /// A fresh parser with the production head cap.
     pub fn new() -> RequestParser {
-        RequestParser::default()
+        RequestParser::with_max_head(MAX_HEAD)
+    }
+
+    /// A parser with an explicit head cap (the analyzer's model checker
+    /// uses a tiny cap so oversized-head scenarios stay short).
+    pub fn with_max_head(max_head: usize) -> RequestParser {
+        RequestParser { buf: Vec::new(), pos: 0, max_head }
     }
 
     /// Append newly received bytes.
@@ -71,6 +84,11 @@ impl RequestParser {
     /// keep-alive close.
     pub fn has_partial(&self) -> bool {
         self.pos < self.buf.len()
+    }
+
+    /// Bytes buffered but not yet consumed by an emitted request head.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
     }
 
     /// Pop the next complete request head.  `Ok(None)` means more bytes
@@ -102,7 +120,7 @@ impl RequestParser {
             line_start = i + 1;
         }
         let Some(head_end) = head_end else {
-            if pending.len() > MAX_HEAD {
+            if pending.len() > self.max_head {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     "request head exceeds limit",
@@ -110,6 +128,13 @@ impl RequestParser {
             }
             return Ok(None);
         };
+        // The cap binds complete heads too: without this, a head larger
+        // than `max_head` parses when it lands in one push but errors
+        // when dribbled byte-at-a-time — the split-sensitivity the
+        // analyzer's exhaustive explorer exists to rule out.
+        if head_end > self.max_head {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "request head exceeds limit"));
+        }
 
         let request_line = String::from_utf8_lossy(lines[0]).into_owned();
         let mut parts = request_line.split_whitespace();

@@ -109,8 +109,9 @@ impl<R: Read> FileReader<R> {
             let mut len_buf = [0u8; 4];
             self.source.read_exact(&mut len_buf)?;
             let len = u32::from_be_bytes(len_buf) as usize;
-            let mut payload = vec![0u8; len];
-            self.source.read_exact(&mut payload)?;
+            // The length prefix is untrusted file data: grow the buffer
+            // only as bytes actually arrive instead of trusting it.
+            let payload = openmeta_net::read_exact_capped(&mut self.source, len)?;
             match kind[0] {
                 ENTRY_FORMAT => {
                     let desc = decode_descriptor(&payload)?;

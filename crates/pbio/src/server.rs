@@ -26,12 +26,12 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use crate::sync::{self, Mutex};
 use openmeta_net::{
     connect_retrying, is_timeout, read_frame_blocking, Backend, ConnTracker, Dispatch,
     EventHandler, EventLoop, LengthFramer, ServerConfig, ServerStats, TransportConfig,
     TransportCounters, WorkerPool,
 };
-use parking_lot::Mutex;
 
 use crate::codec::{decode_descriptor, encode_descriptor};
 use crate::error::PbioError;
@@ -368,7 +368,7 @@ impl FormatServerClient {
     }
 
     fn round_trip(&self, request: &[u8]) -> Result<Vec<u8>, PbioError> {
-        let mut guard = self.conn.lock();
+        let mut guard = sync::lock(&self.conn);
         if let Some(mut stream) = guard.take() {
             // On failure the connection was stale (idle-closed, server
             // restarted, or a deadline fired): reconnect once below and

@@ -8,6 +8,7 @@
 //! openmeta inspect  <pbio-file>
 //! openmeta serve    <dir> [port]
 //! openmeta planlint [--json] <xsd-file>...
+//! openmeta protolint [--json] [--root <dir>] [--mutants]
 //! openmeta stats    [--json|--prom] [url]
 //! openmeta loadgen  [--server http|pbio] [--backend threaded|eventloop] ...
 //! openmeta channel  <bench|publish|subscribe> ...
@@ -25,6 +26,7 @@ fn usage() -> ExitCode {
          openmeta inspect <pbio-file>\n  \
          openmeta serve <dir> [port]\n  \
          openmeta planlint [--json] <xsd-file>...\n  \
+         openmeta protolint [--json] [--root <dir>] [--mutants]\n  \
          openmeta stats [--json|--prom] [url]\n  \
          openmeta loadgen [--server http|pbio] [--backend threaded|eventloop]\n           \
          [--connections N] [--requests N] [--json] [--check] [--max-p99-ms MS]\n           \
@@ -105,6 +107,33 @@ fn main() -> ExitCode {
                 }
                 let json = format == openmeta_tools::output::Format::Json;
                 match openmeta_tools::planlint(&files, json) {
+                    Ok((out, passed)) => {
+                        print!("{out}");
+                        if !passed {
+                            return ExitCode::FAILURE;
+                        }
+                        Ok(())
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            ("protolint", rest) => {
+                let mut json = false;
+                let mut mutants = false;
+                let mut root = String::from(".");
+                let mut it = rest.iter();
+                while let Some(a) = it.next() {
+                    match a.as_str() {
+                        "--json" => json = true,
+                        "--mutants" => mutants = true,
+                        "--root" => match it.next() {
+                            Some(dir) => root = dir.clone(),
+                            None => return usage(),
+                        },
+                        _ => return usage(),
+                    }
+                }
+                match openmeta_tools::protolint(&root, json, mutants) {
                     Ok((out, passed)) => {
                         print!("{out}");
                         if !passed {

@@ -12,6 +12,7 @@
 //! | `inspect <pbio-file>` | [`inspect`] | dump a self-describing PBIO data file |
 //! | `serve <dir> [port]` | [`serve`] | host a directory of metadata documents |
 //! | `planlint [--json] <xsd-file>...` | [`planlint`] | statically verify every marshal plan a schema produces |
+//! | `protolint [--json] [--root <dir>] [--mutants]` | [`protolint`] | protocol-layer static analysis: sans-io exploration, lock-order graph, taint lint |
 //! | `stats [--json\|--prom] [url]` | [`stats`] | render this process's metrics registry, or scrape a server's `/metrics` |
 //!
 //! The `url` arguments accept `http://`, `file://` and bare paths (which
@@ -301,6 +302,93 @@ pub fn planlint(paths: &[&str], json: bool) -> Result<(String, bool), ToolError>
     Ok((out, passed))
 }
 
+/// `openmeta protolint [--json] [--root <dir>] [--mutants]` — run the
+/// protocol-layer static analyses: exhaustive sans-io exploration of
+/// every protocol core, the lock-order graph, and the wire-input taint
+/// lint (all from [`openmeta_analyzer`]).
+///
+/// With `mutants`, instead explore the built-in corpus of deliberately
+/// broken parser variants and report whether every one was rejected —
+/// the false-negative check that keeps the explorer honest.
+///
+/// Returns the rendered report and whether it passed; the binary exits
+/// non-zero on failure.  The JSON shape is stable, like `planlint`'s.
+pub fn protolint(root: &str, json: bool, mutants: bool) -> Result<(String, bool), ToolError> {
+    use openmeta_analyzer::{ExplorerConfig, LockOrderConfig};
+
+    let cfg = ExplorerConfig::default();
+    if mutants {
+        let (_, outcomes) = openmeta_analyzer::sansio::check_mutants(&cfg);
+        let passed = outcomes.iter().all(|o| o.caught);
+        if json {
+            let mut out = String::from("{\n");
+            let _ = writeln!(out, "  \"passed\": {passed},");
+            let _ = writeln!(out, "  \"mutants\": [");
+            for (i, o) in outcomes.iter().enumerate() {
+                let comma = if i + 1 < outcomes.len() { "," } else { "" };
+                let _ = writeln!(
+                    out,
+                    "    {{\"name\": \"{}\", \"caught\": {}, \"diagnostics\": {}}}{comma}",
+                    o.name, o.caught, o.diagnostics
+                );
+            }
+            out.push_str("  ]\n}\n");
+            return Ok((out, passed));
+        }
+        let mut out = String::new();
+        for o in &outcomes {
+            let _ = writeln!(
+                out,
+                "  {:<24} {} ({} diagnostic(s))",
+                o.name,
+                if o.caught { "CAUGHT" } else { "MISSED" },
+                o.diagnostics
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{}/{} seeded-broken parsers rejected — {}",
+            outcomes.iter().filter(|o| o.caught).count(),
+            outcomes.len(),
+            if passed { "PASS" } else { "FAIL" }
+        );
+        return Ok((out, passed));
+    }
+
+    let files = openmeta_analyzer::collect_workspace_sources(Path::new(root))
+        .map_err(|e| format!("collect sources under {root}: {e}"))?;
+    if files.is_empty() {
+        return Err(format!("no crates/*/src/**/*.rs files under {root}"));
+    }
+    let mut report = openmeta_analyzer::sansio::check_protocols(&cfg);
+    report.merge(openmeta_analyzer::analyze_lock_order(&files, &LockOrderConfig::default()));
+    report.merge(openmeta_analyzer::analyze_taint(&files));
+    let passed = report.passed();
+    if json {
+        return Ok((report.to_json(), passed));
+    }
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "sans-io:    {} machine(s) explored under {} schedule(s)",
+        report.machines_checked, report.schedules_run
+    );
+    let _ = writeln!(text, "lock-order: {} acquisition site(s) in the graph", report.lock_sites);
+    let _ =
+        writeln!(text, "taint:      {} wire-length flow(s) checked", report.taint_flows_checked);
+    for d in &report.diagnostics {
+        let _ = writeln!(text, "  {d}");
+    }
+    let _ = writeln!(
+        text,
+        "{} error(s), {} warning(s) — {}",
+        report.error_count(),
+        report.warning_count(),
+        if passed { "PASS" } else { "FAIL" }
+    );
+    Ok((text, passed))
+}
+
 /// `openmeta stats [--json|--prom] [url]` — observability snapshot.
 ///
 /// Without a URL, renders this process's [`openmeta_obs::MetricsRegistry`]
@@ -516,6 +604,43 @@ mod tests {
         assert!(out.contains("FAIL"), "{out}");
         assert!(planlint(&[dir.join("nope.xsd").to_str().unwrap()], false).is_err());
         assert!(planlint(&[], false).is_err());
+    }
+
+    #[test]
+    fn protolint_passes_on_this_workspace() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let (out, passed) = protolint(root.to_str().unwrap(), false, false).unwrap();
+        assert!(passed, "{out}");
+        assert!(out.contains("sans-io:"), "{out}");
+        assert!(out.contains("lock-order:"), "{out}");
+        assert!(out.contains("taint:"), "{out}");
+        assert!(out.contains("0 error(s)"), "{out}");
+
+        let (json, passed) = protolint(root.to_str().unwrap(), true, false).unwrap();
+        assert!(passed);
+        assert!(json.contains("\"passed\": true"), "{json}");
+        assert!(json.contains("\"schedules_run\""), "{json}");
+        assert!(json.contains("\"lock_sites\""), "{json}");
+    }
+
+    #[test]
+    fn protolint_mutant_corpus_is_fully_caught() {
+        let (out, passed) = protolint(".", false, true).unwrap();
+        assert!(passed, "{out}");
+        assert!(out.contains("CAUGHT"), "{out}");
+        assert!(!out.contains("MISSED"), "{out}");
+
+        let (json, passed) = protolint(".", true, true).unwrap();
+        assert!(passed);
+        assert!(json.contains("\"caught\": true"), "{json}");
+        assert!(!json.contains("\"caught\": false"), "{json}");
+    }
+
+    #[test]
+    fn protolint_rejects_a_rootless_tree() {
+        let empty = std::env::temp_dir().join(format!("openmeta-noroot-{}", std::process::id()));
+        std::fs::create_dir_all(&empty).unwrap();
+        assert!(protolint(empty.to_str().unwrap(), false, false).is_err());
     }
 
     #[test]

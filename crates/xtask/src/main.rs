@@ -11,8 +11,13 @@
 //! `TcpStream::connect` without a deadline outside `crates/net`, direct
 //! `Instant::now()` timing outside `crates/obs`/`crates/bench`, a crate
 //! missing `#![deny(unsafe_code)]`, blocking socket I/O inside an
-//! event-loop module), on any curated clippy lint, and on any
-//! error-severity `planlint` diagnostic over `fixtures/schemas/`.
+//! event-loop module), on any curated clippy lint, on any
+//! error-severity `planlint` diagnostic over `fixtures/schemas/`, and
+//! on any `protolint` diagnostic: the sans-io explorer, lock-order
+//! graph, and wire-input taint lint must all pass on the real tree,
+//! every explorer mutant must be caught (`--mutants`), and the
+//! seeded-broken source fixtures under `fixtures/protolint/` must be
+//! rejected.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
@@ -168,6 +173,71 @@ fn analyze() -> ExitCode {
         ]);
         planlint.args(schemas.iter().map(|p| p.as_os_str()));
         ok &= run("planlint", &mut planlint);
+    }
+
+    // 4. protolint: exhaustive sans-io exploration of every protocol
+    // core plus the lock-order graph and wire-input taint lint over the
+    // workspace tree.
+    let mut protolint = Command::new("cargo");
+    protolint.current_dir(&root).args([
+        "run",
+        "-q",
+        "-p",
+        "openmeta-tools",
+        "--bin",
+        "openmeta",
+        "--",
+        "protolint",
+    ]);
+    ok &= run("protolint", &mut protolint);
+
+    // 5. The mutation corpus: every deliberately broken parser variant
+    // must be rejected, or the explorer has lost its teeth.
+    let mut mutants = Command::new("cargo");
+    mutants.current_dir(&root).args([
+        "run",
+        "-q",
+        "-p",
+        "openmeta-tools",
+        "--bin",
+        "openmeta",
+        "--",
+        "protolint",
+        "--mutants",
+    ]);
+    ok &= run("protolint --mutants", &mut mutants);
+
+    // 6. The seeded-broken source fixture: a tiny crate tree with an
+    // inverted lock pair and an unbounded wire allocation.  protolint
+    // must FAIL on it — this is the source-engines' false-negative
+    // check, mirroring what --mutants does for the explorer.
+    let seeded = root.join("fixtures/protolint");
+    let mut seeded_cmd = Command::new("cargo");
+    seeded_cmd.current_dir(&root).args([
+        "run",
+        "-q",
+        "-p",
+        "openmeta-tools",
+        "--bin",
+        "openmeta",
+        "--",
+        "protolint",
+        "--root",
+    ]);
+    seeded_cmd.arg(&seeded);
+    eprintln!("xtask: protolint --root fixtures/protolint (must fail): {seeded_cmd:?}");
+    match seeded_cmd.status() {
+        Ok(status) if !status.success() => {
+            eprintln!("xtask: seeded-broken fixtures rejected, as required");
+        }
+        Ok(_) => {
+            eprintln!("xtask: protolint PASSED the seeded-broken fixtures — engines are blind");
+            ok = false;
+        }
+        Err(e) => {
+            eprintln!("xtask: seeded fixture step failed to launch: {e}");
+            ok = false;
+        }
     }
 
     if ok {

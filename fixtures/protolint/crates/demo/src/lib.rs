@@ -1,0 +1,39 @@
+//! Seeded-broken source fixtures for the protolint source engines.
+//!
+//! This tree is NOT a workspace member — it exists so `cargo xtask
+//! analyze` can prove the lock-order and taint engines still reject
+//! known-bad code (the source-level mirror of `protolint --mutants`).
+//! Every function below must produce at least one diagnostic; if
+//! protolint ever passes this tree, the engines have gone blind.
+
+/// Locks `alpha` then `beta` — consistent with nothing below.
+pub fn ordered_one(&self) {
+    let a = sync::lock(&self.alpha);
+    let b = sync::lock(&self.beta);
+    a.touch(&b);
+}
+
+/// Locks `beta` then `alpha`: inverted against `ordered_one`, closing a
+/// lock-order cycle the graph must report (`lock-cycle`).
+pub fn ordered_two(&self) {
+    let b = sync::lock(&self.beta);
+    let a = sync::lock(&self.alpha);
+    b.touch(&a);
+}
+
+/// Waits on `queue`'s condvar while still holding `stats`
+/// (`wait-while-holding`): the stats lock is blocked for the wait.
+pub fn wait_wrong(&self) {
+    let stats = sync::lock(&self.stats);
+    let mut q = sync::lock(&self.queue);
+    q = sync::wait(&self.cv, q);
+    stats.record(q.len());
+}
+
+/// Sizes an allocation straight from a wire length prefix with no bound
+/// and no `read_exact_capped` (`unbounded-wire-alloc`).
+pub fn recv_unbounded(&mut self, hdr: [u8; 4]) {
+    let len = u32::from_be_bytes(hdr) as usize;
+    let mut body = vec![0u8; len];
+    self.stream.read_exact(&mut body);
+}
