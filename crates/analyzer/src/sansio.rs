@@ -36,7 +36,11 @@ use openmeta_echo::{HandshakeClient, HandshakeReply, HandshakeServer, SubscribeR
 use openmeta_net::LengthFramer;
 use openmeta_ohttp::{Request, RequestParser};
 use openmeta_pbio::verify::{Severity, Violation};
-use openmeta_pbio::FormatId;
+use openmeta_pbio::{FormatId, FormatRegistry, FormatSpec, IOField, MachineModel as PbioMachine};
+use xmit::negotiate::{
+    Accept, AcceptEntry, Hello, NegotiateInitiator, NegotiateReply, NegotiateResponder,
+    PairVerdict, FRAME_ACCEPT, FRAME_HELLO, FRAME_REJECT,
+};
 
 use crate::diag::{ProtoReport, Stage};
 
@@ -441,6 +445,60 @@ impl Machine for ClientMachine {
     }
 }
 
+struct ResponderMachine(NegotiateResponder);
+
+impl Machine for ResponderMachine {
+    fn push(&mut self, bytes: &[u8]) {
+        self.0.push(bytes);
+    }
+    fn drain(&mut self) -> (Vec<String>, Option<String>) {
+        let mut out = Vec::new();
+        loop {
+            match self.0.poll() {
+                Ok(Some(hello)) => out.push(fmt_hello(&hello)),
+                Ok(None) => return (out, None),
+                Err(e) => return (out, Some(e.to_string())),
+            }
+        }
+    }
+    fn buffered(&self) -> usize {
+        self.0.buffered()
+    }
+    fn bytes_needed(&self) -> usize {
+        self.0.bytes_needed()
+    }
+    fn finished(&self) -> bool {
+        self.0.is_done()
+    }
+}
+
+struct InitiatorMachine(NegotiateInitiator);
+
+impl Machine for InitiatorMachine {
+    fn push(&mut self, bytes: &[u8]) {
+        self.0.push(bytes);
+    }
+    fn drain(&mut self) -> (Vec<String>, Option<String>) {
+        let mut out = Vec::new();
+        loop {
+            match self.0.poll() {
+                Ok(Some(reply)) => out.push(fmt_negotiate_reply(&reply)),
+                Ok(None) => return (out, None),
+                Err(e) => return (out, Some(e.to_string())),
+            }
+        }
+    }
+    fn buffered(&self) -> usize {
+        self.0.buffered()
+    }
+    fn bytes_needed(&self) -> usize {
+        self.0.bytes_needed()
+    }
+    fn finished(&self) -> bool {
+        self.0.is_done()
+    }
+}
+
 // ------------------------------------------------ canonical formatting
 
 fn fmt_frame(kind: u8, payload: &[u8]) -> String {
@@ -460,6 +518,17 @@ fn fmt_subscribe(req: &SubscribeRequest) -> String {
 
 fn fmt_reply(reply: &HandshakeReply) -> String {
     format!("reply({reply:?})")
+}
+
+fn fmt_hello(hello: &Hello) -> String {
+    // Content ids are a complete canonical summary (the id commits to
+    // every byte of the descriptor).
+    let ids: Vec<u64> = hello.offers.iter().map(|o| o.id.0).collect();
+    format!("hello(ids={ids:?})")
+}
+
+fn fmt_negotiate_reply(reply: &NegotiateReply) -> String {
+    format!("negotiate({reply:?})")
 }
 
 // ------------------------------------------------- scenario builders
@@ -573,7 +642,7 @@ fn request_parser_scenarios() -> Vec<Scenario> {
 }
 
 fn subscribe_bytes(channel: u64) -> (Vec<u8>, String) {
-    let req = SubscribeRequest { channel: FormatId(channel), projection: None };
+    let req = SubscribeRequest { channel: FormatId(channel), projection: None, version: None };
     (req.encode(), fmt_subscribe(&req))
 }
 
@@ -621,6 +690,86 @@ fn handshake_client_scenarios() -> Vec<Scenario> {
         sc(
             "oversized-header",
             frame5(FRAME_SUB_OK, b"")[..5].to_vec().tap_set_len(17),
+            err_after(vec![]),
+        ),
+    ]
+}
+
+/// A minimal real descriptor for negotiation scenarios — deterministic
+/// (explicit machine model), so the model-checker streams are stable.
+fn model_hello() -> Hello {
+    let reg = FormatRegistry::new(PbioMachine::X86_64);
+    let desc = reg
+        .register(FormatSpec::new("T", vec![IOField::auto("x", "integer", 4)]))
+        .expect("model format registers");
+    Hello::from_formats(&[&desc])
+}
+
+fn negotiate_responder_scenarios() -> Vec<Scenario> {
+    let hello = model_hello();
+    let payload = hello.encode();
+    let display = fmt_hello(&hello);
+    let frame = frame5(FRAME_HELLO, &payload);
+    // Corrupt the offered id: decode cross-checks it against the
+    // descriptor's recomputed content id.
+    let mut lying_id = payload.clone();
+    lying_id[5] ^= 1;
+    vec![
+        sc("empty", Vec::new(), ok(vec![])),
+        sc("hello", frame.clone(), ok(vec![display.clone()])),
+        sc(
+            // Unlike SUBSCRIBE, bytes behind HELLO are legal: a
+            // pipelining sender pushes RECORD frames without waiting.
+            "hello-then-delivery-bytes",
+            [frame.clone(), frame5(FRAME_RECORD, b"x")[..6].to_vec()].concat(),
+            ok(vec![display.clone()]),
+        ),
+        sc("wrong-kind", frame5(FRAME_RECORD, b"x"), err_after(vec![])),
+        sc("truncated-frame", frame[..9].to_vec(), ok(vec![])),
+        sc("lying-offer-id", frame5(FRAME_HELLO, &lying_id), err_after(vec![])),
+        sc("truncated-offer", frame5(FRAME_HELLO, &payload[..7]), err_after(vec![])),
+        sc(
+            "oversized-header",
+            frame5(FRAME_HELLO, b"")[..5].to_vec().tap_set_len(1 << 30),
+            err_after(vec![]),
+        ),
+    ]
+}
+
+fn model_accept() -> Accept {
+    Accept {
+        entries: vec![AcceptEntry {
+            sender: FormatId(0x1122_3344_5566_7788),
+            verdict: PairVerdict::Projectable,
+            receiver: FormatId(0x99AA_BBCC_DDEE_FF00),
+        }],
+    }
+}
+
+fn negotiate_initiator_scenarios() -> Vec<Scenario> {
+    let accept = model_accept();
+    let payload = accept.encode();
+    let accepted = fmt_negotiate_reply(&NegotiateReply::Accepted(accept));
+    let rejected = fmt_negotiate_reply(&NegotiateReply::Rejected("nope".to_string()));
+    let frame = frame5(FRAME_ACCEPT, &payload);
+    let mut bad_verdict = payload.clone();
+    bad_verdict[10] = 9;
+    vec![
+        sc("empty", Vec::new(), ok(vec![])),
+        sc("accept", frame.clone(), ok(vec![accepted.clone()])),
+        sc(
+            "accept-then-trailing-bytes",
+            [frame.clone(), frame5(FRAME_RECORD, b"x")[..6].to_vec()].concat(),
+            ok(vec![accepted.clone()]),
+        ),
+        sc("reject", frame5(FRAME_REJECT, b"nope"), ok(vec![rejected])),
+        sc("wrong-kind", frame5(FRAME_RECORD, b"x"), err_after(vec![])),
+        sc("truncated", frame[..9].to_vec(), ok(vec![])),
+        sc("bad-verdict-byte", frame5(FRAME_ACCEPT, &bad_verdict), err_after(vec![])),
+        sc("truncated-entries", frame5(FRAME_ACCEPT, &payload[..10]), err_after(vec![])),
+        sc(
+            "oversized-header",
+            frame5(FRAME_ACCEPT, b"")[..5].to_vec().tap_set_len(1 << 30),
             err_after(vec![]),
         ),
     ]
@@ -679,6 +828,30 @@ pub fn builtin_targets() -> Vec<Target> {
                 Box::new(ClientMachine(HandshakeClient::with_max_frame(MODEL_HS_MAX_FRAME)))
             }),
             scenarios: handshake_client_scenarios(),
+        },
+        {
+            // The valid HELLO carries a real encoded descriptor, so the
+            // model cap is sized from the actual stream.
+            let max = model_hello().encode().len();
+            Target {
+                name: "xmit::NegotiateResponder",
+                cap: 5 + max,
+                make: Box::new(move || {
+                    Box::new(ResponderMachine(NegotiateResponder::with_max_frame(max)))
+                }),
+                scenarios: negotiate_responder_scenarios(),
+            }
+        },
+        {
+            let max = model_accept().encode().len();
+            Target {
+                name: "xmit::NegotiateInitiator",
+                cap: 5 + max,
+                make: Box::new(move || {
+                    Box::new(InitiatorMachine(NegotiateInitiator::with_max_frame(max)))
+                }),
+                scenarios: negotiate_initiator_scenarios(),
+            }
         },
     ]
 }
@@ -848,6 +1021,74 @@ pub mod mutants {
         }
     }
 
+    /// Reassembles `ACCEPT` frames correctly but reads the sender's
+    /// content id from the *most recently pushed chunk* at the frame's
+    /// absolute offset — right only when the whole frame arrives in one
+    /// read.  The whole-stream reference run emits the true id; split
+    /// schedules emit a zero or misaligned id, so split-invariance must
+    /// flag it.
+    #[derive(Default)]
+    struct ChunkLocalIdScan {
+        buf: Vec<u8>,
+        last_chunk: Vec<u8>,
+        done: bool,
+    }
+
+    impl Machine for ChunkLocalIdScan {
+        fn push(&mut self, bytes: &[u8]) {
+            self.buf.extend_from_slice(bytes);
+            self.last_chunk = bytes.to_vec();
+        }
+        fn drain(&mut self) -> (Vec<String>, Option<String>) {
+            if self.done || self.buf.len() < 5 {
+                return (Vec::new(), None);
+            }
+            let len = peek_len(&self.buf);
+            if 5 + len > 5 + model_accept().encode().len() {
+                return (Vec::new(), Some(format!("frame of {len} bytes exceeds limit")));
+            }
+            if self.buf.len() < 5 + len {
+                return (Vec::new(), None);
+            }
+            self.done = true;
+            let kind = self.buf[4];
+            if kind != FRAME_ACCEPT {
+                return (Vec::new(), Some(format!("unexpected frame kind {kind}")));
+            }
+            match Accept::decode(&self.buf[5..5 + len]) {
+                Ok(mut accept) => {
+                    // BUG: the id comes from the last chunk, not the
+                    // reassembled frame.
+                    let sender = if self.last_chunk.len() >= 15 {
+                        u64::from_be_bytes(self.last_chunk[7..15].try_into().expect("8-byte slice"))
+                    } else {
+                        0
+                    };
+                    if let Some(e) = accept.entries.first_mut() {
+                        e.sender = FormatId(sender);
+                    }
+                    (vec![fmt_negotiate_reply(&NegotiateReply::Accepted(accept))], None)
+                }
+                Err(e) => (Vec::new(), Some(e.to_string())),
+            }
+        }
+        fn buffered(&self) -> usize {
+            self.buf.len()
+        }
+        fn bytes_needed(&self) -> usize {
+            if self.done {
+                return 0;
+            }
+            if self.buf.len() < 5 {
+                return 5 - self.buf.len();
+            }
+            (5 + peek_len(&self.buf)).saturating_sub(self.buf.len()).max(1)
+        }
+        fn finished(&self) -> bool {
+            self.done
+        }
+    }
+
     /// The mutation corpus: every target here must produce at least one
     /// error diagnostic under [`check_mutants`].
     pub fn mutant_targets() -> Vec<Target> {
@@ -879,6 +1120,16 @@ pub mod mutants {
                     bytes: b"GET /a\n\n".to_vec(),
                     expect: None,
                 }],
+            },
+            Target {
+                name: "mutant::chunk-local-id-scan",
+                cap: 5 + model_accept().encode().len(),
+                make: Box::new(|| Box::<ChunkLocalIdScan>::default()),
+                scenarios: vec![sc(
+                    "accept",
+                    frame5(FRAME_ACCEPT, &model_accept().encode()),
+                    ok(vec![fmt_negotiate_reply(&NegotiateReply::Accepted(model_accept()))]),
+                )],
             },
         ]
     }
@@ -923,14 +1174,14 @@ mod tests {
             "production cores must explore clean:\n{}",
             report.diagnostics.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
         );
-        assert_eq!(report.machines_checked, 5);
+        assert_eq!(report.machines_checked, 7);
         assert!(report.schedules_run > 1000, "ran {} schedules", report.schedules_run);
     }
 
     #[test]
     fn every_mutant_is_caught() {
         let (report, outcomes) = check_mutants(&ExplorerConfig::default());
-        assert_eq!(outcomes.len(), 4);
+        assert_eq!(outcomes.len(), 5);
         for outcome in &outcomes {
             assert!(outcome.caught, "mutant {} escaped the explorer", outcome.name);
         }
@@ -959,6 +1210,10 @@ mod tests {
         assert!(
             checks_for("mutant::chunk-local-scan").contains(&"split-invariance"),
             "chunk-local terminator scan must surface as split sensitivity"
+        );
+        assert!(
+            checks_for("mutant::chunk-local-id-scan").contains(&"split-invariance"),
+            "chunk-local sender-id scan must surface as split sensitivity"
         );
         assert!(!checks_for("mutant::short-read").is_empty());
     }

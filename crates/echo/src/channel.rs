@@ -40,7 +40,7 @@ use openmeta_pbio::{
     RawRecord,
 };
 use openmeta_schema::{to_xml, ComplexType, SchemaDocument};
-use xmit::{project_type, Projection, Xmit};
+use xmit::{project_type, NegotiationCache, NegotiationStats, Projection, Xmit, XmitError};
 
 use crate::fanout::{Engine, Frame, Instruments, Offer, Seat, SlowPolicy};
 use crate::sync;
@@ -148,6 +148,10 @@ struct HostInner {
     channels: sync::Mutex<HashMap<u64, Arc<ChannelInner>>>,
     engine: Engine,
     stop: AtomicBool,
+    /// Pair-cache for versioned subscriptions: one decision per
+    /// (subscriber version, channel version) across every channel this
+    /// host runs, so a reconnecting fleet re-handshakes for free.
+    negotiation: Arc<NegotiationCache>,
 }
 
 /// A running channel host: accepts subscribers and fans out events for
@@ -177,6 +181,7 @@ impl ChannelHost {
             channels: sync::Mutex::new(HashMap::new()),
             engine,
             stop: AtomicBool::new(false),
+            negotiation: Arc::new(NegotiationCache::new()),
         });
         let acceptor = Arc::clone(&inner);
         let accept = std::thread::Builder::new()
@@ -188,6 +193,11 @@ impl ChannelHost {
     /// The address subscribers connect to.
     pub fn addr(&self) -> SocketAddr {
         self.inner.addr
+    }
+
+    /// Counters of this host's version-negotiation pair cache.
+    pub fn negotiation_stats(&self) -> NegotiationStats {
+        self.inner.negotiation.stats()
     }
 
     /// Create (and register) a channel for `definition`.  The channel
@@ -427,6 +437,56 @@ impl ChannelInner {
         groups.push(Arc::clone(&group));
         Ok(group)
     }
+
+    /// Find or build the group for a subscriber's *version offer*: the
+    /// pair is negotiated exactly like an XMIT `HELLO` — classified,
+    /// its convert plan compiled once and certified by `pbio::verify`
+    /// before acceptance — and an incompatible offer refuses the
+    /// subscription ([`EchoError::Rejected`] → `SUB_ERR`), not a
+    /// mid-stream decode error.
+    fn group_for_version(
+        &self,
+        offer: &FormatDescriptor,
+        negotiation: &Arc<NegotiationCache>,
+    ) -> Result<Arc<Group>, EchoError> {
+        if offer.id() == self.format.id() {
+            // The subscriber already speaks the channel's version.
+            return sync::lock(&self.groups)
+                .first()
+                .cloned()
+                .ok_or_else(|| EchoError::Schema("channel has no identity group".to_string()));
+        }
+        // Version keys cannot collide with projection keys (those always
+        // contain '|') or the identity key ("").
+        let key = format!("version={:016x}", offer.id().0);
+        // The pair cache is consulted before the group lookup so a repeat
+        // offer is a recorded hit and a repeat incompatible offer replays
+        // its rejection from the same place it was first decided.
+        let registry = Arc::new(FormatRegistry::new(self.machine));
+        let src = registry.register_descriptor((*self.format).clone());
+        let dst = registry.register_descriptor(offer.clone());
+        negotiation.negotiate_pair(&registry, &src, &dst).map_err(|e| match e {
+            XmitError::Negotiation(reason) => EchoError::Rejected(reason),
+            other => other.into(),
+        })?;
+        if let Some(found) = sync::lock(&self.groups).iter().find(|g| g.key == key) {
+            return Ok(Arc::clone(found));
+        }
+        let group = Arc::new(Group {
+            key,
+            format: Arc::clone(&dst),
+            format_frame: descriptor_frame(&dst)?,
+            codec: Some(GroupCodec { registry, encoder: sync::Mutex::new(Encoder::new()) }),
+            seats: sync::Mutex::new(Vec::new()),
+        });
+        let mut groups = sync::lock(&self.groups);
+        // A racing handshake may have built the same group meanwhile.
+        if let Some(found) = groups.iter().find(|g| g.key == group.key) {
+            return Ok(Arc::clone(found));
+        }
+        groups.push(Arc::clone(&group));
+        Ok(group)
+    }
 }
 
 // ------------------------------------------------------ accept side
@@ -514,7 +574,15 @@ fn subscribe(
     let channel = sync::lock(&host.channels).get(&req.channel.0).cloned().ok_or_else(|| {
         EchoError::Rejected(format!("no channel with format id {}", req.channel.0))
     })?;
-    let group = channel.group_for(&req.projection)?;
+    let group = match (&req.projection, &req.version) {
+        (Some(_), Some(_)) => {
+            return Err(EchoError::Rejected(
+                "projection and version offer cannot be combined".to_string(),
+            ))
+        }
+        (_, None) => channel.group_for(&req.projection)?,
+        (None, Some(offer)) => channel.group_for_version(offer, &host.negotiation)?,
+    };
     Ok((group, Arc::clone(&channel.obs)))
 }
 

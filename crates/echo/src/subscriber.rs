@@ -16,7 +16,9 @@ use openmeta_net::{
     connect_retrying, read_frame_blocking, LengthFramer, TransportConfig, READ_CHUNK,
 };
 use openmeta_pbio::codec::decode_descriptor;
-use openmeta_pbio::{decode, FormatId, FormatRegistry, MachineModel, PbioError, RawRecord};
+use openmeta_pbio::{
+    decode, FormatDescriptor, FormatId, FormatRegistry, MachineModel, PbioError, RawRecord,
+};
 use xmit::Projection;
 
 use crate::wire::{
@@ -45,6 +47,23 @@ impl ChannelSubscriber {
         ChannelSubscriber::connect_with(addr, channel, projection, &TransportConfig::default())
     }
 
+    /// Subscribe offering the subscriber's *own version* of the channel
+    /// format: the host negotiates the pair (content-id handshake) and
+    /// delivers every event converted to `version`, or refuses the seat
+    /// with `SUB_ERR` when the versions are incompatible.
+    pub fn connect_versioned(
+        addr: impl ToSocketAddrs + Copy,
+        channel: FormatId,
+        version: &Arc<FormatDescriptor>,
+        cfg: &TransportConfig,
+    ) -> Result<ChannelSubscriber, EchoError> {
+        ChannelSubscriber::connect_request(
+            addr,
+            SubscribeRequest { channel, projection: None, version: Some((**version).clone()) },
+            cfg,
+        )
+    }
+
     /// Subscribe with explicit transport deadlines and connect retry.
     pub fn connect_with(
         addr: impl ToSocketAddrs + Copy,
@@ -52,9 +71,20 @@ impl ChannelSubscriber {
         projection: Option<&Projection>,
         cfg: &TransportConfig,
     ) -> Result<ChannelSubscriber, EchoError> {
+        ChannelSubscriber::connect_request(
+            addr,
+            SubscribeRequest { channel, projection: projection.cloned(), version: None },
+            cfg,
+        )
+    }
+
+    fn connect_request(
+        addr: impl ToSocketAddrs + Copy,
+        request: SubscribeRequest,
+        cfg: &TransportConfig,
+    ) -> Result<ChannelSubscriber, EchoError> {
         use std::io::Read;
         let mut stream = connect_retrying(addr, cfg)?;
-        let request = SubscribeRequest { channel, projection: projection.cloned() };
         let payload = request.encode();
         let mut frame = Vec::with_capacity(5 + payload.len());
         wire::build_frame(&mut frame, FRAME_SUBSCRIBE, &[&payload])?;

@@ -13,7 +13,7 @@
 //! ```
 //!
 //! A `SUBSCRIBE` payload addresses a channel by content id and may carry
-//! a projection spec:
+//! a projection spec and/or a version offer:
 //!
 //! ```text
 //! channel_id: u64be
@@ -21,10 +21,18 @@
 //! if 1: narrow_doubles: u8 (0|1)
 //!       keep_count: u16be, then keep_count × (len:u16be utf-8)
 //!       suffix: len:u16be utf-8
+//! has_version: u8 (0|1)              — absent entirely on old clients
+//! if 1: id: u64be, desc_len: u32be, descriptor (pbio::codec)
 //! ```
+//!
+//! The version offer is the subscriber's *own* descriptor for the
+//! channel's format: the host negotiates the pair exactly like an XMIT
+//! `HELLO` and delivers records converted to the subscriber's version —
+//! or answers `SUB_ERR` when the versions are incompatible.
 
 use openmeta_net::LengthFramer;
-use openmeta_pbio::{FormatId, PbioError};
+use openmeta_pbio::codec::{decode_descriptor, encode_descriptor};
+use openmeta_pbio::{FormatDescriptor, FormatId, PbioError};
 use xmit::Projection;
 
 use crate::EchoError;
@@ -69,6 +77,11 @@ pub struct SubscribeRequest {
     /// `None` subscribes to full-fat records; `Some` requests a derived
     /// channel carrying only the projected fields.
     pub projection: Option<Projection>,
+    /// `Some` offers the subscriber's own version of the channel format:
+    /// the host converts each event to it (or refuses the seat when the
+    /// versions are incompatible).  Mutually exclusive with
+    /// `projection`.
+    pub version: Option<FormatDescriptor>,
 }
 
 impl SubscribeRequest {
@@ -86,6 +99,16 @@ impl SubscribeRequest {
                     push_str(&mut out, name);
                 }
                 push_str(&mut out, &p.rename_suffix);
+            }
+        }
+        match &self.version {
+            None => out.push(0),
+            Some(desc) => {
+                out.push(1);
+                out.extend_from_slice(&desc.id().0.to_be_bytes());
+                let bytes = encode_descriptor(desc);
+                out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+                out.extend_from_slice(&bytes);
             }
         }
         out
@@ -113,12 +136,41 @@ impl SubscribeRequest {
                 ))))
             }
         };
+        // Old clients end the payload here; the version section is
+        // optional on the wire so a pre-negotiation subscriber still
+        // parses.
+        let version = if cur.pos == payload.len() {
+            None
+        } else {
+            match cur.byte()? {
+                0 => None,
+                1 => {
+                    let id = FormatId(u64::from_be_bytes(cur.take::<8>()?));
+                    let len = u32::from_be_bytes(cur.take::<4>()?) as usize;
+                    let bytes = cur.slice(len)?;
+                    let desc = decode_descriptor(bytes).map_err(EchoError::Bcm)?;
+                    if desc.id() != id {
+                        return Err(EchoError::Bcm(PbioError::BadWireData(format!(
+                            "subscribe version id {} does not match descriptor content id {}",
+                            id.0,
+                            desc.id().0
+                        ))));
+                    }
+                    Some(desc)
+                }
+                other => {
+                    return Err(EchoError::Bcm(PbioError::BadWireData(format!(
+                        "bad version flag {other}"
+                    ))))
+                }
+            }
+        };
         if cur.pos != payload.len() {
             return Err(EchoError::Bcm(PbioError::BadWireData(
                 "trailing bytes after subscribe request".to_string(),
             )));
         }
-        Ok(SubscribeRequest { channel, projection })
+        Ok(SubscribeRequest { channel, projection, version })
     }
 }
 
@@ -147,6 +199,15 @@ impl Cursor<'_> {
 
     fn byte(&mut self) -> Result<u8, EchoError> {
         Ok(self.take::<1>()?[0])
+    }
+
+    fn slice(&mut self, len: usize) -> Result<&[u8], EchoError> {
+        let end = self.pos.checked_add(len).filter(|&e| e <= self.buf.len()).ok_or_else(|| {
+            EchoError::Bcm(PbioError::BadWireData("truncated subscribe request".to_string()))
+        })?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
     }
 
     fn string(&mut self) -> Result<String, EchoError> {
@@ -361,9 +422,20 @@ impl Default for HandshakeClient {
 mod tests {
     use super::*;
 
+    fn version_desc() -> FormatDescriptor {
+        use openmeta_pbio::{FormatRegistry, FormatSpec, IOField, MachineModel};
+        let reg = FormatRegistry::new(MachineModel::native());
+        (*reg.register(FormatSpec::new("T", vec![IOField::auto("x", "integer", 4)])).unwrap())
+            .clone()
+    }
+
     #[test]
     fn subscribe_roundtrips_identity() {
-        let req = SubscribeRequest { channel: FormatId(0xDEAD_BEEF_0123), projection: None };
+        let req = SubscribeRequest {
+            channel: FormatId(0xDEAD_BEEF_0123),
+            projection: None,
+            version: None,
+        };
         assert_eq!(SubscribeRequest::decode(&req.encode()).unwrap(), req);
     }
 
@@ -376,17 +448,59 @@ mod tests {
                 narrow_doubles: true,
                 rename_suffix: "Handheld".to_string(),
             }),
+            version: None,
         };
         assert_eq!(SubscribeRequest::decode(&req.encode()).unwrap(), req);
     }
 
     #[test]
+    fn subscribe_roundtrips_version_offer() {
+        let req = SubscribeRequest {
+            channel: FormatId(7),
+            projection: None,
+            version: Some(version_desc()),
+        };
+        let back = SubscribeRequest::decode(&req.encode()).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(back.version.unwrap().id(), version_desc().id());
+
+        // A lying id is rejected (the descriptor's recomputed content id
+        // is the ground truth).
+        let mut wire = req.encode();
+        wire[10] ^= 1; // inside the version id
+        assert!(SubscribeRequest::decode(&wire).is_err());
+    }
+
+    #[test]
+    fn old_client_payload_without_version_section_still_parses() {
+        // An old client's payload ends right after the projection flag.
+        let mut wire = 7u64.to_be_bytes().to_vec();
+        wire.push(0);
+        let req = SubscribeRequest::decode(&wire).unwrap();
+        assert_eq!(req.channel, FormatId(7));
+        assert_eq!(req.projection, None);
+        assert_eq!(req.version, None);
+    }
+
+    #[test]
     fn truncated_and_trailing_payloads_rejected() {
-        let good =
-            SubscribeRequest { channel: FormatId(7), projection: Some(Projection::keeping(["x"])) }
-                .encode();
+        let good = SubscribeRequest {
+            channel: FormatId(7),
+            projection: Some(Projection::keeping(["x"])),
+            version: Some(version_desc()),
+        }
+        .encode();
+        // Every truncation fails except the old-client boundary right
+        // before the version section (which parses as version: None).
+        // Version section = flag(1) + id(8) + len(4) + descriptor.
+        let boundary = good.len() - 13 - encode_descriptor(&version_desc()).len();
         for cut in 0..good.len() {
-            assert!(SubscribeRequest::decode(&good[..cut]).is_err(), "cut at {cut}");
+            let decoded = SubscribeRequest::decode(&good[..cut]);
+            if cut == boundary {
+                assert_eq!(decoded.unwrap().version, None);
+            } else {
+                assert!(decoded.is_err(), "cut at {cut}");
+            }
         }
         let mut trailing = good;
         trailing.push(0);
@@ -402,7 +516,7 @@ mod tests {
 
     #[test]
     fn server_machine_decodes_split_subscribe() {
-        let req = SubscribeRequest { channel: FormatId(11), projection: None };
+        let req = SubscribeRequest { channel: FormatId(11), projection: None, version: None };
         let mut frame = Vec::new();
         build_frame(&mut frame, FRAME_SUBSCRIBE, &[&req.encode()]).unwrap();
         let mut hs = HandshakeServer::new();
@@ -424,7 +538,7 @@ mod tests {
         hs.push(&frame);
         assert!(matches!(hs.poll(), Err(EchoError::Rejected(_))));
 
-        let req = SubscribeRequest { channel: FormatId(1), projection: None };
+        let req = SubscribeRequest { channel: FormatId(1), projection: None, version: None };
         let mut frame = Vec::new();
         build_frame(&mut frame, FRAME_SUBSCRIBE, &[&req.encode()]).unwrap();
         frame.push(0xFF);

@@ -28,12 +28,19 @@ fn requests() -> impl Strategy<Value = SubscribeRequest> {
                 rename_suffix,
             },
         );
-    (any::<u64>(), any::<bool>(), projection).prop_map(|(id, full_fat, projection)| {
-        SubscribeRequest {
+    (any::<u64>(), any::<bool>(), projection, any::<bool>()).prop_map(
+        |(id, full_fat, projection, versioned)| SubscribeRequest {
             channel: FormatId(id),
             projection: if full_fat { None } else { Some(projection) },
-        }
-    })
+            version: if versioned { Some(version_desc()) } else { None },
+        },
+    )
+}
+
+fn version_desc() -> openmeta_pbio::FormatDescriptor {
+    use openmeta_pbio::{FormatRegistry, FormatSpec, IOField, MachineModel};
+    let reg = FormatRegistry::new(MachineModel::native());
+    (*reg.register(FormatSpec::new("V", vec![IOField::auto("x", "integer", 4)])).unwrap()).clone()
 }
 
 /// Feed `wire` to `push` in fragments cut at `splits` (positions taken

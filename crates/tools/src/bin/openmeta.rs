@@ -7,6 +7,8 @@
 //! openmeta match    <message-file> <url-or-file>
 //! openmeta inspect  <pbio-file>
 //! openmeta serve    <dir> [port]
+//! openmeta formats  diff <old-url> <new-url> [--json]
+//! openmeta negotiate bench [--handshakes N] [--pairs K] [--json] [--check]
 //! openmeta planlint [--json] <xsd-file>...
 //! openmeta protolint [--json] [--root <dir>] [--mutants]
 //! openmeta stats    [--json|--prom] [url]
@@ -22,6 +24,8 @@ fn usage() -> ExitCode {
          openmeta layout <url-or-file> <type> [machine]\n  \
          openmeta codegen <java|c|cpp|class> <url-or-file> <type> [package] [-o dir]\n  \
          openmeta diff <old-url> <new-url> <type> [machine]\n  \
+         openmeta formats diff <old-url> <new-url> [--json]\n  \
+         openmeta negotiate bench [--handshakes N] [--pairs K] [--json] [--check]\n  \
          openmeta match <message-file> <url-or-file>\n  \
          openmeta inspect <pbio-file>\n  \
          openmeta serve <dir> [port]\n  \
@@ -89,6 +93,61 @@ fn main() -> ExitCode {
             }
             ("diff", [old, new, ty, machine]) => {
                 openmeta_tools::diff(old, new, ty, Some(machine)).map(|o| print!("{o}"))
+            }
+            ("formats", rest) => {
+                let Some((sub, rest)) = rest.split_first() else { return usage() };
+                if sub != "diff" {
+                    return usage();
+                }
+                let (format, positional) = match openmeta_tools::output::parse_args(rest) {
+                    Ok(parsed) => parsed,
+                    Err(e) => {
+                        eprintln!("openmeta: {e}");
+                        return usage();
+                    }
+                };
+                let [old, new] = positional.as_slice() else { return usage() };
+                if format == openmeta_tools::output::Format::Prometheus {
+                    return usage();
+                }
+                let json = format == openmeta_tools::output::Format::Json;
+                match openmeta_tools::formats_diff(old, new, json) {
+                    Ok((out, passed)) => {
+                        print!("{out}");
+                        if !passed {
+                            return ExitCode::FAILURE;
+                        }
+                        Ok(())
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            ("negotiate", rest) => {
+                let Some((sub, rest)) = rest.split_first() else { return usage() };
+                if sub != "bench" {
+                    return usage();
+                }
+                let opts = match openmeta_tools::negotiate::NegotiateOptions::parse(rest) {
+                    Ok(opts) => opts,
+                    Err(e) => {
+                        eprintln!("openmeta: {e}");
+                        return usage();
+                    }
+                };
+                match openmeta_tools::negotiate::run(opts) {
+                    Ok(report) => {
+                        if report.opts.json {
+                            print!("{}", report.to_json());
+                        } else {
+                            print!("{}", report.to_text());
+                        }
+                        if report.opts.check && !report.passed() {
+                            return ExitCode::FAILURE;
+                        }
+                        Ok(())
+                    }
+                    Err(e) => Err(e),
+                }
             }
             ("match", [message, spec]) => {
                 openmeta_tools::match_msg(message, spec).map(|o| print!("{o}"))

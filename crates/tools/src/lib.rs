@@ -9,6 +9,8 @@
 //! | `layout <url> <type> [machine]` | [`layout`] | show the generated native struct layout |
 //! | `codegen <java\|c\|class> <url> <type>` | [`codegen`] | emit language bindings |
 //! | `match <message-file> <url>` | [`match_msg`] | schema-check a live message (§3) |
+//! | `formats diff <old> <new> [--json]` | [`formats_diff`] | negotiation verdict for every shared type of two schema versions |
+//! | `negotiate bench [...]` | [`negotiate::run`] | handshake latency + pair-cache CI gate (`BENCH_negotiate.json`) |
 //! | `inspect <pbio-file>` | [`inspect`] | dump a self-describing PBIO data file |
 //! | `serve <dir> [port]` | [`serve`] | host a directory of metadata documents |
 //! | `planlint [--json] <xsd-file>...` | [`planlint`] | statically verify every marshal plan a schema produces |
@@ -22,6 +24,7 @@
 
 pub mod channel;
 pub mod loadgen;
+pub mod negotiate;
 pub mod output;
 
 use std::fmt::Write as _;
@@ -193,19 +196,123 @@ pub fn diff(
     };
     let _ = writeln!(out, "{type_name}: {verdict}");
     for c in &report.changes {
-        let line = match c {
-            xmit::FieldChange::Added(n) => format!("+ {n} (invisible to old receivers)"),
-            xmit::FieldChange::Removed(n) => format!("- {n} (zero/empty at new receivers)"),
-            xmit::FieldChange::Resized { name, old_size, new_size } => {
-                format!("~ {name}: {old_size} -> {new_size} bytes")
-            }
-            xmit::FieldChange::Retyped { name, old_kind, new_kind } => {
-                format!("! {name}: {old_kind} -> {new_kind}")
-            }
-        };
-        let _ = writeln!(out, "  {line}");
+        let _ = writeln!(out, "  {}", change_line(c));
     }
     Ok(out)
+}
+
+fn change_line(c: &xmit::FieldChange) -> String {
+    match c {
+        xmit::FieldChange::Added(n) => format!("+ {n} (invisible to old receivers)"),
+        xmit::FieldChange::Removed(n) => format!("- {n} (zero/empty at new receivers)"),
+        xmit::FieldChange::Resized { name, old_size, new_size } => {
+            format!("~ {name}: {old_size} -> {new_size} bytes")
+        }
+        xmit::FieldChange::Retyped { name, old_kind, new_kind } => {
+            format!("! {name}: {old_kind} -> {new_kind}")
+        }
+    }
+}
+
+/// `openmeta formats diff <old> <new> [--json]` — descriptor-level
+/// version diff: for every complexType the two schema files share, the
+/// verdict the negotiation subsystem would reach on first contact
+/// ([`xmit::classify`] over the bound descriptors), with the field-level
+/// evolution changes behind it.
+///
+/// Returns the rendered report and whether it passed (no shared type is
+/// incompatible); the binary exits non-zero on failure.
+pub fn formats_diff(
+    old_spec: &str,
+    new_spec: &str,
+    json: bool,
+) -> Result<(String, bool), ToolError> {
+    let old = load(old_spec, MachineModel::native())?;
+    let new = load(new_spec, MachineModel::native())?;
+    let old_names = old.loaded_types();
+    let new_names = new.loaded_types();
+    let shared: Vec<String> = old_names.iter().filter(|n| new_names.contains(n)).cloned().collect();
+    let only_old: Vec<String> =
+        old_names.iter().filter(|n| !new_names.contains(n)).cloned().collect();
+    let only_new: Vec<String> =
+        new_names.iter().filter(|n| !old_names.contains(n)).cloned().collect();
+    if shared.is_empty() {
+        return Err(format!("{old_spec} and {new_spec} share no complexType names"));
+    }
+
+    let verdict_name = |v: xmit::PairVerdict| match v {
+        xmit::PairVerdict::Identical => "identical",
+        xmit::PairVerdict::Widening => "widening",
+        xmit::PairVerdict::Projectable => "projectable",
+        xmit::PairVerdict::Incompatible => "incompatible",
+    };
+    let mut rows = Vec::with_capacity(shared.len());
+    for name in &shared {
+        let a = old.bind(name).map_err(|e| e.to_string())?;
+        let b = new.bind(name).map_err(|e| e.to_string())?;
+        let (verdict, report) = xmit::classify(&a.format, &b.format);
+        rows.push((name.clone(), a.format.id(), b.format.id(), verdict, report));
+    }
+    let incompatible = rows.iter().filter(|r| r.3 == xmit::PairVerdict::Incompatible).count();
+    let passed = incompatible == 0;
+
+    if json {
+        let mut out = String::from("{\n  \"types\": [\n");
+        for (i, (name, old_id, new_id, verdict, report)) in rows.iter().enumerate() {
+            let changes: Vec<String> =
+                report.changes.iter().map(|c| format!("\"{}\"", change_line(c))).collect();
+            let comma = if i + 1 < rows.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": \"{name}\", \"verdict\": \"{}\", \"old_id\": \"{old_id}\", \
+                 \"new_id\": \"{new_id}\", \"changes\": [{}]}}{comma}",
+                verdict_name(*verdict),
+                changes.join(", ")
+            );
+        }
+        let quote =
+            |v: &[String]| v.iter().map(|n| format!("\"{n}\"")).collect::<Vec<_>>().join(", ");
+        let _ = writeln!(out, "  ],");
+        let _ = writeln!(out, "  \"only_old\": [{}],", quote(&only_old));
+        let _ = writeln!(out, "  \"only_new\": [{}],", quote(&only_new));
+        let _ = writeln!(out, "  \"passed\": {passed}");
+        out.push_str("}\n");
+        return Ok((out, passed));
+    }
+
+    let mut out = String::new();
+    for (name, old_id, new_id, verdict, report) in &rows {
+        let headline = match verdict {
+            xmit::PairVerdict::Identical => "IDENTICAL — same content id, handshake is free",
+            xmit::PairVerdict::Widening => {
+                "WIDENING — delivery converts; widened fields may truncate"
+            }
+            xmit::PairVerdict::Projectable => {
+                "PROJECTABLE — receiver-side make-right conversion applies"
+            }
+            xmit::PairVerdict::Incompatible => {
+                "INCOMPATIBLE — the handshake rejects this pair at connection setup"
+            }
+        };
+        let _ = writeln!(out, "{name}: {headline}");
+        let _ = writeln!(out, "  old id {old_id}, new id {new_id}");
+        for c in &report.changes {
+            let _ = writeln!(out, "  {}", change_line(c));
+        }
+    }
+    for name in &only_old {
+        let _ = writeln!(out, "{name}: only in {old_spec}");
+    }
+    for name in &only_new {
+        let _ = writeln!(out, "{name}: only in {new_spec}");
+    }
+    let _ = writeln!(
+        out,
+        "{} shared type(s), {incompatible} incompatible — {}",
+        rows.len(),
+        if passed { "PASS" } else { "FAIL" }
+    );
+    Ok((out, passed))
 }
 
 /// `openmeta inspect <pbio-file>`
@@ -695,6 +802,97 @@ mod diff_tests {
         assert!(out.contains("+ fresh"));
         assert!(out.contains("- gone"));
         assert!(diff(old.to_str().unwrap(), new.to_str().unwrap(), "U", None).is_err());
+    }
+
+    #[test]
+    fn formats_diff_reports_negotiation_verdicts() {
+        let dir = std::env::temp_dir().join(format!("openmeta-fdiff-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let old = dir.join("v1.xsd");
+        let new = dir.join("v2.xsd");
+        std::fs::write(
+            &old,
+            format!(
+                r#"<xsd:schema xmlns:xsd="{XSD}">
+                     <xsd:complexType name="T">
+                       <xsd:element name="x" type="xsd:int" />
+                     </xsd:complexType>
+                     <xsd:complexType name="Gone">
+                       <xsd:element name="y" type="xsd:int" />
+                     </xsd:complexType>
+                   </xsd:schema>"#
+            ),
+        )
+        .unwrap();
+        std::fs::write(
+            &new,
+            format!(
+                r#"<xsd:schema xmlns:xsd="{XSD}">
+                     <xsd:complexType name="T">
+                       <xsd:element name="x" type="xsd:int" />
+                       <xsd:element name="fresh" type="xsd:double" />
+                     </xsd:complexType>
+                   </xsd:schema>"#
+            ),
+        )
+        .unwrap();
+        let (out, passed) =
+            formats_diff(old.to_str().unwrap(), new.to_str().unwrap(), false).unwrap();
+        assert!(passed, "{out}");
+        assert!(out.contains("T: PROJECTABLE"), "{out}");
+        assert!(out.contains("+ fresh"), "{out}");
+        assert!(out.contains("Gone: only in"), "{out}");
+        assert!(out.contains("PASS"), "{out}");
+
+        let (json, passed) =
+            formats_diff(old.to_str().unwrap(), new.to_str().unwrap(), true).unwrap();
+        assert!(passed);
+        assert!(json.contains("\"verdict\": \"projectable\""), "{json}");
+        assert!(json.contains("\"only_old\": [\"Gone\"]"), "{json}");
+        assert!(json.contains("\"passed\": true"), "{json}");
+    }
+
+    #[test]
+    fn formats_diff_fails_on_incompatible_retype() {
+        let dir = std::env::temp_dir().join(format!("openmeta-fdiff-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let old = dir.join("v1.xsd");
+        let new = dir.join("v2.xsd");
+        std::fs::write(
+            &old,
+            format!(
+                r#"<xsd:complexType name="T" xmlns:xsd="{XSD}">
+                     <xsd:element name="x" type="xsd:int" />
+                   </xsd:complexType>"#
+            ),
+        )
+        .unwrap();
+        std::fs::write(
+            &new,
+            format!(
+                r#"<xsd:complexType name="T" xmlns:xsd="{XSD}">
+                     <xsd:element name="x" type="xsd:string" />
+                   </xsd:complexType>"#
+            ),
+        )
+        .unwrap();
+        let (out, passed) =
+            formats_diff(old.to_str().unwrap(), new.to_str().unwrap(), false).unwrap();
+        assert!(!passed, "{out}");
+        assert!(out.contains("T: INCOMPATIBLE"), "{out}");
+        assert!(out.contains("FAIL"), "{out}");
+        // No shared names at all is an operator error, not a pass.
+        let lone = dir.join("lone.xsd");
+        std::fs::write(
+            &lone,
+            format!(
+                r#"<xsd:complexType name="Other" xmlns:xsd="{XSD}">
+                     <xsd:element name="x" type="xsd:int" />
+                   </xsd:complexType>"#
+            ),
+        )
+        .unwrap();
+        assert!(formats_diff(old.to_str().unwrap(), lone.to_str().unwrap(), false).is_err());
     }
 
     #[test]

@@ -1,0 +1,398 @@
+//! `openmeta negotiate bench` — the version-negotiation CI gate.
+//!
+//! ```text
+//! openmeta negotiate bench [--handshakes N] [--pairs K] [--json] [--check]
+//! ```
+//!
+//! One in-process receiver holds its own versions of `K` demo formats
+//! (one identical to the sender's, the rest grown); the sender connects
+//! `N` times, offering all `K` versions in each `HELLO`.  The first
+//! contact pays the descriptor diffs and convert-plan compiles; every
+//! later handshake must be answered entirely from the pair cache.
+//!
+//! `--check` fails the run unless steady state is actually free:
+//! every pair after the first contact is a cache hit, no convert plan
+//! compiles after the first connection, nothing is rejected, and the
+//! sender's steady-state marshal path performs zero allocations.
+//! The JSON shape is the `BENCH_negotiate.json` artifact.
+
+use std::fmt::Write as _;
+use std::net::TcpListener;
+use std::sync::{mpsc, Arc};
+
+use openmeta_pbio::FormatRegistry;
+use xmit::{
+    MachineModel, NegotiationCache, NegotiationStats, PairVerdict, Xmit, XmitReceiver, XmitSender,
+};
+
+use crate::ToolError;
+
+const XSD: &str = "http://www.w3.org/2001/XMLSchema";
+
+/// Most distinct format pairs a bench run may negotiate per handshake.
+pub const MAX_PAIRS: usize = 8;
+
+/// Parsed `openmeta negotiate bench` options.
+#[derive(Debug, Clone)]
+pub struct NegotiateOptions {
+    /// Connections the sender opens (each negotiates all pairs).
+    pub handshakes: usize,
+    /// Distinct formats offered per handshake: pair 0 is identical on
+    /// both ends, the rest meet a grown receiver version.
+    pub pairs: usize,
+    /// Emit the report as JSON (the `BENCH_negotiate.json` shape).
+    pub json: bool,
+    /// Gate mode: nonzero exit unless [`NegotiateReport::passed`].
+    pub check: bool,
+}
+
+impl Default for NegotiateOptions {
+    fn default() -> NegotiateOptions {
+        NegotiateOptions { handshakes: 32, pairs: 3, json: false, check: false }
+    }
+}
+
+impl NegotiateOptions {
+    /// Parse CLI arguments (everything after `negotiate bench`).
+    pub fn parse(args: &[String]) -> Result<NegotiateOptions, ToolError> {
+        let mut opts = NegotiateOptions::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value =
+                |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value")).cloned();
+            match arg.as_str() {
+                "--handshakes" => {
+                    opts.handshakes =
+                        value("--handshakes")?.parse().map_err(|e| format!("--handshakes: {e}"))?
+                }
+                "--pairs" => {
+                    opts.pairs = value("--pairs")?.parse().map_err(|e| format!("--pairs: {e}"))?
+                }
+                "--json" => opts.json = true,
+                "--check" => opts.check = true,
+                other => return Err(format!("unknown negotiate option '{other}'")),
+            }
+        }
+        if opts.handshakes < 2 {
+            return Err("--handshakes must be >= 2 so steady state exists".to_string());
+        }
+        if opts.pairs == 0 || opts.pairs > MAX_PAIRS {
+            return Err(format!("--pairs must be 1..={MAX_PAIRS}"));
+        }
+        Ok(opts)
+    }
+}
+
+/// One `xsd:complexType` of the bench fleet; `grown` versions carry an
+/// extra trailing field, so old-sender → grown-receiver is projectable.
+fn type_xml(name: &str, grown: bool) -> String {
+    let extra = if grown { r#"<xsd:element name="tag" type="xsd:long" />"# } else { "" };
+    format!(
+        r#"<xsd:complexType name="{name}">
+             <xsd:element name="timestep" type="xsd:integer" />
+             <xsd:element name="data" type="xsd:float" minOccurs="0"
+                 maxOccurs="*" dimensionPlacement="before" dimensionName="size" />
+             {extra}
+           </xsd:complexType>"#
+    )
+}
+
+/// A schema document holding `pairs` demo types.  The sender always
+/// speaks the base versions; the receiver grows every type but `T0`.
+fn fleet_xml(pairs: usize, receiver_side: bool) -> String {
+    let mut types = String::new();
+    for i in 0..pairs {
+        types.push_str(&type_xml(&format!("T{i}"), receiver_side && i > 0));
+    }
+    format!(r#"<xsd:schema xmlns:xsd="{XSD}">{types}</xsd:schema>"#)
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64) * q).ceil() as usize;
+    sorted[idx.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Result of an `openmeta negotiate bench` run.
+pub struct NegotiateReport {
+    /// Options the run executed with.
+    pub opts: NegotiateOptions,
+    /// Handshake latency median, nanoseconds.
+    pub p50_ns: u64,
+    /// Handshake latency 99th percentile, nanoseconds.
+    pub p99_ns: u64,
+    /// Receiver-side pair-cache counters after the run.
+    pub stats: NegotiationStats,
+    /// Plan-cache misses (compiles) during the first connection, both
+    /// registries combined.
+    pub first_contact_plan_compiles: u64,
+    /// Plan compiles after the first connection — must be zero.
+    pub steady_plan_compiles: u64,
+    /// Sender marshal allocations after warm-up — must be zero.
+    pub steady_send_allocs: u64,
+    /// Handshakes whose verdicts differed from the expected
+    /// identical/projectable split.
+    pub verdict_errors: u64,
+    /// Records the receiver actually decoded.
+    pub records: u64,
+    /// Records the sender wrote.
+    pub records_sent: u64,
+}
+
+impl NegotiateReport {
+    /// Fraction of pair negotiations answered from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.stats.hits + self.stats.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.stats.hits as f64 / total as f64
+        }
+    }
+
+    /// `--check` verdict: steady-state negotiation must be free.
+    pub fn passed(&self) -> bool {
+        let pairs = self.opts.pairs as u64;
+        let total = (self.opts.handshakes * self.opts.pairs) as u64;
+        self.stats.misses == pairs
+            && self.stats.hits == total - pairs
+            && self.stats.rejected == 0
+            && self.steady_plan_compiles == 0
+            && self.steady_send_allocs == 0
+            && self.verdict_errors == 0
+            && self.records == self.records_sent
+    }
+
+    /// Human-readable report.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "negotiate: {} handshakes x {} pairs",
+            self.opts.handshakes, self.opts.pairs
+        );
+        let _ = writeln!(out, "  handshake p50 {} ns, p99 {} ns", self.p50_ns, self.p99_ns);
+        let _ = writeln!(
+            out,
+            "  pair cache: {} hits, {} misses ({:.1}% hit rate), {} rejected",
+            self.stats.hits,
+            self.stats.misses,
+            self.hit_rate() * 100.0,
+            self.stats.rejected
+        );
+        let _ = writeln!(
+            out,
+            "  plans: {} compiled on first contact, {} after",
+            self.first_contact_plan_compiles, self.steady_plan_compiles
+        );
+        let _ = writeln!(out, "  steady sender allocs: {}", self.steady_send_allocs);
+        let _ = writeln!(out, "  records: {}/{} delivered", self.records, self.records_sent);
+        if self.opts.check {
+            let _ = writeln!(out, "  check: {}", if self.passed() { "PASS" } else { "FAIL" });
+        }
+        out
+    }
+
+    /// JSON report (the `BENCH_negotiate.json` artifact shape).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"negotiate\",\n  \"handshakes\": {},\n  \"pairs\": {},\n  \
+             \"handshake_p50_ns\": {},\n  \"handshake_p99_ns\": {},\n  \
+             \"pair_cache_hits\": {},\n  \"pair_cache_misses\": {},\n  \
+             \"pair_cache_hit_rate\": {:.3},\n  \"rejected\": {},\n  \
+             \"first_contact_plan_compiles\": {},\n  \"steady_plan_compiles\": {},\n  \
+             \"steady_send_allocs\": {},\n  \"records\": {},\n  \"passed\": {}\n}}\n",
+            self.opts.handshakes,
+            self.opts.pairs,
+            self.p50_ns,
+            self.p99_ns,
+            self.stats.hits,
+            self.stats.misses,
+            self.hit_rate(),
+            self.stats.rejected,
+            self.first_contact_plan_compiles,
+            self.steady_plan_compiles,
+            self.steady_send_allocs,
+            self.records,
+            self.passed()
+        )
+    }
+}
+
+/// Records per steady connection, and the warm-up + gated counts for
+/// the final connection's allocation check.
+const STEADY_RECORDS: usize = 4;
+const WARMUP_SENDS: usize = 4;
+const GATED_SENDS: usize = 64;
+
+/// Run the bench: one in-process receiver, `handshakes` sequential
+/// connections, full accounting.
+pub fn run(opts: NegotiateOptions) -> Result<NegotiateReport, ToolError> {
+    let rx_xmit = Xmit::new(MachineModel::native());
+    rx_xmit.load_str(&fleet_xml(opts.pairs, true)).map_err(|e| e.to_string())?;
+    rx_xmit.bind_all().map_err(|e| e.to_string())?;
+    let rx_registry: Arc<FormatRegistry> = rx_xmit.registry().clone();
+    let cache = Arc::new(NegotiationCache::new());
+
+    let listener = TcpListener::bind(("127.0.0.1", 0)).map_err(|e| e.to_string())?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    let (ack_tx, ack_rx) = mpsc::channel::<Result<u64, String>>();
+    let handshakes = opts.handshakes;
+    let thread_registry = rx_registry.clone();
+    let thread_cache = cache.clone();
+    let rx_thread = std::thread::spawn(move || {
+        for _ in 0..handshakes {
+            let outcome = (|| -> Result<u64, String> {
+                let (stream, _) = listener.accept().map_err(|e| e.to_string())?;
+                let mut rx = XmitReceiver::new(stream, thread_registry.clone());
+                rx.set_negotiation_cache(thread_cache.clone());
+                let mut n = 0u64;
+                while rx.recv().map_err(|e| e.to_string())?.is_some() {
+                    n += 1;
+                }
+                Ok(n)
+            })();
+            let failed = outcome.is_err();
+            let _ = ack_tx.send(outcome);
+            if failed {
+                return;
+            }
+        }
+    });
+
+    let tx_xmit = Xmit::new(MachineModel::native());
+    tx_xmit.load_str(&fleet_xml(opts.pairs, false)).map_err(|e| e.to_string())?;
+    let tokens: Vec<_> = (0..opts.pairs)
+        .map(|i| tx_xmit.bind(&format!("T{i}")).map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+    let formats: Vec<_> = tokens.iter().map(|t| &t.format).collect();
+    // Records ride the highest pair so steady traffic crosses versions
+    // (converted delivery) whenever more than one pair is negotiated.
+    let token = &tokens[opts.pairs - 1];
+    let mut rec = token.new_record();
+    rec.set_i64("timestep", 7).map_err(|e| e.to_string())?;
+    rec.set_f64_array("data", &[0.25; 64]).map_err(|e| e.to_string())?;
+
+    let plan_misses =
+        || rx_registry.plan_cache_stats().misses + tx_xmit.registry().plan_cache_stats().misses;
+
+    let mut latencies = Vec::with_capacity(opts.handshakes);
+    let mut verdict_errors = 0u64;
+    let (mut records, mut records_sent) = (0u64, 0u64);
+    let mut first_contact_plan_compiles = 0u64;
+    let mut plan_misses_after_first = 0u64;
+    let mut steady_send_allocs = 0u64;
+    for h in 0..opts.handshakes {
+        let mut tx = XmitSender::connect(addr).map_err(|e| e.to_string())?;
+        let started = openmeta_obs::clock::now();
+        let accept = tx.negotiate(&formats).map_err(|e| e.to_string())?;
+        latencies.push(started.elapsed().as_nanos() as u64);
+        for (i, t) in tokens.iter().enumerate() {
+            let want = if i == 0 { PairVerdict::Identical } else { PairVerdict::Projectable };
+            if accept.verdict_for(t.format.id()) != Some(want) {
+                verdict_errors += 1;
+            }
+        }
+        let sends = if h + 1 == opts.handshakes {
+            // Final connection gates the marshal path: after warm-up,
+            // steady sends must not allocate.
+            for _ in 0..WARMUP_SENDS {
+                tx.send(&rec).map_err(|e| e.to_string())?;
+            }
+            let warm = tx.marshal_stats().allocs;
+            for _ in 0..GATED_SENDS {
+                tx.send(&rec).map_err(|e| e.to_string())?;
+            }
+            steady_send_allocs = tx.marshal_stats().allocs - warm;
+            WARMUP_SENDS + GATED_SENDS
+        } else {
+            for _ in 0..STEADY_RECORDS {
+                tx.send(&rec).map_err(|e| e.to_string())?;
+            }
+            STEADY_RECORDS
+        };
+        records_sent += sends as u64;
+        drop(tx);
+        records += ack_rx
+            .recv()
+            .map_err(|_| "receiver thread died".to_string())?
+            .map_err(|e| format!("receiver: {e}"))?;
+        if h == 0 {
+            plan_misses_after_first = plan_misses();
+            first_contact_plan_compiles = plan_misses_after_first;
+        }
+    }
+    rx_thread.join().map_err(|_| "receiver thread panicked".to_string())?;
+    let steady_plan_compiles = plan_misses() - plan_misses_after_first;
+
+    latencies.sort_unstable();
+    Ok(NegotiateReport {
+        p50_ns: percentile(&latencies, 0.50),
+        p99_ns: percentile(&latencies, 0.99),
+        stats: cache.stats(),
+        first_contact_plan_compiles,
+        steady_plan_compiles,
+        steady_send_allocs,
+        verdict_errors,
+        records,
+        records_sent,
+        opts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_recognizes_bench_flags() {
+        let opts = NegotiateOptions::parse(&argv(&[
+            "--handshakes",
+            "5",
+            "--pairs",
+            "2",
+            "--json",
+            "--check",
+        ]))
+        .unwrap();
+        assert_eq!((opts.handshakes, opts.pairs), (5, 2));
+        assert!(opts.json && opts.check);
+    }
+
+    #[test]
+    fn parse_rejects_bad_shapes() {
+        assert!(NegotiateOptions::parse(&argv(&["--handshakes", "1"])).is_err());
+        assert!(NegotiateOptions::parse(&argv(&["--pairs", "0"])).is_err());
+        assert!(NegotiateOptions::parse(&argv(&["--pairs", "99"])).is_err());
+        assert!(NegotiateOptions::parse(&argv(&["--bogus"])).is_err());
+    }
+
+    /// The CI gate in miniature: first contact pays, steady state free.
+    #[test]
+    fn bench_smoke_steady_state_is_free() {
+        let opts = NegotiateOptions {
+            handshakes: 4,
+            pairs: 3,
+            check: true,
+            ..NegotiateOptions::default()
+        };
+        let report = run(opts).unwrap();
+        assert_eq!(report.stats.misses, 3, "{}", report.to_text());
+        assert_eq!(report.stats.hits, 4 * 3 - 3, "{}", report.to_text());
+        assert_eq!(report.stats.rejected, 0);
+        assert_eq!(report.steady_plan_compiles, 0, "{}", report.to_text());
+        assert_eq!(report.steady_send_allocs, 0, "{}", report.to_text());
+        assert!(report.first_contact_plan_compiles > 0, "{}", report.to_text());
+        assert!(report.passed(), "{}", report.to_text());
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"negotiate\""), "{json}");
+        assert!(json.contains("\"steady_plan_compiles\": 0"), "{json}");
+        assert!(json.contains("\"passed\": true"), "{json}");
+    }
+}

@@ -20,6 +20,9 @@ pub enum XmitError {
     UnknownType(String),
     /// Binding-level problem (e.g. circular composition).
     Binding(String),
+    /// Version negotiation refused the connection (incompatible
+    /// versions, or a convert plan that failed certification).
+    Negotiation(String),
 }
 
 impl fmt::Display for XmitError {
@@ -32,6 +35,7 @@ impl fmt::Display for XmitError {
                 write!(f, "no loaded document defines complexType '{n}'")
             }
             XmitError::Binding(m) => write!(f, "binding failed: {m}"),
+            XmitError::Negotiation(m) => write!(f, "version negotiation failed: {m}"),
         }
     }
 }

@@ -8,7 +8,7 @@
 //! compatibility report, for tooling (`openmeta diff`) and for deployment
 //! checks before a central format change is pushed.
 
-use openmeta_pbio::MachineModel;
+use openmeta_pbio::{BaseType, FieldKind, FormatDescriptor, MachineModel};
 use openmeta_schema::ComplexType;
 
 use crate::error::XmitError;
@@ -141,6 +141,135 @@ pub fn diff_types(
     Ok(EvolutionReport { compatibility, changes })
 }
 
+/// How a resolved field kind prints in change reports.
+fn kind_desc(kind: &FieldKind) -> String {
+    match kind {
+        FieldKind::Scalar(b) => b.name().to_string(),
+        FieldKind::String => "string".to_string(),
+        FieldKind::StaticArray { elem, count, .. } => format!("{}[{count}]", elem.name()),
+        FieldKind::DynamicArray { elem, length_field, .. } => {
+            format!("{}[{length_field}]", elem.name())
+        }
+        FieldKind::Nested(f) => f.name.clone(),
+    }
+}
+
+/// The conversion category of a base type: integers of every flavour
+/// interconvert, floats interconvert, strings only match strings.
+fn base_category(b: BaseType) -> u8 {
+    match b {
+        BaseType::Float => 1,
+        _ => 0,
+    }
+}
+
+/// Diff two *bound* descriptors (the negotiation path: both sides'
+/// resolved layouts are on the wire, so no schema document or machine
+/// model is needed — each descriptor carries its own).
+///
+/// The rules mirror [`diff_types`]: fields match by name; a category
+/// change (or scalar↔array, or a different nested format name) is
+/// `Retyped`/`Breaking`; a width change is `Resized`/`Lossy`; same-named
+/// nested records recurse, reporting inner changes with dotted names.
+/// Layout-only drift — byte order, offsets, pointer width — produces no
+/// field changes but still reports `Compatible` rather than `Identical`
+/// whenever the content ids differ.
+pub fn diff_descriptors(old: &FormatDescriptor, new: &FormatDescriptor) -> EvolutionReport {
+    // (category, arrayness) of a resolved kind; category 3 is a nested
+    // record, which additionally requires the format names to match.
+    fn category(kind: &FieldKind) -> (u8, bool) {
+        match kind {
+            FieldKind::Scalar(b) => (base_category(*b), false),
+            FieldKind::String => (2, false),
+            FieldKind::StaticArray { elem, .. } | FieldKind::DynamicArray { elem, .. } => {
+                (base_category(*elem), true)
+            }
+            FieldKind::Nested(_) => (3, false),
+        }
+    }
+    // Element width of a kind, `None` when width is not part of the
+    // value (strings, nested records: their slot sizes are
+    // machine-dependent without being lossy).
+    fn width(kind: &FieldKind, slot: usize) -> Option<usize> {
+        match kind {
+            FieldKind::Scalar(_) => Some(slot),
+            FieldKind::StaticArray { elem_size, count, .. } => Some(elem_size * count),
+            FieldKind::DynamicArray { elem_size, .. } => Some(*elem_size),
+            FieldKind::String | FieldKind::Nested(_) => None,
+        }
+    }
+
+    let mut changes = Vec::new();
+    let mut any_resize = false;
+    let mut any_breaking = false;
+    for nf in &new.fields {
+        let Some(of) = old.fields.iter().find(|of| of.name == nf.name) else {
+            changes.push(FieldChange::Added(nf.name.clone()));
+            continue;
+        };
+        let (oc, oa) = category(&of.kind);
+        let (nc, na) = category(&nf.kind);
+        let nested_names_match = match (&of.kind, &nf.kind) {
+            (FieldKind::Nested(a), FieldKind::Nested(b)) => a.name == b.name,
+            _ => true,
+        };
+        if oc != nc || oa != na || !nested_names_match {
+            any_breaking = true;
+            changes.push(FieldChange::Retyped {
+                name: nf.name.clone(),
+                old_kind: kind_desc(&of.kind),
+                new_kind: kind_desc(&nf.kind),
+            });
+        } else if let (FieldKind::Nested(a), FieldKind::Nested(b)) = (&of.kind, &nf.kind) {
+            let inner = diff_descriptors(a, b);
+            match inner.compatibility {
+                Compatibility::Breaking => any_breaking = true,
+                Compatibility::Lossy => any_resize = true,
+                _ => {}
+            }
+            changes.extend(inner.changes.into_iter().map(|c| match c {
+                FieldChange::Added(n) => FieldChange::Added(format!("{}.{n}", nf.name)),
+                FieldChange::Removed(n) => FieldChange::Removed(format!("{}.{n}", nf.name)),
+                FieldChange::Resized { name, old_size, new_size } => {
+                    FieldChange::Resized { name: format!("{}.{name}", nf.name), old_size, new_size }
+                }
+                FieldChange::Retyped { name, old_kind, new_kind } => {
+                    FieldChange::Retyped { name: format!("{}.{name}", nf.name), old_kind, new_kind }
+                }
+            }));
+        } else {
+            let ow = width(&of.kind, of.size);
+            let nw = width(&nf.kind, nf.size);
+            if let (Some(ow), Some(nw)) = (ow, nw) {
+                if ow != nw {
+                    any_resize = true;
+                    changes.push(FieldChange::Resized {
+                        name: nf.name.clone(),
+                        old_size: ow,
+                        new_size: nw,
+                    });
+                }
+            }
+        }
+    }
+    for of in &old.fields {
+        if !new.fields.iter().any(|nf| nf.name == of.name) {
+            changes.push(FieldChange::Removed(of.name.clone()));
+        }
+    }
+
+    let compatibility = if any_breaking {
+        Compatibility::Breaking
+    } else if any_resize {
+        Compatibility::Lossy
+    } else if changes.is_empty() && old.id() == new.id() {
+        Compatibility::Identical
+    } else {
+        Compatibility::Compatible
+    };
+    EvolutionReport { compatibility, changes }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,5 +393,93 @@ mod tests {
             diff_types(&old, &new_bad, &MachineModel::native()).unwrap().compatibility,
             Compatibility::Breaking
         );
+    }
+
+    fn bind(fields: Vec<openmeta_pbio::IOField>, machine: MachineModel) -> FormatDescriptor {
+        let reg = openmeta_pbio::FormatRegistry::new(machine);
+        (*reg.register(openmeta_pbio::FormatSpec::new("T", fields)).unwrap()).clone()
+    }
+
+    #[test]
+    fn descriptor_diff_matches_type_diff_verdicts() {
+        use openmeta_pbio::IOField;
+        let v1 = bind(
+            vec![IOField::auto("x", "integer", 4), IOField::auto("y", "float", 8)],
+            MachineModel::native(),
+        );
+        assert_eq!(diff_descriptors(&v1, &v1).compatibility, Compatibility::Identical);
+
+        let grown = bind(
+            vec![
+                IOField::auto("x", "integer", 4),
+                IOField::auto("y", "float", 8),
+                IOField::auto("z", "integer", 8),
+            ],
+            MachineModel::native(),
+        );
+        let r = diff_descriptors(&v1, &grown);
+        assert_eq!(r.compatibility, Compatibility::Compatible);
+        assert_eq!(r.changes, vec![FieldChange::Added("z".to_string())]);
+
+        let widened = bind(
+            vec![IOField::auto("x", "integer", 8), IOField::auto("y", "float", 8)],
+            MachineModel::native(),
+        );
+        let r = diff_descriptors(&v1, &widened);
+        assert_eq!(r.compatibility, Compatibility::Lossy);
+        assert_eq!(
+            r.changes,
+            vec![FieldChange::Resized { name: "x".to_string(), old_size: 4, new_size: 8 }]
+        );
+
+        let retyped = bind(
+            vec![IOField::auto("x", "string", 8), IOField::auto("y", "float", 8)],
+            MachineModel::native(),
+        );
+        let r = diff_descriptors(&v1, &retyped);
+        assert_eq!(r.compatibility, Compatibility::Breaking);
+        assert!(matches!(&r.changes[0], FieldChange::Retyped { name, .. } if name == "x"));
+    }
+
+    #[test]
+    fn descriptor_diff_byte_order_only_is_compatible_not_identical() {
+        use openmeta_pbio::IOField;
+        let fields = vec![IOField::auto("x", "integer", 4), IOField::auto("y", "float", 8)];
+        let le = bind(fields.clone(), MachineModel::X86_64);
+        let be = bind(fields, MachineModel::SPARC32);
+        assert_ne!(le.id(), be.id());
+        let r = diff_descriptors(&le, &be);
+        assert_eq!(r.compatibility, Compatibility::Compatible);
+        assert!(r.changes.is_empty(), "{:?}", r.changes);
+    }
+
+    #[test]
+    fn descriptor_diff_recurses_into_same_named_nested_records() {
+        use openmeta_pbio::{FormatRegistry, FormatSpec, IOField};
+        let nest = |inner_ty: &str, inner_size: usize| {
+            let reg = FormatRegistry::new(MachineModel::native());
+            reg.register(FormatSpec::new("Inner", vec![IOField::auto("v", inner_ty, inner_size)]))
+                .unwrap();
+            (*reg
+                .register(FormatSpec::new(
+                    "T",
+                    vec![IOField::auto("head", "integer", 4), IOField::auto("body", "Inner", 0)],
+                ))
+                .unwrap())
+            .clone()
+        };
+        let old = nest("integer", 4);
+        let widened = nest("integer", 8);
+        let r = diff_descriptors(&old, &widened);
+        assert_eq!(r.compatibility, Compatibility::Lossy);
+        assert_eq!(
+            r.changes,
+            vec![FieldChange::Resized { name: "body.v".to_string(), old_size: 4, new_size: 8 }]
+        );
+
+        let broken = nest("string", 8);
+        let r = diff_descriptors(&old, &broken);
+        assert_eq!(r.compatibility, Compatibility::Breaking);
+        assert!(matches!(&r.changes[0], FieldChange::Retyped { name, .. } if name == "body.v"));
     }
 }

@@ -48,15 +48,20 @@ pub mod evolution;
 pub mod mapping;
 pub mod matching;
 pub mod messaging;
+pub mod negotiate;
 pub mod projection;
 pub mod toolkit;
 pub mod watcher;
 
 pub use error::XmitError;
-pub use evolution::{diff_types, Compatibility, EvolutionReport, FieldChange};
+pub use evolution::{diff_descriptors, diff_types, Compatibility, EvolutionReport, FieldChange};
 pub use mapping::{map_document, map_type};
 pub use matching::{best_match, match_message, MatchReport};
 pub use messaging::{XmitReceiver, XmitSender};
+pub use negotiate::{
+    classify, Accept, AcceptEntry, Hello, NegotiateInitiator, NegotiateReply, NegotiateResponder,
+    NegotiationCache, NegotiationStats, PairVerdict, VersionOffer,
+};
 pub use projection::{project_type, Projection};
 pub use toolkit::{BindingToken, LoadOutcome, SchemaCacheStats, Xmit};
 pub use watcher::{FormatChange, FormatWatcher};

@@ -19,16 +19,22 @@ use std::sync::Arc;
 
 use openmeta_net::{
     connect_retrying, harden_stream, read_frame_blocking, write_all_vectored, LengthFramer,
-    TransportConfig,
+    TransportConfig, READ_CHUNK,
 };
 use openmeta_pbio::codec::{decode_descriptor, encode_descriptor};
-use openmeta_pbio::{decode, Encoder, FormatId, FormatRegistry, PbioError, RawRecord};
+use openmeta_pbio::{
+    decode, Encoder, FormatDescriptor, FormatId, FormatRegistry, PbioError, RawRecord,
+};
 
 use crate::error::XmitError;
+use crate::negotiate::{
+    Accept, Hello, NegotiateInitiator, NegotiateReply, NegotiationCache, FRAME_ACCEPT, FRAME_HELLO,
+    FRAME_REJECT,
+};
 
-const FRAME_FORMAT: u8 = 1;
-const FRAME_RECORD: u8 = 2;
-const MAX_FRAME: usize = 64 << 20;
+pub(crate) const FRAME_FORMAT: u8 = 1;
+pub(crate) const FRAME_RECORD: u8 = 2;
+pub(crate) const MAX_FRAME: usize = 64 << 20;
 
 /// Frame header: `len:u32be kind:u8`, built on the stack.
 fn frame_header(kind: u8, payload: &[u8]) -> Result<[u8; 5], XmitError> {
@@ -116,6 +122,52 @@ impl XmitSender {
     pub fn marshal_stats(&self) -> openmeta_pbio::MarshalStats {
         self.enc.marshal_stats()
     }
+
+    /// Negotiate versions for `formats` before any record flows: one
+    /// `HELLO` frame carries every descriptor, and the receiver's
+    /// `ACCEPT` names the verdict and target version per format — or
+    /// `REJECT` refuses the connection outright
+    /// ([`XmitError::Negotiation`]), so incompatible versions fail at
+    /// setup instead of mid-stream.
+    ///
+    /// Accepted formats are marked announced: the receiver registered
+    /// their descriptors from the `HELLO`, so [`XmitSender::send`] never
+    /// emits a separate FORMAT frame for them.
+    pub fn negotiate(&mut self, formats: &[&Arc<FormatDescriptor>]) -> Result<Accept, XmitError> {
+        use std::io::Read;
+        let _span = openmeta_obs::span!("negotiate.handshake");
+        let hello = Hello::from_formats(formats);
+        write_frame(&mut self.stream, FRAME_HELLO, &hello.encode())?;
+        self.stream.flush().map_err(PbioError::from)?;
+
+        let mut m = NegotiateInitiator::new();
+        let reply = loop {
+            if let Some(reply) = m.poll()? {
+                break reply;
+            }
+            let need = m.bytes_needed().clamp(1, READ_CHUNK);
+            let mut chunk = vec![0u8; need];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(XmitError::Negotiation(
+                        "connection closed during handshake".to_string(),
+                    ))
+                }
+                Ok(n) => m.push(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(XmitError::Bcm(PbioError::from(e))),
+            }
+        };
+        match reply {
+            NegotiateReply::Accepted(accept) => {
+                for entry in &accept.entries {
+                    self.announced.insert(entry.sender);
+                }
+                Ok(accept)
+            }
+            NegotiateReply::Rejected(reason) => Err(XmitError::Negotiation(reason)),
+        }
+    }
 }
 
 /// Receives records from a TCP stream, learning formats as they arrive
@@ -124,13 +176,27 @@ pub struct XmitReceiver {
     stream: TcpStream,
     registry: Arc<FormatRegistry>,
     framer: LengthFramer,
+    negotiation: Arc<NegotiationCache>,
 }
 
 impl XmitReceiver {
     /// Wrap an accepted stream; decoded records are converted to
     /// `registry`'s formats when it holds a same-named registration.
+    /// Handshakes are answered from the process-wide
+    /// [`NegotiationCache`].
     pub fn new(stream: TcpStream, registry: Arc<FormatRegistry>) -> XmitReceiver {
-        XmitReceiver { stream, registry, framer: LengthFramer::with_kind_byte(MAX_FRAME) }
+        XmitReceiver {
+            stream,
+            registry,
+            framer: LengthFramer::with_kind_byte(MAX_FRAME),
+            negotiation: NegotiationCache::global().clone(),
+        }
+    }
+
+    /// Answer handshakes from `cache` instead of the process-wide one
+    /// (isolated caches keep tests and benchmarks honest).
+    pub fn set_negotiation_cache(&mut self, cache: Arc<NegotiationCache>) {
+        self.negotiation = cache;
     }
 
     /// Wrap an accepted stream with `cfg`'s read/write deadlines applied,
@@ -179,6 +245,29 @@ impl XmitReceiver {
                     self.registry.register_descriptor(desc);
                 }
                 FRAME_RECORD => return Ok(Some(decode(&payload, &self.registry)?)),
+                FRAME_HELLO => {
+                    // A negotiating sender: classify its offers against
+                    // our registry, answer ACCEPT (and keep receiving)
+                    // or REJECT (and fail the connection here, before
+                    // any record rides an incompatible version).
+                    let _span = openmeta_obs::span!("negotiate.respond");
+                    let hello = Hello::decode(&payload)?;
+                    match self.negotiation.respond(&hello, &self.registry) {
+                        Ok(accept) => {
+                            write_frame(&mut self.stream, FRAME_ACCEPT, &accept.encode())?;
+                            self.stream.flush().map_err(PbioError::from)?;
+                        }
+                        Err(e) => {
+                            let reason = match &e {
+                                XmitError::Negotiation(r) => r.clone(),
+                                other => other.to_string(),
+                            };
+                            write_frame(&mut self.stream, FRAME_REJECT, reason.as_bytes())?;
+                            self.stream.flush().map_err(PbioError::from)?;
+                            return Err(e);
+                        }
+                    }
+                }
                 other => {
                     return Err(XmitError::Bcm(PbioError::BadWireData(format!(
                         "unknown frame kind {other}"
@@ -404,6 +493,82 @@ mod tests {
         drop(s);
         let err = rx_thread.join().unwrap().unwrap_err();
         assert!(matches!(err, crate::XmitError::Bcm(openmeta_pbio::PbioError::UnknownFormatId(_))));
+    }
+
+    #[test]
+    fn negotiated_link_skips_format_frames_and_converts() {
+        use crate::negotiate::PairVerdict;
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let rx_thread = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            // Receiver holds a *grown* version of the format.
+            let rx_xmit = Xmit::new(MachineModel::native());
+            rx_xmit
+                .load_str(&format!(
+                    r#"<xsd:complexType name="SimpleData" xmlns:xsd="{XSD}">
+                         <xsd:element name="timestep" type="xsd:integer" />
+                         <xsd:element name="data" type="xsd:float" minOccurs="0"
+                             maxOccurs="*" dimensionPlacement="before" dimensionName="size" />
+                         <xsd:element name="tag" type="xsd:long" />
+                       </xsd:complexType>"#
+                ))
+                .unwrap();
+            rx_xmit.bind("SimpleData").unwrap();
+            let mut rx = XmitReceiver::new(stream, rx_xmit.registry().clone());
+            rx.set_negotiation_cache(Arc::new(NegotiationCache::new()));
+            let mut seen = Vec::new();
+            while let Some(rec) = rx.recv().unwrap() {
+                seen.push(rec.get_i64("timestep").unwrap());
+            }
+            seen
+        });
+
+        let xmit = Xmit::new(MachineModel::native());
+        xmit.load_str(&simple_data_xml()).unwrap();
+        let token = xmit.bind("SimpleData").unwrap();
+        let mut tx = XmitSender::connect(addr).unwrap();
+        let accept = tx.negotiate(&[&token.format]).unwrap();
+        assert_eq!(accept.verdict_for(token.format.id()), Some(PairVerdict::Projectable));
+        for t in 0..3 {
+            let mut rec = token.new_record();
+            rec.set_i64("timestep", t).unwrap();
+            tx.send(&rec).unwrap();
+        }
+        drop(tx);
+        assert_eq!(rx_thread.join().unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn incompatible_negotiation_is_rejected_at_handshake() {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let rx_thread = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            // Receiver retyped `timestep` to a string: incompatible.
+            let rx_xmit = Xmit::new(MachineModel::native());
+            rx_xmit
+                .load_str(&format!(
+                    r#"<xsd:complexType name="SimpleData" xmlns:xsd="{XSD}">
+                         <xsd:element name="timestep" type="xsd:string" />
+                       </xsd:complexType>"#
+                ))
+                .unwrap();
+            rx_xmit.bind("SimpleData").unwrap();
+            let mut rx = XmitReceiver::new(stream, rx_xmit.registry().clone());
+            rx.set_negotiation_cache(Arc::new(NegotiationCache::new()));
+            rx.recv()
+        });
+
+        let xmit = Xmit::new(MachineModel::native());
+        xmit.load_str(&simple_data_xml()).unwrap();
+        let token = xmit.bind("SimpleData").unwrap();
+        let mut tx = XmitSender::connect(addr).unwrap();
+        let err = tx.negotiate(&[&token.format]).unwrap_err();
+        assert!(matches!(err, XmitError::Negotiation(_)), "{err:?}");
+        assert!(err.to_string().contains("incompatible versions"), "{err}");
+        // The receiver failed the same way, before any record existed.
+        assert!(matches!(rx_thread.join().unwrap(), Err(XmitError::Negotiation(_))));
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! FormatId derivation audit: the content id is the negotiation
+//! subsystem's whole identity story, so two *different* versions of a
+//! same-named format must never collide, and identical definitions must
+//! always agree — across every fixture schema and every systematic
+//! version mutation the evolution layer recognizes.
+
+use std::path::Path;
+
+use openmeta_schema::{ComplexType, ElementDecl, Occurs, SchemaDocument, TypeRef, XsdPrimitive};
+use xmit::{MachineModel, Xmit};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../fixtures/schemas").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn fixtures() -> Vec<(&'static str, SchemaDocument)> {
+    ["hydrology.xsd", "region.xsd", "simple_data.xsd"]
+        .into_iter()
+        .map(|name| {
+            let doc = openmeta_schema::parse_str(&fixture(name))
+                .unwrap_or_else(|e| panic!("parse {name}: {e}"));
+            (name, doc)
+        })
+        .collect()
+}
+
+fn schema_of(doc: &SchemaDocument, ct: ComplexType) -> String {
+    // Carry the whole document so composed type references still
+    // resolve, with `ct` replacing its same-named original.
+    let mut types: Vec<ComplexType> =
+        doc.types.iter().filter(|t| t.name != ct.name).cloned().collect();
+    types.push(ct);
+    openmeta_schema::to_xml(&SchemaDocument { types, enums: doc.enums.clone() })
+}
+
+fn id_of(doc: &SchemaDocument, ct: ComplexType, machine: MachineModel) -> openmeta_pbio::FormatId {
+    let name = ct.name.clone();
+    let xm = Xmit::new(machine);
+    xm.load_str(&schema_of(doc, ct)).unwrap_or_else(|e| panic!("load variant of {name}: {e}"));
+    xm.bind(&name).unwrap_or_else(|e| panic!("bind variant of {name}: {e}")).format.id()
+}
+
+/// Names used as a dimension by some sibling element.
+fn dimension_names(ct: &ComplexType) -> Vec<String> {
+    ct.elements.iter().filter_map(|e| e.dimension_name.clone()).collect()
+}
+
+/// Indices of plain scalar primitive elements that are safe to mutate
+/// (not a dimension counter, not an array, not composed).
+fn mutable_scalars(ct: &ComplexType) -> Vec<usize> {
+    let dims = dimension_names(ct);
+    ct.elements
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| {
+            matches!(e.type_ref, TypeRef::Primitive(_))
+                && e.occurs == Occurs::One
+                && !dims.contains(&e.name)
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Every version mutation of `ct` the evolution layer distinguishes:
+/// (label, mutated type).  All must hash differently from the original
+/// and from each other.
+fn variants(ct: &ComplexType) -> Vec<(String, ComplexType)> {
+    let mut out = Vec::new();
+
+    let mut grown = ct.clone();
+    grown.elements.push(ElementDecl::scalar("probe_added", TypeRef::Primitive(XsdPrimitive::Int)));
+    out.push(("grown".to_string(), grown));
+
+    let scalars = mutable_scalars(ct);
+    if let Some(&i) = scalars.first() {
+        let mut shrunk = ct.clone();
+        shrunk.elements.remove(i);
+        out.push((format!("shrunk(-{})", ct.elements[i].name), shrunk));
+
+        let mut renamed = ct.clone();
+        renamed.elements[i].name.push_str("_v2");
+        out.push((format!("renamed({})", ct.elements[i].name), renamed));
+
+        let mut retyped = ct.clone();
+        retyped.elements[i].type_ref = match retyped.elements[i].type_ref {
+            TypeRef::Primitive(XsdPrimitive::String) => TypeRef::Primitive(XsdPrimitive::Long),
+            _ => TypeRef::Primitive(XsdPrimitive::String),
+        };
+        out.push((format!("retyped({})", ct.elements[i].name), retyped));
+    }
+    if scalars.len() >= 2 {
+        let (a, b) = (scalars[0], scalars[1]);
+        let mut reordered = ct.clone();
+        reordered.elements.swap(a, b);
+        out.push((
+            format!("reordered({},{})", ct.elements[a].name, ct.elements[b].name),
+            reordered,
+        ));
+    }
+    out
+}
+
+#[test]
+fn identical_definitions_hash_identically() {
+    for (file, doc) in fixtures() {
+        for ct in &doc.types {
+            for machine in [MachineModel::SPARC32, MachineModel::X86_64] {
+                let a = id_of(&doc, ct.clone(), machine);
+                let b = id_of(&doc, ct.clone(), machine);
+                assert_eq!(a, b, "{file}/{}: same definition, same machine, different id", ct.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn every_version_variant_hashes_distinct() {
+    for (file, doc) in fixtures() {
+        for ct in &doc.types {
+            for machine in [MachineModel::SPARC32, MachineModel::X86_64] {
+                let base = id_of(&doc, ct.clone(), machine);
+                let mut seen = vec![("original".to_string(), base)];
+                for (label, variant) in variants(ct) {
+                    let id = id_of(&doc, variant, machine);
+                    for (other_label, other_id) in &seen {
+                        assert_ne!(
+                            id, *other_id,
+                            "{file}/{}: variant '{label}' collides with '{other_label}' \
+                             on {machine:?}",
+                            ct.name
+                        );
+                    }
+                    seen.push((label, id));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn byte_order_is_part_of_the_identity() {
+    // A SPARC32 layout and an X86_64 layout of the same definition are
+    // different wire formats (the receiver must byte-swap one of them),
+    // so their content ids must differ too — negotiation treats the
+    // pair as compatible-but-not-identical.
+    for (file, doc) in fixtures() {
+        for ct in &doc.types {
+            let big = id_of(&doc, ct.clone(), MachineModel::SPARC32);
+            let little = id_of(&doc, ct.clone(), MachineModel::X86_64);
+            assert_ne!(big, little, "{file}/{}: byte order must alter the id", ct.name);
+        }
+    }
+}

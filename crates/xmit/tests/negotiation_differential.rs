@@ -1,0 +1,312 @@
+//! Differential property for the version-negotiation subsystem: the
+//! negotiated cross-version path (pair classified, convert plan
+//! compiled and certified by [`xmit::NegotiationCache`]) delivers
+//! exactly what a plain receiver-side make-right decode delivers, for
+//! every fixture schema, every version mutation the evolution layer
+//! recognizes, and both sender byte orders.
+//!
+//! Two other equivalences ride along:
+//! * `diff_descriptors` over the bound layouts agrees with
+//!   `diff_types` over the schema definitions on the compatibility
+//!   verdict — the handshake (which only sees descriptors) and the
+//!   schema tooling (which sees XML) must never disagree about whether
+//!   a pair is safe;
+//! * breaking mutations are rejected by `negotiate_pair` with a
+//!   `Negotiation` error, never silently planned.
+
+use std::path::Path;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use openmeta_schema::{ComplexType, ElementDecl, Occurs, SchemaDocument, TypeRef, XsdPrimitive};
+use xmit::{
+    diff_descriptors, diff_types, Compatibility, MachineModel, NegotiationCache, PairVerdict,
+    Value, Xmit, XmitError,
+};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../fixtures/schemas").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn fixtures() -> Vec<SchemaDocument> {
+    ["hydrology.xsd", "region.xsd", "simple_data.xsd"]
+        .into_iter()
+        .map(|name| {
+            openmeta_schema::parse_str(&fixture(name))
+                .unwrap_or_else(|e| panic!("parse {name}: {e}"))
+        })
+        .collect()
+}
+
+fn schema_of(doc: &SchemaDocument, ct: ComplexType) -> String {
+    let mut types: Vec<ComplexType> =
+        doc.types.iter().filter(|t| t.name != ct.name).cloned().collect();
+    types.push(ct);
+    openmeta_schema::to_xml(&SchemaDocument { types, enums: doc.enums.clone() })
+}
+
+fn dimension_names(ct: &ComplexType) -> Vec<String> {
+    ct.elements.iter().filter_map(|e| e.dimension_name.clone()).collect()
+}
+
+fn mutable_scalars(ct: &ComplexType) -> Vec<usize> {
+    let dims = dimension_names(ct);
+    ct.elements
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| {
+            matches!(e.type_ref, TypeRef::Primitive(_))
+                && e.occurs == Occurs::One
+                && !dims.contains(&e.name)
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// What the mutation should do to the pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Expected {
+    Converts(Compatibility),
+    Rejected,
+}
+
+/// Pick a random receiver-side version mutation of `ct`, with the
+/// verdict the negotiation layer must reach for it.
+fn mutate(rng: &mut StdRng, ct: &ComplexType) -> Option<(ComplexType, Expected)> {
+    let scalars = mutable_scalars(ct);
+    let mut choices: Vec<u8> = vec![0]; // grow always possible
+    if !scalars.is_empty() {
+        choices.extend([1, 3]); // shrink, retype
+        let widenable = scalars.iter().any(|&i| {
+            matches!(
+                ct.elements[i].type_ref,
+                TypeRef::Primitive(XsdPrimitive::Float | XsdPrimitive::Int | XsdPrimitive::Integer)
+            )
+        });
+        if widenable {
+            choices.push(4);
+        }
+    }
+    if scalars.len() >= 2 {
+        choices.push(2); // reorder
+    }
+    let mut v = ct.clone();
+    match choices[rng.random_range(0..choices.len())] {
+        0 => {
+            v.elements
+                .push(ElementDecl::scalar("probe_added", TypeRef::Primitive(XsdPrimitive::Int)));
+            Some((v, Expected::Converts(Compatibility::Compatible)))
+        }
+        1 => {
+            v.elements.remove(scalars[rng.random_range(0..scalars.len())]);
+            Some((v, Expected::Converts(Compatibility::Compatible)))
+        }
+        2 => {
+            v.elements.swap(scalars[0], scalars[1]);
+            Some((v, Expected::Converts(Compatibility::Compatible)))
+        }
+        3 => {
+            let i = scalars[rng.random_range(0..scalars.len())];
+            v.elements[i].type_ref = match v.elements[i].type_ref {
+                TypeRef::Primitive(XsdPrimitive::String) => TypeRef::Primitive(XsdPrimitive::Long),
+                _ => TypeRef::Primitive(XsdPrimitive::String),
+            };
+            Some((v, Expected::Rejected))
+        }
+        _ => {
+            let i = *scalars.iter().find(|&&i| {
+                matches!(
+                    ct.elements[i].type_ref,
+                    TypeRef::Primitive(
+                        XsdPrimitive::Float | XsdPrimitive::Int | XsdPrimitive::Integer
+                    )
+                )
+            })?;
+            v.elements[i].type_ref = match v.elements[i].type_ref {
+                TypeRef::Primitive(XsdPrimitive::Float) => TypeRef::Primitive(XsdPrimitive::Double),
+                _ => TypeRef::Primitive(XsdPrimitive::Long),
+            };
+            Some((v, Expected::Converts(Compatibility::Lossy)))
+        }
+    }
+}
+
+/// Fill the scalar fields of `ct` deterministically (arrays and strings
+/// too), small values so every width survives narrowing-free.
+fn fill(rng: &mut StdRng, rec: &mut xmit::RawRecord, doc: &SchemaDocument, ct: &ComplexType) {
+    fill_at(rng, rec, doc, ct, "");
+}
+
+fn fill_at(
+    rng: &mut StdRng,
+    rec: &mut xmit::RawRecord,
+    doc: &SchemaDocument,
+    ct: &ComplexType,
+    prefix: &str,
+) {
+    let dims = dimension_names(ct);
+    for e in &ct.elements {
+        if dims.contains(&e.name) {
+            continue;
+        }
+        let path = format!("{prefix}{}", e.name);
+        let prim = match &e.type_ref {
+            TypeRef::Named(name) => {
+                let sub = doc.types.iter().find(|t| &t.name == name).unwrap();
+                fill_at(rng, rec, doc, sub, &format!("{path}."));
+                continue;
+            }
+            TypeRef::Primitive(p) => *p,
+        };
+        match e.occurs {
+            Occurs::One => match prim {
+                XsdPrimitive::String => rec.set_string(&path, "v").unwrap(),
+                XsdPrimitive::Boolean => rec.set_bool(&path, true).unwrap(),
+                XsdPrimitive::Float | XsdPrimitive::Double => {
+                    rec.set_f64(&path, rng.random_range(-50i64..50) as f64 * 0.5).unwrap()
+                }
+                XsdPrimitive::NonNegativeInteger
+                | XsdPrimitive::UnsignedLong
+                | XsdPrimitive::UnsignedInt
+                | XsdPrimitive::UnsignedShort
+                | XsdPrimitive::UnsignedByte => {
+                    rec.set_u64(&path, rng.random_range(0u64..100)).unwrap()
+                }
+                _ => rec.set_i64(&path, rng.random_range(-100i64..100)).unwrap(),
+            },
+            Occurs::Bounded(n) => {
+                for i in 0..n {
+                    match prim {
+                        XsdPrimitive::Float | XsdPrimitive::Double => {
+                            rec.set_elem_f64(&path, i, i as f64).unwrap()
+                        }
+                        _ => rec.set_elem_i64(&path, i, i as i64).unwrap(),
+                    }
+                }
+            }
+            Occurs::Unbounded => {
+                let n = rng.random_range(0usize..5);
+                match prim {
+                    XsdPrimitive::Float | XsdPrimitive::Double => {
+                        let vals: Vec<f64> = (0..n).map(|i| i as f64 * 0.25).collect();
+                        rec.set_f64_array(&path, &vals).unwrap();
+                    }
+                    _ => {
+                        let vals: Vec<i64> = (0..n).map(|i| i as i64).collect();
+                        rec.set_i64_array(&path, &vals).unwrap();
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn opposite(machine: MachineModel) -> MachineModel {
+    if machine == MachineModel::SPARC32 {
+        MachineModel::X86_64
+    } else {
+        MachineModel::SPARC32
+    }
+}
+
+fn run_case(seed: u64, sender_machine: MachineModel) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for doc in fixtures() {
+        for ct in &doc.types {
+            let Some((receiver_ct, expected)) = mutate(&mut rng, ct) else { continue };
+
+            let sender = Xmit::new(sender_machine);
+            sender.load_str(&schema_of(&doc, ct.clone())).unwrap();
+            let full = sender.bind(&ct.name).unwrap();
+            let mut rec = full.new_record();
+            fill(&mut rng, &mut rec, &doc, ct);
+            let wire = xmit::encode(&rec).unwrap();
+
+            for receiver_machine in [sender_machine, opposite(sender_machine)] {
+                // The negotiated receiver: its own version bound, the
+                // sender's descriptor learned from the HELLO, the pair
+                // decided (and its convert plan certified) by the cache.
+                let receiver = Xmit::new(receiver_machine);
+                receiver.load_str(&schema_of(&doc, receiver_ct.clone())).unwrap();
+                let target = receiver.bind(&ct.name).unwrap();
+                let sender_desc = receiver.registry().register_descriptor((*full.format).clone());
+                let cache = NegotiationCache::new();
+                let outcome =
+                    cache.negotiate_pair(receiver.registry(), &sender_desc, &target.format);
+
+                // The handshake's descriptor diff must agree with the
+                // schema-level diff about the pair (compare on the
+                // receiver's machine so widths are like-for-like).
+                let same_machine = Xmit::new(receiver_machine);
+                same_machine.load_str(&schema_of(&doc, ct.clone())).unwrap();
+                let old_here = same_machine.bind(&ct.name).unwrap();
+                let type_report = diff_types(ct, &receiver_ct, &receiver_machine).unwrap();
+                let desc_report = diff_descriptors(&old_here.format, &target.format);
+                assert_eq!(
+                    desc_report.compatibility, type_report.compatibility,
+                    "seed {seed}: {}: descriptor diff and type diff disagree \
+                     (receiver={receiver_machine:?})",
+                    ct.name
+                );
+
+                match expected {
+                    Expected::Rejected => {
+                        assert_eq!(type_report.compatibility, Compatibility::Breaking);
+                        assert!(
+                            matches!(outcome, Err(XmitError::Negotiation(_))),
+                            "seed {seed}: {}: breaking pair was not rejected: {outcome:?}",
+                            ct.name
+                        );
+                    }
+                    Expected::Converts(compat) => {
+                        assert_eq!(
+                            type_report.compatibility, compat,
+                            "seed {seed}: {}: unexpected compatibility",
+                            ct.name
+                        );
+                        let verdict = outcome.unwrap_or_else(|e| {
+                            panic!("seed {seed}: {}: pair rejected: {e}", ct.name)
+                        });
+                        assert_ne!(verdict, PairVerdict::Incompatible);
+
+                        // Negotiated delivery ≡ plain make-right decode
+                        // on a registry that never negotiated.
+                        let negotiated =
+                            xmit::decode_with(&wire, receiver.registry(), &target.format).unwrap();
+                        let plain_rx = Xmit::new(receiver_machine);
+                        plain_rx.load_str(&schema_of(&doc, receiver_ct.clone())).unwrap();
+                        let plain_target = plain_rx.bind(&ct.name).unwrap();
+                        plain_rx.registry().register_descriptor((*full.format).clone());
+                        let plain =
+                            xmit::decode_with(&wire, plain_rx.registry(), &plain_target.format)
+                                .unwrap();
+                        assert_eq!(
+                            Value::from_record(&negotiated).unwrap(),
+                            Value::from_record(&plain).unwrap(),
+                            "seed {seed}: {}: negotiated path diverged from make-right \
+                             (sender={sender_machine:?} receiver={receiver_machine:?})",
+                            ct.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn negotiated_convert_matches_make_right_big_endian(seed in any::<u64>()) {
+        run_case(seed, MachineModel::SPARC32);
+    }
+
+    #[test]
+    fn negotiated_convert_matches_make_right_little_endian(seed in any::<u64>()) {
+        run_case(seed, MachineModel::X86_64);
+    }
+}
